@@ -1,0 +1,25 @@
+//! Criterion: error-detection sublayer implementations (the fungibility
+//! axis of E1 has a cost axis too).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datalink::{Crc, ErrorDetector, Fletcher16, InternetChecksum};
+
+fn bench_detectors(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1500).map(|i| (i % 256) as u8).collect();
+    let dets: Vec<Box<dyn ErrorDetector>> = vec![
+        Box::new(InternetChecksum),
+        Box::new(Fletcher16),
+        Box::new(Crc::crc16_ccitt()),
+        Box::new(Crc::crc32()),
+        Box::new(Crc::crc64()),
+    ];
+    let mut g = c.benchmark_group("detect_1500B");
+    g.throughput(Throughput::Bytes(1500));
+    for det in dets {
+        g.bench_function(det.name(), |b| b.iter(|| det.compute(std::hint::black_box(&data))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: bit-stuffing throughput — sublayered codec vs the
+//! traditional single-pass monolithic implementation (§3.1 objection 4 in
+//! miniature: do sublayer crossings cost performance?), plus the validity
+//! decision procedure's speed.
+
+use bitstuff::codec::monolithic;
+use bitstuff::{check_rule, BitVec, Flag, FrameCodec, StuffRule};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn data(bytes: usize) -> BitVec {
+    let raw: Vec<u8> = (0..bytes).map(|i| (i * 31 % 256) as u8).collect();
+    BitVec::from_bytes(&raw)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let d = data(1024);
+    let codec = FrameCodec::hdlc();
+    let rule = StuffRule::hdlc();
+    let flag = Flag::hdlc();
+
+    let mut g = c.benchmark_group("framing_1KiB");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sublayered_encode", |b| b.iter(|| codec.encode(std::hint::black_box(&d))));
+    g.bench_function("monolithic_encode", |b| {
+        b.iter(|| monolithic::encode(&rule, &flag, std::hint::black_box(&d)))
+    });
+    let encoded = codec.encode(&d);
+    g.bench_function("sublayered_decode", |b| b.iter(|| codec.decode(std::hint::black_box(&encoded))));
+    g.bench_function("monolithic_decode", |b| {
+        b.iter(|| monolithic::decode(&rule, &flag, std::hint::black_box(&encoded)))
+    });
+    g.finish();
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    c.bench_function("check_rule_hdlc", |b| {
+        b.iter(|| check_rule(std::hint::black_box(&StuffRule::hdlc()), &Flag::hdlc()))
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_verifier);
+criterion_main!(benches);

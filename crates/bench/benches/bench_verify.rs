@@ -1,0 +1,35 @@
+//! Criterion: model-checker exploration speed and the sublayered-vs-
+//! monolithic verification cost gap (E6 in wall-clock terms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slverify::{check, Combined, Handshake, SlidingWindow};
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_checking");
+    g.sample_size(10);
+    g.bench_function("sublayered_sum", |b| {
+        b.iter(|| {
+            let hs = check(&Handshake { three_way: true }, 5_000_000);
+            let win = check(&SlidingWindow { w: 2, s_mod: 4, n_msgs: 6 }, 5_000_000);
+            assert!(hs.ok() && win.ok());
+            hs.states + win.states
+        })
+    });
+    g.bench_function("monolithic_product", |b| {
+        b.iter(|| {
+            let r = check(
+                &Combined {
+                    hs: Handshake { three_way: true },
+                    win: SlidingWindow { w: 2, s_mod: 4, n_msgs: 6 },
+                },
+                20_000_000,
+            );
+            assert!(r.violation.is_none());
+            r.states
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E12 — error-recovery sublayer replaceability (§2.1): ARQ scheme
+//! comparison (stop-and-wait / go-back-N / selective repeat) across loss
+//! rates on a bandwidth-delay link.
+
+use bench::markdown_table;
+use datalink::{ArqEndpoint, ArqScheme};
+use netsim::{two_party, Dur, FaultProfile, LinkParams, StackNode, Time};
+
+fn run(scheme: ArqScheme, loss: f64, seed: u64) -> (f64, u64) {
+    let n_msgs = 200usize;
+    let mut a = ArqEndpoint::new(scheme, Dur::from_millis(60));
+    let b = ArqEndpoint::new(scheme, Dur::from_millis(60));
+    for i in 0..n_msgs {
+        a.send(vec![(i % 256) as u8; 200]);
+    }
+    let params = LinkParams::delay_only(Dur::from_millis(10))
+        .with_rate(2_000_000)
+        .with_fault(FaultProfile::lossy(loss));
+    let (mut net, _na, nb) = two_party(seed, a, b, params);
+    net.poll_all();
+    net.run_to_idle(Time::ZERO + Dur::from_secs(3600));
+    let done = net.now().secs_f64();
+    let rx = &mut net.node_mut::<StackNode<ArqEndpoint>>(nb).stack;
+    let got = rx.recv_all();
+    assert_eq!(got.len(), n_msgs, "{} loss {loss}", scheme.name());
+    let retx = rx.stats.retransmissions;
+    let tx_retx = {
+        let tx = &net.node::<StackNode<ArqEndpoint>>(0).stack;
+        tx.stats.retransmissions
+    };
+    (done, retx + tx_retx)
+}
+
+fn main() {
+    println!("# E12 — ARQ scheme comparison (error-recovery sublayer, §2.1)\n");
+    println!("Workload: 200 messages x 200 B over a 2 Mbit/s, 10 ms link.\n");
+    let mut rows = Vec::new();
+    for &loss in &[0.0, 0.05, 0.15, 0.30] {
+        for scheme in [
+            ArqScheme::StopAndWait,
+            ArqScheme::GoBackN { window: 8 },
+            ArqScheme::SelectiveRepeat { window: 8 },
+        ] {
+            let (secs, retx) = run(scheme, loss, 5);
+            rows.push(vec![
+                format!("{:.0}%", loss * 100.0),
+                scheme.name().to_string(),
+                format!("{secs:.2}"),
+                retx.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(&["loss", "scheme", "completion (sim s)", "retransmissions"], &rows)
+    );
+    println!(
+        "\nShape: stop-and-wait pays one RTT per message regardless of loss; \
+         go-back-N wins at low loss but resends whole windows as loss grows; \
+         selective repeat dominates under loss by retransmitting only what was \
+         lost. Swapping schemes is one constructor argument (test T3).\n"
+    );
+}

@@ -1,0 +1,47 @@
+//! E11 — header isomorphism and size (§3.1 objection 3 / Figure 6): the
+//! native sublayered header vs RFC 793, and what the shim preserves.
+
+use bench::markdown_table;
+use sublayer_core::wire::Packet;
+
+fn main() {
+    println!("# E11 — native Figure-6 header vs RFC 793\n");
+    // RFC 793 without options, as carried on our simulated network:
+    // 8 (addresses) + 20 (TCP header).
+    let rfc793 = 8 + 20;
+    let rfc793_syn = 8 + 24; // + MSS option
+    let rows = vec![
+        vec!["RFC 793 (data/ack)".into(), rfc793.to_string(), "-".into()],
+        vec!["RFC 793 (SYN, MSS option)".into(), rfc793_syn.to_string(), "-".into()],
+        vec![
+            "native sublayered, no SACK".into(),
+            Packet::header_len(0).to_string(),
+            format!("+{}", Packet::header_len(0) as i64 - rfc793 as i64),
+        ],
+        vec![
+            "native sublayered, 1 SACK range".into(),
+            Packet::header_len(1).to_string(),
+            format!("+{}", Packet::header_len(1) as i64 - rfc793 as i64),
+        ],
+        vec![
+            "native sublayered, 2 SACK ranges".into(),
+            Packet::header_len(2).to_string(),
+            format!("+{}", Packet::header_len(2) as i64 - rfc793 as i64),
+        ],
+    ];
+    println!("{}", markdown_table(&["header", "bytes on wire", "vs RFC 793"], &rows));
+    println!(
+        "\nThe native header costs 8 extra bytes over bare RFC 793 — exactly the \
+         redundant ISN pair the paper acknowledges (\"static after the initial \
+         handshake\") plus a magic/flags byte. The shim removes the redundancy \
+         entirely when interoperating: on the wire against a monolithic peer \
+         the translated segments are byte-identical RFC 793.\n\n\
+         Field mapping (isomorphism, §3.1):\n\
+         - ports            <-> DM subheader\n\
+         - SYN/FIN/RST      <-> CM flags\n\
+         - ISNs (SYN seq)   <-> CM isn/ack_isn\n\
+         - seq/ack          <-> RD subheader\n\
+         - window           <-> OSR rcv_wnd\n\
+         - (SACK: RD-private; no RFC 793 home, dropped by the shim)\n"
+    );
+}

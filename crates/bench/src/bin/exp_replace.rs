@@ -1,0 +1,50 @@
+//! E8 — replaceability (§5 challenge 5): swap congestion control, ISN
+//! generation, and the whole connection-management scheme, touching only
+//! configuration.
+
+use bench::{markdown_table, run_transfer, standard_link, StackKind};
+
+fn main() {
+    println!("# E8 — sublayer replacement (§3: \"seamlessly replace congestion control\n# or connection management\")\n");
+    println!(
+        "Every variant below runs the same 100 KB / 2%-loss workload through the \
+         same stack; the only difference is the constructor argument selecting \
+         the sublayer mechanism. No other sublayer's code is touched.\n"
+    );
+
+    let mut rows = Vec::new();
+    for (desc, kind) in [
+        ("CC = Reno (baseline)", StackKind::Sub("reno")),
+        ("CC = CUBIC", StackKind::Sub("cubic")),
+        ("CC = rate-based (AIMD on rate)", StackKind::Sub("rate-based")),
+        ("CC = fixed window (ablation)", StackKind::Sub("fixed-window")),
+        ("CM = Watson timer-based (no handshake, no FIN)", StackKind::SubTimerCm("reno")),
+        ("RD ablation: SACK advertisement off", StackKind::SubNoSack),
+    ] {
+        let r = run_transfer(kind, 100_000, standard_link(0.02), 21, 600);
+        rows.push(vec![
+            desc.to_string(),
+            format!("{:.2}", r.sim_seconds),
+            format!("{:.3}", r.goodput_mbps),
+            r.frames_on_wire.to_string(),
+            if r.complete { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["replaced mechanism", "sim time (s)", "goodput (Mbit/s)", "wire frames", "complete"],
+            &rows
+        )
+    );
+    println!(
+        "\nNotes:\n\
+         - The timer-based CM (paper [31]) removes the handshake entirely: the \
+           first data packet both opens the connection and carries payload — \
+           observe the lower frame count.\n\
+         - ISN generators (RFC 793 clock vs RFC 1948 keyed hash) are likewise \
+           swappable; both are exercised by the test suite (`both_isn_generators_work`).\n\
+         - Lines of code touched per swap: **one constructor argument** — the \
+           paper's fungibility claim (T3) made literal.\n"
+    );
+}

@@ -1,0 +1,347 @@
+//! A compact bit vector.
+//!
+//! The data-link sublayers operate on *bit* streams (framing, stuffing, line
+//! coding), so we need a dedicated bit container rather than `Vec<u8>`.
+//! Bits are stored packed, most-significant-bit first within each byte, which
+//! matches the on-the-wire transmission order used throughout the workspace.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A growable vector of bits, packed MSB-first.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> BitVec {
+        BitVec::default()
+    }
+
+    /// An empty bit vector with room for `n` bits.
+    pub fn with_capacity(n: usize) -> BitVec {
+        BitVec { bytes: Vec::with_capacity(n.div_ceil(8)), len: 0 }
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> BitVec {
+        let mut v = BitVec::with_capacity(bits.len());
+        for &b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Build from whole bytes; every bit of `bytes` is included, MSB first.
+    pub fn from_bytes(bytes: &[u8]) -> BitVec {
+        BitVec { bytes: bytes.to_vec(), len: bytes.len() * 8 }
+    }
+
+    /// The low `n` bits of `value`, most significant first.
+    /// E.g. `from_uint(0b0110, 4)` is the bit string `0110`.
+    pub fn from_uint(value: u64, n: usize) -> BitVec {
+        assert!(n <= 64);
+        let mut v = BitVec::with_capacity(n);
+        for i in (0..n).rev() {
+            v.push((value >> i) & 1 == 1);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let byte = self.len / 8;
+        let off = self.len % 8;
+        if off == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 0x80 >> off;
+        }
+        self.len += 1;
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend_bits(&mut self, other: &BitVec) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Read the bit at `idx`. Panics when out of range.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range ({} bits)", self.len);
+        self.bytes[idx / 8] & (0x80 >> (idx % 8)) != 0
+    }
+
+    /// Iterate over bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// The sub-vector `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> BitVec {
+        assert!(start <= end && end <= self.len);
+        let mut v = BitVec::with_capacity(end - start);
+        for i in start..end {
+            v.push(self.get(i));
+        }
+        v
+    }
+
+    /// Concatenate two bit vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut v = self.clone();
+        v.extend_bits(other);
+        v
+    }
+
+    /// Interpret the bits as a big-endian unsigned integer (≤ 64 bits).
+    pub fn to_uint(&self) -> u64 {
+        assert!(self.len <= 64);
+        self.iter().fold(0u64, |acc, b| (acc << 1) | b as u64)
+    }
+
+    /// Pack into bytes, zero-padding the final partial byte.
+    /// Also returns the number of valid bits.
+    pub fn to_bytes_padded(&self) -> (Vec<u8>, usize) {
+        (self.bytes.clone(), self.len)
+    }
+
+    /// Pack into whole bytes. Panics unless `len` is a multiple of 8.
+    pub fn to_bytes_exact(&self) -> Vec<u8> {
+        assert!(self.len.is_multiple_of(8), "bit length {} is not byte aligned", self.len);
+        self.bytes.clone()
+    }
+
+    /// Reconstruct from `to_bytes_padded` output.
+    pub fn from_bytes_padded(bytes: &[u8], len: usize) -> BitVec {
+        assert!(len <= bytes.len() * 8);
+        let mut v = BitVec::from_bytes(bytes);
+        v.truncate(len);
+        v
+    }
+
+    /// Shorten to `n` bits (no-op if already shorter).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        self.len = n;
+        self.bytes.truncate(n.div_ceil(8));
+        // Clear any stale bits in the final partial byte so Eq/Hash stay
+        // consistent with bit content.
+        if !n.is_multiple_of(8) {
+            let mask = !(0xFFu8 >> (n % 8));
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= mask;
+            }
+        }
+    }
+
+    /// Find the first occurrence of `pattern` starting at or after `from`.
+    pub fn find(&self, pattern: &BitVec, from: usize) -> Option<usize> {
+        if pattern.is_empty() || pattern.len() > self.len {
+            return None;
+        }
+        (from..=self.len - pattern.len())
+            .find(|&i| (0..pattern.len()).all(|j| self.get(i + j) == pattern.get(j)))
+    }
+
+    /// All start positions where `pattern` occurs (overlaps included).
+    pub fn occurrences(&self, pattern: &BitVec) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut from = 0;
+        while let Some(p) = self.find(pattern, from) {
+            out.push(p);
+            from = p + 1;
+        }
+        out
+    }
+}
+
+impl FromStr for BitVec {
+    type Err = String;
+
+    /// Parse from a string of `0`/`1` characters (spaces and `_` ignored).
+    fn from_str(s: &str) -> Result<BitVec, String> {
+        let mut v = BitVec::new();
+        for c in s.chars() {
+            match c {
+                '0' => v.push(false),
+                '1' => v.push(true),
+                ' ' | '_' => {}
+                other => return Err(format!("invalid bit character {other:?}")),
+            }
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", b as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests: `bits("01101")`.
+pub fn bits(s: &str) -> BitVec {
+    s.parse().expect("invalid bit literal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut v = BitVec::new();
+        v.push(true);
+        v.push(false);
+        v.push(true);
+        assert_eq!(v.len(), 3);
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let v = bits("0111 1110");
+        assert_eq!(v.len(), 8);
+        assert_eq!(format!("{v}"), "01111110");
+    }
+
+    #[test]
+    fn from_bytes_msb_first() {
+        let v = BitVec::from_bytes(&[0b1010_0001]);
+        assert_eq!(format!("{v}"), "10100001");
+    }
+
+    #[test]
+    fn uint_round_trip() {
+        for n in 0..64u64 {
+            let v = BitVec::from_uint(n, 6);
+            assert_eq!(v.len(), 6);
+            assert_eq!(v.to_uint(), n);
+        }
+        assert_eq!(format!("{}", BitVec::from_uint(0b0110, 4)), "0110");
+    }
+
+    #[test]
+    fn byte_round_trips() {
+        let v = bits("10110011 101");
+        let (bytes, len) = v.to_bytes_padded();
+        assert_eq!(len, 11);
+        assert_eq!(BitVec::from_bytes_padded(&bytes, len), v);
+
+        let w = bits("10110011");
+        assert_eq!(w.to_bytes_exact(), vec![0b1011_0011]);
+        assert_eq!(BitVec::from_bytes(&w.to_bytes_exact()), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte aligned")]
+    fn to_bytes_exact_rejects_ragged() {
+        bits("101").to_bytes_exact();
+    }
+
+    #[test]
+    fn truncate_clears_stale_bits() {
+        let mut a = bits("1111");
+        a.truncate(2);
+        let b = bits("11");
+        assert_eq!(a, b);
+        // Hash/Eq consistency: packed representation must match too.
+        assert_eq!(a.to_bytes_padded(), b.to_bytes_padded());
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = bits("110010");
+        assert_eq!(v.slice(1, 4), bits("100"));
+        assert_eq!(v.slice(0, 0), BitVec::new());
+        assert_eq!(bits("11").concat(&bits("00")), bits("1100"));
+    }
+
+    #[test]
+    fn find_basic_and_overlapping() {
+        let v = bits("0110110");
+        assert_eq!(v.find(&bits("11"), 0), Some(1));
+        assert_eq!(v.find(&bits("11"), 2), Some(4));
+        assert_eq!(v.find(&bits("111"), 0), None);
+        assert_eq!(bits("1111").occurrences(&bits("11")), vec![0, 1, 2]);
+        assert_eq!(bits("010101").occurrences(&bits("0101")), vec![0, 2]);
+    }
+
+    #[test]
+    fn find_empty_pattern_is_none() {
+        assert_eq!(bits("101").find(&BitVec::new(), 0), None);
+    }
+
+    #[test]
+    fn from_bools_matches_pushes() {
+        assert_eq!(BitVec::from_bools(&[true, false, true]), bits("101"));
+    }
+
+    #[test]
+    fn extend_bits_appends() {
+        let mut v = bits("01");
+        v.extend_bits(&bits("10"));
+        assert_eq!(v, bits("0110"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_padded_byte_round_trip(bools in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+            let v = BitVec::from_bools(&bools);
+            let (bytes, len) = v.to_bytes_padded();
+            proptest::prop_assert_eq!(BitVec::from_bytes_padded(&bytes, len), v);
+        }
+
+        #[test]
+        fn prop_concat_slice_inverse(
+            a in proptest::collection::vec(proptest::bool::ANY, 0..100),
+            b in proptest::collection::vec(proptest::bool::ANY, 0..100),
+        ) {
+            let va = BitVec::from_bools(&a);
+            let vb = BitVec::from_bools(&b);
+            let cat = va.concat(&vb);
+            proptest::prop_assert_eq!(cat.slice(0, va.len()), va.clone());
+            proptest::prop_assert_eq!(cat.slice(va.len(), cat.len()), vb);
+        }
+
+        #[test]
+        fn prop_find_agrees_with_string_search(
+            hay in proptest::collection::vec(proptest::bool::ANY, 0..64),
+            needle in proptest::collection::vec(proptest::bool::ANY, 1..8),
+        ) {
+            let h = BitVec::from_bools(&hay);
+            let n = BitVec::from_bools(&needle);
+            let hs: String = hay.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            let ns: String = needle.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            proptest::prop_assert_eq!(h.find(&n, 0), hs.find(&ns));
+        }
+    }
+}

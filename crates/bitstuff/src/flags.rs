@@ -1,0 +1,180 @@
+//! The **flag sublayer** (lower of the two framing sublayers, §4.1).
+//!
+//! At the sender it brackets a frame body with the flag pattern; at the
+//! receiver a continuous detector (a shift-register in hardware) delimits
+//! frame bodies between flag firings. Per **T2**, the interface upward to
+//! the stuffing sublayer is a frame of bits without flags; per **T3**, the
+//! flag pattern itself is this sublayer's private mechanism — it is exposed
+//! only through the validity contract ([`crate::verify`]) because the
+//! correctness of stuffing depends on the flag (the coupling the paper's
+//! lemmas surface).
+
+use crate::bits::BitVec;
+use std::fmt;
+
+/// Errors from flag removal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlagError {
+    /// No opening flag was found in the stream.
+    NoOpeningFlag,
+    /// An opening flag was found but no closing flag followed.
+    NoClosingFlag,
+}
+
+impl fmt::Display for FlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagError::NoOpeningFlag => write!(f, "no opening flag in stream"),
+            FlagError::NoClosingFlag => write!(f, "no closing flag in stream"),
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+/// The flag sublayer endpoint.
+#[derive(Clone, Debug)]
+pub struct Flagger {
+    flag: BitVec,
+}
+
+impl Flagger {
+    pub fn new(flag: BitVec) -> Flagger {
+        assert!(!flag.is_empty(), "flag must be non-empty");
+        Flagger { flag }
+    }
+
+    /// The HDLC flagger (`01111110`).
+    pub fn hdlc() -> Flagger {
+        Flagger::new(crate::rule::Flag::hdlc())
+    }
+
+    pub fn flag(&self) -> &BitVec {
+        &self.flag
+    }
+
+    /// Sender side: `flag · body · flag`.
+    pub fn add_flags(&self, body: &BitVec) -> BitVec {
+        let mut out = BitVec::with_capacity(body.len() + 2 * self.flag.len());
+        out.extend_bits(&self.flag);
+        out.extend_bits(body);
+        out.extend_bits(&self.flag);
+        out
+    }
+
+    /// Receiver side, single frame, **restart-scan semantics** (the paper's
+    /// `RemoveFlags` specification): hunt for the first occurrence of the
+    /// flag, *reset*, then take everything up to the next occurrence as the
+    /// body. This is how software framers work; a hardware shift-register
+    /// detector instead matches *continuously* across the flag/body
+    /// junction -- a strictly harder setting checked separately by
+    /// [`crate::verify::check_rule`] under
+    /// [`crate::verify::ReceiverModel::Continuous`].
+    pub fn remove_flags(&self, stream: &BitVec) -> Result<BitVec, FlagError> {
+        let open = stream.find(&self.flag, 0).ok_or(FlagError::NoOpeningFlag)?;
+        let body_start = open + self.flag.len();
+        let close = stream.find(&self.flag, body_start).ok_or(FlagError::NoClosingFlag)?;
+        Ok(stream.slice(body_start, close))
+    }
+
+    /// Receiver side, continuous stream, restart-scan semantics: every body
+    /// delimited by successive flag occurrences. Empty bodies (back-to-back
+    /// or shared flags, idle fill) are discarded, matching HDLC receiver
+    /// practice.
+    ///
+    /// Shared closing/opening flags (`F body1 F body2 F`) are supported
+    /// naturally: each occurrence both closes one frame and opens the next.
+    pub fn decode_stream(&self, stream: &BitVec) -> Vec<BitVec> {
+        let mut out = Vec::new();
+        let Some(first) = stream.find(&self.flag, 0) else { return out };
+        let mut pos = first + self.flag.len();
+        while let Some(next) = stream.find(&self.flag, pos) {
+            let body = stream.slice(pos, next);
+            if !body.is_empty() {
+                out.push(body);
+            }
+            pos = next + self.flag.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits;
+
+    #[test]
+    fn add_and_remove_round_trip() {
+        let f = Flagger::hdlc();
+        let body = bits("10100");
+        assert_eq!(f.remove_flags(&f.add_flags(&body)), Ok(body));
+    }
+
+    #[test]
+    fn empty_body_round_trips_single_frame() {
+        let f = Flagger::hdlc();
+        assert_eq!(f.remove_flags(&f.add_flags(&BitVec::new())), Ok(BitVec::new()));
+    }
+
+    #[test]
+    fn missing_flags_reported() {
+        let f = Flagger::hdlc();
+        assert_eq!(f.remove_flags(&bits("10101010")), Err(FlagError::NoOpeningFlag));
+        let mut only_open = crate::rule::Flag::hdlc();
+        only_open.extend_bits(&bits("1010"));
+        assert_eq!(f.remove_flags(&only_open), Err(FlagError::NoClosingFlag));
+    }
+
+    #[test]
+    fn stream_with_separate_flags() {
+        let f = Flagger::hdlc();
+        let mut s = f.add_flags(&bits("101"));
+        s.extend_bits(&f.add_flags(&bits("0011")));
+        let frames = f.decode_stream(&s);
+        assert_eq!(frames, vec![bits("101"), bits("0011")]);
+    }
+
+    #[test]
+    fn stream_with_shared_flag() {
+        // F body1 F body2 F — one flag closes frame 1 and opens frame 2.
+        let f = Flagger::hdlc();
+        let flag = crate::rule::Flag::hdlc();
+        let mut s = flag.clone();
+        s.extend_bits(&bits("101"));
+        s.extend_bits(&flag);
+        s.extend_bits(&bits("0011"));
+        s.extend_bits(&flag);
+        assert_eq!(f.decode_stream(&s), vec![bits("101"), bits("0011")]);
+    }
+
+    #[test]
+    fn idle_flag_fill_yields_no_frames() {
+        let f = Flagger::hdlc();
+        let flag = crate::rule::Flag::hdlc();
+        let mut s = BitVec::new();
+        for _ in 0..4 {
+            s.extend_bits(&flag);
+        }
+        assert_eq!(f.decode_stream(&s), Vec::<BitVec>::new());
+    }
+
+    #[test]
+    fn leading_noise_before_first_flag_is_ignored() {
+        let f = Flagger::hdlc();
+        let mut s = bits("0011");
+        s.extend_bits(&f.add_flags(&bits("111")));
+        // "111" contains no flag bits conflict; frame should decode.
+        assert_eq!(f.remove_flags(&s), Ok(bits("111")));
+    }
+
+    #[test]
+    fn self_overlapping_flag_detector() {
+        // Flag 0101 overlaps itself; the continuous detector must handle
+        // firings 2 bits apart (idle fill 010101...).
+        let f = Flagger::new(bits("0101"));
+        let s = bits("01010101");
+        // Firings end at 4, 6, 8; bodies between them are "negative"/empty.
+        assert_eq!(f.decode_stream(&s), Vec::<BitVec>::new());
+    }
+}

@@ -1,0 +1,45 @@
+//! # bitstuff — verified sublayered bit stuffing (paper §4.1)
+//!
+//! The paper's first verification experiment: HDLC-style framing decomposed
+//! into two *nested sublayers within framing* —
+//!
+//! * a **stuffing sublayer** ([`stuff::Stuffer`]) that inserts/removes the
+//!   stuff bit, and
+//! * a **flag sublayer** ([`flags::Flagger`]) that adds/removes frame
+//!   delimiters,
+//!
+//! composed by [`codec::FrameCodec`] so that the paper's specification
+//! `Unstuff(RemoveFlags(AddFlags(Stuff(D)))) = D` holds for every `D`.
+//!
+//! In place of the paper's Coq proof this crate carries an **exact decision
+//! procedure** ([`verify::check_rule`]) that proves or refutes each
+//! `(flag, rule)` pairing by product-automaton reachability, a library
+//! search ([`search::search`]) reproducing the paper's "66 alternate
+//! stuffing rules" experiment, and an exact overhead analysis
+//! ([`overhead::analyze`]) reproducing — and sharpening — the
+//! "1 in 128 vs 1 in 32" comparison.
+//!
+//! The crate is dependency-free (the "extracted artifact" of the
+//! development, like the paper's verified OCaml).
+
+pub mod bits;
+pub mod codec;
+pub mod flags;
+pub mod matcher;
+pub mod overhead;
+pub mod ratio;
+pub mod rule;
+pub mod search;
+pub mod stuff;
+pub mod verify;
+
+pub use bits::{bits, BitVec};
+pub use codec::{FrameCodec, FrameError};
+pub use flags::{FlagError, Flagger};
+pub use matcher::Matcher;
+pub use overhead::{analyze, Overhead};
+pub use ratio::Ratio;
+pub use rule::{Flag, StuffRule};
+pub use search::{search, SearchSpace, SearchStats, ValidRule};
+pub use stuff::{StuffError, Stuffer};
+pub use verify::{check_rule, Invalid, Verdict};

@@ -1,0 +1,151 @@
+//! A KMP pattern-matching automaton over bit streams.
+//!
+//! Both sublayers of the framing protocol are, at heart, pattern matchers:
+//! the stuffing sublayer watches for the trigger string, the flag sublayer
+//! watches for the flag. The validity decision procedure
+//! ([`crate::verify`]) runs a product of two of these automata.
+
+use crate::bits::BitVec;
+
+/// Deterministic automaton tracking, after each consumed bit, the length of
+/// the longest prefix of `pattern` that is a suffix of the input seen so far
+/// (continuous / overlapping matching semantics).
+#[derive(Clone, Debug)]
+pub struct Matcher {
+    pattern: BitVec,
+    /// Classic KMP failure function; `fail[s]` is the longest proper border
+    /// of `pattern[..s]`.
+    fail: Vec<usize>,
+}
+
+impl Matcher {
+    /// Build the automaton for a non-empty pattern.
+    pub fn new(pattern: &BitVec) -> Matcher {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        let n = pattern.len();
+        let mut fail = vec![0usize; n + 1];
+        let mut k = 0;
+        for i in 1..n {
+            while k > 0 && pattern.get(i) != pattern.get(k) {
+                k = fail[k];
+            }
+            if pattern.get(i) == pattern.get(k) {
+                k += 1;
+            }
+            fail[i + 1] = k;
+        }
+        Matcher { pattern: pattern.clone(), fail }
+    }
+
+    /// The pattern being matched.
+    pub fn pattern(&self) -> &BitVec {
+        &self.pattern
+    }
+
+    /// Number of automaton states (`0..=len`); state `len` is "just
+    /// matched".
+    pub fn state_count(&self) -> usize {
+        self.pattern.len() + 1
+    }
+
+    /// The accepting state.
+    pub fn accept(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Advance from `state` on `bit`. If `state` is the accepting state the
+    /// automaton first falls back to the pattern's border, giving continuous
+    /// (overlap-aware) matching.
+    pub fn step(&self, state: usize, bit: bool) -> usize {
+        let mut s = if state == self.pattern.len() { self.fail[state] } else { state };
+        loop {
+            if self.pattern.get(s) == bit {
+                return s + 1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = self.fail[s];
+        }
+    }
+
+    /// State after consuming the entire pattern from state 0 — i.e. the
+    /// state a continuous detector is in immediately after a match.
+    pub fn border_state(&self) -> usize {
+        self.fail[self.pattern.len()]
+    }
+
+    /// Run the matcher over `input` from state 0; return every position
+    /// (index of last bit, exclusive) at which a match completes.
+    pub fn match_ends(&self, input: &BitVec) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut s = 0;
+        for (i, b) in input.iter().enumerate() {
+            s = self.step(s, b);
+            if s == self.accept() {
+                out.push(i + 1);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits;
+
+    #[test]
+    fn finds_all_overlapping_matches() {
+        let m = Matcher::new(&bits("11"));
+        assert_eq!(m.match_ends(&bits("1111")), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn agrees_with_naive_search() {
+        // Cross-check the automaton against BitVec::occurrences for every
+        // pattern of length <= 4 over every input of length <= 10.
+        for plen in 1..=4usize {
+            for p in 0..(1u64 << plen) {
+                let pat = BitVec::from_uint(p, plen);
+                let m = Matcher::new(&pat);
+                for ilen in 0..=10usize {
+                    for i in 0..(1u64 << ilen) {
+                        let input = BitVec::from_uint(i, ilen);
+                        let ends: Vec<usize> =
+                            input.occurrences(&pat).iter().map(|&s| s + plen).collect();
+                        assert_eq!(m.match_ends(&input), ends, "pat={pat} input={input}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn border_state_of_hdlc_flag() {
+        // 01111110: the longest proper border is "0" (length 1).
+        let m = Matcher::new(&bits("01111110"));
+        assert_eq!(m.border_state(), 1);
+        // 0000001: no nontrivial border.
+        assert_eq!(Matcher::new(&bits("0000001")).border_state(), 0);
+        // 0101: border "01" of length 2.
+        assert_eq!(Matcher::new(&bits("0101")).border_state(), 2);
+    }
+
+    #[test]
+    fn step_from_accept_continues_matching() {
+        let m = Matcher::new(&bits("0101"));
+        // After matching 0101, seeing 0 then 1 should complete another
+        // (overlapping) match: 010101.
+        let s = m.accept();
+        let s = m.step(s, false);
+        let s = m.step(s, true);
+        assert_eq!(s, m.accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        Matcher::new(&BitVec::new());
+    }
+}

@@ -1,0 +1,171 @@
+//! Stuffing overhead under the random-bit model (§4.1, lesson 2).
+//!
+//! The paper reports that HDLC's rule costs "1 in 32" extra bits on random
+//! data while the flag `00000010` rule costs "1 in 128" — figures obtained
+//! from the *naive* model (the probability that a random window equals the
+//! trigger, `2^-|T|`). The true long-run rate differs when the trigger can
+//! overlap itself: after a stuff, the matcher restarts from the post-stuff
+//! state, so the exact rate is the reciprocal of the expected number of
+//! random data bits between insertions — a first-step linear system we
+//! solve *exactly* in rational arithmetic. For HDLC the exact rate is
+//! `1/62` (the classic expected waiting time `2^6 - 2` for five consecutive
+//! ones); for `0000001` (no self-overlap) naive and exact coincide at
+//! `1/128`. The experiment harness reports both columns.
+
+use crate::matcher::Matcher;
+use crate::ratio::{solve, Ratio};
+use crate::rule::StuffRule;
+use crate::stuff::Stuffer;
+
+/// Exact and naive stuffing overhead for a rule on uniform random data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Overhead {
+    /// Expected stuffed bits per data bit, exact (renewal analysis).
+    pub exact_rate: Ratio,
+    /// The paper's naive model: `2^-|trigger|`.
+    pub naive_rate: Ratio,
+}
+
+impl Overhead {
+    /// "1 in N" form of the exact rate (N = reciprocal), if nonzero.
+    pub fn one_in(&self) -> Option<Ratio> {
+        (!self.exact_rate.is_zero()).then(|| self.exact_rate.recip())
+    }
+}
+
+/// Compute the overhead of a terminating rule analytically.
+///
+/// Let `h(s)` be the expected number of random data bits consumed, starting
+/// from matcher state `s`, until the next stuff insertion. Then
+/// `h(s) = 1 + ½·Σ_{x∈{0,1}} [next(s,x) not accepting]·h(next(s,x))`,
+/// a nonsingular linear system (the trigger is reachable from every state).
+/// The long-run rate is `1 / h(reset)` where `reset` is the post-stuff
+/// state; the naive rate is `2^-|T|`.
+pub fn analyze(rule: &StuffRule) -> Option<Overhead> {
+    if !rule.is_terminating() {
+        return None;
+    }
+    let m = Matcher::new(&rule.trigger);
+    let accept = m.accept();
+    let k = rule.trigger.len();
+
+    // Enumerate states reachable between stuff events: 0..k (accept state
+    // excluded; transitions into accept terminate a cycle).
+    let n = k; // states 0..k-1 plus possibly others — KMP states are 0..k.
+    let mut a = vec![vec![Ratio::ZERO; n]; n];
+    let b = vec![Ratio::ONE; n];
+    let half = Ratio::new(1, 2);
+    #[allow(clippy::needless_range_loop)] // `s` indexes both matrix and automaton state
+    for s in 0..n {
+        a[s][s] = Ratio::ONE;
+        for bit in [false, true] {
+            let next = m.step(s, bit);
+            if next != accept {
+                debug_assert!(next < n);
+                a[s][next] = a[s][next] - half;
+            }
+        }
+    }
+    let h = solve(a, b)?;
+
+    let reset = m.step(accept, rule.stuff_bit);
+    debug_assert_ne!(reset, accept);
+    let exact_rate = h[reset].recip();
+
+    let naive_rate = Ratio::new(1, 1i128 << k.min(126));
+    Some(Overhead { exact_rate, naive_rate })
+}
+
+/// Monte-Carlo estimate of the stuffing rate using caller-supplied random
+/// bits (e.g. a seeded generator), for cross-checking `analyze`.
+pub fn empirical(rule: &StuffRule, n_bits: usize, mut random_bit: impl FnMut() -> bool) -> f64 {
+    let stuffer = Stuffer::new(rule.clone()).expect("terminating rule");
+    let mut data = crate::bits::BitVec::with_capacity(n_bits);
+    for _ in 0..n_bits {
+        data.push(random_bit());
+    }
+    stuffer.stuff_count(&data) as f64 / n_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits;
+
+    #[test]
+    fn hdlc_exact_rate_is_one_in_62() {
+        // Expected waiting time for five consecutive ones is 2^6 - 2 = 62.
+        let o = analyze(&StuffRule::hdlc()).unwrap();
+        assert_eq!(o.exact_rate, Ratio::new(1, 62));
+        assert_eq!(o.naive_rate, Ratio::new(1, 32));
+        assert_eq!(o.one_in(), Some(Ratio::from_int(62)));
+    }
+
+    #[test]
+    fn low_overhead_rule_is_exactly_one_in_128() {
+        // 0000001 has no self-overlap: naive and exact agree — the paper's
+        // 1-in-128 figure is exact for this rule.
+        let o = analyze(&StuffRule::low_overhead()).unwrap();
+        assert_eq!(o.exact_rate, Ratio::new(1, 128));
+        assert_eq!(o.naive_rate, Ratio::new(1, 128));
+    }
+
+    #[test]
+    fn single_bit_trigger() {
+        // Trigger "1", stuff 0: every 1 in the data costs a stuffed bit;
+        // expected rate 1/2 exactly.
+        let o = analyze(&StuffRule::new(bits("1"), false)).unwrap();
+        assert_eq!(o.exact_rate, Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn divergent_rule_yields_none() {
+        assert_eq!(analyze(&StuffRule::new(bits("1"), true)), None);
+    }
+
+    #[test]
+    fn empirical_matches_exact_hdlc() {
+        // Deterministic xorshift bit source.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        let est = empirical(&StuffRule::hdlc(), 2_000_000, &mut bit);
+        let exact = analyze(&StuffRule::hdlc()).unwrap().exact_rate.to_f64();
+        assert!((est - exact).abs() < 0.001, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empirical_matches_exact_low_overhead() {
+        let mut state = 0xDEADBEEFCAFEBABEu64;
+        let mut bit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        };
+        let est = empirical(&StuffRule::low_overhead(), 2_000_000, &mut bit);
+        let exact = analyze(&StuffRule::low_overhead()).unwrap().exact_rate.to_f64();
+        assert!((est - exact).abs() < 0.001, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn exact_rate_bounded_by_naive_relationship() {
+        // For any terminating rule, the exact expected waiting time is at
+        // least 2^|T| - something reasonable; sanity: rate <= 1/2 always
+        // and > 0.
+        for t in 1..64u64 {
+            let tlen = 6;
+            let rule = StuffRule::new(crate::bits::BitVec::from_uint(t, tlen), t & 1 == 0);
+            if !rule.is_terminating() {
+                continue;
+            }
+            let o = analyze(&rule).unwrap();
+            assert!(o.exact_rate > Ratio::ZERO);
+            assert!(o.exact_rate <= Ratio::new(1, 2));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal exact rational arithmetic.
+//!
+//! The overhead analysis (§4.1, lesson 2) reports *exact* expected stuffing
+//! rates like `1/62` and `1/128`; floating point would blur the comparison
+//! with the paper's quoted `1 in 32` / `1 in 128` figures. Numerators and
+//! denominators fit comfortably in `i128` for the pattern sizes involved
+//! (triggers of at most ~12 bits).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// `num / den`; panics when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio { num: sign * num / g, den: sign * den / g }
+    }
+
+    pub fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    pub fn recip(&self) -> Ratio {
+        assert!(self.num != 0, "reciprocal of zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.num, self.den * o.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, o: Ratio) -> Ratio {
+        assert!(o.num != 0, "division by zero");
+        Ratio::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Solve the linear system `A x = b` exactly by Gaussian elimination.
+/// Returns `None` when `A` is singular.
+pub fn solve(mut a: Vec<Vec<Ratio>>, mut b: Vec<Ratio>) -> Option<Vec<Ratio>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot: any nonzero entry works for exact arithmetic.
+        let pivot = (col..n).find(|&r| !a[r][col].is_zero())?;
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let p = a[col][col];
+        for r in 0..n {
+            if r != col && !a[r][col].is_zero() {
+                let factor = a[r][col] / p;
+                #[allow(clippy::needless_range_loop)] // matrix elimination indexes two rows
+                for c in col..n {
+                    let v = a[col][c];
+                    a[r][c] = a[r][c] - factor * v;
+                }
+                let bv = b[col];
+                b[r] = b[r] - factor * bv;
+            }
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i][i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_normalizes() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(1, 3) + Ratio::new(1, 6), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, 2) * Ratio::new(2, 3), Ratio::new(1, 3));
+        assert_eq!(Ratio::new(3, 4) - Ratio::new(1, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, 2) / Ratio::new(1, 4), Ratio::from_int(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Ratio::new(1, 62)), "1/62");
+        assert_eq!(format!("{}", Ratio::from_int(5)), "5");
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3; x - y = 1 => x = 2, y = 1.
+        let a = vec![
+            vec![Ratio::ONE, Ratio::ONE],
+            vec![Ratio::ONE, -Ratio::ONE],
+        ];
+        let b = vec![Ratio::from_int(3), Ratio::ONE];
+        assert_eq!(solve(a, b), Some(vec![Ratio::from_int(2), Ratio::ONE]));
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = vec![
+            vec![Ratio::ONE, Ratio::ONE],
+            vec![Ratio::from_int(2), Ratio::from_int(2)],
+        ];
+        let b = vec![Ratio::ONE, Ratio::from_int(2)];
+        assert_eq!(solve(a, b), None);
+    }
+
+    #[test]
+    fn solve_3x3_fractions() {
+        // Diagonal system with fractional entries.
+        let a = vec![
+            vec![Ratio::new(1, 2), Ratio::ZERO, Ratio::ZERO],
+            vec![Ratio::ZERO, Ratio::new(1, 3), Ratio::ZERO],
+            vec![Ratio::ZERO, Ratio::ZERO, Ratio::new(2, 1)],
+        ];
+        let b = vec![Ratio::ONE, Ratio::ONE, Ratio::ONE];
+        assert_eq!(
+            solve(a, b),
+            Some(vec![Ratio::from_int(2), Ratio::from_int(3), Ratio::new(1, 2)])
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The **stuffing sublayer** (upper of the two framing sublayers, §4.1).
+//!
+//! At the sender it inserts the rule's stuff bit after each trigger match;
+//! at the receiver it deletes those bits. Per sublayering test **T2** its
+//! interface with the flag sublayer below is narrow: a frame of bits without
+//! flags in either direction. Per **T3** it owns no flag knowledge beyond
+//! the validity coupling checked in [`crate::verify`].
+
+use crate::bits::BitVec;
+use crate::matcher::Matcher;
+use crate::rule::StuffRule;
+use std::fmt;
+
+/// Errors from unstuffing a corrupted or mis-framed bit string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StuffError {
+    /// After a trigger match, the received bit was not the stuff bit.
+    /// Carries the bit index at which the violation occurred.
+    UnexpectedBit(usize),
+    /// The stream ended immediately after a trigger match, where a stuff bit
+    /// was required.
+    Truncated,
+    /// The rule would stuff forever (not terminating); refused.
+    DivergentRule,
+}
+
+impl fmt::Display for StuffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuffError::UnexpectedBit(i) => write!(f, "expected stuff bit at index {i}"),
+            StuffError::Truncated => write!(f, "stream ended where a stuff bit was required"),
+            StuffError::DivergentRule => write!(f, "stuffing rule does not terminate"),
+        }
+    }
+}
+
+impl std::error::Error for StuffError {}
+
+/// The stuffing sublayer endpoint (stateless between frames).
+#[derive(Clone, Debug)]
+pub struct Stuffer {
+    rule: StuffRule,
+    matcher: Matcher,
+}
+
+impl Stuffer {
+    /// Build a stuffer; rejects non-terminating rules.
+    pub fn new(rule: StuffRule) -> Result<Stuffer, StuffError> {
+        if !rule.is_terminating() {
+            return Err(StuffError::DivergentRule);
+        }
+        let matcher = Matcher::new(&rule.trigger);
+        Ok(Stuffer { rule, matcher })
+    }
+
+    /// The HDLC stuffer (trigger `11111`, stuff `0`).
+    pub fn hdlc() -> Stuffer {
+        Stuffer::new(StuffRule::hdlc()).expect("HDLC rule terminates")
+    }
+
+    pub fn rule(&self) -> &StuffRule {
+        &self.rule
+    }
+
+    /// Sender side: insert the stuff bit after every trigger match.
+    pub fn stuff(&self, data: &BitVec) -> BitVec {
+        let accept = self.matcher.accept();
+        let mut out = BitVec::with_capacity(data.len() + data.len() / 8);
+        let mut st = 0;
+        for bit in data.iter() {
+            out.push(bit);
+            st = self.matcher.step(st, bit);
+            if st == accept {
+                out.push(self.rule.stuff_bit);
+                st = self.matcher.step(st, self.rule.stuff_bit);
+                debug_assert_ne!(st, accept, "terminating rule cannot re-trigger");
+            }
+        }
+        out
+    }
+
+    /// Receiver side: delete the bit following every trigger match.
+    /// Errors if the frame could not have been produced by [`Stuffer::stuff`].
+    pub fn unstuff(&self, frame: &BitVec) -> Result<BitVec, StuffError> {
+        let accept = self.matcher.accept();
+        let mut out = BitVec::with_capacity(frame.len());
+        let mut st = 0;
+        let mut expect_stuff = false;
+        for (i, bit) in frame.iter().enumerate() {
+            if expect_stuff {
+                if bit != self.rule.stuff_bit {
+                    return Err(StuffError::UnexpectedBit(i));
+                }
+                st = self.matcher.step(st, bit);
+                expect_stuff = false;
+                continue;
+            }
+            out.push(bit);
+            st = self.matcher.step(st, bit);
+            if st == accept {
+                expect_stuff = true;
+            }
+        }
+        if expect_stuff {
+            return Err(StuffError::Truncated);
+        }
+        Ok(out)
+    }
+
+    /// Number of bits that stuffing would add to `data` (overhead).
+    pub fn stuff_count(&self, data: &BitVec) -> usize {
+        self.stuff(data).len() - data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits;
+    use crate::rule::StuffRule;
+
+    #[test]
+    fn hdlc_examples() {
+        let s = Stuffer::hdlc();
+        assert_eq!(s.stuff(&bits("11111")), bits("111110"));
+        assert_eq!(s.stuff(&bits("111111")), bits("1111101"));
+        // Ten 1s: stuffed after each group of five.
+        assert_eq!(s.stuff(&bits("1111111111")), bits("111110111110"));
+        assert_eq!(s.stuff(&bits("01101")), bits("01101"));
+        assert_eq!(s.stuff(&BitVec::new()), BitVec::new());
+    }
+
+    #[test]
+    fn hdlc_output_never_contains_six_ones() {
+        let s = Stuffer::hdlc();
+        let six = bits("111111");
+        for n in 0..(1u64 << 14) {
+            let d = BitVec::from_uint(n, 14);
+            assert_eq!(s.stuff(&d).find(&six, 0), None, "d={d}");
+        }
+    }
+
+    #[test]
+    fn round_trip_exhaustive_hdlc() {
+        let s = Stuffer::hdlc();
+        for len in 0..=12usize {
+            for n in 0..(1u64 << len) {
+                let d = BitVec::from_uint(n, len);
+                assert_eq!(s.unstuff(&s.stuff(&d)), Ok(d));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_exhaustive_low_overhead() {
+        let s = Stuffer::new(StuffRule::low_overhead()).unwrap();
+        for len in 0..=12usize {
+            for n in 0..(1u64 << len) {
+                let d = BitVec::from_uint(n, len);
+                assert_eq!(s.unstuff(&s.stuff(&d)), Ok(d));
+            }
+        }
+    }
+
+    #[test]
+    fn unstuff_detects_violation() {
+        let s = Stuffer::hdlc();
+        // 111111: after 11111 the next bit must be 0, but it is 1.
+        assert_eq!(s.unstuff(&bits("111111")), Err(StuffError::UnexpectedBit(5)));
+    }
+
+    #[test]
+    fn unstuff_detects_truncation() {
+        let s = Stuffer::hdlc();
+        assert_eq!(s.unstuff(&bits("11111")), Err(StuffError::Truncated));
+    }
+
+    #[test]
+    fn divergent_rule_refused() {
+        assert_eq!(
+            Stuffer::new(StuffRule::new(bits("1"), true)).err(),
+            Some(StuffError::DivergentRule)
+        );
+    }
+
+    #[test]
+    fn stuff_count_matches_overhead() {
+        let s = Stuffer::hdlc();
+        assert_eq!(s.stuff_count(&bits("1111111111")), 2);
+        assert_eq!(s.stuff_count(&bits("0000000000")), 0);
+    }
+
+    #[test]
+    fn overlapping_trigger_rules_round_trip() {
+        // Trigger with a nontrivial border: 0101, stuff 1 (the stuffed 1
+        // cannot extend 0101 -> terminating? step(accept=4, 1): border 2
+        // ("01"), pattern[2]=0 != 1 -> fail[2]=0, pattern[0]=0 != 1 -> 0. OK.)
+        let s = Stuffer::new(StuffRule::new(bits("0101"), true)).unwrap();
+        for len in 0..=12usize {
+            for n in 0..(1u64 << len) {
+                let d = BitVec::from_uint(n, len);
+                assert_eq!(s.unstuff(&s.stuff(&d)), Ok(d.clone()), "d={d}");
+            }
+        }
+        // Overlap check: 010101 contains two overlapping matches of 0101 in
+        // the *data*, but the stuffed bit after the first match breaks the
+        // second one in the *output*, so only one bit is inserted.
+        assert_eq!(s.stuff(&bits("010101")), bits("0101101"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_round_trip_random_rules(
+            trig in 1u64..256,
+            tlen in 1usize..=8,
+            stuff_bit: bool,
+            data in proptest::collection::vec(proptest::bool::ANY, 0..200),
+        ) {
+            let trigger = BitVec::from_uint(trig & ((1 << tlen) - 1), tlen);
+            let rule = StuffRule::new(trigger, stuff_bit);
+            if let Ok(s) = Stuffer::new(rule) {
+                let d = BitVec::from_bools(&data);
+                proptest::prop_assert_eq!(s.unstuff(&s.stuff(&d)), Ok(d));
+            }
+        }
+
+        #[test]
+        fn prop_stuffed_never_contains_trigger_then_nonstuff(
+            data in proptest::collection::vec(proptest::bool::ANY, 0..200),
+        ) {
+            // In HDLC output, every occurrence of 11111 is followed by 0.
+            let s = Stuffer::hdlc();
+            let out = s.stuff(&BitVec::from_bools(&data));
+            let trig = bits("11111");
+            for pos in out.occurrences(&trig) {
+                let next = pos + trig.len();
+                if next < out.len() {
+                    proptest::prop_assert!(!out.get(next));
+                }
+            }
+        }
+    }
+}

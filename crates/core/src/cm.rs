@@ -1,0 +1,592 @@
+//! The **connection management (CM)** sublayer (§3).
+//!
+//! CM's service to RD is to "establish a pair of Initial Sequence Numbers"
+//! via the SYN handshake, using its own *bootstrap* reliability
+//! (retransmission and timeout of SYNs, no windows) — the paper notes this
+//! duplication "is implicit in TCP which uses a bootstrap reliability
+//! mechanism to set up more sophisticated mechanisms in RD". CM owns the
+//! SYN/FIN/RST flag bits and the ISN fields of the native header, and the
+//! close/TIME_WAIT lifecycle. The FIN's in-order delivery and
+//! acknowledgment ride on RD (exactly as in TCP); CM owns the close
+//! *decision* and the flag bit, RD owns the retransmission — the coupling
+//! the paper acknowledges, here made explicit as a two-call interface
+//! (`close_requested` / `on_local_fin_acked`).
+//!
+//! Two schemes demonstrate replaceability (experiment E8):
+//! * [`CmScheme::ThreeWay`] — classic SYN / SYN-ACK / ACK;
+//! * [`CmScheme::TimerBased`] — Watson's timer-based scheme (paper [31]):
+//!   no handshake at all; ISNs ride in the CM header of every packet and
+//!   connections die by quiet-time, not FIN.
+
+use crate::wire::{CmHeader, Packet};
+use netsim::{Dur, Time};
+use slmetrics::SharedLog;
+use std::collections::VecDeque;
+
+/// Which connection-management mechanism runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmScheme {
+    ThreeWay,
+    /// Watson delta-t: establishment is implicit, teardown by quiet time.
+    TimerBased { quiet: Dur },
+}
+
+/// CM lifecycle state (reported in TCP-like vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmState {
+    Idle,
+    SynSent,
+    SynRcvd,
+    Established,
+    /// We closed; FIN in RD's hands; waiting for it to be acked and/or the
+    /// peer's FIN.
+    Closing,
+    TimeWait,
+    Closed,
+}
+
+/// Events CM reports upward to the stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CmEvent {
+    /// ISN pair established; RD may initialize.
+    Established { local_isn: u32, peer_isn: u32 },
+    /// The connection was reset or gave up.
+    Reset,
+    /// Fully closed; the stack may unbind.
+    Closed,
+}
+
+/// What to do with a packet after CM has seen its header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmPass {
+    /// CM consumed it (handshake traffic).
+    Consumed,
+    /// Hand the RD/OSR parts upward.
+    PassUp,
+    /// Connection is dead; drop.
+    Drop,
+}
+
+const SYN_RTO: Dur = Dur(1_000_000_000);
+const MAX_SYN_RETRIES: u32 = 6;
+const TIME_WAIT: Dur = Dur(10_000_000_000);
+
+/// Per-connection CM machine.
+pub struct ConnMgmt {
+    scheme: CmScheme,
+    state: CmState,
+    local_isn: u32,
+    peer_isn: Option<u32>,
+    /// We initiated (or accepted) a close.
+    close_requested: bool,
+    local_fin_acked: bool,
+    peer_fin_seen: bool,
+    /// Handshake retransmission.
+    rtx_deadline: Option<Time>,
+    rtx_count: u32,
+    time_wait_deadline: Option<Time>,
+    /// Timer-based scheme: last packet activity.
+    last_activity: Time,
+    events: VecDeque<CmEvent>,
+    outbox: VecDeque<Packet>,
+    log: SharedLog,
+}
+
+impl ConnMgmt {
+    fn new(scheme: CmScheme, local_isn: u32, log: SharedLog) -> ConnMgmt {
+        ConnMgmt {
+            scheme,
+            state: CmState::Idle,
+            local_isn,
+            peer_isn: None,
+            close_requested: false,
+            local_fin_acked: false,
+            peer_fin_seen: false,
+            rtx_deadline: None,
+            rtx_count: 0,
+            time_wait_deadline: None,
+            last_activity: Time::ZERO,
+            events: VecDeque::new(),
+            outbox: VecDeque::new(),
+            log,
+        }
+    }
+
+    /// Active open (connect side).
+    pub fn open_active(scheme: CmScheme, local_isn: u32, now: Time, log: SharedLog) -> ConnMgmt {
+        let mut cm = ConnMgmt::new(scheme, local_isn, log);
+        cm.log.borrow_mut().w("cm", "state");
+        cm.log.borrow_mut().w("cm", "local_isn");
+        match scheme {
+            CmScheme::ThreeWay => {
+                cm.state = CmState::SynSent;
+                cm.queue_syn(false);
+                cm.rtx_deadline = Some(now + SYN_RTO);
+            }
+            CmScheme::TimerBased { .. } => {
+                // No handshake: consider established; the peer ISN is
+                // learned from the first inbound packet's CM header.
+                cm.state = CmState::Established;
+                cm.last_activity = now;
+            }
+        }
+        cm
+    }
+
+    /// Passive open (listener side), given the arriving packet's CM header.
+    pub fn open_passive(
+        scheme: CmScheme,
+        local_isn: u32,
+        peer: &CmHeader,
+        now: Time,
+        log: SharedLog,
+    ) -> Option<ConnMgmt> {
+        let mut cm = ConnMgmt::new(scheme, local_isn, log);
+        cm.log.borrow_mut().w("cm", "state");
+        cm.log.borrow_mut().w("cm", "peer_isn");
+        match scheme {
+            CmScheme::ThreeWay => {
+                if !peer.flags.syn || peer.flags.cm_ack {
+                    return None; // only a bare SYN may open
+                }
+                cm.peer_isn = Some(peer.isn);
+                cm.state = CmState::SynRcvd;
+                cm.queue_syn(true);
+                cm.rtx_deadline = Some(now + SYN_RTO);
+                Some(cm)
+            }
+            CmScheme::TimerBased { .. } => {
+                if peer.flags.syn || peer.flags.rst {
+                    return None;
+                }
+                cm.peer_isn = Some(peer.isn);
+                cm.state = CmState::Established;
+                cm.last_activity = now;
+                cm.events.push_back(CmEvent::Established {
+                    local_isn: cm.local_isn,
+                    peer_isn: peer.isn,
+                });
+                Some(cm)
+            }
+        }
+    }
+
+    pub fn state(&self) -> CmState {
+        self.state
+    }
+
+    pub fn local_isn(&self) -> u32 {
+        self.local_isn
+    }
+
+    pub fn peer_isn(&self) -> Option<u32> {
+        self.peer_isn
+    }
+
+    pub fn take_events(&mut self) -> Vec<CmEvent> {
+        self.events.drain(..).collect()
+    }
+
+    fn queue_syn(&mut self, with_ack: bool) {
+        self.log.borrow_mut().r("cm", "local_isn");
+        let mut pkt = Packet::default();
+        pkt.cm.flags.syn = true;
+        pkt.cm.flags.cm_ack = with_ack;
+        pkt.cm.isn = self.local_isn;
+        if with_ack {
+            pkt.cm.ack_isn = self.peer_isn.expect("SYN-ACK needs the peer ISN");
+        }
+        self.outbox.push_back(pkt);
+    }
+
+    fn establish(&mut self) {
+        self.log.borrow_mut().w("cm", "state");
+        self.state = CmState::Established;
+        self.rtx_deadline = None;
+        self.rtx_count = 0;
+        self.events.push_back(CmEvent::Established {
+            local_isn: self.local_isn,
+            peer_isn: self.peer_isn.expect("established implies peer ISN"),
+        });
+    }
+
+    /// Process the CM header of an inbound packet.
+    /// `handshake_ack` is true when the packet acknowledges our ISN
+    /// (derived by the stack from RD's cumulative ack so CM itself never
+    /// reads RD bits: ack == local_isn + 1).
+    pub fn on_packet(&mut self, hdr: &CmHeader, handshake_ack: bool, now: Time) -> CmPass {
+        self.log.borrow_mut().r("cm", "state");
+        self.last_activity = now;
+        if hdr.flags.rst {
+            self.log.borrow_mut().w("cm", "state");
+            self.state = CmState::Closed;
+            self.events.push_back(CmEvent::Reset);
+            return CmPass::Drop;
+        }
+        match self.scheme {
+            CmScheme::TimerBased { .. } => {
+                if self.peer_isn.is_none() && !hdr.flags.syn {
+                    self.log.borrow_mut().w("cm", "peer_isn");
+                    self.peer_isn = Some(hdr.isn);
+                    self.events.push_back(CmEvent::Established {
+                        local_isn: self.local_isn,
+                        peer_isn: hdr.isn,
+                    });
+                }
+                if matches!(self.state, CmState::Closed) {
+                    return CmPass::Drop;
+                }
+                CmPass::PassUp
+            }
+            CmScheme::ThreeWay => match self.state {
+                CmState::SynSent => {
+                    if hdr.flags.syn && hdr.flags.cm_ack && hdr.ack_isn == self.local_isn {
+                        self.log.borrow_mut().w("cm", "peer_isn");
+                        self.peer_isn = Some(hdr.isn);
+                        self.establish();
+                        // The pure ACK completing the handshake: an empty
+                        // packet whose RD ack (stamped later) confirms.
+                        self.outbox.push_back(Packet::default());
+                        CmPass::Consumed
+                    } else if hdr.flags.syn && !hdr.flags.cm_ack {
+                        // Simultaneous open.
+                        self.log.borrow_mut().w("cm", "peer_isn");
+                        self.log.borrow_mut().w("cm", "state");
+                        self.peer_isn = Some(hdr.isn);
+                        self.state = CmState::SynRcvd;
+                        self.queue_syn(true);
+                        CmPass::Consumed
+                    } else {
+                        CmPass::Drop
+                    }
+                }
+                CmState::SynRcvd => {
+                    if hdr.flags.syn && !hdr.flags.cm_ack {
+                        // Duplicate SYN: re-answer.
+                        self.queue_syn(true);
+                        return CmPass::Consumed;
+                    }
+                    if handshake_ack || !hdr.flags.syn {
+                        // Explicit handshake ack, or implicit (data
+                        // arriving means our SYN-ACK got through).
+                        self.establish();
+                        return CmPass::PassUp;
+                    }
+                    CmPass::Consumed
+                }
+                CmState::Established | CmState::Closing => {
+                    if hdr.flags.syn {
+                        // Stray SYN on a synchronized connection: ignore
+                        // (a full implementation might RST).
+                        return CmPass::Consumed;
+                    }
+                    CmPass::PassUp
+                }
+                CmState::TimeWait => {
+                    // Re-ack anything (handled by RD's ack stamping on the
+                    // empty packet).
+                    self.outbox.push_back(Packet::default());
+                    CmPass::Consumed
+                }
+                CmState::Idle | CmState::Closed => CmPass::Drop,
+            },
+        }
+    }
+
+    /// The application asked to close. CM flips state; the *stack* routes
+    /// the FIN through RD (which owns its retransmission, as in TCP).
+    /// Returns true when a FIN should be queued into RD.
+    pub fn close_requested(&mut self) -> bool {
+        self.log.borrow_mut().w("cm", "state");
+        if self.close_requested {
+            return false;
+        }
+        self.close_requested = true;
+        match self.scheme {
+            CmScheme::ThreeWay => {
+                if matches!(self.state, CmState::Established | CmState::SynRcvd) {
+                    self.state = CmState::Closing;
+                    true
+                } else {
+                    self.state = CmState::Closed;
+                    self.events.push_back(CmEvent::Closed);
+                    false
+                }
+            }
+            CmScheme::TimerBased { .. } => {
+                // No FIN: the connection dies by quiet time.
+                self.state = CmState::Closing;
+                false
+            }
+        }
+    }
+
+    /// RD reports our FIN was acknowledged.
+    pub fn on_local_fin_acked(&mut self, now: Time) {
+        self.log.borrow_mut().w("cm", "fin_state");
+        self.local_fin_acked = true;
+        self.maybe_finish(now);
+    }
+
+    /// RD reports the peer's FIN was reached in sequence.
+    pub fn on_peer_fin(&mut self, now: Time) {
+        self.log.borrow_mut().w("cm", "fin_state");
+        self.peer_fin_seen = true;
+        self.maybe_finish(now);
+    }
+
+    pub fn peer_fin_seen(&self) -> bool {
+        self.peer_fin_seen
+    }
+
+    fn maybe_finish(&mut self, now: Time) {
+        if self.close_requested && self.local_fin_acked && self.peer_fin_seen {
+            // Both sides done. Active closer lingers in TIME_WAIT.
+            self.state = CmState::TimeWait;
+            self.time_wait_deadline = Some(now + TIME_WAIT);
+        }
+    }
+
+    /// Stamp CM's static fields on an outgoing packet (the redundant ISN
+    /// the paper notes is "static after the initial handshake").
+    pub fn fill_tx(&self, pkt: &mut Packet) {
+        self.log.borrow_mut().r("cm", "local_isn");
+        pkt.cm.isn = self.local_isn;
+        if let Some(p) = self.peer_isn {
+            pkt.cm.ack_isn = p;
+        }
+    }
+
+    /// Mark an RD-emitted packet as carrying the FIN (CM owns the flag
+    /// bit; RD owns the packet's retransmission).
+    pub fn stamp_fin(&self, pkt: &mut Packet) {
+        self.log.borrow_mut().r("cm", "state");
+        pkt.cm.flags.fin = true;
+    }
+
+    /// Pending CM-originated packets (SYNs, handshake acks).
+    pub fn poll_packet(&mut self) -> Option<Packet> {
+        self.outbox.pop_front()
+    }
+
+    pub fn poll_deadline(&self) -> Option<Time> {
+        let quiet_deadline = match self.scheme {
+            CmScheme::TimerBased { quiet }
+                if matches!(self.state, CmState::Closing) =>
+            {
+                Some(self.last_activity + quiet)
+            }
+            _ => None,
+        };
+        [self.rtx_deadline, self.time_wait_deadline, quiet_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    pub fn on_tick(&mut self, now: Time) {
+        if self.rtx_deadline.is_some_and(|d| now >= d) {
+            self.log.borrow_mut().w("cm", "rtx");
+            self.rtx_count += 1;
+            if self.rtx_count > MAX_SYN_RETRIES {
+                self.state = CmState::Closed;
+                self.events.push_back(CmEvent::Reset);
+                self.rtx_deadline = None;
+                return;
+            }
+            match self.state {
+                CmState::SynSent => self.queue_syn(false),
+                CmState::SynRcvd => self.queue_syn(true),
+                _ => {}
+            }
+            // Exponential backoff for the bootstrap reliability.
+            self.rtx_deadline = Some(now + SYN_RTO.saturating_mul(1 << self.rtx_count.min(6)));
+        }
+        if self.time_wait_deadline.is_some_and(|d| now >= d) {
+            self.state = CmState::Closed;
+            self.time_wait_deadline = None;
+            self.events.push_back(CmEvent::Closed);
+        }
+        if let CmScheme::TimerBased { quiet } = self.scheme {
+            if matches!(self.state, CmState::Closing)
+                && now.since(self.last_activity) >= quiet
+            {
+                self.state = CmState::Closed;
+                self.events.push_back(CmEvent::Closed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::CmFlags;
+
+    fn hdr(syn: bool, cm_ack: bool, isn: u32, ack_isn: u32) -> CmHeader {
+        CmHeader { flags: CmFlags { syn, fin: false, rst: false, cm_ack }, isn, ack_isn }
+    }
+
+    #[test]
+    fn three_way_handshake_active_side() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 100, Time::ZERO, slmetrics::shared());
+        assert_eq!(cm.state(), CmState::SynSent);
+        let syn = cm.poll_packet().expect("SYN queued");
+        assert!(syn.cm.flags.syn && !syn.cm.flags.cm_ack);
+        assert_eq!(syn.cm.isn, 100);
+        // SYN-ACK arrives.
+        let pass = cm.on_packet(&hdr(true, true, 200, 100), false, Time::ZERO);
+        assert_eq!(pass, CmPass::Consumed);
+        assert_eq!(cm.state(), CmState::Established);
+        assert_eq!(cm.peer_isn(), Some(200));
+        assert_eq!(
+            cm.take_events(),
+            vec![CmEvent::Established { local_isn: 100, peer_isn: 200 }]
+        );
+        // The handshake-completing ack packet is queued.
+        assert!(cm.poll_packet().is_some());
+    }
+
+    #[test]
+    fn three_way_handshake_passive_side() {
+        let peer_syn = hdr(true, false, 500, 0);
+        let mut cm =
+            ConnMgmt::open_passive(CmScheme::ThreeWay, 900, &peer_syn, Time::ZERO, slmetrics::shared())
+                .expect("SYN opens");
+        assert_eq!(cm.state(), CmState::SynRcvd);
+        let synack = cm.poll_packet().unwrap();
+        assert!(synack.cm.flags.syn && synack.cm.flags.cm_ack);
+        assert_eq!(synack.cm.ack_isn, 500);
+        // Handshake ack arrives (stack derives handshake_ack from RD ack).
+        let pass = cm.on_packet(&hdr(false, false, 500, 0), true, Time::ZERO);
+        assert_eq!(pass, CmPass::PassUp);
+        assert_eq!(cm.state(), CmState::Established);
+    }
+
+    #[test]
+    fn passive_open_rejects_non_syn() {
+        assert!(ConnMgmt::open_passive(
+            CmScheme::ThreeWay,
+            1,
+            &hdr(false, false, 5, 0),
+            Time::ZERO,
+            slmetrics::shared()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn data_in_syn_rcvd_implicitly_establishes() {
+        let mut cm = ConnMgmt::open_passive(
+            CmScheme::ThreeWay,
+            900,
+            &hdr(true, false, 500, 0),
+            Time::ZERO,
+            slmetrics::shared(),
+        )
+        .unwrap();
+        cm.poll_packet();
+        let pass = cm.on_packet(&hdr(false, false, 500, 0), false, Time::ZERO);
+        assert_eq!(pass, CmPass::PassUp);
+        assert_eq!(cm.state(), CmState::Established);
+    }
+
+    #[test]
+    fn syn_retransmission_with_backoff() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        cm.poll_packet();
+        assert!(cm.poll_packet().is_none());
+        let d1 = cm.poll_deadline().unwrap();
+        cm.on_tick(d1);
+        assert!(cm.poll_packet().is_some(), "SYN retransmitted");
+        let d2 = cm.poll_deadline().unwrap();
+        assert!(d2.since(d1) > d1.since(Time::ZERO), "backoff grows");
+    }
+
+    #[test]
+    fn syn_gives_up_eventually() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        for _ in 0..10 {
+            if let Some(d) = cm.poll_deadline() {
+                cm.on_tick(d);
+            }
+        }
+        assert_eq!(cm.state(), CmState::Closed);
+        assert!(cm.take_events().contains(&CmEvent::Reset));
+    }
+
+    #[test]
+    fn rst_kills_connection() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut rst = hdr(false, false, 0, 0);
+        rst.flags.rst = true;
+        assert_eq!(cm.on_packet(&rst, false, Time::ZERO), CmPass::Drop);
+        assert_eq!(cm.state(), CmState::Closed);
+        assert_eq!(cm.take_events(), vec![CmEvent::Reset]);
+    }
+
+    #[test]
+    fn close_lifecycle_reaches_time_wait_then_closed() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        cm.on_packet(&hdr(true, true, 2, 1), false, Time::ZERO);
+        assert!(cm.close_requested(), "FIN should be routed to RD");
+        assert_eq!(cm.state(), CmState::Closing);
+        cm.on_local_fin_acked(Time::ZERO + Dur::from_secs(1));
+        cm.on_peer_fin(Time::ZERO + Dur::from_secs(1));
+        assert_eq!(cm.state(), CmState::TimeWait);
+        let dl = cm.poll_deadline().unwrap();
+        cm.on_tick(dl);
+        assert_eq!(cm.state(), CmState::Closed);
+        assert!(cm.take_events().contains(&CmEvent::Closed));
+    }
+
+    #[test]
+    fn timer_based_needs_no_handshake() {
+        let mut a = ConnMgmt::open_active(
+            CmScheme::TimerBased { quiet: Dur::from_secs(5) },
+            100,
+            Time::ZERO,
+            slmetrics::shared(),
+        );
+        assert_eq!(a.state(), CmState::Established);
+        assert!(a.poll_packet().is_none(), "no SYN in timer-based CM");
+        // First inbound packet teaches us the peer ISN.
+        let pass = a.on_packet(&hdr(false, false, 777, 0), false, Time::ZERO);
+        assert_eq!(pass, CmPass::PassUp);
+        assert_eq!(a.peer_isn(), Some(777));
+        assert_eq!(
+            a.take_events(),
+            vec![CmEvent::Established { local_isn: 100, peer_isn: 777 }]
+        );
+    }
+
+    #[test]
+    fn timer_based_closes_by_quiet_time() {
+        let quiet = Dur::from_secs(5);
+        let mut a = ConnMgmt::open_active(
+            CmScheme::TimerBased { quiet },
+            100,
+            Time::ZERO,
+            slmetrics::shared(),
+        );
+        a.on_packet(&hdr(false, false, 777, 0), false, Time::ZERO);
+        assert!(!a.close_requested(), "no FIN in timer-based CM");
+        assert_eq!(a.state(), CmState::Closing);
+        let dl = a.poll_deadline().unwrap();
+        assert_eq!(dl, Time::ZERO + quiet);
+        a.on_tick(dl);
+        assert_eq!(a.state(), CmState::Closed);
+    }
+
+    #[test]
+    fn fill_tx_stamps_isns_only() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        cm.on_packet(&hdr(true, true, 77, 42), false, Time::ZERO);
+        let mut pkt = Packet::default();
+        pkt.rd.seq = 5;
+        cm.fill_tx(&mut pkt);
+        assert_eq!(pkt.cm.isn, 42);
+        assert_eq!(pkt.cm.ack_isn, 77);
+        assert_eq!(pkt.rd.seq, 5, "CM must not touch RD bits");
+    }
+}

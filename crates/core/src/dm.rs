@@ -1,0 +1,243 @@
+//! The **demultiplexing (DM)** sublayer — "essentially UDP" (§3).
+//!
+//! Lowest of the four TCP sublayers: every other sublayer needs its
+//! service, so it sits at the bottom. It owns the port namespace (binding,
+//! reuse) and the 4-tuple → connection map, and per test **T3** it reads
+//! and writes only the DM subheader (ports) plus the network addresses.
+
+use crate::wire::Packet;
+use slmetrics::SharedLog;
+use std::collections::{HashMap, HashSet};
+use tcp_mono::wire::{Endpoint, FourTuple};
+
+/// Opaque connection handle handed upward by DM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub usize);
+
+/// Errors from binding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DmError {
+    /// The exact 4-tuple is already bound.
+    TupleInUse,
+}
+
+/// The outcome of classifying an incoming packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DmVerdict {
+    /// Belongs to an existing connection.
+    Known(ConnId),
+    /// A new flow addressed to a listening port.
+    NewFlow(FourTuple),
+    /// Nothing wants it.
+    NoListener,
+    /// Not addressed to this host.
+    NotForUs,
+}
+
+/// The DM sublayer state for one host.
+pub struct Demux {
+    local_addr: u32,
+    listeners: HashSet<u16>,
+    table: HashMap<FourTuple, ConnId>,
+    tuples: HashMap<ConnId, FourTuple>,
+    next_id: usize,
+    next_ephemeral: u16,
+    log: SharedLog,
+}
+
+impl Demux {
+    pub fn new(local_addr: u32, log: SharedLog) -> Demux {
+        Demux {
+            local_addr,
+            listeners: HashSet::new(),
+            table: HashMap::new(),
+            tuples: HashMap::new(),
+            next_id: 0,
+            next_ephemeral: 49152,
+            log,
+        }
+    }
+
+    pub fn local_addr(&self) -> u32 {
+        self.local_addr
+    }
+
+    /// Accept new flows on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.log.borrow_mut().w("dm", "listeners");
+        self.listeners.insert(port);
+    }
+
+    /// Bind a connection to an exact 4-tuple.
+    pub fn bind(&mut self, tuple: FourTuple) -> Result<ConnId, DmError> {
+        self.log.borrow_mut().w("dm", "conn_table");
+        if self.table.contains_key(&tuple) {
+            return Err(DmError::TupleInUse);
+        }
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        self.table.insert(tuple, id);
+        self.tuples.insert(id, tuple);
+        Ok(id)
+    }
+
+    /// Allocate an ephemeral local port (encapsulating port reuse — the
+    /// paper: "DM encapsulates details of binding IP addresses to ports
+    /// and reusing ports").
+    pub fn ephemeral_port(&mut self, remote: Endpoint) -> u16 {
+        self.log.borrow_mut().r("dm", "conn_table");
+        loop {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
+            let tuple = FourTuple { local: Endpoint::new(self.local_addr, p), remote };
+            if !self.table.contains_key(&tuple) {
+                return p;
+            }
+        }
+    }
+
+    /// Release a binding.
+    pub fn unbind(&mut self, id: ConnId) {
+        self.log.borrow_mut().w("dm", "conn_table");
+        if let Some(t) = self.tuples.remove(&id) {
+            self.table.remove(&t);
+        }
+    }
+
+    /// Classify an incoming packet by its DM bits only.
+    pub fn classify(&self, pkt: &Packet) -> DmVerdict {
+        self.log.borrow_mut().r("dm", "conn_table");
+        self.log.borrow_mut().r("dm", "listeners");
+        if pkt.dst_addr != self.local_addr {
+            return DmVerdict::NotForUs;
+        }
+        let tuple = FourTuple { local: pkt.dst(), remote: pkt.src() };
+        if let Some(&id) = self.table.get(&tuple) {
+            return DmVerdict::Known(id);
+        }
+        if self.listeners.contains(&pkt.dm.dst_port) {
+            return DmVerdict::NewFlow(tuple);
+        }
+        DmVerdict::NoListener
+    }
+
+    /// Stamp the DM subheader and addresses on an outgoing packet.
+    pub fn fill_tx(&self, id: ConnId, pkt: &mut Packet) {
+        self.log.borrow_mut().r("dm", "conn_table");
+        let t = self.tuples[&id];
+        pkt.src_addr = t.local.addr;
+        pkt.dst_addr = t.remote.addr;
+        pkt.dm.src_port = t.local.port;
+        pkt.dm.dst_port = t.remote.port;
+    }
+
+    pub fn tuple(&self, id: ConnId) -> Option<FourTuple> {
+        self.tuples.get(&id).copied()
+    }
+
+    pub fn conn_ids(&self) -> Vec<ConnId> {
+        let mut v: Vec<ConnId> = self.tuples.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm() -> Demux {
+        Demux::new(10, slmetrics::shared())
+    }
+
+    fn tuple(lport: u16, raddr: u32, rport: u16) -> FourTuple {
+        FourTuple { local: Endpoint::new(10, lport), remote: Endpoint::new(raddr, rport) }
+    }
+
+    fn pkt_to(dst_addr: u32, dst_port: u16, src: Endpoint) -> Packet {
+        let mut p = Packet::default();
+        p.src_addr = src.addr;
+        p.dst_addr = dst_addr;
+        p.dm.src_port = src.port;
+        p.dm.dst_port = dst_port;
+        p
+    }
+
+    #[test]
+    fn bind_and_classify_known() {
+        let mut d = dm();
+        let t = tuple(5000, 20, 80);
+        let id = d.bind(t).unwrap();
+        let p = pkt_to(10, 5000, Endpoint::new(20, 80));
+        assert_eq!(d.classify(&p), DmVerdict::Known(id));
+    }
+
+    #[test]
+    fn duplicate_bind_rejected() {
+        let mut d = dm();
+        let t = tuple(5000, 20, 80);
+        d.bind(t).unwrap();
+        assert_eq!(d.bind(t), Err(DmError::TupleInUse));
+    }
+
+    #[test]
+    fn listener_accepts_new_flow() {
+        let mut d = dm();
+        d.listen(80);
+        let p = pkt_to(10, 80, Endpoint::new(20, 5555));
+        match d.classify(&p) {
+            DmVerdict::NewFlow(t) => {
+                assert_eq!(t.local.port, 80);
+                assert_eq!(t.remote, Endpoint::new(20, 5555));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let d = dm();
+        let p = pkt_to(10, 81, Endpoint::new(20, 5555));
+        assert_eq!(d.classify(&p), DmVerdict::NoListener);
+    }
+
+    #[test]
+    fn foreign_address_ignored() {
+        let d = dm();
+        let p = pkt_to(99, 80, Endpoint::new(20, 5555));
+        assert_eq!(d.classify(&p), DmVerdict::NotForUs);
+    }
+
+    #[test]
+    fn unbind_frees_tuple() {
+        let mut d = dm();
+        let t = tuple(5000, 20, 80);
+        let id = d.bind(t).unwrap();
+        d.unbind(id);
+        assert!(d.bind(t).is_ok(), "tuple reusable after unbind");
+    }
+
+    #[test]
+    fn ephemeral_ports_skip_taken_tuples() {
+        let mut d = dm();
+        let remote = Endpoint::new(20, 80);
+        let p1 = d.ephemeral_port(remote);
+        d.bind(tuple(p1, 20, 80)).unwrap();
+        let p2 = d.ephemeral_port(remote);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn fill_tx_stamps_only_dm_fields() {
+        let mut d = dm();
+        let id = d.bind(tuple(5000, 20, 80)).unwrap();
+        let mut p = Packet::default();
+        p.cm.isn = 7; // foreign field must be untouched
+        d.fill_tx(id, &mut p);
+        assert_eq!(p.src_addr, 10);
+        assert_eq!(p.dst_addr, 20);
+        assert_eq!(p.dm.src_port, 5000);
+        assert_eq!(p.dm.dst_port, 80);
+        assert_eq!(p.cm.isn, 7);
+    }
+}

@@ -1,0 +1,55 @@
+//! # sublayer-core — the sublayered TCP (paper §3, Figures 5 & 6)
+//!
+//! The paper's primary contribution, implemented in full:
+//!
+//! | sublayer | module | service (test T1) | owned header bits (test T3) |
+//! |---|---|---|---|
+//! | OSR | [`osr`] | byte stream ↔ segments, ordering, rate & flow control | ECN echo, receiver window |
+//! | RD | [`rd`] | exactly-once segment delivery | seq, ack, SACK |
+//! | CM | [`cm`] | ISN establishment, open/close lifecycle | SYN/FIN/RST flags, ISNs |
+//! | DM | [`dm`] | port demultiplexing ("essentially UDP") | ports |
+//!
+//! Interfaces between adjacent sublayers are narrow (test T2): OSR hands RD
+//! segments and receives `Delivered` events plus *summarized* congestion
+//! signals; RD obtains its ISN pair from CM's `Established` event; CM gives
+//! DM a 4-tuple. Each sublayer's state lives in a private struct — Rust's
+//! module system enforces the separation the paper wants, and the
+//! `slmetrics` instrumentation proves it (experiment E6).
+//!
+//! Replaceable mechanisms (experiment E8): rate controllers ([`cc`]:
+//! Reno / CUBIC / rate-based / fixed), ISN generators ([`isn`]: RFC 793
+//! clock / RFC 1948 keyed hash), and whole CM schemes ([`cm::CmScheme`]:
+//! three-way handshake / Watson timer-based).
+//!
+//! [`shim`] translates the native Figure-6 header to and from RFC 793 so
+//! the stack interoperates with the monolithic `tcp-mono` (experiment E7);
+//! [`offload`] models NIC/host partitions of the sublayer stack (E10);
+//! [`record`] *inserts* a new security sublayer under DM without touching
+//! the other four (the QUIC-style record/transport split of §5).
+
+pub mod cc;
+pub mod cm;
+pub mod dm;
+pub mod isn;
+pub mod offload;
+pub mod osr;
+pub mod rd;
+pub mod record;
+pub mod shim;
+pub mod signals;
+pub mod stack;
+pub mod wire;
+
+pub use cc::RateController;
+pub use cm::{CmEvent, CmScheme, CmState, ConnMgmt};
+pub use dm::{ConnId, Demux, DmVerdict};
+pub use isn::IsnGenerator;
+pub use osr::Osr;
+pub use rd::{RdEvent, ReliableDelivery};
+pub use record::RecordStack;
+pub use signals::CongSignal;
+pub use stack::{CrossingStats, SlConfig, SlStats, SlTcpStack};
+pub use wire::Packet;
+
+#[cfg(test)]
+mod tests;

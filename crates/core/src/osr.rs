@@ -1,0 +1,376 @@
+//! The **ordering, segmenting & rate control (OSR)** sublayer (§3) — the
+//! uppermost TCP sublayer.
+//!
+//! "OSR takes the byte stream and breaks it up into segments based on
+//! parameters like maximum segment size. At the receive end, segments may
+//! be delivered out of order by the RD sublayer. OSR must paste segments
+//! back in order... Rate control is hidden within OSR which interfaces
+//! with the RD sublayer below by deciding when a segment is 'ready' to be
+//! transmitted."
+//!
+//! Per test **T3**, OSR owns the ECN-echo and receiver-window bits of the
+//! native header, the reassembly buffer, and the pluggable
+//! [`RateController`]; it learns about network conditions *only* through
+//! the summarized [`CongSignal`]s RD passes up and through its own header
+//! bits — never from sequence numbers.
+
+use crate::cc::RateController;
+use crate::signals::CongSignal;
+use crate::wire::Packet;
+use netsim::Time;
+use slmetrics::SharedLog;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Maximum segment size OSR cuts the byte stream into.
+pub const MSS: usize = 1000;
+/// Receive buffer capacity; the advertised window is its free space.
+pub const RCV_BUF_CAP: usize = 64 * 1024 - 1;
+
+/// OSR counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OsrStats {
+    pub segments_cut: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub blocked_by_rate: u64,
+    pub blocked_by_peer_window: u64,
+}
+
+/// The OSR sublayer for one connection.
+pub struct Osr {
+    // --- sender ---
+    app_buf: VecDeque<u8>,
+    /// Bytes handed to RD and not yet acked (window accounting; "the
+    /// sending RD must tell the sending OSR when segments are acked so the
+    /// sending OSR can advance the congestion and flow control windows").
+    bytes_in_flight: u64,
+    rate: Box<dyn RateController>,
+    peer_wnd: u32,
+    app_closed: bool,
+
+    // --- receiver ---
+    reasm: BTreeMap<u64, Vec<u8>>,
+    rcv_next: u64,
+    app_out: VecDeque<u8>,
+    /// Pending ECN echo to reflect in our next header.
+    ecn_to_echo: bool,
+    /// The application freed receive-buffer space; the peer should hear
+    /// about the reopened window.
+    window_update_pending: bool,
+
+    pub stats: OsrStats,
+    log: SharedLog,
+}
+
+impl Osr {
+    pub fn new(rate: Box<dyn RateController>, log: SharedLog) -> Osr {
+        Osr {
+            app_buf: VecDeque::new(),
+            bytes_in_flight: 0,
+            rate,
+            peer_wnd: MSS as u32, // conservative until the first header
+            app_closed: false,
+            reasm: BTreeMap::new(),
+            rcv_next: 0,
+            app_out: VecDeque::new(),
+            ecn_to_echo: false,
+            window_update_pending: false,
+            stats: OsrStats::default(),
+            log,
+        }
+    }
+
+    pub fn rate_name(&self) -> &'static str {
+        self.rate.name()
+    }
+
+    // --- application interface ---
+
+    /// Queue bytes from the application.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        self.log.borrow_mut().w("osr", "app_buf");
+        assert!(!self.app_closed, "write after close");
+        self.app_buf.extend(data.iter().copied());
+        self.stats.bytes_written += data.len() as u64;
+        data.len()
+    }
+
+    /// Drain in-order bytes to the application.
+    pub fn read(&mut self) -> Vec<u8> {
+        self.log.borrow_mut().r("osr", "app_out");
+        let out: Vec<u8> = self.app_out.drain(..).collect();
+        self.stats.bytes_read += out.len() as u64;
+        if out.len() >= MSS {
+            // The window reopened significantly: tell the peer (window
+            // update, as in TCP).
+            self.window_update_pending = true;
+        }
+        out
+    }
+
+    /// True once per significant window reopening; the stack responds by
+    /// emitting a bare (ack-only) packet carrying the fresh window.
+    pub fn take_window_update(&mut self) -> bool {
+        std::mem::take(&mut self.window_update_pending)
+    }
+
+    /// Application will write no more.
+    pub fn close(&mut self) {
+        self.app_closed = true;
+    }
+
+    /// All written bytes handed to RD?
+    pub fn drained(&self) -> bool {
+        self.app_buf.is_empty()
+    }
+
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.bytes_in_flight
+    }
+
+    // --- RD interface (downward) ---
+
+    /// Decide whether a segment is "ready" (rate control × flow control)
+    /// and cut it if so.
+    pub fn poll_segment(&mut self, now: Time) -> Option<Vec<u8>> {
+        self.log.borrow_mut().r("osr", "app_buf");
+        self.log.borrow_mut().r("osr", "cwnd");
+        self.log.borrow_mut().r("osr", "peer_wnd");
+        if self.app_buf.is_empty() {
+            return None;
+        }
+        let rate_allow = self.rate.allowance(now);
+        let allowance = rate_allow.min(self.peer_wnd as u64);
+        let budget = allowance.saturating_sub(self.bytes_in_flight) as usize;
+        let n = self.app_buf.len().min(MSS).min(budget);
+        // Avoid silly-window segments: wait for a full MSS unless this is
+        // the tail of the stream.
+        if n == 0 || (n < MSS && n < self.app_buf.len()) {
+            if (self.peer_wnd as u64) < rate_allow {
+                self.stats.blocked_by_peer_window += 1;
+            } else {
+                self.stats.blocked_by_rate += 1;
+            }
+            return None;
+        }
+        let seg: Vec<u8> = self.app_buf.drain(..n).collect();
+        self.bytes_in_flight += n as u64;
+        self.stats.segments_cut += 1;
+        Some(seg)
+    }
+
+    /// Feed RD's summarized congestion signals into rate control.
+    pub fn on_signals(&mut self, now: Time, signals: &[CongSignal]) {
+        self.log.borrow_mut().w("osr", "cwnd");
+        for &sig in signals {
+            if let CongSignal::Acked { bytes, .. } = sig {
+                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(bytes as u64);
+            }
+            self.rate.on_signal(now, sig);
+        }
+    }
+
+    // --- RD interface (upward: reassembly) ---
+
+    /// A segment arrived (possibly out of order, exactly once).
+    pub fn on_delivered(&mut self, offset: u64, data: Vec<u8>) {
+        self.log.borrow_mut().w("osr", "reasm");
+        debug_assert!(offset >= self.rcv_next, "RD guarantees exactly-once");
+        self.reasm.insert(offset, data);
+        while let Some((&off, _)) = self.reasm.first_key_value() {
+            if off != self.rcv_next {
+                break;
+            }
+            let (_, d) = self.reasm.pop_first().unwrap();
+            self.rcv_next += d.len() as u64;
+            self.app_out.extend(d);
+        }
+    }
+
+    // --- header interface (its own bits, test T3) ---
+
+    /// Stamp the OSR subheader on an outgoing packet.
+    pub fn fill_tx(&mut self, pkt: &mut Packet) {
+        self.log.borrow_mut().r("osr", "rcv_buf");
+        let buffered = self.app_out.len() + self.reasm.values().map(Vec::len).sum::<usize>();
+        pkt.osr.rcv_wnd = (RCV_BUF_CAP.saturating_sub(buffered)).min(u16::MAX as usize) as u16;
+        pkt.osr.ecn_echo = self.ecn_to_echo;
+    }
+
+    /// Process the OSR subheader of an inbound packet.
+    pub fn on_header(&mut self, now: Time, pkt: &Packet) {
+        self.log.borrow_mut().w("osr", "peer_wnd");
+        self.peer_wnd = pkt.osr.rcv_wnd as u32;
+        if pkt.osr.ecn_echo {
+            self.rate.on_signal(now, CongSignal::EcnEcho);
+        }
+    }
+
+    /// A network element marked this packet (simulated ECN); echo it back.
+    pub fn mark_ecn(&mut self) {
+        self.ecn_to_echo = true;
+    }
+
+    pub fn poll_deadline(&self, now: Time) -> Option<Time> {
+        // Pacing controllers need a wake-up when tokens accrue.
+        if self.app_buf.is_empty() {
+            None
+        } else {
+            self.rate.poll_deadline(now)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{FixedWindow, RateBased, Reno};
+    use netsim::Dur;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    fn osr(win: u64) -> Osr {
+        let mut o = Osr::new(Box::new(FixedWindow(win)), slmetrics::shared());
+        o.peer_wnd = u16::MAX as u32;
+        o
+    }
+
+    #[test]
+    fn segments_cut_at_mss() {
+        let mut o = osr(1 << 20);
+        o.write(&vec![7; 2500]);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), MSS);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), MSS);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), 500, "tail may be short");
+        assert!(o.poll_segment(t(0)).is_none());
+        assert_eq!(o.stats.segments_cut, 3);
+    }
+
+    #[test]
+    fn rate_allowance_gates_segments() {
+        let mut o = osr(1500);
+        o.write(&vec![7; 5000]);
+        assert!(o.poll_segment(t(0)).is_some()); // 1000 in flight
+        assert!(o.poll_segment(t(0)).is_none(), "window full");
+        assert!(o.stats.blocked_by_rate > 0);
+        // Acks release the window.
+        o.on_signals(t(1), &[CongSignal::Acked { bytes: 1000, rtt: None }]);
+        assert!(o.poll_segment(t(1)).is_some());
+    }
+
+    #[test]
+    fn peer_window_gates_segments() {
+        let mut o = osr(1 << 20);
+        let mut pkt = Packet::default();
+        pkt.osr.rcv_wnd = 999; // less than one MSS
+        o.on_header(t(0), &pkt);
+        o.write(&vec![7; 5000]);
+        assert!(o.poll_segment(t(0)).is_none());
+        assert!(o.stats.blocked_by_peer_window > 0);
+    }
+
+    #[test]
+    fn reassembly_pastes_segments_in_order() {
+        let mut o = osr(1000);
+        o.on_delivered(1000, vec![2; 1000]);
+        assert!(o.read().is_empty(), "hole at the front");
+        o.on_delivered(0, vec![1; 1000]);
+        let data = o.read();
+        assert_eq!(data.len(), 2000);
+        assert!(data[..1000].iter().all(|&b| b == 1));
+        assert!(data[1000..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn advertised_window_shrinks_with_buffered_data() {
+        let mut o = osr(1000);
+        let mut pkt = Packet::default();
+        o.fill_tx(&mut pkt);
+        let full = pkt.osr.rcv_wnd;
+        o.on_delivered(1000, vec![0; 5000]); // parked in reassembly
+        o.fill_tx(&mut pkt);
+        assert_eq!(pkt.osr.rcv_wnd, full - 5000);
+    }
+
+    #[test]
+    fn ecn_echo_reaches_rate_controller() {
+        // Reno halves on ECN; observe allowance drop.
+        let mut o = Osr::new(Box::new(Reno::new()), slmetrics::shared());
+        let mut open = Packet::default();
+        open.osr.rcv_wnd = u16::MAX;
+        o.on_header(t(0), &open);
+        for _ in 0..20 {
+            o.on_signals(t(0), &[CongSignal::Acked { bytes: 1000, rtt: None }]);
+        }
+        o.write(&vec![1; 100_000]);
+        let mut sent0: u64 = 0;
+        while o.poll_segment(t(0)).is_some() {
+            sent0 += 1;
+        }
+        assert!(sent0 > 10, "slow start should have opened the window: {sent0}");
+        let mut pkt = Packet::default();
+        pkt.osr.ecn_echo = true;
+        pkt.osr.rcv_wnd = u16::MAX;
+        o.on_header(t(1), &pkt);
+        // Release everything, then see a smaller burst allowed.
+        o.on_signals(t(1), &[CongSignal::Acked { bytes: (sent0 * 1000) as u32, rtt: None }]);
+        let mut sent1: u64 = 0;
+        while o.poll_segment(t(1)).is_some() {
+            sent1 += 1;
+        }
+        assert!(sent1 < sent0, "ECN must shrink the allowance: {sent0} -> {sent1}");
+    }
+
+    #[test]
+    fn ecn_mark_is_echoed_in_header() {
+        let mut o = osr(1000);
+        let mut pkt = Packet::default();
+        o.fill_tx(&mut pkt);
+        assert!(!pkt.osr.ecn_echo);
+        o.mark_ecn();
+        o.fill_tx(&mut pkt);
+        assert!(pkt.osr.ecn_echo);
+    }
+
+    #[test]
+    fn rate_based_controller_limits_in_flight() {
+        // 80 kbit/s at 100ms prior RTT -> ~1 KB + 1 MSS allowance.
+        let mut o = Osr::new(Box::new(RateBased::new(80_000.0)), slmetrics::shared());
+        o.peer_wnd = u16::MAX as u32;
+        o.write(&vec![1; 50_000]);
+        let mut sent = 0;
+        while o.poll_segment(t(0)).is_some() {
+            sent += 1;
+        }
+        assert!((1..=3).contains(&sent), "rate caps the burst: {sent}");
+    }
+
+    #[test]
+    fn silly_window_avoidance_waits_for_full_mss() {
+        let mut o = osr(1 << 20);
+        o.write(&vec![1; 2500]);
+        // Constrain budget to 300 bytes: no segment (wait for window).
+        let mut pkt = Packet::default();
+        pkt.osr.rcv_wnd = 300;
+        o.on_header(t(0), &pkt);
+        assert!(o.poll_segment(t(0)).is_none());
+        // But a short *tail* goes out when it's all that remains.
+        pkt.osr.rcv_wnd = u16::MAX;
+        o.on_header(t(0), &pkt);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), 1000);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), 1000);
+        assert_eq!(o.poll_segment(t(0)).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn write_read_byte_counts_tracked() {
+        let mut o = osr(1 << 20);
+        o.write(b"hello");
+        o.on_delivered(0, b"world".to_vec());
+        assert_eq!(o.read(), b"world");
+        assert_eq!(o.stats.bytes_written, 5);
+        assert_eq!(o.stats.bytes_read, 5);
+    }
+}

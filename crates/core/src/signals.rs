@@ -1,0 +1,24 @@
+//! Signals crossing the RD → OSR interface (test **T2**).
+//!
+//! "Other congestion signals such as timeouts and loss information should
+//! be summarized and passed by RD to OSR" (the paper, citing Narayan et
+//! al.'s restructured congestion control). These are the *only* values
+//! that cross the boundary — OSR never sees sequence numbers, and RD never
+//! sees the congestion window.
+
+use netsim::Dur;
+
+/// A congestion/progress signal summarized by RD for OSR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongSignal {
+    /// New data acknowledged; `rtt` present when Karn's rule allows a
+    /// sample.
+    Acked { bytes: u32, rtt: Option<Dur> },
+    /// Loss inferred from duplicate acks (mild: fast retransmit handled
+    /// it).
+    DupAckLoss,
+    /// Loss inferred from retransmission timeout (severe).
+    TimeoutLoss,
+    /// The peer echoed an ECN mark.
+    EcnEcho,
+}

@@ -1,0 +1,468 @@
+//! The sublayered TCP stack: DM < CM < RD < OSR, composed.
+//!
+//! This module is deliberately thin: it *wires* the four sublayers
+//! together along the narrow interfaces of test **T2** and contains no
+//! protocol logic of its own. Every inter-sublayer crossing is counted in
+//! [`CrossingStats`] — the quantity the hardware-offload experiment (E10)
+//! studies, since a NIC/host partition pays for exactly these crossings.
+//!
+//! Contrast with `tcp-mono`: there one function mutates one PCB; here each
+//! sublayer's state is a private Rust struct, so test **T3** (separate
+//! state) is enforced by the compiler, and the entanglement instrumentation
+//! (experiment E6) shows zero cross-sublayer field sharing.
+
+use crate::cc;
+use crate::cm::{CmEvent, CmPass, CmScheme, CmState, ConnMgmt};
+use crate::dm::{ConnId, Demux, DmVerdict};
+use crate::isn::{self, IsnGenerator};
+use crate::osr::Osr;
+use crate::rd::{RdEvent, ReliableDelivery};
+use crate::wire::Packet;
+use netsim::{Stack, Time};
+use slmetrics::SharedLog;
+use std::collections::{HashMap, VecDeque};
+use tcp_mono::wire::{Endpoint, FourTuple};
+
+/// Stack configuration: which mechanism fills each replaceable slot.
+#[derive(Clone, Debug)]
+pub struct SlConfig {
+    pub cm_scheme: CmScheme,
+    /// Rate controller name (see [`crate::cc::make`]).
+    pub cc: &'static str,
+    /// ISN generator name (see [`crate::isn::make`]).
+    pub isn: &'static str,
+    /// Advertise SACK ranges from RD's out-of-order set (ablation knob for
+    /// the design choice DESIGN.md calls out; SACK is RD-private either
+    /// way).
+    pub use_sack: bool,
+}
+
+impl Default for SlConfig {
+    fn default() -> Self {
+        SlConfig { cm_scheme: CmScheme::ThreeWay, cc: "reno", isn: "clock", use_sack: true }
+    }
+}
+
+/// Counts of values crossing each sublayer boundary (experiment E10).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrossingStats {
+    /// Segments OSR handed down to RD (and their bytes).
+    pub osr_to_rd_segments: u64,
+    pub osr_to_rd_bytes: u64,
+    /// Delivered events RD handed up to OSR.
+    pub rd_to_osr_segments: u64,
+    pub rd_to_osr_bytes: u64,
+    /// Summarized congestion signals RD -> OSR.
+    pub signals_up: u64,
+    /// Packets crossing RD/CM (all packets pass both).
+    pub packets_tx: u64,
+    pub packets_rx: u64,
+    /// Wire bytes through DM.
+    pub wire_bytes_tx: u64,
+    pub wire_bytes_rx: u64,
+}
+
+struct Connection {
+    cm: ConnMgmt,
+    rd: Option<ReliableDelivery>,
+    osr: Osr,
+    want_close: bool,
+    fin_routed: bool,
+    /// Reported state before removal, for post-mortem queries.
+    dead: bool,
+}
+
+/// Aggregate stack statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlStats {
+    pub packets_sent: u64,
+    pub packets_received: u64,
+    pub bad_packets: u64,
+    pub no_listener_drops: u64,
+}
+
+/// A sublayered TCP endpoint (host).
+pub struct SlTcpStack {
+    dm: Demux,
+    conns: HashMap<ConnId, Connection>,
+    isn_gen: Box<dyn IsnGenerator>,
+    config: SlConfig,
+    outbox: VecDeque<Vec<u8>>,
+    pub stats: SlStats,
+    pub crossings: CrossingStats,
+    log: SharedLog,
+}
+
+impl SlTcpStack {
+    pub fn new(addr: u32, config: SlConfig, log: SharedLog) -> SlTcpStack {
+        SlTcpStack {
+            dm: Demux::new(addr, log.clone()),
+            conns: HashMap::new(),
+            isn_gen: isn::make(config.isn),
+            config,
+            outbox: VecDeque::new(),
+            stats: SlStats::default(),
+            crossings: CrossingStats::default(),
+            log,
+        }
+    }
+
+    pub fn addr(&self) -> u32 {
+        self.dm.local_addr()
+    }
+
+    pub fn config(&self) -> &SlConfig {
+        &self.config
+    }
+
+    /// Accept connections on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.dm.listen(port);
+    }
+
+    /// Active open; returns the connection handle.
+    pub fn connect(&mut self, now: Time, local_port: u16, remote: Endpoint) -> ConnId {
+        let tuple = FourTuple {
+            local: Endpoint::new(self.dm.local_addr(), local_port),
+            remote,
+        };
+        let id = self.dm.bind(tuple).expect("tuple free");
+        let local_isn = self.isn_gen.isn(now, &tuple);
+        let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
+        let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+        let mut conn = Connection { cm, rd: None, osr, want_close: false, fin_routed: false, dead: false };
+        // Timer-based CM is established immediately; wire RD up now.
+        if matches!(self.config.cm_scheme, CmScheme::TimerBased { .. }) {
+            let mut rd = ReliableDelivery::new(local_isn, 0, self.log.clone());
+            rd.set_use_sack(self.config.use_sack);
+            conn.rd = Some(rd);
+        }
+        self.conns.insert(id, conn);
+        self.pump(now, id);
+        id
+    }
+
+    /// Active open with an ephemeral local port.
+    pub fn connect_ephemeral(&mut self, now: Time, remote: Endpoint) -> ConnId {
+        let port = self.dm.ephemeral_port(remote);
+        self.connect(now, port, remote)
+    }
+
+    /// Queue application bytes.
+    pub fn send(&mut self, id: ConnId, data: &[u8]) -> usize {
+        let Some(conn) = self.conns.get_mut(&id) else { return 0 };
+        if conn.want_close || conn.dead {
+            return 0;
+        }
+        conn.osr.write(data)
+    }
+
+    /// Drain received application bytes.
+    pub fn recv(&mut self, id: ConnId) -> Vec<u8> {
+        match self.conns.get_mut(&id) {
+            Some(conn) => conn.osr.read(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Graceful close (FIN after the stream drains).
+    pub fn close(&mut self, id: ConnId) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.want_close = true;
+            conn.osr.close();
+        }
+    }
+
+    pub fn state(&self, id: ConnId) -> CmState {
+        self.conns.get(&id).map_or(CmState::Closed, |c| c.cm.state())
+    }
+
+    /// Established connections (listener side discovers peers here).
+    pub fn established(&self) -> Vec<ConnId> {
+        let mut v: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.cm.state() == CmState::Established)
+            .map(|(&id, _)| id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    pub fn tuple(&self, id: ConnId) -> Option<FourTuple> {
+        self.dm.tuple(id)
+    }
+
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Peer-closed + everything delivered? (EOF for the application.)
+    pub fn peer_closed(&self, id: ConnId) -> bool {
+        self.conns.get(&id).is_some_and(|c| c.cm.peer_fin_seen())
+    }
+
+    /// The RD sublayer's counters (for tests/experiments).
+    pub fn rd_stats(&self, id: ConnId) -> Option<crate::rd::RdStats> {
+        self.conns.get(&id).and_then(|c| c.rd.as_ref()).map(|r| r.stats.clone())
+    }
+
+    pub fn osr_stats(&self, id: ConnId) -> Option<crate::osr::OsrStats> {
+        self.conns.get(&id).map(|c| c.osr.stats.clone())
+    }
+
+    /// Simulate an ECN mark on this connection's next outgoing header.
+    pub fn mark_ecn(&mut self, id: ConnId) {
+        if let Some(c) = self.conns.get_mut(&id) {
+            c.osr.mark_ecn();
+        }
+    }
+
+    /// Run one connection's machinery: events, close coordination,
+    /// segmentation, and packet assembly.
+    fn pump(&mut self, now: Time, id: ConnId) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+
+        // CM events upward.
+        for ev in conn.cm.take_events() {
+            match ev {
+                CmEvent::Established { local_isn, peer_isn } => {
+                    match conn.rd.as_mut() {
+                        None => {
+                            let mut rd =
+                                ReliableDelivery::new(local_isn, peer_isn, self.log.clone());
+                            rd.set_use_sack(self.config.use_sack);
+                            conn.rd = Some(rd);
+                        }
+                        Some(rd) if matches!(self.config.cm_scheme, CmScheme::TimerBased { .. }) => {
+                            // Timer-based: RD existed before the peer ISN
+                            // was known; late-bind it. Sender state
+                            // (possibly with data already in flight) is
+                            // preserved.
+                            rd.set_rcv_isn(peer_isn);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                CmEvent::Reset | CmEvent::Closed => {
+                    conn.dead = true;
+                }
+            }
+        }
+
+        // RD events upward (to OSR and CM).
+        if let Some(rd) = conn.rd.as_mut() {
+            for ev in rd.take_events() {
+                match ev {
+                    RdEvent::Delivered { offset, data } => {
+                        self.crossings.rd_to_osr_segments += 1;
+                        self.crossings.rd_to_osr_bytes += data.len() as u64;
+                        conn.osr.on_delivered(offset, data);
+                    }
+                    RdEvent::LocalFinAcked => conn.cm.on_local_fin_acked(now),
+                    RdEvent::PeerFinReached => conn.cm.on_peer_fin(now),
+                }
+            }
+            // Summarized signals to OSR's rate controller.
+            let signals = rd.take_signals();
+            if !signals.is_empty() {
+                self.crossings.signals_up += signals.len() as u64;
+                conn.osr.on_signals(now, &signals);
+            }
+        }
+
+        // Close coordination: once the app stream is fully handed to RD,
+        // CM may route its FIN through RD.
+        if conn.want_close && !conn.fin_routed && conn.osr.drained() {
+            if let Some(rd) = conn.rd.as_mut() {
+                if conn.cm.state() == CmState::Established && conn.cm.close_requested() {
+                    rd.send_fin(now);
+                    conn.fin_routed = true;
+                }
+            } else if conn.cm.state() != CmState::Established {
+                // Never established: close immediately.
+                conn.cm.close_requested();
+            }
+        }
+        // Timer-based close needs no FIN.
+        if conn.want_close
+            && !conn.fin_routed
+            && matches!(self.config.cm_scheme, CmScheme::TimerBased { .. })
+            && conn.osr.drained()
+        {
+            conn.cm.close_requested();
+            conn.fin_routed = true;
+        }
+
+        // Window updates: the application read; let the peer know the
+        // window reopened (OSR owns the decision, RD owns the ack packet).
+        if conn.osr.take_window_update() {
+            if let Some(rd) = conn.rd.as_mut() {
+                rd.force_ack();
+            }
+        }
+
+        // Segmentation: OSR decides readiness, RD assigns sequences.
+        if let Some(rd) = conn.rd.as_mut() {
+            if conn.cm.state() == CmState::Established || conn.cm.state() == CmState::Closing {
+                while rd.can_accept() {
+                    let Some(seg) = conn.osr.poll_segment(now) else { break };
+                    self.crossings.osr_to_rd_segments += 1;
+                    self.crossings.osr_to_rd_bytes += seg.len() as u64;
+                    rd.push_segment(now, seg);
+                }
+            }
+        }
+
+        // Packet assembly: CM-originated packets first (handshake), then
+        // RD's data/ack packets. Each sublayer stamps only its own bits.
+        loop {
+            let assembled = if let Some(mut pkt) = conn.cm.poll_packet() {
+                if let Some(rd) = conn.rd.as_mut() {
+                    rd.fill_tx(&mut pkt);
+                }
+                conn.osr.fill_tx(&mut pkt);
+                conn.cm.fill_tx(&mut pkt);
+                Some(pkt)
+            } else if let Some(rd) = conn.rd.as_mut() {
+                match rd.poll_packet(now) {
+                    Some((mut pkt, is_fin)) => {
+                        if is_fin {
+                            conn.cm.stamp_fin(&mut pkt);
+                        }
+                        conn.osr.fill_tx(&mut pkt);
+                        conn.cm.fill_tx(&mut pkt);
+                        Some(pkt)
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            let Some(mut pkt) = assembled else { break };
+            self.dm.fill_tx(id, &mut pkt);
+            let bytes = pkt.encode();
+            self.crossings.packets_tx += 1;
+            self.crossings.wire_bytes_tx += bytes.len() as u64;
+            self.stats.packets_sent += 1;
+            self.outbox.push_back(bytes);
+        }
+
+        // Reap dead connections.
+        if conn.dead {
+            self.dm.unbind(id);
+            self.conns.remove(&id);
+        }
+    }
+
+    fn handle_packet(&mut self, now: Time, id: ConnId, pkt: &Packet) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        // The handshake-completing ack is recognized by the stack (not CM)
+        // so CM never reads RD's bits: ack == local_isn + 1.
+        let handshake_ack =
+            pkt.rd.has_ack && pkt.rd.ack == conn.cm.local_isn().wrapping_add(1);
+        match conn.cm.on_packet(&pkt.cm, handshake_ack, now) {
+            CmPass::Drop => {}
+            CmPass::Consumed => {
+                // Window updates ride even on handshake packets.
+                conn.osr.on_header(now, pkt);
+            }
+            CmPass::PassUp => {
+                conn.osr.on_header(now, pkt);
+                // Events may have just established RD.
+                self.pump(now, id);
+                let Some(conn) = self.conns.get_mut(&id) else { return };
+                if let Some(rd) = conn.rd.as_mut() {
+                    rd.on_packet(now, pkt, pkt.cm.flags.fin);
+                }
+            }
+        }
+        self.pump(now, id);
+    }
+}
+
+impl Stack for SlTcpStack {
+    fn on_frame(&mut self, now: Time, frame: &[u8]) {
+        let Some(pkt) = Packet::decode(frame) else {
+            self.stats.bad_packets += 1;
+            return;
+        };
+        self.stats.packets_received += 1;
+        self.crossings.packets_rx += 1;
+        self.crossings.wire_bytes_rx += frame.len() as u64;
+        match self.dm.classify(&pkt) {
+            DmVerdict::Known(id) => self.handle_packet(now, id, &pkt),
+            DmVerdict::NewFlow(tuple) => {
+                let local_isn = self.isn_gen.isn(now, &tuple);
+                let Some(cm) = ConnMgmt::open_passive(
+                    self.config.cm_scheme,
+                    local_isn,
+                    &pkt.cm,
+                    now,
+                    self.log.clone(),
+                ) else {
+                    self.stats.no_listener_drops += 1;
+                    return;
+                };
+                let Ok(id) = self.dm.bind(tuple) else { return };
+                let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                self.conns.insert(
+                    id,
+                    Connection { cm, rd: None, osr, want_close: false, fin_routed: false, dead: false },
+                );
+                // Let establishment events run, then feed this packet's
+                // upper parts (timer-based CM carries data on first
+                // packet).
+                self.pump(now, id);
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.osr.on_header(now, &pkt);
+                    if let Some(rd) = conn.rd.as_mut() {
+                        rd.on_packet(now, &pkt, pkt.cm.flags.fin);
+                    }
+                }
+                self.pump(now, id);
+            }
+            DmVerdict::NoListener => {
+                self.stats.no_listener_drops += 1;
+            }
+            DmVerdict::NotForUs => {}
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
+        if self.outbox.is_empty() {
+            let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+            for id in ids {
+                self.pump(now, id);
+            }
+        }
+        self.outbox.pop_front()
+    }
+
+    fn poll_deadline(&self, now: Time) -> Option<Time> {
+        self.conns
+            .values()
+            .flat_map(|c| {
+                [
+                    c.cm.poll_deadline(),
+                    c.rd.as_ref().and_then(|r| r.poll_deadline()),
+                    c.osr.poll_deadline(now),
+                ]
+            })
+            .flatten()
+            .min()
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.cm.on_tick(now);
+                if let Some(rd) = conn.rd.as_mut() {
+                    rd.on_tick(now);
+                }
+            }
+            self.pump(now, id);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! End-to-end tests: two sublayered stacks over the simulator.
+
+use crate::cm::{CmScheme, CmState};
+use crate::dm::ConnId;
+use crate::stack::{SlConfig, SlTcpStack};
+use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
+use tcp_mono::wire::Endpoint;
+
+pub const A: u32 = 0x0A000001;
+pub const B: u32 = 0x0A000002;
+
+pub fn pair_with(
+    seed: u64,
+    params: LinkParams,
+    config: SlConfig,
+) -> (SimNet, usize, usize, ConnId) {
+    let mut client = SlTcpStack::new(A, config.clone(), slmetrics::shared());
+    let mut server = SlTcpStack::new(B, config, slmetrics::shared());
+    server.listen(80);
+    let conn = client.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(seed, client, server, params);
+    net.poll_all();
+    (net, nc, ns, conn)
+}
+
+pub fn pair(seed: u64, params: LinkParams) -> (SimNet, usize, usize, ConnId) {
+    pair_with(seed, params, SlConfig::default())
+}
+
+pub fn stack(net: &mut SimNet, id: usize) -> &mut SlTcpStack {
+    &mut net.node_mut::<StackNode<SlTcpStack>>(id).stack
+}
+
+pub fn run_for(net: &mut SimNet, d: Dur) {
+    let deadline = net.now() + d;
+    net.run_until(deadline);
+}
+
+/// Drive a one-way transfer until `data` arrives or patience runs out.
+pub fn transfer(
+    net: &mut SimNet,
+    nc: usize,
+    ns: usize,
+    conn: ConnId,
+    data: &[u8],
+    rounds: usize,
+) -> Vec<u8> {
+    stack(net, nc).send(conn, data);
+    net.poll_all();
+    let mut got = Vec::new();
+    for _ in 0..rounds {
+        run_for(net, Dur::from_secs(1));
+        if let Some(&sconn) = stack(net, ns).established().first() {
+            got.extend(stack(net, ns).recv(sconn));
+            // Let the receiver emit its window update.
+            net.poll_all();
+        }
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    got
+}
+
+#[test]
+fn handshake_establishes_both_sides() {
+    let (mut net, nc, ns, conn) = pair(1, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+    assert_eq!(stack(&mut net, ns).established().len(), 1);
+}
+
+#[test]
+fn bulk_transfer_clean_link() {
+    let (mut net, nc, ns, conn) = pair(2, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+    let got = transfer(&mut net, nc, ns, conn, &data, 60);
+    assert_eq!(got, data);
+}
+
+#[test]
+fn transfer_over_lossy_link() {
+    for seed in [3, 4, 5] {
+        let params =
+            LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(0.1));
+        let (mut net, nc, ns, conn) = pair(seed, params);
+        run_for(&mut net, Dur::from_secs(3));
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        let got = transfer(&mut net, nc, ns, conn, &data, 120);
+        assert_eq!(got, data, "seed {seed}");
+    }
+}
+
+#[test]
+fn transfer_under_reorder_duplicate_corrupt() {
+    let params = LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile {
+        drop: 0.05,
+        corrupt: 0.1,
+        duplicate: 0.1,
+        reorder: 0.15,
+        reorder_delay: Dur::from_millis(15),
+    });
+    let (mut net, nc, ns, conn) = pair(6, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data: Vec<u8> = (0..60_000u32).map(|i| (i % 239) as u8).collect();
+    let got = transfer(&mut net, nc, ns, conn, &data, 120);
+    assert_eq!(got, data);
+    let corrupted =
+        net.link_fault_stats(0, 0).corrupted + net.link_fault_stats(0, 1).corrupted;
+    let bad = stack(&mut net, nc).stats.bad_packets + stack(&mut net, ns).stats.bad_packets;
+    assert!(corrupted > 0, "fault injector should have corrupted something");
+    assert!(bad > 0, "corrupted packets must fail the checksum (corrupted={corrupted})");
+}
+
+#[test]
+fn bidirectional_transfer() {
+    let (mut net, nc, ns, conn) = pair(7, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let up: Vec<u8> = (0..9_000u32).map(|i| (i % 13) as u8).collect();
+    let down: Vec<u8> = (0..7_000u32).map(|i| (i % 17) as u8).collect();
+    stack(&mut net, nc).send(conn, &up);
+    let sconn = stack(&mut net, ns).established()[0];
+    stack(&mut net, ns).send(sconn, &down);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(20));
+    assert_eq!(stack(&mut net, ns).recv(sconn), up);
+    assert_eq!(stack(&mut net, nc).recv(conn), down);
+}
+
+#[test]
+fn graceful_close_both_directions() {
+    let (mut net, nc, ns, conn) = pair(8, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    stack(&mut net, nc).send(conn, b"bye");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    let sconn = stack(&mut net, ns).established()[0];
+    stack(&mut net, nc).close(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert!(stack(&mut net, ns).peer_closed(sconn), "server saw the FIN");
+    assert_eq!(stack(&mut net, ns).recv(sconn), b"bye");
+    stack(&mut net, ns).close(sconn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(5));
+    // Client (active closer) lingers in TIME_WAIT, then both disappear.
+    let cs = stack(&mut net, nc).state(conn);
+    assert!(
+        matches!(cs, CmState::TimeWait | CmState::Closed),
+        "client close state: {cs:?}"
+    );
+    run_for(&mut net, Dur::from_secs(15));
+    assert_eq!(stack(&mut net, nc).conn_count(), 0);
+    assert_eq!(stack(&mut net, ns).conn_count(), 0);
+}
+
+#[test]
+fn close_under_loss_still_completes() {
+    let params = LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(0.2));
+    let (mut net, nc, ns, conn) = pair(9, params);
+    run_for(&mut net, Dur::from_secs(5));
+    stack(&mut net, nc).send(conn, &vec![5u8; 5000]);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(10));
+    stack(&mut net, nc).close(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(20));
+    let sconn = stack(&mut net, ns).established().first().copied();
+    if let Some(sconn) = sconn {
+        assert!(stack(&mut net, ns).peer_closed(sconn));
+        assert_eq!(stack(&mut net, ns).recv(sconn).len(), 5000);
+    } else {
+        // Server already fully closed — also fine; data must have been
+        // readable before. (recv on an unknown conn returns empty.)
+        panic!("server connection should still exist (no close from server side)");
+    }
+}
+
+#[test]
+fn no_listener_drops_are_counted() {
+    let mut client = SlTcpStack::new(A, SlConfig::default(), slmetrics::shared());
+    let server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    let conn = client.connect(Time::ZERO, 5000, Endpoint::new(B, 81));
+    let (mut net, nc, ns) = two_party(10, client, server, LinkParams::delay_only(Dur::from_millis(5)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(3));
+    assert!(stack(&mut net, ns).stats.no_listener_drops > 0);
+    // Client keeps retrying SYN (no RST generation in the native stack),
+    // then gives up later.
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::SynSent);
+}
+
+#[test]
+fn every_rate_controller_transfers_correctly() {
+    for (i, cc) in ["reno", "cubic", "rate-based", "fixed-window"].iter().enumerate() {
+        let config = SlConfig { cc, ..Default::default() };
+        let params = LinkParams::delay_only(Dur::from_millis(10))
+            .with_fault(FaultProfile::lossy(0.05));
+        let (mut net, nc, ns, conn) = pair_with(20 + i as u64, params, config);
+        run_for(&mut net, Dur::from_secs(3));
+        let data: Vec<u8> = (0..15_000u32).map(|i| (i % 199) as u8).collect();
+        let got = transfer(&mut net, nc, ns, conn, &data, 120);
+        assert_eq!(got, data, "cc={cc}");
+    }
+}
+
+#[test]
+fn both_isn_generators_work() {
+    for (i, isn) in ["clock", "secure"].iter().enumerate() {
+        let config = SlConfig { isn, ..Default::default() };
+        let (mut net, nc, ns, conn) =
+            pair_with(30 + i as u64, LinkParams::delay_only(Dur::from_millis(5)), config);
+        run_for(&mut net, Dur::from_secs(1));
+        let data = vec![9u8; 5000];
+        let got = transfer(&mut net, nc, ns, conn, &data, 30);
+        assert_eq!(got, data, "isn={isn}");
+        let _ = (nc, conn);
+    }
+}
+
+#[test]
+fn timer_based_cm_transfers_without_handshake() {
+    let config = SlConfig {
+        cm_scheme: CmScheme::TimerBased { quiet: Dur::from_secs(5) },
+        ..Default::default()
+    };
+    let (mut net, nc, ns, conn) = pair_with(40, LinkParams::delay_only(Dur::from_millis(5)), config);
+    run_for(&mut net, Dur::from_secs(1));
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 97) as u8).collect();
+    let got = transfer(&mut net, nc, ns, conn, &data, 60);
+    assert_eq!(got, data);
+    // No SYN ever crossed: packet count should show no pure handshake
+    // (indirect check: server never saw a SYN flag -> it established from
+    // a data packet; established() returned it, which transfer() used).
+    let _ = nc;
+}
+
+#[test]
+fn timer_based_cm_closes_by_quiet_time() {
+    let config = SlConfig {
+        cm_scheme: CmScheme::TimerBased { quiet: Dur::from_secs(3) },
+        ..Default::default()
+    };
+    let (mut net, nc, ns, conn) = pair_with(41, LinkParams::delay_only(Dur::from_millis(5)), config);
+    run_for(&mut net, Dur::from_secs(1));
+    let got = transfer(&mut net, nc, ns, conn, b"brief", 10);
+    assert_eq!(got, b"brief");
+    stack(&mut net, nc).close(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(10));
+    assert_eq!(stack(&mut net, nc).conn_count(), 0, "quiet time should reap the conn");
+}
+
+#[test]
+fn sublayer_state_is_fully_segregated() {
+    // The paper's E6 claim: run a real workload and check the access log —
+    // every field is touched by exactly one sublayer context.
+    let log = slmetrics::shared();
+    let mut client = SlTcpStack::new(A, SlConfig::default(), log.clone());
+    let mut server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    server.listen(80);
+    let conn = client.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(
+        50,
+        client,
+        server,
+        LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(0.05)),
+    );
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    let data = vec![3u8; 30_000];
+    let got = transfer(&mut net, nc, ns, conn, &data, 60);
+    assert_eq!(got.len(), data.len());
+    let m = slmetrics::InteractionMatrix::from_log(&log.borrow());
+    assert_eq!(
+        m.entanglement_score(),
+        0,
+        "sublayered stack must have zero shared fields; matrix: {:?}",
+        m.shared_fields()
+    );
+    assert_eq!(m.interacting_pairs(), 0);
+    // And all four sublayers actually ran.
+    let ctxs = log.borrow().contexts().into_iter().map(String::from).collect::<Vec<_>>();
+    for ctx in ["dm", "cm", "rd", "osr"] {
+        assert!(ctxs.iter().any(|c| c == ctx), "{ctx} missing from {ctxs:?}");
+    }
+}
+
+#[test]
+fn fast_retransmit_and_sack_operate_under_loss() {
+    let params = LinkParams::delay_only(Dur::from_millis(10))
+        .with_fault(FaultProfile::lossy(0.05));
+    let (mut net, nc, ns, conn) = pair(60, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data = vec![7u8; 120_000];
+    let got = transfer(&mut net, nc, ns, conn, &data, 120);
+    assert_eq!(got.len(), data.len());
+    let rd = stack(&mut net, nc).rd_stats(conn).unwrap();
+    assert!(rd.fast_retransmits > 0, "expected fast retransmits: {rd:?}");
+}
+
+#[test]
+fn crossing_stats_populated() {
+    let (mut net, nc, ns, conn) = pair(70, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let data = vec![1u8; 10_000];
+    let got = transfer(&mut net, nc, ns, conn, &data, 30);
+    assert_eq!(got.len(), data.len());
+    let cx = stack(&mut net, nc).crossings.clone();
+    assert_eq!(cx.osr_to_rd_bytes, 10_000);
+    assert!(cx.osr_to_rd_segments >= 10);
+    assert!(cx.signals_up > 0);
+    assert!(cx.wire_bytes_tx > 10_000);
+    let sx = stack(&mut net, ns).crossings.clone();
+    assert_eq!(sx.rd_to_osr_bytes, 10_000);
+}
+
+#[test]
+fn ecn_echo_slows_the_sender() {
+    let (mut net, nc, ns, conn) = pair(80, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let sconn = stack(&mut net, ns).established()[0];
+    // Mark ECN on the receiver: its next headers carry the echo.
+    stack(&mut net, ns).mark_ecn(sconn);
+    let data = vec![2u8; 40_000];
+    let got = transfer(&mut net, nc, ns, conn, &data, 60);
+    assert_eq!(got.len(), data.len());
+}
+
+#[test]
+fn two_connections_demultiplex() {
+    let mut client = SlTcpStack::new(A, SlConfig::default(), slmetrics::shared());
+    let mut server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    server.listen(80);
+    server.listen(443);
+    let c1 = client.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let c2 = client.connect(Time::ZERO, 5001, Endpoint::new(B, 443));
+    let (mut net, nc, ns) = two_party(90, client, server, LinkParams::delay_only(Dur::from_millis(3)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    stack(&mut net, nc).send(c1, b"alpha");
+    stack(&mut net, nc).send(c2, b"beta");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(3));
+    let sconns = stack(&mut net, ns).established();
+    assert_eq!(sconns.len(), 2);
+    let mut by_port: Vec<(u16, Vec<u8>)> = sconns
+        .iter()
+        .map(|&c| {
+            let port = stack(&mut net, ns).tuple(c).unwrap().local.port;
+            (port, stack(&mut net, ns).recv(c))
+        })
+        .collect();
+    by_port.sort();
+    assert_eq!(by_port, vec![(80, b"alpha".to_vec()), (443, b"beta".to_vec())]);
+}
+
+#[test]
+fn syn_loss_recovered_by_cm_bootstrap_reliability() {
+    let params = LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(1.0));
+    let (mut net, nc, _ns, conn) = pair(95, params);
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::SynSent);
+    net.heal_link(0);
+    run_for(&mut net, Dur::from_secs(10));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+}
+
+#[test]
+fn flow_control_limits_unread_receiver() {
+    let (mut net, nc, ns, conn) = pair(96, LinkParams::delay_only(Dur::from_millis(2)));
+    run_for(&mut net, Dur::from_secs(1));
+    let data = vec![1u8; 200_000];
+    stack(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(30));
+    // Receiver never read: it can hold at most its buffer capacity.
+    let sconn = stack(&mut net, ns).established()[0];
+    let held = stack(&mut net, ns).recv(sconn);
+    assert!(held.len() <= crate::osr::RCV_BUF_CAP);
+    assert!(held.len() >= 50_000, "should have filled most of the window: {}", held.len());
+    // After reading, the window update lets the rest flow.
+    net.poll_all();
+    let mut rest = Vec::new();
+    for _ in 0..120 {
+        run_for(&mut net, Dur::from_secs(1));
+        rest.extend(stack(&mut net, ns).recv(sconn));
+        net.poll_all();
+        if held.len() + rest.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(held.len() + rest.len(), data.len());
+}
+

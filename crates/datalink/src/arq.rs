@@ -1,0 +1,456 @@
+//! The **error recovery** sublayer (§2.1, Figure 2): reliable delivery on
+//! a single link, as in HDLC and Fibre Channel.
+//!
+//! Three interchangeable ARQ schemes — stop-and-wait, go-back-N and
+//! selective repeat — share one wire header (kind, sequence number) and one
+//! service interface: enqueue messages, receive them exactly once and in
+//! order. Per Figure 2's ordering this sublayer **depends on error
+//! detection below it**: it assumes corrupted frames are dropped before
+//! reaching it (the composed [`crate::stack::DataLinkStack`] wires a
+//! detector underneath; the tests here inject loss, duplication and
+//! reordering but not corruption, exactly the contract the sublayer
+//! boundary states).
+//!
+//! Endpoints are sans-IO [`Stack`]s, so they run directly under `netsim`.
+
+use netsim::{Dur, Stack, Time};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which retransmission scheme the endpoint runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArqScheme {
+    /// One frame in flight at a time.
+    StopAndWait,
+    /// Sliding window; receiver discards out-of-order frames; timeout
+    /// resends the whole window.
+    GoBackN { window: u32 },
+    /// Sliding window; receiver buffers out-of-order frames; each frame is
+    /// acknowledged and retransmitted individually.
+    SelectiveRepeat { window: u32 },
+}
+
+impl ArqScheme {
+    pub fn window(&self) -> u32 {
+        match *self {
+            ArqScheme::StopAndWait => 1,
+            ArqScheme::GoBackN { window } | ArqScheme::SelectiveRepeat { window } => window,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArqScheme::StopAndWait => "stop-and-wait",
+            ArqScheme::GoBackN { .. } => "go-back-N",
+            ArqScheme::SelectiveRepeat { .. } => "selective repeat",
+        }
+    }
+}
+
+/// Counters exposed for the experiments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArqStats {
+    pub data_frames_sent: u64,
+    pub retransmissions: u64,
+    pub acks_sent: u64,
+    pub delivered: u64,
+    pub duplicates_dropped: u64,
+    pub out_of_order_dropped: u64,
+}
+
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// This sublayer's own header bits (test T3): kind and sequence number.
+fn encode_frame(kind: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn decode_frame(frame: &[u8]) -> Option<(u8, u32, &[u8])> {
+    if frame.len() < 5 {
+        return None;
+    }
+    let kind = frame[0];
+    if kind != KIND_DATA && kind != KIND_ACK {
+        return None;
+    }
+    let seq = u32::from_be_bytes([frame[1], frame[2], frame[3], frame[4]]);
+    Some((kind, seq, &frame[5..]))
+}
+
+struct InFlight {
+    payload: Vec<u8>,
+    /// Retransmission deadline for this frame (selective repeat) or unused
+    /// (go-back-N keeps a single window timer).
+    deadline: Time,
+    acked: bool,
+}
+
+/// A bidirectional ARQ endpoint.
+pub struct ArqEndpoint {
+    scheme: ArqScheme,
+    rto: Dur,
+
+    // Sender state.
+    next_seq: u32,
+    base: u32,
+    tx_backlog: VecDeque<Vec<u8>>,
+    in_flight: BTreeMap<u32, InFlight>,
+    /// Go-back-N / stop-and-wait window timer.
+    window_deadline: Option<Time>,
+
+    // Receiver state.
+    rcv_next: u32,
+    ooo: BTreeMap<u32, Vec<u8>>,
+    delivered: VecDeque<Vec<u8>>,
+
+    outbox: VecDeque<Vec<u8>>,
+    pub stats: ArqStats,
+}
+
+impl ArqEndpoint {
+    pub fn new(scheme: ArqScheme, rto: Dur) -> ArqEndpoint {
+        assert!(scheme.window() >= 1);
+        ArqEndpoint {
+            scheme,
+            rto,
+            next_seq: 0,
+            base: 0,
+            tx_backlog: VecDeque::new(),
+            in_flight: BTreeMap::new(),
+            window_deadline: None,
+            rcv_next: 0,
+            ooo: BTreeMap::new(),
+            delivered: VecDeque::new(),
+            outbox: VecDeque::new(),
+            stats: ArqStats::default(),
+        }
+    }
+
+    pub fn scheme(&self) -> ArqScheme {
+        self.scheme
+    }
+
+    /// Queue a message for reliable delivery to the peer.
+    pub fn send(&mut self, msg: Vec<u8>) {
+        self.tx_backlog.push_back(msg);
+    }
+
+    /// Take the next in-order message received from the peer.
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        self.delivered.pop_front()
+    }
+
+    /// All received messages so far, drained.
+    pub fn recv_all(&mut self) -> Vec<Vec<u8>> {
+        self.delivered.drain(..).collect()
+    }
+
+    /// True when every queued message has been sent and acknowledged.
+    pub fn idle(&self) -> bool {
+        self.tx_backlog.is_empty() && self.in_flight.is_empty()
+    }
+
+    fn fill_window(&mut self, now: Time) {
+        let window = self.scheme.window();
+        while self.next_seq.wrapping_sub(self.base) < window {
+            let Some(payload) = self.tx_backlog.pop_front() else { break };
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.outbox.push_back(encode_frame(KIND_DATA, seq, &payload));
+            self.stats.data_frames_sent += 1;
+            self.in_flight
+                .insert(seq, InFlight { payload, deadline: now + self.rto, acked: false });
+            if self.window_deadline.is_none() {
+                self.window_deadline = Some(now + self.rto);
+            }
+        }
+    }
+
+    fn on_ack(&mut self, seq: u32, now: Time) {
+        match self.scheme {
+            ArqScheme::StopAndWait | ArqScheme::GoBackN { .. } => {
+                // Cumulative: `seq` is the receiver's next expected frame.
+                let advanced = seq.wrapping_sub(self.base);
+                if advanced == 0 || advanced > self.scheme.window() {
+                    return; // stale or absurd
+                }
+                let keys: Vec<u32> = self
+                    .in_flight
+                    .keys()
+                    .copied()
+                    .filter(|&k| k.wrapping_sub(self.base) < advanced)
+                    .collect();
+                for k in keys {
+                    self.in_flight.remove(&k);
+                }
+                self.base = seq;
+                self.window_deadline =
+                    if self.in_flight.is_empty() { None } else { Some(now + self.rto) };
+            }
+            ArqScheme::SelectiveRepeat { .. } => {
+                // Individual: `seq` acknowledges exactly that frame.
+                if let Some(f) = self.in_flight.get_mut(&seq) {
+                    f.acked = true;
+                }
+                // Slide base past the acknowledged prefix.
+                while let Some(f) = self.in_flight.get(&self.base) {
+                    if !f.acked {
+                        break;
+                    }
+                    self.in_flight.remove(&self.base);
+                    self.base = self.base.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    fn on_data(&mut self, seq: u32, payload: &[u8]) {
+        match self.scheme {
+            ArqScheme::StopAndWait | ArqScheme::GoBackN { .. } => {
+                if seq == self.rcv_next {
+                    self.delivered.push_back(payload.to_vec());
+                    self.stats.delivered += 1;
+                    self.rcv_next = self.rcv_next.wrapping_add(1);
+                } else if seq.wrapping_sub(self.rcv_next) < u32::MAX / 2 {
+                    // Ahead of us: go-back-N receivers drop out-of-order.
+                    self.stats.out_of_order_dropped += 1;
+                } else {
+                    self.stats.duplicates_dropped += 1;
+                }
+                // Cumulative ack (also re-acks duplicates so the sender can
+                // make progress after a lost ack).
+                self.outbox.push_back(encode_frame(KIND_ACK, self.rcv_next, &[]));
+                self.stats.acks_sent += 1;
+            }
+            ArqScheme::SelectiveRepeat { window } => {
+                let dist = seq.wrapping_sub(self.rcv_next);
+                if dist < window {
+                    // In window: buffer (idempotent).
+                    if self.ooo.insert(seq, payload.to_vec()).is_some() {
+                        self.stats.duplicates_dropped += 1;
+                    }
+                    while let Some(p) = self.ooo.remove(&self.rcv_next) {
+                        self.delivered.push_back(p);
+                        self.stats.delivered += 1;
+                        self.rcv_next = self.rcv_next.wrapping_add(1);
+                    }
+                } else {
+                    // Behind the window: duplicate of something delivered.
+                    self.stats.duplicates_dropped += 1;
+                }
+                self.outbox.push_back(encode_frame(KIND_ACK, seq, &[]));
+                self.stats.acks_sent += 1;
+            }
+        }
+    }
+}
+
+impl Stack for ArqEndpoint {
+    fn on_frame(&mut self, now: Time, frame: &[u8]) {
+        let Some((kind, seq, payload)) = decode_frame(frame) else { return };
+        match kind {
+            KIND_DATA => self.on_data(seq, payload),
+            KIND_ACK => self.on_ack(seq, now),
+            _ => unreachable!("decode_frame filters kinds"),
+        }
+        self.fill_window(now);
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
+        self.fill_window(now);
+        self.outbox.pop_front()
+    }
+
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        match self.scheme {
+            ArqScheme::SelectiveRepeat { .. } => {
+                self.in_flight.values().filter(|f| !f.acked).map(|f| f.deadline).min()
+            }
+            _ => self.window_deadline,
+        }
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        match self.scheme {
+            ArqScheme::StopAndWait | ArqScheme::GoBackN { .. } => {
+                if self.window_deadline.is_some_and(|d| now >= d) {
+                    // Retransmit the entire window.
+                    for (&seq, f) in self.in_flight.iter_mut() {
+                        self.outbox.push_back(encode_frame(KIND_DATA, seq, &f.payload));
+                        self.stats.retransmissions += 1;
+                        f.deadline = now + self.rto;
+                    }
+                    self.window_deadline =
+                        if self.in_flight.is_empty() { None } else { Some(now + self.rto) };
+                }
+            }
+            ArqScheme::SelectiveRepeat { .. } => {
+                let rto = self.rto;
+                for (&seq, f) in self.in_flight.iter_mut() {
+                    if !f.acked && now >= f.deadline {
+                        self.outbox.push_back(encode_frame(KIND_DATA, seq, &f.payload));
+                        self.stats.retransmissions += 1;
+                        f.deadline = now + rto;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{two_party, FaultProfile, LinkParams, StackNode};
+
+    fn run_transfer(scheme: ArqScheme, n_msgs: usize, fault: FaultProfile, seed: u64) -> ArqStats {
+        let mut a = ArqEndpoint::new(scheme, Dur::from_millis(50));
+        let b = ArqEndpoint::new(scheme, Dur::from_millis(50));
+        let msgs: Vec<Vec<u8>> = (0..n_msgs).map(|i| format!("msg-{i}").into_bytes()).collect();
+        for m in &msgs {
+            a.send(m.clone());
+        }
+        let params = LinkParams::delay_only(Dur::from_millis(5)).with_fault(fault);
+        let (mut net, _na, nb) = two_party(seed, a, b, params);
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(600));
+        let receiver = &mut net.node_mut::<StackNode<ArqEndpoint>>(nb).stack;
+        let got = receiver.recv_all();
+        assert_eq!(got, msgs, "{} seed {seed}", scheme.name());
+        receiver.stats.clone()
+    }
+
+    fn schemes() -> [ArqScheme; 3] {
+        [
+            ArqScheme::StopAndWait,
+            ArqScheme::GoBackN { window: 8 },
+            ArqScheme::SelectiveRepeat { window: 8 },
+        ]
+    }
+
+    #[test]
+    fn perfect_link_delivers_in_order() {
+        for scheme in schemes() {
+            let stats = run_transfer(scheme, 50, FaultProfile::none(), 1);
+            assert_eq!(stats.delivered, 50);
+            assert_eq!(stats.duplicates_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_exactly_once() {
+        for scheme in schemes() {
+            for seed in 1..=5 {
+                let stats = run_transfer(scheme, 40, FaultProfile::lossy(0.3), seed);
+                assert_eq!(stats.delivered, 40, "{}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicating_link_drops_duplicates() {
+        for scheme in schemes() {
+            let stats = run_transfer(scheme, 30, FaultProfile::none().with_duplicate(0.5), 7);
+            assert_eq!(stats.delivered, 30);
+            assert!(stats.duplicates_dropped > 0, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn reordering_link_preserves_order() {
+        for scheme in schemes() {
+            let fault = FaultProfile::none().with_reorder(0.4, Dur::from_millis(20));
+            let stats = run_transfer(scheme, 30, fault, 11);
+            assert_eq!(stats.delivered, 30, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn hostile_link_no_corruption() {
+        // Everything except corruption (which the error-detection sublayer
+        // below us removes; see module docs).
+        let fault = FaultProfile {
+            drop: 0.2,
+            corrupt: 0.0,
+            duplicate: 0.2,
+            reorder: 0.2,
+            reorder_delay: Dur::from_millis(15),
+        };
+        for scheme in schemes() {
+            for seed in 20..23 {
+                run_transfer(scheme, 25, fault.clone(), seed);
+            }
+        }
+    }
+
+    #[test]
+    fn go_back_n_retransmits_window_selective_repeat_does_not() {
+        // Under loss, go-back-N resends frames selective repeat would not.
+        let fault = FaultProfile::lossy(0.25);
+        let gbn = run_transfer(ArqScheme::GoBackN { window: 8 }, 60, fault.clone(), 42);
+        let sr = run_transfer(ArqScheme::SelectiveRepeat { window: 8 }, 60, fault, 42);
+        assert!(
+            gbn.out_of_order_dropped > 0,
+            "GBN receiver should discard out-of-order frames"
+        );
+        assert_eq!(sr.out_of_order_dropped, 0, "SR buffers instead of dropping");
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let scheme = ArqScheme::SelectiveRepeat { window: 4 };
+        let mut a = ArqEndpoint::new(scheme, Dur::from_millis(40));
+        let mut b = ArqEndpoint::new(scheme, Dur::from_millis(40));
+        for i in 0..20 {
+            a.send(vec![1, i]);
+            b.send(vec![2, i]);
+        }
+        let params = LinkParams::delay_only(Dur::from_millis(3))
+            .with_fault(FaultProfile::lossy(0.2));
+        let (mut net, na, nb) = two_party(99, a, b, params);
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(600));
+        let got_b = net.node_mut::<StackNode<ArqEndpoint>>(nb).stack.recv_all();
+        let got_a = net.node_mut::<StackNode<ArqEndpoint>>(na).stack.recv_all();
+        assert_eq!(got_b, (0..20).map(|i| vec![1, i]).collect::<Vec<_>>());
+        assert_eq!(got_a, (0..20).map(|i| vec![2, i]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sender_goes_idle_after_all_acked() {
+        let mut a = ArqEndpoint::new(ArqScheme::StopAndWait, Dur::from_millis(40));
+        a.send(b"x".to_vec());
+        assert!(!a.idle());
+        let b = ArqEndpoint::new(ArqScheme::StopAndWait, Dur::from_millis(40));
+        let (mut net, na, _) = two_party(3, a, b, LinkParams::delay_only(Dur::from_millis(1)));
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(10));
+        assert!(net.node::<StackNode<ArqEndpoint>>(na).stack.idle());
+    }
+
+    #[test]
+    fn malformed_frames_ignored() {
+        let mut a = ArqEndpoint::new(ArqScheme::StopAndWait, Dur::from_millis(40));
+        a.on_frame(Time::ZERO, &[]);
+        a.on_frame(Time::ZERO, &[9, 9, 9, 9, 9, 9]);
+        a.on_frame(Time::ZERO, &[KIND_DATA, 0]); // too short
+        assert_eq!(a.stats, ArqStats::default());
+    }
+
+    #[test]
+    fn window_limits_outstanding_frames() {
+        let mut a = ArqEndpoint::new(ArqScheme::GoBackN { window: 3 }, Dur::from_millis(40));
+        for i in 0..10u8 {
+            a.send(vec![i]);
+        }
+        let mut sent = 0;
+        while a.poll_transmit(Time::ZERO).is_some() {
+            sent += 1;
+        }
+        assert_eq!(sent, 3, "only the window may be outstanding");
+    }
+}

@@ -1,0 +1,326 @@
+//! The **encoding/decoding** sublayer (§2.1, Figure 2) — the lowest
+//! data-link sublayer, converting bits to and from physical-layer symbols.
+//!
+//! "Most Data Links from Ethernet to PPP begin by decoding the physical
+//! signals (encoded by the sender) into digital data" — this sublayer owns
+//! that conversion. Its interface upward (to framing) is a bit stream; its
+//! mechanism (NRZ vs NRZI vs Manchester vs 4B/5B) is private and swappable
+//! (test **T3**), which experiment E1 exercises.
+
+use bitstuff::BitVec;
+use std::fmt;
+
+/// A two-level line symbol (low/high). Packed as bits on the simulated
+/// wire.
+pub type Symbol = bool;
+
+/// Decoding failures (invalid symbol sequences).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodingError {
+    /// Symbol stream length is impossible for this code.
+    BadLength,
+    /// A symbol group does not correspond to any codeword.
+    InvalidCodeword,
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::BadLength => write!(f, "symbol stream has impossible length"),
+            CodingError::InvalidCodeword => write!(f, "invalid line codeword"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+/// A line code: bits ↔ symbols.
+pub trait LineCode {
+    fn name(&self) -> &'static str;
+
+    /// Symbols emitted per data bit (2 for Manchester, 1 for NRZ/NRZI,
+    /// 5/4 average for 4B/5B — reported ×4 as `(symbols, bits)`).
+    fn rate(&self) -> (usize, usize);
+
+    fn encode(&self, bits: &BitVec) -> Vec<Symbol>;
+
+    fn decode(&self, symbols: &[Symbol]) -> Result<BitVec, CodingError>;
+}
+
+/// Non-return-to-zero: 1 ↦ high, 0 ↦ low.
+#[derive(Clone, Debug, Default)]
+pub struct Nrz;
+
+impl LineCode for Nrz {
+    fn name(&self) -> &'static str {
+        "NRZ"
+    }
+    fn rate(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn encode(&self, bits: &BitVec) -> Vec<Symbol> {
+        bits.iter().collect()
+    }
+    fn decode(&self, symbols: &[Symbol]) -> Result<BitVec, CodingError> {
+        Ok(BitVec::from_bools(symbols))
+    }
+}
+
+/// NRZ-inverted: a 1 toggles the line level, a 0 holds it. The line starts
+/// low by convention. Removes DC dependence on absolute polarity.
+#[derive(Clone, Debug, Default)]
+pub struct Nrzi;
+
+impl LineCode for Nrzi {
+    fn name(&self) -> &'static str {
+        "NRZI"
+    }
+    fn rate(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn encode(&self, bits: &BitVec) -> Vec<Symbol> {
+        let mut level = false;
+        bits.iter()
+            .map(|b| {
+                if b {
+                    level = !level;
+                }
+                level
+            })
+            .collect()
+    }
+    fn decode(&self, symbols: &[Symbol]) -> Result<BitVec, CodingError> {
+        let mut out = BitVec::with_capacity(symbols.len());
+        let mut prev = false;
+        for &s in symbols {
+            out.push(s != prev);
+            prev = s;
+        }
+        Ok(out)
+    }
+}
+
+/// Manchester (IEEE convention): 1 ↦ low→high, 0 ↦ high→low. Two symbols
+/// per bit; self-clocking.
+#[derive(Clone, Debug, Default)]
+pub struct Manchester;
+
+impl LineCode for Manchester {
+    fn name(&self) -> &'static str {
+        "Manchester"
+    }
+    fn rate(&self) -> (usize, usize) {
+        (2, 1)
+    }
+    fn encode(&self, bits: &BitVec) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(bits.len() * 2);
+        for b in bits.iter() {
+            if b {
+                out.push(false);
+                out.push(true);
+            } else {
+                out.push(true);
+                out.push(false);
+            }
+        }
+        out
+    }
+    fn decode(&self, symbols: &[Symbol]) -> Result<BitVec, CodingError> {
+        if !symbols.len().is_multiple_of(2) {
+            return Err(CodingError::BadLength);
+        }
+        let mut out = BitVec::with_capacity(symbols.len() / 2);
+        for pair in symbols.chunks_exact(2) {
+            match (pair[0], pair[1]) {
+                (false, true) => out.push(true),
+                (true, false) => out.push(false),
+                // No mid-bit transition: not a Manchester symbol.
+                _ => return Err(CodingError::InvalidCodeword),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// 4B/5B block code (FDDI/100BASE-X): each data nibble maps to a 5-bit
+/// codeword chosen to bound run lengths; invalid codewords are detected.
+#[derive(Clone, Debug, Default)]
+pub struct FourBFiveB;
+
+/// The sixteen data codewords of 4B/5B, indexed by nibble value.
+const FIVE_B: [u8; 16] = [
+    0b11110, 0b01001, 0b10100, 0b10101, 0b01010, 0b01011, 0b01110, 0b01111, 0b10010, 0b10011,
+    0b10110, 0b10111, 0b11010, 0b11011, 0b11100, 0b11101,
+];
+
+impl LineCode for FourBFiveB {
+    fn name(&self) -> &'static str {
+        "4B/5B"
+    }
+    fn rate(&self) -> (usize, usize) {
+        (5, 4)
+    }
+    fn encode(&self, bits: &BitVec) -> Vec<Symbol> {
+        assert!(bits.len().is_multiple_of(4), "4B/5B requires nibble-aligned input");
+        let mut out = Vec::with_capacity(bits.len() / 4 * 5);
+        for i in (0..bits.len()).step_by(4) {
+            let nibble = bits.slice(i, i + 4).to_uint() as usize;
+            let code = FIVE_B[nibble];
+            for j in (0..5).rev() {
+                out.push(code >> j & 1 == 1);
+            }
+        }
+        out
+    }
+    fn decode(&self, symbols: &[Symbol]) -> Result<BitVec, CodingError> {
+        if !symbols.len().is_multiple_of(5) {
+            return Err(CodingError::BadLength);
+        }
+        let mut out = BitVec::with_capacity(symbols.len() / 5 * 4);
+        for group in symbols.chunks_exact(5) {
+            let code = group.iter().fold(0u8, |acc, &s| (acc << 1) | s as u8);
+            let nibble = FIVE_B
+                .iter()
+                .position(|&c| c == code)
+                .ok_or(CodingError::InvalidCodeword)?;
+            for j in (0..4).rev() {
+                out.push(nibble >> j & 1 == 1);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Pack a symbol stream into bytes for transit on the simulated wire,
+/// prefixing the symbol count so the exact length survives.
+pub fn symbols_to_wire(symbols: &[Symbol]) -> Vec<u8> {
+    let mut bits = BitVec::with_capacity(symbols.len());
+    for &s in symbols {
+        bits.push(s);
+    }
+    let (payload, len) = bits.to_bytes_padded();
+    let mut out = (len as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Inverse of [`symbols_to_wire`]. Returns `None` on malformed input.
+pub fn wire_to_symbols(wire: &[u8]) -> Option<Vec<Symbol>> {
+    if wire.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) as usize;
+    let payload = &wire[4..];
+    if len > payload.len() * 8 {
+        return None;
+    }
+    let bits = BitVec::from_bytes_padded(payload, len);
+    Some(bits.iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitstuff::bits;
+
+    fn codes() -> Vec<Box<dyn LineCode>> {
+        vec![Box::new(Nrz), Box::new(Nrzi), Box::new(Manchester), Box::new(FourBFiveB)]
+    }
+
+    #[test]
+    fn round_trip_all_codes_nibble_aligned() {
+        for code in codes() {
+            for len in [0usize, 4, 8, 12, 32] {
+                for seed in 0..16u64 {
+                    let data = BitVec::from_uint(seed.wrapping_mul(0x9E37) & ((1 << len.min(63)) - 1).max(0), len);
+                    let symbols = code.encode(&data);
+                    assert_eq!(code.decode(&symbols), Ok(data.clone()), "{}", code.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nrz_is_identity() {
+        let d = bits("1011001");
+        assert_eq!(Nrz.encode(&d), vec![true, false, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn nrzi_transitions_on_ones() {
+        // 1 1 0 1 -> toggles: hi, lo, lo, hi
+        assert_eq!(Nrzi.encode(&bits("1101")), vec![true, false, false, true]);
+        assert_eq!(Nrzi.decode(&[true, false, false, true]), Ok(bits("1101")));
+    }
+
+    #[test]
+    fn manchester_rejects_missing_transition() {
+        assert_eq!(Manchester.decode(&[true, true]), Err(CodingError::InvalidCodeword));
+        assert_eq!(Manchester.decode(&[true]), Err(CodingError::BadLength));
+    }
+
+    #[test]
+    fn manchester_doubles_length() {
+        let d = bits("10");
+        let s = Manchester.encode(&d);
+        assert_eq!(s, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn four_b_five_b_codewords_have_bounded_zero_runs() {
+        // Every codeword has at most one leading zero and two trailing
+        // zeros, guaranteeing at most 3 consecutive zeros across
+        // boundaries (the property that keeps NRZI self-clocking).
+        for &c in FIVE_B.iter() {
+            assert!(c >> 4 != 0 || (c >> 3) & 1 != 0, "{c:05b} has 2+ leading zeros");
+            assert!(c & 0b11 != 0 || (c >> 2) & 1 != 0, "{c:05b} has 3 trailing zeros");
+        }
+        // And all codewords are distinct.
+        let set: std::collections::HashSet<_> = FIVE_B.iter().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn four_b_five_b_detects_invalid_codeword() {
+        // 00000 is not a data codeword.
+        assert_eq!(
+            FourBFiveB.decode(&[false; 5]),
+            Err(CodingError::InvalidCodeword)
+        );
+        assert_eq!(FourBFiveB.decode(&[true; 3]), Err(CodingError::BadLength));
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble-aligned")]
+    fn four_b_five_b_rejects_ragged_input() {
+        FourBFiveB.encode(&bits("101"));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            let symbols: Vec<Symbol> = (0..n).map(|i| i % 3 == 0).collect();
+            let wire = symbols_to_wire(&symbols);
+            assert_eq!(wire_to_symbols(&wire), Some(symbols));
+        }
+        assert_eq!(wire_to_symbols(&[1, 2]), None);
+        // Claimed length longer than payload.
+        assert_eq!(wire_to_symbols(&[0, 0, 1, 0, 0xFF]), None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_round_trip(nibbles in proptest::collection::vec(0u8..16, 0..64)) {
+            let mut d = BitVec::new();
+            for n in &nibbles {
+                for j in (0..4).rev() {
+                    d.push(n >> j & 1 == 1);
+                }
+            }
+            for code in codes() {
+                let symbols = code.encode(&d);
+                proptest::prop_assert_eq!(code.decode(&symbols), Ok(d.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The **error detection** sublayer (§2.1, Figure 2).
+//!
+//! Sits above framing: it appends a check sequence to each frame and, at
+//! the receiver, flags frames whose check fails. Per test **T2** its
+//! interface is narrow — frames in, frames-or-corrupt-flag out — and per
+//! **T3** the *choice* of detector (CRC-32 vs CRC-64 vs checksum…) is
+//! private to the sublayer: the paper's example of fungibility is "go from
+//! say CRC-32 to CRC-64 without changing other sublayers", which
+//! experiment E1 demonstrates with these implementations.
+
+use std::fmt;
+
+/// A frame failed its check sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Corrupt;
+
+impl fmt::Display for Corrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame failed its error-detection check")
+    }
+}
+
+impl std::error::Error for Corrupt {}
+
+/// An error-detection scheme: append a check sequence on transmit, verify
+/// and strip it on receive.
+pub trait ErrorDetector {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Length of the check sequence in bytes.
+    fn check_len(&self) -> usize;
+
+    /// Compute the check sequence over `data`.
+    fn compute(&self, data: &[u8]) -> Vec<u8>;
+
+    /// `data · check(data)`.
+    fn protect(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        out.extend_from_slice(&self.compute(data));
+        out
+    }
+
+    /// Verify a protected frame; return the payload with the check stripped.
+    fn verify(&self, frame: &[u8]) -> Result<Vec<u8>, Corrupt> {
+        let n = self.check_len();
+        if frame.len() < n {
+            return Err(Corrupt);
+        }
+        let (data, check) = frame.split_at(frame.len() - n);
+        if self.compute(data) == check {
+            Ok(data.to_vec())
+        } else {
+            Err(Corrupt)
+        }
+    }
+}
+
+/// A generic bitwise CRC engine parameterized like the classic "Rocksoft"
+/// model: width, polynomial, initial value, final XOR, and input/output
+/// reflection. All standard CRCs are instances.
+#[derive(Clone, Debug)]
+pub struct Crc {
+    name: &'static str,
+    width: u32,
+    poly: u64,
+    init: u64,
+    xorout: u64,
+    reflect: bool,
+}
+
+impl Crc {
+    pub fn new(
+        name: &'static str,
+        width: u32,
+        poly: u64,
+        init: u64,
+        xorout: u64,
+        reflect: bool,
+    ) -> Crc {
+        assert!((1..=64).contains(&width) && width.is_multiple_of(8), "byte-width CRCs only");
+        Crc { name, width, poly, init, xorout, reflect }
+    }
+
+    /// CRC-8 (poly 0x07), as used in ATM HEC relatives.
+    pub fn crc8() -> Crc {
+        Crc::new("CRC-8", 8, 0x07, 0x00, 0x00, false)
+    }
+
+    /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — HDLC lineage.
+    pub fn crc16_ccitt() -> Crc {
+        Crc::new("CRC-16/CCITT", 16, 0x1021, 0xFFFF, 0x0000, false)
+    }
+
+    /// CRC-32 (IEEE 802.3, reflected 0x04C11DB7) — Ethernet's FCS.
+    pub fn crc32() -> Crc {
+        Crc::new("CRC-32", 32, 0x04C1_1DB7, 0xFFFF_FFFF, 0xFFFF_FFFF, true)
+    }
+
+    /// CRC-64/XZ (reflected ECMA-182 polynomial).
+    pub fn crc64() -> Crc {
+        Crc::new(
+            "CRC-64",
+            64,
+            0x42F0_E1EB_A9EA_3693,
+            0xFFFF_FFFF_FFFF_FFFF,
+            0xFFFF_FFFF_FFFF_FFFF,
+            true,
+        )
+    }
+
+    fn reflect_bits(mut v: u64, width: u32) -> u64 {
+        let mut out = 0u64;
+        for _ in 0..width {
+            out = (out << 1) | (v & 1);
+            v >>= 1;
+        }
+        out
+    }
+
+    /// The raw CRC register value over `data`.
+    pub fn value(&self, data: &[u8]) -> u64 {
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mut reg = self.init & mask;
+        if self.reflect {
+            // Reflected algorithm: shift right, reflected polynomial.
+            let poly = Self::reflect_bits(self.poly, self.width) & mask;
+            for &byte in data {
+                reg ^= byte as u64;
+                for _ in 0..8 {
+                    reg = if reg & 1 != 0 { (reg >> 1) ^ poly } else { reg >> 1 };
+                }
+            }
+        } else {
+            let top = 1u64 << (self.width - 1);
+            for &byte in data {
+                reg ^= (byte as u64) << (self.width - 8);
+                for _ in 0..8 {
+                    reg = if reg & top != 0 { ((reg << 1) ^ self.poly) & mask } else { (reg << 1) & mask };
+                }
+            }
+        }
+        (reg ^ self.xorout) & mask
+    }
+}
+
+impl ErrorDetector for Crc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn check_len(&self) -> usize {
+        (self.width / 8) as usize
+    }
+
+    fn compute(&self, data: &[u8]) -> Vec<u8> {
+        let v = self.value(data);
+        // Big-endian check sequence.
+        (0..self.check_len()).rev().map(|i| (v >> (8 * i)) as u8).collect()
+    }
+}
+
+/// The 16-bit one's-complement Internet checksum (RFC 1071) — weaker than
+/// any CRC but cheap; included as a swap-in to show the fungibility axis.
+#[derive(Clone, Debug, Default)]
+pub struct InternetChecksum;
+
+impl InternetChecksum {
+    /// One's-complement sum of 16-bit words (pads odd lengths with zero).
+    pub fn sum(data: &[u8]) -> u16 {
+        let mut acc: u32 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            acc += u16::from_be_bytes([*last, 0]) as u32;
+        }
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        !(acc as u16)
+    }
+}
+
+impl ErrorDetector for InternetChecksum {
+    fn name(&self) -> &'static str {
+        "Internet checksum"
+    }
+
+    fn check_len(&self) -> usize {
+        2
+    }
+
+    fn compute(&self, data: &[u8]) -> Vec<u8> {
+        Self::sum(data).to_be_bytes().to_vec()
+    }
+}
+
+/// Fletcher-16 checksum: better burst behaviour than the Internet checksum,
+/// still cheaper than a CRC.
+#[derive(Clone, Debug, Default)]
+pub struct Fletcher16;
+
+impl ErrorDetector for Fletcher16 {
+    fn name(&self) -> &'static str {
+        "Fletcher-16"
+    }
+
+    fn check_len(&self) -> usize {
+        2
+    }
+
+    fn compute(&self, data: &[u8]) -> Vec<u8> {
+        let (mut a, mut b) = (0u32, 0u32);
+        for &byte in data {
+            a = (a + byte as u32) % 255;
+            b = (b + a) % 255;
+        }
+        vec![b as u8, a as u8]
+    }
+}
+
+/// Longitudinal parity (XOR of all bytes): the weakest detector, detects
+/// any single-bit error and nothing more — a useful lower anchor for the
+/// detector-comparison experiments.
+#[derive(Clone, Debug, Default)]
+pub struct XorParity;
+
+impl ErrorDetector for XorParity {
+    fn name(&self) -> &'static str {
+        "XOR parity"
+    }
+
+    fn check_len(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, data: &[u8]) -> Vec<u8> {
+        vec![data.iter().fold(0, |acc, &b| acc ^ b)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHECK_INPUT: &[u8] = b"123456789";
+
+    #[test]
+    fn crc_known_answers() {
+        // Standard check values for the "123456789" test vector.
+        assert_eq!(Crc::crc8().value(CHECK_INPUT), 0xF4);
+        assert_eq!(Crc::crc16_ccitt().value(CHECK_INPUT), 0x29B1);
+        assert_eq!(Crc::crc32().value(CHECK_INPUT), 0xCBF4_3926);
+        assert_eq!(Crc::crc64().value(CHECK_INPUT), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn internet_checksum_known_answer() {
+        // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2 -> checksum 220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(InternetChecksum::sum(&data), 0x220d);
+    }
+
+    #[test]
+    fn fletcher_known_answer() {
+        // Fletcher-16 of "abcde" is 0xC8F0 (b=0xC8, a=0xF0).
+        assert_eq!(Fletcher16.compute(b"abcde"), vec![0xC8, 0xF0]);
+    }
+
+    fn all_detectors() -> Vec<Box<dyn ErrorDetector>> {
+        vec![
+            Box::new(Crc::crc8()),
+            Box::new(Crc::crc16_ccitt()),
+            Box::new(Crc::crc32()),
+            Box::new(Crc::crc64()),
+            Box::new(InternetChecksum),
+            Box::new(Fletcher16),
+            Box::new(XorParity),
+        ]
+    }
+
+    #[test]
+    fn protect_verify_round_trip() {
+        for det in all_detectors() {
+            for len in [0usize, 1, 2, 3, 17, 64] {
+                let data: Vec<u8> = (0..len as u8).collect();
+                let framed = det.protect(&data);
+                assert_eq!(framed.len(), data.len() + det.check_len());
+                assert_eq!(det.verify(&framed), Ok(data), "{}", det.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        for det in all_detectors() {
+            let data: Vec<u8> = (0..32u8).collect();
+            let framed = det.protect(&data);
+            for byte in 0..framed.len() {
+                for bit in 0..8 {
+                    let mut bad = framed.clone();
+                    bad[byte] ^= 1 << bit;
+                    assert_eq!(det.verify(&bad), Err(Corrupt), "{} missed flip", det.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crc_detects_bursts_up_to_width() {
+        // Any burst error no longer than the CRC width is detected.
+        for (crc, width) in [(Crc::crc16_ccitt(), 16usize), (Crc::crc32(), 32)] {
+            let data: Vec<u8> = (0..48u8).collect();
+            let framed = crc.protect(&data);
+            let total_bits = framed.len() * 8;
+            for start in (0..total_bits - width).step_by(7) {
+                // Flip the first and last bit of the burst plus a middle one.
+                let mut bad = framed.clone();
+                for off in [0, width / 2, width - 1] {
+                    let b = start + off;
+                    bad[b / 8] ^= 1 << (7 - (b % 8));
+                }
+                assert_eq!(crc.verify(&bad), Err(Corrupt), "{} missed burst", crc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn short_frames_are_corrupt() {
+        assert_eq!(Crc::crc32().verify(&[0, 1]), Err(Corrupt));
+        assert_eq!(Crc::crc32().verify(&[]), Err(Corrupt));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let det = Crc::crc32();
+        assert_eq!(det.verify(&det.protect(&[])), Ok(vec![]));
+    }
+
+    #[test]
+    fn xor_parity_misses_two_flips_in_same_column() {
+        // Documents the weakness that motivates swapping up to a CRC.
+        let det = XorParity;
+        let framed = det.protect(&[0x00, 0x00]);
+        let mut bad = framed;
+        bad[0] ^= 0x01;
+        bad[1] ^= 0x01;
+        assert!(det.verify(&bad).is_ok(), "parity cannot see paired flips");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_round_trip_any_data(data in proptest::collection::vec(proptest::num::u8::ANY, 0..256)) {
+            for det in all_detectors() {
+                proptest::prop_assert_eq!(det.verify(&det.protect(&data)), Ok(data.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The **framing** sublayer (§2.1, Figure 2): converts between a stream of
+//! bytes/bits and discrete frames.
+//!
+//! Four interchangeable framers demonstrate fungibility (test **T3**):
+//!
+//! * [`HdlcFramer`] — the bit-stuffing framer built on the verified
+//!   `bitstuff` crate (itself *nested sublayering within framing*);
+//! * [`CobsFramer`] — Consistent Overhead Byte Stuffing with a `0x00`
+//!   delimiter;
+//! * [`EscapeFramer`] — PPP-style byte escaping (`0x7E` flag, `0x7D`
+//!   escape, XOR `0x20`);
+//! * [`LengthFramer`] — magic-prefixed length framing with resync.
+//!
+//! All framers present the same narrow interface (test **T2**): whole
+//! frames down to/up from the wire byte stream, via a stateful deframer so
+//! frames may arrive split across arbitrary read boundaries.
+
+use bitstuff::{BitVec, FrameCodec};
+
+/// A framing scheme: stateless on the transmit side, stateful (resumable)
+/// on the receive side.
+pub trait Framer {
+    fn name(&self) -> &'static str;
+
+    /// Encapsulate one payload into wire bytes.
+    fn frame(&self, payload: &[u8]) -> Vec<u8>;
+
+    /// Create a fresh receive-side deframer.
+    fn deframer(&self) -> Box<dyn Deframer>;
+}
+
+/// Receive-side state machine: feed wire bytes in any chunking; complete
+/// frames come out.
+pub trait Deframer {
+    fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>>;
+}
+
+/// Convenience: run a one-shot deframe over a whole stream.
+pub fn deframe_all(framer: &dyn Framer, stream: &[u8]) -> Vec<Vec<u8>> {
+    framer.deframer().push(stream)
+}
+
+// ---------------------------------------------------------------------
+// HDLC bit-stuffing framer (wraps the verified bitstuff codec).
+// ---------------------------------------------------------------------
+
+/// Bit-stuffing framer using the HDLC flag/rule pairing. Payload bytes are
+/// framed at bit granularity; the byte stream is padded with idle `1` bits
+/// (HDLC mark idle), which can never complete the flag `01111110` without
+/// the preceding `0` of a genuine flag.
+pub struct HdlcFramer {
+    codec: FrameCodec,
+}
+
+impl Default for HdlcFramer {
+    fn default() -> Self {
+        HdlcFramer { codec: FrameCodec::hdlc() }
+    }
+}
+
+impl HdlcFramer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Framer for HdlcFramer {
+    fn name(&self) -> &'static str {
+        "HDLC bit stuffing"
+    }
+
+    fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let bits = BitVec::from_bytes(payload);
+        let mut encoded = self.codec.encode(&bits);
+        // Pad to a byte boundary with mark-idle ones.
+        while !encoded.len().is_multiple_of(8) {
+            encoded.push(true);
+        }
+        encoded.to_bytes_exact()
+    }
+
+    fn deframer(&self) -> Box<dyn Deframer> {
+        Box::new(HdlcDeframer { codec: FrameCodec::hdlc(), bits: BitVec::new() })
+    }
+}
+
+struct HdlcDeframer {
+    codec: FrameCodec,
+    bits: BitVec,
+}
+
+impl Deframer for HdlcDeframer {
+    fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        self.bits.extend_bits(&BitVec::from_bytes(bytes));
+        let mut out = Vec::new();
+        // Repeatedly strip one complete frame from the front.
+        loop {
+            let flag = self.codec.flagger().flag().clone();
+            let Some(open) = self.bits.find(&flag, 0) else {
+                // Keep only a tail long enough to complete a flag later.
+                let keep = self.bits.len().saturating_sub(flag.len() - 1);
+                self.bits = self.bits.slice(keep, self.bits.len());
+                return out;
+            };
+            let body_start = open + flag.len();
+            let Some(close) = self.bits.find(&flag, body_start) else {
+                // Drop bits before the opening flag; wait for more input.
+                self.bits = self.bits.slice(open, self.bits.len());
+                return out;
+            };
+            let body = self.bits.slice(body_start, close);
+            // The closing flag opens the next frame (shared flags).
+            self.bits = self.bits.slice(close, self.bits.len());
+            if body.is_empty() {
+                continue; // idle fill
+            }
+            if let Ok(data) = self.codec.stuffer().unstuff(&body) {
+                // Discard idle padding: only byte-aligned bodies are real
+                // frames from our transmit side.
+                if data.len() % 8 == 0 {
+                    out.push(data.to_bytes_exact());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// COBS framer.
+// ---------------------------------------------------------------------
+
+/// Consistent Overhead Byte Stuffing: removes all `0x00` bytes from the
+/// payload so `0x00` can delimit frames, with at most ⌈n/254⌉ bytes of
+/// overhead.
+#[derive(Clone, Debug, Default)]
+pub struct CobsFramer;
+
+/// COBS-encode (no delimiter appended).
+pub fn cobs_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 1 + data.len() / 254);
+    let mut block_start = out.len();
+    out.push(0); // placeholder for the first code byte
+    let mut code: u8 = 1;
+    for &b in data {
+        if b == 0 {
+            out[block_start] = code;
+            block_start = out.len();
+            out.push(0);
+            code = 1;
+        } else {
+            out.push(b);
+            code += 1;
+            if code == 0xFF {
+                out[block_start] = code;
+                block_start = out.len();
+                out.push(0);
+                code = 1;
+            }
+        }
+    }
+    out[block_start] = code;
+    out
+}
+
+/// COBS-decode (input without delimiter). Returns `None` on malformed
+/// input (embedded zero or truncated block).
+pub fn cobs_decode(data: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        let code = data[i] as usize;
+        if code == 0 {
+            return None;
+        }
+        i += 1;
+        if i + code - 1 > data.len() {
+            return None;
+        }
+        for _ in 0..code - 1 {
+            if data[i] == 0 {
+                return None;
+            }
+            out.push(data[i]);
+            i += 1;
+        }
+        if code != 0xFF && i < data.len() {
+            out.push(0);
+        }
+    }
+    Some(out)
+}
+
+impl Framer for CobsFramer {
+    fn name(&self) -> &'static str {
+        "COBS"
+    }
+
+    fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = cobs_encode(payload);
+        out.push(0);
+        out
+    }
+
+    fn deframer(&self) -> Box<dyn Deframer> {
+        Box::new(CobsDeframer { buf: Vec::new() })
+    }
+}
+
+struct CobsDeframer {
+    buf: Vec<u8>,
+}
+
+impl Deframer for CobsDeframer {
+    fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            if b == 0 {
+                if !self.buf.is_empty() {
+                    if let Some(frame) = cobs_decode(&self.buf) {
+                        out.push(frame);
+                    }
+                    self.buf.clear();
+                }
+            } else {
+                self.buf.push(b);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// PPP-style escape framer.
+// ---------------------------------------------------------------------
+
+const PPP_FLAG: u8 = 0x7E;
+const PPP_ESC: u8 = 0x7D;
+const PPP_XOR: u8 = 0x20;
+
+/// Byte-escape framing as in PPP (RFC 1662 without ACCM).
+#[derive(Clone, Debug, Default)]
+pub struct EscapeFramer;
+
+impl Framer for EscapeFramer {
+    fn name(&self) -> &'static str {
+        "PPP byte escape"
+    }
+
+    fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![PPP_FLAG];
+        for &b in payload {
+            if b == PPP_FLAG || b == PPP_ESC {
+                out.push(PPP_ESC);
+                out.push(b ^ PPP_XOR);
+            } else {
+                out.push(b);
+            }
+        }
+        out.push(PPP_FLAG);
+        out
+    }
+
+    fn deframer(&self) -> Box<dyn Deframer> {
+        Box::new(EscapeDeframer { buf: Vec::new(), in_frame: false, escaped: false })
+    }
+}
+
+struct EscapeDeframer {
+    buf: Vec<u8>,
+    in_frame: bool,
+    escaped: bool,
+}
+
+impl Deframer for EscapeDeframer {
+    fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            if b == PPP_FLAG {
+                if self.in_frame && !self.buf.is_empty() && !self.escaped {
+                    out.push(std::mem::take(&mut self.buf));
+                }
+                // A flag both closes and opens (shared flags).
+                self.buf.clear();
+                self.in_frame = true;
+                self.escaped = false;
+            } else if !self.in_frame {
+                // noise before first flag
+            } else if self.escaped {
+                self.buf.push(b ^ PPP_XOR);
+                self.escaped = false;
+            } else if b == PPP_ESC {
+                self.escaped = true;
+            } else {
+                self.buf.push(b);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Length-prefix framer.
+// ---------------------------------------------------------------------
+
+const MAGIC: [u8; 2] = [0xAA, 0x55];
+
+/// `magic(2) · length(2, big endian) · payload` framing with magic-based
+/// resynchronisation after corruption.
+#[derive(Clone, Debug, Default)]
+pub struct LengthFramer;
+
+impl Framer for LengthFramer {
+    fn name(&self) -> &'static str {
+        "length prefix"
+    }
+
+    fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        assert!(payload.len() <= u16::MAX as usize, "payload too large");
+        let mut out = MAGIC.to_vec();
+        out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    fn deframer(&self) -> Box<dyn Deframer> {
+        Box::new(LengthDeframer { buf: Vec::new() })
+    }
+}
+
+struct LengthDeframer {
+    buf: Vec<u8>,
+}
+
+impl Deframer for LengthDeframer {
+    fn push(&mut self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            // Resync: discard until the magic prefix.
+            let Some(start) = self.buf.windows(2).position(|w| w == MAGIC) else {
+                // Keep a possible first magic byte at the very end.
+                let keep = if self.buf.last() == Some(&MAGIC[0]) { 1 } else { 0 };
+                self.buf.drain(..self.buf.len() - keep);
+                return out;
+            };
+            self.buf.drain(..start);
+            if self.buf.len() < 4 {
+                return out;
+            }
+            let len = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
+            if self.buf.len() < 4 + len {
+                return out;
+            }
+            out.push(self.buf[4..4 + len].to_vec());
+            self.buf.drain(..4 + len);
+        }
+    }
+}
+
+/// All framers, for comparative experiments.
+pub fn all_framers() -> Vec<Box<dyn Framer>> {
+    vec![
+        Box::new(HdlcFramer::new()),
+        Box::new(CobsFramer),
+        Box::new(EscapeFramer),
+        Box::new(LengthFramer),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads() -> Vec<Vec<u8>> {
+        vec![
+            vec![],
+            vec![0x00],
+            vec![0x7E, 0x7D, 0x00, 0xFF],
+            (0..=255u8).collect(),
+            vec![0xAA, 0x55, 0x00, 0x01], // contains the length-framer magic
+            vec![0xFF; 600],              // long run of ones stresses HDLC stuffing
+            vec![0x00; 600],              // long run of zeros stresses COBS
+        ]
+    }
+
+    #[test]
+    fn every_framer_round_trips_every_payload() {
+        for framer in all_framers() {
+            for p in payloads() {
+                if p.is_empty() {
+                    continue; // empty frames are indistinguishable from idle
+                }
+                let wire = framer.frame(&p);
+                let frames = deframe_all(framer.as_ref(), &wire);
+                assert_eq!(frames, vec![p.clone()], "{}", framer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_split_correctly() {
+        for framer in all_framers() {
+            let a = vec![1, 2, 3];
+            let b = vec![4, 5];
+            let mut wire = framer.frame(&a);
+            wire.extend_from_slice(&framer.frame(&b));
+            assert_eq!(deframe_all(framer.as_ref(), &wire), vec![a.clone(), b.clone()], "{}", framer.name());
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        for framer in all_framers() {
+            let p: Vec<u8> = (0..100u8).collect();
+            let wire = framer.frame(&p);
+            let mut deframer = framer.deframer();
+            let mut got = Vec::new();
+            for &b in &wire {
+                got.extend(deframer.push(&[b]));
+            }
+            assert_eq!(got, vec![p.clone()], "{}", framer.name());
+        }
+    }
+
+    #[test]
+    fn cobs_known_vectors() {
+        assert_eq!(cobs_encode(&[]), vec![0x01]);
+        assert_eq!(cobs_encode(&[0x00]), vec![0x01, 0x01]);
+        assert_eq!(cobs_encode(&[0x00, 0x00]), vec![0x01, 0x01, 0x01]);
+        assert_eq!(cobs_encode(&[0x11, 0x22, 0x00, 0x33]), vec![0x03, 0x11, 0x22, 0x02, 0x33]);
+        assert_eq!(cobs_encode(&[0x11, 0x00]), vec![0x02, 0x11, 0x01]);
+        for v in payloads() {
+            assert_eq!(cobs_decode(&cobs_encode(&v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn cobs_encoded_never_contains_zero() {
+        for v in payloads() {
+            assert!(!cobs_encode(&v).contains(&0));
+        }
+    }
+
+    #[test]
+    fn cobs_decode_rejects_malformed() {
+        assert_eq!(cobs_decode(&[0x00]), None); // code byte zero
+        assert_eq!(cobs_decode(&[0x05, 0x01]), None); // truncated block
+    }
+
+    #[test]
+    fn cobs_worst_case_overhead_bound() {
+        // 254 nonzero bytes per extra code byte.
+        let data = vec![0x42u8; 254 * 3];
+        let enc = cobs_encode(&data);
+        assert!(enc.len() <= data.len() + 1 + data.len() / 254 + 1);
+    }
+
+    #[test]
+    fn length_framer_resyncs_after_garbage() {
+        let framer = LengthFramer;
+        let p = vec![9, 9, 9];
+        let mut wire = vec![0x01, 0x02, 0xAA]; // garbage incl. a stray magic byte
+        wire.extend(framer.frame(&p));
+        assert_eq!(deframe_all(&framer, &wire), vec![p]);
+    }
+
+    #[test]
+    fn escape_framer_hides_flag_bytes() {
+        let framer = EscapeFramer;
+        let wire = framer.frame(&[PPP_FLAG, PPP_ESC]);
+        // Interior bytes must contain no raw flag.
+        assert!(!wire[1..wire.len() - 1].contains(&PPP_FLAG));
+    }
+
+    #[test]
+    fn noise_between_frames_is_tolerated() {
+        // COBS and escape framers must skip inter-frame noise.
+        let framer = EscapeFramer;
+        let p = vec![5, 6, 7];
+        let mut wire = vec![0x10, 0x20]; // pre-frame noise (no flag)
+        wire.extend(framer.frame(&p));
+        assert_eq!(deframe_all(&framer, &wire), vec![p]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_all_framers_round_trip(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(proptest::num::u8::ANY, 1..100), 1..8)
+        ) {
+            for framer in all_framers() {
+                let mut wire = Vec::new();
+                for f in &frames {
+                    wire.extend(framer.frame(f));
+                }
+                proptest::prop_assert_eq!(
+                    &deframe_all(framer.as_ref(), &wire), &frames, "{}", framer.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # datalink — the sublayered data link layer (paper §2.1, Figure 2)
+//!
+//! The paper divides the data link layer into four sublayers, each with a
+//! narrow interface (test **T2**), its own header bits and mechanisms
+//! (test **T3**), and a distinct service improving the sublayer below
+//! (test **T1**):
+//!
+//! | sublayer          | module       | implementations |
+//! |-------------------|--------------|-----------------|
+//! | error recovery    | [`arq`]      | stop-and-wait, go-back-N, selective repeat |
+//! | error detection   | [`errordet`] | CRC-8/16/32/64, Internet checksum, Fletcher-16, parity |
+//! | framing           | [`framing`]  | HDLC bit stuffing (via `bitstuff`), COBS, PPP escapes, length prefix |
+//! | encoding/decoding | [`coding`]   | NRZ, NRZI, Manchester, 4B/5B |
+//!
+//! [`stack::DataLinkStack`] composes one choice per sublayer into a full
+//! endpoint; every sublayer is independently replaceable (experiment E1).
+//! [`mac`] provides the broadcast-link alternative the paper mentions
+//! (ALOHA/CSMA instead of error recovery).
+
+pub mod arq;
+pub mod coding;
+pub mod errordet;
+pub mod framing;
+pub mod mac;
+pub mod stack;
+
+pub use arq::{ArqEndpoint, ArqScheme, ArqStats};
+pub use coding::{CodingError, FourBFiveB, LineCode, Manchester, Nrz, Nrzi, Symbol};
+pub use errordet::{Corrupt, Crc, ErrorDetector, Fletcher16, InternetChecksum, XorParity};
+pub use framing::{CobsFramer, Deframer, EscapeFramer, Framer, HdlcFramer, LengthFramer};
+pub use mac::{simulate as mac_simulate, MacConfig, MacScheme, MacStats};
+pub use stack::{DataLinkStack, StackStats};

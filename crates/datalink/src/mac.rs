@@ -1,0 +1,324 @@
+//! The **media access control** alternative (§2.1): "broadcast links like
+//! 802.11 dispense with error recovery and do Media Access Control to
+//! guarantee that one sender at a time, eventually and fairly, gets access
+//! to the shared physical channel."
+//!
+//! This module implements the classic shared-medium access schemes on a
+//! slotted broadcast channel: pure/slotted ALOHA and 1-persistent /
+//! non-persistent CSMA with binary exponential backoff. The simulations are
+//! deterministic (seeded) and reproduce the textbook throughput curves
+//! (slotted ALOHA peaks at 1/e ≈ 0.368 around offered load G = 1), used by
+//! the `bench` experiment suite.
+
+use netsim::DetRng;
+
+/// Access scheme run by every station.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacScheme {
+    /// Transmit in any slot with probability `p` whenever backlogged.
+    SlottedAloha,
+    /// Listen first; if the previous slot was busy, defer (1-persistent:
+    /// transmit as soon as idle).
+    CsmaPersistent,
+    /// Listen first; if busy, wait a random backoff before sensing again.
+    CsmaNonPersistent,
+}
+
+impl MacScheme {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MacScheme::SlottedAloha => "slotted ALOHA",
+            MacScheme::CsmaPersistent => "CSMA 1-persistent",
+            MacScheme::CsmaNonPersistent => "CSMA non-persistent",
+        }
+    }
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct MacConfig {
+    pub scheme: MacScheme,
+    pub stations: usize,
+    /// Per-station, per-slot probability a new frame arrives (Poisson-ish
+    /// Bernoulli arrivals).
+    pub arrival_prob: f64,
+    /// Transmission probability when backlogged (ALOHA) / after idle
+    /// detection (CSMA).
+    pub tx_prob: f64,
+    pub slots: u64,
+    pub seed: u64,
+    /// Maximum backoff exponent for collision recovery.
+    pub max_backoff_exp: u32,
+    /// How many slots one frame occupies (carrier sensing pays off when
+    /// frames are longer than one slot).
+    pub frame_slots: u64,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            scheme: MacScheme::SlottedAloha,
+            stations: 20,
+            arrival_prob: 0.02,
+            tx_prob: 0.05,
+            slots: 100_000,
+            seed: 1,
+            max_backoff_exp: 8,
+            frame_slots: 1,
+        }
+    }
+}
+
+/// Results of a MAC simulation.
+#[derive(Clone, Debug, Default)]
+pub struct MacStats {
+    pub slots: u64,
+    pub successes: u64,
+    pub collisions: u64,
+    pub idle_slots: u64,
+    pub arrivals: u64,
+    pub dropped_arrivals: u64,
+    /// Per-station success counts (for fairness analysis).
+    pub per_station: Vec<u64>,
+}
+
+impl MacStats {
+    /// Fraction of slots carrying a successful transmission.
+    pub fn throughput(&self) -> f64 {
+        self.successes as f64 / self.slots as f64
+    }
+
+    /// Jain's fairness index over per-station successes (1.0 = perfectly
+    /// fair).
+    pub fn fairness(&self) -> f64 {
+        let n = self.per_station.len() as f64;
+        let sum: f64 = self.per_station.iter().map(|&x| x as f64).sum();
+        let sumsq: f64 = self.per_station.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        if sumsq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sumsq)
+    }
+}
+
+struct Station {
+    backlog: u64,
+    backoff: u64,
+    collisions_in_a_row: u32,
+}
+
+struct Ongoing {
+    station: usize,
+    end: u64,
+    collided: bool,
+}
+
+/// Run a slotted shared-medium simulation. Frames occupy
+/// `frame_slots` consecutive slots; carrier-sensing schemes defer while a
+/// transmission is in progress, so their vulnerable period is one slot
+/// rather than a whole frame — the classic reason CSMA outperforms ALOHA
+/// once frames are longer than the sensing granularity.
+pub fn simulate(cfg: &MacConfig) -> MacStats {
+    let mut rng = DetRng::new(cfg.seed);
+    let mut stations: Vec<Station> = (0..cfg.stations)
+        .map(|_| Station { backlog: 0, backoff: 0, collisions_in_a_row: 0 })
+        .collect();
+    let mut stats = MacStats { per_station: vec![0; cfg.stations], ..Default::default() };
+    stats.slots = cfg.slots;
+    let frame_slots = cfg.frame_slots.max(1);
+    let mut ongoing: Vec<Ongoing> = Vec::new();
+
+    for slot in 0..cfg.slots {
+        // Complete transmissions ending at this slot boundary.
+        let mut still = Vec::new();
+        for o in ongoing.drain(..) {
+            if o.end <= slot {
+                let st = &mut stations[o.station];
+                if o.collided {
+                    stats.collisions += 1;
+                    st.collisions_in_a_row = (st.collisions_in_a_row + 1).min(cfg.max_backoff_exp);
+                    let span = 1u64 << st.collisions_in_a_row;
+                    st.backoff = rng.below(span.max(1));
+                } else {
+                    stats.successes += 1;
+                    stats.per_station[o.station] += 1;
+                    st.backlog -= 1;
+                    st.collisions_in_a_row = 0;
+                }
+            } else {
+                still.push(o);
+            }
+        }
+        ongoing = still;
+        let busy = !ongoing.is_empty();
+
+        // Arrivals.
+        for s in stations.iter_mut() {
+            if rng.chance(cfg.arrival_prob) {
+                stats.arrivals += 1;
+                if s.backlog < 64 {
+                    s.backlog += 1;
+                } else {
+                    stats.dropped_arrivals += 1;
+                }
+            }
+        }
+
+        // Transmission decisions.
+        let mut starters: Vec<usize> = Vec::new();
+        for (i, s) in stations.iter_mut().enumerate() {
+            if s.backlog == 0 || ongoing.iter().any(|o| o.station == i) {
+                continue;
+            }
+            if s.backoff > 0 {
+                s.backoff -= 1;
+                continue;
+            }
+            let attempt = match cfg.scheme {
+                MacScheme::SlottedAloha => rng.chance(cfg.tx_prob),
+                MacScheme::CsmaPersistent => !busy,
+                MacScheme::CsmaNonPersistent => !busy && rng.chance(cfg.tx_prob),
+            };
+            if attempt {
+                starters.push(i);
+            }
+        }
+        if starters.is_empty() {
+            if !busy {
+                stats.idle_slots += 1;
+            }
+        } else {
+            let clash = starters.len() > 1 || busy;
+            if clash {
+                for o in ongoing.iter_mut() {
+                    o.collided = true;
+                }
+            }
+            for &i in &starters {
+                ongoing.push(Ongoing { station: i, end: slot + frame_slots, collided: clash });
+            }
+        }
+    }
+    stats
+}
+
+/// Theoretical slotted-ALOHA throughput `G·e^{-G}` for offered load `G`.
+pub fn slotted_aloha_theory(g: f64) -> f64 {
+    g * (-g).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = MacConfig::default();
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn slotted_aloha_matches_theory_near_peak() {
+        // Saturated stations with n·p = G: with 50 stations each
+        // transmitting w.p. 0.02 (G = 1), throughput should be close to
+        // 1/e.
+        let cfg = MacConfig {
+            scheme: MacScheme::SlottedAloha,
+            stations: 50,
+            arrival_prob: 1.0, // always backlogged
+            tx_prob: 0.02,
+            slots: 200_000,
+            seed: 5,
+            max_backoff_exp: 0, // pure ALOHA retransmission behaviour
+            frame_slots: 1,
+        };
+        let stats = simulate(&cfg);
+        let theory = slotted_aloha_theory(1.0);
+        assert!(
+            (stats.throughput() - theory).abs() < 0.03,
+            "throughput {} vs theory {theory}",
+            stats.throughput()
+        );
+    }
+
+    #[test]
+    fn csma_beats_aloha_under_load() {
+        // Long frames (10 slots): ALOHA's vulnerable period is the whole
+        // frame, CSMA's is one slot.
+        let base = MacConfig {
+            stations: 20,
+            arrival_prob: 0.01,
+            tx_prob: 0.1,
+            slots: 100_000,
+            seed: 9,
+            max_backoff_exp: 8,
+            frame_slots: 10,
+            scheme: MacScheme::SlottedAloha,
+        };
+        let aloha = simulate(&base);
+        let csma = simulate(&MacConfig { scheme: MacScheme::CsmaNonPersistent, ..base.clone() });
+        // Compare goodput in *slots* carrying successful data.
+        let g_aloha = aloha.successes as f64 * 10.0 / aloha.slots as f64;
+        let g_csma = csma.successes as f64 * 10.0 / csma.slots as f64;
+        assert!(
+            g_csma > g_aloha,
+            "CSMA {g_csma} should beat ALOHA {g_aloha}"
+        );
+        assert!(g_csma > 0.35, "CSMA should keep the channel busy, got {g_csma}");
+    }
+
+    #[test]
+    fn backoff_keeps_persistent_csma_alive() {
+        // 1-persistent CSMA with many stations relies on backoff to break
+        // synchronized retries; throughput must stay well above zero.
+        let cfg = MacConfig {
+            scheme: MacScheme::CsmaPersistent,
+            stations: 10,
+            arrival_prob: 0.03,
+            tx_prob: 1.0,
+            slots: 100_000,
+            seed: 3,
+            max_backoff_exp: 10,
+            frame_slots: 5,
+        };
+        let stats = simulate(&cfg);
+        let goodput = stats.successes as f64 * 5.0 / stats.slots as f64;
+        assert!(goodput > 0.4, "goodput {goodput}");
+    }
+
+    #[test]
+    fn fairness_is_high_for_symmetric_stations() {
+        let cfg = MacConfig {
+            scheme: MacScheme::SlottedAloha,
+            stations: 10,
+            arrival_prob: 0.01,
+            tx_prob: 0.05,
+            slots: 200_000,
+            seed: 7,
+            max_backoff_exp: 6,
+            frame_slots: 1,
+        };
+        let stats = simulate(&cfg);
+        assert!(stats.fairness() > 0.95, "fairness {}", stats.fairness());
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let stats = simulate(&MacConfig::default());
+        let per_station_total: u64 = stats.per_station.iter().sum();
+        assert_eq!(per_station_total, stats.successes);
+        // Arrivals either still queue, got dropped, or were delivered.
+        assert!(stats.successes + stats.dropped_arrivals <= stats.arrivals);
+    }
+
+    #[test]
+    fn theory_curve_peaks_at_one() {
+        let peak = slotted_aloha_theory(1.0);
+        assert!(slotted_aloha_theory(0.5) < peak);
+        assert!(slotted_aloha_theory(2.0) < peak);
+        assert!((peak - 1.0 / std::f64::consts::E).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,409 @@
+//! Distance-vector route computation (RIP-style Bellman-Ford).
+//!
+//! Periodic full-table advertisements to each neighbor with split horizon
+//! and poisoned reverse; triggered updates on topology change; route
+//! expiry; metric 16 = infinity. One of the two swappable engines behind
+//! [`crate::routecomp::RouteComputation`].
+
+use crate::packet::{wire, Addr};
+use crate::routecomp::{RcStats, RouteComputation};
+use netsim::{Dur, PortId, Time};
+use std::collections::HashMap;
+
+/// RIP's "infinity" metric.
+pub const INFINITY: u32 = 16;
+
+#[derive(Clone, Debug)]
+struct Route {
+    metric: u32,
+    port: Option<PortId>, // None for the self route
+    learned_from: Option<Addr>,
+    refreshed: Time,
+}
+
+/// Timer settings.
+#[derive(Clone, Debug)]
+pub struct DvConfig {
+    pub advertise_interval: Dur,
+    pub route_timeout: Dur,
+}
+
+impl Default for DvConfig {
+    fn default() -> Self {
+        DvConfig {
+            advertise_interval: Dur::from_millis(1000),
+            route_timeout: Dur::from_millis(4500),
+        }
+    }
+}
+
+/// The distance-vector engine.
+pub struct DistanceVector {
+    me: Addr,
+    cfg: DvConfig,
+    neighbors: HashMap<PortId, Addr>,
+    table: HashMap<Addr, Route>,
+    next_advert: Time,
+    /// Set on topology change to trigger an immediate advertisement.
+    triggered: bool,
+    outbox: Vec<(PortId, Vec<u8>)>,
+    version: u64,
+    stats: RcStats,
+}
+
+impl DistanceVector {
+    pub fn new(me: Addr, cfg: DvConfig) -> DistanceVector {
+        let mut table = HashMap::new();
+        table.insert(
+            me,
+            Route { metric: 0, port: None, learned_from: None, refreshed: Time::MAX },
+        );
+        DistanceVector {
+            me,
+            cfg,
+            neighbors: HashMap::new(),
+            table,
+            next_advert: Time::ZERO,
+            triggered: false,
+            outbox: Vec::new(),
+            version: 0,
+            stats: RcStats::default(),
+        }
+    }
+
+    /// Serialize this router's advertisement for `port`, applying split
+    /// horizon with poisoned reverse: routes learned through `port` are
+    /// advertised with metric INFINITY.
+    fn advertisement_for(&self, port: PortId) -> Vec<u8> {
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, self.me);
+        let mut entries: Vec<(Addr, u32)> = self
+            .table
+            .iter()
+            .map(|(&dst, r)| {
+                let metric =
+                    if r.port == Some(port) { INFINITY } else { r.metric.min(INFINITY) };
+                (dst, metric)
+            })
+            .collect();
+        entries.sort();
+        wire::put_u32(&mut body, entries.len() as u32);
+        for (dst, metric) in entries {
+            wire::put_addr(&mut body, dst);
+            wire::put_u32(&mut body, metric);
+        }
+        body
+    }
+
+    fn parse(body: &[u8]) -> Option<(Addr, Vec<(Addr, u32)>)> {
+        let mut pos = 0;
+        let from = wire::get_addr(body, &mut pos)?;
+        let n = wire::get_u32(body, &mut pos)? as usize;
+        if n > 10_000 {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dst = wire::get_addr(body, &mut pos)?;
+            let metric = wire::get_u32(body, &mut pos)?;
+            entries.push((dst, metric));
+        }
+        Some((from, entries))
+    }
+
+    fn queue_advertisements(&mut self, now: Time) {
+        let ports: Vec<PortId> = self.neighbors.keys().copied().collect();
+        for port in ports {
+            let body = self.advertisement_for(port);
+            self.outbox.push((port, body));
+            self.stats.pdus_sent += 1;
+        }
+        self.next_advert = now + self.cfg.advertise_interval;
+        self.triggered = false;
+    }
+
+    fn bump(&mut self) {
+        self.version += 1;
+        self.triggered = true;
+        self.stats.recomputations += 1;
+    }
+}
+
+impl RouteComputation for DistanceVector {
+    fn name(&self) -> &'static str {
+        "distance vector"
+    }
+
+    fn on_neighbor_up(&mut self, port: PortId, addr: Addr, _now: Time) {
+        self.neighbors.insert(port, addr);
+        self.bump();
+    }
+
+    fn on_neighbor_down(&mut self, port: PortId, addr: Addr, _now: Time) {
+        if self.neighbors.get(&port) == Some(&addr) {
+            self.neighbors.remove(&port);
+        }
+        // Poison everything we were routing through that port.
+        let mut changed = false;
+        for r in self.table.values_mut() {
+            if r.port == Some(port) && r.metric < INFINITY {
+                r.metric = INFINITY;
+                changed = true;
+            }
+        }
+        if changed {
+            self.bump();
+        }
+    }
+
+    fn on_pdu(&mut self, port: PortId, body: &[u8], now: Time) {
+        self.stats.pdus_received += 1;
+        let Some((from, entries)) = Self::parse(body) else { return };
+        // Only accept advertisements from the live neighbor on this port.
+        if self.neighbors.get(&port) != Some(&from) {
+            return;
+        }
+        let mut changed = false;
+        for (dst, metric) in entries {
+            if dst == self.me {
+                continue;
+            }
+            let new_metric = (metric + 1).min(INFINITY);
+            match self.table.get_mut(&dst) {
+                Some(r) => {
+                    if r.learned_from == Some(from) && r.port == Some(port) {
+                        // Update from the current next hop: always accept.
+                        if r.metric != new_metric {
+                            r.metric = new_metric;
+                            changed = true;
+                        }
+                        r.refreshed = now;
+                    } else if new_metric < r.metric {
+                        r.metric = new_metric;
+                        r.port = Some(port);
+                        r.learned_from = Some(from);
+                        r.refreshed = now;
+                        changed = true;
+                    }
+                }
+                None => {
+                    if new_metric < INFINITY {
+                        self.table.insert(
+                            dst,
+                            Route {
+                                metric: new_metric,
+                                port: Some(port),
+                                learned_from: Some(from),
+                                refreshed: now,
+                            },
+                        );
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            self.bump();
+        }
+    }
+
+    fn poll_pdu(&mut self, now: Time) -> Option<(PortId, Vec<u8>)> {
+        if self.outbox.is_empty() && (self.triggered || now >= self.next_advert) {
+            self.queue_advertisements(now);
+        }
+        self.outbox.pop()
+    }
+
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        let timeout = self
+            .table
+            .values()
+            .filter(|r| r.port.is_some() && r.metric < INFINITY)
+            .map(|r| r.refreshed + self.cfg.route_timeout)
+            .min();
+        Some(match timeout {
+            Some(t) => t.min(self.next_advert),
+            None => self.next_advert,
+        })
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        // Expire stale routes.
+        let timeout = self.cfg.route_timeout;
+        let mut changed = false;
+        for r in self.table.values_mut() {
+            if r.port.is_some() && r.metric < INFINITY && now.since(r.refreshed) >= timeout {
+                r.metric = INFINITY;
+                changed = true;
+            }
+        }
+        if changed {
+            self.bump();
+        }
+        if now >= self.next_advert {
+            self.queue_advertisements(now);
+        }
+    }
+
+    fn routes(&self) -> Vec<(Addr, PortId)> {
+        let mut v: Vec<(Addr, PortId)> = self
+            .table
+            .iter()
+            .filter(|(&dst, r)| dst != self.me && r.metric < INFINITY)
+            .filter_map(|(&dst, r)| r.port.map(|p| (dst, p)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn stats(&self) -> &RcStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(me: u32) -> DistanceVector {
+        DistanceVector::new(Addr(me), DvConfig::default())
+    }
+
+    #[test]
+    fn self_route_not_exported() {
+        let d = dv(1);
+        assert!(d.routes().is_empty());
+    }
+
+    #[test]
+    fn learns_route_from_neighbor() {
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        // Neighbor 2 advertises itself at metric 0 and node 3 at metric 1.
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 2);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        wire::put_addr(&mut body, Addr(3));
+        wire::put_u32(&mut body, 1);
+        d.on_pdu(0, &body, Time::ZERO);
+        assert_eq!(d.routes(), vec![(Addr(2), 0), (Addr(3), 0)]);
+    }
+
+    #[test]
+    fn rejects_pdu_from_unknown_port() {
+        let mut d = dv(1);
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 1);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        d.on_pdu(0, &body, Time::ZERO); // no neighbor up on port 0
+        assert!(d.routes().is_empty());
+    }
+
+    #[test]
+    fn split_horizon_poisons_reverse() {
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 1);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        d.on_pdu(0, &body, Time::ZERO);
+        // The advertisement back out port 0 must poison the route to 2.
+        let advert = d.advertisement_for(0);
+        let (_, entries) = DistanceVector::parse(&advert).unwrap();
+        let metric_2 = entries.iter().find(|(a, _)| *a == Addr(2)).unwrap().1;
+        assert_eq!(metric_2, INFINITY);
+        // But out a different port it is advertised normally.
+        let advert1 = d.advertisement_for(1);
+        let (_, entries1) = DistanceVector::parse(&advert1).unwrap();
+        assert_eq!(entries1.iter().find(|(a, _)| *a == Addr(2)).unwrap().1, 1);
+    }
+
+    #[test]
+    fn neighbor_down_poisons_routes() {
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 1);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        d.on_pdu(0, &body, Time::ZERO);
+        assert!(!d.routes().is_empty());
+        d.on_neighbor_down(0, Addr(2), Time::ZERO + Dur::from_secs(1));
+        assert!(d.routes().is_empty());
+    }
+
+    #[test]
+    fn routes_expire_without_refresh() {
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 1);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        d.on_pdu(0, &body, Time::ZERO);
+        d.on_tick(Time::ZERO + Dur::from_secs(10));
+        assert!(d.routes().is_empty());
+    }
+
+    #[test]
+    fn worse_metric_from_current_next_hop_is_believed() {
+        // Counting-to-infinity protection relies on believing bad news from
+        // the current next hop.
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        let adv = |m: u32| {
+            let mut body = Vec::new();
+            wire::put_addr(&mut body, Addr(2));
+            wire::put_u32(&mut body, 2);
+            wire::put_addr(&mut body, Addr(2));
+            wire::put_u32(&mut body, 0);
+            wire::put_addr(&mut body, Addr(3));
+            wire::put_u32(&mut body, m);
+            body
+        };
+        d.on_pdu(0, &adv(1), Time::ZERO);
+        assert!(d.routes().iter().any(|&(a, _)| a == Addr(3)));
+        d.on_pdu(0, &adv(INFINITY), Time::ZERO + Dur::from_millis(10));
+        assert!(!d.routes().iter().any(|&(a, _)| a == Addr(3)));
+    }
+
+    #[test]
+    fn version_bumps_on_change_only() {
+        let mut d = dv(1);
+        let v0 = d.version();
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        let v1 = d.version();
+        assert!(v1 > v0);
+        // Re-processing an identical advertisement changes nothing.
+        let mut body = Vec::new();
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 1);
+        wire::put_addr(&mut body, Addr(2));
+        wire::put_u32(&mut body, 0);
+        d.on_pdu(0, &body, Time::ZERO);
+        let v2 = d.version();
+        d.on_pdu(0, &body, Time::ZERO + Dur::from_millis(1));
+        assert_eq!(d.version(), v2);
+    }
+
+    #[test]
+    fn malformed_pdus_ignored() {
+        let mut d = dv(1);
+        d.on_neighbor_up(0, Addr(2), Time::ZERO);
+        d.on_pdu(0, &[1, 2, 3], Time::ZERO);
+        d.on_pdu(0, &[], Time::ZERO);
+        assert!(d.routes().is_empty());
+    }
+}

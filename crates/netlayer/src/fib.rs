@@ -1,0 +1,289 @@
+//! The **forwarding** sublayer's database: a longest-prefix-match FIB.
+//!
+//! Forwarding sits at the top of the network-layer sublayers (Figure 3):
+//! data packets consult only this table — built *for* it by route
+//! computation below — and never see routing PDUs. The table is a binary
+//! trie over address bits supporting arbitrary prefix lengths, so both the
+//! host routes installed by the routing daemons and classic CIDR prefixes
+//! (default routes, aggregates) work.
+
+use crate::packet::Addr;
+
+/// A CIDR-style prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    pub addr: Addr,
+    pub len: u8,
+}
+
+impl Prefix {
+    pub fn new(addr: Addr, len: u8) -> Prefix {
+        assert!(len <= 32);
+        // Normalize: zero the host bits.
+        let masked = if len == 0 { 0 } else { addr.0 & (!0u32 << (32 - len)) };
+        Prefix { addr: Addr(masked), len }
+    }
+
+    /// A host route (/32).
+    pub fn host(addr: Addr) -> Prefix {
+        Prefix::new(addr, 32)
+    }
+
+    /// The default route (0.0.0.0/0).
+    pub fn default_route() -> Prefix {
+        Prefix::new(Addr(0), 0)
+    }
+
+    pub fn contains(&self, addr: Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        (addr.0 ^ self.addr.0) >> (32 - self.len) == 0
+    }
+}
+
+impl std::fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+struct TrieNode<T> {
+    children: [Option<Box<TrieNode<T>>>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for TrieNode<T> {
+    fn default() -> Self {
+        TrieNode { children: [None, None], value: None }
+    }
+}
+
+/// Longest-prefix-match forwarding table mapping prefixes to a next-hop
+/// value (typically an output port).
+pub struct Fib<T> {
+    root: TrieNode<T>,
+    len: usize,
+}
+
+impl<T> Default for Fib<T> {
+    fn default() -> Self {
+        Fib { root: TrieNode { children: [None, None], value: None }, len: 0 }
+    }
+}
+
+impl<T> Fib<T> {
+    pub fn new() -> Fib<T> {
+        Fib::default()
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: Addr, i: u8) -> usize {
+        ((addr.0 >> (31 - i)) & 1) as usize
+    }
+
+    /// Install (or replace) a route. Returns the previous value, if any.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = Self::bit(prefix.addr, i);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove a route. Returns its value, if present.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len {
+            let b = Self::bit(prefix.addr, i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: Addr) -> Option<&T> {
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for i in 0..32 {
+            let b = Self::bit(addr, i);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Remove every route.
+    pub fn clear(&mut self) {
+        self.root = TrieNode { children: [None, None], value: None };
+        self.len = 0;
+    }
+
+    /// Iterate over all installed `(prefix, value)` pairs.
+    pub fn iter(&self) -> Vec<(Prefix, &T)> {
+        let mut out = Vec::new();
+        fn walk<'a, T>(
+            node: &'a TrieNode<T>,
+            bits: u32,
+            depth: u8,
+            out: &mut Vec<(Prefix, &'a T)>,
+        ) {
+            if let Some(v) = &node.value {
+                out.push((Prefix::new(Addr(bits), depth), v));
+            }
+            for (b, child) in node.children.iter().enumerate() {
+                if let Some(c) = child {
+                    let nb = if depth < 32 { bits | ((b as u32) << (31 - depth)) } else { bits };
+                    walk(c, nb, depth + 1, out);
+                }
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        let parts: Vec<u32> = s.split('.').map(|p| p.parse().unwrap()).collect();
+        Addr(parts[0] << 24 | parts[1] << 16 | parts[2] << 8 | parts[3])
+    }
+
+    #[test]
+    fn prefix_normalizes_host_bits() {
+        let p = Prefix::new(a("10.1.2.3"), 16);
+        assert_eq!(p.addr, a("10.1.0.0"));
+        assert!(p.contains(a("10.1.255.255")));
+        assert!(!p.contains(a("10.2.0.0")));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let d = Prefix::default_route();
+        assert!(d.contains(a("0.0.0.0")));
+        assert!(d.contains(a("255.255.255.255")));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(Prefix::default_route(), "default");
+        fib.insert(Prefix::new(a("10.0.0.0"), 8), "ten");
+        fib.insert(Prefix::new(a("10.1.0.0"), 16), "ten-one");
+        fib.insert(Prefix::host(a("10.1.2.3")), "host");
+
+        assert_eq!(fib.lookup(a("192.168.1.1")), Some(&"default"));
+        assert_eq!(fib.lookup(a("10.9.9.9")), Some(&"ten"));
+        assert_eq!(fib.lookup(a("10.1.9.9")), Some(&"ten-one"));
+        assert_eq!(fib.lookup(a("10.1.2.3")), Some(&"host"));
+    }
+
+    #[test]
+    fn empty_fib_misses() {
+        let fib: Fib<u32> = Fib::new();
+        assert_eq!(fib.lookup(a("1.2.3.4")), None);
+        assert!(fib.is_empty());
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut fib = Fib::new();
+        let p = Prefix::new(a("10.0.0.0"), 8);
+        assert_eq!(fib.insert(p, 1), None);
+        assert_eq!(fib.insert(p, 2), Some(1));
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.remove(p), Some(2));
+        assert_eq!(fib.remove(p), None);
+        assert!(fib.is_empty());
+        assert_eq!(fib.lookup(a("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn removing_specific_falls_back_to_covering_prefix() {
+        let mut fib = Fib::new();
+        fib.insert(Prefix::new(a("10.0.0.0"), 8), "covering");
+        fib.insert(Prefix::new(a("10.5.0.0"), 16), "specific");
+        assert_eq!(fib.lookup(a("10.5.1.1")), Some(&"specific"));
+        fib.remove(Prefix::new(a("10.5.0.0"), 16));
+        assert_eq!(fib.lookup(a("10.5.1.1")), Some(&"covering"));
+    }
+
+    #[test]
+    fn iter_lists_all_routes() {
+        let mut fib = Fib::new();
+        let routes = [
+            (Prefix::default_route(), 0u32),
+            (Prefix::new(a("10.0.0.0"), 8), 1),
+            (Prefix::host(a("10.1.2.3")), 2),
+        ];
+        for (p, v) in routes {
+            fib.insert(p, v);
+        }
+        let mut got = fib.iter();
+        got.sort_by_key(|(p, _)| p.len);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, Prefix::default_route());
+        assert_eq!(*got[2].1, 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut fib = Fib::new();
+        fib.insert(Prefix::host(a("1.1.1.1")), ());
+        fib.clear();
+        assert!(fib.is_empty());
+        assert_eq!(fib.lookup(a("1.1.1.1")), None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_lookup_matches_linear_scan(
+            routes in proptest::collection::vec((proptest::num::u32::ANY, 0u8..=32), 0..40),
+            queries in proptest::collection::vec(proptest::num::u32::ANY, 0..40),
+        ) {
+            let mut fib = Fib::new();
+            let mut table: Vec<(Prefix, usize)> = Vec::new();
+            for (i, (addr, len)) in routes.iter().enumerate() {
+                let p = Prefix::new(Addr(*addr), *len);
+                fib.insert(p, i);
+                table.retain(|(q, _)| *q != p);
+                table.push((p, i));
+            }
+            for q in queries {
+                let want = table
+                    .iter()
+                    .filter(|(p, _)| p.contains(Addr(q)))
+                    .max_by_key(|(p, _)| p.len)
+                    .map(|(_, v)| v);
+                proptest::prop_assert_eq!(fib.lookup(Addr(q)), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Link-state route computation (OSPF/IS-IS style).
+//!
+//! Each router originates a sequence-numbered link-state packet (LSP)
+//! listing its adjacencies; LSPs flood hop by hop; every router runs
+//! Dijkstra over the resulting link-state database. The second swappable
+//! engine behind [`crate::routecomp::RouteComputation`] — experiment E2
+//! verifies it computes the same forwarding behaviour as distance vector.
+
+use crate::packet::{wire, Addr};
+use crate::routecomp::{RcStats, RouteComputation};
+use netsim::{Dur, PortId, Time};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// A link-state packet: origin, sequence number, adjacency list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lsp {
+    pub origin: Addr,
+    pub seq: u32,
+    pub neighbors: Vec<Addr>,
+}
+
+impl Lsp {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_addr(&mut out, self.origin);
+        wire::put_u32(&mut out, self.seq);
+        wire::put_u32(&mut out, self.neighbors.len() as u32);
+        for n in &self.neighbors {
+            wire::put_addr(&mut out, *n);
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Lsp> {
+        let mut pos = 0;
+        let origin = wire::get_addr(bytes, &mut pos)?;
+        let seq = wire::get_u32(bytes, &mut pos)?;
+        let n = wire::get_u32(bytes, &mut pos)? as usize;
+        if n > 10_000 {
+            return None;
+        }
+        let mut neighbors = Vec::with_capacity(n);
+        for _ in 0..n {
+            neighbors.push(wire::get_addr(bytes, &mut pos)?);
+        }
+        Some(Lsp { origin, seq, neighbors })
+    }
+}
+
+/// Timer settings.
+#[derive(Clone, Debug)]
+pub struct LsConfig {
+    /// Periodic LSP refresh (keeps the database alive and repairs losses).
+    pub refresh_interval: Dur,
+    /// LSPs older than this are purged.
+    pub max_age: Dur,
+}
+
+impl Default for LsConfig {
+    fn default() -> Self {
+        LsConfig {
+            refresh_interval: Dur::from_millis(1500),
+            max_age: Dur::from_millis(6000),
+        }
+    }
+}
+
+/// The link-state engine.
+pub struct LinkState {
+    me: Addr,
+    cfg: LsConfig,
+    /// Live adjacencies: port -> neighbor address.
+    adj: HashMap<PortId, Addr>,
+    /// The link-state database: origin -> (LSP, received time).
+    lsdb: HashMap<Addr, (Lsp, Time)>,
+    my_seq: u32,
+    next_refresh: Time,
+    outbox: Vec<(PortId, Vec<u8>)>,
+    version: u64,
+    stats: RcStats,
+}
+
+impl LinkState {
+    pub fn new(me: Addr, cfg: LsConfig) -> LinkState {
+        LinkState {
+            me,
+            cfg,
+            adj: HashMap::new(),
+            lsdb: HashMap::new(),
+            my_seq: 0,
+            next_refresh: Time::ZERO,
+            outbox: Vec::new(),
+            version: 0,
+            stats: RcStats::default(),
+        }
+    }
+
+    fn originate(&mut self, now: Time) {
+        self.my_seq += 1;
+        let mut neighbors: Vec<Addr> = self.adj.values().copied().collect();
+        neighbors.sort();
+        neighbors.dedup();
+        let lsp = Lsp { origin: self.me, seq: self.my_seq, neighbors };
+        self.lsdb.insert(self.me, (lsp.clone(), now));
+        self.flood(&lsp, None);
+        self.version += 1;
+        self.stats.recomputations += 1;
+    }
+
+    /// Send an LSP out every adjacency except the one it arrived on.
+    fn flood(&mut self, lsp: &Lsp, except: Option<PortId>) {
+        let body = lsp.encode();
+        for &port in self.adj.keys() {
+            if Some(port) == except {
+                continue;
+            }
+            self.outbox.push((port, body.clone()));
+            self.stats.pdus_sent += 1;
+        }
+    }
+
+    /// Dijkstra over the two-way-checked LSDB.
+    fn spf(&self) -> Vec<(Addr, PortId)> {
+        // Build the graph: edge u-v counts only if both LSPs list each
+        // other (two-way connectivity check).
+        let lists: HashMap<Addr, &Vec<Addr>> =
+            self.lsdb.iter().map(|(&o, (lsp, _))| (o, &lsp.neighbors)).collect();
+        let two_way = |u: Addr, v: Addr| {
+            lists.get(&u).is_some_and(|l| l.contains(&v))
+                && lists.get(&v).is_some_and(|l| l.contains(&u))
+        };
+
+        // Standard Dijkstra with deterministic tie-breaking on (dist, addr).
+        let mut dist: HashMap<Addr, u32> = HashMap::new();
+        let mut first_hop: HashMap<Addr, Addr> = HashMap::new();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, Addr, Option<Addr>)>> = BinaryHeap::new();
+        let mut done: HashSet<Addr> = HashSet::new();
+        dist.insert(self.me, 0);
+        heap.push(std::cmp::Reverse((0, self.me, None)));
+        while let Some(std::cmp::Reverse((d, u, fh))) = heap.pop() {
+            if !done.insert(u) {
+                continue;
+            }
+            if let Some(fh) = fh {
+                first_hop.insert(u, fh);
+            }
+            let Some(nbrs) = lists.get(&u) else { continue };
+            for &v in nbrs.iter() {
+                if !two_way(u, v) || done.contains(&v) {
+                    continue;
+                }
+                let nd = d + 1;
+                let better = dist.get(&v).is_none_or(|&cur| nd < cur);
+                if better {
+                    dist.insert(v, nd);
+                    let v_first_hop = if u == self.me { v } else { fh.unwrap_or(v) };
+                    heap.push(std::cmp::Reverse((nd, v, Some(v_first_hop))));
+                }
+            }
+        }
+
+        // Map first-hop addresses to output ports (lowest port on ties).
+        let mut addr_to_port: HashMap<Addr, PortId> = HashMap::new();
+        let mut adj_sorted: Vec<(PortId, Addr)> =
+            self.adj.iter().map(|(&p, &a)| (p, a)).collect();
+        adj_sorted.sort();
+        for (port, addr) in adj_sorted {
+            addr_to_port.entry(addr).or_insert(port);
+        }
+        let mut out: Vec<(Addr, PortId)> = first_hop
+            .iter()
+            .filter_map(|(&dst, fh)| addr_to_port.get(fh).map(|&p| (dst, p)))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl RouteComputation for LinkState {
+    fn name(&self) -> &'static str {
+        "link state"
+    }
+
+    fn on_neighbor_up(&mut self, port: PortId, addr: Addr, now: Time) {
+        self.adj.insert(port, addr);
+        self.originate(now);
+        // Bring the new neighbor up to date with our whole database.
+        let lsps: Vec<Lsp> = self.lsdb.values().map(|(l, _)| l.clone()).collect();
+        for lsp in lsps {
+            self.outbox.push((port, lsp.encode()));
+            self.stats.pdus_sent += 1;
+        }
+    }
+
+    fn on_neighbor_down(&mut self, port: PortId, addr: Addr, now: Time) {
+        if self.adj.get(&port) == Some(&addr) {
+            self.adj.remove(&port);
+        }
+        self.originate(now);
+    }
+
+    fn on_pdu(&mut self, port: PortId, body: &[u8], now: Time) {
+        self.stats.pdus_received += 1;
+        let Some(lsp) = Lsp::decode(body) else { return };
+        if lsp.origin == self.me {
+            // Someone floods an old LSP of ours back: outbid it.
+            if lsp.seq >= self.my_seq {
+                self.my_seq = lsp.seq;
+                self.originate(now);
+            }
+            return;
+        }
+        let newer = match self.lsdb.get(&lsp.origin) {
+            Some((cur, _)) => lsp.seq > cur.seq,
+            None => true,
+        };
+        if newer {
+            self.lsdb.insert(lsp.origin, (lsp.clone(), now));
+            self.flood(&lsp, Some(port));
+            self.version += 1;
+            self.stats.recomputations += 1;
+        } else if let Some((cur, _)) = self.lsdb.get(&lsp.origin) {
+            if lsp.seq < cur.seq {
+                // Peer is stale: send it the newer copy directly.
+                let body = cur.encode();
+                self.outbox.push((port, body));
+                self.stats.pdus_sent += 1;
+            }
+        }
+    }
+
+    fn poll_pdu(&mut self, _now: Time) -> Option<(PortId, Vec<u8>)> {
+        self.outbox.pop()
+    }
+
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        let oldest = self.lsdb.values().map(|&(_, at)| at + self.cfg.max_age).min();
+        Some(match oldest {
+            Some(t) => t.min(self.next_refresh),
+            None => self.next_refresh,
+        })
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        // Purge aged-out LSPs (a crashed router's state eventually dies).
+        let max_age = self.cfg.max_age;
+        let before = self.lsdb.len();
+        self.lsdb.retain(|&origin, &mut (_, at)| {
+            origin == self.me || now.since(at) < max_age
+        });
+        if self.lsdb.len() != before {
+            self.version += 1;
+            self.stats.recomputations += 1;
+        }
+        if now >= self.next_refresh {
+            self.originate(now);
+            self.next_refresh = now + self.cfg.refresh_interval;
+        }
+    }
+
+    fn routes(&self) -> Vec<(Addr, PortId)> {
+        self.spf()
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn stats(&self) -> &RcStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsp_round_trip() {
+        let lsp = Lsp { origin: Addr(1), seq: 7, neighbors: vec![Addr(2), Addr(3)] };
+        assert_eq!(Lsp::decode(&lsp.encode()), Some(lsp));
+        assert_eq!(Lsp::decode(&[1, 2]), None);
+    }
+
+    /// Hand-feed LSPs describing a small topology and check SPF.
+    fn seed_lsdb(ls: &mut LinkState, topo: &[(u32, Vec<u32>)]) {
+        for (origin, nbrs) in topo {
+            let lsp = Lsp {
+                origin: Addr(*origin),
+                seq: 1,
+                neighbors: nbrs.iter().map(|&n| Addr(n)).collect(),
+            };
+            ls.lsdb.insert(lsp.origin, (lsp, Time::ZERO));
+        }
+    }
+
+    #[test]
+    fn spf_line_topology() {
+        // 1 - 2 - 3 - 4, computing at 1 with neighbor 2 on port 0.
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        seed_lsdb(
+            &mut ls,
+            &[
+                (1, vec![2]),
+                (2, vec![1, 3]),
+                (3, vec![2, 4]),
+                (4, vec![3]),
+            ],
+        );
+        assert_eq!(ls.routes(), vec![(Addr(2), 0), (Addr(3), 0), (Addr(4), 0)]);
+    }
+
+    #[test]
+    fn spf_prefers_shorter_path() {
+        // Square 1-2-4, 1-3-4 plus direct 1-4: direct wins.
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        ls.adj.insert(1, Addr(3));
+        ls.adj.insert(2, Addr(4));
+        seed_lsdb(
+            &mut ls,
+            &[
+                (1, vec![2, 3, 4]),
+                (2, vec![1, 4]),
+                (3, vec![1, 4]),
+                (4, vec![1, 2, 3]),
+            ],
+        );
+        let routes = ls.routes();
+        assert!(routes.contains(&(Addr(4), 2)), "{routes:?}");
+    }
+
+    #[test]
+    fn one_way_links_are_ignored() {
+        // 2 claims adjacency with 3, but 3 does not reciprocate.
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        seed_lsdb(&mut ls, &[(1, vec![2]), (2, vec![1, 3]), (3, vec![])]);
+        let routes = ls.routes();
+        assert!(!routes.iter().any(|&(a, _)| a == Addr(3)), "{routes:?}");
+    }
+
+    #[test]
+    fn newer_lsp_replaces_and_floods() {
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        ls.adj.insert(1, Addr(3));
+        let lsp = Lsp { origin: Addr(9), seq: 5, neighbors: vec![Addr(2)] };
+        ls.on_pdu(0, &lsp.encode(), Time::ZERO);
+        assert_eq!(ls.lsdb.get(&Addr(9)).map(|(l, _)| l.seq), Some(5));
+        // Flooded out port 1 only (not back out port 0).
+        let pdus: Vec<(PortId, Vec<u8>)> =
+            std::iter::from_fn(|| ls.poll_pdu(Time::ZERO)).collect();
+        assert!(pdus.iter().all(|(p, _)| *p == 1));
+        assert!(!pdus.is_empty());
+        // An older LSP is rejected.
+        let old = Lsp { origin: Addr(9), seq: 3, neighbors: vec![] };
+        ls.on_pdu(1, &old.encode(), Time::ZERO);
+        assert_eq!(ls.lsdb.get(&Addr(9)).map(|(l, _)| l.seq), Some(5));
+    }
+
+    #[test]
+    fn own_stale_lsp_is_outbid() {
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        ls.originate(Time::ZERO); // seq 1
+        let ghost = Lsp { origin: Addr(1), seq: 10, neighbors: vec![] };
+        ls.on_pdu(0, &ghost.encode(), Time::ZERO);
+        assert!(ls.my_seq > 10, "must outbid the ghost LSP");
+    }
+
+    #[test]
+    fn aged_lsps_purged() {
+        let mut ls = LinkState::new(Addr(1), LsConfig::default());
+        ls.adj.insert(0, Addr(2));
+        let lsp = Lsp { origin: Addr(9), seq: 1, neighbors: vec![] };
+        ls.on_pdu(0, &lsp.encode(), Time::ZERO);
+        assert!(ls.lsdb.contains_key(&Addr(9)));
+        ls.on_tick(Time::ZERO + Dur::from_secs(30));
+        assert!(!ls.lsdb.contains_key(&Addr(9)));
+    }
+}

@@ -1,0 +1,200 @@
+//! The **neighbor determination** sublayer (Figure 3/4): "the lowest
+//! sublayer because route computation needs a list of neighbors that is
+//! determined by handshake messages sent directly on the data link."
+//!
+//! Periodic HELLOs on every port; a neighbor is *up* after its first HELLO
+//! and *down* after `hold_time` of silence. The sublayer's upward interface
+//! (test **T2**) is just the event stream `Up/Down(port, addr)` plus the
+//! current neighbor list — route computation never sees HELLO packets.
+
+use crate::packet::{Addr, Hello};
+use netsim::{Dur, PortId, Time};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Timer settings for neighbor maintenance.
+#[derive(Clone, Debug)]
+pub struct NeighborConfig {
+    pub hello_interval: Dur,
+    pub hold_time: Dur,
+}
+
+impl Default for NeighborConfig {
+    fn default() -> Self {
+        NeighborConfig {
+            hello_interval: Dur::from_millis(500),
+            hold_time: Dur::from_millis(1800),
+        }
+    }
+}
+
+/// Liveness transitions reported upward.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NeighborEvent {
+    Up { port: PortId, addr: Addr },
+    Down { port: PortId, addr: Addr },
+}
+
+/// Per-port neighbor liveness tracking.
+pub struct NeighborTable {
+    me: Addr,
+    n_ports: usize,
+    cfg: NeighborConfig,
+    live: HashMap<PortId, (Addr, Time)>,
+    next_hello: Time,
+    events: VecDeque<NeighborEvent>,
+    pub hellos_sent: u64,
+    pub hellos_received: u64,
+}
+
+impl NeighborTable {
+    pub fn new(me: Addr, n_ports: usize, cfg: NeighborConfig) -> NeighborTable {
+        NeighborTable {
+            me,
+            n_ports,
+            cfg,
+            live: HashMap::new(),
+            next_hello: Time::ZERO,
+            events: VecDeque::new(),
+            hellos_sent: 0,
+            hellos_received: 0,
+        }
+    }
+
+    /// A HELLO arrived on `port`.
+    pub fn on_hello(&mut self, port: PortId, hello: &Hello, now: Time) {
+        self.hellos_received += 1;
+        match self.live.insert(port, (hello.from, now)) {
+            None => self.events.push_back(NeighborEvent::Up { port, addr: hello.from }),
+            Some((old, _)) if old != hello.from => {
+                // The device on this port changed identity.
+                self.events.push_back(NeighborEvent::Down { port, addr: old });
+                self.events.push_back(NeighborEvent::Up { port, addr: hello.from });
+            }
+            _ => {}
+        }
+    }
+
+    /// Advance timers; returns HELLO frames to transmit as `(port, bytes)`.
+    pub fn on_tick(&mut self, now: Time) -> Vec<(PortId, Vec<u8>)> {
+        // Expire silent neighbors.
+        let hold = self.cfg.hold_time;
+        let expired: Vec<PortId> = self
+            .live
+            .iter()
+            .filter(|(_, (_, heard))| now.since(*heard) >= hold)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in expired {
+            if let Some((addr, _)) = self.live.remove(&p) {
+                self.events.push_back(NeighborEvent::Down { port: p, addr });
+            }
+        }
+        // Send HELLOs.
+        let mut out = Vec::new();
+        if now >= self.next_hello {
+            let frame = Hello { from: self.me }.encode();
+            for port in 0..self.n_ports {
+                out.push((port, frame.clone()));
+                self.hellos_sent += 1;
+            }
+            self.next_hello = now + self.cfg.hello_interval;
+        }
+        out
+    }
+
+    /// The earliest time `on_tick` must run again.
+    pub fn poll_deadline(&self) -> Option<Time> {
+        let expiry = self.live.values().map(|&(_, heard)| heard + self.cfg.hold_time).min();
+        Some(match expiry {
+            Some(e) => e.min(self.next_hello),
+            None => self.next_hello,
+        })
+    }
+
+    /// Drain pending up/down events.
+    pub fn take_events(&mut self) -> Vec<NeighborEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Current live neighbors as `(port, addr)`.
+    pub fn neighbors(&self) -> Vec<(PortId, Addr)> {
+        let mut v: Vec<(PortId, Addr)> = self.live.iter().map(|(&p, &(a, _))| (p, a)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NeighborTable {
+        NeighborTable::new(Addr(1), 2, NeighborConfig::default())
+    }
+
+    #[test]
+    fn hello_brings_neighbor_up() {
+        let mut t = table();
+        t.on_hello(0, &Hello { from: Addr(7) }, Time::ZERO);
+        assert_eq!(t.take_events(), vec![NeighborEvent::Up { port: 0, addr: Addr(7) }]);
+        assert_eq!(t.neighbors(), vec![(0, Addr(7))]);
+    }
+
+    #[test]
+    fn repeated_hellos_do_not_reannounce() {
+        let mut t = table();
+        t.on_hello(0, &Hello { from: Addr(7) }, Time::ZERO);
+        t.take_events();
+        t.on_hello(0, &Hello { from: Addr(7) }, Time::ZERO + Dur::from_millis(100));
+        assert!(t.take_events().is_empty());
+    }
+
+    #[test]
+    fn silence_expires_neighbor() {
+        let mut t = table();
+        t.on_hello(0, &Hello { from: Addr(7) }, Time::ZERO);
+        t.take_events();
+        t.on_tick(Time::ZERO + Dur::from_secs(5));
+        assert_eq!(t.take_events(), vec![NeighborEvent::Down { port: 0, addr: Addr(7) }]);
+        assert!(t.neighbors().is_empty());
+    }
+
+    #[test]
+    fn identity_change_reported_as_down_up() {
+        let mut t = table();
+        t.on_hello(0, &Hello { from: Addr(7) }, Time::ZERO);
+        t.take_events();
+        t.on_hello(0, &Hello { from: Addr(8) }, Time::ZERO + Dur::from_millis(10));
+        assert_eq!(
+            t.take_events(),
+            vec![
+                NeighborEvent::Down { port: 0, addr: Addr(7) },
+                NeighborEvent::Up { port: 0, addr: Addr(8) },
+            ]
+        );
+    }
+
+    #[test]
+    fn hellos_sent_on_all_ports_at_interval() {
+        let mut t = table();
+        let sent = t.on_tick(Time::ZERO);
+        assert_eq!(sent.len(), 2);
+        assert!(Hello::decode(&sent[0].1).is_some());
+        // Too early: nothing.
+        assert!(t.on_tick(Time::ZERO + Dur::from_millis(100)).is_empty());
+        // After the interval: again.
+        assert_eq!(t.on_tick(Time::ZERO + Dur::from_millis(600)).len(), 2);
+    }
+
+    #[test]
+    fn deadline_tracks_hello_and_expiry() {
+        let mut t = table();
+        assert_eq!(t.poll_deadline(), Some(Time::ZERO));
+        t.on_tick(Time::ZERO);
+        assert_eq!(t.poll_deadline(), Some(Time::ZERO + Dur::from_millis(500)));
+        t.on_hello(1, &Hello { from: Addr(9) }, Time::ZERO + Dur::from_millis(100));
+        // Hello timer (500ms) is earlier than the hold expiry (1900ms).
+        assert_eq!(t.poll_deadline(), Some(Time::ZERO + Dur::from_millis(500)));
+    }
+}

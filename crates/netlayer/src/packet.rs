@@ -1,0 +1,182 @@
+//! Network-layer packet formats.
+//!
+//! The paper's test **T3** for the network layer is met "because the
+//! sublayers use completely different packets (e.g., LSPs versus IP
+//! packets), not merely different headers in the same packet". Each
+//! sublayer here owns a distinct packet type: HELLOs for neighbor
+//! determination, routing PDUs (distance-vector advertisements or
+//! link-state packets) for route computation, and data packets for
+//! forwarding. A one-byte kind field demultiplexes them on the wire.
+
+use std::fmt;
+
+/// A network-layer address (flat 32-bit, IPv4-sized).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u32);
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Packet kinds on a router-router link.
+pub const KIND_HELLO: u8 = 1;
+pub const KIND_ROUTING: u8 = 2;
+pub const KIND_DATA: u8 = 3;
+
+/// Neighbor-determination HELLO: "handshake messages sent directly on the
+/// data link."
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    pub from: Addr,
+}
+
+impl Hello {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![KIND_HELLO];
+        out.extend_from_slice(&self.from.0.to_be_bytes());
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<Hello> {
+        if bytes.len() != 5 || bytes[0] != KIND_HELLO {
+            return None;
+        }
+        Some(Hello { from: Addr(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]])) })
+    }
+}
+
+/// A data packet: the only packet the forwarding sublayer touches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataPacket {
+    pub src: Addr,
+    pub dst: Addr,
+    pub ttl: u8,
+    pub payload: Vec<u8>,
+}
+
+impl DataPacket {
+    pub fn new(src: Addr, dst: Addr, payload: Vec<u8>) -> DataPacket {
+        DataPacket { src, dst, ttl: 64, payload }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + self.payload.len());
+        out.push(KIND_DATA);
+        out.extend_from_slice(&self.src.0.to_be_bytes());
+        out.extend_from_slice(&self.dst.0.to_be_bytes());
+        out.push(self.ttl);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<DataPacket> {
+        if bytes.len() < 10 || bytes[0] != KIND_DATA {
+            return None;
+        }
+        Some(DataPacket {
+            src: Addr(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]])),
+            dst: Addr(u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]])),
+            ttl: bytes[9],
+            payload: bytes[10..].to_vec(),
+        })
+    }
+}
+
+/// An opaque routing PDU: the route-computation sublayer's own packets
+/// (distance-vector advertisement or link-state packet), wrapped with the
+/// routing kind byte. The router core never inspects the body (test T3).
+pub fn wrap_routing(body: Vec<u8>) -> Vec<u8> {
+    let mut out = vec![KIND_ROUTING];
+    out.extend(body);
+    out
+}
+
+/// Unwrap a routing PDU body.
+pub fn unwrap_routing(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.first() == Some(&KIND_ROUTING) {
+        Some(&bytes[1..])
+    } else {
+        None
+    }
+}
+
+/// Helpers for routing-PDU body serialization.
+pub mod wire {
+    use super::Addr;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn get_u32(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+        let s = bytes.get(*pos..*pos + 4)?;
+        *pos += 4;
+        Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn put_addr(out: &mut Vec<u8>, a: Addr) {
+        put_u32(out, a.0);
+    }
+
+    pub fn get_addr(bytes: &[u8], pos: &mut usize) -> Option<Addr> {
+        get_u32(bytes, pos).map(Addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trip() {
+        let h = Hello { from: Addr(0x0A000001) };
+        assert_eq!(Hello::decode(&h.encode()), Some(h));
+        assert_eq!(Hello::decode(&[KIND_DATA, 0, 0, 0, 1]), None);
+        assert_eq!(Hello::decode(&[KIND_HELLO, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let p = DataPacket::new(Addr(1), Addr(2), b"payload".to_vec());
+        assert_eq!(DataPacket::decode(&p.encode()), Some(p));
+    }
+
+    #[test]
+    fn data_rejects_short_or_wrong_kind() {
+        assert_eq!(DataPacket::decode(&[KIND_DATA, 1, 2]), None);
+        assert_eq!(DataPacket::decode(&Hello { from: Addr(9) }.encode()), None);
+    }
+
+    #[test]
+    fn routing_wrap_round_trip() {
+        let body = vec![1, 2, 3];
+        let wrapped = wrap_routing(body.clone());
+        assert_eq!(unwrap_routing(&wrapped), Some(body.as_slice()));
+        assert_eq!(unwrap_routing(&[KIND_HELLO, 1]), None);
+    }
+
+    #[test]
+    fn addr_formats_like_ipv4() {
+        assert_eq!(format!("{}", Addr(0x0A00002A)), "10.0.0.42");
+    }
+
+    #[test]
+    fn wire_helpers_round_trip() {
+        let mut out = Vec::new();
+        wire::put_u32(&mut out, 7);
+        wire::put_addr(&mut out, Addr(9));
+        let mut pos = 0;
+        assert_eq!(wire::get_u32(&out, &mut pos), Some(7));
+        assert_eq!(wire::get_addr(&out, &mut pos), Some(Addr(9)));
+        assert_eq!(wire::get_u32(&out, &mut pos), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! The **route computation** sublayer interface.
+//!
+//! "One can change say route computation from distance vector to Link State
+//! without changing forwarding" (§2.2): this trait is the narrow interface
+//! (test **T2**) that makes the claim literal. A route-computation engine
+//! consumes neighbor events from below and its *own* opaque PDUs from
+//! peers, and produces a next-hop table that the router installs into the
+//! forwarding FIB. Experiment E2 swaps [`crate::dv::DistanceVector`] for
+//! [`crate::ls::LinkState`] behind this trait and verifies identical
+//! forwarding behaviour.
+
+use crate::packet::Addr;
+use netsim::{PortId, Time};
+
+/// Counters common to all route-computation engines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RcStats {
+    pub pdus_sent: u64,
+    pub pdus_received: u64,
+    pub recomputations: u64,
+}
+
+/// A route-computation engine (distance vector, link state, …).
+pub trait RouteComputation {
+    fn name(&self) -> &'static str;
+
+    /// Neighbor determination reports an adjacency up.
+    fn on_neighbor_up(&mut self, port: PortId, addr: Addr, now: Time);
+
+    /// Neighbor determination reports an adjacency down.
+    fn on_neighbor_down(&mut self, port: PortId, addr: Addr, now: Time);
+
+    /// One of this engine's own PDUs arrived on `port`.
+    fn on_pdu(&mut self, port: PortId, body: &[u8], now: Time);
+
+    /// Next PDU to transmit, as `(port, body)`. Called until `None`.
+    fn poll_pdu(&mut self, now: Time) -> Option<(PortId, Vec<u8>)>;
+
+    /// Earliest instant `on_tick` must run.
+    fn poll_deadline(&self, now: Time) -> Option<Time>;
+
+    /// Advance periodic work (advertisements, refreshes, expiries).
+    fn on_tick(&mut self, now: Time);
+
+    /// The complete current next-hop table: `(destination, output port)`.
+    /// Excludes the router's own address.
+    fn routes(&self) -> Vec<(Addr, PortId)>;
+
+    /// Bumped whenever `routes()` may have changed; the router re-installs
+    /// the FIB when it observes a new version.
+    fn version(&self) -> u64;
+
+    fn stats(&self) -> &RcStats;
+}

@@ -1,0 +1,310 @@
+//! Topology construction and network-level test/experiment utilities.
+//!
+//! Builds `netsim` networks of [`Router`]s from an edge list, with a
+//! factory for the route-computation engine so experiment E2 can run the
+//! *same topology* under distance vector and link state and compare
+//! forwarding behaviour.
+
+use crate::packet::Addr;
+use crate::routecomp::RouteComputation;
+use crate::router::Router;
+use netsim::{Dur, LinkParams, NodeId, SimNet};
+use std::collections::VecDeque;
+
+/// An undirected multigraph on router indices.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    pub n: usize,
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    pub fn line(n: usize) -> Topology {
+        Topology { n, edges: (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect() }
+    }
+
+    pub fn ring(n: usize) -> Topology {
+        assert!(n >= 3);
+        let mut t = Topology::line(n);
+        t.edges.push((n - 1, 0));
+        t
+    }
+
+    pub fn star(n: usize) -> Topology {
+        assert!(n >= 2);
+        Topology { n, edges: (1..n).map(|i| (0, i)).collect() }
+    }
+
+    pub fn grid(w: usize, h: usize) -> Topology {
+        let mut edges = Vec::new();
+        let idx = |x: usize, y: usize| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                }
+            }
+        }
+        Topology { n: w * h, edges }
+    }
+
+    /// Connected random graph: a random spanning tree plus extra random
+    /// edges, all drawn deterministically from `seed`.
+    pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Topology {
+        let mut rng = netsim::DetRng::new(seed);
+        let mut edges = Vec::new();
+        // Random spanning tree: connect node i to a random earlier node.
+        for i in 1..n {
+            edges.push((rng.below(i as u64) as usize, i));
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < extra_edges && guard < extra_edges * 20 {
+            guard += 1;
+            let a = rng.below(n as u64) as usize;
+            let b = rng.below(n as u64) as usize;
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+                added += 1;
+            }
+        }
+        Topology { n, edges }
+    }
+
+    /// Hop distances from `src` by BFS (ground truth for forwarding tests).
+    pub fn bfs_hops(&self, src: usize) -> Vec<Option<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut dist = vec![None; self.n];
+        dist[src] = Some(0);
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            let d = dist[u].unwrap();
+            for &v in &adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(d + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// The address assigned to router index `i` (10.0.x.y).
+pub fn addr_of(i: usize) -> Addr {
+    Addr(0x0A00_0000 + i as u32 + 1)
+}
+
+/// A built network of routers.
+pub struct RouterNet {
+    pub net: SimNet,
+    pub nodes: Vec<NodeId>,
+    pub links: Vec<netsim::LinkId>,
+    pub topo: Topology,
+}
+
+/// Build a network where every router runs the engine produced by
+/// `make_rc` (called with the router's address).
+pub fn build(
+    topo: &Topology,
+    seed: u64,
+    link_delay: Dur,
+    make_rc: &dyn Fn(Addr) -> Box<dyn RouteComputation>,
+) -> RouterNet {
+    let mut degree = vec![0usize; topo.n];
+    let mut port_plan: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for &(a, b) in &topo.edges {
+        let pa = degree[a];
+        let pb = degree[b];
+        degree[a] += 1;
+        degree[b] += 1;
+        port_plan.push((a, pa, b, pb));
+    }
+    let mut net = SimNet::new(seed);
+    let nodes: Vec<NodeId> = (0..topo.n)
+        .map(|i| {
+            let addr = addr_of(i);
+            net.add_node(Box::new(Router::new(addr, degree[i], make_rc(addr))))
+        })
+        .collect();
+    let mut links = Vec::new();
+    for (a, pa, b, pb) in port_plan {
+        links.push(net.connect(nodes[a], pa, nodes[b], pb, LinkParams::delay_only(link_delay)));
+    }
+    net.poll_all();
+    RouterNet { net, nodes, links, topo: topo.clone() }
+}
+
+impl RouterNet {
+    /// Run the control plane for `d` of simulated time.
+    pub fn settle(&mut self, d: Dur) {
+        let deadline = self.net.now() + d;
+        self.net.run_until(deadline);
+    }
+
+    /// Send a probe from router `src` to router `dst` and run briefly;
+    /// returns the hop count if delivered (64 - received TTL).
+    pub fn probe(&mut self, src: usize, dst: usize) -> Option<u32> {
+        let marker = format!("probe-{src}-{dst}-{}", self.net.now().nanos()).into_bytes();
+        self.net
+            .node_mut::<Router>(self.nodes[src])
+            .send_data(addr_of(dst), marker.clone());
+        self.net.poll_node(self.nodes[src]);
+        let deadline = self.net.now() + Dur::from_millis(500);
+        self.net.run_until(deadline);
+        let inbox = self.net.node_mut::<Router>(self.nodes[dst]).take_inbox();
+        inbox
+            .into_iter()
+            .find(|p| p.payload == marker)
+            .map(|p| 64 - p.ttl as u32)
+    }
+
+    /// The full forwarding relation: for each router, its sorted
+    /// `(dst, port)` FIB.
+    pub fn fib_snapshot(&self) -> Vec<Vec<(Addr, usize)>> {
+        self.nodes.iter().map(|&n| self.net.node::<Router>(n).fib_routes()).collect()
+    }
+
+    /// Fail the `i`-th topology edge.
+    pub fn fail_edge(&mut self, i: usize) {
+        self.net.fail_link(self.links[i]);
+    }
+
+    pub fn router(&mut self, i: usize) -> &mut Router {
+        self.net.node_mut::<Router>(self.nodes[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dv::{DistanceVector, DvConfig};
+    use crate::ls::{LinkState, LsConfig};
+
+    fn dv_factory() -> Box<dyn Fn(Addr) -> Box<dyn RouteComputation>> {
+        Box::new(|a| Box::new(DistanceVector::new(a, DvConfig::default())))
+    }
+
+    fn ls_factory() -> Box<dyn Fn(Addr) -> Box<dyn RouteComputation>> {
+        Box::new(|a| Box::new(LinkState::new(a, LsConfig::default())))
+    }
+
+    fn engines() -> Vec<(&'static str, Box<dyn Fn(Addr) -> Box<dyn RouteComputation>>)> {
+        vec![("dv", dv_factory()), ("ls", ls_factory())]
+    }
+
+    #[test]
+    fn line_converges_and_routes_end_to_end() {
+        for (name, f) in engines() {
+            let topo = Topology::line(4);
+            let mut net = build(&topo, 1, Dur::from_millis(1), f.as_ref());
+            net.settle(Dur::from_secs(15));
+            assert_eq!(net.probe(0, 3), Some(3), "{name}");
+            assert_eq!(net.probe(3, 0), Some(3), "{name}");
+            assert_eq!(net.probe(1, 2), Some(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn ring_takes_shortest_side() {
+        for (name, f) in engines() {
+            let topo = Topology::ring(6);
+            let mut net = build(&topo, 2, Dur::from_millis(1), f.as_ref());
+            net.settle(Dur::from_secs(15));
+            // Opposite corners: 3 hops either way.
+            assert_eq!(net.probe(0, 3), Some(3), "{name}");
+            // Adjacent: 1 hop, not 5.
+            assert_eq!(net.probe(0, 5), Some(1), "{name}");
+            assert_eq!(net.probe(0, 2), Some(2), "{name}");
+        }
+    }
+
+    #[test]
+    fn grid_hop_counts_match_bfs() {
+        for (name, f) in engines() {
+            let topo = Topology::grid(3, 3);
+            let hops = topo.bfs_hops(0);
+            let mut net = build(&topo, 3, Dur::from_millis(1), f.as_ref());
+            net.settle(Dur::from_secs(20));
+            for dst in 1..9 {
+                assert_eq!(net.probe(0, dst), hops[dst], "{name} dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn dv_and_ls_agree_on_random_topologies() {
+        // Experiment E2's core claim: swapping route computation leaves
+        // forwarding behaviour (hop counts, reachability) unchanged.
+        for seed in [11, 12] {
+            let topo = Topology::random_connected(8, 4, seed);
+            let mut dv_net = build(&topo, seed, Dur::from_millis(1), dv_factory().as_ref());
+            let mut ls_net = build(&topo, seed, Dur::from_millis(1), ls_factory().as_ref());
+            dv_net.settle(Dur::from_secs(25));
+            ls_net.settle(Dur::from_secs(25));
+            for src in 0..topo.n {
+                let hops = topo.bfs_hops(src);
+                for dst in 0..topo.n {
+                    if src == dst {
+                        continue;
+                    }
+                    let dv_hops = dv_net.probe(src, dst);
+                    let ls_hops = ls_net.probe(src, dst);
+                    assert_eq!(dv_hops, hops[dst], "dv seed {seed} {src}->{dst}");
+                    assert_eq!(ls_hops, hops[dst], "ls seed {seed} {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergence_after_link_failure() {
+        for (name, f) in engines() {
+            // Ring: failing one edge leaves the long way around.
+            let topo = Topology::ring(5);
+            let mut net = build(&topo, 7, Dur::from_millis(1), f.as_ref());
+            net.settle(Dur::from_secs(15));
+            assert_eq!(net.probe(0, 1), Some(1), "{name} before failure");
+            // Fail edge 0-1.
+            net.fail_edge(0);
+            net.settle(Dur::from_secs(25));
+            assert_eq!(net.probe(0, 1), Some(4), "{name} after failure");
+        }
+    }
+
+    #[test]
+    fn bfs_ground_truth() {
+        let topo = Topology::ring(6);
+        let hops = topo.bfs_hops(0);
+        assert_eq!(hops, vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1)]);
+        let line = Topology::line(3);
+        assert_eq!(line.bfs_hops(2), vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn star_topology_routes_through_hub() {
+        for (name, f) in engines() {
+            let topo = Topology::star(5);
+            let mut net = build(&topo, 4, Dur::from_millis(1), f.as_ref());
+            net.settle(Dur::from_secs(15));
+            assert_eq!(net.probe(1, 4), Some(2), "{name}");
+            assert_eq!(net.probe(0, 3), Some(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let t = Topology::random_connected(10, 3, seed);
+            let hops = t.bfs_hops(0);
+            assert!(hops.iter().all(|h| h.is_some()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by timestamp, with insertion order breaking ties so
+//! that two events scheduled for the same instant always pop in the order
+//! they were pushed — a requirement for reproducible simulations.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `ev` to fire at `at`.
+    pub fn push(&mut self, at: Time, ev: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Timestamp and payload of the earliest pending event.
+    pub fn peek(&self) -> Option<(Time, &E)> {
+        self.heap.peek().map(|e| (e.at, &e.ev))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), "c");
+        q.push(Time(10), "a");
+        q.push(Time(20), "b");
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Time(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(9), ());
+        q.push(Time(4), ());
+        assert_eq!(q.peek_time(), Some(Time(4)));
+        assert_eq!(q.len(), 2);
+    }
+}

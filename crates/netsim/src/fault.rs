@@ -1,0 +1,210 @@
+//! Fault injection for simulated links.
+//!
+//! Mirrors the adverse-condition knobs found in real test harnesses
+//! (e.g. smoltcp's examples): random drop, single-bit corruption, frame
+//! duplication and extra-delay reordering, each with an independent
+//! probability, applied from a deterministic per-link random stream.
+
+use crate::rng::DetRng;
+use crate::time::Dur;
+
+/// Probabilities and parameters for link impairments.
+#[derive(Clone, Debug, Default)]
+pub struct FaultProfile {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability one random bit of the frame is flipped.
+    pub corrupt: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability the frame is held back by `reorder_delay`, letting later
+    /// frames overtake it.
+    pub reorder: f64,
+    /// Extra delay applied to reordered frames.
+    pub reorder_delay: Dur,
+}
+
+impl FaultProfile {
+    /// A perfect link: no impairments.
+    pub fn none() -> FaultProfile {
+        FaultProfile::default()
+    }
+
+    /// Drop-only impairment with the given probability.
+    pub fn lossy(p: f64) -> FaultProfile {
+        FaultProfile { drop: p, ..Default::default() }
+    }
+
+    /// A "hostile" profile exercising every impairment at once.
+    pub fn hostile(p: f64, reorder_delay: Dur) -> FaultProfile {
+        FaultProfile {
+            drop: p,
+            corrupt: p,
+            duplicate: p,
+            reorder: p,
+            reorder_delay,
+        }
+    }
+
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    pub fn with_reorder(mut self, p: f64, delay: Dur) -> Self {
+        self.reorder = p;
+        self.reorder_delay = delay;
+        self
+    }
+}
+
+/// Counters describing what the injector actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub offered: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub duplicated: u64,
+    pub reordered: u64,
+}
+
+/// The fate decided for one frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fate {
+    /// Deliveries to perform: `(extra_delay, frame_bytes)`.
+    /// Empty when the frame was dropped.
+    pub deliveries: Vec<(Dur, Vec<u8>)>,
+}
+
+/// Applies a [`FaultProfile`] to frames using a deterministic stream.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: DetRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(profile: FaultProfile, rng: DetRng) -> FaultInjector {
+        FaultInjector { profile, rng, stats: FaultStats::default() }
+    }
+
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Replace the profile mid-run (e.g. to heal or degrade a link).
+    pub fn set_profile(&mut self, profile: FaultProfile) {
+        self.profile = profile;
+    }
+
+    /// Decide the fate of one frame.
+    pub fn apply(&mut self, frame: &[u8]) -> Fate {
+        self.stats.offered += 1;
+        if self.rng.chance(self.profile.drop) {
+            self.stats.dropped += 1;
+            return Fate { deliveries: Vec::new() };
+        }
+        let mut bytes = frame.to_vec();
+        if !bytes.is_empty() && self.rng.chance(self.profile.corrupt) {
+            self.stats.corrupted += 1;
+            let bit = self.rng.below(bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        let delay = if self.rng.chance(self.profile.reorder) {
+            self.stats.reordered += 1;
+            self.profile.reorder_delay
+        } else {
+            Dur::ZERO
+        };
+        let mut deliveries = vec![(delay, bytes.clone())];
+        if self.rng.chance(self.profile.duplicate) {
+            self.stats.duplicated += 1;
+            deliveries.push((delay, bytes));
+        }
+        Fate { deliveries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(p: FaultProfile) -> FaultInjector {
+        FaultInjector::new(p, DetRng::new(1234))
+    }
+
+    #[test]
+    fn perfect_link_passes_everything() {
+        let mut inj = injector(FaultProfile::none());
+        for _ in 0..1000 {
+            let fate = inj.apply(b"hello");
+            assert_eq!(fate.deliveries, vec![(Dur::ZERO, b"hello".to_vec())]);
+        }
+        assert_eq!(inj.stats().dropped, 0);
+        assert_eq!(inj.stats().offered, 1000);
+    }
+
+    #[test]
+    fn drop_rate_is_plausible() {
+        let mut inj = injector(FaultProfile::lossy(0.3));
+        for _ in 0..10_000 {
+            inj.apply(b"x");
+        }
+        let frac = inj.stats().dropped as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = injector(FaultProfile::none().with_corrupt(1.0));
+        let fate = inj.apply(&[0u8; 8]);
+        let out = &fate.deliveries[0].1;
+        let ones: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn corruption_skips_empty_frames() {
+        let mut inj = injector(FaultProfile::none().with_corrupt(1.0));
+        let fate = inj.apply(&[]);
+        assert_eq!(fate.deliveries.len(), 1);
+        assert!(fate.deliveries[0].1.is_empty());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut inj = injector(FaultProfile::none().with_duplicate(1.0));
+        let fate = inj.apply(b"dup");
+        assert_eq!(fate.deliveries.len(), 2);
+        assert_eq!(fate.deliveries[0].1, fate.deliveries[1].1);
+    }
+
+    #[test]
+    fn reordering_adds_delay() {
+        let d = Dur::from_millis(5);
+        let mut inj = injector(FaultProfile::none().with_reorder(1.0, d));
+        let fate = inj.apply(b"late");
+        assert_eq!(fate.deliveries[0].0, d);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let profile = FaultProfile::hostile(0.2, Dur::from_millis(1));
+        let run = |seed| {
+            let mut inj = FaultInjector::new(profile.clone(), DetRng::new(seed));
+            (0..200).map(|i| inj.apply(&[i as u8; 4])).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

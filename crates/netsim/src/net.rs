@@ -1,0 +1,624 @@
+//! The discrete-event network simulator.
+//!
+//! A [`SimNet`] owns a set of [`Node`]s connected by point-to-point links.
+//! Nodes are poll-driven, in the style of event-driven network stacks such as
+//! smoltcp: the simulator calls [`Node::on_frame`] / [`Node::on_timer`] and
+//! then [`Node::poll`], and the node responds by queuing actions (frames to
+//! transmit, timers to arm) on its [`NodeCtx`]. All scheduling runs on the
+//! simulated clock with deterministic tie-breaking, and every random choice
+//! (fault injection) comes from per-link forks of one seed, so runs are
+//! exactly reproducible.
+
+use crate::event::EventQueue;
+use crate::fault::{FaultInjector, FaultProfile, FaultStats};
+use crate::rng::DetRng;
+use crate::time::{Dur, Time};
+use std::any::Any;
+use std::collections::HashSet;
+
+/// Index of a node within a [`SimNet`].
+pub type NodeId = usize;
+/// Index of a port (link attachment point) on a node.
+pub type PortId = usize;
+/// Index of a link within a [`SimNet`].
+pub type LinkId = usize;
+
+/// Identifier of an armed timer, used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Physical characteristics of a link (applied independently per direction).
+#[derive(Clone, Debug)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub delay: Dur,
+    /// Transmission rate in bits/second; `0` means infinite (no serialization
+    /// delay).
+    pub rate_bps: u64,
+    /// Maximum frame size in bytes; larger frames are dropped. `0` = no limit.
+    pub mtu: usize,
+    /// Impairments applied to frames in flight.
+    pub fault: FaultProfile,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            delay: Dur::from_micros(10),
+            rate_bps: 0,
+            mtu: 0,
+            fault: FaultProfile::none(),
+        }
+    }
+}
+
+impl LinkParams {
+    /// A link with only a propagation delay.
+    pub fn delay_only(delay: Dur) -> LinkParams {
+        LinkParams { delay, ..Default::default() }
+    }
+
+    pub fn with_fault(mut self, fault: FaultProfile) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    pub fn with_rate(mut self, bps: u64) -> Self {
+        self.rate_bps = bps;
+        self
+    }
+
+    pub fn with_mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
+}
+
+/// Behaviour of a simulated node. Implementations embed whatever protocol
+/// stack and application logic the experiment needs.
+pub trait Node: Any {
+    /// A frame arrived on `port`.
+    fn on_frame(&mut self, port: PortId, frame: Vec<u8>, ctx: &mut NodeCtx);
+    /// A previously armed timer fired. `token` is the caller-chosen tag.
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx);
+    /// Give the node an opportunity to transmit. Called once at startup and
+    /// after every event delivered to this node.
+    fn poll(&mut self, _ctx: &mut NodeCtx) {}
+}
+
+enum Action {
+    Send { port: PortId, frame: Vec<u8> },
+    Arm { at: Time, token: u64, id: TimerId },
+    Cancel { id: TimerId },
+}
+
+/// Interface through which a [`Node`] interacts with the simulator during a
+/// callback.
+pub struct NodeCtx {
+    /// Current simulated time.
+    pub now: Time,
+    /// The node being called.
+    pub node: NodeId,
+    actions: Vec<Action>,
+    next_timer: u64,
+}
+
+impl NodeCtx {
+    /// Queue a frame for transmission on `port`.
+    pub fn send(&mut self, port: PortId, frame: Vec<u8>) {
+        self.actions.push(Action::Send { port, frame });
+    }
+
+    /// Arm a one-shot timer to fire at absolute time `at` with `token`.
+    pub fn arm_at(&mut self, at: Time, token: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.actions.push(Action::Arm { at, token, id });
+        id
+    }
+
+    /// Arm a one-shot timer to fire after `d` with `token`.
+    pub fn arm_in(&mut self, d: Dur, token: u64) -> TimerId {
+        self.arm_at(self.now + d, token)
+    }
+
+    /// Cancel a previously armed timer. Cancelling an already-fired timer is
+    /// a harmless no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.actions.push(Action::Cancel { id });
+    }
+}
+
+enum Event {
+    Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
+    Timer { node: NodeId, token: u64, id: TimerId },
+}
+
+struct Direction {
+    injector: FaultInjector,
+    busy_until: Time,
+    stats: DirStats,
+}
+
+/// Per-direction link statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DirStats {
+    /// Frames offered by the sender.
+    pub tx_frames: u64,
+    /// Bytes offered by the sender.
+    pub tx_bytes: u64,
+    /// Frames actually delivered (after faults; includes duplicates).
+    pub rx_frames: u64,
+    /// Bytes actually delivered.
+    pub rx_bytes: u64,
+    /// Frames dropped for exceeding the MTU.
+    pub mtu_drops: u64,
+}
+
+struct Link {
+    params: LinkParams,
+    ends: [(NodeId, PortId); 2],
+    dirs: [Direction; 2],
+}
+
+/// The simulator: nodes, links, clock, and event queue.
+pub struct SimNet {
+    nodes: Vec<Box<dyn Node>>,
+    links: Vec<Link>,
+    /// `port_map[node][port] = (link, direction index when transmitting)`
+    port_map: Vec<Vec<Option<(LinkId, usize)>>>,
+    queue: EventQueue<Event>,
+    now: Time,
+    rng: DetRng,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    events_processed: u64,
+}
+
+impl SimNet {
+    /// Create an empty network; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> SimNet {
+        SimNet {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            port_map: Vec::new(),
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            rng: DetRng::new(seed),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        self.nodes.push(node);
+        self.port_map.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Connect `a`'s port `ap` to `b`'s port `bp` with the given parameters.
+    /// Both directions share the parameters but draw independent fault
+    /// streams.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        ap: PortId,
+        b: NodeId,
+        bp: PortId,
+        params: LinkParams,
+    ) -> LinkId {
+        let id = self.links.len();
+        let f0 = FaultInjector::new(params.fault.clone(), self.rng.fork(id as u64 * 2 + 1));
+        let f1 = FaultInjector::new(params.fault.clone(), self.rng.fork(id as u64 * 2 + 2));
+        self.links.push(Link {
+            params,
+            ends: [(a, ap), (b, bp)],
+            dirs: [
+                Direction { injector: f0, busy_until: Time::ZERO, stats: DirStats::default() },
+                Direction { injector: f1, busy_until: Time::ZERO, stats: DirStats::default() },
+            ],
+        });
+        for (node, port, dir) in [(a, ap, 0), (b, bp, 1)] {
+            let ports = &mut self.port_map[node];
+            if ports.len() <= port {
+                ports.resize(port + 1, None);
+            }
+            assert!(ports[port].is_none(), "port {port} of node {node} already connected");
+            ports[port] = Some((id, dir));
+        }
+        id
+    }
+
+    /// Replace a link's fault profile mid-run (both directions).
+    pub fn set_link_fault(&mut self, link: LinkId, fault: FaultProfile) {
+        for dir in &mut self.links[link].dirs {
+            dir.injector.set_profile(fault.clone());
+        }
+    }
+
+    /// Sever a link: everything sent on it from now on is dropped.
+    pub fn fail_link(&mut self, link: LinkId) {
+        self.set_link_fault(link, FaultProfile::lossy(1.0));
+    }
+
+    /// Restore a failed link to a perfect link.
+    pub fn heal_link(&mut self, link: LinkId) {
+        self.set_link_fault(link, FaultProfile::none());
+    }
+
+    /// Fault statistics for one direction (`0` = first endpoint transmitting).
+    pub fn link_fault_stats(&self, link: LinkId, dir: usize) -> &FaultStats {
+        self.links[link].dirs[dir].injector.stats()
+    }
+
+    /// Traffic statistics for one direction.
+    pub fn link_dir_stats(&self, link: LinkId, dir: usize) -> &DirStats {
+        &self.links[link].dirs[dir].stats
+    }
+
+    /// Borrow a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        (self.nodes[id].as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutably borrow a node, downcast to its concrete type. After external
+    /// mutation call [`SimNet::poll_node`] so the node can transmit.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        (self.nodes[id].as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    fn make_ctx(&mut self, node: NodeId) -> NodeCtx {
+        NodeCtx { now: self.now, node, actions: Vec::new(), next_timer: self.next_timer }
+    }
+
+    fn apply_ctx(&mut self, ctx: NodeCtx) {
+        self.next_timer = ctx.next_timer;
+        let node = ctx.node;
+        for action in ctx.actions {
+            match action {
+                Action::Send { port, frame } => self.transmit(node, port, frame),
+                Action::Arm { at, token, id } => {
+                    self.queue.push(at, Event::Timer { node, token, id });
+                }
+                Action::Cancel { id } => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, node: NodeId, port: PortId, frame: Vec<u8>) {
+        let Some(Some((link_id, dir_idx))) = self.port_map[node].get(port).copied() else {
+            // Sending on an unconnected port silently discards the frame,
+            // like transmitting on an unplugged interface.
+            return;
+        };
+        let link = &mut self.links[link_id];
+        let dest = link.ends[1 - dir_idx];
+        let dir = &mut link.dirs[dir_idx];
+        dir.stats.tx_frames += 1;
+        dir.stats.tx_bytes += frame.len() as u64;
+        if link.params.mtu != 0 && frame.len() > link.params.mtu {
+            dir.stats.mtu_drops += 1;
+            return;
+        }
+        // Serialization (transmission) delay under the link rate.
+        let tx_time = if link.params.rate_bps == 0 {
+            Dur::ZERO
+        } else {
+            Dur((frame.len() as u128 * 8 * 1_000_000_000 / link.params.rate_bps as u128) as u64)
+        };
+        let start = self.now.max(dir.busy_until);
+        dir.busy_until = start + tx_time;
+        let base_arrival = start + tx_time + link.params.delay;
+        let fate = dir.injector.apply(&frame);
+        for (extra, bytes) in fate.deliveries {
+            dir.stats.rx_frames += 1;
+            dir.stats.rx_bytes += bytes.len() as u64;
+            self.queue.push(
+                base_arrival + extra,
+                Event::Deliver { node: dest.0, port: dest.1, frame: bytes },
+            );
+        }
+    }
+
+    /// Invoke `poll` on a node and apply the resulting actions.
+    pub fn poll_node(&mut self, id: NodeId) {
+        let mut ctx = self.make_ctx(id);
+        let mut node = std::mem::replace(&mut self.nodes[id], Box::new(NullNode));
+        node.poll(&mut ctx);
+        self.nodes[id] = node;
+        self.apply_ctx(ctx);
+    }
+
+    /// Poll every node once (typically to bootstrap transmissions).
+    pub fn poll_all(&mut self) {
+        for id in 0..self.nodes.len() {
+            self.poll_node(id);
+        }
+    }
+
+    /// Drop cancelled timers from the head of the queue, then return the
+    /// time of the next *live* event.
+    fn live_peek_time(&mut self) -> Option<Time> {
+        loop {
+            match self.queue.peek() {
+                Some((_, Event::Timer { id, .. })) if self.cancelled.contains(id) => {
+                    let id = *id;
+                    self.queue.pop();
+                    self.cancelled.remove(&id);
+                }
+                Some((t, _)) => return Some(t),
+                None => return None,
+            }
+        }
+    }
+
+    /// Process the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some((at, ev)) = self.queue.pop() else { return false };
+            debug_assert!(at >= self.now, "time moved backwards");
+            match ev {
+                Event::Timer { id, .. } if self.cancelled.remove(&id) => continue,
+                Event::Deliver { node, port, frame } => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    let mut ctx = self.make_ctx(node);
+                    let mut n = std::mem::replace(&mut self.nodes[node], Box::new(NullNode));
+                    n.on_frame(port, frame, &mut ctx);
+                    n.poll(&mut ctx);
+                    self.nodes[node] = n;
+                    self.apply_ctx(ctx);
+                }
+                Event::Timer { node, token, .. } => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    let mut ctx = self.make_ctx(node);
+                    let mut n = std::mem::replace(&mut self.nodes[node], Box::new(NullNode));
+                    n.on_timer(token, &mut ctx);
+                    n.poll(&mut ctx);
+                    self.nodes[node] = n;
+                    self.apply_ctx(ctx);
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Run until the queue drains or the clock passes `deadline`.
+    /// Returns the time at which the run stopped.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(t) = self.live_peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Run until no events remain, up to a safety deadline.
+    /// Panics if the deadline is hit (runaway simulation).
+    pub fn run_to_idle(&mut self, deadline: Time) -> Time {
+        while let Some(t) = self.live_peek_time() {
+            assert!(t <= deadline, "simulation did not go idle by {deadline:?}");
+            self.step();
+        }
+        self.now
+    }
+
+    /// True when no live events are pending.
+    pub fn is_idle(&mut self) -> bool {
+        self.live_peek_time().is_none()
+    }
+}
+
+/// Placeholder swapped in while a node's callback runs (nodes never see it).
+struct NullNode;
+impl Node for NullNode {
+    fn on_frame(&mut self, _: PortId, _: Vec<u8>, _: &mut NodeCtx) {
+        unreachable!("NullNode received a frame")
+    }
+    fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {
+        unreachable!("NullNode received a timer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every frame back on the same port, tagging it.
+    struct Echo {
+        seen: Vec<Vec<u8>>,
+    }
+    impl Node for Echo {
+        fn on_frame(&mut self, port: PortId, frame: Vec<u8>, ctx: &mut NodeCtx) {
+            self.seen.push(frame.clone());
+            let mut reply = frame;
+            reply.push(b'!');
+            ctx.send(port, reply);
+        }
+        fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {}
+    }
+
+    /// Sends one frame at startup and records replies.
+    struct Pinger {
+        sent: bool,
+        replies: Vec<Vec<u8>>,
+        reply_times: Vec<Time>,
+    }
+    impl Node for Pinger {
+        fn on_frame(&mut self, _: PortId, frame: Vec<u8>, ctx: &mut NodeCtx) {
+            self.replies.push(frame);
+            self.reply_times.push(ctx.now);
+        }
+        fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {}
+        fn poll(&mut self, ctx: &mut NodeCtx) {
+            if !self.sent {
+                self.sent = true;
+                ctx.send(0, b"ping".to_vec());
+            }
+        }
+    }
+
+    fn two_nodes(params: LinkParams) -> (SimNet, NodeId, NodeId) {
+        let mut net = SimNet::new(99);
+        let p = net.add_node(Box::new(Pinger { sent: false, replies: vec![], reply_times: vec![] }));
+        let e = net.add_node(Box::new(Echo { seen: vec![] }));
+        net.connect(p, 0, e, 0, params);
+        (net, p, e)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut net, p, e) = two_nodes(LinkParams::delay_only(Dur::from_millis(1)));
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        assert_eq!(net.node::<Echo>(e).seen, vec![b"ping".to_vec()]);
+        let pinger = net.node::<Pinger>(p);
+        assert_eq!(pinger.replies, vec![b"ping!".to_vec()]);
+        // One millisecond each way.
+        assert_eq!(pinger.reply_times, vec![Time::ZERO + Dur::from_millis(2)]);
+    }
+
+    #[test]
+    fn lossy_link_drops_everything() {
+        let (mut net, p, e) = two_nodes(
+            LinkParams::delay_only(Dur::from_millis(1)).with_fault(FaultProfile::lossy(1.0)),
+        );
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        assert!(net.node::<Echo>(e).seen.is_empty());
+        assert!(net.node::<Pinger>(p).replies.is_empty());
+        assert_eq!(net.link_fault_stats(0, 0).dropped, 1);
+    }
+
+    #[test]
+    fn mtu_drops_oversized() {
+        let mut net = SimNet::new(1);
+        let p = net.add_node(Box::new(Pinger { sent: false, replies: vec![], reply_times: vec![] }));
+        let e = net.add_node(Box::new(Echo { seen: vec![] }));
+        net.connect(p, 0, e, 0, LinkParams::default().with_mtu(2));
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        assert!(net.node::<Echo>(e).seen.is_empty());
+        assert_eq!(net.link_dir_stats(0, 0).mtu_drops, 1);
+    }
+
+    #[test]
+    fn serialization_delay_spaces_frames() {
+        // 1000 bytes at 8 Mbps = 1 ms of transmission time per frame.
+        struct Burst;
+        impl Node for Burst {
+            fn on_frame(&mut self, _: PortId, _: Vec<u8>, _: &mut NodeCtx) {}
+            fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {}
+            fn poll(&mut self, ctx: &mut NodeCtx) {
+                if ctx.now == Time::ZERO {
+                    ctx.send(0, vec![0; 1000]);
+                    ctx.send(0, vec![0; 1000]);
+                }
+            }
+        }
+        struct Sink {
+            times: Vec<Time>,
+        }
+        impl Node for Sink {
+            fn on_frame(&mut self, _: PortId, _: Vec<u8>, ctx: &mut NodeCtx) {
+                self.times.push(ctx.now);
+            }
+            fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {}
+        }
+        let mut net = SimNet::new(5);
+        let b = net.add_node(Box::new(Burst));
+        let s = net.add_node(Box::new(Sink { times: vec![] }));
+        net.connect(
+            b,
+            0,
+            s,
+            0,
+            LinkParams { delay: Dur::ZERO, rate_bps: 8_000_000, mtu: 0, fault: FaultProfile::none() },
+        );
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        let times = &net.node::<Sink>(s).times;
+        assert_eq!(times.len(), 2);
+        assert_eq!(times[0], Time::ZERO + Dur::from_millis(1));
+        assert_eq!(times[1], Time::ZERO + Dur::from_millis(2));
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct Timed {
+            fired: Vec<u64>,
+            armed: bool,
+        }
+        impl Node for Timed {
+            fn on_frame(&mut self, _: PortId, _: Vec<u8>, _: &mut NodeCtx) {}
+            fn on_timer(&mut self, token: u64, _: &mut NodeCtx) {
+                self.fired.push(token);
+            }
+            fn poll(&mut self, ctx: &mut NodeCtx) {
+                if !self.armed {
+                    self.armed = true;
+                    ctx.arm_in(Dur::from_millis(1), 1);
+                    let id = ctx.arm_in(Dur::from_millis(2), 2);
+                    ctx.arm_in(Dur::from_millis(3), 3);
+                    ctx.cancel(id);
+                }
+            }
+        }
+        let mut net = SimNet::new(2);
+        let t = net.add_node(Box::new(Timed { fired: vec![], armed: false }));
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        assert_eq!(net.node::<Timed>(t).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let (mut net, p, _) = two_nodes(
+                LinkParams::delay_only(Dur::from_millis(1))
+                    .with_fault(FaultProfile::lossy(0.5)),
+            );
+            net.poll_all();
+            net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+            net.node::<Pinger>(p).replies.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unconnected_port_discards() {
+        let mut net = SimNet::new(3);
+        let p = net.add_node(Box::new(Pinger { sent: false, replies: vec![], reply_times: vec![] }));
+        net.poll_all(); // Pinger sends on port 0, which has no link.
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        assert!(net.node::<Pinger>(p).replies.is_empty());
+    }
+}

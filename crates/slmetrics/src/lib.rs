@@ -1,0 +1,250 @@
+//! # slmetrics — state-entanglement measurement (paper §2.3 / §4.2)
+//!
+//! The paper's central argument against monolithic transports is that
+//! their subfunctions "share and mutate the same state (encapsulated in
+//! the PCB block)", so "reasoning about the correctness of a single
+//! function now requires reasoning about its interactions with all other
+//! functions via operations on the shared state" — the O(N²) interactions
+//! of §4.2.
+//!
+//! This crate *measures* that. Both TCP implementations in this workspace
+//! annotate their state accesses with the subfunction ("context") doing
+//! the access and the state field touched. From the resulting
+//! [`AccessLog`], [`InteractionMatrix`] computes which fields are shared
+//! between which subfunctions and an aggregate entanglement score.
+//! Experiment E6 runs identical workloads through the monolithic and
+//! sublayered stacks and compares the matrices: the monolithic PCB fields
+//! are touched by many subfunctions; the sublayered stack's fields each
+//! stay within one sublayer.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Per-(context, field) access counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+/// A log of annotated state accesses.
+#[derive(Clone, Debug, Default)]
+pub struct AccessLog {
+    counts: BTreeMap<(String, String), Counts>,
+}
+
+/// Shared handle: the stack owns one log; every subfunction/sublayer holds
+/// a clone of the handle.
+pub type SharedLog = Rc<RefCell<AccessLog>>;
+
+/// A fresh shared log.
+pub fn shared() -> SharedLog {
+    Rc::new(RefCell::new(AccessLog::default()))
+}
+
+impl AccessLog {
+    /// Record an access to `field` from subfunction `ctx`.
+    pub fn rec(&mut self, ctx: &str, field: &str, kind: AccessKind) {
+        let c = self.counts.entry((ctx.to_string(), field.to_string())).or_default();
+        match kind {
+            AccessKind::Read => c.reads += 1,
+            AccessKind::Write => c.writes += 1,
+        }
+    }
+
+    /// Shorthand: record a read.
+    pub fn r(&mut self, ctx: &str, field: &str) {
+        self.rec(ctx, field, AccessKind::Read);
+    }
+
+    /// Shorthand: record a write.
+    pub fn w(&mut self, ctx: &str, field: &str) {
+        self.rec(ctx, field, AccessKind::Write);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// All distinct contexts seen.
+    pub fn contexts(&self) -> BTreeSet<&str> {
+        self.counts.keys().map(|(c, _)| c.as_str()).collect()
+    }
+
+    /// All distinct fields seen.
+    pub fn fields(&self) -> BTreeSet<&str> {
+        self.counts.keys().map(|(_, f)| f.as_str()).collect()
+    }
+
+    pub fn counts(&self) -> &BTreeMap<(String, String), Counts> {
+        &self.counts
+    }
+}
+
+/// The field-sharing structure derived from an [`AccessLog`].
+#[derive(Clone, Debug)]
+pub struct InteractionMatrix {
+    /// field -> contexts touching it.
+    pub field_contexts: BTreeMap<String, BTreeSet<String>>,
+    /// field -> contexts *writing* it.
+    pub field_writers: BTreeMap<String, BTreeSet<String>>,
+    /// Unordered context pairs -> number of fields they share.
+    pub pair_shared: BTreeMap<(String, String), usize>,
+}
+
+impl InteractionMatrix {
+    pub fn from_log(log: &AccessLog) -> InteractionMatrix {
+        let mut field_contexts: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut field_writers: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for ((ctx, field), c) in log.counts() {
+            field_contexts.entry(field.clone()).or_default().insert(ctx.clone());
+            if c.writes > 0 {
+                field_writers.entry(field.clone()).or_default().insert(ctx.clone());
+            }
+        }
+        let mut pair_shared: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for ctxs in field_contexts.values() {
+            let v: Vec<&String> = ctxs.iter().collect();
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    *pair_shared.entry((v[i].clone(), v[j].clone())).or_default() += 1;
+                }
+            }
+        }
+        InteractionMatrix { field_contexts, field_writers, pair_shared }
+    }
+
+    /// Fields touched by more than one context (the entangled state).
+    pub fn shared_fields(&self) -> Vec<(&str, usize)> {
+        self.field_contexts
+            .iter()
+            .filter(|(_, c)| c.len() > 1)
+            .map(|(f, c)| (f.as_str(), c.len()))
+            .collect()
+    }
+
+    /// Σ over fields of (contexts − 1): the total number of "extra owners"
+    /// a verifier must reason about. Zero means perfect state segregation.
+    pub fn entanglement_score(&self) -> usize {
+        self.field_contexts.values().map(|c| c.len() - 1).sum()
+    }
+
+    /// Like [`InteractionMatrix::entanglement_score`] but counting only
+    /// contexts that *write* — read-sharing is cheaper to reason about.
+    pub fn write_entanglement_score(&self) -> usize {
+        self.field_writers.values().map(|c| c.len().saturating_sub(1)).sum()
+    }
+
+    /// Number of context pairs that interact through at least one field —
+    /// the paper's O(N²) interaction count.
+    pub fn interacting_pairs(&self) -> usize {
+        self.pair_shared.len()
+    }
+
+    /// A markdown report used by experiment E6.
+    pub fn render_markdown(&self, title: &str) -> String {
+        let mut out = format!("### {title}\n\n");
+        out.push_str(&format!(
+            "- fields: {}\n- shared fields: {}\n- entanglement score: {}\n- write entanglement: {}\n- interacting context pairs: {}\n\n",
+            self.field_contexts.len(),
+            self.shared_fields().len(),
+            self.entanglement_score(),
+            self.write_entanglement_score(),
+            self.interacting_pairs(),
+        ));
+        if !self.pair_shared.is_empty() {
+            out.push_str("| context A | context B | shared fields |\n|---|---|---|\n");
+            for ((a, b), n) in &self.pair_shared {
+                out.push_str(&format!("| {a} | {b} | {n} |\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccessLog {
+        let mut log = AccessLog::default();
+        // Two functions share `wnd`; `buf` is private to recv.
+        log.r("send", "wnd");
+        log.w("send", "wnd");
+        log.w("recv", "wnd");
+        log.r("recv", "buf");
+        log.w("recv", "buf");
+        log.r("cc", "wnd");
+        log.r("cc", "cwnd");
+        log.w("cc", "cwnd");
+        log
+    }
+
+    #[test]
+    fn log_counts_accumulate() {
+        let log = sample();
+        let c = log.counts().get(&("send".into(), "wnd".into())).copied().unwrap();
+        assert_eq!(c, Counts { reads: 1, writes: 1 });
+        assert_eq!(log.contexts().len(), 3);
+        assert_eq!(log.fields().len(), 3);
+    }
+
+    #[test]
+    fn matrix_identifies_shared_fields() {
+        let m = InteractionMatrix::from_log(&sample());
+        let shared = m.shared_fields();
+        assert_eq!(shared, vec![("wnd", 3)]);
+        // wnd has 3 contexts -> score 2; others owned singly.
+        assert_eq!(m.entanglement_score(), 2);
+        // wnd written by send and recv (cc only reads) -> write score 1.
+        assert_eq!(m.write_entanglement_score(), 1);
+        // Pairs interacting through wnd: (cc,send), (cc,recv), (recv,send).
+        assert_eq!(m.interacting_pairs(), 3);
+    }
+
+    #[test]
+    fn segregated_state_scores_zero() {
+        let mut log = AccessLog::default();
+        log.w("dm", "ports");
+        log.w("cm", "isn");
+        log.w("rd", "snd_una");
+        log.w("osr", "cwnd");
+        let m = InteractionMatrix::from_log(&log);
+        assert_eq!(m.entanglement_score(), 0);
+        assert_eq!(m.interacting_pairs(), 0);
+        assert!(m.shared_fields().is_empty());
+    }
+
+    #[test]
+    fn shared_handle_accumulates_across_clones() {
+        let log = shared();
+        let h2 = log.clone();
+        log.borrow_mut().r("a", "x");
+        h2.borrow_mut().w("b", "x");
+        let m = InteractionMatrix::from_log(&log.borrow());
+        assert_eq!(m.entanglement_score(), 1);
+    }
+
+    #[test]
+    fn markdown_report_mentions_scores() {
+        let m = InteractionMatrix::from_log(&sample());
+        let md = m.render_markdown("mono");
+        assert!(md.contains("entanglement score: 2"));
+        assert!(md.contains("| cc | send | 1 |"));
+    }
+
+    #[test]
+    fn empty_log_renders() {
+        let m = InteractionMatrix::from_log(&AccessLog::default());
+        assert_eq!(m.entanglement_score(), 0);
+        assert!(m.render_markdown("empty").contains("fields: 0"));
+    }
+}

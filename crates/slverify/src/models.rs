@@ -1,0 +1,695 @@
+//! Protocol models for the checker — the E6 experiment's subjects.
+//!
+//! Each model is deliberately small (finite ISNs, tiny windows) but
+//! captures the real protocol question:
+//!
+//! * [`AltBit`] — alternating-bit reliable delivery over a lossy channel
+//!   (the RD bootstrap in miniature);
+//! * [`SlidingWindow`] — selective-repeat with sequence space `S` and
+//!   window `W`: the checker *proves* safety for `S ≥ 2W` and *finds the
+//!   classic aliasing counterexample* for `S < 2W`;
+//! * [`Handshake`] — CM's three-way handshake against stale duplicate
+//!   SYNs (Smith's CM formalization in miniature); a `two_way` mode shows
+//!   the checker catching why the third message exists;
+//! * [`Combined`] — handshake × window in one monolithic state machine:
+//!   the state-space product that makes monolithic verification expensive
+//!   (§4.2's O(N²) lesson, measured).
+
+use crate::checker::Model;
+
+// ---------------------------------------------------------------------
+// Alternating bit.
+// ---------------------------------------------------------------------
+
+/// Alternating-bit protocol delivering `n_msgs` messages.
+pub struct AltBit {
+    pub n_msgs: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AltBitState {
+    /// Messages fully acknowledged at the sender.
+    acked: u8,
+    snd_bit: bool,
+    /// Data frame in flight: (bit, message index).
+    data: Option<(bool, u8)>,
+    /// Ack frame in flight.
+    ack: Option<bool>,
+    rcv_bit: bool,
+    delivered: u8,
+}
+
+impl Model for AltBit {
+    type State = AltBitState;
+
+    fn init(&self) -> Vec<AltBitState> {
+        vec![AltBitState {
+            acked: 0,
+            snd_bit: false,
+            data: None,
+            ack: None,
+            rcv_bit: false,
+            delivered: 0,
+        }]
+    }
+
+    fn next(&self, s: &AltBitState) -> Vec<(&'static str, AltBitState)> {
+        let mut out = Vec::new();
+        // Sender (re)transmits the current message.
+        if s.acked < self.n_msgs && s.data.is_none() {
+            let mut ns = s.clone();
+            ns.data = Some((s.snd_bit, s.acked));
+            out.push(("send", ns));
+        }
+        // Channel loses frames.
+        if s.data.is_some() {
+            let mut ns = s.clone();
+            ns.data = None;
+            out.push(("lose_data", ns));
+        }
+        if s.ack.is_some() {
+            let mut ns = s.clone();
+            ns.ack = None;
+            out.push(("lose_ack", ns));
+        }
+        // Receiver consumes a data frame.
+        if let Some((bit, idx)) = s.data {
+            let mut ns = s.clone();
+            ns.data = None;
+            if bit == s.rcv_bit {
+                // New message.
+                debug_assert!(idx >= ns.delivered);
+                ns.delivered += 1;
+                ns.rcv_bit = !ns.rcv_bit;
+            }
+            if ns.ack.is_none() {
+                ns.ack = Some(bit);
+                out.push(("recv_data", ns));
+            } else {
+                // Ack channel busy: receiver still consumes, ack dropped.
+                out.push(("recv_data_ack_lost", ns));
+            }
+        }
+        // Sender consumes an ack.
+        if let Some(bit) = s.ack {
+            let mut ns = s.clone();
+            ns.ack = None;
+            if bit == s.snd_bit {
+                ns.acked += 1;
+                ns.snd_bit = !ns.snd_bit;
+            }
+            out.push(("recv_ack", ns));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &AltBitState) -> Result<(), String> {
+        // Exactly-once, in-order: the receiver's count never exceeds the
+        // sender's progress by more than the one message in flight, and
+        // never falls behind what was acknowledged.
+        if s.delivered < s.acked {
+            return Err(format!("lost message: delivered {} < acked {}", s.delivered, s.acked));
+        }
+        if s.delivered > s.acked + 1 {
+            return Err(format!("duplicate delivery: {} vs acked {}", s.delivered, s.acked));
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &AltBitState) -> bool {
+        s.acked == self.n_msgs && s.delivered == self.n_msgs && s.data.is_none() && s.ack.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sliding window (selective repeat).
+// ---------------------------------------------------------------------
+
+/// Selective-repeat with window `w`, sequence space `s_mod`, transferring
+/// `n_msgs` messages. Safe iff `s_mod >= 2w`.
+pub struct SlidingWindow {
+    pub w: u8,
+    pub s_mod: u8,
+    pub n_msgs: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WindowState {
+    /// Sender base (lowest unacked true index).
+    base: u8,
+    /// Next new index to send.
+    next: u8,
+    /// Data frame in flight: (true index, wire seq).
+    data: Option<(u8, u8)>,
+    /// Cumulative ack in flight (receiver base).
+    ack: Option<u8>,
+    /// Receiver base (next expected true index).
+    rbase: u8,
+    /// Bitmask of received slots within the receiver window.
+    rbuf: u8,
+}
+
+impl Model for SlidingWindow {
+    type State = WindowState;
+
+    fn init(&self) -> Vec<WindowState> {
+        vec![WindowState { base: 0, next: 0, data: None, ack: None, rbase: 0, rbuf: 0 }]
+    }
+
+    fn next(&self, s: &WindowState) -> Vec<(&'static str, WindowState)> {
+        let mut out = Vec::new();
+        // Sender transmits any unacked frame in its window (new or
+        // retransmission).
+        if s.data.is_none() {
+            for i in s.base..s.next.min(s.base + self.w) {
+                let mut ns = s.clone();
+                ns.data = Some((i, i % self.s_mod));
+                out.push(("retransmit", ns));
+            }
+            if s.next < self.n_msgs && s.next < s.base + self.w {
+                let mut ns = s.clone();
+                ns.data = Some((s.next, s.next % self.s_mod));
+                ns.next += 1;
+                out.push(("send_new", ns));
+            }
+        }
+        // Losses.
+        if s.data.is_some() {
+            let mut ns = s.clone();
+            ns.data = None;
+            out.push(("lose_data", ns));
+        }
+        if s.ack.is_some() {
+            let mut ns = s.clone();
+            ns.ack = None;
+            out.push(("lose_ack", ns));
+        }
+        // Receiver consumes a data frame, deciding by WIRE SEQ ONLY.
+        if let Some((true_i, seq)) = s.data {
+            let mut ns = s.clone();
+            ns.data = None;
+            let k = (seq + self.s_mod - (s.rbase % self.s_mod)) % self.s_mod;
+            if k < self.w {
+                // Receiver believes this is index rbase + k.
+                let claimed = s.rbase + k;
+                if claimed != true_i {
+                    // The aliasing bug: encode it in the state so the
+                    // invariant sees it.
+                    ns.rbuf = 0xFF; // poison marker
+                    out.push(("recv_aliased", ns));
+                } else {
+                    ns.rbuf |= 1 << k;
+                    // Slide over the contiguous prefix.
+                    while ns.rbuf & 1 != 0 {
+                        ns.rbuf >>= 1;
+                        ns.rbase += 1;
+                    }
+                    if ns.ack.is_none() {
+                        ns.ack = Some(ns.rbase);
+                    }
+                    out.push(("recv_data", ns));
+                }
+            } else {
+                // Out of window: re-ack.
+                if ns.ack.is_none() {
+                    ns.ack = Some(ns.rbase);
+                }
+                out.push(("recv_dup", ns));
+            }
+        }
+        // Sender consumes an ack.
+        if let Some(a) = s.ack {
+            let mut ns = s.clone();
+            ns.ack = None;
+            if a > ns.base {
+                ns.base = a;
+            }
+            out.push(("recv_ack", ns));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &WindowState) -> Result<(), String> {
+        if s.rbuf == 0xFF {
+            return Err("sequence aliasing: receiver accepted an old frame as new".into());
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &WindowState) -> bool {
+        s.base == self.n_msgs && s.rbase == self.n_msgs && s.data.is_none() && s.ack.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handshake (CM).
+// ---------------------------------------------------------------------
+
+/// ISN used by delayed duplicates from an old incarnation.
+pub const STALE_ISN: u8 = 9;
+/// The current incarnation's client ISN / server ISN.
+pub const CLIENT_ISN: u8 = 1;
+pub const SERVER_ISN: u8 = 2;
+
+/// CM's connection-establishment handshake under stale duplicate SYNs.
+/// With `three_way: false` the server trusts a bare SYN (no third
+/// message) — the checker finds the stale-incarnation violation.
+pub struct Handshake {
+    pub three_way: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HsMsg {
+    Syn { isn: u8 },
+    SynAck { isn: u8, ack: u8 },
+    Ack { seq: u8, ack: u8 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct HsSide {
+    established: bool,
+    peer_isn: Option<u8>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HsState {
+    client: HsSide,
+    server: HsSide,
+    /// One message slot per direction.
+    to_server: Option<HsMsg>,
+    to_client: Option<HsMsg>,
+    /// A stale SYN may appear at most once.
+    stale_injected: bool,
+}
+
+impl Model for Handshake {
+    type State = HsState;
+
+    fn init(&self) -> Vec<HsState> {
+        vec![HsState {
+            client: HsSide::default(),
+            server: HsSide::default(),
+            to_server: None,
+            to_client: None,
+            stale_injected: false,
+        }]
+    }
+
+    fn next(&self, s: &HsState) -> Vec<(&'static str, HsState)> {
+        let mut out = Vec::new();
+        // Client (re)sends SYN until established.
+        if !s.client.established && s.to_server.is_none() {
+            let mut ns = *s;
+            ns.to_server = Some(HsMsg::Syn { isn: CLIENT_ISN });
+            out.push(("client_syn", ns));
+        }
+        // The network may deliver a stale duplicate SYN (old incarnation).
+        if !s.stale_injected && s.to_server.is_none() {
+            let mut ns = *s;
+            ns.to_server = Some(HsMsg::Syn { isn: STALE_ISN });
+            ns.stale_injected = true;
+            out.push(("stale_syn", ns));
+        }
+        // Server retransmits its SYN-ACK while half open.
+        if !s.server.established && s.to_client.is_none() {
+            if let Some(stored) = s.server.peer_isn {
+                let mut ns = *s;
+                ns.to_client = Some(HsMsg::SynAck { isn: SERVER_ISN, ack: stored });
+                out.push(("server_synack_rtx", ns));
+            }
+        }
+        // Half-open connections time out (how a server wedged on a stale
+        // SYN recovers; abstracts SYN-RCVD timeout / RST).
+        if !s.server.established && s.server.peer_isn.is_some() {
+            let mut ns = *s;
+            ns.server.peer_isn = None;
+            out.push(("server_halfopen_timeout", ns));
+        }
+        // Losses.
+        if s.to_server.is_some() {
+            let mut ns = *s;
+            ns.to_server = None;
+            out.push(("lose_to_server", ns));
+        }
+        if s.to_client.is_some() {
+            let mut ns = *s;
+            ns.to_client = None;
+            out.push(("lose_to_client", ns));
+        }
+        // Server consumes.
+        if let Some(msg) = s.to_server {
+            let mut ns = *s;
+            ns.to_server = None;
+            match msg {
+                HsMsg::Syn { isn } => {
+                    if ns.server.peer_isn.is_none() {
+                        ns.server.peer_isn = Some(isn);
+                    }
+                    if !self.three_way {
+                        // Trusting two-way variant: established on SYN.
+                        ns.server.established = true;
+                    }
+                    // As in TCP's SYN_RCVD, the server acks its *stored*
+                    // peer ISN (irs), not whatever the duplicate carries.
+                    let stored = ns.server.peer_isn.unwrap();
+                    if ns.to_client.is_none() {
+                        ns.to_client = Some(HsMsg::SynAck { isn: SERVER_ISN, ack: stored });
+                        out.push(("server_synack", ns));
+                    } else {
+                        out.push(("server_synack_dropped", ns));
+                    }
+                }
+                HsMsg::Ack { seq, ack } => {
+                    // Sequence acceptability, as in TCP: the ack must come
+                    // from the incarnation the server is holding (seq must
+                    // match the stored peer ISN) *and* acknowledge our ISN.
+                    if ack == SERVER_ISN && ns.server.peer_isn == Some(seq) {
+                        ns.server.established = true;
+                    }
+                    out.push(("server_ack", ns));
+                }
+                HsMsg::SynAck { .. } => out.push(("server_ignores", ns)),
+            }
+        }
+        // Client consumes.
+        if let Some(msg) = s.to_client {
+            let mut ns = *s;
+            ns.to_client = None;
+            match msg {
+                HsMsg::SynAck { isn, ack } => {
+                    if ack == CLIENT_ISN {
+                        ns.client.established = true;
+                        ns.client.peer_isn = Some(isn);
+                        if ns.to_server.is_none() {
+                            ns.to_server = Some(HsMsg::Ack { seq: CLIENT_ISN, ack: isn });
+                            out.push(("client_ack", ns));
+                        } else {
+                            out.push(("client_ack_dropped", ns));
+                        }
+                    } else {
+                        // SYN-ACK for a stale incarnation: reject.
+                        out.push(("client_rejects_stale", ns));
+                    }
+                }
+                _ => out.push(("client_ignores", ns)),
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &HsState) -> Result<(), String> {
+        // Agreement: once both are established, the server must hold the
+        // *current* client ISN — a stale incarnation must never survive.
+        if s.server.established && s.server.peer_isn == Some(STALE_ISN) {
+            return Err("server established a stale incarnation".into());
+        }
+        if s.client.established && s.server.established {
+            if s.server.peer_isn != Some(CLIENT_ISN) {
+                return Err(format!(
+                    "ISN disagreement: server thinks client ISN is {:?}",
+                    s.server.peer_isn
+                ));
+            }
+            if s.client.peer_isn != Some(SERVER_ISN) {
+                return Err("client holds the wrong server ISN".into());
+            }
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &HsState) -> bool {
+        if s.client.established && s.server.established {
+            return true;
+        }
+        // Half-established terminal: the client completed but the server
+        // timed out its half-open entry (the client's ack was lost
+        // forever). In full TCP this resolves at the first data segment
+        // via RST — outside CM's scope, so it is a legitimate terminal
+        // here.
+        s.client.established
+            && s.server.peer_isn.is_none()
+            && s.to_server.is_none()
+            && s.to_client.is_none()
+            && s.stale_injected
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combined (monolithic) model.
+// ---------------------------------------------------------------------
+
+/// Handshake and sliding window verified *together*, as a monolithic
+/// implementation forces: the state is the product and every interleaving
+/// must be explored. Experiment E6 contrasts `states(Combined)` with
+/// `states(Handshake) + states(SlidingWindow)`.
+pub struct Combined {
+    pub hs: Handshake,
+    pub win: SlidingWindow,
+}
+
+impl Model for Combined {
+    type State = (HsState, WindowState);
+
+    fn init(&self) -> Vec<Self::State> {
+        let mut out = Vec::new();
+        for h in self.hs.init() {
+            for w in self.win.init() {
+                out.push((h, w));
+            }
+        }
+        out
+    }
+
+    fn next(&self, s: &Self::State) -> Vec<(&'static str, Self::State)> {
+        let mut out = Vec::new();
+        for (a, h) in self.hs.next(&s.0) {
+            out.push((a, (h, s.1.clone())));
+        }
+        // Data may only flow once the handshake completed (the coupling a
+        // monolithic proof must reason about).
+        if s.0.client.established {
+            for (a, w) in self.win.next(&s.1) {
+                out.push((a, (s.0, w)));
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &Self::State) -> Result<(), String> {
+        self.hs.invariant(&s.0)?;
+        self.win.invariant(&s.1)
+    }
+
+    fn is_done(&self, s: &Self::State) -> bool {
+        self.hs.is_done(&s.0) && self.win.is_done(&s.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+
+    #[test]
+    fn altbit_is_safe_and_live() {
+        let r = check(&AltBit { n_msgs: 3 }, 100_000);
+        assert!(r.ok(), "{r:?}");
+        assert!(r.states > 10);
+    }
+
+    #[test]
+    fn sliding_window_safe_when_space_is_twice_window() {
+        for (w, s_mod) in [(1u8, 2u8), (2, 4), (3, 6), (2, 5)] {
+            let r = check(&SlidingWindow { w, s_mod, n_msgs: s_mod + 2 }, 2_000_000);
+            assert!(r.ok(), "W={w} S={s_mod}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_window_aliasing_found_when_space_too_small() {
+        // The classic theorem: selective repeat needs S >= 2W.
+        for (w, s_mod) in [(2u8, 3u8), (2, 2), (3, 4)] {
+            let r = check(&SlidingWindow { w, s_mod, n_msgs: s_mod + 2 }, 2_000_000);
+            let v = r.violation.expect(&format!("W={w} S={s_mod} must alias"));
+            assert!(v.reason.contains("aliasing"), "{v:?}");
+            assert!(!v.actions.is_empty());
+        }
+    }
+
+    #[test]
+    fn three_way_handshake_rejects_stale_incarnations() {
+        let r = check(&Handshake { three_way: true }, 1_000_000);
+        assert!(r.violation.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn two_way_handshake_is_broken() {
+        // Dropping the third message lets a stale SYN establish — the
+        // checker produces the counterexample explaining *why* TCP has a
+        // three-way handshake.
+        let r = check(&Handshake { three_way: false }, 1_000_000);
+        let v = r.violation.expect("two-way must fail");
+        assert!(v.reason.contains("stale"), "{v:?}");
+        assert!(v.actions.contains(&"stale_syn"));
+    }
+
+    #[test]
+    fn combined_state_space_is_multiplicative() {
+        // The E6 headline: verifying the monolithic product costs far more
+        // states than verifying each sublayer's model separately.
+        let hs = check(&Handshake { three_way: true }, 2_000_000);
+        let win = check(&SlidingWindow { w: 2, s_mod: 4, n_msgs: 6 }, 2_000_000);
+        let combined = check(
+            &Combined {
+                hs: Handshake { three_way: true },
+                win: SlidingWindow { w: 2, s_mod: 4, n_msgs: 6 },
+            },
+            5_000_000,
+        );
+        assert!(hs.ok() && win.ok());
+        assert!(combined.violation.is_none());
+        let sum = hs.states + win.states;
+        assert!(
+            combined.states > 3 * sum,
+            "combined {} should dwarf sum {}",
+            combined.states,
+            sum
+        );
+    }
+
+    #[test]
+    fn handshake_deadlock_free_modulo_done_states() {
+        let r = check(&Handshake { three_way: true }, 1_000_000);
+        assert_eq!(r.deadlocks, 0, "{r:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow control (OSR).
+// ---------------------------------------------------------------------
+
+/// OSR's flow-control obligation: the sender may not exceed the advertised
+/// window, or the receiver's bounded buffer overflows. With
+/// `respect_window: false` the checker produces the overflow
+/// counterexample — the contract that makes the OSR/RD interface safe.
+pub struct FlowControl {
+    pub buf_cap: u8,
+    pub n_msgs: u8,
+    pub respect_window: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowState {
+    /// Messages the sender has emitted.
+    sent: u8,
+    /// Messages sitting in the receiver's buffer (app not yet reading).
+    buffered: u8,
+    /// Messages the receiver's application consumed.
+    consumed: u8,
+    /// Last window advertisement the sender has seen.
+    snd_window: u8,
+    /// A window update in flight, if any.
+    update: Option<u8>,
+    /// One data message in flight, if any.
+    data_in_flight: bool,
+}
+
+impl Model for FlowControl {
+    type State = FlowState;
+
+    fn init(&self) -> Vec<FlowState> {
+        vec![FlowState {
+            sent: 0,
+            buffered: 0,
+            consumed: 0,
+            snd_window: self.buf_cap,
+            update: None,
+            data_in_flight: false,
+        }]
+    }
+
+    fn next(&self, s: &FlowState) -> Vec<(&'static str, FlowState)> {
+        let mut out = Vec::new();
+        // Sender emits when it has budget (or recklessly, in the broken
+        // variant). Data in this model is never lost (flow control is
+        // orthogonal to loss; RD handles that).
+        let in_flight_and_unread = (s.sent - s.consumed) as i32;
+        let may_send = if self.respect_window {
+            in_flight_and_unread < s.snd_window as i32
+        } else {
+            true
+        };
+        if s.sent < self.n_msgs && !s.data_in_flight && may_send {
+            let mut ns = *s;
+            ns.sent += 1;
+            ns.data_in_flight = true;
+            out.push(("send", ns));
+        }
+        // Delivery into the receiver buffer.
+        if s.data_in_flight {
+            let mut ns = *s;
+            ns.data_in_flight = false;
+            ns.buffered += 1; // invariant checks the bound
+            out.push(("deliver", ns));
+        }
+        // The application reads, freeing buffer space; the receiver
+        // advertises the new window.
+        if s.buffered > 0 {
+            let mut ns = *s;
+            ns.consumed += ns.buffered;
+            ns.buffered = 0;
+            ns.update = Some(self.buf_cap);
+            out.push(("app_read", ns));
+        }
+        // Window update arrives (updates may also be lost).
+        if let Some(w) = s.update {
+            let mut ns = *s;
+            ns.update = None;
+            ns.snd_window = w;
+            out.push(("window_update", ns));
+            let mut lost = *s;
+            lost.update = None;
+            out.push(("lose_update", lost));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &FlowState) -> Result<(), String> {
+        if s.buffered > self.buf_cap {
+            return Err(format!(
+                "receiver buffer overflow: {} > capacity {}",
+                s.buffered, self.buf_cap
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &FlowState) -> bool {
+        s.consumed == self.n_msgs && !s.data_in_flight
+    }
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+    use crate::checker::check;
+
+    #[test]
+    fn window_respecting_sender_never_overflows() {
+        let r = check(
+            &FlowControl { buf_cap: 2, n_msgs: 6, respect_window: true },
+            1_000_000,
+        );
+        assert!(r.violation.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn reckless_sender_overflows_the_receiver() {
+        let r = check(
+            &FlowControl { buf_cap: 2, n_msgs: 6, respect_window: false },
+            1_000_000,
+        );
+        let v = r.violation.expect("must overflow");
+        assert!(v.reason.contains("overflow"), "{v:?}");
+    }
+}

@@ -1,0 +1,959 @@
+//! The monolithic TCP engine.
+//!
+//! `on_segment` is this crate's `tcp_input()`: one long function that —
+//! exactly like the code on p.948 of TCP/IP Illustrated vol. 2 that the
+//! paper cites — interleaves demultiplexing (finding the PCB), connection
+//! management (SYN/FIN state transitions), reliable delivery (ack
+//! processing, retransmission, reassembly), congestion control (cwnd
+//! updates, fast retransmit) and flow control (window updates), all
+//! mutating the same [`Pcb`]. The `log.borrow_mut()` annotations record
+//! which *subfunction* touches which *field*; experiment E6 turns that
+//! into the entanglement matrix contrasted with the sublayered stack.
+
+use crate::pcb::*;
+use crate::seq;
+use crate::wire::{Endpoint, FourTuple, Segment, ACK, FIN, PSH, RST, SYN};
+use netsim::{Dur, Stack, Time};
+use slmetrics::SharedLog;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Aggregate counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    pub segs_sent: u64,
+    pub segs_received: u64,
+    pub bad_segments: u64,
+    pub rto_retransmits: u64,
+    pub fast_retransmits: u64,
+    pub dupacks: u64,
+    pub rsts_sent: u64,
+    pub conns_opened: u64,
+    pub conns_reset: u64,
+}
+
+// Subfunction labels for the entanglement instrumentation.
+const DEMUX: &str = "demux";
+const CONN: &str = "conn_mgmt";
+const RD: &str = "reliable_delivery";
+const CC: &str = "congestion_control";
+const FC: &str = "flow_control";
+const TIMERS: &str = "timers";
+
+/// A monolithic TCP endpoint (host): connection table + listeners.
+pub struct TcpStack {
+    addr: u32,
+    listeners: HashSet<u16>,
+    conns: HashMap<FourTuple, Pcb>,
+    outbox: VecDeque<Vec<u8>>,
+    log: SharedLog,
+    pub stats: TcpStats,
+}
+
+impl TcpStack {
+    pub fn new(addr: u32, log: SharedLog) -> TcpStack {
+        TcpStack {
+            addr,
+            listeners: HashSet::new(),
+            conns: HashMap::new(),
+            outbox: VecDeque::new(),
+            log,
+            stats: TcpStats::default(),
+        }
+    }
+
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// RFC 793 clock-driven ISN ("unique in time using the low-order bits
+    /// of a clock"), salted by the 4-tuple so both simulated hosts don't
+    /// collide at t=0.
+    fn isn(&self, now: Time, tuple: &FourTuple) -> u32 {
+        let clock = (now.micros() / 4) as u32;
+        let salt = tuple
+            .local
+            .addr
+            .wrapping_mul(2654435761)
+            .wrapping_add(tuple.local.port as u32)
+            .wrapping_mul(40503)
+            .wrapping_add(tuple.remote.port as u32);
+        clock.wrapping_add(salt)
+    }
+
+    /// Begin listening for connections on a local port.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port);
+    }
+
+    /// Actively open a connection; returns its id.
+    pub fn connect(&mut self, now: Time, local_port: u16, remote: Endpoint) -> FourTuple {
+        let tuple = FourTuple {
+            local: Endpoint::new(self.addr, local_port),
+            remote,
+        };
+        self.log.borrow_mut().w(CONN, "state");
+        self.log.borrow_mut().w(CONN, "iss");
+        let iss = self.isn(now, &tuple);
+        let mut pcb = Pcb::new(tuple, TcpState::SynSent, iss);
+        pcb.snd_nxt = iss.wrapping_add(1);
+        pcb.snd_max = pcb.snd_nxt;
+        pcb.rto_deadline = Some(now + pcb.rto);
+        self.stats.conns_opened += 1;
+        self.send_syn(&mut pcb, false);
+        self.conns.insert(tuple, pcb);
+        tuple
+    }
+
+    /// Queue application data. Returns bytes accepted.
+    pub fn send(&mut self, tuple: FourTuple, data: &[u8]) -> usize {
+        let Some(pcb) = self.conns.get_mut(&tuple) else { return 0 };
+        if !pcb.state.can_send() || pcb.fin_queued {
+            return 0;
+        }
+        self.log.borrow_mut().w(RD, "snd_buf");
+        pcb.snd_buf.extend(data.iter().copied());
+        data.len()
+    }
+
+    /// Drain received in-order bytes.
+    pub fn recv(&mut self, tuple: FourTuple) -> Vec<u8> {
+        let Some(pcb) = self.conns.get_mut(&tuple) else { return Vec::new() };
+        self.log.borrow_mut().r(RD, "rcv_buf");
+        self.log.borrow_mut().w(FC, "rcv_wnd");
+        let out: Vec<u8> = pcb.rcv_buf.drain(..).collect();
+        if !out.is_empty() {
+            // The window just opened; let the peer know.
+            pcb.ack_pending = true;
+        }
+        out
+    }
+
+    /// Graceful close: FIN after the send buffer drains.
+    pub fn close(&mut self, tuple: FourTuple) {
+        let Some(pcb) = self.conns.get_mut(&tuple) else { return };
+        self.log.borrow_mut().w(CONN, "state");
+        match pcb.state {
+            TcpState::Established | TcpState::SynRcvd => {
+                pcb.fin_queued = true;
+                pcb.state = TcpState::FinWait1;
+            }
+            TcpState::CloseWait => {
+                pcb.fin_queued = true;
+                pcb.state = TcpState::LastAck;
+            }
+            TcpState::SynSent => {
+                self.conns.remove(&tuple);
+            }
+            _ => {}
+        }
+    }
+
+    /// Hard reset.
+    pub fn abort(&mut self, tuple: FourTuple) {
+        if let Some(pcb) = self.conns.remove(&tuple) {
+            let seg = Segment {
+                src: pcb.tuple.local,
+                dst: pcb.tuple.remote,
+                seq: pcb.snd_nxt,
+                ack: pcb.rcv_nxt,
+                flags: RST | ACK,
+                wnd: 0,
+                mss: None,
+                payload: Vec::new(),
+            };
+            self.stats.rsts_sent += 1;
+            self.push(seg);
+        }
+    }
+
+    pub fn state(&self, tuple: FourTuple) -> TcpState {
+        self.conns.get(&tuple).map_or(TcpState::Closed, |p| p.state)
+    }
+
+    /// Connections currently established (for the passive side to
+    /// discover accepted peers).
+    pub fn established(&self) -> Vec<FourTuple> {
+        let mut v: Vec<FourTuple> = self
+            .conns
+            .iter()
+            .filter(|(_, p)| p.state == TcpState::Established)
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Bytes queued but not yet acknowledged.
+    pub fn unacked_len(&self, tuple: FourTuple) -> usize {
+        self.conns.get(&tuple).map_or(0, |p| p.snd_buf.len())
+    }
+
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn push(&mut self, seg: Segment) {
+        self.stats.segs_sent += 1;
+        self.outbox.push_back(seg.encode());
+    }
+
+    fn send_syn(&mut self, pcb: &mut Pcb, with_ack: bool) {
+        self.log.borrow_mut().r(CONN, "iss");
+        self.log.borrow_mut().r(FC, "rcv_wnd");
+        let seg = Segment {
+            src: pcb.tuple.local,
+            dst: pcb.tuple.remote,
+            seq: pcb.iss,
+            ack: if with_ack { pcb.rcv_nxt } else { 0 },
+            flags: if with_ack { SYN | ACK } else { SYN },
+            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            mss: Some(pcb.mss as u16),
+            payload: Vec::new(),
+        };
+        self.push(seg);
+    }
+
+    fn send_rst_for(&mut self, seg: &Segment) {
+        if seg.rst() {
+            return;
+        }
+        let (rseq, rack, rflags) = if seg.ack_flag() {
+            (seg.ack, 0, RST)
+        } else {
+            (0, seg.seq.wrapping_add(seg.seq_len()), RST | ACK)
+        };
+        let rst = Segment {
+            src: seg.dst,
+            dst: seg.src,
+            seq: rseq,
+            ack: rack,
+            flags: rflags,
+            wnd: 0,
+            mss: None,
+            payload: Vec::new(),
+        };
+        self.stats.rsts_sent += 1;
+        self.push(rst);
+    }
+
+    /// Transmit whatever the window allows for `tuple` (tcp_output).
+    fn output(&mut self, now: Time, tuple: FourTuple) {
+        let Some(mut pcb) = self.conns.remove(&tuple) else { return };
+        self.output_pcb(now, &mut pcb);
+        if pcb.state != TcpState::Closed {
+            self.conns.insert(tuple, pcb);
+        }
+    }
+
+    fn output_pcb(&mut self, now: Time, pcb: &mut Pcb) {
+        if matches!(pcb.state, TcpState::SynSent | TcpState::SynRcvd | TcpState::Listen) {
+            return;
+        }
+        loop {
+            // How much may we send? min of peer window and cwnd, minus
+            // what's already in flight. [flow control + congestion control]
+            self.log.borrow_mut().r(RD, "snd_wnd");
+            self.log.borrow_mut().r(RD, "cwnd");
+            self.log.borrow_mut().r(RD, "snd_nxt");
+            self.log.borrow_mut().r(RD, "snd_una");
+            self.log.borrow_mut().r(RD, "mss");
+            self.log.borrow_mut().r(RD, "rcv_wnd");
+            let window = pcb.snd_wnd.min(pcb.cwnd);
+            let usable = window.saturating_sub(pcb.flight_size());
+            let offset = pcb.snd_nxt.wrapping_sub(pcb.snd_buf_seq) as usize;
+            let avail = pcb.snd_buf.len().saturating_sub(offset);
+            let n = avail.min(pcb.mss as usize).min(usable as usize);
+            if n == 0 {
+                // Zero-window with data waiting: arm the persist timer.
+                if avail > 0
+                    && pcb.snd_wnd == 0
+                    && pcb.flight_size() == 0
+                    && pcb.persist_deadline.is_none()
+                {
+                    self.log.borrow_mut().w(RD, "persist_deadline");
+                    pcb.persist_deadline = Some(now + pcb.rto);
+                }
+                break;
+            }
+            let payload: Vec<u8> =
+                pcb.snd_buf.iter().skip(offset).take(n).copied().collect();
+            let drains = offset + n == pcb.snd_buf.len();
+            self.log.borrow_mut().w(RD, "snd_nxt");
+            let seg = Segment {
+                src: pcb.tuple.local,
+                dst: pcb.tuple.remote,
+                seq: pcb.snd_nxt,
+                ack: pcb.rcv_nxt,
+                flags: ACK | if drains { PSH } else { 0 },
+                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                mss: None,
+                payload,
+            };
+            pcb.snd_nxt = pcb.snd_nxt.wrapping_add(n as u32);
+            let is_new_data = seq::gt(pcb.snd_nxt, pcb.snd_max);
+            pcb.snd_max = seq::max(pcb.snd_max, pcb.snd_nxt);
+            // Karn's rule: only time segments that are not retransmissions.
+            if pcb.rtt_timing.is_none() && is_new_data {
+                self.log.borrow_mut().w(RD, "rtt_timing");
+                pcb.rtt_timing = Some((pcb.snd_nxt, now));
+            }
+            if pcb.rto_deadline.is_none() {
+                self.log.borrow_mut().w(TIMERS, "rto_deadline");
+                pcb.rto_deadline = Some(now + pcb.rto);
+            }
+            pcb.ack_pending = false;
+            self.push(seg);
+        }
+
+        // FIN once the buffer is fully sent. [conn mgmt touching RD state]
+        let offset = pcb.snd_nxt.wrapping_sub(pcb.snd_buf_seq) as usize;
+        if pcb.fin_queued && pcb.fin_seq.is_none() && offset >= pcb.snd_buf.len() {
+            self.log.borrow_mut().r(CONN, "snd_buf");
+            self.log.borrow_mut().w(CONN, "snd_nxt");
+            let seg = Segment {
+                src: pcb.tuple.local,
+                dst: pcb.tuple.remote,
+                seq: pcb.snd_nxt,
+                ack: pcb.rcv_nxt,
+                flags: FIN | ACK,
+                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                mss: None,
+                payload: Vec::new(),
+            };
+            pcb.fin_seq = Some(pcb.snd_nxt);
+            pcb.snd_nxt = pcb.snd_nxt.wrapping_add(1);
+            pcb.snd_max = seq::max(pcb.snd_max, pcb.snd_nxt);
+            if pcb.rto_deadline.is_none() {
+                pcb.rto_deadline = Some(now + pcb.rto);
+            }
+            pcb.ack_pending = false;
+            self.push(seg);
+        }
+
+        if pcb.ack_pending {
+            self.log.borrow_mut().r(RD, "rcv_nxt");
+            self.log.borrow_mut().r(FC, "rcv_wnd");
+            let seg = Segment {
+                src: pcb.tuple.local,
+                dst: pcb.tuple.remote,
+                seq: pcb.snd_nxt,
+                ack: pcb.rcv_nxt,
+                flags: ACK,
+                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                mss: None,
+                payload: Vec::new(),
+            };
+            pcb.ack_pending = false;
+            self.push(seg);
+        }
+    }
+
+    /// Rebuild and send one segment starting at `seq_from` (fast
+    /// retransmit / RTO / persist probe).
+    fn retransmit_one(&mut self, pcb: &mut Pcb, seq_from: u32) {
+        self.log.borrow_mut().r(RD, "snd_buf");
+        let offset = seq_from.wrapping_sub(pcb.snd_buf_seq) as usize;
+        if offset > pcb.snd_buf.len() {
+            return;
+        }
+        let n = (pcb.snd_buf.len() - offset).min(pcb.mss as usize);
+        let payload: Vec<u8> = pcb.snd_buf.iter().skip(offset).take(n).copied().collect();
+        let is_fin = n == 0 && pcb.fin_seq == Some(seq_from);
+        if n == 0 && !is_fin {
+            return;
+        }
+        let seg = Segment {
+            src: pcb.tuple.local,
+            dst: pcb.tuple.remote,
+            seq: seq_from,
+            ack: pcb.rcv_nxt,
+            flags: ACK | if is_fin { FIN } else { 0 },
+            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            mss: None,
+            payload,
+        };
+        self.push(seg);
+    }
+
+    /// The heart of the monolithic design: `tcp_input`, everything
+    /// interleaved over the shared PCB.
+    fn on_segment(&mut self, now: Time, seg: Segment) {
+        self.stats.segs_received += 1;
+
+        // ---- demultiplexing: find the PCB ----
+        self.log.borrow_mut().r(DEMUX, "conn_table");
+        if seg.dst.addr != self.addr {
+            return;
+        }
+        let tuple = FourTuple { local: seg.dst, remote: seg.src };
+        let Some(mut pcb) = self.conns.remove(&tuple) else {
+            // ---- connection management: passive open ----
+            if seg.syn() && !seg.ack_flag() && self.listeners.contains(&seg.dst.port) {
+                self.log.borrow_mut().w(CONN, "state");
+                self.log.borrow_mut().w(CONN, "iss");
+                self.log.borrow_mut().w(CONN, "irs");
+                self.log.borrow_mut().w(CONN, "rcv_nxt");
+                self.log.borrow_mut().w(CONN, "snd_wnd");
+                self.log.borrow_mut().w(CONN, "mss");
+                let iss = self.isn(now, &tuple);
+                let mut pcb = Pcb::new(tuple, TcpState::SynRcvd, iss);
+                pcb.snd_nxt = iss.wrapping_add(1);
+                pcb.snd_max = pcb.snd_nxt;
+                pcb.irs = seg.seq;
+                pcb.rcv_nxt = seg.seq.wrapping_add(1);
+                pcb.snd_wnd = seg.wnd as u32;
+                pcb.snd_wl1 = seg.seq;
+                if let Some(m) = seg.mss {
+                    pcb.mss = pcb.mss.min(m as u32);
+                }
+                pcb.rto_deadline = Some(now + pcb.rto);
+                self.stats.conns_opened += 1;
+                self.send_syn(&mut pcb, true);
+                self.conns.insert(tuple, pcb);
+            } else {
+                self.send_rst_for(&seg);
+            }
+            return;
+        };
+
+        // ---- connection management: SYN_SENT ----
+        if pcb.state == TcpState::SynSent {
+            self.log.borrow_mut().r(CONN, "state");
+            self.log.borrow_mut().r(CONN, "iss");
+            if seg.ack_flag()
+                && (seq::leq(seg.ack, pcb.iss) || seq::gt(seg.ack, pcb.snd_nxt))
+            {
+                self.send_rst_for(&seg);
+                self.conns.insert(tuple, pcb);
+                return;
+            }
+            if seg.rst() {
+                if seg.ack_flag() {
+                    self.stats.conns_reset += 1; // connection refused
+                    return; // pcb dropped
+                }
+                self.conns.insert(tuple, pcb);
+                return;
+            }
+            if seg.syn() {
+                self.log.borrow_mut().w(CONN, "irs");
+                self.log.borrow_mut().w(CONN, "rcv_nxt");
+                self.log.borrow_mut().w(CONN, "mss");
+                pcb.irs = seg.seq;
+                pcb.rcv_nxt = seg.seq.wrapping_add(1);
+                if let Some(m) = seg.mss {
+                    pcb.mss = pcb.mss.min(m as u32);
+                }
+                if seg.ack_flag() && seq::gt(seg.ack, pcb.snd_una) {
+                    self.log.borrow_mut().w(CONN, "snd_una");
+                    pcb.snd_una = seg.ack;
+                }
+                if seq::gt(pcb.snd_una, pcb.iss) {
+                    // Our SYN is acknowledged: established.
+                    self.log.borrow_mut().w(CONN, "state");
+                    self.log.borrow_mut().w(CONN, "snd_wnd");
+                    pcb.state = TcpState::Established;
+                    pcb.snd_wnd = seg.wnd as u32;
+                    pcb.snd_wl1 = seg.seq;
+                    pcb.snd_wl2 = seg.ack;
+                    pcb.rto_deadline = None;
+                    pcb.retries = 0;
+                    pcb.ack_pending = true;
+                } else {
+                    // Simultaneous open.
+                    self.log.borrow_mut().w(CONN, "state");
+                    pcb.state = TcpState::SynRcvd;
+                    self.send_syn(&mut pcb, true);
+                }
+            }
+            self.output_pcb(now, &mut pcb);
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+
+        // ---- connection management: duplicate SYN in SYN_RCVD ----
+        // Covers both a retransmitted SYN and the simultaneous-open
+        // SYN|ACK; in either case we (re-)ack, and if our own SYN is
+        // acknowledged the connection completes.
+        if pcb.state == TcpState::SynRcvd && seg.syn() && seg.seq == pcb.irs {
+            self.log.borrow_mut().r(CONN, "irs");
+            if seg.ack_flag()
+                && seq::between(
+                    seg.ack,
+                    pcb.snd_una.wrapping_add(1),
+                    pcb.snd_nxt.wrapping_add(1),
+                )
+            {
+                self.log.borrow_mut().w(CONN, "state");
+                self.log.borrow_mut().w(CONN, "snd_una");
+                pcb.snd_una = seg.ack;
+                pcb.state = TcpState::Established;
+                pcb.snd_wnd = seg.wnd as u32;
+                pcb.snd_wl1 = seg.seq;
+                pcb.snd_wl2 = seg.ack;
+                pcb.rto_deadline = None;
+                pcb.retries = 0;
+            }
+            let ack = Segment {
+                src: pcb.tuple.local,
+                dst: pcb.tuple.remote,
+                seq: pcb.snd_nxt,
+                ack: pcb.rcv_nxt,
+                flags: ACK,
+                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                mss: None,
+                payload: Vec::new(),
+            };
+            self.push(ack);
+            self.output_pcb(now, &mut pcb);
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+
+        // ---- reliable delivery: sequence acceptability (RFC 793) ----
+        self.log.borrow_mut().r(RD, "rcv_nxt");
+        self.log.borrow_mut().r(FC, "rcv_wnd");
+        let rwnd = pcb.rcv_wnd();
+        let slen = seg.seq_len();
+        let acceptable = if slen == 0 && rwnd == 0 {
+            seg.seq == pcb.rcv_nxt
+        } else if slen == 0 {
+            seq::between(seg.seq, pcb.rcv_nxt, pcb.rcv_nxt.wrapping_add(rwnd))
+        } else if rwnd == 0 {
+            false
+        } else {
+            seq::between(seg.seq, pcb.rcv_nxt, pcb.rcv_nxt.wrapping_add(rwnd))
+                || seq::between(
+                    seg.seq.wrapping_add(slen - 1),
+                    pcb.rcv_nxt,
+                    pcb.rcv_nxt.wrapping_add(rwnd),
+                )
+        };
+        if !acceptable {
+            if !seg.rst() {
+                pcb.ack_pending = true;
+                self.output_pcb(now, &mut pcb);
+            }
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+
+        // ---- connection management: RST / stray SYN ----
+        if seg.rst() {
+            self.stats.conns_reset += 1;
+            return; // pcb dropped
+        }
+        if seg.syn() {
+            // SYN inside the window of a synchronized connection: error.
+            self.stats.conns_reset += 1;
+            self.send_rst_for(&seg);
+            return;
+        }
+        if !seg.ack_flag() {
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+
+        // ---- connection management: SYN_RCVD -> ESTABLISHED ----
+        if pcb.state == TcpState::SynRcvd {
+            if seq::between(seg.ack, pcb.snd_una.wrapping_add(1), pcb.snd_nxt.wrapping_add(1)) {
+                self.log.borrow_mut().w(CONN, "state");
+                pcb.state = TcpState::Established;
+                pcb.snd_wnd = seg.wnd as u32;
+                pcb.snd_wl1 = seg.seq;
+                pcb.snd_wl2 = seg.ack;
+                pcb.rto_deadline = None;
+                pcb.retries = 0;
+            } else {
+                self.send_rst_for(&seg);
+                self.conns.insert(tuple, pcb);
+                return;
+            }
+        }
+
+        // ---- reliable delivery + congestion control: ACK processing ----
+        if seq::gt(seg.ack, pcb.snd_max) {
+            // Acks something never sent.
+            pcb.ack_pending = true;
+            self.output_pcb(now, &mut pcb);
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+        if seq::gt(seg.ack, pcb.snd_una) {
+            self.log.borrow_mut().w(RD, "snd_una");
+            self.log.borrow_mut().r(RD, "rtt_timing");
+            self.log.borrow_mut().w(RD, "snd_buf");
+            self.log.borrow_mut().r(CONN, "fin_seq");
+            self.log.borrow_mut().w(CC, "cwnd");
+            self.log.borrow_mut().r(CC, "ssthresh");
+            self.log.borrow_mut().r(CC, "snd_una");
+            self.log.borrow_mut().r(CC, "mss");
+            let bytes_acked = seg.ack.wrapping_sub(pcb.snd_una);
+
+            // RTT sample (Karn's rule: only when nothing was retransmitted,
+            // i.e. the timing marker survived).
+            if let Some((tseq, t0)) = pcb.rtt_timing {
+                if seq::geq(seg.ack, tseq) {
+                    let sample = now.since(t0);
+                    self.log.borrow_mut().w(RD, "srtt");
+                    match pcb.srtt {
+                        None => {
+                            pcb.srtt = Some(sample);
+                            pcb.rttvar = Dur(sample.0 / 2);
+                        }
+                        Some(srtt) => {
+                            let err = sample.0.abs_diff(srtt.0);
+                            pcb.rttvar = Dur((3 * pcb.rttvar.0 + err) / 4);
+                            pcb.srtt = Some(Dur((7 * srtt.0 + sample.0) / 8));
+                        }
+                    }
+                    let srtt = pcb.srtt.unwrap();
+                    pcb.rto = Dur(srtt.0 + (4 * pcb.rttvar.0).max(srtt.0 / 8))
+                        .clamp(MIN_RTO, MAX_RTO);
+                    pcb.rtt_timing = None;
+                }
+            }
+
+            // Trim acknowledged bytes from the buffer (FIN occupies one
+            // extra sequence number beyond the data).
+            let data_ack_limit = match pcb.fin_seq {
+                Some(fs) if seq::gt(seg.ack, fs) => fs,
+                _ => seg.ack,
+            };
+            let drop_n = data_ack_limit.wrapping_sub(pcb.snd_buf_seq) as usize;
+            let drop_n = drop_n.min(pcb.snd_buf.len());
+            pcb.snd_buf.drain(..drop_n);
+            pcb.snd_buf_seq = pcb.snd_buf_seq.wrapping_add(drop_n as u32);
+            pcb.snd_una = seg.ack;
+            if seq::lt(pcb.snd_nxt, pcb.snd_una) {
+                pcb.snd_nxt = pcb.snd_una;
+            }
+            pcb.retries = 0;
+
+            // Congestion control: NewReno.
+            if pcb.in_fast_recovery {
+                if seq::geq(seg.ack, pcb.recover) {
+                    // Full ack: leave fast recovery (deflate).
+                    pcb.cwnd = pcb.ssthresh;
+                    pcb.in_fast_recovery = false;
+                    pcb.dupacks = 0;
+                } else {
+                    // Partial ack: retransmit the next hole, stay in
+                    // recovery.
+                    self.stats.fast_retransmits += 1;
+                    let una = pcb.snd_una;
+                    self.retransmit_one(&mut pcb, una);
+                    pcb.cwnd = pcb
+                        .cwnd
+                        .saturating_sub(bytes_acked)
+                        .max(pcb.mss)
+                        .saturating_add(pcb.mss);
+                }
+            } else {
+                pcb.dupacks = 0;
+                if pcb.cwnd < pcb.ssthresh {
+                    // Slow start.
+                    pcb.cwnd = pcb.cwnd.saturating_add(bytes_acked.min(pcb.mss));
+                } else {
+                    // Congestion avoidance: ~one MSS per RTT.
+                    pcb.cwnd = pcb
+                        .cwnd
+                        .saturating_add(((pcb.mss * pcb.mss) / pcb.cwnd).max(1));
+                }
+            }
+
+            // Restart or clear the retransmission timer.
+            self.log.borrow_mut().w(TIMERS, "rto_deadline");
+            pcb.rto_deadline =
+                if pcb.snd_una == pcb.snd_max { None } else { Some(now + pcb.rto) };
+
+            // Was our FIN acknowledged?
+            if let Some(fs) = pcb.fin_seq {
+                if seq::gt(seg.ack, fs) {
+                    self.log.borrow_mut().w(CONN, "state");
+                    match pcb.state {
+                        TcpState::FinWait1 => pcb.state = TcpState::FinWait2,
+                        TcpState::Closing => {
+                            pcb.state = TcpState::TimeWait;
+                            pcb.time_wait_deadline = Some(now + TIME_WAIT_DUR);
+                        }
+                        TcpState::LastAck => {
+                            self.conns.remove(&tuple);
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        } else if seg.ack == pcb.snd_una
+            && pcb.flight_size() > 0
+            && seg.payload.is_empty()
+            && seg.wnd as u32 == pcb.snd_wnd
+            && !seg.fin()
+        {
+            // ---- congestion control: duplicate ack ----
+            self.log.borrow_mut().w(CC, "dupacks");
+            self.log.borrow_mut().r(CC, "snd_una");
+            self.log.borrow_mut().r(CC, "snd_nxt");
+            self.log.borrow_mut().r(CC, "snd_wnd");
+            pcb.dupacks += 1;
+            self.stats.dupacks += 1;
+            if pcb.dupacks == 3 && !pcb.in_fast_recovery {
+                self.log.borrow_mut().w(CC, "ssthresh");
+                self.log.borrow_mut().w(CC, "cwnd");
+                self.log.borrow_mut().r(CC, "snd_buf");
+                self.log.borrow_mut().w(CC, "recover");
+                self.stats.fast_retransmits += 1;
+                pcb.ssthresh = (pcb.flight_size() / 2).max(2 * pcb.mss);
+                let una = pcb.snd_una;
+                self.retransmit_one(&mut pcb, una);
+                pcb.cwnd = pcb.ssthresh + 3 * pcb.mss;
+                pcb.in_fast_recovery = true;
+                pcb.recover = pcb.snd_max;
+            } else if pcb.in_fast_recovery {
+                // Window inflation.
+                pcb.cwnd = pcb.cwnd.saturating_add(pcb.mss);
+            }
+        }
+
+        // ---- flow control: window update ----
+        if seq::lt(pcb.snd_wl1, seg.seq)
+            || (pcb.snd_wl1 == seg.seq && seq::leq(pcb.snd_wl2, seg.ack))
+        {
+            self.log.borrow_mut().w(FC, "snd_wnd");
+            self.log.borrow_mut().w(FC, "snd_wl1");
+            self.log.borrow_mut().w(FC, "snd_wl2");
+            self.log.borrow_mut().w(FC, "persist_deadline");
+            pcb.snd_wnd = seg.wnd as u32;
+            pcb.snd_wl1 = seg.seq;
+            pcb.snd_wl2 = seg.ack;
+            if pcb.snd_wnd > 0 {
+                pcb.persist_deadline = None;
+            }
+        }
+
+        // ---- reliable delivery: payload reassembly ----
+        if !seg.payload.is_empty() {
+            self.log.borrow_mut().r(RD, "rcv_nxt");
+            self.log.borrow_mut().w(RD, "rcv_buf");
+            self.log.borrow_mut().w(RD, "ooo");
+            let mut data = seg.payload.clone();
+            let mut start = seg.seq;
+            // Trim anything before rcv_nxt.
+            if seq::lt(start, pcb.rcv_nxt) {
+                let skip = pcb.rcv_nxt.wrapping_sub(start) as usize;
+                if skip >= data.len() {
+                    data.clear();
+                } else {
+                    data.drain(..skip);
+                }
+                start = pcb.rcv_nxt;
+            }
+            // Trim anything beyond our window.
+            let wnd_end = pcb.rcv_nxt.wrapping_add(pcb.rcv_wnd());
+            let data_end = start.wrapping_add(data.len() as u32);
+            if seq::gt(data_end, wnd_end) {
+                let cut = data_end.wrapping_sub(wnd_end) as usize;
+                let keep = data.len().saturating_sub(cut);
+                data.truncate(keep);
+            }
+            if !data.is_empty() {
+                if start == pcb.rcv_nxt {
+                    pcb.rcv_nxt = pcb.rcv_nxt.wrapping_add(data.len() as u32);
+                    pcb.rcv_buf.extend(data);
+                    // Drain contiguous out-of-order segments.
+                    while let Some((&s, _)) = pcb.ooo.iter().next() {
+                        if seq::gt(s, pcb.rcv_nxt) {
+                            break;
+                        }
+                        let (s, d) = pcb.ooo.pop_first().unwrap();
+                        let skip = pcb.rcv_nxt.wrapping_sub(s) as usize;
+                        if skip < d.len() {
+                            pcb.rcv_nxt = pcb.rcv_nxt.wrapping_add((d.len() - skip) as u32);
+                            pcb.rcv_buf.extend(d.into_iter().skip(skip));
+                        }
+                    }
+                } else if pcb.ooo.len() < 256 {
+                    pcb.ooo.insert(start, data);
+                }
+            }
+            pcb.ack_pending = true;
+        }
+
+        // ---- connection management: FIN processing ----
+        if seg.fin() {
+            let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            if fin_seq == pcb.rcv_nxt {
+                self.log.borrow_mut().w(CONN, "state");
+                self.log.borrow_mut().w(CONN, "rcv_nxt");
+                self.log.borrow_mut().w(CONN, "rto_deadline");
+                pcb.rcv_nxt = pcb.rcv_nxt.wrapping_add(1);
+                pcb.ack_pending = true;
+                match pcb.state {
+                    TcpState::Established => pcb.state = TcpState::CloseWait,
+                    TcpState::FinWait1 => {
+                        // Our FIN not yet acked (else we'd be in FIN_WAIT_2).
+                        pcb.state = TcpState::Closing;
+                    }
+                    TcpState::FinWait2 => {
+                        pcb.state = TcpState::TimeWait;
+                        pcb.time_wait_deadline = Some(now + TIME_WAIT_DUR);
+                        pcb.rto_deadline = None;
+                    }
+                    _ => {}
+                }
+            } else {
+                // FIN beyond a gap: ask for the missing bytes.
+                pcb.ack_pending = true;
+            }
+        }
+
+        self.output_pcb(now, &mut pcb);
+        if pcb.state != TcpState::Closed {
+            self.conns.insert(tuple, pcb);
+        }
+    }
+
+    /// Timer processing: RTO, TIME_WAIT, persist (zero-window probe).
+    fn timers(&mut self, now: Time) {
+        let tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+        for tuple in tuples {
+            let Some(mut pcb) = self.conns.remove(&tuple) else { continue };
+
+            if pcb.time_wait_deadline.is_some_and(|d| now >= d) {
+                continue; // 2MSL elapsed: drop the PCB.
+            }
+
+            if pcb.rto_deadline.is_some_and(|d| now >= d) {
+                self.log.borrow_mut().r(TIMERS, "rto_deadline");
+                self.log.borrow_mut().w(TIMERS, "cwnd");
+                self.log.borrow_mut().w(TIMERS, "ssthresh");
+                self.log.borrow_mut().w(TIMERS, "snd_nxt");
+                self.log.borrow_mut().w(TIMERS, "rtt_timing");
+                self.log.borrow_mut().w(TIMERS, "fin_seq");
+                pcb.retries += 1;
+                self.stats.rto_retransmits += 1;
+                let give_up = match pcb.state {
+                    TcpState::SynSent | TcpState::SynRcvd => pcb.retries > MAX_SYN_RETRIES,
+                    _ => pcb.retries > MAX_RETRIES,
+                };
+                if give_up {
+                    self.stats.conns_reset += 1;
+                    continue; // abandon the connection
+                }
+                match pcb.state {
+                    TcpState::SynSent => self.send_syn(&mut pcb, false),
+                    TcpState::SynRcvd => self.send_syn(&mut pcb, true),
+                    _ => {
+                        // Classic RTO response: collapse to slow start and
+                        // go back to snd_una.
+                        pcb.ssthresh = (pcb.flight_size() / 2).max(2 * pcb.mss);
+                        pcb.cwnd = pcb.mss;
+                        pcb.in_fast_recovery = false;
+                        pcb.dupacks = 0;
+                        pcb.rtt_timing = None; // Karn
+                        if pcb.fin_seq.is_some_and(|fs| seq::geq(fs, pcb.snd_una)) {
+                            pcb.fin_seq = None; // resend FIN via output
+                        }
+                        pcb.snd_nxt = pcb.snd_una;
+                        self.output_pcb(now, &mut pcb);
+                    }
+                }
+                pcb.rto = Dur((pcb.rto.0 * 2).min(MAX_RTO.0));
+                pcb.rto_deadline = Some(now + pcb.rto);
+            }
+
+            if pcb.persist_deadline.is_some_and(|d| now >= d) {
+                // Zero-window probe: one byte past the window.
+                self.log.borrow_mut().r(TIMERS, "snd_wnd");
+                self.log.borrow_mut().r(TIMERS, "snd_buf");
+                self.log.borrow_mut().w(TIMERS, "snd_nxt");
+                let offset = pcb.snd_nxt.wrapping_sub(pcb.snd_buf_seq) as usize;
+                if offset < pcb.snd_buf.len() && pcb.snd_wnd == 0 {
+                    let byte = pcb.snd_buf[offset];
+                    let seg = Segment {
+                        src: pcb.tuple.local,
+                        dst: pcb.tuple.remote,
+                        seq: pcb.snd_nxt,
+                        ack: pcb.rcv_nxt,
+                        flags: ACK,
+                        wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                        mss: None,
+                        payload: vec![byte],
+                    };
+                    pcb.snd_nxt = pcb.snd_nxt.wrapping_add(1);
+                    pcb.snd_max = seq::max(pcb.snd_max, pcb.snd_nxt);
+                    if pcb.rto_deadline.is_none() {
+                        pcb.rto_deadline = Some(now + pcb.rto);
+                    }
+                    self.push(seg);
+                    pcb.persist_deadline = Some(now + pcb.rto.saturating_mul(2));
+                } else {
+                    pcb.persist_deadline = None;
+                }
+            }
+
+            self.conns.insert(tuple, pcb);
+        }
+    }
+}
+
+impl Stack for TcpStack {
+    fn on_frame(&mut self, now: Time, frame: &[u8]) {
+        match Segment::decode(frame) {
+            Some(seg) => self.on_segment(now, seg),
+            None => self.stats.bad_segments += 1,
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
+        if self.outbox.is_empty() {
+            // Give every connection a chance to transmit buffered data.
+            let tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+            for t in tuples {
+                self.output(now, t);
+            }
+        }
+        self.outbox.pop_front()
+    }
+
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        self.conns
+            .values()
+            .flat_map(|p| {
+                [p.rto_deadline, p.time_wait_deadline, p.persist_deadline]
+            })
+            .flatten()
+            .min()
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        self.timers(now);
+    }
+}
+
+impl TcpStack {
+    /// Debug snapshot of a connection's key variables (used by the debug
+    /// binary and by tests asserting internal invariants).
+    pub fn debug_snapshot(&self, tuple: FourTuple) -> Option<String> {
+        self.conns.get(&tuple).map(|p| {
+            format!(
+                "state={:?} snd_una={} snd_nxt={} snd_wnd={} cwnd={} buf={} buf_seq={} rcv_nxt={} ooo={} rto_dl={:?} persist={:?} fin_seq={:?} fr={} dupacks={}",
+                p.state,
+                p.snd_una.wrapping_sub(p.iss),
+                p.snd_nxt.wrapping_sub(p.iss),
+                p.snd_wnd,
+                p.cwnd,
+                p.snd_buf.len(),
+                p.snd_buf_seq.wrapping_sub(p.iss),
+                p.rcv_nxt.wrapping_sub(p.irs),
+                p.ooo.len(),
+                p.rto_deadline,
+                p.persist_deadline,
+                p.fin_seq.map(|f| f.wrapping_sub(p.iss)),
+                p.in_fast_recovery,
+                p.dupacks,
+            )
+        })
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end tests for the monolithic stack over the simulator.
+
+use crate::pcb::TcpState;
+use crate::stack::TcpStack;
+use crate::wire::{Endpoint, FourTuple};
+use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
+
+pub const A: u32 = 0x0A000001;
+pub const B: u32 = 0x0A000002;
+
+/// Build a client/server pair with the given link, connect, and return
+/// `(net, client_node, server_node, client_conn)`.
+pub fn pair(
+    seed: u64,
+    params: LinkParams,
+) -> (SimNet, usize, usize, FourTuple) {
+    let mut client = TcpStack::new(A, slmetrics::shared());
+    let mut server = TcpStack::new(B, slmetrics::shared());
+    server.listen(80);
+    let conn = client.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(seed, client, server, params);
+    net.poll_all();
+    (net, nc, ns, conn)
+}
+
+pub fn client(net: &mut SimNet, id: usize) -> &mut TcpStack {
+    &mut net.node_mut::<StackNode<TcpStack>>(id).stack
+}
+
+/// Drive the pair until the server sees an established connection or the
+/// deadline passes.
+pub fn run_for(net: &mut SimNet, d: Dur) {
+    let deadline = net.now() + d;
+    net.run_until(deadline);
+}
+
+#[test]
+fn three_way_handshake() {
+    let (mut net, nc, ns, conn) = pair(1, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+    let server_conns = client(&mut net, ns).established();
+    assert_eq!(server_conns.len(), 1);
+    assert_eq!(server_conns[0].local.port, 80);
+}
+
+#[test]
+fn unidirectional_transfer_clean_link() {
+    let (mut net, nc, ns, conn) = pair(2, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(30));
+    let sconn = client(&mut net, ns).established()[0];
+    let got = client(&mut net, ns).recv(sconn);
+    assert_eq!(got.len(), data.len());
+    assert_eq!(got, data);
+}
+
+#[test]
+fn transfer_over_lossy_link() {
+    for seed in [3, 4, 5] {
+        let params = LinkParams::delay_only(Dur::from_millis(5))
+            .with_fault(FaultProfile::lossy(0.1));
+        let (mut net, nc, ns, conn) = pair(seed, params);
+        run_for(&mut net, Dur::from_secs(3));
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        client(&mut net, nc).send(conn, &data);
+        net.poll_all();
+        // Drain periodically so the window keeps opening.
+        let mut got = Vec::new();
+        for _ in 0..120 {
+            run_for(&mut net, Dur::from_secs(1));
+            if let Some(&sconn) = client(&mut net, ns).established().first() {
+                got.extend(client(&mut net, ns).recv(sconn));
+            }
+            if got.len() >= data.len() {
+                break;
+            }
+        }
+        assert_eq!(got, data, "seed {seed}");
+    }
+}
+
+#[test]
+fn transfer_with_reordering_and_duplication() {
+    let params = LinkParams::delay_only(Dur::from_millis(5)).with_fault(
+        FaultProfile::none()
+            .with_duplicate(0.1)
+            .with_reorder(0.2, Dur::from_millis(15)),
+    );
+    let (mut net, nc, ns, conn) = pair(6, params);
+    run_for(&mut net, Dur::from_secs(2));
+    let data: Vec<u8> = (0..30_000u32).map(|i| (i % 239) as u8).collect();
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    let mut got = Vec::new();
+    for _ in 0..60 {
+        run_for(&mut net, Dur::from_secs(1));
+        if let Some(&sconn) = client(&mut net, ns).established().first() {
+            got.extend(client(&mut net, ns).recv(sconn));
+        }
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(got, data);
+}
+
+#[test]
+fn corrupted_segments_are_dropped_and_recovered() {
+    let params = LinkParams::delay_only(Dur::from_millis(5))
+        .with_fault(FaultProfile::none().with_corrupt(0.05));
+    let (mut net, nc, ns, conn) = pair(7, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 233) as u8).collect();
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    let mut got = Vec::new();
+    for _ in 0..90 {
+        run_for(&mut net, Dur::from_secs(1));
+        if let Some(&sconn) = client(&mut net, ns).established().first() {
+            got.extend(client(&mut net, ns).recv(sconn));
+        }
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(got, data);
+    let bad = client(&mut net, nc).stats.bad_segments
+        + client(&mut net, ns).stats.bad_segments;
+    assert!(bad > 0, "checksum should have rejected corrupt segments");
+}
+
+#[test]
+fn bidirectional_transfer() {
+    let (mut net, nc, ns, conn) = pair(8, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let up: Vec<u8> = (0..9_000u32).map(|i| (i % 13) as u8).collect();
+    let down: Vec<u8> = (0..7_000u32).map(|i| (i % 17) as u8).collect();
+    client(&mut net, nc).send(conn, &up);
+    let sconn = client(&mut net, ns).established()[0];
+    client(&mut net, ns).send(sconn, &down);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(20));
+    assert_eq!(client(&mut net, ns).recv(sconn), up);
+    assert_eq!(client(&mut net, nc).recv(conn), down);
+}
+
+#[test]
+fn graceful_close_reaches_time_wait_and_closed() {
+    let (mut net, nc, ns, conn) = pair(9, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    client(&mut net, nc).send(conn, b"bye");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    let sconn = client(&mut net, ns).established()[0];
+    // Active close from the client.
+    client(&mut net, nc).close(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::CloseWait);
+    // Server reads remaining data and closes too.
+    assert_eq!(client(&mut net, ns).recv(sconn), b"bye");
+    client(&mut net, ns).close(sconn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    // Client is in TIME_WAIT; server side fully closed.
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::TimeWait);
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::Closed);
+    // After 2MSL the client PCB disappears.
+    run_for(&mut net, Dur::from_secs(15));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(client(&mut net, nc).conn_count(), 0);
+}
+
+#[test]
+fn connect_to_closed_port_is_refused() {
+    let mut client_stack = TcpStack::new(A, slmetrics::shared());
+    let server = TcpStack::new(B, slmetrics::shared());
+    // No listener on port 81.
+    let conn = client_stack.connect(Time::ZERO, 5000, Endpoint::new(B, 81));
+    let (mut net, nc, _ns) = two_party(
+        10,
+        client_stack,
+        server,
+        LinkParams::delay_only(Dur::from_millis(5)),
+    );
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(client(&mut net, nc).stats.conns_reset, 1);
+}
+
+#[test]
+fn fast_retransmit_fires_under_single_loss() {
+    // Moderate loss on a fat pipe: dupacks should trigger fast retransmit
+    // at least once across the transfer.
+    let params = LinkParams::delay_only(Dur::from_millis(10))
+        .with_fault(FaultProfile::lossy(0.03));
+    let (mut net, nc, ns, conn) = pair(11, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data = vec![7u8; 120_000];
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    let mut got = Vec::new();
+    for _ in 0..120 {
+        run_for(&mut net, Dur::from_secs(1));
+        if let Some(&sconn) = client(&mut net, ns).established().first() {
+            got.extend(client(&mut net, ns).recv(sconn));
+        }
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(got.len(), data.len());
+    assert!(
+        client(&mut net, nc).stats.fast_retransmits > 0,
+        "expected at least one fast retransmit"
+    );
+}
+
+#[test]
+fn syn_retransmission_survives_lost_handshake() {
+    // Drop the first several frames deterministically via heavy loss, then
+    // heal the link: the handshake must still complete thanks to SYN
+    // retransmission.
+    let params =
+        LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(1.0));
+    let (mut net, nc, _ns, conn) = pair(12, params);
+    run_for(&mut net, Dur::from_secs(2)); // SYNs all lost
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::SynSent);
+    net.heal_link(0);
+    run_for(&mut net, Dur::from_secs(10));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+}
+
+#[test]
+fn zero_window_is_respected_then_probed() {
+    let (mut net, nc, ns, conn) = pair(13, LinkParams::delay_only(Dur::from_millis(2)));
+    run_for(&mut net, Dur::from_secs(1));
+    // Fill the receiver's buffer completely (server app never reads).
+    let data = vec![1u8; 80_000];
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(30));
+    let sconn = client(&mut net, ns).established()[0];
+    // Receiver holds roughly its buffer capacity; sender still has bytes.
+    let held = client(&mut net, ns).recv(sconn).len();
+    assert!(held >= 60_000, "receiver should have buffered near capacity, got {held}");
+    // After the app read, the window reopens and the rest flows.
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(30));
+    let rest = client(&mut net, ns).recv(sconn);
+    assert_eq!(held + rest.len(), data.len());
+}
+
+#[test]
+fn two_connections_multiplex_on_one_host_pair() {
+    let mut c = TcpStack::new(A, slmetrics::shared());
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    s.listen(80);
+    s.listen(443);
+    let c1 = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let c2 = c.connect(Time::ZERO, 5001, Endpoint::new(B, 443));
+    let (mut net, nc, ns) = two_party(14, c, s, LinkParams::delay_only(Dur::from_millis(3)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    client(&mut net, nc).send(c1, b"alpha");
+    client(&mut net, nc).send(c2, b"beta");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(3));
+    let sconns = client(&mut net, ns).established();
+    assert_eq!(sconns.len(), 2);
+    let mut by_port: Vec<(u16, Vec<u8>)> = sconns
+        .iter()
+        .map(|&t| (t.local.port, client(&mut net, ns).recv(t)))
+        .collect();
+    by_port.sort();
+    assert_eq!(by_port, vec![(80, b"alpha".to_vec()), (443, b"beta".to_vec())]);
+}
+
+#[test]
+fn entanglement_log_shows_shared_pcb_fields() {
+    // The monolithic design's signature: multiple subfunctions touch the
+    // same fields.
+    let log = slmetrics::shared();
+    let mut c = TcpStack::new(A, log.clone());
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, _) = two_party(15, c, s, LinkParams::delay_only(Dur::from_millis(3)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(1));
+    client(&mut net, nc).send(conn, &vec![0u8; 30_000]);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(10));
+    let m = slmetrics::InteractionMatrix::from_log(&log.borrow());
+    assert!(
+        m.entanglement_score() > 0,
+        "monolithic TCP must show cross-subfunction state sharing"
+    );
+    assert!(
+        m.interacting_pairs() >= 3,
+        "several subfunction pairs interact: {:?}",
+        m.pair_shared
+    );
+}
+
+#[test]
+fn rto_backoff_on_dead_link() {
+    let (mut net, nc, _ns, conn) = pair(16, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    // Establish, then kill the link and send.
+    net.fail_link(0);
+    client(&mut net, nc).send(conn, b"into the void");
+    net.poll_all();
+    // RTO backs off 1s,2s,4s,...,60s; exhausting MAX_RETRIES takes ~6 min.
+    run_for(&mut net, Dur::from_secs(600));
+    let st = client(&mut net, nc).stats.clone();
+    assert!(st.rto_retransmits >= 3, "expected repeated RTO firing, got {st:?}");
+    // Eventually the connection gives up.
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+}
+
+#[test]
+fn simultaneous_open() {
+    // Both sides connect to each other at once: RFC 793's simultaneous
+    // open must converge to a single established connection.
+    let mut x = TcpStack::new(A, slmetrics::shared());
+    let mut y = TcpStack::new(B, slmetrics::shared());
+    let cx = x.connect(Time::ZERO, 7000, Endpoint::new(B, 7001));
+    let cy = y.connect(Time::ZERO, 7001, Endpoint::new(A, 7000));
+    let (mut net, nx, ny) = two_party(31, x, y, LinkParams::delay_only(Dur::from_millis(5)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(10));
+    assert_eq!(client(&mut net, nx).state(cx), TcpState::Established);
+    assert_eq!(client(&mut net, ny).state(cy), TcpState::Established);
+    // And data flows.
+    client(&mut net, nx).send(cx, b"simul");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(3));
+    assert_eq!(client(&mut net, ny).recv(cy), b"simul");
+}
+
+#[test]
+fn abort_sends_rst_and_peer_resets() {
+    let (mut net, nc, ns, conn) = pair(32, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let sconn = client(&mut net, ns).established()[0];
+    client(&mut net, nc).abort(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::Closed);
+    assert!(client(&mut net, ns).stats.conns_reset >= 1);
+}
+
+#[test]
+fn half_close_allows_continued_receive() {
+    // Client closes its direction; server may keep sending (CLOSE_WAIT).
+    let (mut net, nc, ns, conn) = pair(33, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let sconn = client(&mut net, ns).established()[0];
+    client(&mut net, nc).close(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::CloseWait);
+    client(&mut net, ns).send(sconn, b"still talking");
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(3));
+    assert_eq!(client(&mut net, nc).recv(conn), b"still talking");
+}

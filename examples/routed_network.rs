@@ -1,0 +1,44 @@
+//! The sublayered *network layer* at work (paper §2.2 / experiment E2):
+//! build a ring of routers, watch routes converge, probe paths, fail a
+//! link, watch reconvergence — then swap distance vector for link state
+//! and observe identical forwarding.
+//!
+//! ```sh
+//! cargo run --example routed_network
+//! ```
+
+use sublayering::netlayer::{
+    build, Addr, DistanceVector, DvConfig, LinkState, LsConfig, RouteComputation, Topology,
+};
+use sublayering::netsim::Dur;
+
+fn demo(name: &str, make: &dyn Fn(Addr) -> Box<dyn RouteComputation>) {
+    println!("=== route computation: {name} ===");
+    let topo = Topology::ring(6);
+    let mut net = build(&topo, 7, Dur::from_millis(1), make);
+    net.settle(Dur::from_secs(15));
+
+    println!("converged; probing shortest paths on a 6-ring:");
+    for dst in [1usize, 2, 3] {
+        println!("  0 -> {dst}: {:?} hops", net.probe(0, dst));
+    }
+
+    println!("failing link 0-1...");
+    net.fail_edge(0);
+    net.settle(Dur::from_secs(20));
+    println!("  0 -> 1 after failure: {:?} hops (the long way round)", net.probe(0, 1));
+
+    let pdus: u64 = (0..topo.n).map(|i| net.router(i).rc().stats().pdus_sent).sum();
+    println!("  control-plane PDUs sent across the network: {pdus}\n");
+}
+
+fn main() {
+    demo("distance vector (RIP-style)", &|a| {
+        Box::new(DistanceVector::new(a, DvConfig::default()))
+    });
+    demo("link state (flooding + Dijkstra)", &|a| {
+        Box::new(LinkState::new(a, LsConfig::default()))
+    });
+    println!("Forwarding behaviour is identical under both engines — the swap never");
+    println!("touched the forwarding or neighbor-determination sublayers (test T3).");
+}
