@@ -1,0 +1,75 @@
+//! E-chaos — adversarial fault campaigns against both stacks.
+//!
+//! Sweeps the five chaos profiles x five seeds x both stacks (50 runs)
+//! and checks each run's robustness invariants: eventual delivery or a
+//! clean surfaced abort, data integrity, bounded retransmissions, and no
+//! deadlock after an abort. The JSON summary is deterministic: identical
+//! seeds produce byte-identical output.
+//!
+//! `--smoke` runs a 2-profile x 1-seed subset (used by CI);
+//! `--json` prints only the JSON document.
+//! Exits non-zero if any invariant is violated.
+
+use bench::chaos::{run_sweep, summary_json, ChaosProfile, ChaosStack};
+use bench::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_only = args.iter().any(|a| a == "--json");
+
+    let (profiles, seeds): (Vec<ChaosProfile>, Vec<u64>) = if smoke {
+        (vec![ChaosProfile::Blackout, ChaosProfile::MixedMayhem], vec![1])
+    } else {
+        (ChaosProfile::all().to_vec(), vec![1, 2, 3, 4, 5])
+    };
+    let outs = run_sweep(&profiles, &ChaosStack::all(), &seeds);
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+
+    if json_only {
+        println!("{}", summary_json(&outs));
+    } else {
+        println!("# E-chaos — fault campaigns: {} runs\n", outs.len());
+        println!(
+            "Profiles: {}. Seeds: {:?}. Both stacks, keepalive 10s/2s/x5.\n",
+            profiles.iter().map(|p| p.name()).collect::<Vec<_>>().join(", "),
+            seeds
+        );
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.profile.to_string(),
+                    o.stack.to_string(),
+                    o.seed.to_string(),
+                    format!("{}/{}", o.delivered, o.payload),
+                    o.client_error.map_or("-".into(), |e| format!("{e:?}")),
+                    o.server_error.map_or("-".into(), |e| format!("{e:?}")),
+                    format!("{:.1}", o.sim_ms as f64 / 1000.0),
+                    o.wire_frames.to_string(),
+                    if o.ok() { "ok".into() } else { o.violations.join("; ") },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "profile", "stack", "seed", "delivered", "client err", "server err",
+                    "sim s", "frames", "verdict"
+                ],
+                &rows
+            )
+        );
+        println!("\n## JSON summary\n\n```json\n{}\n```", summary_json(&outs));
+        println!(
+            "\n{} campaigns, {} invariant violations.",
+            outs.len(),
+            violations
+        );
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,530 @@
+//! Chaos campaigns: adversarial fault schedules soaked against both the
+//! sublayered and the monolithic stack.
+//!
+//! Each campaign is `(fault profile, stack, seed)`. The runner drives a
+//! bulk transfer while the schedule injects bursts, partitions, flaps,
+//! throttling and jitter, then checks the robustness invariants the
+//! chaos harness exists to enforce:
+//!
+//! 1. **terminal** — the run ends in eventual delivery *or* a clean,
+//!    surfaced abort ([`netsim::TransportError`]); never a silent hang;
+//! 2. **integrity** — every byte delivered is the right byte;
+//! 3. **bounded retransmits** — the wire carries at most a small multiple
+//!    of the ideal frame count;
+//! 4. **no deadlock** — after an abort, no timer keeps the simulator
+//!    spinning;
+//! 5. **expectation** — profiles designed to kill the connection abort on
+//!    *both* sides, profiles designed to be survivable deliver.
+//!
+//! Everything is driven by the deterministic simulator: the same seed
+//! produces a byte-identical JSON summary, which CI exploits.
+
+use netsim::{
+    two_party, AdminOp, BurstLoss, Dur, FaultProfile, LinkParams, StackNode, Time,
+    TransportError,
+};
+use sublayer_core::{CmState, KeepaliveConfig, SlConfig, SlTcpStack};
+use tcp_mono::stack::{Keepalive, TcpStack};
+use tcp_mono::pcb::TcpState;
+use tcp_mono::wire::Endpoint;
+
+use crate::{A, B};
+
+/// How long (simulated) a campaign may run before we declare a hang.
+const PATIENCE: Dur = Dur(600_000_000_000);
+/// Application drain granularity.
+const STEP: Dur = Dur(250_000_000);
+
+/// The five adversarial fault profiles of the standard sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// Gilbert–Elliott correlated burst loss.
+    BurstLoss,
+    /// Repeated short link outages on a slow link.
+    FlappyLink,
+    /// The link dies shortly after the transfer starts and never heals.
+    Blackout,
+    /// Bandwidth collapses to a trickle mid-transfer, plus jitter.
+    ThrottleJitter,
+    /// Loss + corruption + duplication + reordering + jitter at once.
+    MixedMayhem,
+}
+
+impl ChaosProfile {
+    pub fn all() -> [ChaosProfile; 5] {
+        [
+            ChaosProfile::BurstLoss,
+            ChaosProfile::FlappyLink,
+            ChaosProfile::Blackout,
+            ChaosProfile::ThrottleJitter,
+            ChaosProfile::MixedMayhem,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosProfile::BurstLoss => "burst-loss",
+            ChaosProfile::FlappyLink => "flappy-link",
+            ChaosProfile::Blackout => "blackout",
+            ChaosProfile::ThrottleJitter => "throttle-jitter",
+            ChaosProfile::MixedMayhem => "mixed-mayhem",
+        }
+    }
+
+    /// Must this profile end in an abort (rather than delivery)?
+    pub fn expect_abort(&self) -> bool {
+        matches!(self, ChaosProfile::Blackout)
+    }
+
+    pub fn payload_len(&self) -> usize {
+        match self {
+            ChaosProfile::BurstLoss => 150_000,
+            ChaosProfile::FlappyLink => 400_000,
+            ChaosProfile::Blackout => 200_000,
+            ChaosProfile::ThrottleJitter => 300_000,
+            ChaosProfile::MixedMayhem => 150_000,
+        }
+    }
+
+    pub fn link_params(&self) -> LinkParams {
+        let base = LinkParams::delay_only(Dur::from_millis(10));
+        match self {
+            ChaosProfile::BurstLoss => base.with_rate(20_000_000).with_fault(
+                FaultProfile::none().with_burst(BurstLoss::gilbert(0.02, 0.3, 0.9)),
+            ),
+            // Slow enough that the transfer spans several flap cycles.
+            ChaosProfile::FlappyLink => base.with_rate(1_000_000),
+            ChaosProfile::Blackout => base.with_rate(20_000_000),
+            ChaosProfile::ThrottleJitter => base
+                .with_rate(20_000_000)
+                .with_fault(FaultProfile::none().with_jitter(Dur::from_millis(3))),
+            ChaosProfile::MixedMayhem => base.with_rate(20_000_000).with_fault(
+                FaultProfile::lossy(0.05)
+                    .with_corrupt(0.02)
+                    .with_duplicate(0.05)
+                    .with_reorder(0.10, Dur::from_millis(15))
+                    .with_jitter(Dur::from_millis(2)),
+            ),
+        }
+    }
+
+    /// The profile's admin-op schedule. The transfer is queued at t=1 s,
+    /// so schedules begin shortly after.
+    pub fn admin_ops(&self) -> Vec<(Time, AdminOp)> {
+        let t = |ms: u64| Time::ZERO + Dur::from_millis(ms);
+        match self {
+            ChaosProfile::BurstLoss | ChaosProfile::MixedMayhem => Vec::new(),
+            ChaosProfile::FlappyLink => {
+                // 4 cycles of 2 s down / 2 s up starting at t=1.1 s.
+                let mut ops = Vec::new();
+                for i in 0..4u64 {
+                    ops.push((t(1_100 + 4_000 * i), AdminOp::LinkDown(0)));
+                    ops.push((t(3_100 + 4_000 * i), AdminOp::LinkUp(0)));
+                }
+                ops
+            }
+            ChaosProfile::Blackout => vec![(t(1_050), AdminOp::LinkDown(0))],
+            ChaosProfile::ThrottleJitter => vec![
+                (t(1_050), AdminOp::SetRate(0, 64_000)),
+                (t(20_000), AdminOp::SetRate(0, 20_000_000)),
+            ],
+        }
+    }
+}
+
+/// Which transport a campaign exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosStack {
+    Mono,
+    Sub,
+}
+
+impl ChaosStack {
+    pub fn all() -> [ChaosStack; 2] {
+        [ChaosStack::Mono, ChaosStack::Sub]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosStack::Mono => "mono",
+            ChaosStack::Sub => "sub",
+        }
+    }
+}
+
+/// One campaign's result plus any invariant violations.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    pub profile: &'static str,
+    pub stack: &'static str,
+    pub seed: u64,
+    pub payload: usize,
+    pub delivered: usize,
+    pub complete: bool,
+    pub client_error: Option<TransportError>,
+    pub server_error: Option<TransportError>,
+    pub sim_ms: u64,
+    pub wire_frames: u64,
+    pub partition_drops: u64,
+    pub violations: Vec<String>,
+}
+
+impl CampaignOutcome {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn keepalive_mono() -> Keepalive {
+    Keepalive {
+        idle: Dur::from_secs(10),
+        interval: Dur::from_secs(2),
+        max_probes: 5,
+    }
+}
+
+fn keepalive_sub() -> KeepaliveConfig {
+    KeepaliveConfig {
+        idle: Dur::from_secs(10),
+        interval: Dur::from_secs(2),
+        max_probes: 5,
+    }
+}
+
+/// Run one `(profile, stack, seed)` campaign and judge its invariants.
+pub fn run_campaign(profile: ChaosProfile, stack: ChaosStack, seed: u64) -> CampaignOutcome {
+    let payload: Vec<u8> = (0..profile.payload_len())
+        .map(|i| (i % 251) as u8)
+        .collect();
+    let out = run_raw(
+        stack,
+        seed,
+        &payload,
+        profile.link_params(),
+        &profile.admin_ops(),
+        profile.name(),
+    );
+    judge(profile, out)
+}
+
+/// Run an arbitrary campaign (any payload, link, admin schedule) without
+/// profile-expectation judging — the raw material for property tests.
+/// Only the universal invariants (hang, integrity, bounded retransmits,
+/// post-abort idleness) are checked.
+pub fn run_raw(
+    stack: ChaosStack,
+    seed: u64,
+    payload: &[u8],
+    params: LinkParams,
+    ops: &[(Time, AdminOp)],
+    name: &'static str,
+) -> CampaignOutcome {
+    match stack {
+        ChaosStack::Mono => run_mono(seed, payload, params, ops, name),
+        ChaosStack::Sub => run_sub(seed, payload, params, ops, name),
+    }
+}
+
+/// Universal invariants, checked by every runner regardless of profile.
+fn check_universal(out: &mut CampaignOutcome, idle: bool, got: &[u8], payload: &[u8]) {
+    let aborted = out.client_error.is_some();
+    if !out.complete && !aborted {
+        out.violations
+            .push("hung: neither delivered nor aborted within patience".into());
+    }
+    if got != &payload[..got.len().min(payload.len())] || got.len() > payload.len() {
+        out.violations.push("integrity: delivered bytes differ".into());
+    }
+    let bound = (out.payload as u64 / 1_000) * 10 + 5_000;
+    if out.wire_frames > bound {
+        out.violations.push(format!(
+            "unbounded retransmits: {} wire frames > {}",
+            out.wire_frames, bound
+        ));
+    }
+    if aborted && !out.complete && !idle {
+        out.violations
+            .push("deadlock: simulator still busy after abort".into());
+    }
+}
+
+/// Profile-expectation judging on top of the universal checks.
+fn judge(profile: ChaosProfile, mut out: CampaignOutcome) -> CampaignOutcome {
+    if profile.expect_abort() {
+        if out.complete {
+            out.violations.push("expected abort but delivered".into());
+        }
+        if out.client_error.is_none() || out.server_error.is_none() {
+            out.violations.push(format!(
+                "expected surfaced aborts on both sides, got client={:?} server={:?}",
+                out.client_error, out.server_error
+            ));
+        }
+    } else if !out.complete {
+        out.violations.push(format!(
+            "expected delivery, got {}/{} (client={:?})",
+            out.delivered, out.payload, out.client_error
+        ));
+    }
+    out
+}
+
+fn run_mono(
+    seed: u64,
+    payload: &[u8],
+    params: LinkParams,
+    ops: &[(Time, AdminOp)],
+    name: &'static str,
+) -> CampaignOutcome {
+    let mut c = TcpStack::new(A, slmetrics::shared());
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    c.set_keepalive(keepalive_mono());
+    s.set_keepalive(keepalive_mono());
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(seed, c, s, params);
+    for (at, op) in ops {
+        net.schedule_admin(*at, op.clone());
+    }
+    net.poll_all();
+    net.run_until(Time::ZERO + Dur::from_secs(1));
+    // The app streams: offer the unsent tail every tick, so a handshake
+    // delayed past t=1s (or a full send buffer) only defers the data.
+    let mut sent = net.node_mut::<StackNode<TcpStack>>(nc).stack.send(conn, payload);
+    net.poll_all();
+
+    let deadline = net.now() + PATIENCE;
+    let mut got: Vec<u8> = Vec::new();
+    let mut sconn = None;
+    while net.now() < deadline {
+        let step = net.now() + STEP;
+        net.run_until(step);
+        if sent < payload.len() {
+            sent += net
+                .node_mut::<StackNode<TcpStack>>(nc)
+                .stack
+                .send(conn, &payload[sent..]);
+        }
+        {
+            let st = &mut net.node_mut::<StackNode<TcpStack>>(ns).stack;
+            if sconn.is_none() {
+                sconn = st.established().first().copied();
+            }
+            if let Some(t) = sconn {
+                got.extend(st.recv(t));
+            }
+        }
+        net.poll_all();
+        if got.len() >= payload.len() {
+            break;
+        }
+        let client = &net.node::<StackNode<TcpStack>>(nc).stack;
+        let client_dead = client.state(conn) == TcpState::Closed;
+        let server_dead = sconn
+            .is_some_and(|t| net.node::<StackNode<TcpStack>>(ns).stack.state(t) == TcpState::Closed);
+        if client_dead && server_dead {
+            break;
+        }
+    }
+
+    let sim_ms = net.now().since(Time::ZERO).0 / 1_000_000;
+    let complete = got.len() >= payload.len();
+    if !complete {
+        // Let the far side finish dying and the admin backlog drain; a
+        // clean abort must leave nothing spinning afterwards.
+        let settle = net.now() + Dur::from_secs(120);
+        net.run_until(settle);
+    }
+    let idle = net.is_idle();
+    let d0 = net.link_dir_stats(0, 0);
+    let d1 = net.link_dir_stats(0, 1);
+    let wire_frames = d0.tx_frames + d1.tx_frames;
+    let partition_drops = d0.partition_drops + d1.partition_drops;
+    let client_error = net.node::<StackNode<TcpStack>>(nc).stack.conn_error(conn);
+    let server_error =
+        sconn.and_then(|t| net.node::<StackNode<TcpStack>>(ns).stack.conn_error(t));
+    let mut out = CampaignOutcome {
+        profile: name,
+        stack: ChaosStack::Mono.name(),
+        seed,
+        payload: payload.len(),
+        delivered: got.len(),
+        complete,
+        client_error,
+        server_error,
+        sim_ms,
+        wire_frames,
+        partition_drops,
+        violations: Vec::new(),
+    };
+    check_universal(&mut out, idle, &got, payload);
+    out
+}
+
+fn run_sub(
+    seed: u64,
+    payload: &[u8],
+    params: LinkParams,
+    ops: &[(Time, AdminOp)],
+    name: &'static str,
+) -> CampaignOutcome {
+    let cfg = SlConfig {
+        keepalive: Some(keepalive_sub()),
+        ..SlConfig::default()
+    };
+    let mut c = SlTcpStack::new(A, cfg.clone(), slmetrics::shared());
+    let mut s = SlTcpStack::new(B, cfg, slmetrics::shared());
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(seed, c, s, params);
+    for (at, op) in ops {
+        net.schedule_admin(*at, op.clone());
+    }
+    net.poll_all();
+    net.run_until(Time::ZERO + Dur::from_secs(1));
+    // Stream like the mono runner: offer the unsent tail every tick.
+    let mut sent = net.node_mut::<StackNode<SlTcpStack>>(nc).stack.send(conn, payload);
+    net.poll_all();
+
+    let deadline = net.now() + PATIENCE;
+    let mut got: Vec<u8> = Vec::new();
+    let mut sconn = None;
+    while net.now() < deadline {
+        let step = net.now() + STEP;
+        net.run_until(step);
+        if sent < payload.len() {
+            sent += net
+                .node_mut::<StackNode<SlTcpStack>>(nc)
+                .stack
+                .send(conn, &payload[sent..]);
+        }
+        {
+            let st = &mut net.node_mut::<StackNode<SlTcpStack>>(ns).stack;
+            if sconn.is_none() {
+                sconn = st.established().first().copied();
+            }
+            if let Some(id) = sconn {
+                got.extend(st.recv(id));
+            }
+        }
+        net.poll_all();
+        if got.len() >= payload.len() {
+            break;
+        }
+        let client_dead =
+            net.node::<StackNode<SlTcpStack>>(nc).stack.state(conn) == CmState::Closed;
+        let server_dead = sconn.is_some_and(|id| {
+            net.node::<StackNode<SlTcpStack>>(ns).stack.state(id) == CmState::Closed
+        });
+        if client_dead && server_dead {
+            break;
+        }
+    }
+
+    let sim_ms = net.now().since(Time::ZERO).0 / 1_000_000;
+    let complete = got.len() >= payload.len();
+    if !complete {
+        let settle = net.now() + Dur::from_secs(120);
+        net.run_until(settle);
+    }
+    let idle = net.is_idle();
+    let d0 = net.link_dir_stats(0, 0);
+    let d1 = net.link_dir_stats(0, 1);
+    let wire_frames = d0.tx_frames + d1.tx_frames;
+    let partition_drops = d0.partition_drops + d1.partition_drops;
+    let client_error = net.node::<StackNode<SlTcpStack>>(nc).stack.conn_error(conn);
+    let server_error =
+        sconn.and_then(|id| net.node::<StackNode<SlTcpStack>>(ns).stack.conn_error(id));
+    let mut out = CampaignOutcome {
+        profile: name,
+        stack: ChaosStack::Sub.name(),
+        seed,
+        payload: payload.len(),
+        delivered: got.len(),
+        complete,
+        client_error,
+        server_error,
+        sim_ms,
+        wire_frames,
+        partition_drops,
+        violations: Vec::new(),
+    };
+    check_universal(&mut out, idle, &got, payload);
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_err(e: Option<TransportError>) -> String {
+    match e {
+        None => "null".into(),
+        Some(e) => json_str(&format!("{e:?}")),
+    }
+}
+
+/// Deterministic, hand-rolled JSON for one outcome (stable field order,
+/// integers only — byte-identical for identical seeds).
+pub fn outcome_json(o: &CampaignOutcome) -> String {
+    let viol: Vec<String> = o.violations.iter().map(|v| json_str(v)).collect();
+    format!(
+        "{{\"profile\":{},\"stack\":{},\"seed\":{},\"payload\":{},\"delivered\":{},\
+         \"complete\":{},\"client_error\":{},\"server_error\":{},\"sim_ms\":{},\
+         \"wire_frames\":{},\"partition_drops\":{},\"violations\":[{}]}}",
+        json_str(o.profile),
+        json_str(o.stack),
+        o.seed,
+        o.payload,
+        o.delivered,
+        o.complete,
+        json_err(o.client_error),
+        json_err(o.server_error),
+        o.sim_ms,
+        o.wire_frames,
+        o.partition_drops,
+        viol.join(",")
+    )
+}
+
+/// The whole sweep as one JSON document.
+pub fn summary_json(outs: &[CampaignOutcome]) -> String {
+    let rows: Vec<String> = outs.iter().map(outcome_json).collect();
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+    format!(
+        "{{\"campaigns\":[\n  {}\n],\"total\":{},\"violations\":{}}}",
+        rows.join(",\n  "),
+        outs.len(),
+        violations
+    )
+}
+
+/// Run `profiles x stacks x seeds` and return every outcome in a fixed
+/// order (profile-major, then stack, then seed).
+pub fn run_sweep(
+    profiles: &[ChaosProfile],
+    stacks: &[ChaosStack],
+    seeds: &[u64],
+) -> Vec<CampaignOutcome> {
+    let mut outs = Vec::new();
+    for &p in profiles {
+        for &s in stacks {
+            for &seed in seeds {
+                outs.push(run_campaign(p, s, seed));
+            }
+        }
+    }
+    outs
+}

@@ -3,6 +3,8 @@
 //! returns the measurements the corresponding EXPERIMENTS.md table
 //! reports.
 
+pub mod chaos;
+
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
 use sublayer_core::shim::ShimStack;
 use sublayer_core::{CmScheme, SlConfig, SlTcpStack};
@@ -59,6 +61,7 @@ fn sub_config(cc: &'static str, timer_cm: bool) -> SlConfig {
         cc,
         isn: "clock",
         use_sack: true,
+        keepalive: None,
     }
 }
 

@@ -429,17 +429,15 @@ mod tests {
                 if !rule.is_terminating() {
                     continue;
                 }
-                match check_rule(&rule, &flag) {
-                    Verdict::Invalid(
-                        Invalid::FalseFlagInBody { witness }
-                        | Invalid::FalseFlagAtEnd { witness, .. },
-                    ) => {
-                        assert!(
-                            !clean(&rule, &flag, &witness, ReceiverModel::RestartScan),
-                            "bogus witness {witness} for rule {rule:?} flag {flag}"
-                        );
-                    }
-                    _ => {}
+                if let Verdict::Invalid(
+                    Invalid::FalseFlagInBody { witness }
+                    | Invalid::FalseFlagAtEnd { witness, .. },
+                ) = check_rule(&rule, &flag)
+                {
+                    assert!(
+                        !clean(&rule, &flag, &witness, ReceiverModel::RestartScan),
+                        "bogus witness {witness} for rule {rule:?} flag {flag}"
+                    );
                 }
             }
         }

@@ -19,7 +19,7 @@
 //!   connections die by quiet-time, not FIN.
 
 use crate::wire::{CmHeader, Packet};
-use netsim::{Dur, Time};
+use netsim::{Dur, Time, TransportError};
 use slmetrics::SharedLog;
 use std::collections::VecDeque;
 
@@ -87,6 +87,8 @@ pub struct ConnMgmt {
     time_wait_deadline: Option<Time>,
     /// Timer-based scheme: last packet activity.
     last_activity: Time,
+    /// Why the connection died, when it died abnormally.
+    reset_reason: Option<TransportError>,
     events: VecDeque<CmEvent>,
     outbox: VecDeque<Packet>,
     log: SharedLog,
@@ -106,6 +108,7 @@ impl ConnMgmt {
             rtx_count: 0,
             time_wait_deadline: None,
             last_activity: Time::ZERO,
+            reset_reason: None,
             events: VecDeque::new(),
             outbox: VecDeque::new(),
             log,
@@ -187,6 +190,29 @@ impl ConnMgmt {
         self.events.drain(..).collect()
     }
 
+    /// Why the connection died, when it died abnormally.
+    pub fn reset_reason(&self) -> Option<TransportError> {
+        self.reset_reason
+    }
+
+    /// Abort the connection: queue an RST to the peer, record `reason`,
+    /// and move straight to `Closed`. Idempotent once closed.
+    pub fn abort(&mut self, reason: TransportError) {
+        if matches!(self.state, CmState::Closed) {
+            return;
+        }
+        self.log.borrow_mut().w("cm", "state");
+        self.state = CmState::Closed;
+        self.reset_reason.get_or_insert(reason);
+        self.rtx_deadline = None;
+        self.time_wait_deadline = None;
+        let mut pkt = Packet::default();
+        pkt.cm.flags.rst = true;
+        pkt.cm.isn = self.local_isn;
+        self.outbox.push_back(pkt);
+        self.events.push_back(CmEvent::Reset);
+    }
+
     fn queue_syn(&mut self, with_ack: bool) {
         self.log.borrow_mut().r("cm", "local_isn");
         let mut pkt = Packet::default();
@@ -220,6 +246,7 @@ impl ConnMgmt {
         if hdr.flags.rst {
             self.log.borrow_mut().w("cm", "state");
             self.state = CmState::Closed;
+            self.reset_reason.get_or_insert(TransportError::Reset);
             self.events.push_back(CmEvent::Reset);
             return CmPass::Drop;
         }
@@ -390,6 +417,7 @@ impl ConnMgmt {
             self.rtx_count += 1;
             if self.rtx_count > MAX_SYN_RETRIES {
                 self.state = CmState::Closed;
+                self.reset_reason.get_or_insert(TransportError::HandshakeFailed);
                 self.events.push_back(CmEvent::Reset);
                 self.rtx_deadline = None;
                 return;
@@ -576,6 +604,45 @@ mod tests {
         assert_eq!(dl, Time::ZERO + quiet);
         a.on_tick(dl);
         assert_eq!(a.state(), CmState::Closed);
+    }
+
+    #[test]
+    fn abort_queues_rst_and_records_reason() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        cm.on_packet(&hdr(true, true, 77, 42), false, Time::ZERO);
+        while cm.poll_packet().is_some() {} // drain SYN + handshake ack
+        assert_eq!(cm.state(), CmState::Established);
+        cm.abort(TransportError::RetriesExhausted);
+        assert_eq!(cm.state(), CmState::Closed);
+        assert_eq!(cm.reset_reason(), Some(TransportError::RetriesExhausted));
+        assert!(cm.take_events().contains(&CmEvent::Reset));
+        let rst = cm.poll_packet().expect("RST queued for the peer");
+        assert!(rst.cm.flags.rst);
+        // Idempotent: a second abort neither re-queues nor rewrites.
+        cm.abort(TransportError::PeerVanished);
+        assert!(cm.poll_packet().is_none());
+        assert_eq!(cm.reset_reason(), Some(TransportError::RetriesExhausted));
+    }
+
+    #[test]
+    fn inbound_rst_reports_peer_reset() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        let mut h = hdr(false, false, 77, 0);
+        h.flags.rst = true;
+        assert_eq!(cm.on_packet(&h, false, Time::ZERO), CmPass::Drop);
+        assert_eq!(cm.state(), CmState::Closed);
+        assert_eq!(cm.reset_reason(), Some(TransportError::Reset));
+    }
+
+    #[test]
+    fn syn_retry_exhaustion_reports_handshake_failure() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        while cm.state() == CmState::SynSent {
+            let now = cm.poll_deadline().expect("SYN timer armed");
+            cm.on_tick(now);
+        }
+        assert_eq!(cm.state(), CmState::Closed);
+        assert_eq!(cm.reset_reason(), Some(TransportError::HandshakeFailed));
     }
 
     #[test]

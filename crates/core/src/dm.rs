@@ -155,9 +155,7 @@ mod tests {
     }
 
     fn pkt_to(dst_addr: u32, dst_port: u16, src: Endpoint) -> Packet {
-        let mut p = Packet::default();
-        p.src_addr = src.addr;
-        p.dst_addr = dst_addr;
+        let mut p = Packet { src_addr: src.addr, dst_addr, ..Packet::default() };
         p.dm.src_port = src.port;
         p.dm.dst_port = dst_port;
         p

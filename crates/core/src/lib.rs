@@ -48,7 +48,7 @@ pub use osr::Osr;
 pub use rd::{RdEvent, ReliableDelivery};
 pub use record::RecordStack;
 pub use signals::CongSignal;
-pub use stack::{CrossingStats, SlConfig, SlStats, SlTcpStack};
+pub use stack::{CrossingStats, KeepaliveConfig, SlConfig, SlStats, SlTcpStack};
 pub use wire::Packet;
 
 #[cfg(test)]

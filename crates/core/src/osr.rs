@@ -17,7 +17,7 @@
 use crate::cc::RateController;
 use crate::signals::CongSignal;
 use crate::wire::Packet;
-use netsim::Time;
+use netsim::{Dur, Time};
 use slmetrics::SharedLog;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -25,6 +25,10 @@ use std::collections::{BTreeMap, VecDeque};
 pub const MSS: usize = 1000;
 /// Receive buffer capacity; the advertised window is its free space.
 pub const RCV_BUF_CAP: usize = 64 * 1024 - 1;
+/// First zero-window persist timeout; doubles per unanswered probe.
+const PERSIST_INITIAL: Dur = Dur(500_000_000);
+/// Persist backoff ceiling.
+const PERSIST_MAX: Dur = Dur(60_000_000_000);
 
 /// OSR counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -34,6 +38,7 @@ pub struct OsrStats {
     pub bytes_read: u64,
     pub blocked_by_rate: u64,
     pub blocked_by_peer_window: u64,
+    pub zero_window_probes: u64,
 }
 
 /// The OSR sublayer for one connection.
@@ -47,6 +52,13 @@ pub struct Osr {
     rate: Box<dyn RateController>,
     peer_wnd: u32,
     app_closed: bool,
+    /// Zero-window persist timer: armed while the peer window pins us at
+    /// zero with data queued; each expiry releases a 1-byte probe so a
+    /// lost window update cannot deadlock the connection (TCP's persist
+    /// timer).
+    persist_deadline: Option<Time>,
+    persist_backoff: Dur,
+    probe_due: bool,
 
     // --- receiver ---
     reasm: BTreeMap<u64, Vec<u8>>,
@@ -70,6 +82,9 @@ impl Osr {
             rate,
             peer_wnd: MSS as u32, // conservative until the first header
             app_closed: false,
+            persist_deadline: None,
+            persist_backoff: PERSIST_INITIAL,
+            probe_due: false,
             reasm: BTreeMap::new(),
             rcv_next: 0,
             app_out: VecDeque::new(),
@@ -148,6 +163,12 @@ impl Osr {
         if n == 0 || (n < MSS && n < self.app_buf.len()) {
             if (self.peer_wnd as u64) < rate_allow {
                 self.stats.blocked_by_peer_window += 1;
+                // Nothing in flight means no ack will ever unblock us: only
+                // the persist timer can rediscover the window. (With data
+                // in flight, RTO owns liveness.)
+                if self.bytes_in_flight == 0 && self.persist_deadline.is_none() {
+                    self.persist_deadline = Some(now + self.persist_backoff);
+                }
             } else {
                 self.stats.blocked_by_rate += 1;
             }
@@ -201,6 +222,14 @@ impl Osr {
     pub fn on_header(&mut self, now: Time, pkt: &Packet) {
         self.log.borrow_mut().w("osr", "peer_wnd");
         self.peer_wnd = pkt.osr.rcv_wnd as u32;
+        if self.peer_wnd as usize >= MSS {
+            // The window reopened usefully: the persist cycle is over.
+            // (A sliver below one MSS keeps the backoff going — probes
+            // trickle single bytes until real progress is possible.)
+            self.persist_deadline = None;
+            self.persist_backoff = PERSIST_INITIAL;
+            self.probe_due = false;
+        }
         if pkt.osr.ecn_echo {
             self.rate.on_signal(now, CongSignal::EcnEcho);
         }
@@ -212,12 +241,41 @@ impl Osr {
     }
 
     pub fn poll_deadline(&self, now: Time) -> Option<Time> {
-        // Pacing controllers need a wake-up when tokens accrue.
+        // Pacing controllers need a wake-up when tokens accrue; the
+        // persist timer needs one while the peer window is closed.
         if self.app_buf.is_empty() {
-            None
-        } else {
-            self.rate.poll_deadline(now)
+            return None;
         }
+        match (self.rate.poll_deadline(now), self.persist_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advance the persist timer. Spurious calls are harmless.
+    pub fn on_tick(&mut self, now: Time) {
+        if self.persist_deadline.is_some_and(|d| now >= d) {
+            if self.app_buf.is_empty() {
+                self.persist_deadline = None;
+                return;
+            }
+            self.probe_due = true;
+            self.persist_backoff = Dur((self.persist_backoff.0 * 2).min(PERSIST_MAX.0));
+            self.persist_deadline = Some(now + self.persist_backoff);
+        }
+    }
+
+    /// Take the 1-byte zero-window probe released by the persist timer, if
+    /// any. The byte counts as in flight and is pushed through RD like any
+    /// segment, so it is retransmitted and acked normally.
+    pub fn poll_probe(&mut self) -> Option<Vec<u8>> {
+        if !std::mem::take(&mut self.probe_due) {
+            return None;
+        }
+        let b = self.app_buf.pop_front()?;
+        self.bytes_in_flight += 1;
+        self.stats.zero_window_probes += 1;
+        Some(vec![b])
     }
 }
 
@@ -362,6 +420,54 @@ mod tests {
         assert_eq!(o.poll_segment(t(0)).unwrap().len(), 1000);
         assert_eq!(o.poll_segment(t(0)).unwrap().len(), 1000);
         assert_eq!(o.poll_segment(t(0)).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn zero_window_arms_persist_and_probes_with_backoff() {
+        let mut o = osr(1 << 20);
+        let mut pkt = Packet::default();
+        pkt.osr.rcv_wnd = 0;
+        o.on_header(t(0), &pkt);
+        o.write(&vec![9; 5000]);
+        assert!(o.poll_segment(t(0)).is_none());
+        let d1 = o.poll_deadline(t(0)).expect("persist timer armed");
+        assert_eq!(d1, t(500));
+        assert!(o.poll_probe().is_none(), "no probe before the timer fires");
+        o.on_tick(d1);
+        assert_eq!(o.poll_probe(), Some(vec![9]), "1-byte probe released");
+        assert!(o.poll_probe().is_none(), "one probe per expiry");
+        assert_eq!(o.stats.zero_window_probes, 1);
+        // Backoff doubles: next expiry 1000ms later.
+        assert_eq!(o.poll_deadline(d1), Some(t(1500)));
+        o.on_tick(t(1500));
+        assert!(o.poll_probe().is_some());
+        assert_eq!(o.poll_deadline(t(1500)), Some(t(3500)));
+    }
+
+    #[test]
+    fn window_reopening_cancels_persist() {
+        let mut o = osr(1 << 20);
+        let mut pkt = Packet::default();
+        pkt.osr.rcv_wnd = 0;
+        o.on_header(t(0), &pkt);
+        o.write(&vec![9; 5000]);
+        assert!(o.poll_segment(t(0)).is_none());
+        assert!(o.poll_deadline(t(0)).is_some());
+        pkt.osr.rcv_wnd = u16::MAX;
+        o.on_header(t(100), &pkt);
+        assert_eq!(o.poll_deadline(t(100)), None, "persist cancelled");
+        assert_eq!(o.poll_segment(t(100)).unwrap().len(), MSS);
+    }
+
+    #[test]
+    fn an_open_window_never_arms_persist() {
+        let mut o = osr(1500);
+        o.write(&vec![9; 5000]);
+        assert!(o.poll_segment(t(0)).is_some());
+        // Blocked by *rate*, not by the peer window: no persist timer
+        // (the congestion controller owns this wait).
+        assert!(o.poll_segment(t(0)).is_none());
+        assert_eq!(o.persist_deadline, None);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum RdEvent {
     LocalFinAcked,
     /// The peer's FIN was reached in sequence (relayed to CM).
     PeerFinReached,
+    /// [`MAX_RETRIES`] consecutive RTOs fired without the cumulative ack
+    /// advancing. The stack must abort the connection (graceful
+    /// degradation) rather than back off forever.
+    RetriesExhausted,
 }
 
 /// RD counters.
@@ -45,6 +49,8 @@ pub struct RdStats {
     pub acks_sent: u64,
     pub duplicate_payload_dropped: u64,
     pub sacked_skips: u64,
+    pub timeouts: u64,
+    pub keepalive_probes: u64,
 }
 
 struct Flight {
@@ -59,6 +65,9 @@ const MIN_RTO: Dur = Dur(200_000_000);
 const MAX_RTO: Dur = Dur(60_000_000_000);
 /// Safety cap on outstanding segments (the *policy* window is OSR's).
 const MAX_IN_FLIGHT: usize = 1024;
+/// Consecutive RTO expirations without `snd_una` progress before RD gives
+/// up and asks the stack to abort ([`RdEvent::RetriesExhausted`]).
+pub const MAX_RETRIES: u32 = 8;
 
 /// The RD sublayer for one connection.
 pub struct ReliableDelivery {
@@ -84,6 +93,8 @@ pub struct ReliableDelivery {
     rttvar: Dur,
     rto: Dur,
     rto_deadline: Option<Time>,
+    /// RTO expirations since `snd_una` last advanced.
+    consecutive_rtx: u32,
 
     // --- receiver ---
     rcv_nxt: u64,
@@ -124,6 +135,7 @@ impl ReliableDelivery {
             rttvar: Dur::ZERO,
             rto: INITIAL_RTO,
             rto_deadline: None,
+            consecutive_rtx: 0,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             peer_fin_off: None,
@@ -296,6 +308,7 @@ impl ReliableDelivery {
                 }
                 self.snd_una = ack;
                 self.dupacks = 0;
+                self.consecutive_rtx = 0;
                 if let Some(s) = sample {
                     self.rtt_sample(s);
                 }
@@ -372,7 +385,14 @@ impl ReliableDelivery {
             self.advance_rcv();
             self.ack_pending = true;
         } else if pkt.rd.has_ack {
-            // Pure acks need no response.
+            // Pure acks at the peer's current sequence need no response,
+            // but an empty segment *behind* rcv_nxt is a keepalive probe:
+            // answer with a bare ack so the prober learns we are alive
+            // (TCP's unacceptable-segment rule).
+            let seq_off = Self::unwrap(self.rcv_isn, pkt.rd.seq, self.rcv_nxt);
+            if seq_off < self.rcv_nxt {
+                self.ack_pending = true;
+            }
         }
     }
 
@@ -506,6 +526,31 @@ impl ReliableDelivery {
         self.ack_pending = true;
     }
 
+    /// Queue an idle keepalive probe: an empty segment one unit behind
+    /// `snd_nxt`, which the peer must answer with a bare ack (it is not an
+    /// acceptable in-sequence segment). Returns `false` when no data has
+    /// ever been sent — the probe sequence would be indistinguishable from
+    /// a plain ack, so such connections cannot be probed.
+    pub fn send_keepalive_probe(&mut self) -> bool {
+        if self.snd_nxt == 0 {
+            return false;
+        }
+        self.outbox.push_back((Some(self.snd_nxt - 1), Vec::new(), false));
+        self.stats.keepalive_probes += 1;
+        true
+    }
+
+    /// The current retransmission timeout (exposed so tests can verify
+    /// exponential backoff).
+    pub fn current_rto(&self) -> Dur {
+        self.rto
+    }
+
+    /// RTO expirations since the cumulative ack last advanced.
+    pub fn consecutive_retries(&self) -> u32 {
+        self.consecutive_rtx
+    }
+
     pub fn take_signals(&mut self) -> Vec<CongSignal> {
         self.signals.drain(..).collect()
     }
@@ -529,6 +574,15 @@ impl ReliableDelivery {
                 self.rto_deadline = None;
                 return;
             }
+            if self.consecutive_rtx >= MAX_RETRIES {
+                // Retry budget spent with zero cumulative-ack progress:
+                // stop the timer and tell the stack to abort.
+                self.rto_deadline = None;
+                self.events.push_back(RdEvent::RetriesExhausted);
+                return;
+            }
+            self.consecutive_rtx += 1;
+            self.stats.timeouts += 1;
             // Ack-clocked recovery after the timeout: partial acks will
             // pull out the remaining holes without waiting a full RTO
             // each.
@@ -798,5 +852,86 @@ mod tests {
         ReliableDelivery::merge_range(&mut m, 0, 10);
         ReliableDelivery::merge_range(&mut m, 10, 20);
         assert_eq!(m.into_iter().collect::<Vec<_>>(), vec![(0, 20)]);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_then_gives_up() {
+        let mut r = rd();
+        r.push_segment(t(0), vec![0; 100]);
+        let _ = r.poll_packet(t(0));
+        let mut now;
+        let mut prev_rto = r.current_rto();
+        for i in 1..=MAX_RETRIES {
+            now = r.poll_deadline().expect("timer armed while unacked");
+            r.on_tick(now);
+            assert_eq!(r.consecutive_retries(), i);
+            // Doubled, up to the 60 s ceiling.
+            assert_eq!(r.current_rto(), Dur((prev_rto.0 * 2).min(60_000_000_000)));
+            prev_rto = r.current_rto();
+            let (pkt, _) = r.poll_packet(now).expect("retransmission queued");
+            assert_eq!(pkt.rd.seq, 1001);
+        }
+        assert!(!r.take_events().contains(&RdEvent::RetriesExhausted));
+        // One more expiry crosses the budget: no retransmission, the
+        // timer stops, and the give-up event surfaces.
+        now = r.poll_deadline().unwrap();
+        r.on_tick(now);
+        assert_eq!(r.take_events(), vec![RdEvent::RetriesExhausted]);
+        assert!(r.poll_packet(now).is_none());
+        assert!(r.poll_deadline().is_none(), "no retry timer after give-up");
+        assert_eq!(r.stats.retransmits as u32, MAX_RETRIES);
+    }
+
+    #[test]
+    fn ack_progress_resets_retry_budget() {
+        let mut r = rd();
+        r.push_segment(t(0), vec![0; 100]);
+        r.push_segment(t(0), vec![1; 100]);
+        let _ = r.poll_packet(t(0));
+        let _ = r.poll_packet(t(0));
+        let d = r.poll_deadline().unwrap();
+        r.on_tick(d);
+        assert_eq!(r.consecutive_retries(), 1);
+        // A cumulative ack covering the first segment is progress.
+        r.on_packet(d + Dur::from_millis(1), &peer_data(0, &[], Some(100)), false);
+        assert_eq!(r.consecutive_retries(), 0);
+    }
+
+    #[test]
+    fn keepalive_probe_is_behind_snd_nxt_and_gets_answered() {
+        let mut r = rd();
+        assert!(!r.send_keepalive_probe(), "nothing sent yet: unprobeable");
+        r.push_segment(t(0), vec![5; 100]);
+        let _ = r.poll_packet(t(0));
+        r.on_packet(t(10), &peer_data(0, &[], Some(100)), false);
+        assert!(r.send_keepalive_probe());
+        let (probe, is_fin) = r.poll_packet(t(20)).unwrap();
+        assert!(!is_fin);
+        assert!(probe.payload.is_empty());
+        assert_eq!(probe.rd.seq, 1001 + 99, "one unit behind snd_nxt");
+        assert_eq!(r.stats.keepalive_probes, 1);
+
+        // A peer that has received 100 bytes from us answers the probe
+        // with a bare ack; an in-sequence pure ack stays unanswered.
+        let mut peer = ReliableDelivery::new(2000, 1000, slmetrics::shared());
+        let mut data = Packet::default();
+        data.rd.seq = 1001;
+        data.payload = vec![5; 100];
+        peer.on_packet(t(5), &data, false);
+        let _ = peer.poll_packet(t(5)); // drain the data ack
+        let mut plain_ack = Packet::default();
+        plain_ack.rd.seq = 1001 + 100;
+        plain_ack.rd.has_ack = true;
+        plain_ack.rd.ack = 2001;
+        peer.on_packet(t(21), &plain_ack, false);
+        assert!(peer.poll_packet(t(21)).is_none(), "in-sequence ack: silent");
+        let mut probe_pkt = Packet::default();
+        probe_pkt.rd.seq = 1001 + 99;
+        probe_pkt.rd.has_ack = true;
+        probe_pkt.rd.ack = 2001;
+        peer.on_packet(t(22), &probe_pkt, false);
+        let (answer, _) = peer.poll_packet(t(22)).expect("probe must be acked");
+        assert!(answer.payload.is_empty());
+        assert_eq!(answer.rd.ack, 1001 + 100);
     }
 }

@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn translation_round_trips_where_isomorphic() {
         // native -> 793 -> native preserves the fields RFC 793 can carry.
-        let mut pkt = Packet::default();
-        pkt.src_addr = A;
-        pkt.dst_addr = B;
+        let mut pkt = Packet { src_addr: A, dst_addr: B, ..Packet::default() };
         pkt.dm.src_port = 5000;
         pkt.dm.dst_port = 80;
         pkt.rd.seq = 12345;

@@ -18,10 +18,30 @@ use crate::isn::{self, IsnGenerator};
 use crate::osr::Osr;
 use crate::rd::{RdEvent, ReliableDelivery};
 use crate::wire::Packet;
-use netsim::{Stack, Time};
+use netsim::{Dur, Stack, Time, TransportError};
 use slmetrics::SharedLog;
 use std::collections::{HashMap, VecDeque};
 use tcp_mono::wire::{Endpoint, FourTuple};
+
+/// Idle keepalive policy: after `idle` without inbound packets, probe every
+/// `interval`; after `max_probes` unanswered probes the connection is
+/// aborted with [`TransportError::PeerVanished`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeepaliveConfig {
+    pub idle: Dur,
+    pub interval: Dur,
+    pub max_probes: u32,
+}
+
+impl Default for KeepaliveConfig {
+    fn default() -> Self {
+        KeepaliveConfig {
+            idle: Dur::from_secs(10),
+            interval: Dur::from_secs(2),
+            max_probes: 5,
+        }
+    }
+}
 
 /// Stack configuration: which mechanism fills each replaceable slot.
 #[derive(Clone, Debug)]
@@ -35,11 +55,19 @@ pub struct SlConfig {
     /// the design choice DESIGN.md calls out; SACK is RD-private either
     /// way).
     pub use_sack: bool,
+    /// Idle keepalive probing; `None` (the default) disables it.
+    pub keepalive: Option<KeepaliveConfig>,
 }
 
 impl Default for SlConfig {
     fn default() -> Self {
-        SlConfig { cm_scheme: CmScheme::ThreeWay, cc: "reno", isn: "clock", use_sack: true }
+        SlConfig {
+            cm_scheme: CmScheme::ThreeWay,
+            cc: "reno",
+            isn: "clock",
+            use_sack: true,
+            keepalive: None,
+        }
     }
 }
 
@@ -70,6 +98,25 @@ struct Connection {
     fin_routed: bool,
     /// Reported state before removal, for post-mortem queries.
     dead: bool,
+    /// Last inbound packet (keepalive bookkeeping).
+    last_rx: Time,
+    /// Keepalive probes sent since `last_rx`.
+    ka_probes: u32,
+}
+
+impl Connection {
+    fn new(cm: ConnMgmt, osr: Osr, now: Time) -> Connection {
+        Connection {
+            cm,
+            rd: None,
+            osr,
+            want_close: false,
+            fin_routed: false,
+            dead: false,
+            last_rx: now,
+            ka_probes: 0,
+        }
+    }
 }
 
 /// Aggregate stack statistics.
@@ -87,6 +134,10 @@ pub struct SlTcpStack {
     conns: HashMap<ConnId, Connection>,
     isn_gen: Box<dyn IsnGenerator>,
     config: SlConfig,
+    /// Terminal failures, surviving connection removal so the application
+    /// can learn *why* a connection died (graceful degradation: an abort
+    /// is always reported, never a silent hang).
+    errors: HashMap<ConnId, TransportError>,
     outbox: VecDeque<Vec<u8>>,
     pub stats: SlStats,
     pub crossings: CrossingStats,
@@ -100,6 +151,7 @@ impl SlTcpStack {
             conns: HashMap::new(),
             isn_gen: isn::make(config.isn),
             config,
+            errors: HashMap::new(),
             outbox: VecDeque::new(),
             stats: SlStats::default(),
             crossings: CrossingStats::default(),
@@ -130,7 +182,7 @@ impl SlTcpStack {
         let local_isn = self.isn_gen.isn(now, &tuple);
         let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
         let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
-        let mut conn = Connection { cm, rd: None, osr, want_close: false, fin_routed: false, dead: false };
+        let mut conn = Connection::new(cm, osr, now);
         // Timer-based CM is established immediately; wire RD up now.
         if matches!(self.config.cm_scheme, CmScheme::TimerBased { .. }) {
             let mut rd = ReliableDelivery::new(local_isn, 0, self.log.clone());
@@ -175,6 +227,21 @@ impl SlTcpStack {
 
     pub fn state(&self, id: ConnId) -> CmState {
         self.conns.get(&id).map_or(CmState::Closed, |c| c.cm.state())
+    }
+
+    /// Why a connection died abnormally, if it did. Survives the
+    /// connection's removal: after an abort, `state` reports `Closed` and
+    /// this reports the reason.
+    pub fn conn_error(&self, id: ConnId) -> Option<TransportError> {
+        self.errors.get(&id).copied()
+    }
+
+    /// Abort a connection locally (application-initiated RST).
+    pub fn abort(&mut self, now: Time, id: ConnId, reason: TransportError) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.cm.abort(reason);
+            self.pump(now, id);
+        }
     }
 
     /// Established connections (listener side discovers peers here).
@@ -244,7 +311,13 @@ impl SlTcpStack {
                         Some(_) => {}
                     }
                 }
-                CmEvent::Reset | CmEvent::Closed => {
+                CmEvent::Reset => {
+                    if let Some(reason) = conn.cm.reset_reason() {
+                        self.errors.entry(id).or_insert(reason);
+                    }
+                    conn.dead = true;
+                }
+                CmEvent::Closed => {
                     conn.dead = true;
                 }
             }
@@ -261,6 +334,11 @@ impl SlTcpStack {
                     }
                     RdEvent::LocalFinAcked => conn.cm.on_local_fin_acked(now),
                     RdEvent::PeerFinReached => conn.cm.on_peer_fin(now),
+                    RdEvent::RetriesExhausted => {
+                        // Data retries spent: abort (RST to the peer if the
+                        // path still works) instead of retrying forever.
+                        conn.cm.abort(TransportError::RetriesExhausted);
+                    }
                 }
             }
             // Summarized signals to OSR's rate controller.
@@ -302,7 +380,9 @@ impl SlTcpStack {
             }
         }
 
-        // Segmentation: OSR decides readiness, RD assigns sequences.
+        // Segmentation: OSR decides readiness, RD assigns sequences. A
+        // zero-window probe released by OSR's persist timer takes the same
+        // path, so it is sequenced and retransmitted like any segment.
         if let Some(rd) = conn.rd.as_mut() {
             if conn.cm.state() == CmState::Established || conn.cm.state() == CmState::Closing {
                 while rd.can_accept() {
@@ -310,6 +390,13 @@ impl SlTcpStack {
                     self.crossings.osr_to_rd_segments += 1;
                     self.crossings.osr_to_rd_bytes += seg.len() as u64;
                     rd.push_segment(now, seg);
+                }
+                if rd.can_accept() {
+                    if let Some(probe) = conn.osr.poll_probe() {
+                        self.crossings.osr_to_rd_segments += 1;
+                        self.crossings.osr_to_rd_bytes += probe.len() as u64;
+                        rd.push_segment(now, probe);
+                    }
                 }
             }
         }
@@ -357,6 +444,8 @@ impl SlTcpStack {
 
     fn handle_packet(&mut self, now: Time, id: ConnId, pkt: &Packet) {
         let Some(conn) = self.conns.get_mut(&id) else { return };
+        conn.last_rx = now;
+        conn.ka_probes = 0;
         // The handshake-completing ack is recognized by the stack (not CM)
         // so CM never reads RD's bits: ack == local_isn + 1.
         let handshake_ack =
@@ -406,10 +495,7 @@ impl Stack for SlTcpStack {
                 };
                 let Ok(id) = self.dm.bind(tuple) else { return };
                 let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
-                self.conns.insert(
-                    id,
-                    Connection { cm, rd: None, osr, want_close: false, fin_routed: false, dead: false },
-                );
+                self.conns.insert(id, Connection::new(cm, osr, now));
                 // Let establishment events run, then feed this packet's
                 // upper parts (timer-based CM carries data on first
                 // packet).
@@ -447,6 +533,7 @@ impl Stack for SlTcpStack {
                     c.cm.poll_deadline(),
                     c.rd.as_ref().and_then(|r| r.poll_deadline()),
                     c.osr.poll_deadline(now),
+                    self.keepalive_deadline(c),
                 ]
             })
             .flatten()
@@ -461,8 +548,45 @@ impl Stack for SlTcpStack {
                 if let Some(rd) = conn.rd.as_mut() {
                     rd.on_tick(now);
                 }
+                conn.osr.on_tick(now);
+                if let Some(ka) = self.config.keepalive {
+                    Self::drive_keepalive(conn, ka, now);
+                }
             }
             self.pump(now, id);
+        }
+    }
+}
+
+impl SlTcpStack {
+    /// When the next keepalive action (probe or give-up) is due for `c`.
+    fn keepalive_deadline(&self, c: &Connection) -> Option<Time> {
+        let ka = self.config.keepalive?;
+        if c.cm.state() != CmState::Established || c.rd.is_none() {
+            return None;
+        }
+        Some(c.last_rx + ka.idle + ka.interval.saturating_mul(c.ka_probes as u64))
+    }
+
+    fn drive_keepalive(conn: &mut Connection, ka: KeepaliveConfig, now: Time) {
+        if conn.cm.state() != CmState::Established {
+            return;
+        }
+        let Some(rd) = conn.rd.as_mut() else { return };
+        let due = conn.last_rx + ka.idle + ka.interval.saturating_mul(conn.ka_probes as u64);
+        if now < due {
+            return;
+        }
+        if conn.ka_probes >= ka.max_probes {
+            // Unanswered probe budget spent: the peer is gone.
+            conn.cm.abort(TransportError::PeerVanished);
+        } else {
+            // A connection that never sent data cannot be probed (there is
+            // no sequence behind snd_nxt to re-ack); its silent intervals
+            // still count, so sustained peer silence past the keepalive
+            // horizon aborts either way.
+            let _ = rd.send_keepalive_probe();
+            conn.ka_probes += 1;
         }
     }
 }

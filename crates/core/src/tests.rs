@@ -2,8 +2,8 @@
 
 use crate::cm::{CmScheme, CmState};
 use crate::dm::ConnId;
-use crate::stack::{SlConfig, SlTcpStack};
-use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
+use crate::stack::{KeepaliveConfig, SlConfig, SlTcpStack};
+use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time, TransportError};
 use tcp_mono::wire::Endpoint;
 
 pub const A: u32 = 0x0A000001;
@@ -100,6 +100,7 @@ fn transfer_under_reorder_duplicate_corrupt() {
         duplicate: 0.1,
         reorder: 0.15,
         reorder_delay: Dur::from_millis(15),
+        ..Default::default()
     });
     let (mut net, nc, ns, conn) = pair(6, params);
     run_for(&mut net, Dur::from_secs(3));
@@ -392,5 +393,107 @@ fn flow_control_limits_unread_receiver() {
         }
     }
     assert_eq!(held.len() + rest.len(), data.len());
+}
+
+#[test]
+fn partition_mid_transfer_surfaces_clean_abort() {
+    let (mut net, nc, _ns, conn) = pair(97, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i % 199) as u8).collect();
+    stack(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    run_for(&mut net, Dur::from_millis(10));
+    // The link dies for good mid-transfer. The sender must exhaust its
+    // retry budget (with exponential backoff), then abort — not hang.
+    net.set_link_up(0, false);
+    run_for(&mut net, Dur::from_secs(300));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Closed);
+    assert_eq!(
+        stack(&mut net, nc).conn_error(conn),
+        Some(TransportError::RetriesExhausted)
+    );
+    let rtx = stack(&mut net, nc).rd_stats(conn);
+    assert!(rtx.is_none(), "aborted connection is reaped");
+    assert!(net.is_idle(), "no timers may survive the abort (hot-loop check)");
+    assert!(net.link_dir_stats(0, 0).partition_drops > 0);
+}
+
+#[test]
+fn keepalive_detects_vanished_peer_on_both_sides() {
+    let config = SlConfig {
+        keepalive: Some(KeepaliveConfig {
+            idle: Dur::from_secs(5),
+            interval: Dur::from_secs(1),
+            max_probes: 3,
+        }),
+        ..Default::default()
+    };
+    let (mut net, nc, ns, conn) =
+        pair_with(98, LinkParams::delay_only(Dur::from_millis(5)), config);
+    run_for(&mut net, Dur::from_secs(1));
+    let got = transfer(&mut net, nc, ns, conn, b"hello", 10);
+    assert_eq!(got, b"hello");
+    let sconn = stack(&mut net, ns).established()[0];
+    // Healthy but idle: probes are answered, the connection survives.
+    run_for(&mut net, Dur::from_secs(30));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+    let probes = stack(&mut net, nc).rd_stats(conn).unwrap().keepalive_probes;
+    assert!(probes > 0, "idle connection must have been probed");
+    // Partition: probes go unanswered and both sides give up cleanly.
+    net.set_link_up(0, false);
+    run_for(&mut net, Dur::from_secs(60));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Closed);
+    assert_eq!(stack(&mut net, nc).conn_error(conn), Some(TransportError::PeerVanished));
+    assert_eq!(stack(&mut net, ns).state(sconn), CmState::Closed);
+    assert_eq!(stack(&mut net, ns).conn_error(sconn), Some(TransportError::PeerVanished));
+    assert!(net.is_idle(), "both endpoints fully quiesce after the aborts");
+}
+
+#[test]
+fn local_abort_resets_peer() {
+    let (mut net, nc, ns, conn) = pair(99, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let got = transfer(&mut net, nc, ns, conn, b"payload", 10);
+    assert_eq!(got, b"payload");
+    let sconn = stack(&mut net, ns).established()[0];
+    let now = net.now();
+    stack(&mut net, nc).abort(now, conn, TransportError::RetriesExhausted);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(stack(&mut net, ns).state(sconn), CmState::Closed);
+    assert_eq!(stack(&mut net, ns).conn_error(sconn), Some(TransportError::Reset));
+}
+
+#[test]
+fn zero_window_probe_survives_lost_window_update() {
+    let (mut net, nc, ns, conn) = pair(100, LinkParams::delay_only(Dur::from_millis(2)));
+    run_for(&mut net, Dur::from_secs(1));
+    let data = vec![3u8; 120_000];
+    stack(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    // Receiver does not read: the window slams shut and the sender stalls.
+    run_for(&mut net, Dur::from_secs(30));
+    let sconn = stack(&mut net, ns).established()[0];
+    // Drain the receive buffer while the link is down, so the window
+    // update announcing the reopened window is lost.
+    net.set_link_up(0, false);
+    let mut got = stack(&mut net, ns).recv(sconn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    net.set_link_up(0, true);
+    // Only the persist machinery can discover the reopened window now.
+    for _ in 0..180 {
+        run_for(&mut net, Dur::from_secs(1));
+        got.extend(stack(&mut net, ns).recv(sconn));
+        net.poll_all();
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(got.len(), data.len(), "transfer must not deadlock on the lost update");
+    assert!(got.iter().all(|&b| b == 3));
+    let probes = stack(&mut net, nc).osr_stats(conn).unwrap().zero_window_probes;
+    assert!(probes > 0, "the stall must have been probed");
 }
 

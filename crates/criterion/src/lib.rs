@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be resolved. This crate implements the subset of its
+//! API that the workspace's `benches/` use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock timing loop instead of criterion's statistical machinery.
+//!
+//! Behavioural contract kept from the real crate: `cargo bench` runs every
+//! registered function and prints a per-benchmark timing line, and
+//! `cargo test` (which compiles benches with `--test`) runs them in "test
+//! mode" (one quick iteration, no measurement), so benches double as smoke
+//! tests.
+
+use std::time::{Duration, Instant};
+
+/// How results are normalised when printing (only `Bytes` is used here).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the body.
+pub struct Bencher {
+    /// Total time and iteration count accumulated by `iter`.
+    elapsed: Duration,
+    iters: u64,
+    /// In test mode we run the body once and skip measurement.
+    test_mode: bool,
+    sample_size: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        if self.test_mode {
+            std::hint::black_box(body());
+            self.iters = 1;
+            return;
+        }
+        // Warm up briefly, then time `sample_size` batches of iterations.
+        let mut n_per_batch = 1u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            for _ in 0..n_per_batch {
+                std::hint::black_box(body());
+            }
+            if warm_start.elapsed() < Duration::from_millis(5) {
+                n_per_batch = n_per_batch.saturating_mul(2);
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            for _ in 0..n_per_batch {
+                std::hint::black_box(body());
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.sample_size * n_per_batch;
+    }
+}
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Ungrouped benchmark (prints under its own name).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &name.into(), None, 20, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(self.parent.test_mode, &full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(test_mode: bool, name: &str, throughput: Option<Throughput>, sample_size: u64, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        test_mode,
+        sample_size,
+    };
+    f(&mut b);
+    if test_mode {
+        return;
+    }
+    let per_iter = if b.iters > 0 {
+        b.elapsed.as_secs_f64() / b.iters as f64
+    } else {
+        0.0
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<50} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+/// True when the harness was invoked by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` to bench targets under test).
+#[doc(hidden)]
+pub fn __test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+#[doc(hidden)]
+pub fn __run_group(fns: &[fn(&mut Criterion)]) {
+    let mut c = Criterion {
+        test_mode: __test_mode(),
+    };
+    for f in fns {
+        f(&mut c);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $crate::__run_group(&[$($target),+]);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench targets under `cargo test` receive standard libtest
+            // flags; we only honour `--test` (run quickly) and ignore the
+            // rest, as the real criterion does.
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so `criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Bytes(8));
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        c.bench_function("two", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 2);
+    }
+}

@@ -379,6 +379,7 @@ mod tests {
             duplicate: 0.2,
             reorder: 0.2,
             reorder_delay: Dur::from_millis(15),
+            ..Default::default()
         };
         for scheme in schemes() {
             for seed in 20..23 {

@@ -232,7 +232,7 @@ mod tests {
         for code in codes() {
             for len in [0usize, 4, 8, 12, 32] {
                 for seed in 0..16u64 {
-                    let data = BitVec::from_uint(seed.wrapping_mul(0x9E37) & ((1 << len.min(63)) - 1).max(0), len);
+                    let data = BitVec::from_uint(seed.wrapping_mul(0x9E37) & ((1 << len.min(63)) - 1), len);
                     let symbols = code.encode(&data);
                     assert_eq!(code.decode(&symbols), Ok(data.clone()), "{}", code.name());
                 }

@@ -233,7 +233,8 @@ mod tests {
         // A representative cross-product of line codes, framers and
         // detectors, all under loss + corruption.
         let fault = FaultProfile { drop: 0.1, corrupt: 0.05, ..Default::default() };
-        let combos: Vec<(fn() -> Box<dyn LineCode>, fn() -> Box<dyn Framer>, fn() -> Box<dyn ErrorDetector>)> = vec![
+        type Combo = (fn() -> Box<dyn LineCode>, fn() -> Box<dyn Framer>, fn() -> Box<dyn ErrorDetector>);
+        let combos: Vec<Combo> = vec![
             (|| Box::new(Nrz), || Box::new(CobsFramer), || Box::new(Crc::crc16_ccitt())),
             (|| Box::new(Manchester), || Box::new(EscapeFramer), || Box::new(Crc::crc32())),
             (|| Box::new(FourBFiveB), || Box::new(LengthFramer), || Box::new(Fletcher16)),
@@ -270,6 +271,7 @@ mod tests {
             duplicate: 0.1,
             reorder: 0.1,
             reorder_delay: Dur::from_millis(10),
+            ..Default::default()
         };
         for seed in 1..=3 {
             transfer(make(Box::new(Crc::crc32())), make(Box::new(Crc::crc32())), fault.clone(), seed);

@@ -4,9 +4,36 @@
 //! (e.g. smoltcp's examples): random drop, single-bit corruption, frame
 //! duplication and extra-delay reordering, each with an independent
 //! probability, applied from a deterministic per-link random stream.
+//! For chaos campaigns two correlated impairments join them: a
+//! Gilbert–Elliott two-state burst-loss chain and uniform per-frame delay
+//! jitter.
 
 use crate::rng::DetRng;
 use crate::time::Dur;
+
+/// Gilbert–Elliott burst-loss model: a two-state (good/bad) Markov chain
+/// advanced once per offered frame, with a per-state loss probability.
+/// Captures correlated loss (fades, congestion bursts) that independent
+/// per-frame drop cannot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurstLoss {
+    /// Per-frame probability of transitioning good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-frame probability of transitioning bad → good.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl BurstLoss {
+    /// Classic Gilbert model: lossless good state, `loss_bad` in the bad
+    /// state, with the given transition probabilities.
+    pub fn gilbert(p_good_to_bad: f64, p_bad_to_good: f64, loss_bad: f64) -> BurstLoss {
+        BurstLoss { p_good_to_bad, p_bad_to_good, loss_good: 0.0, loss_bad }
+    }
+}
 
 /// Probabilities and parameters for link impairments.
 #[derive(Clone, Debug, Default)]
@@ -22,7 +49,36 @@ pub struct FaultProfile {
     pub reorder: f64,
     /// Extra delay applied to reordered frames.
     pub reorder_delay: Dur,
+    /// Correlated burst loss, applied before the independent `drop` draw.
+    pub burst: Option<BurstLoss>,
+    /// Uniform extra delay in `[0, jitter]` applied per frame.
+    pub jitter: Dur,
 }
+
+/// Why a [`FaultProfile`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultConfigError {
+    /// A probability field is NaN or outside `[0, 1]`.
+    ProbabilityOutOfRange { field: &'static str, value: f64 },
+    /// `reorder` is enabled but `reorder_delay` is zero, which cannot
+    /// actually reorder anything.
+    ZeroReorderDelay,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "fault probability `{field}` = {value} is outside [0, 1]")
+            }
+            FaultConfigError::ZeroReorderDelay => {
+                write!(f, "reorder probability is nonzero but reorder_delay is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 impl FaultProfile {
     /// A perfect link: no impairments.
@@ -43,6 +99,7 @@ impl FaultProfile {
             duplicate: p,
             reorder: p,
             reorder_delay,
+            ..Default::default()
         }
     }
 
@@ -61,6 +118,74 @@ impl FaultProfile {
         self.reorder_delay = delay;
         self
     }
+
+    pub fn with_burst(mut self, burst: BurstLoss) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    pub fn with_jitter(mut self, jitter: Dur) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Strict validation: every probability must be a finite value in
+    /// `[0, 1]`, and enabling `reorder` requires a nonzero `reorder_delay`.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        let mut probs = vec![
+            ("drop", self.drop),
+            ("corrupt", self.corrupt),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ];
+        if let Some(b) = &self.burst {
+            probs.extend([
+                ("burst.p_good_to_bad", b.p_good_to_bad),
+                ("burst.p_bad_to_good", b.p_bad_to_good),
+                ("burst.loss_good", b.loss_good),
+                ("burst.loss_bad", b.loss_bad),
+            ]);
+        }
+        for (field, value) in probs {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultConfigError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        if self.reorder > 0.0 && self.reorder_delay == Dur::ZERO {
+            return Err(FaultConfigError::ZeroReorderDelay);
+        }
+        Ok(())
+    }
+
+    /// Forgiving form of [`validate`](FaultProfile::validate): clamp every
+    /// probability into `[0, 1]` (NaN becomes `0`), and disable `reorder`
+    /// when `reorder_delay` is zero (a zero hold-back cannot reorder).
+    /// [`FaultInjector`] applies this to every profile it is given, so an
+    /// out-of-range profile degrades predictably instead of misbehaving.
+    pub fn clamped(&self) -> FaultProfile {
+        fn clamp01(p: f64) -> f64 {
+            if p.is_nan() {
+                0.0
+            } else {
+                p.clamp(0.0, 1.0)
+            }
+        }
+        let mut out = self.clone();
+        out.drop = clamp01(out.drop);
+        out.corrupt = clamp01(out.corrupt);
+        out.duplicate = clamp01(out.duplicate);
+        out.reorder = clamp01(out.reorder);
+        if let Some(b) = &mut out.burst {
+            b.p_good_to_bad = clamp01(b.p_good_to_bad);
+            b.p_bad_to_good = clamp01(b.p_bad_to_good);
+            b.loss_good = clamp01(b.loss_good);
+            b.loss_bad = clamp01(b.loss_bad);
+        }
+        if out.reorder_delay == Dur::ZERO {
+            out.reorder = 0.0;
+        }
+        out
+    }
 }
 
 /// Counters describing what the injector actually did.
@@ -71,6 +196,10 @@ pub struct FaultStats {
     pub corrupted: u64,
     pub duplicated: u64,
     pub reordered: u64,
+    /// Subset of `dropped` caused by the burst-loss chain.
+    pub burst_dropped: u64,
+    /// Frames that received a nonzero jitter delay.
+    pub jittered: u64,
 }
 
 /// The fate decided for one frame.
@@ -82,16 +211,24 @@ pub struct Fate {
 }
 
 /// Applies a [`FaultProfile`] to frames using a deterministic stream.
+///
+/// Profiles are [clamped](FaultProfile::clamped) on the way in, so an
+/// out-of-range probability can never make the injector misbehave. Random
+/// draws are strictly conditional on the features a profile enables:
+/// a profile with burst loss and jitter disabled consumes exactly the same
+/// stream as it did before those features existed.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     profile: FaultProfile,
     rng: DetRng,
     stats: FaultStats,
+    /// Gilbert–Elliott chain state: `true` while in the bad (bursty) state.
+    in_bad: bool,
 }
 
 impl FaultInjector {
     pub fn new(profile: FaultProfile, rng: DetRng) -> FaultInjector {
-        FaultInjector { profile, rng, stats: FaultStats::default() }
+        FaultInjector { profile: profile.clamped(), rng, stats: FaultStats::default(), in_bad: false }
     }
 
     pub fn stats(&self) -> &FaultStats {
@@ -102,14 +239,29 @@ impl FaultInjector {
         &self.profile
     }
 
-    /// Replace the profile mid-run (e.g. to heal or degrade a link).
+    /// Replace the profile mid-run (e.g. to heal or degrade a link). The
+    /// burst-chain state carries over; stats keep accumulating.
     pub fn set_profile(&mut self, profile: FaultProfile) {
-        self.profile = profile;
+        self.profile = profile.clamped();
     }
 
     /// Decide the fate of one frame.
     pub fn apply(&mut self, frame: &[u8]) -> Fate {
         self.stats.offered += 1;
+        if let Some(burst) = &self.profile.burst {
+            // Advance the chain one step per offered frame, then draw loss
+            // from the state landed in.
+            let flip = if self.in_bad { burst.p_bad_to_good } else { burst.p_good_to_bad };
+            if self.rng.chance(flip) {
+                self.in_bad = !self.in_bad;
+            }
+            let loss = if self.in_bad { burst.loss_bad } else { burst.loss_good };
+            if self.rng.chance(loss) {
+                self.stats.dropped += 1;
+                self.stats.burst_dropped += 1;
+                return Fate { deliveries: Vec::new() };
+            }
+        }
         if self.rng.chance(self.profile.drop) {
             self.stats.dropped += 1;
             return Fate { deliveries: Vec::new() };
@@ -120,12 +272,19 @@ impl FaultInjector {
             let bit = self.rng.below(bytes.len() as u64 * 8);
             bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
         }
-        let delay = if self.rng.chance(self.profile.reorder) {
+        let mut delay = if self.rng.chance(self.profile.reorder) {
             self.stats.reordered += 1;
             self.profile.reorder_delay
         } else {
             Dur::ZERO
         };
+        if self.profile.jitter > Dur::ZERO {
+            let j = Dur(self.rng.below(self.profile.jitter.0.saturating_add(1)));
+            if j > Dur::ZERO {
+                self.stats.jittered += 1;
+            }
+            delay += j;
+        }
         let mut deliveries = vec![(delay, bytes.clone())];
         if self.rng.chance(self.profile.duplicate) {
             self.stats.duplicated += 1;
@@ -206,5 +365,102 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn burst_loss_is_correlated() {
+        // Sticky states: long bursts of loss separated by long clean runs.
+        let profile = FaultProfile::none()
+            .with_burst(BurstLoss::gilbert(0.02, 0.1, 1.0));
+        let mut inj = injector(profile);
+        let outcomes: Vec<bool> =
+            (0..20_000).map(|_| inj.apply(b"x").deliveries.is_empty()).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count();
+        // Stationary bad-state share is 0.02/(0.02+0.1) = 1/6.
+        let frac = losses as f64 / outcomes.len() as f64;
+        assert!((frac - 1.0 / 6.0).abs() < 0.05, "loss fraction {frac}");
+        // Correlation: a loss is followed by another loss far more often
+        // than the marginal loss rate (runs average 10 frames).
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let repeats = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = repeats as f64 / pairs as f64;
+        assert!(cond > 0.8, "P(loss|loss) = {cond} should reflect bursts");
+        assert_eq!(inj.stats().burst_dropped, losses as u64);
+    }
+
+    #[test]
+    fn jitter_delays_within_bound() {
+        let j = Dur::from_millis(2);
+        let mut inj = injector(FaultProfile::none().with_jitter(j));
+        let mut saw_nonzero = false;
+        for _ in 0..500 {
+            let fate = inj.apply(b"y");
+            assert!(fate.deliveries[0].0 <= j);
+            saw_nonzero |= fate.deliveries[0].0 > Dur::ZERO;
+        }
+        assert!(saw_nonzero);
+        assert!(inj.stats().jittered > 0);
+    }
+
+    #[test]
+    fn disabled_chaos_features_leave_stream_untouched() {
+        // A profile without burst/jitter must consume the same rng draws as
+        // before those knobs existed: adding the features must not perturb
+        // existing seeded experiments.
+        let base = FaultProfile::hostile(0.3, Dur::from_millis(2));
+        let mut plain = FaultInjector::new(base.clone(), DetRng::new(42));
+        let mut chaotic = FaultInjector::new(
+            base.with_burst(BurstLoss::gilbert(0.5, 0.5, 0.01)).with_jitter(Dur::ZERO),
+            DetRng::new(42),
+        );
+        // The burst chain consumes extra draws, so the streams diverge...
+        let a: Vec<_> = (0..50).map(|_| plain.apply(b"frame")).collect();
+        let b: Vec<_> = (0..50).map(|_| chaotic.apply(b"frame")).collect();
+        assert_ne!(a, b);
+        // ...whereas burst=None + jitter=0 reproduces the original stream.
+        let mut plain2 = FaultInjector::new(
+            FaultProfile::hostile(0.3, Dur::from_millis(2)),
+            DetRng::new(42),
+        );
+        let c: Vec<_> = (0..50).map(|_| plain2.apply(b"frame")).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(FaultProfile::none().validate().is_ok());
+        assert_eq!(
+            FaultProfile::lossy(1.5).validate(),
+            Err(FaultConfigError::ProbabilityOutOfRange { field: "drop", value: 1.5 })
+        );
+        assert!(FaultProfile::lossy(-0.1).validate().is_err());
+        assert!(FaultProfile::lossy(f64::NAN).validate().is_err());
+        let bad_burst = FaultProfile::none().with_burst(BurstLoss::gilbert(0.1, 2.0, 0.5));
+        assert!(matches!(
+            bad_burst.validate(),
+            Err(FaultConfigError::ProbabilityOutOfRange { field: "burst.p_bad_to_good", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_reorder_without_delay() {
+        let p = FaultProfile::none().with_reorder(0.5, Dur::ZERO);
+        assert_eq!(p.validate(), Err(FaultConfigError::ZeroReorderDelay));
+        assert!(FaultProfile::none().with_reorder(0.5, Dur::from_millis(1)).validate().is_ok());
+    }
+
+    #[test]
+    fn injector_clamps_wild_profiles() {
+        // Out-of-range probabilities degrade to certainties, not misbehaviour.
+        let mut inj = injector(FaultProfile::lossy(7.0));
+        assert_eq!(inj.profile().drop, 1.0);
+        assert!(inj.apply(b"z").deliveries.is_empty());
+        let mut inj = injector(FaultProfile::lossy(f64::NAN).with_corrupt(-3.0));
+        assert_eq!(inj.profile().drop, 0.0);
+        assert_eq!(inj.profile().corrupt, 0.0);
+        assert_eq!(inj.apply(b"z").deliveries.len(), 1);
+        // reorder with zero delay is disabled rather than silently useless.
+        let inj = injector(FaultProfile::none().with_reorder(1.0, Dur::ZERO));
+        assert_eq!(inj.profile().reorder, 0.0);
     }
 }

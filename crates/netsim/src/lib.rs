@@ -7,7 +7,11 @@
 //! * a deterministic, forkable PRNG ([`DetRng`]);
 //! * a tie-break-stable event queue ([`EventQueue`]);
 //! * fault injection ([`FaultProfile`], [`FaultInjector`]) with drop,
-//!   single-bit corruption, duplication and reordering;
+//!   single-bit corruption, duplication, reordering, Gilbert–Elliott burst
+//!   loss ([`BurstLoss`]) and delay jitter;
+//! * replayable chaos campaigns ([`AdminOp`]): scheduled link partitions
+//!   and flaps, rate throttling, fault-profile swaps, and node restarts
+//!   with state loss;
 //! * point-to-point links with propagation delay, serialization delay and
 //!   MTU ([`LinkParams`]);
 //! * a multi-node simulator ([`SimNet`]) hosting [`Node`]s;
@@ -26,10 +30,10 @@ pub mod stack;
 pub mod time;
 
 pub use event::EventQueue;
-pub use fault::{FaultInjector, FaultProfile, FaultStats, Fate};
-pub use net::{DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, PortId, SimNet, TimerId};
+pub use fault::{BurstLoss, FaultConfigError, FaultInjector, FaultProfile, FaultStats, Fate};
+pub use net::{AdminOp, DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, PortId, SimNet, TimerId};
 pub use rng::DetRng;
-pub use stack::{Stack, StackNode};
+pub use stack::{Stack, StackNode, TransportError};
 pub use time::{Dur, Time};
 
 /// Convenience: build a two-node network from two sans-IO stacks joined by

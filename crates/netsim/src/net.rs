@@ -129,9 +129,29 @@ impl NodeCtx {
     }
 }
 
+/// A scheduled change to the network itself (chaos campaigns): link
+/// partitions, profile/rate swaps, and node restarts, executed at a chosen
+/// simulated time like any other event so campaigns are fully replayable.
+#[derive(Clone, Debug)]
+pub enum AdminOp {
+    /// Sever the link: frames offered while down are counted and discarded.
+    LinkDown(LinkId),
+    /// Restore a severed link.
+    LinkUp(LinkId),
+    /// Swap the link's fault profile (both directions).
+    SetFault(LinkId, FaultProfile),
+    /// Change the link's transmission rate in bits/second (`0` = infinite).
+    SetRate(LinkId, u64),
+    /// Restart a node: its state is rebuilt from its registered factory and
+    /// all of its pending timers are invalidated. Frames already in flight
+    /// toward it still arrive (at the fresh instance).
+    RestartNode(NodeId),
+}
+
 enum Event {
     Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
-    Timer { node: NodeId, token: u64, id: TimerId },
+    Timer { node: NodeId, token: u64, id: TimerId, epoch: u64 },
+    Admin(AdminOp),
 }
 
 struct Direction {
@@ -153,13 +173,20 @@ pub struct DirStats {
     pub rx_bytes: u64,
     /// Frames dropped for exceeding the MTU.
     pub mtu_drops: u64,
+    /// Frames discarded because the link was partitioned (down).
+    pub partition_drops: u64,
 }
 
 struct Link {
     params: LinkParams,
     ends: [(NodeId, PortId); 2],
     dirs: [Direction; 2],
+    /// False while the link is partitioned by [`AdminOp::LinkDown`].
+    up: bool,
 }
+
+/// Rebuilds a node from scratch after [`AdminOp::RestartNode`].
+type NodeFactory = Box<dyn Fn() -> Box<dyn Node>>;
 
 /// The simulator: nodes, links, clock, and event queue.
 pub struct SimNet {
@@ -173,6 +200,12 @@ pub struct SimNet {
     next_timer: u64,
     cancelled: HashSet<TimerId>,
     events_processed: u64,
+    /// Bumped on restart; timers armed in an older epoch never fire.
+    node_epochs: Vec<u64>,
+    /// Rebuilds a node's state after [`AdminOp::RestartNode`].
+    factories: Vec<Option<NodeFactory>>,
+    /// Restarts performed, per node.
+    restarts: Vec<u64>,
 }
 
 impl SimNet {
@@ -188,6 +221,9 @@ impl SimNet {
             next_timer: 0,
             cancelled: HashSet::new(),
             events_processed: 0,
+            node_epochs: Vec::new(),
+            factories: Vec::new(),
+            restarts: Vec::new(),
         }
     }
 
@@ -205,7 +241,21 @@ impl SimNet {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         self.nodes.push(node);
         self.port_map.push(Vec::new());
+        self.node_epochs.push(0);
+        self.factories.push(None);
+        self.restarts.push(0);
         self.nodes.len() - 1
+    }
+
+    /// Add a node built by `factory`, which is kept so the node can be
+    /// restarted (state loss) by [`AdminOp::RestartNode`].
+    pub fn add_restartable_node(
+        &mut self,
+        factory: impl Fn() -> Box<dyn Node> + 'static,
+    ) -> NodeId {
+        let id = self.add_node(factory());
+        self.factories[id] = Some(Box::new(factory));
+        id
     }
 
     /// Number of nodes.
@@ -234,6 +284,7 @@ impl SimNet {
                 Direction { injector: f0, busy_until: Time::ZERO, stats: DirStats::default() },
                 Direction { injector: f1, busy_until: Time::ZERO, stats: DirStats::default() },
             ],
+            up: true,
         });
         for (node, port, dir) in [(a, ap, 0), (b, bp, 1)] {
             let ports = &mut self.port_map[node];
@@ -261,6 +312,73 @@ impl SimNet {
     /// Restore a failed link to a perfect link.
     pub fn heal_link(&mut self, link: LinkId) {
         self.set_link_fault(link, FaultProfile::none());
+    }
+
+    /// Whether the link is currently up (not partitioned).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link].up
+    }
+
+    /// Partition or restore a link immediately.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link].up = up;
+    }
+
+    /// Restarts performed on a node so far.
+    pub fn node_restarts(&self, node: NodeId) -> u64 {
+        self.restarts[node]
+    }
+
+    /// Schedule an [`AdminOp`] to execute at simulated time `at`.
+    pub fn schedule_admin(&mut self, at: Time, op: AdminOp) {
+        self.queue.push(at.max(self.now), Event::Admin(op));
+    }
+
+    /// Schedule a partition at `down_at` healed at `up_at`.
+    pub fn schedule_partition(&mut self, link: LinkId, down_at: Time, up_at: Time) {
+        self.schedule_admin(down_at, AdminOp::LinkDown(link));
+        self.schedule_admin(up_at, AdminOp::LinkUp(link));
+    }
+
+    /// Schedule `cycles` down/up flaps: the link goes down at `first_down`,
+    /// stays down for `down_for`, comes back for `up_for`, and repeats.
+    pub fn schedule_link_flaps(
+        &mut self,
+        link: LinkId,
+        first_down: Time,
+        down_for: Dur,
+        up_for: Dur,
+        cycles: u32,
+    ) {
+        let mut t = first_down;
+        for _ in 0..cycles {
+            self.schedule_partition(link, t, t + down_for);
+            t = t + down_for + up_for;
+        }
+    }
+
+    /// Restart a node immediately: rebuild it from its factory, invalidate
+    /// its pending timers, and poll the fresh instance so it can start up.
+    /// Panics if the node was not added via
+    /// [`SimNet::add_restartable_node`].
+    pub fn restart_node(&mut self, node: NodeId) {
+        let factory = self.factories[node]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {node} has no factory; cannot restart"));
+        self.nodes[node] = factory();
+        self.node_epochs[node] += 1;
+        self.restarts[node] += 1;
+        self.poll_node(node);
+    }
+
+    fn apply_admin(&mut self, op: AdminOp) {
+        match op {
+            AdminOp::LinkDown(l) => self.links[l].up = false,
+            AdminOp::LinkUp(l) => self.links[l].up = true,
+            AdminOp::SetFault(l, f) => self.set_link_fault(l, f),
+            AdminOp::SetRate(l, bps) => self.links[l].params.rate_bps = bps,
+            AdminOp::RestartNode(n) => self.restart_node(n),
+        }
     }
 
     /// Fault statistics for one direction (`0` = first endpoint transmitting).
@@ -299,7 +417,8 @@ impl SimNet {
             match action {
                 Action::Send { port, frame } => self.transmit(node, port, frame),
                 Action::Arm { at, token, id } => {
-                    self.queue.push(at, Event::Timer { node, token, id });
+                    let epoch = self.node_epochs[node];
+                    self.queue.push(at, Event::Timer { node, token, id, epoch });
                 }
                 Action::Cancel { id } => {
                     self.cancelled.insert(id);
@@ -319,6 +438,10 @@ impl SimNet {
         let dir = &mut link.dirs[dir_idx];
         dir.stats.tx_frames += 1;
         dir.stats.tx_bytes += frame.len() as u64;
+        if !link.up {
+            dir.stats.partition_drops += 1;
+            return;
+        }
         if link.params.mtu != 0 && frame.len() > link.params.mtu {
             dir.stats.mtu_drops += 1;
             return;
@@ -359,8 +482,8 @@ impl SimNet {
         }
     }
 
-    /// Drop cancelled timers from the head of the queue, then return the
-    /// time of the next *live* event.
+    /// Drop cancelled and stale-epoch timers from the head of the queue,
+    /// then return the time of the next *live* event.
     fn live_peek_time(&mut self) -> Option<Time> {
         loop {
             match self.queue.peek() {
@@ -368,6 +491,11 @@ impl SimNet {
                     let id = *id;
                     self.queue.pop();
                     self.cancelled.remove(&id);
+                }
+                Some((_, Event::Timer { node, epoch, .. }))
+                    if *epoch != self.node_epochs[*node] =>
+                {
+                    self.queue.pop();
                 }
                 Some((t, _)) => return Some(t),
                 None => return None,
@@ -383,6 +511,14 @@ impl SimNet {
             debug_assert!(at >= self.now, "time moved backwards");
             match ev {
                 Event::Timer { id, .. } if self.cancelled.remove(&id) => continue,
+                // A timer armed before its node restarted belongs to state
+                // that no longer exists.
+                Event::Timer { node, epoch, .. } if epoch != self.node_epochs[node] => continue,
+                Event::Admin(op) => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    self.apply_admin(op);
+                }
                 Event::Deliver { node, port, frame } => {
                     self.now = at;
                     self.events_processed += 1;
@@ -620,5 +756,135 @@ mod tests {
         net.poll_all(); // Pinger sends on port 0, which has no link.
         net.run_to_idle(Time::ZERO + Dur::from_secs(1));
         assert!(net.node::<Pinger>(p).replies.is_empty());
+    }
+
+    /// Sends one frame per millisecond, forever (stopped by the deadline).
+    struct Beacon {
+        next: u64,
+    }
+    impl Node for Beacon {
+        fn on_frame(&mut self, _: PortId, _: Vec<u8>, _: &mut NodeCtx) {}
+        fn on_timer(&mut self, _: u64, ctx: &mut NodeCtx) {
+            ctx.send(0, vec![self.next as u8]);
+            self.next += 1;
+            ctx.arm_in(Dur::from_millis(1), 0);
+        }
+        fn poll(&mut self, ctx: &mut NodeCtx) {
+            if self.next == 0 {
+                self.next = 1;
+                ctx.send(0, vec![0]);
+                ctx.arm_in(Dur::from_millis(1), 0);
+            }
+        }
+    }
+    struct Count {
+        frames: u64,
+    }
+    impl Node for Count {
+        fn on_frame(&mut self, _: PortId, _: Vec<u8>, _: &mut NodeCtx) {
+            self.frames += 1;
+        }
+        fn on_timer(&mut self, _: u64, _: &mut NodeCtx) {}
+    }
+
+    #[test]
+    fn scheduled_partition_blackholes_frames() {
+        let mut net = SimNet::new(4);
+        let b = net.add_node(Box::new(Beacon { next: 0 }));
+        let c = net.add_node(Box::new(Count { frames: 0 }));
+        let link = net.connect(b, 0, c, 0, LinkParams::delay_only(Dur::ZERO));
+        // Down during [10ms, 20ms): 10 of the first 30 beacons vanish.
+        net.schedule_partition(
+            link,
+            Time::ZERO + Dur::from_millis(10),
+            Time::ZERO + Dur::from_millis(20),
+        );
+        net.poll_all();
+        net.run_until(Time::ZERO + Dur::from_millis(29));
+        assert_eq!(net.node::<Count>(c).frames, 20);
+        assert_eq!(net.link_dir_stats(link, 0).partition_drops, 10);
+        assert!(net.link_is_up(link));
+    }
+
+    #[test]
+    fn link_flaps_alternate_up_and_down() {
+        let mut net = SimNet::new(4);
+        let b = net.add_node(Box::new(Beacon { next: 0 }));
+        let c = net.add_node(Box::new(Count { frames: 0 }));
+        let link = net.connect(b, 0, c, 0, LinkParams::delay_only(Dur::ZERO));
+        // Three flaps: down 5 ms, up 5 ms, starting at 10 ms.
+        net.schedule_link_flaps(
+            link,
+            Time::ZERO + Dur::from_millis(10),
+            Dur::from_millis(5),
+            Dur::from_millis(5),
+            3,
+        );
+        net.poll_all();
+        net.run_until(Time::ZERO + Dur::from_millis(49));
+        // 50 beacons offered; 3 × 5 dropped while down.
+        assert_eq!(net.link_dir_stats(link, 0).partition_drops, 15);
+        assert_eq!(net.node::<Count>(c).frames, 35);
+    }
+
+    #[test]
+    fn scheduled_rate_change_applies() {
+        let mut net = SimNet::new(4);
+        let b = net.add_node(Box::new(Beacon { next: 0 }));
+        let c = net.add_node(Box::new(Count { frames: 0 }));
+        let link = net.connect(b, 0, c, 0, LinkParams::delay_only(Dur::ZERO));
+        assert_eq!(net.links[link].params.rate_bps, 0);
+        net.schedule_admin(Time::ZERO + Dur::from_millis(1), AdminOp::SetRate(link, 1_000_000));
+        net.poll_all();
+        net.run_until(Time::ZERO + Dur::from_millis(5));
+        assert_eq!(net.links[link].params.rate_bps, 1_000_000);
+    }
+
+    #[test]
+    fn node_restart_loses_state_and_invalidates_timers() {
+        let mut net = SimNet::new(4);
+        let b = net.add_restartable_node(|| Box::new(Beacon { next: 0 }));
+        let c = net.add_node(Box::new(Count { frames: 0 }));
+        net.connect(b, 0, c, 0, LinkParams::delay_only(Dur::ZERO));
+        net.schedule_admin(Time::ZERO + Dur::from_millis(10), AdminOp::RestartNode(b));
+        net.poll_all();
+        net.run_until(Time::ZERO + Dur::from_millis(20));
+        // The fresh instance restarted its sequence from zero...
+        assert_eq!(net.node_restarts(b), 1);
+        let fresh = net.node::<Beacon>(b);
+        assert!(fresh.next < 15, "state should have been lost, next={}", fresh.next);
+        // ...and exactly one beacon cadence survived (the old epoch's timer
+        // chain died with the restart; only the new chain ticks).
+        let frames = net.node::<Count>(c).frames;
+        assert_eq!(frames, 21, "beacons 0..10ms, restart tick, then 11..20ms");
+    }
+
+    #[test]
+    fn restart_campaign_is_deterministic() {
+        let run = || {
+            let mut net = SimNet::new(77);
+            let b = net.add_restartable_node(|| Box::new(Beacon { next: 0 }));
+            let c = net.add_node(Box::new(Count { frames: 0 }));
+            let link = net.connect(
+                b,
+                0,
+                c,
+                0,
+                LinkParams::delay_only(Dur::from_micros(100))
+                    .with_fault(FaultProfile::lossy(0.3)),
+            );
+            net.schedule_link_flaps(
+                link,
+                Time::ZERO + Dur::from_millis(3),
+                Dur::from_millis(2),
+                Dur::from_millis(2),
+                2,
+            );
+            net.schedule_admin(Time::ZERO + Dur::from_millis(7), AdminOp::RestartNode(b));
+            net.poll_all();
+            net.run_until(Time::ZERO + Dur::from_millis(15));
+            (net.node::<Count>(c).frames, net.link_fault_stats(link, 0).clone())
+        };
+        assert_eq!(run(), run());
     }
 }

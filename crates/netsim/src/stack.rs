@@ -11,6 +11,39 @@
 use crate::net::{Node, NodeCtx, PortId, TimerId};
 use crate::time::Time;
 
+/// Terminal connection failure surfaced by a transport stack.
+///
+/// Graceful degradation contract: when a peer vanishes or a link stays
+/// partitioned past the retry budget, a stack must *abort* the affected
+/// connection and report one of these — never hang, spin, or panic. Both the
+/// sublayered stack and the monolithic baseline surface the same vocabulary
+/// so chaos campaigns can assert parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransportError {
+    /// Data retransmissions were exhausted without the peer acknowledging
+    /// progress.
+    RetriesExhausted,
+    /// The peer reset the connection (inbound RST).
+    Reset,
+    /// Keepalive probes went unanswered; the peer is presumed gone.
+    PeerVanished,
+    /// The connection never completed establishment (SYN retries exhausted).
+    HandshakeFailed,
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::RetriesExhausted => write!(f, "connection aborted: retries exhausted"),
+            TransportError::Reset => write!(f, "connection reset by peer"),
+            TransportError::PeerVanished => write!(f, "connection aborted: peer vanished"),
+            TransportError::HandshakeFailed => write!(f, "connection aborted: handshake failed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// A poll-driven protocol endpoint.
 pub trait Stack: 'static {
     /// Handle a frame received at `now`.

@@ -1,0 +1,396 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real crates-io `proptest` cannot be resolved. This crate implements the
+//! (small) subset of its API that the workspace's property tests use, with
+//! the same call syntax, so the tests compile unchanged:
+//!
+//! * the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   argument forms;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: integer ranges (`0u8..32`, `1usize..=8`),
+//!   `num::<ty>::ANY`, `bool::ANY`, `collection::vec`, `option::of`, and
+//!   tuples of strategies.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its generated input verbatim), and a fixed deterministic seed per case
+//! index, so failures reproduce exactly across runs. The case count
+//! defaults to 64 and can be raised via `PROPTEST_CASES`.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Deterministic splitmix64 generator driving all value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        assert!(n > 0);
+        // 128 random bits mod n; the modulo bias is irrelevant for testing.
+        let hi = self.next_u64() as u128;
+        let lo = self.next_u64() as u128;
+        ((hi << 64) | lo) % n
+    }
+}
+
+/// A generator of random values (the real crate's `Strategy`, minus
+/// shrinking). `Value` is not bound by `Debug` because std tuples above
+/// arity 12 aren't; the [`proptest!`] macro renders inputs per-argument
+/// instead.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Types with a natural "any value" strategy (`name: Type` arguments).
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy generating any value of `T` (see [`any`]).
+pub struct AnyOf<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy behind `name: Type` macro arguments.
+pub fn any<T: Arbitrary>() -> AnyOf<T> {
+    AnyOf(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_mod {
+    ($($m:ident => $t:ty),*) => {$(
+        pub mod $m {
+            /// `ANY`'s strategy type for this primitive.
+            pub struct Any;
+            pub const ANY: Any = Any;
+            impl crate::Strategy for Any {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                    <$t as crate::Arbitrary>::arbitrary(rng)
+                }
+            }
+        }
+    )*};
+}
+
+/// `proptest::num::<ty>::ANY` equivalents.
+pub mod num {
+    any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+}
+
+// `proptest::bool::ANY`.
+any_mod!(bool => bool);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, otherwise `Some` of the inner
+    /// strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A0) (A0, A1) (A0, A1, A2) (A0, A1, A2, A3) (A0, A1, A2, A3, A4)
+    (A0, A1, A2, A3, A4, A5) (A0, A1, A2, A3, A4, A5, A6)
+    (A0, A1, A2, A3, A4, A5, A6, A7)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18, A19)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18, A19, A20)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18, A19, A20, A21)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18, A19, A20, A21, A22)
+    (A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16, A17, A18, A19, A20, A21, A22, A23)
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive one property: generate `case_count()` inputs and run the body on
+/// each. Called by the [`proptest!`] macro expansion, not directly.
+pub fn run_cases<S: Strategy>(strat: S, body: impl Fn(S::Value) -> Result<(), String>) {
+    for case in 0..case_count() {
+        let mut rng = TestRng::new(0x5eed_0000 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strat.generate(&mut rng);
+        if let Err(msg) = body(value) {
+            panic!("property failed on case {case}: {msg}");
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps each `fn` in a case-generation loop.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__prop_case!([$(#[$meta])*] $name, [] [$($args)*] $body);
+        $crate::proptest!($($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_case {
+    // All arguments parsed: emit the test function.
+    ([$($meta:tt)*] $name:ident, [$(($pat:ident, $strat:expr))*] [] $body:block) => {
+        $($meta)*
+        fn $name() {
+            $crate::run_cases(($($strat,)*), |($($pat,)*)| {
+                let mut __inputs = ::std::string::String::new();
+                $(__inputs.push_str(&::std::format!(
+                    "{} = {:?}; ", ::std::stringify!($pat), &$pat));)*
+                let __inner = move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __inner().map_err(|e| ::std::format!("{e}\n    inputs: {__inputs}"))
+            });
+        }
+    };
+    // `name in strategy` argument, more to come.
+    ([$($meta:tt)*] $name:ident, [$($done:tt)*] [$p:ident in $e:expr, $($rest:tt)*] $body:block) => {
+        $crate::__prop_case!([$($meta)*] $name, [$($done)* ($p, $e)] [$($rest)*] $body);
+    };
+    // `name in strategy` argument, last, no trailing comma.
+    ([$($meta:tt)*] $name:ident, [$($done:tt)*] [$p:ident in $e:expr] $body:block) => {
+        $crate::__prop_case!([$($meta)*] $name, [$($done)* ($p, $e)] [] $body);
+    };
+    // `name: Type` argument, more to come.
+    ([$($meta:tt)*] $name:ident, [$($done:tt)*] [$p:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::__prop_case!([$($meta)*] $name, [$($done)* ($p, $crate::any::<$t>())] [$($rest)*] $body);
+    };
+    // `name: Type` argument, last, no trailing comma.
+    ([$($meta:tt)*] $name:ident, [$($done:tt)*] [$p:ident : $t:ty] $body:block) => {
+        $crate::__prop_case!([$($meta)*] $name, [$($done)* ($p, $crate::any::<$t>())] [] $body);
+    };
+}
+
+/// Assert inside a property body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {l:?} != {r:?}"));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        if l != r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {l:?} != {r:?} ({})", format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0usize..=2).generate(&mut rng);
+            assert!(w <= 2);
+            let s = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = collection::vec(num::u8::ANY, 1..9).generate(&mut rng);
+            assert!((1..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = TestRng::new(3);
+        let vals: Vec<Option<u8>> =
+            (0..100).map(|_| option::of(num::u8::ANY).generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = TestRng::new(seed);
+            collection::vec((num::u32::ANY, 0u8..=32), 0..40).generate(&mut rng)
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_mixed_arg_forms(
+            x: u16,
+            n in 1usize..4,
+            data in collection::vec(bool::ANY, 0..10),
+        ) {
+            prop_assert!((1..4).contains(&n));
+            prop_assert_eq!(x, x, "x must equal itself, n={}", n);
+            prop_assert!(data.len() < 10);
+        }
+
+        #[test]
+        fn macro_single_arg(v in collection::vec(num::u8::ANY, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+}

@@ -510,7 +510,7 @@ mod tests {
         // The classic theorem: selective repeat needs S >= 2W.
         for (w, s_mod) in [(2u8, 3u8), (2, 2), (3, 4)] {
             let r = check(&SlidingWindow { w, s_mod, n_msgs: s_mod + 2 }, 2_000_000);
-            let v = r.violation.expect(&format!("W={w} S={s_mod} must alias"));
+            let v = r.violation.unwrap_or_else(|| panic!("W={w} S={s_mod} must alias"));
             assert!(v.reason.contains("aliasing"), "{v:?}");
             assert!(!v.actions.is_empty());
         }

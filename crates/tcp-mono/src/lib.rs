@@ -21,7 +21,7 @@ pub mod stack;
 pub mod wire;
 
 pub use pcb::{Pcb, TcpState, DEFAULT_MSS};
-pub use stack::{TcpStack, TcpStats};
+pub use stack::{Keepalive, TcpStack, TcpStats};
 pub use wire::{Endpoint, FourTuple, Segment};
 
 #[cfg(test)]

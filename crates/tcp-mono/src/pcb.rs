@@ -113,6 +113,12 @@ pub struct Pcb {
     pub persist_deadline: Option<Time>,
     pub retries: u32,
 
+    // --- keepalive ---
+    /// Last time any segment arrived for this connection.
+    pub last_rx: Time,
+    /// Unanswered keepalive probes since `last_rx`.
+    pub ka_probes: u32,
+
     pub mss: u32,
     /// Set when we owe the peer an ACK.
     pub ack_pending: bool,
@@ -151,6 +157,8 @@ impl Pcb {
             time_wait_deadline: None,
             persist_deadline: None,
             retries: 0,
+            last_rx: Time::ZERO,
+            ka_probes: 0,
             mss: DEFAULT_MSS as u32,
             ack_pending: false,
         }

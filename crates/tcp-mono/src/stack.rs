@@ -13,7 +13,7 @@
 use crate::pcb::*;
 use crate::seq;
 use crate::wire::{Endpoint, FourTuple, Segment, ACK, FIN, PSH, RST, SYN};
-use netsim::{Dur, Stack, Time};
+use netsim::{Dur, Stack, Time, TransportError};
 use slmetrics::SharedLog;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -29,6 +29,28 @@ pub struct TcpStats {
     pub rsts_sent: u64,
     pub conns_opened: u64,
     pub conns_reset: u64,
+    pub keepalive_probes: u64,
+}
+
+/// Keepalive policy (off by default; see [`TcpStack::set_keepalive`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Keepalive {
+    /// Idle time before the first probe.
+    pub idle: Dur,
+    /// Gap between successive unanswered probes.
+    pub interval: Dur,
+    /// Unanswered probes tolerated before the connection is aborted.
+    pub max_probes: u32,
+}
+
+impl Default for Keepalive {
+    fn default() -> Keepalive {
+        Keepalive {
+            idle: Dur::from_secs(10),
+            interval: Dur::from_secs(2),
+            max_probes: 5,
+        }
+    }
 }
 
 // Subfunction labels for the entanglement instrumentation.
@@ -46,6 +68,10 @@ pub struct TcpStack {
     conns: HashMap<FourTuple, Pcb>,
     outbox: VecDeque<Vec<u8>>,
     log: SharedLog,
+    keepalive: Option<Keepalive>,
+    /// Terminal error per connection; survives the PCB so the application
+    /// can ask *why* a connection died after it is gone.
+    errors: HashMap<FourTuple, TransportError>,
     pub stats: TcpStats,
 }
 
@@ -57,12 +83,25 @@ impl TcpStack {
             conns: HashMap::new(),
             outbox: VecDeque::new(),
             log,
+            keepalive: None,
+            errors: HashMap::new(),
             stats: TcpStats::default(),
         }
     }
 
     pub fn addr(&self) -> u32 {
         self.addr
+    }
+
+    /// Enable keepalive probing for all connections on this host.
+    pub fn set_keepalive(&mut self, ka: Keepalive) {
+        self.keepalive = Some(ka);
+    }
+
+    /// The terminal error recorded for `tuple`, if the connection was
+    /// aborted (locally or by the peer) rather than closed cleanly.
+    pub fn conn_error(&self, tuple: FourTuple) -> Option<TransportError> {
+        self.errors.get(&tuple).copied()
     }
 
     /// RFC 793 clock-driven ISN ("unique in time using the low-order bits
@@ -98,6 +137,7 @@ impl TcpStack {
         pcb.snd_nxt = iss.wrapping_add(1);
         pcb.snd_max = pcb.snd_nxt;
         pcb.rto_deadline = Some(now + pcb.rto);
+        pcb.last_rx = now;
         self.stats.conns_opened += 1;
         self.send_syn(&mut pcb, false);
         self.conns.insert(tuple, pcb);
@@ -151,19 +191,25 @@ impl TcpStack {
     /// Hard reset.
     pub fn abort(&mut self, tuple: FourTuple) {
         if let Some(pcb) = self.conns.remove(&tuple) {
-            let seg = Segment {
-                src: pcb.tuple.local,
-                dst: pcb.tuple.remote,
-                seq: pcb.snd_nxt,
-                ack: pcb.rcv_nxt,
-                flags: RST | ACK,
-                wnd: 0,
-                mss: None,
-                payload: Vec::new(),
-            };
-            self.stats.rsts_sent += 1;
-            self.push(seg);
+            self.errors.entry(tuple).or_insert(TransportError::Reset);
+            self.send_rst(&pcb);
         }
+    }
+
+    /// RST the peer of an existing connection.
+    fn send_rst(&mut self, pcb: &Pcb) {
+        let seg = Segment {
+            src: pcb.tuple.local,
+            dst: pcb.tuple.remote,
+            seq: pcb.snd_nxt,
+            ack: pcb.rcv_nxt,
+            flags: RST | ACK,
+            wnd: 0,
+            mss: None,
+            payload: Vec::new(),
+        };
+        self.stats.rsts_sent += 1;
+        self.push(seg);
     }
 
     pub fn state(&self, tuple: FourTuple) -> TcpState {
@@ -407,6 +453,7 @@ impl TcpStack {
                     pcb.mss = pcb.mss.min(m as u32);
                 }
                 pcb.rto_deadline = Some(now + pcb.rto);
+                pcb.last_rx = now;
                 self.stats.conns_opened += 1;
                 self.send_syn(&mut pcb, true);
                 self.conns.insert(tuple, pcb);
@@ -415,6 +462,10 @@ impl TcpStack {
             }
             return;
         };
+
+        // Any segment from the peer proves liveness.
+        pcb.last_rx = now;
+        pcb.ka_probes = 0;
 
         // ---- connection management: SYN_SENT ----
         if pcb.state == TcpState::SynSent {
@@ -430,6 +481,7 @@ impl TcpStack {
             if seg.rst() {
                 if seg.ack_flag() {
                     self.stats.conns_reset += 1; // connection refused
+                    self.errors.entry(tuple).or_insert(TransportError::Reset);
                     return; // pcb dropped
                 }
                 self.conns.insert(tuple, pcb);
@@ -541,6 +593,7 @@ impl TcpStack {
         // ---- connection management: RST / stray SYN ----
         if seg.rst() {
             self.stats.conns_reset += 1;
+            self.errors.entry(tuple).or_insert(TransportError::Reset);
             return; // pcb dropped
         }
         if seg.syn() {
@@ -838,8 +891,19 @@ impl TcpStack {
                     _ => pcb.retries > MAX_RETRIES,
                 };
                 if give_up {
+                    // Abandon the connection, but *surface* the failure:
+                    // record why it died and tell the peer (best effort —
+                    // on a dead path the RST is lost, which is fine).
+                    let why = match pcb.state {
+                        TcpState::SynSent | TcpState::SynRcvd => {
+                            TransportError::HandshakeFailed
+                        }
+                        _ => TransportError::RetriesExhausted,
+                    };
+                    self.errors.entry(tuple).or_insert(why);
                     self.stats.conns_reset += 1;
-                    continue; // abandon the connection
+                    self.send_rst(&pcb);
+                    continue; // PCB dropped
                 }
                 match pcb.state {
                     TcpState::SynSent => self.send_syn(&mut pcb, false),
@@ -893,6 +957,43 @@ impl TcpStack {
                 }
             }
 
+            // ---- keepalive: probe an idle peer, abort a vanished one ----
+            if let Some(ka) = self.keepalive {
+                if pcb.state == TcpState::Established {
+                    let due = pcb.last_rx
+                        + ka.idle
+                        + ka.interval.saturating_mul(pcb.ka_probes as u64);
+                    if now >= due {
+                        if pcb.ka_probes >= ka.max_probes {
+                            self.log.borrow_mut().w(TIMERS, "state");
+                            self.errors
+                                .entry(tuple)
+                                .or_insert(TransportError::PeerVanished);
+                            self.stats.conns_reset += 1;
+                            self.send_rst(&pcb);
+                            continue; // PCB dropped
+                        }
+                        // Probe one byte *behind* snd_nxt: unacceptable to
+                        // the peer, which therefore answers with a bare
+                        // ack (the RFC 793 rule on_segment already obeys).
+                        self.log.borrow_mut().r(TIMERS, "snd_nxt");
+                        let seg = Segment {
+                            src: pcb.tuple.local,
+                            dst: pcb.tuple.remote,
+                            seq: pcb.snd_nxt.wrapping_sub(1),
+                            ack: pcb.rcv_nxt,
+                            flags: ACK,
+                            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                            mss: None,
+                            payload: Vec::new(),
+                        };
+                        self.push(seg);
+                        pcb.ka_probes += 1;
+                        self.stats.keepalive_probes += 1;
+                    }
+                }
+            }
+
             self.conns.insert(tuple, pcb);
         }
     }
@@ -921,7 +1022,14 @@ impl Stack for TcpStack {
         self.conns
             .values()
             .flat_map(|p| {
-                [p.rto_deadline, p.time_wait_deadline, p.persist_deadline]
+                let ka_due = self.keepalive.and_then(|ka| {
+                    (p.state == TcpState::Established).then(|| {
+                        p.last_rx
+                            + ka.idle
+                            + ka.interval.saturating_mul(p.ka_probes as u64)
+                    })
+                });
+                [p.rto_deadline, p.time_wait_deadline, p.persist_deadline, ka_due]
             })
             .flatten()
             .min()

@@ -1,9 +1,11 @@
 //! End-to-end tests for the monolithic stack over the simulator.
 
 use crate::pcb::TcpState;
-use crate::stack::TcpStack;
+use crate::stack::{Keepalive, TcpStack};
 use crate::wire::{Endpoint, FourTuple};
-use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
+use netsim::{
+    two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time, TransportError,
+};
 
 pub const A: u32 = 0x0A000001;
 pub const B: u32 = 0x0A000002;
@@ -355,6 +357,96 @@ fn abort_sends_rst_and_peer_resets() {
     assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
     assert_eq!(client(&mut net, ns).state(sconn), TcpState::Closed);
     assert!(client(&mut net, ns).stats.conns_reset >= 1);
+}
+
+#[test]
+fn partition_mid_transfer_surfaces_clean_abort() {
+    // Parity with the sublayered stack: a link that dies mid-transfer
+    // must end in a *reported* abort, never a hang.
+    let (mut net, nc, _ns, conn) = pair(40, LinkParams::delay_only(Dur::from_millis(10)));
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+    let data = vec![5u8; 200_000];
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    run_for(&mut net, Dur::from_millis(10));
+    net.set_link_up(0, false);
+    // MAX_RETRIES=10 with backoff to 60 s: exhaustion takes ~4 minutes.
+    run_for(&mut net, Dur::from_secs(400));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(
+        client(&mut net, nc).conn_error(conn),
+        Some(TransportError::RetriesExhausted)
+    );
+    assert!(net.link_dir_stats(0, 0).partition_drops > 0);
+    assert!(net.is_idle(), "no timers may keep spinning after the abort");
+}
+
+#[test]
+fn handshake_failure_on_dead_link_is_reported() {
+    let params =
+        LinkParams::delay_only(Dur::from_millis(5)).with_fault(FaultProfile::lossy(1.0));
+    let (mut net, nc, _ns, conn) = pair(41, params);
+    // SYN retries back off 1,2,4,...; MAX_SYN_RETRIES=6 exhausts in ~2 min.
+    run_for(&mut net, Dur::from_secs(200));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(
+        client(&mut net, nc).conn_error(conn),
+        Some(TransportError::HandshakeFailed)
+    );
+    assert!(net.is_idle());
+}
+
+#[test]
+fn keepalive_detects_vanished_peer_on_both_sides() {
+    let ka = Keepalive {
+        idle: Dur::from_secs(5),
+        interval: Dur::from_secs(1),
+        max_probes: 3,
+    };
+    let mut c = TcpStack::new(A, slmetrics::shared());
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    c.set_keepalive(ka);
+    s.set_keepalive(ka);
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+    let (mut net, nc, ns) = two_party(42, c, s, LinkParams::delay_only(Dur::from_millis(5)));
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    let sconn = client(&mut net, ns).established()[0];
+
+    // A healthy but idle connection survives: probes are answered.
+    run_for(&mut net, Dur::from_secs(30));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::Established);
+    assert!(client(&mut net, nc).stats.keepalive_probes > 0);
+
+    // Partition: probes go unanswered and both sides abort cleanly.
+    net.set_link_up(0, false);
+    run_for(&mut net, Dur::from_secs(30));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(client(&mut net, ns).state(sconn), TcpState::Closed);
+    assert_eq!(
+        client(&mut net, nc).conn_error(conn),
+        Some(TransportError::PeerVanished)
+    );
+    assert_eq!(
+        client(&mut net, ns).conn_error(sconn),
+        Some(TransportError::PeerVanished)
+    );
+    assert!(net.is_idle(), "dead keepalive conns must not leak timers");
+}
+
+#[test]
+fn local_abort_records_reset_on_both_ends() {
+    let (mut net, nc, ns, conn) = pair(43, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let sconn = client(&mut net, ns).established()[0];
+    client(&mut net, nc).abort(conn);
+    net.poll_all();
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).conn_error(conn), Some(TransportError::Reset));
+    assert_eq!(client(&mut net, ns).conn_error(sconn), Some(TransportError::Reset));
 }
 
 #[test]

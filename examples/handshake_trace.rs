@@ -21,7 +21,7 @@ fn main() {
 
     let mut now = Time::ZERO;
     for round in 0..30 {
-        now = now + Dur::from_millis(10);
+        now += Dur::from_millis(10);
         client.on_tick(now);
         server.on_tick(now);
         let mut quiet = true;
