@@ -1,0 +1,800 @@
+//! E14 — adversarial-peer robustness campaigns.
+//!
+//! A deterministic man-in-the-middle ([`netsim::Attacker`]) sits between a
+//! legitimate client and server and forges RSTs/SYNs/data at a configured
+//! sequence-guessing skill, replays frames, fuzzily mutates wire bytes and
+//! mounts spoofed-source SYN floods. Each `(profile, stack, seed)` run
+//! judges the RFC 5961-shaped invariants:
+//!
+//! * **liveness** — below the attacker's sequence-knowledge threshold the
+//!   legitimate transfer still completes, with byte-exact integrity;
+//! * **no spurious death** — a blind or merely in-window RST/SYN must not
+//!   kill an established connection (in-window suspicion is answered with
+//!   a challenge ACK instead);
+//! * **bounded memory** — half-open connections never exceed
+//!   `MAX_HALF_OPEN` and buffered bytes stay under the send/receive caps,
+//!   so a flood degrades throughput, not memory;
+//! * **honesty about the threshold** — an *exact*-sequence attacker (the
+//!   oracle profile) is indistinguishable from the real peer, so there the
+//!   connection is *expected* to die and the abort must be surfaced.
+//!
+//! Both stacks face the byte-identical attacker (same skill, same RNG
+//! stream); only the [`netsim::AttackCodec`] differs, which is exactly the
+//! like-for-like comparison experiment E14 reports.
+
+use netsim::{
+    AttackCodec, AttackConfig, Attacker, DetRng, Dur, LinkParams, SeqKnowledge, SimNet,
+    SnoopInfo, StackNode, Time, TransportError,
+};
+use slmetrics::AttackCounters;
+use sublayer_core::wire::{CmFlags, CmHeader, DmHeader, OsrHeader, Packet, RdHeader};
+use sublayer_core::{CmState, KeepaliveConfig, SlConfig, SlTcpStack};
+use tcp_mono::pcb::TcpState;
+use tcp_mono::stack::{Keepalive, TcpStack};
+use tcp_mono::wire::{Endpoint, Segment, ACK, RST, SYN};
+
+use crate::{A, B};
+
+/// Wall-clock (simulated) patience before declaring a run hung.
+const PATIENCE: Dur = Dur(600_000_000_000);
+/// Polling cadence of the application driver loop.
+const STEP: Dur = Dur(250_000_000);
+/// Bytes the legitimate flow transfers under attack.
+const PAYLOAD_LEN: usize = 120_000;
+/// Buffered-bytes ceiling per endpoint: the send-buffer cap plus receive
+/// reassembly caps plus slack. Both stacks use a 1 MiB send cap and
+/// ~64 KiB receive-side caps.
+const MEM_BOUND: usize = (1 << 20) + (128 << 10);
+
+fn t(ms: u64) -> Time {
+    Time::ZERO + Dur::from_millis(ms)
+}
+
+// ---------------------------------------------------------------------------
+// Codecs: per-stack wire knowledge for the protocol-agnostic attacker.
+// ---------------------------------------------------------------------------
+
+/// [`AttackCodec`] for the monolithic RFC 793 stack.
+pub struct MonoCodec;
+
+impl AttackCodec for MonoCodec {
+    fn snoop(&self, frame: &[u8]) -> Option<SnoopInfo> {
+        let seg = Segment::decode(frame).ok()?;
+        Some(SnoopInfo {
+            src_addr: seg.src.addr,
+            src_port: seg.src.port,
+            dst_addr: seg.dst.addr,
+            dst_port: seg.dst.port,
+            next_seq: seg.seq.wrapping_add(seg.seq_len()),
+            syn: seg.syn(),
+            rst: seg.rst(),
+        })
+    }
+
+    fn forge_rst(&self, flow: &SnoopInfo, seq: u32) -> Vec<u8> {
+        Segment {
+            src: Endpoint::new(flow.src_addr, flow.src_port),
+            dst: Endpoint::new(flow.dst_addr, flow.dst_port),
+            seq,
+            ack: 0,
+            flags: RST,
+            wnd: 0,
+            mss: None,
+            payload: Vec::new(),
+        }
+        .encode()
+    }
+
+    fn forge_syn(&self, flow: &SnoopInfo, isn: u32) -> Vec<u8> {
+        Segment {
+            src: Endpoint::new(flow.src_addr, flow.src_port),
+            dst: Endpoint::new(flow.dst_addr, flow.dst_port),
+            seq: isn,
+            ack: 0,
+            flags: SYN,
+            wnd: u16::MAX,
+            mss: Some(1400),
+            payload: Vec::new(),
+        }
+        .encode()
+    }
+
+    fn forge_data(&self, flow: &SnoopInfo, seq: u32, payload: &[u8]) -> Vec<u8> {
+        Segment {
+            src: Endpoint::new(flow.src_addr, flow.src_port),
+            dst: Endpoint::new(flow.dst_addr, flow.dst_port),
+            seq,
+            ack: 0,
+            flags: ACK,
+            wnd: u16::MAX,
+            mss: None,
+            payload: payload.to_vec(),
+        }
+        .encode()
+    }
+
+    fn forge_syn_to(
+        &self,
+        src_addr: u32,
+        src_port: u16,
+        dst_addr: u32,
+        dst_port: u16,
+        isn: u32,
+    ) -> Vec<u8> {
+        Segment {
+            src: Endpoint::new(src_addr, src_port),
+            dst: Endpoint::new(dst_addr, dst_port),
+            seq: isn,
+            ack: 0,
+            flags: SYN,
+            wnd: u16::MAX,
+            mss: Some(1400),
+            payload: Vec::new(),
+        }
+        .encode()
+    }
+}
+
+/// [`AttackCodec`] for the sublayered native stack.
+pub struct SubCodec;
+
+impl SubCodec {
+    fn base(src_addr: u32, src_port: u16, dst_addr: u32, dst_port: u16) -> Packet {
+        Packet {
+            src_addr,
+            dst_addr,
+            dm: DmHeader { src_port, dst_port },
+            cm: CmHeader::default(),
+            rd: RdHeader::default(),
+            // An honest window so a forged (then discarded) header can
+            // never zero-window-poison the victim's flow control.
+            osr: OsrHeader { ecn_echo: false, rcv_wnd: u16::MAX },
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl AttackCodec for SubCodec {
+    fn snoop(&self, frame: &[u8]) -> Option<SnoopInfo> {
+        let pkt = Packet::decode(frame).ok()?;
+        // A SYN's successor in the receiver's RD space is isn + 1; data
+        // advances by its payload length.
+        let next_seq = if pkt.cm.flags.syn {
+            pkt.cm.isn.wrapping_add(1)
+        } else {
+            pkt.rd.seq.wrapping_add(pkt.payload.len() as u32)
+        };
+        Some(SnoopInfo {
+            src_addr: pkt.src_addr,
+            src_port: pkt.dm.src_port,
+            dst_addr: pkt.dst_addr,
+            dst_port: pkt.dm.dst_port,
+            next_seq,
+            syn: pkt.cm.flags.syn,
+            rst: pkt.cm.flags.rst,
+        })
+    }
+
+    fn forge_rst(&self, flow: &SnoopInfo, seq: u32) -> Vec<u8> {
+        let mut p = SubCodec::base(flow.src_addr, flow.src_port, flow.dst_addr, flow.dst_port);
+        p.cm.flags = CmFlags { rst: true, ..CmFlags::default() };
+        p.rd.seq = seq;
+        p.encode()
+    }
+
+    fn forge_syn(&self, flow: &SnoopInfo, isn: u32) -> Vec<u8> {
+        let mut p = SubCodec::base(flow.src_addr, flow.src_port, flow.dst_addr, flow.dst_port);
+        p.cm.flags = CmFlags { syn: true, ..CmFlags::default() };
+        p.cm.isn = isn;
+        p.encode()
+    }
+
+    fn forge_data(&self, flow: &SnoopInfo, seq: u32, payload: &[u8]) -> Vec<u8> {
+        let mut p = SubCodec::base(flow.src_addr, flow.src_port, flow.dst_addr, flow.dst_port);
+        p.rd.seq = seq;
+        p.payload = payload.to_vec();
+        p.encode()
+    }
+
+    fn forge_syn_to(
+        &self,
+        src_addr: u32,
+        src_port: u16,
+        dst_addr: u32,
+        dst_port: u16,
+        isn: u32,
+    ) -> Vec<u8> {
+        let mut p = SubCodec::base(src_addr, src_port, dst_addr, dst_port);
+        p.cm.flags = CmFlags { syn: true, ..CmFlags::default() };
+        p.cm.isn = isn;
+        p.encode()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+/// One adversarial scenario (what the attacker does, and at what skill).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackProfile {
+    /// Honest bridge — sanity reference; nothing is forged.
+    Baseline,
+    /// Blind RST injection: random 32-bit sequences, mostly out of window.
+    BlindRst,
+    /// In-window RST injection: the classic blind-guessing attacker that
+    /// RFC 5961's challenge ACK exists for.
+    InWindowRst,
+    /// Oracle RST: exact next-sequence knowledge. Defenses are *expected*
+    /// to fail — this profile proves the harness isn't rigged.
+    OracleRst,
+    /// Stray SYNs injected into the established flow.
+    SynInject,
+    /// Blind data injection: random payloads at random sequences.
+    DataInject,
+    /// Spoofed-source SYN flood against the listener.
+    SynFlood,
+    /// Verbatim duplicate replay of legitimate frames.
+    Replay,
+    /// Fuzzy mutation: a forwarded frame has one bit flipped, checksum
+    /// not re-sealed — a decoder-robustness probe.
+    Mutate,
+}
+
+impl AttackProfile {
+    pub fn all() -> [AttackProfile; 9] {
+        [
+            AttackProfile::Baseline,
+            AttackProfile::BlindRst,
+            AttackProfile::InWindowRst,
+            AttackProfile::OracleRst,
+            AttackProfile::SynInject,
+            AttackProfile::DataInject,
+            AttackProfile::SynFlood,
+            AttackProfile::Replay,
+            AttackProfile::Mutate,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackProfile::Baseline => "baseline",
+            AttackProfile::BlindRst => "blind_rst",
+            AttackProfile::InWindowRst => "inwindow_rst",
+            AttackProfile::OracleRst => "oracle_rst",
+            AttackProfile::SynInject => "syn_inject",
+            AttackProfile::DataInject => "data_inject",
+            AttackProfile::SynFlood => "syn_flood",
+            AttackProfile::Replay => "replay",
+            AttackProfile::Mutate => "mutate",
+        }
+    }
+
+    /// The attacker's schedule and skill for this profile.
+    pub fn attack_config(&self) -> AttackConfig {
+        let mut cfg = AttackConfig::default();
+        match self {
+            AttackProfile::Baseline => {}
+            AttackProfile::BlindRst => cfg.rst_rate = 0.25,
+            AttackProfile::InWindowRst => {
+                cfg.knowledge = SeqKnowledge::InWindow;
+                cfg.rst_rate = 0.25;
+            }
+            AttackProfile::OracleRst => {
+                cfg.knowledge = SeqKnowledge::Exact;
+                cfg.rst_rate = 0.25;
+                // Let the legitimate connection establish first, so the
+                // kill demonstrably lands on an *established* flow.
+                cfg.start = t(500);
+            }
+            AttackProfile::SynInject => cfg.syn_rate = 0.25,
+            AttackProfile::DataInject => cfg.data_rate = 0.25,
+            AttackProfile::SynFlood => {
+                cfg.flood_syns = 8;
+                cfg.flood_interval = Dur::from_millis(50);
+                cfg.stop = Some(t(60_000));
+            }
+            AttackProfile::Replay => cfg.replay_rate = 0.3,
+            AttackProfile::Mutate => cfg.mutate_rate = 0.08,
+        }
+        cfg
+    }
+
+    /// Is the attacker above the sequence-knowledge threshold, i.e. is
+    /// connection death the *expected* outcome?
+    pub fn expect_reset(&self) -> bool {
+        matches!(self, AttackProfile::OracleRst)
+    }
+
+    /// Must the defense visibly engage (challenge ACKs observed)?
+    pub fn require_challenges(&self) -> bool {
+        matches!(self, AttackProfile::InWindowRst | AttackProfile::SynInject)
+    }
+
+    /// Must the flood fallback visibly engage (cookies or evictions)?
+    pub fn require_flood_fallback(&self) -> bool {
+        matches!(self, AttackProfile::SynFlood)
+    }
+
+    /// Must the hardened decoder visibly engage (bad frames rejected)?
+    pub fn require_bad_frames(&self) -> bool {
+        matches!(self, AttackProfile::Mutate)
+    }
+}
+
+/// Which transport a campaign exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackStack {
+    Mono,
+    Sub,
+}
+
+impl AttackStack {
+    pub fn all() -> [AttackStack; 2] {
+        [AttackStack::Mono, AttackStack::Sub]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackStack::Mono => "mono",
+            AttackStack::Sub => "sub",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome + judging
+// ---------------------------------------------------------------------------
+
+/// One campaign's result plus any invariant violations.
+#[derive(Clone, Debug)]
+pub struct AttackOutcome {
+    pub profile: &'static str,
+    pub stack: &'static str,
+    pub seed: u64,
+    pub payload: usize,
+    pub delivered: usize,
+    pub complete: bool,
+    pub client_error: Option<TransportError>,
+    pub server_error: Option<TransportError>,
+    pub sim_ms: u64,
+    pub wire_frames: u64,
+    /// Peak simultaneous half-open connections observed on the server.
+    pub max_half_open: usize,
+    /// Peak buffered bytes observed on either endpoint.
+    pub max_buffered: usize,
+    pub counters: AttackCounters,
+    pub violations: Vec<String>,
+}
+
+impl AttackOutcome {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Invariants every run must satisfy, plus the profile's expectations.
+fn judge(profile: AttackProfile, mut out: AttackOutcome, got: &[u8], payload: &[u8]) -> AttackOutcome {
+    // Integrity: whatever was delivered is a prefix of what was sent.
+    if got != &payload[..got.len().min(payload.len())] || got.len() > payload.len() {
+        out.violations.push("integrity: delivered bytes differ".into());
+    }
+    // Bounded memory, always.
+    if out.max_buffered > MEM_BOUND {
+        out.violations.push(format!(
+            "memory: {} buffered bytes > bound {}",
+            out.max_buffered, MEM_BOUND
+        ));
+    }
+    if out.max_half_open > tcp_mono::stack::MAX_HALF_OPEN {
+        out.violations.push(format!(
+            "half-open queue grew to {} > {}",
+            out.max_half_open,
+            tcp_mono::stack::MAX_HALF_OPEN
+        ));
+    }
+    if profile.expect_reset() {
+        // Above the knowledge threshold: the kill must land and surface.
+        if out.complete {
+            out.violations.push("oracle attacker failed to kill the flow".into());
+        }
+        if out.client_error.is_none() && out.server_error.is_none() {
+            out.violations.push("reset not surfaced to either application".into());
+        }
+    } else {
+        // Below the threshold: liveness — the legitimate flow completes
+        // and nobody died spuriously.
+        if !out.complete {
+            out.violations.push(format!(
+                "expected delivery, got {}/{} (client={:?} server={:?})",
+                out.delivered, out.payload, out.client_error, out.server_error
+            ));
+        }
+        if out.client_error.is_some() || out.server_error.is_some() {
+            out.violations.push(format!(
+                "spurious connection death: client={:?} server={:?}",
+                out.client_error, out.server_error
+            ));
+        }
+    }
+    if profile.require_challenges() && out.counters.challenge_acks == 0 {
+        out.violations.push("defense silent: no challenge ACKs issued".into());
+    }
+    if profile.require_flood_fallback()
+        && out.counters.syn_cookies_sent == 0
+        && out.counters.half_open_evictions == 0
+    {
+        out.violations.push("flood fallback silent: no cookies or evictions".into());
+    }
+    if profile.require_bad_frames() && out.counters.bad_frames_rejected == 0 {
+        out.violations.push("decoder silent: no mutated frames rejected".into());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+fn keepalive_mono() -> Keepalive {
+    Keepalive {
+        idle: Dur::from_secs(10),
+        interval: Dur::from_secs(2),
+        max_probes: 5,
+    }
+}
+
+fn keepalive_sub() -> KeepaliveConfig {
+    KeepaliveConfig {
+        idle: Dur::from_secs(10),
+        interval: Dur::from_secs(2),
+        max_probes: 5,
+    }
+}
+
+fn link() -> LinkParams {
+    LinkParams::delay_only(Dur::from_millis(5))
+}
+
+/// Run one `(profile, stack, seed)` campaign and judge its invariants.
+pub fn run_campaign(profile: AttackProfile, stack: AttackStack, seed: u64) -> AttackOutcome {
+    let payload: Vec<u8> = (0..PAYLOAD_LEN).map(|i| (i % 251) as u8).collect();
+    match stack {
+        AttackStack::Mono => run_mono(profile, seed, &payload),
+        AttackStack::Sub => run_sub(profile, seed, &payload),
+    }
+}
+
+fn run_mono(profile: AttackProfile, seed: u64, payload: &[u8]) -> AttackOutcome {
+    let mut c = TcpStack::new(A, slmetrics::shared());
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    c.set_keepalive(keepalive_mono());
+    s.set_keepalive(keepalive_mono());
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+
+    let mut net = SimNet::new(seed);
+    let nc = net.add_node(Box::new(StackNode::new(c)));
+    let na = net.add_node(Box::new(Attacker::new(
+        Box::new(MonoCodec),
+        profile.attack_config(),
+        DetRng::new(seed ^ 0xA77A_C4E5),
+    )));
+    let ns = net.add_node(Box::new(StackNode::new(s)));
+    net.connect(nc, 0, na, 0, link());
+    net.connect(na, 1, ns, 0, link());
+
+    net.poll_all();
+    net.run_until(t(1_000));
+    let mut sent = net.node_mut::<StackNode<TcpStack>>(nc).stack.send(conn, payload);
+    net.poll_all();
+
+    let deadline = net.now() + PATIENCE;
+    let mut got: Vec<u8> = Vec::new();
+    let mut sconn = None;
+    let mut max_half_open = 0usize;
+    let mut max_buffered = 0usize;
+    while net.now() < deadline {
+        let step = net.now() + STEP;
+        net.run_until(step);
+        if sent < payload.len() {
+            sent += net
+                .node_mut::<StackNode<TcpStack>>(nc)
+                .stack
+                .send(conn, &payload[sent..]);
+        }
+        {
+            let st = &mut net.node_mut::<StackNode<TcpStack>>(ns).stack;
+            if sconn.is_none() {
+                sconn = st.established().first().copied();
+            }
+            if let Some(t) = sconn {
+                got.extend(st.recv(t));
+            }
+            max_half_open = max_half_open.max(st.half_open_count());
+            max_buffered = max_buffered.max(st.buffered_bytes());
+        }
+        max_buffered =
+            max_buffered.max(net.node::<StackNode<TcpStack>>(nc).stack.buffered_bytes());
+        net.poll_all();
+        if got.len() >= payload.len() {
+            break;
+        }
+        let client_dead = net.node::<StackNode<TcpStack>>(nc).stack.state(conn) == TcpState::Closed;
+        // No established server connection left (it may have been reset and
+        // reaped before we ever saw it) counts as a dead server side.
+        let server_dead = match sconn {
+            Some(t) => net.node::<StackNode<TcpStack>>(ns).stack.state(t) == TcpState::Closed,
+            None => net.node::<StackNode<TcpStack>>(ns).stack.established().is_empty(),
+        };
+        if client_dead && server_dead {
+            break;
+        }
+    }
+
+    let sim_ms = net.now().since(Time::ZERO).0 / 1_000_000;
+    let complete = got.len() >= payload.len();
+    if !complete {
+        net.run_until(net.now() + Dur::from_secs(120));
+    }
+    let d0 = net.link_dir_stats(0, 0);
+    let d1 = net.link_dir_stats(0, 1);
+    let e0 = net.link_dir_stats(1, 0);
+    let e1 = net.link_dir_stats(1, 1);
+    let wire_frames = d0.tx_frames + d1.tx_frames + e0.tx_frames + e1.tx_frames;
+    let client_error = net.node::<StackNode<TcpStack>>(nc).stack.conn_error(conn);
+    let server_error = sconn.and_then(|t| net.node::<StackNode<TcpStack>>(ns).stack.conn_error(t));
+
+    let atk = net.node::<Attacker>(na).stats;
+    let cs = net.node::<StackNode<TcpStack>>(nc).stack.stats.clone();
+    let ss = net.node::<StackNode<TcpStack>>(ns).stack.stats.clone();
+    let counters = AttackCounters {
+        forged_segments: atk.forged_total(),
+        challenge_acks: cs.challenge_acks + ss.challenge_acks,
+        syn_cookies_sent: cs.syn_cookies_sent + ss.syn_cookies_sent,
+        syn_cookies_validated: cs.syn_cookies_validated + ss.syn_cookies_validated,
+        half_open_evictions: cs.half_open_evictions + ss.half_open_evictions,
+        bad_frames_rejected: cs.bad_segments + ss.bad_segments,
+        overflow_drops: cs.ooo_overflow_drops + ss.ooo_overflow_drops,
+        invalid_seq_drops: cs.old_ack_drops + ss.old_ack_drops,
+    };
+
+    let out = AttackOutcome {
+        profile: profile.name(),
+        stack: AttackStack::Mono.name(),
+        seed,
+        payload: payload.len(),
+        delivered: got.len(),
+        complete,
+        client_error,
+        server_error,
+        sim_ms,
+        wire_frames,
+        max_half_open,
+        max_buffered,
+        counters,
+        violations: Vec::new(),
+    };
+    judge(profile, out, &got, payload)
+}
+
+fn run_sub(profile: AttackProfile, seed: u64, payload: &[u8]) -> AttackOutcome {
+    let cfg = SlConfig {
+        keepalive: Some(keepalive_sub()),
+        ..SlConfig::default()
+    };
+    let mut c = SlTcpStack::new(A, cfg.clone(), slmetrics::shared());
+    let mut s = SlTcpStack::new(B, cfg, slmetrics::shared());
+    s.listen(80);
+    let conn = c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+
+    let mut net = SimNet::new(seed);
+    let nc = net.add_node(Box::new(StackNode::new(c)));
+    let na = net.add_node(Box::new(Attacker::new(
+        Box::new(SubCodec),
+        profile.attack_config(),
+        DetRng::new(seed ^ 0xA77A_C4E5),
+    )));
+    let ns = net.add_node(Box::new(StackNode::new(s)));
+    net.connect(nc, 0, na, 0, link());
+    net.connect(na, 1, ns, 0, link());
+
+    net.poll_all();
+    net.run_until(t(1_000));
+    let mut sent = net.node_mut::<StackNode<SlTcpStack>>(nc).stack.send(conn, payload);
+    net.poll_all();
+
+    let deadline = net.now() + PATIENCE;
+    let mut got: Vec<u8> = Vec::new();
+    let mut sconn = None;
+    let mut max_half_open = 0usize;
+    let mut max_buffered = 0usize;
+    while net.now() < deadline {
+        let step = net.now() + STEP;
+        net.run_until(step);
+        if sent < payload.len() {
+            sent += net
+                .node_mut::<StackNode<SlTcpStack>>(nc)
+                .stack
+                .send(conn, &payload[sent..]);
+        }
+        {
+            let st = &mut net.node_mut::<StackNode<SlTcpStack>>(ns).stack;
+            if sconn.is_none() {
+                sconn = st.established().first().copied();
+            }
+            if let Some(id) = sconn {
+                got.extend(st.recv(id));
+            }
+            max_half_open = max_half_open.max(st.half_open_count());
+            max_buffered = max_buffered.max(st.buffered_bytes());
+        }
+        max_buffered =
+            max_buffered.max(net.node::<StackNode<SlTcpStack>>(nc).stack.buffered_bytes());
+        net.poll_all();
+        if got.len() >= payload.len() {
+            break;
+        }
+        let client_dead =
+            net.node::<StackNode<SlTcpStack>>(nc).stack.state(conn) == CmState::Closed;
+        // As in the mono runner: a reset-and-reaped server conn counts too.
+        let server_dead = match sconn {
+            Some(id) => net.node::<StackNode<SlTcpStack>>(ns).stack.state(id) == CmState::Closed,
+            None => net.node::<StackNode<SlTcpStack>>(ns).stack.established().is_empty(),
+        };
+        if client_dead && server_dead {
+            break;
+        }
+    }
+
+    let sim_ms = net.now().since(Time::ZERO).0 / 1_000_000;
+    let complete = got.len() >= payload.len();
+    if !complete {
+        net.run_until(net.now() + Dur::from_secs(120));
+    }
+    let d0 = net.link_dir_stats(0, 0);
+    let d1 = net.link_dir_stats(0, 1);
+    let e0 = net.link_dir_stats(1, 0);
+    let e1 = net.link_dir_stats(1, 1);
+    let wire_frames = d0.tx_frames + d1.tx_frames + e0.tx_frames + e1.tx_frames;
+    let client_error = net.node::<StackNode<SlTcpStack>>(nc).stack.conn_error(conn);
+    let server_error =
+        sconn.and_then(|id| net.node::<StackNode<SlTcpStack>>(ns).stack.conn_error(id));
+
+    let atk = net.node::<Attacker>(na).stats;
+    // Receive-cap drops live in per-connection RD stats; read them before
+    // the stacks are dropped.
+    let (ooo_drops, seq_drops) = {
+        let sc = &net.node::<StackNode<SlTcpStack>>(nc).stack;
+        let ss = &net.node::<StackNode<SlTcpStack>>(ns).stack;
+        let crd = sc.rd_stats(conn).unwrap_or_default();
+        let srd = sconn.and_then(|id| ss.rd_stats(id)).unwrap_or_default();
+        (crd.ooo_range_drops + srd.ooo_range_drops,
+         crd.invalid_seq_drops + srd.invalid_seq_drops)
+    };
+    let cs = net.node::<StackNode<SlTcpStack>>(nc).stack.stats.clone();
+    let c_challenges = net.node::<StackNode<SlTcpStack>>(nc).stack.challenge_acks();
+    let s_challenges = net.node::<StackNode<SlTcpStack>>(ns).stack.challenge_acks();
+    let ss = net.node::<StackNode<SlTcpStack>>(ns).stack.stats.clone();
+    let counters = AttackCounters {
+        forged_segments: atk.forged_total(),
+        challenge_acks: c_challenges + s_challenges,
+        syn_cookies_sent: cs.syn_cookies_sent + ss.syn_cookies_sent,
+        syn_cookies_validated: cs.syn_cookies_validated + ss.syn_cookies_validated,
+        half_open_evictions: cs.half_open_evictions + ss.half_open_evictions,
+        bad_frames_rejected: cs.bad_packets + ss.bad_packets,
+        overflow_drops: ooo_drops,
+        invalid_seq_drops: seq_drops,
+    };
+
+    let out = AttackOutcome {
+        profile: profile.name(),
+        stack: AttackStack::Sub.name(),
+        seed,
+        payload: payload.len(),
+        delivered: got.len(),
+        complete,
+        client_error,
+        server_error,
+        sim_ms,
+        wire_frames,
+        max_half_open,
+        max_buffered,
+        counters,
+        violations: Vec::new(),
+    };
+    judge(profile, out, &got, payload)
+}
+
+// ---------------------------------------------------------------------------
+// JSON + sweep
+// ---------------------------------------------------------------------------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_err(e: Option<TransportError>) -> String {
+    match e {
+        None => "null".into(),
+        Some(e) => json_str(&format!("{e:?}")),
+    }
+}
+
+/// Deterministic, hand-rolled JSON for one outcome (stable field order,
+/// integers only — byte-identical for identical seeds).
+pub fn outcome_json(o: &AttackOutcome) -> String {
+    let viol: Vec<String> = o.violations.iter().map(|v| json_str(v)).collect();
+    let c = &o.counters;
+    format!(
+        "{{\"profile\":{},\"stack\":{},\"seed\":{},\"payload\":{},\"delivered\":{},\
+         \"complete\":{},\"client_error\":{},\"server_error\":{},\"sim_ms\":{},\
+         \"wire_frames\":{},\"max_half_open\":{},\"max_buffered\":{},\
+         \"forged_segments\":{},\"challenge_acks\":{},\"syn_cookies_sent\":{},\
+         \"syn_cookies_validated\":{},\"half_open_evictions\":{},\
+         \"bad_frames_rejected\":{},\"overflow_drops\":{},\"invalid_seq_drops\":{},\"violations\":[{}]}}",
+        json_str(o.profile),
+        json_str(o.stack),
+        o.seed,
+        o.payload,
+        o.delivered,
+        o.complete,
+        json_err(o.client_error),
+        json_err(o.server_error),
+        o.sim_ms,
+        o.wire_frames,
+        o.max_half_open,
+        o.max_buffered,
+        c.forged_segments,
+        c.challenge_acks,
+        c.syn_cookies_sent,
+        c.syn_cookies_validated,
+        c.half_open_evictions,
+        c.bad_frames_rejected,
+        c.overflow_drops,
+        c.invalid_seq_drops,
+        viol.join(",")
+    )
+}
+
+/// The whole sweep as one JSON document.
+pub fn summary_json(outs: &[AttackOutcome]) -> String {
+    let rows: Vec<String> = outs.iter().map(outcome_json).collect();
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+    format!(
+        "{{\"campaigns\":[\n  {}\n],\"total\":{},\"violations\":{}}}",
+        rows.join(",\n  "),
+        outs.len(),
+        violations
+    )
+}
+
+/// Run `profiles x stacks x seeds` and return every outcome in a fixed
+/// order (profile-major, then stack, then seed).
+pub fn run_sweep(
+    profiles: &[AttackProfile],
+    stacks: &[AttackStack],
+    seeds: &[u64],
+) -> Vec<AttackOutcome> {
+    let mut outs = Vec::new();
+    for &p in profiles {
+        for &s in stacks {
+            for &seed in seeds {
+                outs.push(run_campaign(p, s, seed));
+            }
+        }
+    }
+    outs
+}

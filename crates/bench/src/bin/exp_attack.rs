@@ -1,0 +1,98 @@
+//! E14 — adversarial-peer robustness campaigns against both stacks.
+//!
+//! A deterministic man-in-the-middle forges RSTs/SYNs/data at configured
+//! sequence-guessing skill, replays and fuzzily mutates frames, and mounts
+//! spoofed SYN floods, while a legitimate transfer runs through it. Each
+//! run judges the RFC 5961-shaped invariants: liveness and integrity below
+//! the attacker's knowledge threshold, challenge ACKs instead of spurious
+//! resets, bounded half-open and buffer memory, and an *expected* surfaced
+//! reset for the exact-sequence oracle attacker.
+//!
+//! `--smoke` runs a 3-profile x 1-seed subset (used by CI);
+//! `--json` prints only the JSON document.
+//! Exits non-zero if any invariant is violated.
+
+use bench::attack::{run_sweep, summary_json, AttackProfile, AttackStack};
+use bench::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_only = args.iter().any(|a| a == "--json");
+
+    let (profiles, seeds): (Vec<AttackProfile>, Vec<u64>) = if smoke {
+        (
+            vec![
+                AttackProfile::InWindowRst,
+                AttackProfile::OracleRst,
+                AttackProfile::SynFlood,
+            ],
+            vec![1],
+        )
+    } else {
+        (AttackProfile::all().to_vec(), vec![1, 2, 3])
+    };
+    let outs = run_sweep(&profiles, &AttackStack::all(), &seeds);
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+
+    if json_only {
+        println!("{}", summary_json(&outs));
+    } else {
+        println!("# E14 — adversarial robustness: {} runs\n", outs.len());
+        println!(
+            "Profiles: {}. Seeds: {:?}. Both stacks behind the same attacker.\n",
+            profiles.iter().map(|p| p.name()).collect::<Vec<_>>().join(", "),
+            seeds
+        );
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.profile.to_string(),
+                    o.stack.to_string(),
+                    o.seed.to_string(),
+                    format!("{}/{}", o.delivered, o.payload),
+                    o.client_error.map_or("-".into(), |e| format!("{e:?}")),
+                    o.counters.forged_segments.to_string(),
+                    o.counters.challenge_acks.to_string(),
+                    format!(
+                        "{}/{}",
+                        o.counters.syn_cookies_sent, o.counters.syn_cookies_validated
+                    ),
+                    o.max_half_open.to_string(),
+                    o.counters.bad_frames_rejected.to_string(),
+                    if o.ok() { "ok".into() } else { o.violations.join("; ") },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "profile",
+                    "stack",
+                    "seed",
+                    "delivered",
+                    "client err",
+                    "forged",
+                    "challenges",
+                    "cookies s/v",
+                    "half-open",
+                    "bad frames",
+                    "verdict"
+                ],
+                &rows
+            )
+        );
+        println!("\n## JSON summary\n\n```json\n{}\n```", summary_json(&outs));
+        println!(
+            "\n{} campaigns, {} invariant violations.",
+            outs.len(),
+            violations
+        );
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

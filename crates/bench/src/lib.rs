@@ -3,6 +3,7 @@
 //! returns the measurements the corresponding EXPERIMENTS.md table
 //! reports.
 
+pub mod attack;
 pub mod chaos;
 
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};

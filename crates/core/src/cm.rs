@@ -18,6 +18,7 @@
 //!   no handshake at all; ISNs ride in the CM header of every packet and
 //!   connections die by quiet-time, not FIN.
 
+use crate::signals::SeqValidity;
 use crate::wire::{CmHeader, Packet};
 use netsim::{Dur, Time, TransportError};
 use slmetrics::SharedLog;
@@ -89,6 +90,8 @@ pub struct ConnMgmt {
     last_activity: Time,
     /// Why the connection died, when it died abnormally.
     reset_reason: Option<TransportError>,
+    /// RFC 5961 challenge ACKs issued (in-window RST/SYN refused).
+    challenge_acks: u64,
     events: VecDeque<CmEvent>,
     outbox: VecDeque<Packet>,
     log: SharedLog,
@@ -109,6 +112,7 @@ impl ConnMgmt {
             time_wait_deadline: None,
             last_activity: Time::ZERO,
             reset_reason: None,
+            challenge_acks: 0,
             events: VecDeque::new(),
             outbox: VecDeque::new(),
             log,
@@ -174,6 +178,21 @@ impl ConnMgmt {
         }
     }
 
+    /// Rebuild CM for a flow whose handshake completed *statelessly*: the
+    /// returning ACK proved knowledge of a valid SYN cookie, so the ISN
+    /// pair is already established — go straight to `Established`
+    /// (ThreeWay only; the timer-based scheme keeps no half-open state to
+    /// flood in the first place).
+    pub fn open_cookie(local_isn: u32, peer_isn: u32, now: Time, log: SharedLog) -> ConnMgmt {
+        let mut cm = ConnMgmt::new(CmScheme::ThreeWay, local_isn, log);
+        cm.log.borrow_mut().w("cm", "state");
+        cm.log.borrow_mut().w("cm", "peer_isn");
+        cm.peer_isn = Some(peer_isn);
+        cm.last_activity = now;
+        cm.establish();
+        cm
+    }
+
     pub fn state(&self) -> CmState {
         self.state
     }
@@ -193,6 +212,20 @@ impl ConnMgmt {
     /// Why the connection died, when it died abnormally.
     pub fn reset_reason(&self) -> Option<TransportError> {
         self.reset_reason
+    }
+
+    /// RFC 5961 challenge ACKs this connection has issued.
+    pub fn challenge_acks(&self) -> u64 {
+        self.challenge_acks
+    }
+
+    /// Issue an RFC 5961 challenge ACK: an empty packet whose exact
+    /// seq/ack RD stamps at fill time. A blind attacker learns nothing;
+    /// a legitimate peer that truly lost state answers it with an
+    /// exact-sequence RST, which *is* obeyed.
+    fn challenge(&mut self) {
+        self.challenge_acks += 1;
+        self.outbox.push_back(Packet::default());
     }
 
     /// Abort the connection: queue an RST to the peer, record `reason`,
@@ -239,15 +272,48 @@ impl ConnMgmt {
     /// Process the CM header of an inbound packet.
     /// `handshake_ack` is true when the packet acknowledges our ISN
     /// (derived by the stack from RD's cumulative ack so CM itself never
-    /// reads RD bits: ack == local_isn + 1).
-    pub fn on_packet(&mut self, hdr: &CmHeader, handshake_ack: bool, now: Time) -> CmPass {
+    /// reads RD bits: ack == local_isn + 1). `rst_seq` is RD's
+    /// classification of the packet's sequence number (RFC 5961),
+    /// likewise derived by the stack; before RD exists (handshake
+    /// states) the stack passes [`SeqValidity::Exact`] so a RST answering
+    /// our SYN is still obeyed.
+    pub fn on_packet(
+        &mut self,
+        hdr: &CmHeader,
+        handshake_ack: bool,
+        rst_seq: SeqValidity,
+        now: Time,
+    ) -> CmPass {
         self.log.borrow_mut().r("cm", "state");
         self.last_activity = now;
         if hdr.flags.rst {
-            self.log.borrow_mut().w("cm", "state");
-            self.state = CmState::Closed;
-            self.reset_reason.get_or_insert(TransportError::Reset);
-            self.events.push_back(CmEvent::Reset);
+            // Before the connection synchronizes there is no RD to judge
+            // sequence numbers, so CM validates a RST with its *own* bits
+            // (the RFC 793 rule that a RST answering a SYN must
+            // acknowledge it): believe it only if it echoes our ISN. A
+            // blind forger would have to guess the 32-bit ISN.
+            if matches!(self.state, CmState::SynSent | CmState::SynRcvd) {
+                if hdr.ack_isn == self.local_isn {
+                    self.log.borrow_mut().w("cm", "state");
+                    self.state = CmState::Closed;
+                    self.reset_reason.get_or_insert(TransportError::Reset);
+                    self.events.push_back(CmEvent::Reset);
+                }
+                return CmPass::Drop;
+            }
+            // RFC 5961 §3: obey only an *exact*-sequence RST; challenge an
+            // in-window one (a blind attacker's best guess); ignore the
+            // rest. CM decides the policy, RD did the arithmetic.
+            match rst_seq {
+                SeqValidity::Exact => {
+                    self.log.borrow_mut().w("cm", "state");
+                    self.state = CmState::Closed;
+                    self.reset_reason.get_or_insert(TransportError::Reset);
+                    self.events.push_back(CmEvent::Reset);
+                }
+                SeqValidity::InWindow => self.challenge(),
+                SeqValidity::Outside => {}
+            }
             return CmPass::Drop;
         }
         match self.scheme {
@@ -303,8 +369,12 @@ impl ConnMgmt {
                 }
                 CmState::Established | CmState::Closing => {
                     if hdr.flags.syn {
-                        // Stray SYN on a synchronized connection: ignore
-                        // (a full implementation might RST).
+                        // RFC 5961 §4: a SYN on a synchronized connection
+                        // gets a challenge ACK, never a RST — a spoofed
+                        // SYN must not kill a live connection, and a peer
+                        // that genuinely rebooted will answer the
+                        // challenge with an exact-sequence RST.
+                        self.challenge();
                         return CmPass::Consumed;
                     }
                     CmPass::PassUp
@@ -463,7 +533,7 @@ mod tests {
         assert!(syn.cm.flags.syn && !syn.cm.flags.cm_ack);
         assert_eq!(syn.cm.isn, 100);
         // SYN-ACK arrives.
-        let pass = cm.on_packet(&hdr(true, true, 200, 100), false, Time::ZERO);
+        let pass = cm.on_packet(&hdr(true, true, 200, 100), false, SeqValidity::Exact, Time::ZERO);
         assert_eq!(pass, CmPass::Consumed);
         assert_eq!(cm.state(), CmState::Established);
         assert_eq!(cm.peer_isn(), Some(200));
@@ -486,7 +556,7 @@ mod tests {
         assert!(synack.cm.flags.syn && synack.cm.flags.cm_ack);
         assert_eq!(synack.cm.ack_isn, 500);
         // Handshake ack arrives (stack derives handshake_ack from RD ack).
-        let pass = cm.on_packet(&hdr(false, false, 500, 0), true, Time::ZERO);
+        let pass = cm.on_packet(&hdr(false, false, 500, 0), true, SeqValidity::Exact, Time::ZERO);
         assert_eq!(pass, CmPass::PassUp);
         assert_eq!(cm.state(), CmState::Established);
     }
@@ -514,7 +584,7 @@ mod tests {
         )
         .unwrap();
         cm.poll_packet();
-        let pass = cm.on_packet(&hdr(false, false, 500, 0), false, Time::ZERO);
+        let pass = cm.on_packet(&hdr(false, false, 500, 0), false, SeqValidity::Exact, Time::ZERO);
         assert_eq!(pass, CmPass::PassUp);
         assert_eq!(cm.state(), CmState::Established);
     }
@@ -546,17 +616,31 @@ mod tests {
     #[test]
     fn rst_kills_connection() {
         let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
-        let mut rst = hdr(false, false, 0, 0);
+        // Pre-synchronization, a RST is believed only if it acknowledges
+        // our SYN — i.e. echoes our ISN (RFC 793).
+        let mut rst = hdr(false, false, 0, 1);
         rst.flags.rst = true;
-        assert_eq!(cm.on_packet(&rst, false, Time::ZERO), CmPass::Drop);
+        assert_eq!(cm.on_packet(&rst, false, SeqValidity::Exact, Time::ZERO), CmPass::Drop);
         assert_eq!(cm.state(), CmState::Closed);
         assert_eq!(cm.take_events(), vec![CmEvent::Reset]);
     }
 
     #[test]
+    fn blind_rst_in_syn_sent_is_ignored() {
+        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        // A forged RST that does not echo our ISN never aborts the
+        // handshake, whatever sequence validity the (absent) RD reports.
+        let mut rst = hdr(false, false, 0, 99);
+        rst.flags.rst = true;
+        assert_eq!(cm.on_packet(&rst, false, SeqValidity::Exact, Time::ZERO), CmPass::Drop);
+        assert_eq!(cm.state(), CmState::SynSent);
+        assert!(cm.take_events().is_empty());
+    }
+
+    #[test]
     fn close_lifecycle_reaches_time_wait_then_closed() {
         let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
-        cm.on_packet(&hdr(true, true, 2, 1), false, Time::ZERO);
+        cm.on_packet(&hdr(true, true, 2, 1), false, SeqValidity::Exact, Time::ZERO);
         assert!(cm.close_requested(), "FIN should be routed to RD");
         assert_eq!(cm.state(), CmState::Closing);
         cm.on_local_fin_acked(Time::ZERO + Dur::from_secs(1));
@@ -579,7 +663,7 @@ mod tests {
         assert_eq!(a.state(), CmState::Established);
         assert!(a.poll_packet().is_none(), "no SYN in timer-based CM");
         // First inbound packet teaches us the peer ISN.
-        let pass = a.on_packet(&hdr(false, false, 777, 0), false, Time::ZERO);
+        let pass = a.on_packet(&hdr(false, false, 777, 0), false, SeqValidity::Exact, Time::ZERO);
         assert_eq!(pass, CmPass::PassUp);
         assert_eq!(a.peer_isn(), Some(777));
         assert_eq!(
@@ -597,7 +681,7 @@ mod tests {
             Time::ZERO,
             slmetrics::shared(),
         );
-        a.on_packet(&hdr(false, false, 777, 0), false, Time::ZERO);
+        a.on_packet(&hdr(false, false, 777, 0), false, SeqValidity::Exact, Time::ZERO);
         assert!(!a.close_requested(), "no FIN in timer-based CM");
         assert_eq!(a.state(), CmState::Closing);
         let dl = a.poll_deadline().unwrap();
@@ -609,7 +693,7 @@ mod tests {
     #[test]
     fn abort_queues_rst_and_records_reason() {
         let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
-        cm.on_packet(&hdr(true, true, 77, 42), false, Time::ZERO);
+        cm.on_packet(&hdr(true, true, 77, 42), false, SeqValidity::Exact, Time::ZERO);
         while cm.poll_packet().is_some() {} // drain SYN + handshake ack
         assert_eq!(cm.state(), CmState::Established);
         cm.abort(TransportError::RetriesExhausted);
@@ -627,9 +711,9 @@ mod tests {
     #[test]
     fn inbound_rst_reports_peer_reset() {
         let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
-        let mut h = hdr(false, false, 77, 0);
+        let mut h = hdr(false, false, 77, 42);
         h.flags.rst = true;
-        assert_eq!(cm.on_packet(&h, false, Time::ZERO), CmPass::Drop);
+        assert_eq!(cm.on_packet(&h, false, SeqValidity::Exact, Time::ZERO), CmPass::Drop);
         assert_eq!(cm.state(), CmState::Closed);
         assert_eq!(cm.reset_reason(), Some(TransportError::Reset));
     }
@@ -648,7 +732,7 @@ mod tests {
     #[test]
     fn fill_tx_stamps_isns_only() {
         let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
-        cm.on_packet(&hdr(true, true, 77, 42), false, Time::ZERO);
+        cm.on_packet(&hdr(true, true, 77, 42), false, SeqValidity::Exact, Time::ZERO);
         let mut pkt = Packet::default();
         pkt.rd.seq = 5;
         cm.fill_tx(&mut pkt);

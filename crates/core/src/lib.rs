@@ -49,7 +49,7 @@ pub use rd::{RdEvent, ReliableDelivery};
 pub use record::RecordStack;
 pub use signals::CongSignal;
 pub use stack::{CrossingStats, KeepaliveConfig, SlConfig, SlStats, SlTcpStack};
-pub use wire::Packet;
+pub use wire::{Packet, WireError};
 
 #[cfg(test)]
 mod tests;

@@ -25,6 +25,11 @@ use std::collections::{BTreeMap, VecDeque};
 pub const MSS: usize = 1000;
 /// Receive buffer capacity; the advertised window is its free space.
 pub const RCV_BUF_CAP: usize = 64 * 1024 - 1;
+/// Send-buffer cap: [`Osr::write`] accepts at most this much queued,
+/// un-segmented data and reports the shortfall (backpressure), so an
+/// application — or an attack campaign — cannot balloon memory by
+/// writing faster than the network drains.
+pub const SND_BUF_CAP: usize = 1 << 20;
 /// First zero-window persist timeout; doubles per unanswered probe.
 const PERSIST_INITIAL: Dur = Dur(500_000_000);
 /// Persist backoff ceiling.
@@ -39,6 +44,10 @@ pub struct OsrStats {
     pub blocked_by_rate: u64,
     pub blocked_by_peer_window: u64,
     pub zero_window_probes: u64,
+    /// Out-of-order segments dropped because the reassembly buffer hit its
+    /// hard cap (a hostile sender ignoring our advertised window cannot
+    /// grow memory without bound).
+    pub reasm_overflow_drops: u64,
 }
 
 /// The OSR sublayer for one connection.
@@ -99,15 +108,26 @@ impl Osr {
         self.rate.name()
     }
 
+    /// Total bytes this sublayer is holding (send queue, parked
+    /// reassembly, unread app data) — the memory-bound invariant the
+    /// attack campaign checks.
+    pub fn buffered_bytes(&self) -> usize {
+        self.app_buf.len()
+            + self.app_out.len()
+            + self.reasm.values().map(Vec::len).sum::<usize>()
+    }
+
     // --- application interface ---
 
-    /// Queue bytes from the application.
+    /// Queue bytes from the application; returns how many were accepted
+    /// (fewer than `data.len()` once the send buffer is full).
     pub fn write(&mut self, data: &[u8]) -> usize {
         self.log.borrow_mut().w("osr", "app_buf");
         assert!(!self.app_closed, "write after close");
-        self.app_buf.extend(data.iter().copied());
-        self.stats.bytes_written += data.len() as u64;
-        data.len()
+        let n = data.len().min(SND_BUF_CAP.saturating_sub(self.app_buf.len()));
+        self.app_buf.extend(data[..n].iter().copied());
+        self.stats.bytes_written += n as u64;
+        n
     }
 
     /// Drain in-order bytes to the application.
@@ -197,6 +217,16 @@ impl Osr {
     pub fn on_delivered(&mut self, offset: u64, data: Vec<u8>) {
         self.log.borrow_mut().w("osr", "reasm");
         debug_assert!(offset >= self.rcv_next, "RD guarantees exactly-once");
+        if offset > self.rcv_next {
+            // Hard cap: the advertised window is advisory to the peer, but
+            // a hostile sender ignores it. Parked out-of-order bytes must
+            // never exceed the buffer the window was advertised from.
+            let parked: usize = self.reasm.values().map(Vec::len).sum();
+            if parked + data.len() > RCV_BUF_CAP {
+                self.stats.reasm_overflow_drops += 1;
+                return;
+            }
+        }
         self.reasm.insert(offset, data);
         while let Some((&off, _)) = self.reasm.first_key_value() {
             if off != self.rcv_next {

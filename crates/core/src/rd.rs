@@ -19,7 +19,7 @@
 //! payload byte = wire sequence `isn + 1`); conversion to/from the 32-bit
 //! wire space happens only at the header boundary.
 
-use crate::signals::CongSignal;
+use crate::signals::{CongSignal, SeqValidity};
 use crate::wire::{Packet, SackRange};
 use netsim::{Dur, Time};
 use slmetrics::SharedLog;
@@ -51,6 +51,13 @@ pub struct RdStats {
     pub sacked_skips: u64,
     pub timeouts: u64,
     pub keepalive_probes: u64,
+    /// Out-of-order data dropped because the range map hit its safety cap
+    /// (an attacker spraying disjoint bytes cannot grow state unboundedly).
+    pub ooo_range_drops: u64,
+    /// Segments dropped because their sequence number was outside the
+    /// plausible receive window in either direction (RFC 793
+    /// acceptability; blind data injection lands here).
+    pub invalid_seq_drops: u64,
 }
 
 struct Flight {
@@ -65,6 +72,14 @@ const MIN_RTO: Dur = Dur(200_000_000);
 const MAX_RTO: Dur = Dur(60_000_000_000);
 /// Safety cap on outstanding segments (the *policy* window is OSR's).
 const MAX_IN_FLIGHT: usize = 1024;
+/// Window RD uses to classify inbound control sequences (RFC 5961): a
+/// wire sequence within this many bytes past `rcv_nxt` is "in window".
+const VALIDITY_WND: u32 = 64 * 1024;
+/// Safety cap on disjoint out-of-order ranges tracked by the receiver.
+const MAX_OOO_RANGES: usize = 256;
+/// Safety cap on total out-of-order bytes accepted ahead of `rcv_nxt`
+/// (matches OSR's `RCV_BUF_CAP`, which is where the bytes park).
+const MAX_OOO_BYTES: u64 = 64 * 1024 - 1;
 /// Consecutive RTO expirations without `snd_una` progress before RD gives
 /// up and asks the stack to abort ([`RdEvent::RetriesExhausted`]).
 pub const MAX_RETRIES: u32 = 8;
@@ -156,8 +171,23 @@ impl ReliableDelivery {
         self.snd_isn.wrapping_add(1).wrapping_add(off as u32)
     }
 
-    fn wire_rcv_ack(&self) -> u32 {
+    pub(crate) fn wire_rcv_ack(&self) -> u32 {
         self.rcv_isn.wrapping_add(1).wrapping_add(self.rcv_nxt as u32)
+    }
+
+    /// Classify an inbound wire sequence against the next expected one
+    /// (RFC 5961). The *stack* derives this signal for CM — exactly like
+    /// the `handshake_ack` boolean — so CM decides reset *policy* without
+    /// ever touching RD's sequence arithmetic.
+    pub fn seq_validity(&self, wire_seq: u32) -> SeqValidity {
+        let delta = wire_seq.wrapping_sub(self.wire_rcv_ack());
+        if delta == 0 {
+            SeqValidity::Exact
+        } else if delta < VALIDITY_WND {
+            SeqValidity::InWindow
+        } else {
+            SeqValidity::Outside
+        }
     }
 
     /// Unwrap a 32-bit wire value to the 64-bit offset closest to `near`.
@@ -190,6 +220,11 @@ impl ReliableDelivery {
     /// Bytes handed to us and not yet acknowledged.
     pub fn bytes_unacked(&self) -> u64 {
         self.snd_nxt - self.snd_una
+    }
+
+    /// Bytes held in the retransmission buffer (memory-bound invariant).
+    pub fn in_flight_bytes(&self) -> usize {
+        self.in_flight.values().map(|f| f.data.len()).sum()
     }
 
     /// Accept a segment from OSR at the next offset; RD assigns sequence
@@ -373,6 +408,22 @@ impl ReliableDelivery {
         // Payload / FIN reception.
         let payload_len = pkt.payload.len() as u64;
         if payload_len > 0 || fin {
+            // RFC 793 acceptability, checked in *wire* space before
+            // unwrapping: the segment must start within VALIDITY_WND of
+            // the next expected sequence in either direction (ahead =
+            // in-window new data, behind = a retransmission). Without
+            // this, a blindly forged sequence number can alias onto a
+            // live stream offset and corrupt the byte stream.
+            let expected = self.wire_rcv_ack();
+            let ahead = pkt.rd.seq.wrapping_sub(expected);
+            let behind = expected.wrapping_sub(pkt.rd.seq);
+            if ahead >= VALIDITY_WND && behind > VALIDITY_WND {
+                self.stats.invalid_seq_drops += 1;
+                // Re-anchor an honest-but-desynced peer (and leave a
+                // blind forger none the wiser about the real window).
+                self.ack_pending = true;
+                return;
+            }
             self.log.borrow_mut().w("rd", "rcv_ranges");
             let seq_off = Self::unwrap(self.rcv_isn, pkt.rd.seq, self.rcv_nxt);
             if payload_len > 0 {
@@ -400,6 +451,18 @@ impl ReliableDelivery {
     /// (exactly-once).
     fn receive_range(&mut self, start: u64, data: &[u8]) {
         let end = start + data.len() as u64;
+        if start > self.rcv_nxt {
+            // Receiver-state caps: accept only data that advances rcv_nxt
+            // once either cap is reached, so a hostile sender ignoring the
+            // advertised window (or spraying disjoint bytes) cannot grow
+            // the range map or OSR's parked reassembly bytes unboundedly.
+            let held: u64 = self.ooo.iter().map(|(&s, &e)| e - s).sum();
+            if self.ooo.len() >= MAX_OOO_RANGES || held + data.len() as u64 > MAX_OOO_BYTES {
+                self.stats.ooo_range_drops += 1;
+                self.ack_pending = true;
+                return;
+            }
+        }
         // Clip against already-delivered prefix.
         let mut covered: Vec<(u64, u64)> = vec![(0, self.rcv_nxt)];
         for (&s, &e) in &self.ooo {

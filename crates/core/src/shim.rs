@@ -118,12 +118,12 @@ impl ShimStack {
 impl Stack for ShimStack {
     fn on_frame(&mut self, now: Time, frame: &[u8]) {
         match Segment::decode(frame) {
-            Some(seg) => {
+            Ok(seg) => {
                 self.translated_rx += 1;
                 let pkt = from_rfc793(&seg);
                 self.inner.on_frame(now, &pkt.encode());
             }
-            None => self.untranslatable_rx += 1,
+            Err(_) => self.untranslatable_rx += 1,
         }
     }
 

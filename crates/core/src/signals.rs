@@ -8,6 +8,22 @@
 
 use netsim::Dur;
 
+/// RD's classification of an inbound control packet's sequence number,
+/// derived by the *stack* (like the `handshake_ack` boolean) so CM never
+/// reads RD's bits. This is the cross-sublayer signal RFC 5961's RST
+/// validation needs: CM decides *policy* (kill / challenge / ignore), RD
+/// owns the sequence arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqValidity {
+    /// Exactly the next expected sequence — trustworthy.
+    Exact,
+    /// Inside the receive window but not exact — a blind injector's best
+    /// guess; challenge, never obey.
+    InWindow,
+    /// Outside the window — noise; drop silently.
+    Outside,
+}
+
 /// A congestion/progress signal summarized by RD for OSR.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CongSignal {

@@ -17,6 +17,7 @@ use crate::dm::{ConnId, Demux, DmVerdict};
 use crate::isn::{self, IsnGenerator};
 use crate::osr::Osr;
 use crate::rd::{RdEvent, ReliableDelivery};
+use crate::signals::SeqValidity;
 use crate::wire::Packet;
 use netsim::{Dur, Stack, Time, TransportError};
 use slmetrics::SharedLog;
@@ -126,7 +127,26 @@ pub struct SlStats {
     pub packets_received: u64,
     pub bad_packets: u64,
     pub no_listener_drops: u64,
+    /// RFC 5961 challenge ACKs accumulated from *reaped* connections;
+    /// [`SlTcpStack::challenge_acks`] adds the live ones.
+    pub challenge_acks: u64,
+    /// Stateless SYN|ACKs sent because the half-open queue was full.
+    pub syn_cookies_sent: u64,
+    /// Connections rebuilt from a returning valid cookie.
+    pub syn_cookies_validated: u64,
+    /// Stale half-open connections evicted to admit a fresh SYN.
+    pub half_open_evictions: u64,
+    /// Stateless RSTs sent for packets addressed to no connection.
+    pub stateless_rsts_sent: u64,
 }
+
+/// Bound on simultaneously half-open (`SynRcvd`) passive connections;
+/// beyond it a flood is absorbed by eviction or SYN cookies, never by
+/// unbounded state.
+pub const MAX_HALF_OPEN: usize = 16;
+/// A half-open connection idle this long (one SYN-RTO) is stale enough to
+/// evict in favor of a fresh SYN.
+const HALF_OPEN_EVICT_AGE: Dur = Dur(1_000_000_000);
 
 /// A sublayered TCP endpoint (host).
 pub struct SlTcpStack {
@@ -285,6 +305,110 @@ impl SlTcpStack {
         }
     }
 
+    /// Diagnostic: the exact wire sequence this connection's RD expects
+    /// next — what an attacker must know to land an exact-sequence RST
+    /// (the attack campaign's oracle mode reads this; real attackers
+    /// guess).
+    pub fn expected_wire_seq(&self, id: ConnId) -> Option<u32> {
+        self.conns.get(&id)?.rd.as_ref().map(|r| r.wire_rcv_ack())
+    }
+
+    /// Total RFC 5961 challenge ACKs issued (live connections + reaped).
+    pub fn challenge_acks(&self) -> u64 {
+        self.stats.challenge_acks
+            + self.conns.values().map(|c| c.cm.challenge_acks()).sum::<u64>()
+    }
+
+    /// Live half-open (passively opened, not yet established) connections.
+    pub fn half_open_count(&self) -> usize {
+        self.conns.values().filter(|c| c.cm.state() == CmState::SynRcvd).count()
+    }
+
+    /// Total bytes parked in per-connection buffers (send queues,
+    /// retransmission flights, reassembly, unread app data) — the
+    /// memory-bound invariant the attack campaign checks.
+    pub fn buffered_bytes(&self) -> usize {
+        self.conns
+            .values()
+            .map(|c| {
+                c.osr.buffered_bytes() + c.rd.as_ref().map_or(0, |r| r.in_flight_bytes())
+            })
+            .sum()
+    }
+
+    /// Oldest half-open connection idle for at least one SYN-RTO, if any.
+    fn stale_half_open(&self, now: Time) -> Option<ConnId> {
+        self.conns
+            .iter()
+            .filter(|(_, c)| {
+                c.cm.state() == CmState::SynRcvd && now.since(c.last_rx) >= HALF_OPEN_EVICT_AGE
+            })
+            .min_by_key(|(id, c)| (c.last_rx, **id))
+            .map(|(id, _)| *id)
+    }
+
+    /// Keyed hash binding a half-open flow's 4-tuple and client ISN to a
+    /// server ISN we can later recognize without keeping any state.
+    fn syn_cookie(&self, tuple: &FourTuple, peer_isn: u32) -> u32 {
+        let mut h: u32 = 0x9E37_79B9 ^ self.dm.local_addr();
+        for v in [
+            tuple.local.addr,
+            tuple.local.port as u32,
+            tuple.remote.addr,
+            tuple.remote.port as u32,
+            peer_isn,
+        ] {
+            h = h.wrapping_add(v).wrapping_mul(2_654_435_761).rotate_left(13);
+        }
+        h
+    }
+
+    /// Stateless SYN|ACK whose ISN *is* the cookie — no connection state
+    /// exists until the peer's ACK proves it saw this packet. The native
+    /// header makes this clean: the completing ACK echoes both ISNs in its
+    /// CM subheader, so validation needs nothing remembered.
+    fn send_cookie_synack(&mut self, tuple: &FourTuple, peer_isn: u32) {
+        let mut pkt = Packet {
+            src_addr: tuple.local.addr,
+            dst_addr: tuple.remote.addr,
+            ..Packet::default()
+        };
+        pkt.dm.src_port = tuple.local.port;
+        pkt.dm.dst_port = tuple.remote.port;
+        pkt.cm.flags.syn = true;
+        pkt.cm.flags.cm_ack = true;
+        pkt.cm.isn = self.syn_cookie(tuple, peer_isn);
+        pkt.cm.ack_isn = peer_isn;
+        pkt.osr.rcv_wnd = u16::MAX;
+        self.stats.packets_sent += 1;
+        self.stats.syn_cookies_sent += 1;
+        self.outbox.push_back(pkt.encode());
+    }
+
+    /// Stateless RST for a non-RST packet addressed to no connection.
+    /// Echoing the packet's own ack as our seq makes the reply *exact*
+    /// under the peer's RFC 5961 check — this is what lets the
+    /// challenge-ACK dance converge when one side has lost all state.
+    fn send_stateless_rst(&mut self, pkt: &Packet) {
+        if pkt.cm.flags.rst {
+            return; // never answer a RST with a RST
+        }
+        let mut rst = Packet {
+            src_addr: pkt.dst_addr,
+            dst_addr: pkt.src_addr,
+            ..Packet::default()
+        };
+        rst.dm.src_port = pkt.dm.dst_port;
+        rst.dm.dst_port = pkt.dm.src_port;
+        rst.cm.flags.rst = true;
+        rst.cm.isn = pkt.cm.ack_isn; // the ISN the peer attributes to us
+        rst.cm.ack_isn = pkt.cm.isn; // echo theirs: proves we saw their SYN
+        rst.rd.seq = pkt.rd.ack;
+        self.stats.packets_sent += 1;
+        self.stats.stateless_rsts_sent += 1;
+        self.outbox.push_back(rst.encode());
+    }
+
     /// Run one connection's machinery: events, close coordination,
     /// segmentation, and packet assembly.
     fn pump(&mut self, now: Time, id: ConnId) {
@@ -435,10 +559,12 @@ impl SlTcpStack {
             self.outbox.push_back(bytes);
         }
 
-        // Reap dead connections.
+        // Reap dead connections (folding their counters into the stack's).
         if conn.dead {
             self.dm.unbind(id);
-            self.conns.remove(&id);
+            if let Some(c) = self.conns.remove(&id) {
+                self.stats.challenge_acks += c.cm.challenge_acks();
+            }
         }
     }
 
@@ -450,7 +576,14 @@ impl SlTcpStack {
         // so CM never reads RD's bits: ack == local_isn + 1.
         let handshake_ack =
             pkt.rd.has_ack && pkt.rd.ack == conn.cm.local_isn().wrapping_add(1);
-        match conn.cm.on_packet(&pkt.cm, handshake_ack, now) {
+        // RFC 5961: the stack derives the RST's sequence validity from RD
+        // (same pattern as `handshake_ack`); before RD exists — handshake
+        // states — a RST is taken at face value, as the RFC prescribes.
+        let rst_seq = match conn.rd.as_ref() {
+            Some(rd) if pkt.cm.flags.rst => rd.seq_validity(pkt.rd.seq),
+            _ => SeqValidity::Exact,
+        };
+        match conn.cm.on_packet(&pkt.cm, handshake_ack, rst_seq, now) {
             CmPass::Drop => {}
             CmPass::Consumed => {
                 // Window updates ride even on handshake packets.
@@ -472,7 +605,7 @@ impl SlTcpStack {
 
 impl Stack for SlTcpStack {
     fn on_frame(&mut self, now: Time, frame: &[u8]) {
-        let Some(pkt) = Packet::decode(frame) else {
+        let Ok(pkt) = Packet::decode(frame) else {
             self.stats.bad_packets += 1;
             return;
         };
@@ -482,6 +615,49 @@ impl Stack for SlTcpStack {
         match self.dm.classify(&pkt) {
             DmVerdict::Known(id) => self.handle_packet(now, id, &pkt),
             DmVerdict::NewFlow(tuple) => {
+                let three_way = matches!(self.config.cm_scheme, CmScheme::ThreeWay);
+                // A returning ACK that proves a SYN cookie rebuilds the
+                // connection the stateless SYN|ACK never stored.
+                if three_way
+                    && !pkt.cm.flags.syn
+                    && !pkt.cm.flags.rst
+                    && pkt.rd.has_ack
+                    && pkt.cm.ack_isn == self.syn_cookie(&tuple, pkt.cm.isn)
+                {
+                    let Ok(id) = self.dm.bind(tuple) else { return };
+                    let cm =
+                        ConnMgmt::open_cookie(pkt.cm.ack_isn, pkt.cm.isn, now, self.log.clone());
+                    let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                    self.conns.insert(id, Connection::new(cm, osr, now));
+                    self.stats.syn_cookies_validated += 1;
+                    self.pump(now, id); // establishment event creates RD
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.osr.on_header(now, &pkt);
+                        if let Some(rd) = conn.rd.as_mut() {
+                            rd.on_packet(now, &pkt, pkt.cm.flags.fin);
+                        }
+                    }
+                    self.pump(now, id);
+                    return;
+                }
+                // Half-open governance: a SYN beyond the bound either
+                // evicts a stale half-open entry or is answered
+                // statelessly with a cookie — a flood degrades service,
+                // never memory.
+                if three_way
+                    && pkt.cm.flags.syn
+                    && !pkt.cm.flags.cm_ack
+                    && self.half_open_count() >= MAX_HALF_OPEN
+                {
+                    if let Some(victim) = self.stale_half_open(now) {
+                        self.stats.half_open_evictions += 1;
+                        self.dm.unbind(victim);
+                        self.conns.remove(&victim);
+                    } else {
+                        self.send_cookie_synack(&tuple, pkt.cm.isn);
+                        return;
+                    }
+                }
                 let local_isn = self.isn_gen.isn(now, &tuple);
                 let Some(cm) = ConnMgmt::open_passive(
                     self.config.cm_scheme,
@@ -491,6 +667,7 @@ impl Stack for SlTcpStack {
                     self.log.clone(),
                 ) else {
                     self.stats.no_listener_drops += 1;
+                    self.send_stateless_rst(&pkt);
                     return;
                 };
                 let Ok(id) = self.dm.bind(tuple) else { return };
@@ -510,6 +687,7 @@ impl Stack for SlTcpStack {
             }
             DmVerdict::NoListener => {
                 self.stats.no_listener_drops += 1;
+                self.send_stateless_rst(&pkt);
             }
             DmVerdict::NotForUs => {}
         }

@@ -187,9 +187,11 @@ fn no_listener_drops_are_counted() {
     net.poll_all();
     run_for(&mut net, Dur::from_secs(3));
     assert!(stack(&mut net, ns).stats.no_listener_drops > 0);
-    // Client keeps retrying SYN (no RST generation in the native stack),
-    // then gives up later.
-    assert_eq!(stack(&mut net, nc).state(conn), CmState::SynSent);
+    assert!(stack(&mut net, ns).stats.stateless_rsts_sent > 0);
+    // The stateless RST refuses the connection promptly ("connection
+    // refused") instead of leaving the client to burn SYN retries.
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Closed);
+    assert_eq!(stack(&mut net, nc).conn_error(conn), Some(TransportError::Reset));
 }
 
 #[test]
@@ -497,3 +499,222 @@ fn zero_window_probe_survives_lost_window_update() {
     assert!(probes > 0, "the stall must have been probed");
 }
 
+
+// ---------------------------------------------------------------------------
+// Adversarial robustness: RFC 5961 defenses and resource governance.
+// ---------------------------------------------------------------------------
+
+use crate::osr::SND_BUF_CAP;
+use crate::stack::MAX_HALF_OPEN;
+use crate::wire::Packet;
+use netsim::Stack as _;
+
+/// Forge a packet the way a blind attacker would: correct addressing,
+/// attacker-chosen flags and sequence, freshly sealed checksum.
+fn forged(src: Endpoint, dst: Endpoint) -> Packet {
+    let mut pkt = Packet { src_addr: src.addr, dst_addr: dst.addr, ..Packet::default() };
+    pkt.dm.src_port = src.port;
+    pkt.dm.dst_port = dst.port;
+    pkt.osr.rcv_wnd = u16::MAX;
+    pkt
+}
+
+fn established_pair(seed: u64) -> (SimNet, usize, usize, ConnId, ConnId) {
+    let (mut net, nc, ns, conn) = pair(seed, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(1));
+    let sconn = *stack(&mut net, ns).established().first().expect("not established");
+    (net, nc, ns, conn, sconn)
+}
+
+#[test]
+fn inwindow_blind_rst_is_challenged_not_fatal() {
+    let (mut net, nc, ns, conn, sconn) = established_pair(301);
+    let expected = stack(&mut net, ns).expected_wire_seq(sconn).unwrap();
+    let mut rst = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+    rst.cm.flags.rst = true;
+    rst.rd.seq = expected.wrapping_add(100); // in window, not exact
+    let now = net.now();
+    let frame = rst.encode();
+    stack(&mut net, ns).on_frame(now, &frame);
+    assert_eq!(stack(&mut net, ns).established().len(), 1, "blind RST must not kill");
+    assert_eq!(stack(&mut net, ns).challenge_acks(), 1);
+    run_for(&mut net, Dur::from_secs(1));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+    assert_eq!(stack(&mut net, ns).established().len(), 1);
+}
+
+#[test]
+fn exact_sequence_rst_still_resets() {
+    let (mut net, _nc, ns, _conn, sconn) = established_pair(302);
+    let expected = stack(&mut net, ns).expected_wire_seq(sconn).unwrap();
+    let mut rst = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+    rst.cm.flags.rst = true;
+    rst.rd.seq = expected;
+    let now = net.now();
+    let frame = rst.encode();
+    stack(&mut net, ns).on_frame(now, &frame);
+    assert!(stack(&mut net, ns).established().is_empty());
+    assert_eq!(stack(&mut net, ns).conn_error(sconn), Some(TransportError::Reset));
+}
+
+#[test]
+fn outside_window_rst_is_ignored_silently() {
+    let (mut net, _nc, ns, _conn, sconn) = established_pair(303);
+    let expected = stack(&mut net, ns).expected_wire_seq(sconn).unwrap();
+    let mut rst = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+    rst.cm.flags.rst = true;
+    rst.rd.seq = expected.wrapping_sub(100_000);
+    let now = net.now();
+    let frame = rst.encode();
+    stack(&mut net, ns).on_frame(now, &frame);
+    assert_eq!(stack(&mut net, ns).established().len(), 1);
+    assert_eq!(stack(&mut net, ns).challenge_acks(), 0, "outside-window RST is noise");
+}
+
+#[test]
+fn inwindow_syn_is_challenged_not_reset() {
+    let (mut net, nc, ns, conn, _sconn) = established_pair(304);
+    let mut syn = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+    syn.cm.flags.syn = true;
+    syn.cm.isn = 0xDEAD;
+    let now = net.now();
+    let frame = syn.encode();
+    stack(&mut net, ns).on_frame(now, &frame);
+    assert_eq!(stack(&mut net, ns).established().len(), 1, "spoofed SYN must not kill");
+    assert_eq!(stack(&mut net, ns).challenge_acks(), 1);
+    run_for(&mut net, Dur::from_secs(1));
+    assert_eq!(stack(&mut net, nc).state(conn), CmState::Established);
+    assert_eq!(stack(&mut net, ns).established().len(), 1);
+}
+
+#[test]
+fn syn_flood_is_bounded_and_falls_back_to_cookies() {
+    let mut server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    server.listen(80);
+    for i in 0..100u32 {
+        let mut syn = forged(Endpoint::new(0xC000_0000 + i, 1000), Endpoint::new(B, 80));
+        syn.cm.flags.syn = true;
+        syn.cm.isn = 7000 + i;
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    assert_eq!(server.half_open_count(), MAX_HALF_OPEN);
+    assert_eq!(server.conn_count(), MAX_HALF_OPEN, "flood must not grow state");
+    assert_eq!(server.stats.syn_cookies_sent, 100 - MAX_HALF_OPEN as u64);
+    assert_eq!(server.stats.half_open_evictions, 0, "fresh half-opens are not evictable");
+}
+
+#[test]
+fn syn_cookie_completion_establishes_connection() {
+    let mut server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    server.listen(80);
+    for i in 0..MAX_HALF_OPEN as u32 {
+        let mut syn = forged(Endpoint::new(0xC000_0000 + i, 1000), Endpoint::new(B, 80));
+        syn.cm.flags.syn = true;
+        syn.cm.isn = 7000 + i;
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    let client_ep = Endpoint::new(0xC100_0000, 1234);
+    let mut syn = forged(client_ep, Endpoint::new(B, 80));
+    syn.cm.flags.syn = true;
+    syn.cm.isn = 42_000;
+    server.on_frame(Time::ZERO, &syn.encode());
+    assert_eq!(server.stats.syn_cookies_sent, 1);
+    assert_eq!(server.conn_count(), MAX_HALF_OPEN, "cookie SYN|ACK keeps no state");
+
+    // Fish the stateless SYN|ACK out of the transmit queue.
+    let mut cookie = None;
+    while let Some(frame) = server.poll_transmit(Time::ZERO) {
+        let pkt = Packet::decode(&frame).unwrap();
+        if pkt.cm.flags.syn && pkt.cm.flags.cm_ack && pkt.dst_addr == client_ep.addr {
+            assert_eq!(pkt.cm.ack_isn, 42_000);
+            cookie = Some(pkt.cm.isn);
+        }
+    }
+    let cookie = cookie.expect("stateless SYN|ACK was sent");
+
+    // The completing ACK echoes both ISNs in its CM subheader; a valid
+    // cookie rebuilds the connection the server never stored.
+    let mut ack = forged(client_ep, Endpoint::new(B, 80));
+    ack.cm.isn = 42_000;
+    ack.cm.ack_isn = cookie;
+    ack.rd.has_ack = true;
+    ack.rd.ack = cookie.wrapping_add(1);
+    ack.rd.seq = 42_001;
+    server.on_frame(Time::ZERO, &ack.encode());
+    assert_eq!(server.stats.syn_cookies_validated, 1);
+    assert_eq!(server.established().len(), 1);
+
+    // A guessed (wrong) cookie is refused statelessly.
+    let mut bad = forged(Endpoint::new(0xC200_0000, 999), Endpoint::new(B, 80));
+    bad.cm.isn = 5;
+    bad.cm.ack_isn = 12_345;
+    bad.rd.has_ack = true;
+    server.on_frame(Time::ZERO, &bad.encode());
+    assert_eq!(server.stats.syn_cookies_validated, 1);
+    assert_eq!(server.established().len(), 1);
+    assert!(server.stats.stateless_rsts_sent >= 1);
+}
+
+#[test]
+fn stale_half_open_is_evicted_for_fresh_syn() {
+    let mut server = SlTcpStack::new(B, SlConfig::default(), slmetrics::shared());
+    server.listen(80);
+    for i in 0..MAX_HALF_OPEN as u32 {
+        let mut syn = forged(Endpoint::new(0xC000_0000 + i, 1000), Endpoint::new(B, 80));
+        syn.cm.flags.syn = true;
+        syn.cm.isn = 7000 + i;
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    // Two seconds later the original half-opens are stale: a fresh SYN
+    // evicts the oldest instead of burning a cookie.
+    let mut syn = forged(Endpoint::new(0xC300_0000, 2000), Endpoint::new(B, 80));
+    syn.cm.flags.syn = true;
+    syn.cm.isn = 9_999;
+    server.on_frame(Time::ZERO + Dur::from_secs(2), &syn.encode());
+    assert_eq!(server.stats.half_open_evictions, 1);
+    assert_eq!(server.stats.syn_cookies_sent, 0);
+    assert_eq!(server.half_open_count(), MAX_HALF_OPEN);
+}
+
+#[test]
+fn ooo_spray_is_bounded_by_receiver_caps() {
+    let (mut net, _nc, ns, _conn, sconn) = established_pair(305);
+    let expected = stack(&mut net, ns).expected_wire_seq(sconn).unwrap();
+    // Disjoint 100-byte segments sprayed ahead of rcv_nxt but *inside*
+    // the RFC 793 validity window, so they reach the reassembly buffer:
+    // more non-contiguous ranges than the receiver will hold.
+    for i in 0..300u32 {
+        let mut pkt = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+        pkt.rd.seq = expected.wrapping_add(1 + i * 200);
+        pkt.payload = vec![0xAB; 100];
+        let now = net.now();
+        let frame = pkt.encode();
+        stack(&mut net, ns).on_frame(now, &frame);
+    }
+    // And a second volley far beyond the window, which must be refused
+    // at the acceptability check before touching any buffer.
+    for i in 0..50u32 {
+        let mut pkt = forged(Endpoint::new(A, 5000), Endpoint::new(B, 80));
+        pkt.rd.seq = expected.wrapping_add(1_000_000 + i * 2000);
+        pkt.payload = vec![0xCD; 900];
+        let now = net.now();
+        let frame = pkt.encode();
+        stack(&mut net, ns).on_frame(now, &frame);
+    }
+    let srv = stack(&mut net, ns);
+    let rd = srv.rd_stats(sconn).unwrap();
+    assert!(rd.ooo_range_drops > 0, "in-window spray must hit the cap");
+    assert_eq!(rd.invalid_seq_drops, 50, "far spray refused at the window");
+    assert!(srv.buffered_bytes() <= 96 * 1024, "held bytes stay bounded");
+    assert_eq!(srv.established().len(), 1, "the flow itself survives");
+}
+
+#[test]
+fn send_buffer_backpressure_caps_acceptance() {
+    let (mut net, nc, _ns, conn, _sconn) = established_pair(306);
+    let big = vec![7u8; 2 * SND_BUF_CAP];
+    let accepted = stack(&mut net, nc).send(conn, &big);
+    assert_eq!(accepted, SND_BUF_CAP, "write is capped, shortfall reported");
+    let more = stack(&mut net, nc).send(conn, &big);
+    assert_eq!(more, 0, "full buffer accepts nothing");
+}

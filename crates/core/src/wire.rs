@@ -19,6 +19,7 @@
 //! the monolithic stack possible (experiment E7).
 
 use tcp_mono::wire::Endpoint;
+pub use tcp_mono::wire::{WireError, MAX_FRAME_BYTES};
 
 /// Demultiplexing subheader — the only bits DM may touch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -123,12 +124,14 @@ impl Packet {
         );
         out.extend_from_slice(&self.cm.isn.to_be_bytes());
         out.extend_from_slice(&self.cm.ack_isn.to_be_bytes());
-        // RD
+        // RD. The header's 2-bit count carries at most two SACK ranges;
+        // clamp rather than let a longer vector silently alias the count
+        // bits in release builds.
         out.extend_from_slice(&self.rd.seq.to_be_bytes());
         out.extend_from_slice(&self.rd.ack.to_be_bytes());
-        debug_assert!(self.rd.sack.len() <= 2);
-        out.push((self.rd.has_ack as u8) | (self.rd.sack.len() as u8) << 1);
-        for r in &self.rd.sack {
+        let n_sack = self.rd.sack.len().min(2);
+        out.push((self.rd.has_ack as u8) | (n_sack as u8) << 1);
+        for r in self.rd.sack.iter().take(n_sack) {
             out.extend_from_slice(&r.start.to_be_bytes());
             out.extend_from_slice(&r.end.to_be_bytes());
         }
@@ -143,15 +146,24 @@ impl Packet {
         out
     }
 
-    pub fn decode(bytes: &[u8]) -> Option<Packet> {
-        if bytes.len() < 36 || bytes[0] != MAGIC {
-            return None;
+    /// Parse and verify; a typed [`WireError`] for anything malformed.
+    /// Arbitrary hostile bytes must classify — never panic, never
+    /// mis-parse into a structurally valid packet.
+    pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+        if bytes.first() != Some(&MAGIC) {
+            return Err(WireError::BadMagic);
+        }
+        if bytes.len() < 36 {
+            return Err(WireError::Truncated { need: 36, got: bytes.len() });
+        }
+        if bytes.len() > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { limit: MAX_FRAME_BYTES, got: bytes.len() });
         }
         let src_addr = u32::from_be_bytes(bytes[1..5].try_into().unwrap());
         let dst_addr = u32::from_be_bytes(bytes[5..9].try_into().unwrap());
         let csum = u16::from_be_bytes([bytes[9], bytes[10]]);
         if tcp_mono::wire::checksum(src_addr, dst_addr, &bytes[11..]) != csum {
-            return None;
+            return Err(WireError::BadChecksum);
         }
         let b = &bytes[11..];
         let mut i = 0;
@@ -183,8 +195,11 @@ impl Packet {
         i += 1;
         let has_ack = rdb & 1 != 0;
         let n_sack = ((rdb >> 1) & 0x3) as usize;
-        if n_sack > 2 || b.len() < i + n_sack * 8 + 3 {
-            return None;
+        if n_sack > 2 {
+            return Err(WireError::BadSackCount);
+        }
+        if b.len() < i + n_sack * 8 + 3 {
+            return Err(WireError::Truncated { need: 11 + i + n_sack * 8 + 3, got: bytes.len() });
         }
         let mut sack = Vec::with_capacity(n_sack);
         for _ in 0..n_sack {
@@ -196,7 +211,7 @@ impl Packet {
         i += 1;
         let rcv_wnd = u16::from_be_bytes([b[i], b[i + 1]]);
         i += 2;
-        Some(Packet {
+        Ok(Packet {
             src_addr,
             dst_addr,
             dm: DmHeader { src_port, dst_port },
@@ -283,7 +298,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let p = sample();
-        assert_eq!(Packet::decode(&p.encode()), Some(p));
+        assert_eq!(Packet::decode(&p.encode()), Ok(p));
     }
 
     #[test]
@@ -294,14 +309,25 @@ mod tests {
             dm: DmHeader { src_port: 1, dst_port: 2 },
             ..Default::default()
         };
-        assert_eq!(Packet::decode(&p.encode()), Some(p));
+        assert_eq!(Packet::decode(&p.encode()), Ok(p));
     }
 
     #[test]
     fn round_trip_two_sack_ranges() {
         let mut p = sample();
         p.rd.sack.push(SackRange { start: 500, end: 600 });
-        assert_eq!(Packet::decode(&p.encode()), Some(p));
+        assert_eq!(Packet::decode(&p.encode()), Ok(p));
+    }
+
+    #[test]
+    fn encode_clamps_excess_sack_ranges() {
+        // The 2-bit on-wire count cannot carry more than two ranges; a
+        // third must be dropped at encode, not allowed to alias the count.
+        let mut p = sample();
+        p.rd.sack.push(SackRange { start: 500, end: 600 });
+        p.rd.sack.push(SackRange { start: 700, end: 800 });
+        let got = Packet::decode(&p.encode()).expect("still decodes");
+        assert_eq!(got.rd.sack, p.rd.sack[..2].to_vec());
     }
 
     #[test]
@@ -310,10 +336,53 @@ mod tests {
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x10;
-            if let Some(got) = Packet::decode(&bad) {
+            if let Ok(got) = Packet::decode(&bad) {
                 panic!("flip at {i} undetected: {got:?}");
             }
         }
+    }
+
+    #[test]
+    fn truncation_regressions() {
+        // Every prefix of a valid packet must yield a typed error — the
+        // fuzz-found class this decoder must never panic on again.
+        let bytes = sample().encode();
+        for n in 0..bytes.len() {
+            let err = Packet::decode(&bytes[..n]).expect_err("prefix accepted");
+            if n == 0 {
+                assert_eq!(err, WireError::BadMagic);
+            } else if n < 36 {
+                assert_eq!(err, WireError::Truncated { need: 36, got: n });
+            }
+        }
+    }
+
+    #[test]
+    fn advertised_sack_past_end_is_truncated_error() {
+        // Re-seal the checksum after raising the SACK count so the length
+        // guard (not the checksum) must catch the overrun.
+        let mut bytes = Packet { payload: vec![], ..sample() }.encode();
+        let rdb_at = 11 + 21; // body offset of the RD count byte
+        bytes[rdb_at] = (bytes[rdb_at] & 1) | (2 << 1); // claim 2 ranges, carry 1
+        let src = u32::from_be_bytes(bytes[1..5].try_into().unwrap());
+        let dst = u32::from_be_bytes(bytes[5..9].try_into().unwrap());
+        let csum = tcp_mono::wire::checksum(src, dst, &bytes[11..]);
+        bytes[9] = (csum >> 8) as u8;
+        bytes[10] = csum as u8;
+        assert!(matches!(
+            Packet::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bytes = vec![0u8; MAX_FRAME_BYTES + 1];
+        bytes[0] = 0x5B;
+        assert_eq!(
+            Packet::decode(&bytes),
+            Err(WireError::Oversized { limit: MAX_FRAME_BYTES, got: MAX_FRAME_BYTES + 1 })
+        );
     }
 
     #[test]
@@ -330,7 +399,7 @@ mod tests {
             mss: None,
             payload: vec![],
         };
-        assert_eq!(Packet::decode(&seg.encode()), None);
+        assert_eq!(Packet::decode(&seg.encode()), Err(WireError::BadMagic));
     }
 
     #[test]
@@ -370,7 +439,33 @@ mod tests {
                 osr: OsrHeader { ecn_echo: ecn, rcv_wnd: wnd },
                 payload,
             };
-            proptest::prop_assert_eq!(Packet::decode(&pkt.encode()), Some(pkt));
+            proptest::prop_assert_eq!(Packet::decode(&pkt.encode()), Ok(pkt));
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..600),
+        ) {
+            // Ok or typed Err — any panic fails the harness itself.
+            let _ = Packet::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_mutated_valid_packet(
+            flip in 0usize..48, val: u8,
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+        ) {
+            // Mutate an almost-valid frame, then re-seal the checksum so the
+            // parse proper (SACK counts, lengths) is what gets probed.
+            let mut bytes = Packet { payload, ..sample() }.encode();
+            let i = flip % bytes.len();
+            bytes[i] = val;
+            let src = u32::from_be_bytes(bytes[1..5].try_into().unwrap());
+            let dst = u32::from_be_bytes(bytes[5..9].try_into().unwrap());
+            let csum = tcp_mono::wire::checksum(src, dst, &bytes[11..]);
+            bytes[9] = (csum >> 8) as u8;
+            bytes[10] = csum as u8;
+            let _ = Packet::decode(&bytes);
         }
     }
 

@@ -12,6 +12,9 @@
 //! * replayable chaos campaigns ([`AdminOp`]): scheduled link partitions
 //!   and flaps, rate throttling, fault-profile swaps, and node restarts
 //!   with state loss;
+//! * an adversarial man-in-the-middle bridge ([`Attacker`]) that forges,
+//!   replays and fuzzily mutates segments through a per-stack
+//!   [`AttackCodec`], for robustness campaigns;
 //! * point-to-point links with propagation delay, serialization delay and
 //!   MTU ([`LinkParams`]);
 //! * a multi-node simulator ([`SimNet`]) hosting [`Node`]s;
@@ -22,6 +25,7 @@
 //! insertion order and all randomness flows from per-link forks of a single
 //! root seed.
 
+pub mod attack;
 pub mod event;
 pub mod fault;
 pub mod net;
@@ -29,6 +33,7 @@ pub mod rng;
 pub mod stack;
 pub mod time;
 
+pub use attack::{AttackCodec, AttackConfig, Attacker, AttackerStats, SeqKnowledge, SnoopInfo};
 pub use event::EventQueue;
 pub use fault::{BurstLoss, FaultConfigError, FaultInjector, FaultProfile, FaultStats, Fate};
 pub use net::{AdminOp, DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, PortId, SimNet, TimerId};

@@ -89,6 +89,48 @@ impl AccessLog {
     }
 }
 
+/// Aggregate attack/defense counters for one endpoint of an adversarial
+/// campaign (experiment E14). Both stacks expose the underlying numbers
+/// in their own stats; the campaign harness folds them into this shared
+/// shape so the two stacks' robustness is compared like for like.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttackCounters {
+    /// Segments the attacker put on the wire beyond honest forwarding
+    /// (forged RST/SYN/data, replays, mutations, flood SYNs).
+    pub forged_segments: u64,
+    /// RFC 5961 challenge ACKs the victim issued instead of obeying an
+    /// in-window RST or SYN.
+    pub challenge_acks: u64,
+    /// Stateless SYN cookies sent while the half-open queue was full.
+    pub syn_cookies_sent: u64,
+    /// Connections established by a returning valid cookie.
+    pub syn_cookies_validated: u64,
+    /// Stale half-open connections evicted to absorb a flood.
+    pub half_open_evictions: u64,
+    /// Frames rejected by the hardened wire decoder.
+    pub bad_frames_rejected: u64,
+    /// Out-of-order data dropped by receive-buffer caps.
+    pub overflow_drops: u64,
+    /// Segments dropped for carrying a sequence (or ack) far outside any
+    /// plausible window — blind injection noise (RFC 793 acceptability /
+    /// RFC 5961 §5).
+    pub invalid_seq_drops: u64,
+}
+
+impl AttackCounters {
+    /// Merge another endpoint's counters into this one.
+    pub fn absorb(&mut self, other: &AttackCounters) {
+        self.forged_segments += other.forged_segments;
+        self.challenge_acks += other.challenge_acks;
+        self.syn_cookies_sent += other.syn_cookies_sent;
+        self.syn_cookies_validated += other.syn_cookies_validated;
+        self.half_open_evictions += other.half_open_evictions;
+        self.bad_frames_rejected += other.bad_frames_rejected;
+        self.overflow_drops += other.overflow_drops;
+        self.invalid_seq_drops += other.invalid_seq_drops;
+    }
+}
+
 /// The field-sharing structure derived from an [`AccessLog`].
 #[derive(Clone, Debug)]
 pub struct InteractionMatrix {

@@ -12,11 +12,14 @@
 //! * the combined, monolithic product model explodes multiplicatively
 //!   (experiment E6);
 //! * the checker also *finds real protocol bugs*: the sliding-window
-//!   sequence-aliasing counterexample when `S < 2W`, and the stale-
-//!   incarnation bug of a two-message handshake (why TCP needs three).
+//!   sequence-aliasing counterexample when `S < 2W`, the stale-
+//!   incarnation bug of a two-message handshake (why TCP needs three),
+//!   and the pre-RFC-5961 blind in-window RST attack — with the
+//!   challenge-ACK discipline proved safe against every below-threshold
+//!   sequence guess ([`models::RstAttack`], experiment E14).
 
 pub mod checker;
 pub mod models;
 
 pub use checker::{check, CheckResult, Model, Trace};
-pub use models::{AltBit, Combined, Handshake, SlidingWindow};
+pub use models::{AltBit, Combined, Handshake, RstAttack, SlidingWindow};

@@ -13,7 +13,12 @@
 //!   the checker catching why the third message exists;
 //! * [`Combined`] — handshake × window in one monolithic state machine:
 //!   the state-space product that makes monolithic verification expensive
-//!   (§4.2's O(N²) lesson, measured).
+//!   (§4.2's O(N²) lesson, measured);
+//! * [`RstAttack`] — an established connection under forged-RST attack:
+//!   the RFC 5961 challenge-ACK discipline proved safe against every
+//!   below-threshold sequence guess (E14's model-checked core), in both a
+//!   sublayered (RD stamps the verdict, CM acts on it) and a monolithic
+//!   shape.
 
 use crate::checker::Model;
 
@@ -561,6 +566,270 @@ mod tests {
     fn handshake_deadlock_free_modulo_done_states() {
         let r = check(&Handshake { three_way: true }, 1_000_000);
         assert_eq!(r.deadlocks, 0, "{r:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forged RST vs challenge ACK (RFC 5961).
+// ---------------------------------------------------------------------
+
+/// An established connection under blind-RST attack — the model-checked
+/// core of experiment E14. The honest peer streams `n_msgs` in-order data
+/// segments; the attacker injects up to `budget` forged RSTs.
+///
+/// The attacker is *below the sequence-knowledge threshold*: a forged RST
+/// carries `miss`, how far its guess lands from the victim's exact
+/// expectation when the segment is judged — any value except zero
+/// (mirroring `SeqKnowledge::{InWindow, Blind}` in the simulator; a guess
+/// that collides exactly is above-threshold by definition, and RFC 5961
+/// makes no promise there).
+///
+/// `defended: true` is the RFC 5961 discipline: a RST is obeyed only at
+/// the exact expected sequence; in-window-but-not-exact draws a challenge
+/// ACK; anything else is dropped. `defended: false` is classic pre-5961
+/// TCP — any in-window RST resets — and the checker produces the
+/// counterexample.
+///
+/// `sublayered: true` mirrors core's shape: a distinct RD transition
+/// stamps the sequence-validity verdict, then a CM transition acts on the
+/// stamped verdict without re-reading sequence numbers. `false` mirrors
+/// tcp-mono: classification and action fused in one transition. Both
+/// shapes must satisfy the same invariant.
+pub struct RstAttack {
+    pub s_mod: u8,
+    /// Receive-window size (in-window means distance `< w`).
+    pub w: u8,
+    pub n_msgs: u8,
+    /// Forged RSTs the attacker may inject.
+    pub budget: u8,
+    pub defended: bool,
+    pub sublayered: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RstSeg {
+    /// In-order data from the honest peer (absolute wire sequence).
+    Data { seq: u8 },
+    /// Forged RST, encoded by how far the guess misses (never 0).
+    Rst { miss: u8 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SeqVerdict {
+    Exact,
+    InWindow,
+    Outside,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RstAttackState {
+    established: bool,
+    rcv_nxt: u8,
+    delivered: u8,
+    /// One channel slot toward the victim.
+    seg: Option<RstSeg>,
+    /// Sublayered shape only: RD's stamped verdict awaiting CM/delivery.
+    staged: Option<(RstSeg, SeqVerdict)>,
+    /// A challenge ACK was issued at least once.
+    challenged: bool,
+    budget: u8,
+}
+
+impl RstAttack {
+    fn classify(&self, rcv_nxt: u8, seg: &RstSeg) -> SeqVerdict {
+        let dist = match seg {
+            RstSeg::Data { seq } => (seq + self.s_mod - rcv_nxt) % self.s_mod,
+            RstSeg::Rst { miss } => *miss,
+        };
+        if dist == 0 {
+            SeqVerdict::Exact
+        } else if dist < self.w {
+            SeqVerdict::InWindow
+        } else {
+            SeqVerdict::Outside
+        }
+    }
+
+    /// The CM/delivery action on a judged segment; returns the label.
+    fn apply(&self, ns: &mut RstAttackState, seg: RstSeg, v: SeqVerdict) -> &'static str {
+        match seg {
+            RstSeg::Rst { .. } => match v {
+                SeqVerdict::Exact => {
+                    ns.established = false;
+                    "rst_exact"
+                }
+                SeqVerdict::InWindow if self.defended => {
+                    ns.challenged = true;
+                    "challenge_ack"
+                }
+                SeqVerdict::InWindow => {
+                    ns.established = false;
+                    "rst_in_window"
+                }
+                SeqVerdict::Outside => "rst_dropped",
+            },
+            RstSeg::Data { .. } => match v {
+                SeqVerdict::Exact => {
+                    ns.rcv_nxt = (ns.rcv_nxt + 1) % self.s_mod;
+                    ns.delivered += 1;
+                    "deliver"
+                }
+                _ => "data_dropped",
+            },
+        }
+    }
+}
+
+impl Model for RstAttack {
+    type State = RstAttackState;
+
+    fn init(&self) -> Vec<RstAttackState> {
+        vec![RstAttackState {
+            established: true,
+            rcv_nxt: 0,
+            delivered: 0,
+            seg: None,
+            staged: None,
+            challenged: false,
+            budget: self.budget,
+        }]
+    }
+
+    fn next(&self, s: &RstAttackState) -> Vec<(&'static str, RstAttackState)> {
+        let mut out = Vec::new();
+        if !s.established {
+            return out; // the invariant has already flagged this state
+        }
+        // Honest peer streams the next in-order byte.
+        if s.seg.is_none() && s.delivered < self.n_msgs {
+            let mut ns = *s;
+            ns.seg = Some(RstSeg::Data { seq: s.rcv_nxt });
+            out.push(("peer_data", ns));
+        }
+        // Attacker forges a RST at every below-threshold miss distance.
+        if s.seg.is_none() && s.budget > 0 {
+            for miss in 1..self.s_mod {
+                let mut ns = *s;
+                ns.seg = Some(RstSeg::Rst { miss });
+                ns.budget -= 1;
+                out.push(("attacker_rst", ns));
+            }
+        }
+        // Victim consumes the channel slot.
+        if let Some(seg) = s.seg {
+            let v = self.classify(s.rcv_nxt, &seg);
+            if self.sublayered {
+                // RD stamps the verdict; CM acts on it in a later step.
+                if s.staged.is_none() {
+                    let mut ns = *s;
+                    ns.seg = None;
+                    ns.staged = Some((seg, v));
+                    out.push(("rd_classify", ns));
+                }
+            } else {
+                let mut ns = *s;
+                ns.seg = None;
+                let label = self.apply(&mut ns, seg, v);
+                out.push((label, ns));
+            }
+        }
+        // Sublayered CM/delivery step on the stamped verdict.
+        if let Some((seg, v)) = s.staged {
+            let mut ns = *s;
+            ns.staged = None;
+            let label = self.apply(&mut ns, seg, v);
+            out.push((label, ns));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &RstAttackState) -> Result<(), String> {
+        if !s.established {
+            return Err("victim reset by a forged RST that missed the exact sequence".into());
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &RstAttackState) -> bool {
+        s.delivered == self.n_msgs && s.seg.is_none() && s.staged.is_none()
+    }
+}
+
+#[cfg(test)]
+mod rst_tests {
+    use super::*;
+    use crate::checker::check;
+
+    fn model(defended: bool, sublayered: bool) -> RstAttack {
+        RstAttack { s_mod: 8, w: 3, n_msgs: 3, budget: 2, defended, sublayered }
+    }
+
+    #[test]
+    fn defended_connection_survives_every_below_threshold_rst() {
+        // The E14 theorem: with RFC 5961 discipline, no schedule of
+        // wrong-sequence RSTs reaches Closed from Established — in the
+        // sublayered shape AND the monolithic shape.
+        for sublayered in [true, false] {
+            let r = check(&model(true, sublayered), 2_000_000);
+            assert!(r.ok(), "sublayered={sublayered}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn undefended_connection_killed_by_in_window_rst() {
+        // Classic pre-5961 TCP: the checker exhibits the blind in-window
+        // RST attack in both shapes.
+        for sublayered in [true, false] {
+            let r = check(&model(false, sublayered), 2_000_000);
+            let v = r.violation.unwrap_or_else(|| panic!("sublayered={sublayered} must die"));
+            assert!(v.reason.contains("reset"), "{v:?}");
+            assert!(v.actions.contains(&"attacker_rst"), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn in_window_miss_draws_challenge_ack_not_reset() {
+        // Single-step: a defended victim answers an in-window miss with a
+        // challenge ACK and stays established.
+        let m = model(true, false);
+        let s0 = RstAttackState {
+            established: true,
+            rcv_nxt: 0,
+            delivered: 0,
+            seg: Some(RstSeg::Rst { miss: 1 }),
+            staged: None,
+            challenged: false,
+            budget: 0,
+        };
+        let succ = m.next(&s0);
+        assert!(
+            succ.iter().any(|(a, ns)| *a == "challenge_ack" && ns.established && ns.challenged),
+            "{succ:?}"
+        );
+    }
+
+    #[test]
+    fn sublayered_shape_stages_the_verdict() {
+        // The decomposed shape really is decomposed: classification is its
+        // own transition, and the stamped verdict survives stream advance.
+        let m = model(true, true);
+        let s0 = RstAttackState {
+            established: true,
+            rcv_nxt: 0,
+            delivered: 0,
+            seg: Some(RstSeg::Rst { miss: 1 }),
+            staged: None,
+            challenged: false,
+            budget: 0,
+        };
+        let succ = m.next(&s0);
+        let (_, staged) = succ
+            .iter()
+            .find(|(a, _)| *a == "rd_classify")
+            .expect("RD step first");
+        assert_eq!(staged.staged, Some((RstSeg::Rst { miss: 1 }, SeqVerdict::InWindow)));
+        let succ2 = m.next(staged);
+        assert!(succ2.iter().any(|(a, ns)| *a == "challenge_ack" && ns.established));
     }
 }
 

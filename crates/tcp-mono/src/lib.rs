@@ -22,7 +22,7 @@ pub mod wire;
 
 pub use pcb::{Pcb, TcpState, DEFAULT_MSS};
 pub use stack::{Keepalive, TcpStack, TcpStats};
-pub use wire::{Endpoint, FourTuple, Segment};
+pub use wire::{Endpoint, FourTuple, Segment, WireError};
 
 #[cfg(test)]
 mod tests;

@@ -30,7 +30,34 @@ pub struct TcpStats {
     pub conns_opened: u64,
     pub conns_reset: u64,
     pub keepalive_probes: u64,
+    /// RFC 5961 challenge ACKs sent for suspect in-window RST/SYN.
+    pub challenge_acks: u64,
+    /// Stateless SYN|ACKs sent because the half-open queue was full.
+    pub syn_cookies_sent: u64,
+    /// Connections completed from a returned cookie.
+    pub syn_cookies_validated: u64,
+    /// Stale half-open PCBs evicted to admit a new SYN.
+    pub half_open_evictions: u64,
+    /// ACKs dropped for being far outside the plausible window (RFC 5961 §5).
+    pub old_ack_drops: u64,
+    /// Out-of-order payload bytes discarded at the reassembly byte cap.
+    pub ooo_overflow_drops: u64,
 }
+
+/// Half-open (SYN_RCVD) connections tolerated per host; beyond this a
+/// flood is answered with stateless SYN cookies or eviction, never more
+/// memory.
+pub const MAX_HALF_OPEN: usize = 16;
+/// A half-open this old (one initial RTO, i.e. already retransmitting its
+/// SYN|ACK) may be evicted for a fresh SYN.
+const HALF_OPEN_EVICT_AGE: Dur = Dur(1_000_000_000);
+/// Send-buffer cap: `send` accepts at most this much unacknowledged +
+/// unsent data, so the retransmit queue is bounded and the application
+/// feels backpressure through the short count.
+pub const SND_BUF_CAP: usize = 1 << 20;
+/// Largest plausible distance an honest ACK can trail `snd_una`
+/// (RFC 5961 §5: anything older is blind noise and is dropped silently).
+const MAX_ACK_AGE: u32 = 65_535;
 
 /// Keepalive policy (off by default; see [`TcpStack::set_keepalive`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,15 +171,18 @@ impl TcpStack {
         tuple
     }
 
-    /// Queue application data. Returns bytes accepted.
+    /// Queue application data. Returns bytes accepted — short counts mean
+    /// the bounded send buffer is full (backpressure; retry after acks
+    /// drain it).
     pub fn send(&mut self, tuple: FourTuple, data: &[u8]) -> usize {
         let Some(pcb) = self.conns.get_mut(&tuple) else { return 0 };
         if !pcb.state.can_send() || pcb.fin_queued {
             return 0;
         }
         self.log.borrow_mut().w(RD, "snd_buf");
-        pcb.snd_buf.extend(data.iter().copied());
-        data.len()
+        let n = data.len().min(SND_BUF_CAP.saturating_sub(pcb.snd_buf.len()));
+        pcb.snd_buf.extend(data[..n].iter().copied());
+        n
     }
 
     /// Drain received in-order bytes.
@@ -238,6 +268,24 @@ impl TcpStack {
         self.conns.len()
     }
 
+    /// Direct PCB access for tests and campaign invariants (read-only).
+    pub fn pcb(&self, tuple: FourTuple) -> Option<&Pcb> {
+        self.conns.get(&tuple)
+    }
+
+    /// Total bytes held across all connection buffers — the quantity the
+    /// resource-governance invariants bound under attack.
+    pub fn buffered_bytes(&self) -> usize {
+        self.conns
+            .values()
+            .map(|p| {
+                p.snd_buf.len()
+                    + p.rcv_buf.len()
+                    + p.ooo.values().map(|d| d.len()).sum::<usize>()
+            })
+            .sum()
+    }
+
     fn push(&mut self, seg: Segment) {
         self.stats.segs_sent += 1;
         self.outbox.push_back(seg.encode());
@@ -280,6 +328,61 @@ impl TcpStack {
         };
         self.stats.rsts_sent += 1;
         self.push(rst);
+    }
+
+    /// RFC 5961 challenge ACK: instead of acting on a suspect in-window
+    /// RST or SYN, re-assert our state; a legitimate peer answers with an
+    /// exact-sequence RST, a blind attacker learns nothing.
+    fn challenge_ack(&mut self, pcb: &Pcb) {
+        self.log.borrow_mut().r(RD, "snd_nxt");
+        self.log.borrow_mut().r(RD, "rcv_nxt");
+        self.log.borrow_mut().r(FC, "rcv_wnd");
+        let seg = Segment {
+            src: pcb.tuple.local,
+            dst: pcb.tuple.remote,
+            seq: pcb.snd_nxt,
+            ack: pcb.rcv_nxt,
+            flags: ACK,
+            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            mss: None,
+            payload: Vec::new(),
+        };
+        self.stats.challenge_acks += 1;
+        self.push(seg);
+    }
+
+    /// Connections still completing the handshake (SYN queue occupancy).
+    pub fn half_open_count(&self) -> usize {
+        self.conns.values().filter(|p| p.state == TcpState::SynRcvd).count()
+    }
+
+    /// Oldest half-open connection that has sat at least one RTO without
+    /// progress — the eviction victim under SYN flood.
+    fn stale_half_open(&self, now: Time) -> Option<FourTuple> {
+        self.conns
+            .values()
+            .filter(|p| p.state == TcpState::SynRcvd)
+            .filter(|p| now.since(p.last_rx) >= HALF_OPEN_EVICT_AGE)
+            .map(|p| (p.last_rx, p.tuple))
+            .min()
+            .map(|(_, t)| t)
+    }
+
+    /// Stateless SYN-cookie ISN: a keyed mix of the 4-tuple and the
+    /// client's ISN, recomputable when the handshake-completing ACK
+    /// returns so no per-SYN state need exist.
+    fn syn_cookie(&self, tuple: &FourTuple, irs: u32) -> u32 {
+        let mut h = 0x9E37_79B9u32 ^ self.addr;
+        for v in [
+            tuple.local.addr,
+            tuple.local.port as u32,
+            tuple.remote.addr,
+            tuple.remote.port as u32,
+            irs,
+        ] {
+            h = h.wrapping_add(v).wrapping_mul(2_654_435_761).rotate_left(13);
+        }
+        h
     }
 
     /// Transmit whatever the window allows for `tuple` (tcp_output).
@@ -435,6 +538,31 @@ impl TcpStack {
         let Some(mut pcb) = self.conns.remove(&tuple) else {
             // ---- connection management: passive open ----
             if seg.syn() && !seg.ack_flag() && self.listeners.contains(&seg.dst.port) {
+                // Resource governance: the half-open queue is bounded. At
+                // the cap, evict a stale embryo if one exists, otherwise
+                // fall back to a stateless SYN cookie so a flood costs
+                // bandwidth, not memory.
+                if self.half_open_count() >= MAX_HALF_OPEN {
+                    if let Some(victim) = self.stale_half_open(now) {
+                        self.conns.remove(&victim);
+                        self.stats.half_open_evictions += 1;
+                    } else {
+                        let cookie = self.syn_cookie(&tuple, seg.seq);
+                        let synack = Segment {
+                            src: seg.dst,
+                            dst: seg.src,
+                            seq: cookie,
+                            ack: seg.seq.wrapping_add(1),
+                            flags: SYN | ACK,
+                            wnd: (RCV_BUF_CAP as u32).min(u16::MAX as u32) as u16,
+                            mss: Some(DEFAULT_MSS),
+                            payload: Vec::new(),
+                        };
+                        self.stats.syn_cookies_sent += 1;
+                        self.push(synack);
+                        return;
+                    }
+                }
                 self.log.borrow_mut().w(CONN, "state");
                 self.log.borrow_mut().w(CONN, "iss");
                 self.log.borrow_mut().w(CONN, "irs");
@@ -457,6 +585,35 @@ impl TcpStack {
                 self.stats.conns_opened += 1;
                 self.send_syn(&mut pcb, true);
                 self.conns.insert(tuple, pcb);
+            } else if seg.ack_flag()
+                && !seg.syn()
+                && !seg.rst()
+                && self.listeners.contains(&seg.dst.port)
+                && seg.ack.wrapping_sub(1) == self.syn_cookie(&tuple, seg.seq.wrapping_sub(1))
+            {
+                // The handshake-completing ACK of a cookie we issued
+                // statelessly: reconstruct the connection from the
+                // sequence numbers alone. (The cookie encodes no MSS, so
+                // the connection runs at the default.)
+                self.log.borrow_mut().w(CONN, "state");
+                let cookie = seg.ack.wrapping_sub(1);
+                let mut pcb = Pcb::new(tuple, TcpState::Established, cookie);
+                pcb.snd_una = seg.ack;
+                pcb.snd_nxt = seg.ack;
+                pcb.snd_max = seg.ack;
+                pcb.snd_buf_seq = seg.ack;
+                pcb.irs = seg.seq.wrapping_sub(1);
+                pcb.rcv_nxt = seg.seq;
+                pcb.snd_wnd = seg.wnd as u32;
+                pcb.snd_wl1 = seg.seq;
+                pcb.snd_wl2 = seg.ack;
+                pcb.last_rx = now;
+                self.stats.conns_opened += 1;
+                self.stats.syn_cookies_validated += 1;
+                self.conns.insert(tuple, pcb);
+                // Re-enter input processing: the ACK may carry data.
+                self.stats.segs_received -= 1; // avoid double count
+                self.on_segment(now, seg);
             } else {
                 self.send_rst_for(&seg);
             }
@@ -562,6 +719,18 @@ impl TcpStack {
             return;
         }
 
+        // ---- connection management: stray SYN (RFC 5961 §4) ----
+        if seg.syn() {
+            // A SYN on a synchronized connection — any sequence, in or
+            // out of window — gets a challenge ACK, never a reset: a
+            // spoofed SYN must not kill a live connection, and a peer
+            // that genuinely restarted will answer the challenge with an
+            // exact-sequence RST.
+            self.challenge_ack(&pcb);
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+
         // ---- reliable delivery: sequence acceptability (RFC 793) ----
         self.log.borrow_mut().r(RD, "rcv_nxt");
         self.log.borrow_mut().r(FC, "rcv_wnd");
@@ -590,16 +759,20 @@ impl TcpStack {
             return;
         }
 
-        // ---- connection management: RST / stray SYN ----
+        // ---- connection management: RST / stray SYN (RFC 5961) ----
         if seg.rst() {
-            self.stats.conns_reset += 1;
-            self.errors.entry(tuple).or_insert(TransportError::Reset);
-            return; // pcb dropped
-        }
-        if seg.syn() {
-            // SYN inside the window of a synchronized connection: error.
-            self.stats.conns_reset += 1;
-            self.send_rst_for(&seg);
+            self.log.borrow_mut().r(CONN, "rcv_nxt");
+            if seg.seq == pcb.rcv_nxt {
+                // Exact-sequence RST: genuine abort.
+                self.stats.conns_reset += 1;
+                self.errors.entry(tuple).or_insert(TransportError::Reset);
+                return; // pcb dropped
+            }
+            // In-window but not exact: a blind attacker's best guess.
+            // Challenge; a real peer that meant it answers with the exact
+            // sequence.
+            self.challenge_ack(&pcb);
+            self.conns.insert(tuple, pcb);
             return;
         }
         if !seg.ack_flag() {
@@ -626,9 +799,16 @@ impl TcpStack {
 
         // ---- reliable delivery + congestion control: ACK processing ----
         if seq::gt(seg.ack, pcb.snd_max) {
-            // Acks something never sent.
+            // Acks something never sent: challenge (RFC 5961 §5).
             pcb.ack_pending = true;
             self.output_pcb(now, &mut pcb);
+            self.conns.insert(tuple, pcb);
+            return;
+        }
+        if seq::lt(seg.ack, pcb.snd_una.wrapping_sub(MAX_ACK_AGE)) {
+            // Trails snd_una by more than any plausible window: blind
+            // injection noise — drop without reply (RFC 5961 §5).
+            self.stats.old_ack_drops += 1;
             self.conns.insert(tuple, pcb);
             return;
         }
@@ -826,8 +1006,17 @@ impl TcpStack {
                             pcb.rcv_buf.extend(d.into_iter().skip(skip));
                         }
                     }
-                } else if pcb.ooo.len() < 256 {
-                    pcb.ooo.insert(start, data);
+                } else {
+                    // Out-of-order hold is capped in entries AND bytes: a
+                    // peer (or injector) spraying the window can cost at
+                    // most one receive buffer of memory; beyond that the
+                    // data is dropped and must be retransmitted in order.
+                    let held: usize = pcb.ooo.values().map(|d| d.len()).sum();
+                    if pcb.ooo.len() < 256 && held + data.len() <= RCV_BUF_CAP {
+                        pcb.ooo.insert(start, data);
+                    } else {
+                        self.stats.ooo_overflow_drops += 1;
+                    }
                 }
             }
             pcb.ack_pending = true;
@@ -1002,8 +1191,8 @@ impl TcpStack {
 impl Stack for TcpStack {
     fn on_frame(&mut self, now: Time, frame: &[u8]) {
         match Segment::decode(frame) {
-            Some(seg) => self.on_segment(now, seg),
-            None => self.stats.bad_segments += 1,
+            Ok(seg) => self.on_segment(now, seg),
+            Err(_) => self.stats.bad_segments += 1,
         }
     }
 

@@ -464,3 +464,294 @@ fn half_close_allows_continued_receive() {
     run_for(&mut net, Dur::from_secs(3));
     assert_eq!(client(&mut net, nc).recv(conn), b"still talking");
 }
+
+// ---------------------------------------------------------------------
+// RFC 5961 injection defenses + SYN-flood resource governance (PR 2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn inwindow_blind_rst_is_challenged_not_fatal() {
+    use crate::wire::{Segment, RST};
+    use netsim::Stack;
+    let (mut net, nc, _ns, conn) = pair(60, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+    // Forge an RST whose sequence is inside the window but not exactly
+    // rcv_nxt — the best a blind (sub-threshold) attacker can do.
+    let rcv_nxt = client(&mut net, nc).pcb(conn).unwrap().rcv_nxt;
+    let rst = Segment {
+        src: conn.remote,
+        dst: conn.local,
+        seq: rcv_nxt.wrapping_add(100),
+        ack: 0,
+        flags: RST,
+        wnd: 0,
+        mss: None,
+        payload: Vec::new(),
+    };
+    let now = net.now();
+    client(&mut net, nc).on_frame(now, &rst.encode());
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established, "blind RST must not kill");
+    assert_eq!(client(&mut net, nc).stats.challenge_acks, 1);
+    assert_eq!(client(&mut net, nc).conn_error(conn), None);
+}
+
+#[test]
+fn exact_sequence_rst_still_resets() {
+    use crate::wire::{Segment, RST};
+    use netsim::Stack;
+    let (mut net, nc, _ns, conn) = pair(61, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    let rcv_nxt = client(&mut net, nc).pcb(conn).unwrap().rcv_nxt;
+    let rst = Segment {
+        src: conn.remote,
+        dst: conn.local,
+        seq: rcv_nxt,
+        ack: 0,
+        flags: RST,
+        wnd: 0,
+        mss: None,
+        payload: Vec::new(),
+    };
+    let now = net.now();
+    client(&mut net, nc).on_frame(now, &rst.encode());
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Closed);
+    assert_eq!(client(&mut net, nc).conn_error(conn), Some(TransportError::Reset));
+}
+
+#[test]
+fn inwindow_syn_is_challenged_not_reset() {
+    use crate::wire::{Segment, SYN};
+    use netsim::Stack;
+    let (mut net, nc, _ns, conn) = pair(62, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    let rcv_nxt = client(&mut net, nc).pcb(conn).unwrap().rcv_nxt;
+    let syn = Segment {
+        src: conn.remote,
+        dst: conn.local,
+        seq: rcv_nxt.wrapping_add(5),
+        ack: 0,
+        flags: SYN,
+        wnd: 100,
+        mss: None,
+        payload: Vec::new(),
+    };
+    let now = net.now();
+    let rsts_before = client(&mut net, nc).stats.rsts_sent;
+    client(&mut net, nc).on_frame(now, &syn.encode());
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+    assert_eq!(client(&mut net, nc).stats.challenge_acks, 1);
+    assert_eq!(client(&mut net, nc).stats.rsts_sent, rsts_before, "no RST for in-window SYN");
+}
+
+#[test]
+fn ancient_blind_ack_dropped_silently() {
+    use crate::wire::{Segment, ACK};
+    use netsim::Stack;
+    let (mut net, nc, _ns, conn) = pair(63, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    let p = client(&mut net, nc).pcb(conn).unwrap();
+    let (snd_una, rcv_nxt) = (p.snd_una, p.rcv_nxt);
+    let ack = Segment {
+        src: conn.remote,
+        dst: conn.local,
+        seq: rcv_nxt,
+        ack: snd_una.wrapping_sub(1_000_000),
+        flags: ACK,
+        wnd: 100,
+        mss: None,
+        payload: Vec::new(),
+    };
+    let now = net.now();
+    client(&mut net, nc).on_frame(now, &ack.encode());
+    assert_eq!(client(&mut net, nc).stats.old_ack_drops, 1);
+    assert_eq!(client(&mut net, nc).state(conn), TcpState::Established);
+}
+
+#[test]
+fn syn_flood_is_bounded_and_falls_back_to_cookies() {
+    use crate::stack::MAX_HALF_OPEN;
+    use crate::wire::{Segment, SYN};
+    use netsim::Stack;
+    let mut server = TcpStack::new(B, slmetrics::shared());
+    server.listen(80);
+    for i in 0..100u16 {
+        let syn = Segment {
+            src: Endpoint::new(0xC0000000 + i as u32, 1000 + i),
+            dst: Endpoint::new(B, 80),
+            seq: 7777 + i as u32,
+            ack: 0,
+            flags: SYN,
+            wnd: 1000,
+            mss: Some(1000),
+            payload: Vec::new(),
+        };
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    assert!(server.half_open_count() <= MAX_HALF_OPEN, "half-open queue must stay bounded");
+    assert_eq!(server.half_open_count(), MAX_HALF_OPEN);
+    assert_eq!(server.stats.syn_cookies_sent, 100 - MAX_HALF_OPEN as u64);
+}
+
+#[test]
+fn syn_cookie_completion_establishes_connection() {
+    use crate::stack::MAX_HALF_OPEN;
+    use crate::wire::{Segment, ACK, SYN};
+    use netsim::Stack;
+    let mut server = TcpStack::new(B, slmetrics::shared());
+    server.listen(80);
+    // Fill the half-open queue, then one more SYN gets a cookie.
+    for i in 0..MAX_HALF_OPEN as u16 {
+        let syn = Segment {
+            src: Endpoint::new(0xC0000000 + i as u32, 1000 + i),
+            dst: Endpoint::new(B, 80),
+            seq: 1000 + i as u32,
+            ack: 0,
+            flags: SYN,
+            wnd: 1000,
+            mss: Some(1000),
+            payload: Vec::new(),
+        };
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    let legit = Endpoint::new(A, 5000);
+    let syn = Segment {
+        src: legit,
+        dst: Endpoint::new(B, 80),
+        seq: 42_000,
+        ack: 0,
+        flags: SYN,
+        wnd: 8000,
+        mss: Some(1000),
+        payload: Vec::new(),
+    };
+    server.on_frame(Time::ZERO, &syn.encode());
+    assert_eq!(server.stats.syn_cookies_sent, 1);
+    // Find the stateless SYN|ACK addressed to the legit client.
+    let mut cookie = None;
+    while let Some(f) = server.poll_transmit(Time::ZERO) {
+        let seg = Segment::decode(&f).unwrap();
+        if seg.dst == legit && seg.syn() && seg.ack_flag() {
+            assert_eq!(seg.ack, 42_001);
+            cookie = Some(seg.seq);
+        }
+    }
+    let cookie = cookie.expect("cookie SYN|ACK emitted");
+    // Complete the handshake from the cookie alone.
+    let ack = Segment {
+        src: legit,
+        dst: Endpoint::new(B, 80),
+        seq: 42_001,
+        ack: cookie.wrapping_add(1),
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: Vec::new(),
+    };
+    server.on_frame(Time::ZERO + Dur::from_millis(10), &ack.encode());
+    assert_eq!(server.stats.syn_cookies_validated, 1);
+    let tuple = FourTuple { local: Endpoint::new(B, 80), remote: legit };
+    assert_eq!(server.state(tuple), TcpState::Established);
+    // A wrong cookie must NOT establish and is answered with RST.
+    let bad = Segment {
+        src: Endpoint::new(A, 5001),
+        dst: Endpoint::new(B, 80),
+        seq: 9,
+        ack: 1234,
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: Vec::new(),
+    };
+    let rsts = server.stats.rsts_sent;
+    server.on_frame(Time::ZERO + Dur::from_millis(11), &bad.encode());
+    assert_eq!(server.stats.syn_cookies_validated, 1);
+    assert_eq!(server.stats.rsts_sent, rsts + 1);
+}
+
+#[test]
+fn stale_half_open_is_evicted_for_fresh_syn() {
+    use crate::stack::MAX_HALF_OPEN;
+    use crate::wire::{Segment, SYN};
+    use netsim::Stack;
+    let mut server = TcpStack::new(B, slmetrics::shared());
+    server.listen(80);
+    for i in 0..MAX_HALF_OPEN as u16 {
+        let syn = Segment {
+            src: Endpoint::new(0xC0000000 + i as u32, 1000 + i),
+            dst: Endpoint::new(B, 80),
+            seq: 1000 + i as u32,
+            ack: 0,
+            flags: SYN,
+            wnd: 1000,
+            mss: Some(1000),
+            payload: Vec::new(),
+        };
+        server.on_frame(Time::ZERO, &syn.encode());
+    }
+    // Two seconds later the embryos are stale; a fresh SYN evicts one
+    // instead of burning a cookie.
+    let syn = Segment {
+        src: Endpoint::new(A, 5000),
+        dst: Endpoint::new(B, 80),
+        seq: 5,
+        ack: 0,
+        flags: SYN,
+        wnd: 1000,
+        mss: Some(1000),
+        payload: Vec::new(),
+    };
+    server.on_frame(Time::ZERO + Dur::from_secs(2), &syn.encode());
+    assert_eq!(server.stats.half_open_evictions, 1);
+    assert_eq!(server.stats.syn_cookies_sent, 0);
+    assert!(server.half_open_count() <= MAX_HALF_OPEN);
+}
+
+#[test]
+fn ooo_reassembly_is_byte_capped() {
+    use crate::pcb::RCV_BUF_CAP;
+    use crate::wire::{Segment, ACK};
+    use netsim::Stack;
+    let (mut net, nc, _ns, conn) = pair(64, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    let p = client(&mut net, nc).pcb(conn).unwrap();
+    let (rcv_nxt, snd_nxt) = (p.rcv_nxt, p.snd_nxt);
+    let now = net.now();
+    // Spray *overlapping* out-of-order segments (distinct start offsets,
+    // shared bytes) behind a one-byte gap: each is in-window, but their
+    // sum is far beyond the receive buffer — only the byte cap stops it.
+    for i in 0..100u32 {
+        let seg = Segment {
+            src: conn.remote,
+            dst: conn.local,
+            seq: rcv_nxt.wrapping_add(1 + i * 100),
+            ack: snd_nxt,
+            flags: ACK,
+            wnd: 8000,
+            mss: None,
+            payload: vec![0xEE; 900],
+        };
+        client(&mut net, nc).on_frame(now, &seg.encode());
+    }
+    let held: usize = client(&mut net, nc)
+        .pcb(conn)
+        .unwrap()
+        .ooo
+        .values()
+        .map(|d| d.len())
+        .sum();
+    assert!(held <= RCV_BUF_CAP, "ooo bytes {held} exceed cap");
+    assert!(client(&mut net, nc).stats.ooo_overflow_drops > 0);
+}
+
+#[test]
+fn send_buffer_backpressure_caps_acceptance() {
+    use crate::stack::SND_BUF_CAP;
+    let (mut net, nc, _ns, conn) = pair(65, LinkParams::delay_only(Dur::from_millis(5)));
+    run_for(&mut net, Dur::from_secs(2));
+    let big = vec![1u8; SND_BUF_CAP + 4096];
+    let accepted = client(&mut net, nc).send(conn, &big);
+    assert!(accepted <= SND_BUF_CAP);
+    let again = client(&mut net, nc).send(conn, &big);
+    assert_eq!(again, 0, "full buffer accepts nothing");
+}

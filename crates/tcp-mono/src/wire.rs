@@ -50,6 +50,52 @@ pub const RST: u8 = 0x04;
 pub const PSH: u8 = 0x08;
 pub const ACK: u8 = 0x10;
 
+/// Largest frame either codec will accept. Anything bigger than a maximal
+/// TCP segment (60-byte header + 64 KiB payload + network header) is
+/// hostile or corrupt, and rejecting it up front bounds what a decoder can
+/// be made to allocate.
+pub const MAX_FRAME_BYTES: usize = 8 + 60 + 65535;
+
+/// Typed decode failure: every way a frame can be malformed, so hostile
+/// input is *classified*, never panicked on and never silently mis-parsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header (or an advertised variable part)
+    /// requires.
+    Truncated { need: usize, got: usize },
+    /// Larger than [`MAX_FRAME_BYTES`].
+    Oversized { limit: usize, got: usize },
+    /// Checksum mismatch (corruption or deliberate mutation).
+    BadChecksum,
+    /// First byte is not the native-format magic (sublayered codec only).
+    BadMagic,
+    /// TCP data offset smaller than the minimum header or past the end of
+    /// the segment.
+    BadDataOffset,
+    /// Malformed TCP option (bad length or overrun of the option area).
+    BadOption,
+    /// SACK count exceeds what the native header can carry.
+    BadSackCount,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            WireError::Oversized { limit, got } => {
+                write!(f, "oversized frame: {got} bytes exceeds limit {limit}")
+            }
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadMagic => write!(f, "bad magic byte"),
+            WireError::BadDataOffset => write!(f, "bad data offset"),
+            WireError::BadOption => write!(f, "malformed TCP option"),
+            WireError::BadSackCount => write!(f, "bad SACK count"),
+        }
+    }
+}
+
 /// A TCP segment plus its network-header addresses.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Segment {
@@ -112,17 +158,20 @@ impl Segment {
         out
     }
 
-    /// Parse and verify the checksum; `None` for malformed or corrupt
-    /// segments.
-    pub fn decode(bytes: &[u8]) -> Option<Segment> {
+    /// Parse and verify the checksum; a typed [`WireError`] for malformed
+    /// or corrupt segments — hostile bytes must classify, never panic.
+    pub fn decode(bytes: &[u8]) -> Result<Segment, WireError> {
         if bytes.len() < 28 {
-            return None;
+            return Err(WireError::Truncated { need: 28, got: bytes.len() });
+        }
+        if bytes.len() > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { limit: MAX_FRAME_BYTES, got: bytes.len() });
         }
         let src_addr = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
         let dst_addr = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
         let tcp = &bytes[8..];
         if checksum(src_addr, dst_addr, tcp) != 0 {
-            return None; // checksum over segment incl. its checksum is 0
+            return Err(WireError::BadChecksum); // csum incl. its own field is 0
         }
         let src_port = u16::from_be_bytes(tcp[0..2].try_into().unwrap());
         let dst_port = u16::from_be_bytes(tcp[2..4].try_into().unwrap());
@@ -130,7 +179,7 @@ impl Segment {
         let ack = u32::from_be_bytes(tcp[8..12].try_into().unwrap());
         let data_offset = (tcp[12] >> 4) as usize * 4;
         if data_offset < 20 || data_offset > tcp.len() {
-            return None;
+            return Err(WireError::BadDataOffset);
         }
         let flags = tcp[13] & 0x3F;
         let wnd = u16::from_be_bytes(tcp[14..16].try_into().unwrap());
@@ -143,7 +192,7 @@ impl Segment {
                 1 => i += 1,   // NOP
                 2 => {
                     if i + 4 > data_offset {
-                        return None;
+                        return Err(WireError::BadOption);
                     }
                     mss = Some(u16::from_be_bytes(tcp[i + 2..i + 4].try_into().unwrap()));
                     i += 4;
@@ -151,17 +200,17 @@ impl Segment {
                 _ => {
                     // Unknown option: skip by its length byte.
                     if i + 1 >= data_offset {
-                        return None;
+                        return Err(WireError::BadOption);
                     }
                     let l = tcp[i + 1] as usize;
                     if l < 2 || i + l > data_offset {
-                        return None;
+                        return Err(WireError::BadOption);
                     }
                     i += l;
                 }
             }
         }
-        Some(Segment {
+        Ok(Segment {
             src: Endpoint::new(src_addr, src_port),
             dst: Endpoint::new(dst_addr, dst_port),
             seq,
@@ -236,13 +285,13 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let s = sample();
-        assert_eq!(Segment::decode(&s.encode()), Some(s));
+        assert_eq!(Segment::decode(&s.encode()), Ok(s));
     }
 
     #[test]
     fn round_trip_without_options_or_payload() {
         let s = Segment { mss: None, payload: vec![], flags: ACK, ..sample() };
-        assert_eq!(Segment::decode(&s.encode()), Some(s));
+        assert_eq!(Segment::decode(&s.encode()), Ok(s));
     }
 
     #[test]
@@ -253,7 +302,7 @@ mod tests {
             bad[i] ^= 0x40;
             // Either rejected outright or decodes to something != original —
             // the checksum must catch payload/header flips.
-            if let Some(seg) = Segment::decode(&bad) {
+            if let Ok(seg) = Segment::decode(&bad) {
                 // A flip in the network header changes addresses, which are
                 // covered by the pseudo-header; decode must fail.
                 panic!("flip at byte {i} went undetected: {seg:?}");
@@ -263,8 +312,56 @@ mod tests {
 
     #[test]
     fn short_input_rejected() {
-        assert_eq!(Segment::decode(&[0; 10]), None);
-        assert_eq!(Segment::decode(&[]), None);
+        assert_eq!(Segment::decode(&[0; 10]), Err(WireError::Truncated { need: 28, got: 10 }));
+        assert_eq!(Segment::decode(&[]), Err(WireError::Truncated { need: 28, got: 0 }));
+    }
+
+    #[test]
+    fn truncation_regressions() {
+        // Every prefix of a valid segment must decode to a typed error (the
+        // length check, then the checksum over the shortened body) — the
+        // fuzz-found class of bugs this codec must never reintroduce.
+        let bytes = sample().encode();
+        for n in 0..bytes.len() {
+            let err = Segment::decode(&bytes[..n]).expect_err("prefix accepted");
+            if n < 28 {
+                assert_eq!(err, WireError::Truncated { need: 28, got: n });
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let bytes = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert_eq!(
+            Segment::decode(&bytes),
+            Err(WireError::Oversized { limit: MAX_FRAME_BYTES, got: MAX_FRAME_BYTES + 1 })
+        );
+    }
+
+    #[test]
+    fn bad_option_classified() {
+        // Valid checksum but an MSS option whose length overruns the
+        // option area: must be BadOption, not a slice panic.
+        let src = Endpoint::new(1, 10);
+        let dst = Endpoint::new(2, 20);
+        let mut tcp: Vec<u8> = Vec::new();
+        tcp.extend_from_slice(&10u16.to_be_bytes());
+        tcp.extend_from_slice(&20u16.to_be_bytes());
+        tcp.extend_from_slice(&7u32.to_be_bytes());
+        tcp.extend_from_slice(&9u32.to_be_bytes());
+        tcp.push(6 << 4); // data offset 24: room for 4 option bytes
+        tcp.push(ACK);
+        tcp.extend_from_slice(&100u16.to_be_bytes());
+        tcp.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+        tcp.extend_from_slice(&[1, 1, 1, 2]); // NOPs then MSS kind at the last byte
+        let csum = checksum(src.addr, dst.addr, &tcp);
+        tcp[16] = (csum >> 8) as u8;
+        tcp[17] = csum as u8;
+        let mut bytes = src.addr.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&dst.addr.to_be_bytes());
+        bytes.extend_from_slice(&tcp);
+        assert_eq!(Segment::decode(&bytes), Err(WireError::BadOption));
     }
 
     #[test]
@@ -281,7 +378,7 @@ mod tests {
     fn bad_data_offset_rejected() {
         let mut bytes = sample().encode();
         bytes[8 + 12] = 0x20; // data offset 8 words = 32 bytes > segment? ok but options broken
-        assert_eq!(Segment::decode(&bytes), None); // checksum now fails anyway
+        assert_eq!(Segment::decode(&bytes), Err(WireError::BadChecksum)); // csum fails first
     }
 
     #[test]
@@ -332,7 +429,36 @@ mod tests {
                 dst: Endpoint::new(da, dp),
                 seq, ack, flags, wnd, mss, payload,
             };
-            proptest::prop_assert_eq!(Segment::decode(&s.encode()), Some(s));
+            proptest::prop_assert_eq!(Segment::decode(&s.encode()), Ok(s));
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..600),
+        ) {
+            // Ok or typed Err — any panic fails the test harness itself.
+            let _ = Segment::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_mutated_valid_segment(
+            flip in 0usize..33, val: u8,
+            payload in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+        ) {
+            // Mutations of *almost-valid* frames probe the deep parse paths
+            // (options, offsets) that random bytes rarely reach past the
+            // checksum — so re-seal the checksum after mutating.
+            let mut bytes = Segment { payload, ..sample() }.encode();
+            let i = flip % bytes.len();
+            bytes[i] = val;
+            bytes[8 + 16] = 0;
+            bytes[8 + 17] = 0;
+            let sa = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+            let da = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+            let csum = checksum(sa, da, &bytes[8..]);
+            bytes[8 + 16] = (csum >> 8) as u8;
+            bytes[8 + 17] = csum as u8;
+            let _ = Segment::decode(&bytes);
         }
     }
 
