@@ -1,0 +1,98 @@
+//! E15 — many-client scale benchmark for the `slhost` server host.
+//!
+//! Sweeps client counts × both transport stacks × timer-wheel vs naive
+//! tick-all, checking workload invariants in every run (all echoes
+//! complete and intact, no refusals, no leaked connections) and the
+//! headline claim: the wheel does less timer work per tick than the
+//! naive scan.
+//!
+//! Usage: `exp_scale [--smoke] [--json]`. The full run writes its JSON
+//! summary to `BENCH_scale.json`; `--smoke` is a fast CI-sized subset.
+
+use bench::markdown_table;
+use bench::scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+
+    let outs = scale::sweep(smoke);
+    let cross = scale::cross_checks(&outs);
+    let summary = scale::summary_json(&outs, &cross);
+
+    if json {
+        println!("{summary}");
+    } else {
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.stack.to_string(),
+                    o.timer.to_string(),
+                    o.n.to_string(),
+                    o.seed.to_string(),
+                    format!("{}/{}", o.completed, o.n),
+                    o.conns_per_sec.to_string(),
+                    o.p50_us.to_string(),
+                    o.p99_us.to_string(),
+                    format!(
+                        "{}.{:02}",
+                        o.work_per_tick_x100 / 100,
+                        o.work_per_tick_x100 % 100
+                    ),
+                    o.ticks.to_string(),
+                    (o.crossings / o.n as u64).to_string(),
+                    o.violations.len().to_string(),
+                ]
+            })
+            .collect();
+        println!("# E15: many-client scale (slhost)\n");
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "stack",
+                    "timer",
+                    "n",
+                    "seed",
+                    "done",
+                    "conns/s",
+                    "p50 us",
+                    "p99 us",
+                    "work/tick",
+                    "ticks",
+                    "xings/conn",
+                    "viol"
+                ],
+                &rows
+            )
+        );
+        for o in &outs {
+            for v in &o.violations {
+                println!(
+                    "VIOLATION [{} {} n={} seed={}]: {v}",
+                    o.stack, o.timer, o.n, o.seed
+                );
+            }
+        }
+        for c in &cross {
+            println!("VIOLATION [cross]: {c}");
+        }
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_scale.json", format!("{summary}\n"))
+            .expect("write BENCH_scale.json");
+        if !json {
+            println!("\nwrote BENCH_scale.json");
+        }
+    }
+
+    let bad =
+        outs.iter().map(|o| o.violations.len()).sum::<usize>() + cross.len();
+    if bad > 0 {
+        eprintln!("exp_scale: {bad} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod attack;
 pub mod chaos;
+pub mod scale;
 
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
 use sublayer_core::shim::ShimStack;
@@ -63,6 +64,7 @@ fn sub_config(cc: &'static str, timer_cm: bool) -> SlConfig {
         isn: "clock",
         use_sack: true,
         keepalive: None,
+        ..SlConfig::default()
     }
 }
 

@@ -1,0 +1,589 @@
+//! E15 — the many-client scale benchmark for the `slhost` server host.
+//!
+//! One [`ServedHost`] + [`EchoApp`] hub serves N clients in a
+//! [`netsim::star`] topology. Each client connects at a staggered time,
+//! sends one ~256 B request, verifies the echo byte-for-byte, then
+//! **lingers** idle for 10 s before closing. Keepalive (idle 5 s) runs on
+//! both sides, so during the linger phase every established connection
+//! holds a standing timer — the regime where the hierarchical timer
+//! wheel's O(fired)-per-tick cost separates from the naive
+//! scan-every-connection baseline.
+//!
+//! Per-run invariants (any failure is a violation, reported and fatal to
+//! the experiment binary): every client completes with an intact echo,
+//! no client sees a transport error, the host accepts exactly N
+//! connections with zero refusals, and the host table drains to empty
+//! after the clients close.
+
+use netsim::{
+    LinkParams, MultiStackNode, Stack, StackNode, Time, TransportError,
+};
+use slhost::{EchoApp, Host, HostConfig, HostStack, ServedHost, TimerMode};
+use sublayer_core::{KeepaliveConfig, SlConfig, SlTcpStack};
+use tcp_mono::stack::{Keepalive, TcpStack};
+use tcp_mono::wire::Endpoint;
+
+/// Server address (clients start above [`CLIENT_BASE`]).
+const SERVER_ADDR: u32 = crate::A;
+const CLIENT_BASE: u32 = 0x0A01_0000;
+const PORT: u16 = 80;
+const CLIENT_PORT: u16 = 5000;
+/// Request payload length per client.
+const REQ_LEN: usize = 256;
+/// Gap between successive client connect times.
+const STAGGER_NS: u64 = 200_000;
+/// Idle hold after the echo completes, before the client closes — the
+/// many-idle-connections phase the timer comparison measures.
+const LINGER_NS: u64 = 10_000_000_000;
+/// Keepalive on both sides: every established connection keeps a timer
+/// armed for the whole linger phase.
+const KA_IDLE_NS: u64 = 5_000_000_000;
+const KA_INTERVAL_NS: u64 = 1_000_000_000;
+const KA_MAX_PROBES: u32 = 5;
+
+fn dur(ns: u64) -> netsim::Dur {
+    netsim::Dur::from_nanos(ns)
+}
+
+/// Which transport serves (and runs in) every node of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleStack {
+    Sub,
+    Mono,
+}
+
+impl ScaleStack {
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleStack::Sub => "sub",
+            ScaleStack::Mono => "mono",
+        }
+    }
+}
+
+fn timer_label(mode: TimerMode) -> &'static str {
+    match mode {
+        TimerMode::Wheel => "wheel",
+        TimerMode::NaiveScan => "naive",
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleParams {
+    pub stack: ScaleStack,
+    pub timer_mode: TimerMode,
+    pub n: usize,
+    pub seed: u64,
+}
+
+/// Everything one run exposes: workload results, host counters, and the
+/// invariant violations (empty = clean).
+#[derive(Clone, Debug)]
+pub struct ScaleOutcome {
+    pub stack: &'static str,
+    pub timer: &'static str,
+    pub n: usize,
+    pub seed: u64,
+    /// Clients whose echo came back complete and intact.
+    pub completed: usize,
+    pub corrupt: usize,
+    pub client_errors: usize,
+    pub first_error: Option<TransportError>,
+    pub accepts: u64,
+    pub accept_refusals: u64,
+    /// Completed connections per wall-second of the connect..finish window.
+    pub conns_per_sec: u64,
+    /// Connect-to-echo-complete latency percentiles, microseconds.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub ticks: u64,
+    pub timer_fires: u64,
+    pub timer_touches: u64,
+    /// `timer_touches * 100 / ticks` — the wheel-vs-naive figure of merit,
+    /// fixed-point so the JSON stays integers-only.
+    pub work_per_tick_x100: u64,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub events: u64,
+    pub echoed_bytes: u64,
+    /// Server-side inter-sublayer boundary crossings (0 for the
+    /// monolithic stack, which has none) — the crossing-overhead figure
+    /// at scale.
+    pub crossings: u64,
+    /// Host-tracked connections still present at the horizon (leak check).
+    pub server_residual: usize,
+    pub sim_ms: u64,
+    pub violations: Vec<String>,
+}
+
+/// Client phases; time-driven transitions happen in `drive`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for its staggered connect time.
+    Idle,
+    Connecting,
+    /// Request sent; collecting the echo.
+    Await,
+    /// Echo verified; holding the connection open, keepalive ticking.
+    Linger,
+    /// FIN sent; waiting out the close handshake.
+    Closing,
+    Done,
+    Failed,
+}
+
+/// One scripted client: connect → request → verify echo → linger → close.
+/// Generic over the same [`HostStack`] surface the host uses, so the whole
+/// experiment is stack-agnostic by construction.
+pub struct ScaleClient<S: HostStack> {
+    stack: S,
+    server: Endpoint,
+    req: Vec<u8>,
+    phase: Phase,
+    conn: Option<S::ConnId>,
+    /// Echo bytes verified so far.
+    got: usize,
+    connect_at: Time,
+    linger_until: Time,
+    pub connected_at: Option<Time>,
+    pub done_at: Option<Time>,
+    pub error: Option<TransportError>,
+    pub corrupt: bool,
+}
+
+impl<S: HostStack> ScaleClient<S> {
+    fn new(stack: S, server: Endpoint, connect_at: Time, req: Vec<u8>) -> Self {
+        ScaleClient {
+            stack,
+            server,
+            req,
+            phase: Phase::Idle,
+            conn: None,
+            got: 0,
+            connect_at,
+            linger_until: Time::MAX,
+            connected_at: None,
+            done_at: None,
+            error: None,
+            corrupt: false,
+        }
+    }
+
+    fn drive(&mut self, now: Time) {
+        if let (Some(id), None) = (self.conn, self.error) {
+            if let Some(e) = self.stack.conn_error(id) {
+                self.error = Some(e);
+                self.phase = Phase::Failed;
+            }
+        }
+        loop {
+            match self.phase {
+                Phase::Idle => {
+                    if now < self.connect_at {
+                        return;
+                    }
+                    match self.stack.try_connect(now, CLIENT_PORT, self.server) {
+                        Ok(id) => {
+                            self.conn = Some(id);
+                            self.connected_at = Some(now);
+                            self.phase = Phase::Connecting;
+                        }
+                        Err(e) => {
+                            self.error = Some(e);
+                            self.phase = Phase::Failed;
+                        }
+                    }
+                }
+                Phase::Connecting => {
+                    let id = self.conn.expect("connected past Idle");
+                    if !self.stack.is_established(id) {
+                        return;
+                    }
+                    self.stack.send(id, &self.req);
+                    self.phase = Phase::Await;
+                }
+                Phase::Await => {
+                    let id = self.conn.expect("connected past Idle");
+                    let data = self.stack.recv(id);
+                    for &b in &data {
+                        if self.got >= self.req.len() || b != self.req[self.got] {
+                            self.corrupt = true;
+                        }
+                        self.got += 1;
+                    }
+                    if self.got < self.req.len() {
+                        return;
+                    }
+                    self.done_at = Some(now);
+                    self.linger_until = Time(now.nanos() + LINGER_NS);
+                    self.phase = Phase::Linger;
+                }
+                Phase::Linger => {
+                    if now < self.linger_until {
+                        return;
+                    }
+                    let id = self.conn.expect("connected past Idle");
+                    self.stack.close(id);
+                    self.phase = Phase::Closing;
+                }
+                Phase::Closing => {
+                    let id = self.conn.expect("connected past Idle");
+                    if !self.stack.is_closed(id) {
+                        return;
+                    }
+                    self.phase = Phase::Done;
+                }
+                Phase::Done | Phase::Failed => return,
+            }
+        }
+    }
+}
+
+impl<S: HostStack> Stack for ScaleClient<S> {
+    fn on_frame(&mut self, now: Time, frame: &[u8]) {
+        Stack::on_frame(&mut self.stack, now, frame);
+        self.drive(now);
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
+        Stack::poll_transmit(&mut self.stack, now)
+    }
+
+    fn poll_deadline(&self, now: Time) -> Option<Time> {
+        let own = match self.phase {
+            Phase::Idle => Some(self.connect_at),
+            Phase::Linger => Some(self.linger_until),
+            _ => None,
+        };
+        [own, Stack::poll_deadline(&self.stack, now)].into_iter().flatten().min()
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        Stack::on_tick(&mut self.stack, now);
+        self.drive(now);
+    }
+}
+
+/// Deterministic per-client request payload.
+fn request(i: usize) -> Vec<u8> {
+    (0..REQ_LEN).map(|j| ((i * 31 + j) % 251) as u8).collect()
+}
+
+/// Run one cell of the sweep.
+pub fn run_one(p: ScaleParams) -> ScaleOutcome {
+    match p.stack {
+        ScaleStack::Sub => run_generic(p, |addr| {
+            let cfg = SlConfig {
+                keepalive: Some(KeepaliveConfig {
+                    idle: dur(KA_IDLE_NS),
+                    interval: dur(KA_INTERVAL_NS),
+                    max_probes: KA_MAX_PROBES,
+                }),
+                ..SlConfig::default()
+            };
+            SlTcpStack::new(addr, cfg, slmetrics::shared())
+        }),
+        ScaleStack::Mono => run_generic(p, |addr| {
+            let mut s = TcpStack::new(addr, slmetrics::shared());
+            s.set_keepalive(Keepalive {
+                idle: dur(KA_IDLE_NS),
+                interval: dur(KA_INTERVAL_NS),
+                max_probes: KA_MAX_PROBES,
+            });
+            s
+        }),
+    }
+}
+
+fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutcome {
+    let cfg = HostConfig {
+        listen_port: PORT,
+        backlog: 256,
+        batch_window: dur(50_000),
+        timer_mode: p.timer_mode,
+        ..HostConfig::default()
+    };
+    let server = ServedHost::new(Host::new(mk(SERVER_ADDR), cfg), EchoApp::default());
+    let clients: Vec<ScaleClient<S>> = (0..p.n)
+        .map(|i| {
+            ScaleClient::new(
+                mk(CLIENT_BASE + i as u32),
+                Endpoint::new(SERVER_ADDR, PORT),
+                Time(1_000_000 + STAGGER_NS * i as u64),
+                request(i),
+            )
+        })
+        .collect();
+
+    let (mut net, sid, cids) = netsim::star(
+        p.seed,
+        server,
+        clients,
+        LinkParams::delay_only(dur(1_000_000)),
+    );
+    net.poll_all();
+    // Last connect + generous handshake/echo slack + linger + close settle.
+    // The settle must outlast the sublayered stack's 10 s TIME_WAIT: its CM
+    // holds *both* closers there, so server-side conns are reaped only
+    // after it expires (mono releases the passive closer immediately).
+    let horizon = Time(
+        1_000_000 + STAGGER_NS * p.n as u64 + 2_000_000_000 + LINGER_NS + 12_000_000_000,
+    );
+    net.run_until(horizon);
+
+    let mut completed = 0usize;
+    let mut corrupt = 0usize;
+    let mut client_errors = 0usize;
+    let mut first_error: Option<TransportError> = None;
+    let mut starved: Vec<usize> = Vec::new();
+    let mut lat_us: Vec<u64> = Vec::new();
+    let mut first_connect = u64::MAX;
+    let mut last_done = 0u64;
+    for (i, &cid) in cids.iter().enumerate() {
+        let c = &net.node::<StackNode<ScaleClient<S>>>(cid).stack;
+        if c.corrupt {
+            corrupt += 1;
+        }
+        if let Some(e) = c.error {
+            client_errors += 1;
+            first_error.get_or_insert(e);
+        }
+        match (c.connected_at, c.done_at) {
+            (Some(t0), Some(t1)) if !c.corrupt => {
+                completed += 1;
+                lat_us.push(t1.nanos().saturating_sub(t0.nanos()) / 1_000);
+                first_connect = first_connect.min(t0.nanos());
+                last_done = last_done.max(t1.nanos());
+            }
+            _ => starved.push(i),
+        }
+    }
+    lat_us.sort_unstable();
+    let pct = |q: u64| -> u64 {
+        if lat_us.is_empty() {
+            0
+        } else {
+            lat_us[((lat_us.len() - 1) as u64 * q / 100) as usize]
+        }
+    };
+    let window = last_done.saturating_sub(first_connect);
+    let conns_per_sec =
+        (completed as u64 * 1_000_000_000).checked_div(window).unwrap_or(0);
+
+    let srv = &net.node::<MultiStackNode<ServedHost<S, EchoApp>>>(sid).stack;
+    let k = &srv.host.counters;
+    let mut out = ScaleOutcome {
+        stack: p.stack.label(),
+        timer: timer_label(p.timer_mode),
+        n: p.n,
+        seed: p.seed,
+        completed,
+        corrupt,
+        client_errors,
+        first_error,
+        accepts: k.accepts,
+        accept_refusals: k.accept_refusals,
+        conns_per_sec,
+        p50_us: pct(50),
+        p99_us: pct(99),
+        ticks: k.ticks,
+        timer_fires: k.timer_fires,
+        timer_touches: k.timer_touches,
+        work_per_tick_x100: (k.timer_touches * 100).checked_div(k.ticks).unwrap_or(0),
+        frames_in: k.frames_in,
+        frames_out: k.frames_out,
+        events: k.events_dispatched,
+        echoed_bytes: srv.app.echoed,
+        crossings: srv.host.stack().crossing_events().unwrap_or(0),
+        server_residual: srv.host.tracked_count(),
+        sim_ms: net.now().nanos() / 1_000_000,
+        violations: Vec::new(),
+    };
+
+    if out.completed != p.n {
+        let head: Vec<String> =
+            starved.iter().take(5).map(|i| i.to_string()).collect();
+        out.violations.push(format!(
+            "{} of {} clients never completed (first: [{}])",
+            p.n - out.completed,
+            p.n,
+            head.join(",")
+        ));
+    }
+    if out.corrupt > 0 {
+        out.violations.push(format!("{} corrupt echoes", out.corrupt));
+    }
+    if out.client_errors > 0 {
+        out.violations.push(format!(
+            "{} client transport errors (first: {:?})",
+            out.client_errors,
+            out.first_error.expect("counted an error")
+        ));
+    }
+    if out.accepts != p.n as u64 {
+        out.violations.push(format!("accepted {} of {} connections", out.accepts, p.n));
+    }
+    if out.accept_refusals != 0 {
+        out.violations.push(format!("{} accept refusals", out.accept_refusals));
+    }
+    if out.echoed_bytes != (p.n * REQ_LEN) as u64 {
+        out.violations.push(format!(
+            "echoed {} bytes, expected {}",
+            out.echoed_bytes,
+            p.n * REQ_LEN
+        ));
+    }
+    if out.server_residual != 0 {
+        out.violations
+            .push(format!("host leaked {} connections past close", out.server_residual));
+    }
+    out
+}
+
+/// The sweep: smoke = N=30 across both stacks × both timer modes; full =
+/// wheel at N ∈ {100, 1000, 5000} × both stacks × two seeds, plus the
+/// naive baseline at N ∈ {100, 1000} (quadratic — N=5000 naive is the
+/// point of not having a wheel, so it is not run).
+pub fn sweep(smoke: bool) -> Vec<ScaleOutcome> {
+    let stacks = [ScaleStack::Sub, ScaleStack::Mono];
+    let mut outs = Vec::new();
+    if smoke {
+        for stack in stacks {
+            for timer_mode in [TimerMode::Wheel, TimerMode::NaiveScan] {
+                outs.push(run_one(ScaleParams { stack, timer_mode, n: 30, seed: 1 }));
+            }
+        }
+        return outs;
+    }
+    for &n in &[100usize, 1000, 5000] {
+        for stack in stacks {
+            for seed in [1u64, 2] {
+                outs.push(run_one(ScaleParams {
+                    stack,
+                    timer_mode: TimerMode::Wheel,
+                    n,
+                    seed,
+                }));
+            }
+        }
+    }
+    for &n in &[100usize, 1000] {
+        for stack in stacks {
+            outs.push(run_one(ScaleParams {
+                stack,
+                timer_mode: TimerMode::NaiveScan,
+                n,
+                seed: 1,
+            }));
+        }
+    }
+    outs
+}
+
+/// Sweep-level acceptance: wherever the same (stack, n, seed) cell ran
+/// under both timer modes, the wheel must do strictly less timer work per
+/// tick than the naive scan.
+pub fn cross_checks(outs: &[ScaleOutcome]) -> Vec<String> {
+    let mut v = Vec::new();
+    for naive in outs.iter().filter(|o| o.timer == "naive") {
+        let Some(wheel) = outs.iter().find(|o| {
+            o.timer == "wheel"
+                && o.stack == naive.stack
+                && o.n == naive.n
+                && o.seed == naive.seed
+        }) else {
+            continue;
+        };
+        if wheel.work_per_tick_x100 >= naive.work_per_tick_x100 {
+            v.push(format!(
+                "wheel work/tick ({}.{:02}) not below naive ({}.{:02}) at stack={} n={}",
+                wheel.work_per_tick_x100 / 100,
+                wheel.work_per_tick_x100 % 100,
+                naive.work_per_tick_x100 / 100,
+                naive.work_per_tick_x100 % 100,
+                naive.stack,
+                naive.n
+            ));
+        }
+    }
+    v
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_err(e: Option<TransportError>) -> String {
+    match e {
+        None => "null".into(),
+        Some(e) => json_str(&format!("{e:?}")),
+    }
+}
+
+/// Deterministic, hand-rolled JSON for one outcome (stable field order,
+/// integers only — byte-identical for identical seeds).
+pub fn outcome_json(o: &ScaleOutcome) -> String {
+    let viol: Vec<String> = o.violations.iter().map(|v| json_str(v)).collect();
+    format!(
+        "{{\"stack\":{},\"timer\":{},\"n\":{},\"seed\":{},\"completed\":{},\
+         \"corrupt\":{},\"client_errors\":{},\"first_error\":{},\"accepts\":{},\
+         \"accept_refusals\":{},\"conns_per_sec\":{},\"p50_us\":{},\"p99_us\":{},\
+         \"ticks\":{},\"timer_fires\":{},\"timer_touches\":{},\
+         \"work_per_tick_x100\":{},\"frames_in\":{},\"frames_out\":{},\
+         \"events\":{},\"echoed_bytes\":{},\"crossings\":{},\"server_residual\":{},\
+         \"sim_ms\":{},\"violations\":[{}]}}",
+        json_str(o.stack),
+        json_str(o.timer),
+        o.n,
+        o.seed,
+        o.completed,
+        o.corrupt,
+        o.client_errors,
+        json_err(o.first_error),
+        o.accepts,
+        o.accept_refusals,
+        o.conns_per_sec,
+        o.p50_us,
+        o.p99_us,
+        o.ticks,
+        o.timer_fires,
+        o.timer_touches,
+        o.work_per_tick_x100,
+        o.frames_in,
+        o.frames_out,
+        o.events,
+        o.echoed_bytes,
+        o.crossings,
+        o.server_residual,
+        o.sim_ms,
+        viol.join(",")
+    )
+}
+
+/// The whole sweep (plus sweep-level checks) as one JSON document.
+pub fn summary_json(outs: &[ScaleOutcome], cross: &[String]) -> String {
+    let rows: Vec<String> = outs.iter().map(outcome_json).collect();
+    let violations: usize =
+        outs.iter().map(|o| o.violations.len()).sum::<usize>() + cross.len();
+    let cross_rows: Vec<String> = cross.iter().map(|c| json_str(c)).collect();
+    format!(
+        "{{\"runs\":[\n  {}\n],\"cross_checks\":[{}],\"total\":{},\"violations\":{}}}",
+        rows.join(",\n  "),
+        cross_rows.join(","),
+        outs.len(),
+        violations
+    )
+}

@@ -83,17 +83,20 @@ impl Demux {
 
     /// Allocate an ephemeral local port (encapsulating port reuse — the
     /// paper: "DM encapsulates details of binding IP addresses to ports
-    /// and reusing ports").
-    pub fn ephemeral_port(&mut self, remote: Endpoint) -> u16 {
+    /// and reusing ports"). `None` once every ephemeral port toward
+    /// `remote` is bound — exhaustion is a typed outcome, not a hang.
+    pub fn ephemeral_port(&mut self, remote: Endpoint) -> Option<u16> {
         self.log.borrow_mut().r("dm", "conn_table");
-        loop {
+        const EPHEMERAL_RANGE: u32 = u16::MAX as u32 - 49152 + 1;
+        for _ in 0..EPHEMERAL_RANGE {
             let p = self.next_ephemeral;
             self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
             let tuple = FourTuple { local: Endpoint::new(self.local_addr, p), remote };
             if !self.table.contains_key(&tuple) {
-                return p;
+                return Some(p);
             }
         }
+        None
     }
 
     /// Release a binding.
@@ -133,6 +136,11 @@ impl Demux {
 
     pub fn tuple(&self, id: ConnId) -> Option<FourTuple> {
         self.tuples.get(&id).copied()
+    }
+
+    /// O(1) hashed 4-tuple lookup (the host layer's demux path).
+    pub fn lookup(&self, tuple: &FourTuple) -> Option<ConnId> {
+        self.table.get(tuple).copied()
     }
 
     pub fn conn_ids(&self) -> Vec<ConnId> {
@@ -219,9 +227,9 @@ mod tests {
     fn ephemeral_ports_skip_taken_tuples() {
         let mut d = dm();
         let remote = Endpoint::new(20, 80);
-        let p1 = d.ephemeral_port(remote);
+        let p1 = d.ephemeral_port(remote).unwrap();
         d.bind(tuple(p1, 20, 80)).unwrap();
-        let p2 = d.ephemeral_port(remote);
+        let p2 = d.ephemeral_port(remote).unwrap();
         assert_ne!(p1, p2);
     }
 

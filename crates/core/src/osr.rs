@@ -143,6 +143,17 @@ impl Osr {
         out
     }
 
+    /// In-order bytes available to [`Osr::read`] without draining them —
+    /// the host layer's readability predicate.
+    pub fn readable_len(&self) -> usize {
+        self.app_out.len()
+    }
+
+    /// Free send-buffer space — the host layer's writability predicate.
+    pub fn write_capacity(&self) -> usize {
+        SND_BUF_CAP.saturating_sub(self.app_buf.len())
+    }
+
     /// True once per significant window reopening; the stack responds by
     /// emitting a bare (ack-only) packet carrying the fresh window.
     pub fn take_window_update(&mut self) -> bool {

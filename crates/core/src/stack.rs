@@ -58,6 +58,10 @@ pub struct SlConfig {
     pub use_sack: bool,
     /// Idle keepalive probing; `None` (the default) disables it.
     pub keepalive: Option<KeepaliveConfig>,
+    /// Connection-table capacity: beyond it, passive opens are refused
+    /// with a stateless RST and active opens fail with
+    /// [`TransportError::ConnTableFull`].
+    pub max_conns: usize,
 }
 
 impl Default for SlConfig {
@@ -68,6 +72,7 @@ impl Default for SlConfig {
             isn: "clock",
             use_sack: true,
             keepalive: None,
+            max_conns: 16384,
         }
     }
 }
@@ -138,6 +143,8 @@ pub struct SlStats {
     pub half_open_evictions: u64,
     /// Stateless RSTs sent for packets addressed to no connection.
     pub stateless_rsts_sent: u64,
+    /// Inbound flows refused because the connection table was full.
+    pub conn_table_full_drops: u64,
 }
 
 /// Bound on simultaneously half-open (`SynRcvd`) passive connections;
@@ -192,13 +199,32 @@ impl SlTcpStack {
         self.dm.listen(port);
     }
 
-    /// Active open; returns the connection handle.
+    /// Active open; returns the connection handle. Panics if the tuple is
+    /// taken or the table is full — use [`SlTcpStack::try_connect`] when
+    /// refusal must be a value, not a crash.
     pub fn connect(&mut self, now: Time, local_port: u16, remote: Endpoint) -> ConnId {
+        self.try_connect(now, local_port, remote).expect("tuple free")
+    }
+
+    /// Active open surfacing capacity as a typed error instead of a panic:
+    /// a full connection table or an already-bound tuple both mean the
+    /// table cannot admit this connection.
+    pub fn try_connect(
+        &mut self,
+        now: Time,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<ConnId, TransportError> {
+        if self.conns.len() >= self.config.max_conns {
+            return Err(TransportError::ConnTableFull);
+        }
         let tuple = FourTuple {
             local: Endpoint::new(self.dm.local_addr(), local_port),
             remote,
         };
-        let id = self.dm.bind(tuple).expect("tuple free");
+        let Ok(id) = self.dm.bind(tuple) else {
+            return Err(TransportError::ConnTableFull);
+        };
         let local_isn = self.isn_gen.isn(now, &tuple);
         let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
         let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
@@ -211,13 +237,28 @@ impl SlTcpStack {
         }
         self.conns.insert(id, conn);
         self.pump(now, id);
-        id
+        Ok(id)
     }
 
     /// Active open with an ephemeral local port.
     pub fn connect_ephemeral(&mut self, now: Time, remote: Endpoint) -> ConnId {
-        let port = self.dm.ephemeral_port(remote);
-        self.connect(now, port, remote)
+        self.try_connect_ephemeral(now, remote).expect("ephemeral port free")
+    }
+
+    /// Active open with an ephemeral local port, surfacing port exhaustion
+    /// and table capacity as typed errors.
+    pub fn try_connect_ephemeral(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<ConnId, TransportError> {
+        if self.conns.len() >= self.config.max_conns {
+            return Err(TransportError::ConnTableFull);
+        }
+        let Some(port) = self.dm.ephemeral_port(remote) else {
+            return Err(TransportError::PortsExhausted);
+        };
+        self.try_connect(now, port, remote)
     }
 
     /// Queue application bytes.
@@ -280,8 +321,78 @@ impl SlTcpStack {
         self.dm.tuple(id)
     }
 
+    /// O(1) hashed 4-tuple lookup into the connection table (the host
+    /// layer's demux path).
+    pub fn conn_for_tuple(&self, tuple: &FourTuple) -> Option<ConnId> {
+        self.dm.lookup(tuple)
+    }
+
     pub fn conn_count(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Adjust the connection-table capacity at runtime (host layer knob).
+    pub fn set_max_conns(&mut self, max: usize) {
+        self.config.max_conns = max;
+    }
+
+    /// In-order received bytes available to `recv` without draining them.
+    pub fn readable_len(&self, id: ConnId) -> usize {
+        self.conns.get(&id).map_or(0, |c| c.osr.readable_len())
+    }
+
+    /// How many bytes `send` would accept right now (0 once the stream is
+    /// closing or the connection is gone).
+    pub fn send_capacity(&self, id: ConnId) -> usize {
+        match self.conns.get(&id) {
+            Some(c) if !c.want_close && !c.dead => c.osr.write_capacity(),
+            _ => 0,
+        }
+    }
+
+    /// Pop one already-assembled frame without scanning any connection —
+    /// the host layer's transmit path ([`SlTcpStack::pump_conn`] is what
+    /// fills the outbox).
+    pub fn take_frame(&mut self) -> Option<Vec<u8>> {
+        self.outbox.pop_front()
+    }
+
+    /// Run one connection's machinery (events, close coordination,
+    /// segmentation, packet assembly) — the per-connection half of
+    /// `poll_transmit`, for hosts that know which connection changed.
+    pub fn pump_conn(&mut self, now: Time, id: ConnId) {
+        self.pump(now, id);
+    }
+
+    /// Next timer deadline for *one* connection, so a host can keep one
+    /// wheel entry per connection instead of scanning them all.
+    pub fn conn_deadline(&self, now: Time, id: ConnId) -> Option<Time> {
+        let c = self.conns.get(&id)?;
+        [
+            c.cm.poll_deadline(),
+            c.rd.as_ref().and_then(|r| r.poll_deadline()),
+            c.osr.poll_deadline(now),
+            self.keepalive_deadline(c),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Advance one connection's timers to `now` (the per-connection half
+    /// of `on_tick`); spurious calls are harmless.
+    pub fn tick_conn(&mut self, now: Time, id: ConnId) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.cm.on_tick(now);
+            if let Some(rd) = conn.rd.as_mut() {
+                rd.on_tick(now);
+            }
+            conn.osr.on_tick(now);
+            if let Some(ka) = self.config.keepalive {
+                Self::drive_keepalive(conn, ka, now);
+            }
+        }
+        self.pump(now, id);
     }
 
     /// Peer-closed + everything delivered? (EOF for the application.)
@@ -615,6 +726,15 @@ impl Stack for SlTcpStack {
         match self.dm.classify(&pkt) {
             DmVerdict::Known(id) => self.handle_packet(now, id, &pkt),
             DmVerdict::NewFlow(tuple) => {
+                // Admission control first: a full connection table refuses
+                // every new flow — cookie rebuilds included — with a typed
+                // drop counter and a stateless RST, never a panic or a
+                // silent discard.
+                if self.conns.len() >= self.config.max_conns {
+                    self.stats.conn_table_full_drops += 1;
+                    self.send_stateless_rst(&pkt);
+                    return;
+                }
                 let three_way = matches!(self.config.cm_scheme, CmScheme::ThreeWay);
                 // A returning ACK that proves a SYN cookie rebuilds the
                 // connection the stateless SYN|ACK never stored.
@@ -695,7 +815,10 @@ impl Stack for SlTcpStack {
 
     fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
         if self.outbox.is_empty() {
-            let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+            // Sorted so every same-seed run pumps connections in the same
+            // order (HashMap iteration order is not deterministic).
+            let mut ids: Vec<ConnId> = self.conns.keys().copied().collect();
+            ids.sort();
             for id in ids {
                 self.pump(now, id);
             }
@@ -704,34 +827,14 @@ impl Stack for SlTcpStack {
     }
 
     fn poll_deadline(&self, now: Time) -> Option<Time> {
-        self.conns
-            .values()
-            .flat_map(|c| {
-                [
-                    c.cm.poll_deadline(),
-                    c.rd.as_ref().and_then(|r| r.poll_deadline()),
-                    c.osr.poll_deadline(now),
-                    self.keepalive_deadline(c),
-                ]
-            })
-            .flatten()
-            .min()
+        self.conns.keys().filter_map(|&id| self.conn_deadline(now, id)).min()
     }
 
     fn on_tick(&mut self, now: Time) {
-        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        let mut ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        ids.sort();
         for id in ids {
-            if let Some(conn) = self.conns.get_mut(&id) {
-                conn.cm.on_tick(now);
-                if let Some(rd) = conn.rd.as_mut() {
-                    rd.on_tick(now);
-                }
-                conn.osr.on_tick(now);
-                if let Some(ka) = self.config.keepalive {
-                    Self::drive_keepalive(conn, ka, now);
-                }
-            }
-            self.pump(now, id);
+            self.tick_conn(now, id);
         }
     }
 }

@@ -718,3 +718,54 @@ fn send_buffer_backpressure_caps_acceptance() {
     let more = stack(&mut net, nc).send(conn, &big);
     assert_eq!(more, 0, "full buffer accepts nothing");
 }
+
+#[test]
+fn conn_table_capacity_is_typed_not_fatal() {
+    let config = SlConfig { max_conns: 2, ..Default::default() };
+    let mut s = SlTcpStack::new(A, config, slmetrics::shared());
+    let r = Endpoint::new(B, 80);
+    assert!(s.try_connect(Time::ZERO, 5001, r).is_ok());
+    assert!(s.try_connect(Time::ZERO, 5002, r).is_ok());
+    assert_eq!(s.try_connect(Time::ZERO, 5003, r), Err(TransportError::ConnTableFull));
+    // An already-bound tuple is the same typed refusal, not a panic.
+    let config = SlConfig { max_conns: 8, ..Default::default() };
+    let mut s = SlTcpStack::new(A, config, slmetrics::shared());
+    assert!(s.try_connect(Time::ZERO, 5001, r).is_ok());
+    assert_eq!(s.try_connect(Time::ZERO, 5001, r), Err(TransportError::ConnTableFull));
+}
+
+#[test]
+fn ephemeral_port_exhaustion_is_typed() {
+    let config = SlConfig { max_conns: usize::MAX, ..Default::default() };
+    let mut s = SlTcpStack::new(A, config, slmetrics::shared());
+    let r = Endpoint::new(B, 80);
+    for _ in 0..16384 {
+        s.try_connect_ephemeral(Time::ZERO, r).unwrap();
+    }
+    assert_eq!(
+        s.try_connect_ephemeral(Time::ZERO, r),
+        Err(TransportError::PortsExhausted)
+    );
+    // A different remote endpoint still has its whole port range.
+    assert!(s.try_connect_ephemeral(Time::ZERO, Endpoint::new(B, 81)).is_ok());
+}
+
+#[test]
+fn full_table_refuses_inbound_syn_with_rst() {
+    use netsim::Stack;
+    let config = SlConfig { max_conns: 1, ..Default::default() };
+    let mut server = SlTcpStack::new(B, config, slmetrics::shared());
+    server.listen(80);
+    let mk_syn = |addr: u32| {
+        let mut c = SlTcpStack::new(addr, SlConfig::default(), slmetrics::shared());
+        c.connect(Time::ZERO, 5000, Endpoint::new(B, 80));
+        c.poll_transmit(Time::ZERO).expect("SYN frame")
+    };
+    server.on_frame(Time::ZERO, &mk_syn(A));
+    assert_eq!(server.conn_count(), 1);
+    let rsts_before = server.stats.stateless_rsts_sent;
+    server.on_frame(Time::ZERO, &mk_syn(A + 1));
+    assert_eq!(server.conn_count(), 1, "second flow refused");
+    assert_eq!(server.stats.conn_table_full_drops, 1);
+    assert_eq!(server.stats.stateless_rsts_sent, rsts_before + 1, "refusal is a RST, not silence");
+}

@@ -38,7 +38,7 @@ pub use event::EventQueue;
 pub use fault::{BurstLoss, FaultConfigError, FaultInjector, FaultProfile, FaultStats, Fate};
 pub use net::{AdminOp, DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, PortId, SimNet, TimerId};
 pub use rng::DetRng;
-pub use stack::{Stack, StackNode, TransportError};
+pub use stack::{MultiStack, MultiStackNode, Stack, StackNode, TransportError};
 pub use time::{Dur, Time};
 
 /// Convenience: build a two-node network from two sans-IO stacks joined by
@@ -55,6 +55,27 @@ pub fn two_party<A: Stack, B: Stack>(
     let nb = net.add_node(Box::new(StackNode::new(b)));
     net.connect(na, 0, nb, 0, params);
     (net, na, nb)
+}
+
+/// Convenience: build a star topology — one multi-port server node in the
+/// middle, one link per client, client `i`'s port 0 wired to server port
+/// `i`. Every link gets a clone of `params`. Used by the many-client scale
+/// experiments.
+pub fn star<S: MultiStack, C: Stack>(
+    seed: u64,
+    server: S,
+    clients: impl IntoIterator<Item = C>,
+    params: LinkParams,
+) -> (SimNet, NodeId, Vec<NodeId>) {
+    let mut net = SimNet::new(seed);
+    let ns = net.add_node(Box::new(MultiStackNode::new(server)));
+    let mut ids = Vec::new();
+    for (i, c) in clients.into_iter().enumerate() {
+        let nc = net.add_node(Box::new(StackNode::new(c)));
+        net.connect(ns, i, nc, 0, params.clone());
+        ids.push(nc);
+    }
+    (net, ns, ids)
 }
 
 #[cfg(test)]
@@ -79,5 +100,66 @@ mod tests {
         assert_eq!((a, b), (0, 1));
         net.poll_all();
         assert!(net.is_idle());
+    }
+
+    /// Echoes every frame back out the port it arrived on.
+    struct PortEcho {
+        seen: Vec<(PortId, Vec<u8>)>,
+        pending: Vec<(PortId, Vec<u8>)>,
+    }
+    impl MultiStack for PortEcho {
+        fn on_frame(&mut self, _: Time, port: PortId, frame: &[u8]) {
+            self.seen.push((port, frame.to_vec()));
+            self.pending.push((port, frame.to_vec()));
+        }
+        fn poll_transmit(&mut self, _: Time) -> Option<(PortId, Vec<u8>)> {
+            self.pending.pop()
+        }
+        fn poll_deadline(&self, _: Time) -> Option<Time> {
+            None
+        }
+        fn on_tick(&mut self, _: Time) {}
+    }
+
+    /// Sends one tagged frame at t=0, remembers what comes back.
+    struct OneShot {
+        tag: u8,
+        sent: bool,
+        got: Vec<Vec<u8>>,
+    }
+    impl Stack for OneShot {
+        fn on_frame(&mut self, _: Time, frame: &[u8]) {
+            self.got.push(frame.to_vec());
+        }
+        fn poll_transmit(&mut self, _: Time) -> Option<Vec<u8>> {
+            (!std::mem::replace(&mut self.sent, true)).then(|| vec![self.tag])
+        }
+        fn poll_deadline(&self, _: Time) -> Option<Time> {
+            None
+        }
+        fn on_tick(&mut self, _: Time) {}
+    }
+
+    #[test]
+    fn star_routes_per_port() {
+        let clients =
+            (0..5).map(|i| OneShot { tag: i as u8, sent: false, got: vec![] });
+        let (mut net, ns, ids) = star(
+            7,
+            PortEcho { seen: vec![], pending: vec![] },
+            clients,
+            LinkParams::default(),
+        );
+        net.poll_all();
+        net.run_to_idle(Time::ZERO + Dur::from_secs(1));
+        let server = net.node::<MultiStackNode<PortEcho>>(ns);
+        assert_eq!(server.stack.seen.len(), 5);
+        for (port, frame) in &server.stack.seen {
+            assert_eq!(frame, &vec![*port as u8], "frame tag matches its port");
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let c = net.node::<StackNode<OneShot>>(id);
+            assert_eq!(c.stack.got, vec![vec![i as u8]], "echo came back to client {i}");
+        }
     }
 }

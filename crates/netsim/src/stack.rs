@@ -29,6 +29,12 @@ pub enum TransportError {
     PeerVanished,
     /// The connection never completed establishment (SYN retries exhausted).
     HandshakeFailed,
+    /// The host's connection table is at capacity; no new connection can
+    /// be admitted (accept path refuses, active open fails typed).
+    ConnTableFull,
+    /// Every ephemeral port toward the requested remote endpoint is in
+    /// use; an active open cannot be given a local port.
+    PortsExhausted,
 }
 
 impl core::fmt::Display for TransportError {
@@ -38,6 +44,8 @@ impl core::fmt::Display for TransportError {
             TransportError::Reset => write!(f, "connection reset by peer"),
             TransportError::PeerVanished => write!(f, "connection aborted: peer vanished"),
             TransportError::HandshakeFailed => write!(f, "connection aborted: handshake failed"),
+            TransportError::ConnTableFull => write!(f, "connection refused: connection table full"),
+            TransportError::PortsExhausted => write!(f, "connect failed: ephemeral ports exhausted"),
         }
     }
 }
@@ -61,6 +69,82 @@ pub trait Stack: 'static {
     /// Advance timers to `now`. Spurious calls (before any deadline) must be
     /// harmless.
     fn on_tick(&mut self, now: Time);
+}
+
+/// A poll-driven protocol endpoint attached to *several* links (a server
+/// host facing many clients). Identical contract to [`Stack`] except that
+/// frames are tagged with the port they arrived on / should leave by.
+pub trait MultiStack: 'static {
+    /// Handle a frame received on `port` at `now`.
+    fn on_frame(&mut self, now: Time, port: PortId, frame: &[u8]);
+
+    /// Next frame to transmit and the port to send it on, or `None` when
+    /// idle. Called repeatedly until it returns `None`.
+    fn poll_transmit(&mut self, now: Time) -> Option<(PortId, Vec<u8>)>;
+
+    /// The next instant at which [`MultiStack::on_tick`] must run.
+    fn poll_deadline(&self, now: Time) -> Option<Time>;
+
+    /// Advance timers to `now`. Spurious calls must be harmless.
+    fn on_tick(&mut self, now: Time);
+}
+
+/// Adapter embedding a sans-IO [`MultiStack`] as a multi-port simulator
+/// node — the server end of a [`crate::star`] topology.
+pub struct MultiStackNode<S: MultiStack> {
+    /// The protocol endpoint, freely accessible between simulation steps.
+    pub stack: S,
+    armed: Option<(Time, TimerId)>,
+}
+
+impl<S: MultiStack> MultiStackNode<S> {
+    pub fn new(stack: S) -> Self {
+        MultiStackNode { stack, armed: None }
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx) {
+        while let Some((port, frame)) = self.stack.poll_transmit(ctx.now) {
+            ctx.send(port, frame);
+        }
+        match self.stack.poll_deadline(ctx.now) {
+            Some(deadline) => {
+                let deadline = deadline.max(ctx.now);
+                let needs_rearm = match self.armed {
+                    None => true,
+                    Some((at, _)) => deadline < at,
+                };
+                if needs_rearm {
+                    if let Some((_, id)) = self.armed.take() {
+                        ctx.cancel(id);
+                    }
+                    let id = ctx.arm_at(deadline, 0);
+                    self.armed = Some((deadline, id));
+                }
+            }
+            None => {
+                if let Some((_, id)) = self.armed.take() {
+                    ctx.cancel(id);
+                }
+            }
+        }
+    }
+}
+
+impl<S: MultiStack> Node for MultiStackNode<S> {
+    fn on_frame(&mut self, port: PortId, frame: Vec<u8>, ctx: &mut NodeCtx) {
+        self.stack.on_frame(ctx.now, port, &frame);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut NodeCtx) {
+        self.armed = None;
+        self.stack.on_tick(ctx.now);
+        self.pump(ctx);
+    }
+
+    fn poll(&mut self, ctx: &mut NodeCtx) {
+        self.pump(ctx);
+    }
 }
 
 /// Adapter embedding a sans-IO [`Stack`] as a single-port simulator node.

@@ -1,0 +1,553 @@
+//! The event-driven host: one [`Host`] serves many connections over a
+//! single [`HostStack`], exposing a poll-style readiness API.
+//!
+//! Cost model (the point of the subsystem, measured by experiment E15):
+//!
+//! - **Demux** is one hashed 4-tuple lookup per inbound frame — O(1) in
+//!   the connection count.
+//! - **Timers** live in a hierarchical [`TimerWheel`]: one armed entry
+//!   per connection, re-armed only when that connection's deadline
+//!   changes, so a tick costs O(fired) instead of O(connections).
+//!   [`TimerMode::NaiveScan`] keeps the tick-every-connection behaviour
+//!   as the measured baseline.
+//! - **Ingest** is batched: frames arriving within `batch_window` are
+//!   queued per-connection and serviced together, round-robin
+//!   `quantum` frames per connection so one chatty peer cannot starve
+//!   the rest.
+//! - **Accept** is bounded: at most `backlog` established-but-unaccepted
+//!   connections; beyond that new peers are refused (reset), not queued
+//!   without limit.
+
+use crate::stack::HostStack;
+use crate::wheel::{TimerKey, TimerWheel};
+use netsim::{Dur, MultiStack, PortId, Time, TransportError};
+use slmetrics::HostCounters;
+use std::collections::{HashMap, VecDeque};
+use tcp_mono::wire::Endpoint;
+
+/// How the host discovers due connection timers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerMode {
+    /// Hierarchical timer wheel: O(1) per tick per fired timer.
+    Wheel,
+    /// Tick every connection on every deadline — the baseline the wheel
+    /// is measured against.
+    NaiveScan,
+}
+
+/// Host tuning knobs; `Default` is sized for the scale experiment.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// Port the host listens on (bound at construction).
+    pub listen_port: u16,
+    /// Established-but-unaccepted connections beyond this are reset.
+    pub backlog: usize,
+    /// Connection-table capacity pushed down into the stack.
+    pub max_conns: usize,
+    /// Per-connection ingress queue bound; overflow frames are dropped
+    /// (TCP retransmission recovers them).
+    pub ingress_cap: usize,
+    /// Frames serviced per connection per round-robin pass.
+    pub quantum: usize,
+    /// Frames arriving within this window are ingested as one batch.
+    pub batch_window: Dur,
+    pub timer_mode: TimerMode,
+    /// Idle connections are evicted (reset) after this long without
+    /// traffic; `None` disables eviction.
+    pub idle_timeout: Option<Dur>,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            listen_port: 80,
+            backlog: 128,
+            max_conns: 16384,
+            ingress_cap: 64,
+            quantum: 4,
+            batch_window: Dur::ZERO,
+            timer_mode: TimerMode::Wheel,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Readiness events, edge-triggered: each fires once per transition.
+/// `Readable` re-arms after [`Host::recv`], `Writable` after a short
+/// [`Host::send`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostEvent<C> {
+    /// A new inbound connection was admitted to the accept queue.
+    Accepted(C),
+    /// In-order bytes are available to `recv`.
+    Readable(C),
+    /// An outbound connect completed, or send capacity returned after a
+    /// short write.
+    Writable(C),
+    /// The peer closed its direction (EOF after the readable bytes).
+    PeerClosed(C),
+    /// The connection is fully gone (clean close).
+    Closed(C),
+    /// The connection died abnormally.
+    Error(C, TransportError),
+}
+
+struct HostConn {
+    /// Outbound connections start accepted (they never enter the accept
+    /// queue); inbound ones earn it through the bounded backlog.
+    accepted: bool,
+    readable_flagged: bool,
+    writable_blocked: bool,
+    peer_closed_sent: bool,
+    error_sent: bool,
+    /// Inbound frames awaiting batched ingest.
+    pending: VecDeque<Vec<u8>>,
+    /// Armed wheel entry and the deadline it was armed for.
+    wheel_key: Option<(TimerKey, Time)>,
+    last_activity: Time,
+}
+
+impl HostConn {
+    fn new(now: Time, outbound: bool) -> HostConn {
+        HostConn {
+            accepted: outbound,
+            readable_flagged: false,
+            // Outbound connections report Writable once established.
+            writable_blocked: outbound,
+            peer_closed_sent: false,
+            error_sent: false,
+            pending: VecDeque::new(),
+            wheel_key: None,
+            last_activity: now,
+        }
+    }
+}
+
+/// An event-driven multi-connection server host. Implements
+/// [`MultiStack`] so it drops into a [`netsim::star`] topology as the
+/// hub node.
+pub struct Host<S: HostStack> {
+    stack: S,
+    cfg: HostConfig,
+    /// Learned route: peer address → simulator port (from inbound frame
+    /// sources; outbound frames are routed by destination address).
+    routes: HashMap<u32, PortId>,
+    conns: HashMap<S::ConnId, HostConn>,
+    /// Frames not matching any connection (SYNs, cookie ACKs, strays).
+    listener_q: VecDeque<Vec<u8>>,
+    accept_q: VecDeque<S::ConnId>,
+    events: VecDeque<HostEvent<S::ConnId>>,
+    /// Routed frames ready to transmit.
+    out: VecDeque<(PortId, Vec<u8>)>,
+    /// When the current ingest batch is due for servicing.
+    batch_due: Option<Time>,
+    wheel: TimerWheel<S::ConnId>,
+    pub counters: HostCounters,
+}
+
+impl<S: HostStack> Host<S> {
+    pub fn new(mut stack: S, cfg: HostConfig) -> Host<S> {
+        stack.listen(cfg.listen_port);
+        stack.set_max_conns(cfg.max_conns);
+        Host {
+            stack,
+            cfg,
+            routes: HashMap::new(),
+            conns: HashMap::new(),
+            listener_q: VecDeque::new(),
+            accept_q: VecDeque::new(),
+            events: VecDeque::new(),
+            out: VecDeque::new(),
+            batch_due: None,
+            wheel: TimerWheel::new(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    pub fn stack(&self) -> &S {
+        &self.stack
+    }
+
+    pub fn stack_mut(&mut self) -> &mut S {
+        &mut self.stack
+    }
+
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    pub fn conn_count(&self) -> usize {
+        self.stack.conn_count()
+    }
+
+    /// Tracked (host-visible) connections.
+    pub fn tracked_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Pin a peer address to a simulator port (normally learned from
+    /// inbound traffic; needed before an outbound connect to a peer that
+    /// has never sent us anything).
+    pub fn set_route(&mut self, addr: u32, port: PortId) {
+        self.routes.insert(addr, port);
+    }
+
+    /// Pop the next readiness event.
+    pub fn poll_event(&mut self) -> Option<HostEvent<S::ConnId>> {
+        let ev = self.events.pop_front();
+        if ev.is_some() {
+            self.counters.events_dispatched += 1;
+        }
+        ev
+    }
+
+    /// Pop one established connection from the bounded accept queue.
+    pub fn accept(&mut self) -> Option<S::ConnId> {
+        self.accept_q.pop_front()
+    }
+
+    /// Active open with an ephemeral port (route the peer's address with
+    /// [`Host::set_route`] first).
+    pub fn connect(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<S::ConnId, TransportError> {
+        let id = self.stack.try_connect_ephemeral(now, remote)?;
+        self.conns.insert(id, HostConn::new(now, true));
+        self.stack.pump_conn(now, id);
+        self.update(now, id);
+        Ok(id)
+    }
+
+    /// Drain received bytes; re-arms the `Readable` edge.
+    pub fn recv(&mut self, now: Time, id: S::ConnId) -> Vec<u8> {
+        let data = self.stack.recv(id);
+        if let Some(hc) = self.conns.get_mut(&id) {
+            hc.readable_flagged = false;
+            if !data.is_empty() {
+                hc.last_activity = now;
+            }
+        }
+        // The window may have reopened; let the ACK out.
+        self.stack.pump_conn(now, id);
+        self.update(now, id);
+        data
+    }
+
+    /// Queue data; a short count arms the `Writable` edge for when
+    /// capacity returns.
+    pub fn send(&mut self, now: Time, id: S::ConnId, data: &[u8]) -> usize {
+        let n = self.stack.send(id, data);
+        if let Some(hc) = self.conns.get_mut(&id) {
+            if n < data.len() {
+                hc.writable_blocked = true;
+            }
+            if n > 0 {
+                hc.last_activity = now;
+            }
+        }
+        self.stack.pump_conn(now, id);
+        self.update(now, id);
+        n
+    }
+
+    /// Graceful close.
+    pub fn close(&mut self, now: Time, id: S::ConnId) {
+        self.stack.close(id);
+        self.stack.pump_conn(now, id);
+        self.update(now, id);
+    }
+
+    /// Hard reset.
+    pub fn abort(&mut self, now: Time, id: S::ConnId) {
+        self.stack.abort(now, id);
+        self.update(now, id);
+    }
+
+    fn track_inbound(&mut self, now: Time, id: S::ConnId) {
+        self.conns.entry(id).or_insert_with(|| HostConn::new(now, false));
+    }
+
+    /// Ingest queued frames: listener-queue first (handshakes create
+    /// connections), then round-robin over per-connection queues,
+    /// `quantum` frames per connection per pass.
+    fn service_ingress(&mut self, now: Time) {
+        self.batch_due = None;
+        let mut touched: Vec<S::ConnId> = Vec::new();
+        while let Some(frame) = self.listener_q.pop_front() {
+            self.stack.on_frame(now, &frame);
+            if let Some(meta) = S::classify_frame(&frame) {
+                if let Some(id) = self.stack.conn_for_tuple(&meta.tuple_at_dst()) {
+                    self.track_inbound(now, id);
+                    touched.push(id);
+                }
+            }
+        }
+        let mut busy: Vec<S::ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, hc)| !hc.pending.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        busy.sort();
+        while !busy.is_empty() {
+            busy.retain(|&id| {
+                for _ in 0..self.cfg.quantum {
+                    let frame = {
+                        let Some(hc) = self.conns.get_mut(&id) else { return false };
+                        let Some(frame) = hc.pending.pop_front() else { return false };
+                        hc.last_activity = now;
+                        frame
+                    };
+                    self.stack.on_frame(now, &frame);
+                    touched.push(id);
+                }
+                self.conns.get(&id).is_some_and(|hc| !hc.pending.is_empty())
+            });
+        }
+        touched.sort();
+        touched.dedup();
+        for id in touched {
+            self.stack.pump_conn(now, id);
+            self.update(now, id);
+        }
+    }
+
+    /// Reconcile one connection's host-visible state after any stack
+    /// activity: emit edge-triggered events, enforce the accept backlog,
+    /// re-arm its wheel entry, and drop it once fully closed.
+    fn update(&mut self, now: Time, id: S::ConnId) {
+        let Some(hc) = self.conns.get_mut(&id) else { return };
+
+        if let Some(e) = self.stack.conn_error(id) {
+            if !hc.error_sent {
+                hc.error_sent = true;
+                self.events.push_back(HostEvent::Error(id, e));
+            }
+        }
+        if !hc.accepted && self.stack.is_established(id) {
+            if self.accept_q.len() < self.cfg.backlog {
+                hc.accepted = true;
+                self.accept_q.push_back(id);
+                self.counters.accepts += 1;
+                self.events.push_back(HostEvent::Accepted(id));
+            } else {
+                self.counters.accept_refusals += 1;
+                self.stack.abort(now, id);
+            }
+        }
+        let hc = self.conns.get_mut(&id).expect("still tracked");
+        if !hc.readable_flagged && self.stack.readable_len(id) > 0 {
+            hc.readable_flagged = true;
+            self.events.push_back(HostEvent::Readable(id));
+        }
+        if hc.writable_blocked
+            && self.stack.is_established(id)
+            && self.stack.send_capacity(id) > 0
+        {
+            hc.writable_blocked = false;
+            self.events.push_back(HostEvent::Writable(id));
+        }
+        if !hc.peer_closed_sent && self.stack.peer_closed(id) {
+            hc.peer_closed_sent = true;
+            self.events.push_back(HostEvent::PeerClosed(id));
+        }
+        if self.stack.is_closed(id) {
+            let hc = self.conns.remove(&id).expect("still tracked");
+            if let Some((key, _)) = hc.wheel_key {
+                self.wheel.cancel(key);
+            }
+            self.accept_q.retain(|&q| q != id);
+            if !hc.error_sent {
+                self.events.push_back(HostEvent::Closed(id));
+            }
+            return;
+        }
+        if self.cfg.timer_mode == TimerMode::Wheel {
+            self.rearm(now, id);
+        }
+    }
+
+    /// Deadline the host tracks for one connection: the stack's own
+    /// timers plus the host-level idle eviction.
+    fn deadline_for(&self, now: Time, id: S::ConnId, hc: &HostConn) -> Option<Time> {
+        let idle = self.cfg.idle_timeout.map(|t| hc.last_activity + t);
+        [self.stack.conn_deadline(now, id), idle].into_iter().flatten().min()
+    }
+
+    fn rearm(&mut self, now: Time, id: S::ConnId) {
+        let Some(hc) = self.conns.get(&id) else { return };
+        let want = self.deadline_for(now, id, hc);
+        let have = hc.wheel_key.map(|(_, at)| at);
+        if want == have {
+            return;
+        }
+        let hc = self.conns.get_mut(&id).expect("still tracked");
+        if let Some((key, _)) = hc.wheel_key.take() {
+            self.wheel.cancel(key);
+        }
+        if let Some(at) = want {
+            let key = self.wheel.arm(at, id);
+            let hc = self.conns.get_mut(&id).expect("still tracked");
+            hc.wheel_key = Some((key, at));
+        }
+    }
+
+    /// Advance one connection whose timer fired (or, in naive mode, every
+    /// connection on every tick).
+    fn fire(&mut self, now: Time, id: S::ConnId) {
+        self.stack.tick_conn(now, id);
+        if let Some(timeout) = self.cfg.idle_timeout {
+            let idle = self
+                .conns
+                .get(&id)
+                .is_some_and(|hc| now.since(hc.last_activity) >= timeout);
+            if idle && !self.stack.is_closed(id) {
+                self.counters.evictions += 1;
+                self.stack.abort(now, id);
+            }
+        }
+        self.stack.pump_conn(now, id);
+        self.update(now, id);
+    }
+}
+
+impl<S: HostStack> MultiStack for Host<S> {
+    fn on_frame(&mut self, now: Time, port: PortId, frame: &[u8]) {
+        self.counters.frames_in += 1;
+        match S::classify_frame(frame) {
+            Some(meta) => {
+                self.routes.insert(meta.src.addr, port);
+                let tuple = meta.tuple_at_dst();
+                match self.stack.conn_for_tuple(&tuple) {
+                    Some(id) => {
+                        self.track_inbound(now, id);
+                        let hc = self.conns.get_mut(&id).expect("just tracked");
+                        if hc.pending.len() < self.cfg.ingress_cap {
+                            hc.pending.push_back(frame.to_vec());
+                        }
+                        // else: drop; retransmission recovers.
+                    }
+                    None => self.listener_q.push_back(frame.to_vec()),
+                }
+            }
+            // Unparseable: hand it to the stack's own error accounting.
+            None => self.listener_q.push_back(frame.to_vec()),
+        }
+        if self.batch_due.is_none() {
+            self.batch_due = Some(now + self.cfg.batch_window);
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<(PortId, Vec<u8>)> {
+        if self.batch_due.is_some_and(|due| now >= due) {
+            self.service_ingress(now);
+        }
+        loop {
+            if let Some(out) = self.out.pop_front() {
+                self.counters.frames_out += 1;
+                return Some(out);
+            }
+            let frame = self.stack.take_frame()?;
+            let port = S::classify_frame(&frame)
+                .and_then(|meta| self.routes.get(&meta.dst.addr).copied())
+                .unwrap_or(0);
+            self.out.push_back((port, frame));
+        }
+    }
+
+    fn poll_deadline(&self, now: Time) -> Option<Time> {
+        let timers = match self.cfg.timer_mode {
+            TimerMode::Wheel => self.wheel.next_deadline(),
+            TimerMode::NaiveScan => self
+                .conns
+                .iter()
+                .filter_map(|(&id, hc)| self.deadline_for(now, id, hc))
+                .min(),
+        };
+        [self.batch_due, timers].into_iter().flatten().min()
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        self.counters.ticks += 1;
+        if self.batch_due.is_some_and(|due| now >= due) {
+            self.service_ingress(now);
+        }
+        match self.cfg.timer_mode {
+            TimerMode::Wheel => {
+                for (_, id) in self.wheel.advance(now) {
+                    // The fired entry is consumed; forget the stale key so
+                    // rearm doesn't cancel a later timer by accident.
+                    if let Some(hc) = self.conns.get_mut(&id) {
+                        hc.wheel_key = None;
+                    }
+                    self.counters.timer_fires += 1;
+                    self.fire(now, id);
+                }
+                self.counters.timer_touches = self.wheel.touches;
+            }
+            TimerMode::NaiveScan => {
+                let mut ids: Vec<S::ConnId> = self.conns.keys().copied().collect();
+                ids.sort();
+                self.counters.timer_touches += ids.len() as u64;
+                for id in ids {
+                    if self.conns.contains_key(&id) {
+                        self.counters.timer_fires += 1;
+                        self.fire(now, id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An application driving a [`Host`]: gets every readiness event and may
+/// call back into the host (recv, send, close, accept).
+pub trait HostApp<S: HostStack>: 'static {
+    fn on_event(&mut self, now: Time, host: &mut Host<S>, ev: HostEvent<S::ConnId>);
+}
+
+/// A [`Host`] bundled with its [`HostApp`], dispatching events inline so
+/// the pair drops into the simulator as one node.
+pub struct ServedHost<S: HostStack, A: HostApp<S>> {
+    pub host: Host<S>,
+    pub app: A,
+}
+
+impl<S: HostStack, A: HostApp<S>> ServedHost<S, A> {
+    pub fn new(host: Host<S>, app: A) -> Self {
+        ServedHost { host, app }
+    }
+
+    fn dispatch(&mut self, now: Time) {
+        while let Some(ev) = self.host.poll_event() {
+            self.app.on_event(now, &mut self.host, ev);
+        }
+    }
+}
+
+impl<S: HostStack, A: HostApp<S>> MultiStack for ServedHost<S, A> {
+    fn on_frame(&mut self, now: Time, port: PortId, frame: &[u8]) {
+        self.host.on_frame(now, port, frame);
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<(PortId, Vec<u8>)> {
+        // Service ingest, let the app react, then drain what it produced.
+        let ready = self.host.poll_transmit(now);
+        if ready.is_some() {
+            return ready;
+        }
+        self.dispatch(now);
+        self.host.poll_transmit(now)
+    }
+
+    fn poll_deadline(&self, now: Time) -> Option<Time> {
+        self.host.poll_deadline(now)
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        self.host.on_tick(now);
+        self.dispatch(now);
+    }
+}

@@ -1,0 +1,304 @@
+//! The host-facing stack surface.
+//!
+//! [`Host`](crate::Host) is generic over the transport underneath it: the
+//! sublayered stack (`sublayer-core`) and the monolithic baseline
+//! (`tcp-mono`) both drive the same event loop, timer wheel, and accept
+//! path. [`HostStack`] is the contract that makes that possible — the
+//! API-parity test (`tests/parity.rs`) runs one scripted scenario against
+//! both implementations and asserts identical observable behaviour.
+
+use netsim::{Stack, Time, TransportError};
+use std::fmt::Debug;
+use std::hash::Hash;
+use sublayer_core::{CmState, ConnId, SlTcpStack};
+use tcp_mono::wire::{Endpoint, FourTuple};
+use tcp_mono::{TcpStack, TcpState};
+
+/// Addressing read off a raw frame without full decode — just enough for
+/// the host to demux (inbound) or route (outbound) in O(1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameMeta {
+    pub src: Endpoint,
+    pub dst: Endpoint,
+}
+
+impl FrameMeta {
+    /// The 4-tuple as seen by the *receiving* host.
+    pub fn tuple_at_dst(&self) -> FourTuple {
+        FourTuple { local: self.dst, remote: self.src }
+    }
+}
+
+/// What a transport must expose for [`Host`](crate::Host) to serve many
+/// connections over it: listen/connect, per-connection I/O and state
+/// queries, and the per-connection timer/transmit split that lets the
+/// host tick only the connections whose wheel entry fired.
+pub trait HostStack: Stack {
+    /// Connection handle (`ConnId` for the sublayered stack, the 4-tuple
+    /// itself for the monolithic one).
+    type ConnId: Copy + Ord + Eq + Hash + Debug + 'static;
+
+    fn stack_name() -> &'static str;
+    fn local_addr(&self) -> u32;
+    fn listen(&mut self, port: u16);
+    /// Bound the connection table (capacity beyond it refuses opens).
+    fn set_max_conns(&mut self, max: usize);
+    fn try_connect(
+        &mut self,
+        now: Time,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<Self::ConnId, TransportError>;
+    fn try_connect_ephemeral(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<Self::ConnId, TransportError>;
+    /// Queue data; returns bytes accepted (short count = backpressure).
+    fn send(&mut self, id: Self::ConnId, data: &[u8]) -> usize;
+    /// Drain received in-order bytes.
+    fn recv(&mut self, id: Self::ConnId) -> Vec<u8>;
+    /// Graceful close.
+    fn close(&mut self, id: Self::ConnId);
+    /// Hard reset.
+    fn abort(&mut self, now: Time, id: Self::ConnId);
+    fn is_established(&self, id: Self::ConnId) -> bool;
+    /// Fully gone (or never existed).
+    fn is_closed(&self, id: Self::ConnId) -> bool;
+    /// Peer's FIN processed (EOF after the readable bytes drain).
+    fn peer_closed(&self, id: Self::ConnId) -> bool;
+    /// Terminal error, surviving the connection's removal.
+    fn conn_error(&self, id: Self::ConnId) -> Option<TransportError>;
+    fn readable_len(&self, id: Self::ConnId) -> usize;
+    fn send_capacity(&self, id: Self::ConnId) -> usize;
+    fn established(&self) -> Vec<Self::ConnId>;
+    fn conn_count(&self) -> usize;
+
+    /// Read addressing off a raw frame without decoding the rest; `None`
+    /// for frames too short or not this stack's wire format.
+    fn classify_frame(frame: &[u8]) -> Option<FrameMeta>;
+    /// O(1) hashed 4-tuple lookup (the host's demux path).
+    fn conn_for_tuple(&self, tuple: &FourTuple) -> Option<Self::ConnId>;
+    /// Pop one already-assembled outgoing frame (no connection scan).
+    fn take_frame(&mut self) -> Option<Vec<u8>>;
+    /// Run one connection's output machinery.
+    fn pump_conn(&mut self, now: Time, id: Self::ConnId);
+    /// Next timer deadline for one connection (what the host arms in the
+    /// wheel).
+    fn conn_deadline(&self, now: Time, id: Self::ConnId) -> Option<Time>;
+    /// Advance one connection's timers to `now`; spurious calls harmless.
+    fn tick_conn(&mut self, now: Time, id: Self::ConnId);
+    /// Total inter-sublayer boundary crossings so far, for stacks that
+    /// have internal boundaries (`None` for the monolithic baseline).
+    /// The scale experiment reports this as crossing overhead per
+    /// connection at high connection counts.
+    fn crossing_events(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl HostStack for SlTcpStack {
+    type ConnId = ConnId;
+
+    fn stack_name() -> &'static str {
+        "sublayered"
+    }
+    fn local_addr(&self) -> u32 {
+        self.addr()
+    }
+    fn listen(&mut self, port: u16) {
+        SlTcpStack::listen(self, port);
+    }
+    fn set_max_conns(&mut self, max: usize) {
+        SlTcpStack::set_max_conns(self, max);
+    }
+    fn try_connect(
+        &mut self,
+        now: Time,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<ConnId, TransportError> {
+        SlTcpStack::try_connect(self, now, local_port, remote)
+    }
+    fn try_connect_ephemeral(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<ConnId, TransportError> {
+        SlTcpStack::try_connect_ephemeral(self, now, remote)
+    }
+    fn send(&mut self, id: ConnId, data: &[u8]) -> usize {
+        SlTcpStack::send(self, id, data)
+    }
+    fn recv(&mut self, id: ConnId) -> Vec<u8> {
+        SlTcpStack::recv(self, id)
+    }
+    fn close(&mut self, id: ConnId) {
+        SlTcpStack::close(self, id);
+    }
+    fn abort(&mut self, now: Time, id: ConnId) {
+        SlTcpStack::abort(self, now, id, TransportError::Reset);
+    }
+    fn is_established(&self, id: ConnId) -> bool {
+        self.state(id) == CmState::Established
+    }
+    fn is_closed(&self, id: ConnId) -> bool {
+        self.state(id) == CmState::Closed
+    }
+    fn peer_closed(&self, id: ConnId) -> bool {
+        SlTcpStack::peer_closed(self, id)
+    }
+    fn conn_error(&self, id: ConnId) -> Option<TransportError> {
+        SlTcpStack::conn_error(self, id)
+    }
+    fn readable_len(&self, id: ConnId) -> usize {
+        SlTcpStack::readable_len(self, id)
+    }
+    fn send_capacity(&self, id: ConnId) -> usize {
+        SlTcpStack::send_capacity(self, id)
+    }
+    fn established(&self) -> Vec<ConnId> {
+        SlTcpStack::established(self)
+    }
+    fn conn_count(&self) -> usize {
+        SlTcpStack::conn_count(self)
+    }
+
+    fn classify_frame(frame: &[u8]) -> Option<FrameMeta> {
+        // Figure-6 native header: MAGIC, addrs, checksum, then DM ports.
+        if frame.len() < 36 || frame[0] != 0x5B {
+            return None;
+        }
+        let src_addr = u32::from_be_bytes(frame[1..5].try_into().unwrap());
+        let dst_addr = u32::from_be_bytes(frame[5..9].try_into().unwrap());
+        let src_port = u16::from_be_bytes([frame[11], frame[12]]);
+        let dst_port = u16::from_be_bytes([frame[13], frame[14]]);
+        Some(FrameMeta {
+            src: Endpoint::new(src_addr, src_port),
+            dst: Endpoint::new(dst_addr, dst_port),
+        })
+    }
+    fn conn_for_tuple(&self, tuple: &FourTuple) -> Option<ConnId> {
+        SlTcpStack::conn_for_tuple(self, tuple)
+    }
+    fn take_frame(&mut self) -> Option<Vec<u8>> {
+        SlTcpStack::take_frame(self)
+    }
+    fn pump_conn(&mut self, now: Time, id: ConnId) {
+        SlTcpStack::pump_conn(self, now, id);
+    }
+    fn conn_deadline(&self, now: Time, id: ConnId) -> Option<Time> {
+        SlTcpStack::conn_deadline(self, now, id)
+    }
+    fn tick_conn(&mut self, now: Time, id: ConnId) {
+        SlTcpStack::tick_conn(self, now, id);
+    }
+    fn crossing_events(&self) -> Option<u64> {
+        let c = &self.crossings;
+        Some(
+            c.osr_to_rd_segments
+                + c.rd_to_osr_segments
+                + c.signals_up
+                + c.packets_tx
+                + c.packets_rx,
+        )
+    }
+}
+
+impl HostStack for TcpStack {
+    type ConnId = FourTuple;
+
+    fn stack_name() -> &'static str {
+        "monolithic"
+    }
+    fn local_addr(&self) -> u32 {
+        self.addr()
+    }
+    fn listen(&mut self, port: u16) {
+        TcpStack::listen(self, port);
+    }
+    fn set_max_conns(&mut self, max: usize) {
+        TcpStack::set_max_conns(self, max);
+    }
+    fn try_connect(
+        &mut self,
+        now: Time,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<FourTuple, TransportError> {
+        TcpStack::try_connect(self, now, local_port, remote)
+    }
+    fn try_connect_ephemeral(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<FourTuple, TransportError> {
+        TcpStack::try_connect_ephemeral(self, now, remote)
+    }
+    fn send(&mut self, id: FourTuple, data: &[u8]) -> usize {
+        TcpStack::send(self, id, data)
+    }
+    fn recv(&mut self, id: FourTuple) -> Vec<u8> {
+        TcpStack::recv(self, id)
+    }
+    fn close(&mut self, id: FourTuple) {
+        TcpStack::close(self, id);
+    }
+    fn abort(&mut self, _now: Time, id: FourTuple) {
+        TcpStack::abort(self, id);
+    }
+    fn is_established(&self, id: FourTuple) -> bool {
+        self.state(id) == TcpState::Established
+    }
+    fn is_closed(&self, id: FourTuple) -> bool {
+        self.state(id) == TcpState::Closed
+    }
+    fn peer_closed(&self, id: FourTuple) -> bool {
+        TcpStack::peer_closed(self, id)
+    }
+    fn conn_error(&self, id: FourTuple) -> Option<TransportError> {
+        TcpStack::conn_error(self, id)
+    }
+    fn readable_len(&self, id: FourTuple) -> usize {
+        TcpStack::readable_len(self, id)
+    }
+    fn send_capacity(&self, id: FourTuple) -> usize {
+        TcpStack::send_capacity(self, id)
+    }
+    fn established(&self) -> Vec<FourTuple> {
+        TcpStack::established(self)
+    }
+    fn conn_count(&self) -> usize {
+        TcpStack::conn_count(self)
+    }
+
+    fn classify_frame(frame: &[u8]) -> Option<FrameMeta> {
+        // RFC 793 over the simulator's 8-byte address header.
+        if frame.len() < 28 {
+            return None;
+        }
+        let src_addr = u32::from_be_bytes(frame[0..4].try_into().unwrap());
+        let dst_addr = u32::from_be_bytes(frame[4..8].try_into().unwrap());
+        let src_port = u16::from_be_bytes([frame[8], frame[9]]);
+        let dst_port = u16::from_be_bytes([frame[10], frame[11]]);
+        Some(FrameMeta {
+            src: Endpoint::new(src_addr, src_port),
+            dst: Endpoint::new(dst_addr, dst_port),
+        })
+    }
+    fn conn_for_tuple(&self, tuple: &FourTuple) -> Option<FourTuple> {
+        self.pcb(*tuple).map(|p| p.tuple)
+    }
+    fn take_frame(&mut self) -> Option<Vec<u8>> {
+        TcpStack::take_frame(self)
+    }
+    fn pump_conn(&mut self, now: Time, id: FourTuple) {
+        TcpStack::pump_conn(self, now, id);
+    }
+    fn conn_deadline(&self, now: Time, id: FourTuple) -> Option<Time> {
+        TcpStack::conn_deadline(self, now, id)
+    }
+    fn tick_conn(&mut self, now: Time, id: FourTuple) {
+        TcpStack::tick_conn(self, now, id);
+    }
+}

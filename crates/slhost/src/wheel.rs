@@ -1,0 +1,438 @@
+//! Hierarchical timer wheel.
+//!
+//! The host keeps one armed deadline per connection. A naive host scans
+//! every connection on every tick to find due timers — O(N) work whether
+//! or not anything is due, which is exactly the cost the scale experiment
+//! (E15) measures. This wheel makes a tick cost proportional to the
+//! timers that actually fire (plus amortized cascade work): idle
+//! connections consume zero cycles.
+//!
+//! Layout: time is bucketed into ~1.05 ms ticks (2^20 ns). Level 0 is a
+//! 256-slot wheel of single ticks (~268 ms horizon); three upper levels of
+//! 64 slots each extend the horizon by 64× apiece (~17 s, ~18 min,
+//! ~19.5 h). Entries beyond that sit in an overflow list that is
+//! re-placed when the top level rolls over. When the clock crosses a
+//! window boundary, the matching upper slot *cascades*: its entries are
+//! re-placed into lower levels, so every entry reaches level 0 before its
+//! deadline tick.
+//!
+//! Cancellation is lazy and generational: `cancel` frees the slab entry
+//! and bumps its generation; the stale `(index, generation)` pair left in
+//! a slot is skipped when the slot is processed. Fire order is
+//! `(deadline, arm-sequence)` — deterministic, deadline-sorted, ties
+//! broken by arm order.
+
+use netsim::Time;
+
+/// log2 of the tick size in nanoseconds (2^20 ns ≈ 1.05 ms).
+const GRANULARITY_BITS: u32 = 20;
+/// Level-0 slot count (one slot per tick).
+const L0_SLOTS: usize = 256;
+/// Slot count for each of the three upper levels.
+const UP_SLOTS: usize = 64;
+/// Ticks spanned by level 0.
+const L0_SPAN: u64 = L0_SLOTS as u64;
+/// Ticks spanned by levels 0..=k for k in 1..=3.
+const SPANS: [u64; 3] = [
+    L0_SPAN * UP_SLOTS as u64,
+    L0_SPAN * (UP_SLOTS as u64) * (UP_SLOTS as u64),
+    L0_SPAN * (UP_SLOTS as u64) * (UP_SLOTS as u64) * (UP_SLOTS as u64),
+];
+
+/// Handle to an armed timer; stale after the timer fires or is cancelled
+/// (generation mismatch makes reuse harmless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerKey {
+    idx: u32,
+    gen: u32,
+}
+
+struct SlabSlot<T> {
+    gen: u32,
+    entry: Option<Armed<T>>,
+}
+
+struct Armed<T> {
+    deadline: u64,
+    seq: u64,
+    payload: T,
+}
+
+/// A hierarchical timer wheel carrying one payload per armed timer.
+pub struct TimerWheel<T> {
+    cur_tick: u64,
+    l0: Vec<Vec<(u32, u32)>>,
+    upper: [Vec<Vec<(u32, u32)>>; 3],
+    overflow: Vec<(u32, u32)>,
+    /// Entries whose deadline tick is not after `cur_tick` (due now or
+    /// later within the current tick); checked on every `advance`.
+    imminent: Vec<(u32, u32)>,
+    slab: Vec<SlabSlot<T>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    armed: usize,
+    /// Entries examined by `advance` (live fires, stale skips, cascade
+    /// re-placements) — the work metric E15 compares against a naive
+    /// scan-all-connections tick.
+    pub touches: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            cur_tick: 0,
+            l0: (0..L0_SLOTS).map(|_| Vec::new()).collect(),
+            upper: std::array::from_fn(|_| (0..UP_SLOTS).map(|_| Vec::new()).collect()),
+            overflow: Vec::new(),
+            imminent: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            armed: 0,
+            touches: 0,
+        }
+    }
+
+    /// Number of live (armed, not yet fired or cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+
+    /// Arm a timer for `deadline`. Deadlines at or before the current
+    /// clock fire on the next `advance`.
+    pub fn arm(&mut self, deadline: Time, payload: T) -> TimerKey {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slab.push(SlabSlot { gen: 0, entry: None });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let gen = self.slab[idx as usize].gen;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slab[idx as usize].entry =
+            Some(Armed { deadline: deadline.nanos(), seq, payload });
+        self.armed += 1;
+        self.place(idx, gen, deadline.nanos() >> GRANULARITY_BITS);
+        TimerKey { idx, gen }
+    }
+
+    /// Cancel an armed timer. Returns the payload if the key was live;
+    /// stale keys (already fired / cancelled) are a harmless no-op.
+    pub fn cancel(&mut self, key: TimerKey) -> Option<T> {
+        let slot = self.slab.get_mut(key.idx as usize)?;
+        if slot.gen != key.gen {
+            return None;
+        }
+        let armed = slot.entry.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(key.idx);
+        self.armed -= 1;
+        Some(armed.payload)
+    }
+
+    fn place(&mut self, idx: u32, gen: u32, dtick: u64) {
+        let delta = dtick.saturating_sub(self.cur_tick);
+        if dtick <= self.cur_tick {
+            self.imminent.push((idx, gen));
+        } else if delta < L0_SPAN {
+            self.l0[(dtick % L0_SPAN) as usize].push((idx, gen));
+        } else if delta < SPANS[0] {
+            self.upper[0][((dtick >> 8) % UP_SLOTS as u64) as usize].push((idx, gen));
+        } else if delta < SPANS[1] {
+            self.upper[1][((dtick >> 14) % UP_SLOTS as u64) as usize].push((idx, gen));
+        } else if delta < SPANS[2] {
+            self.upper[2][((dtick >> 20) % UP_SLOTS as u64) as usize].push((idx, gen));
+        } else {
+            self.overflow.push((idx, gen));
+        }
+    }
+
+    /// Advance the clock to `now`, returning every timer that fired,
+    /// sorted by `(deadline, arm-sequence)`. Each armed timer fires
+    /// exactly once; cancelled timers never fire.
+    pub fn advance(&mut self, now: Time) -> Vec<(Time, T)> {
+        let target = now.nanos() >> GRANULARITY_BITS;
+        let mut fired: Vec<(u64, u64, T)> = Vec::new();
+
+        // Due-now bucket: entries armed at or before the current tick.
+        self.drain_imminent(now.nanos(), &mut fired);
+
+        while self.cur_tick < target {
+            self.cur_tick += 1;
+            // Cascade upper slots at their window boundaries so entries
+            // reach level 0 before their deadline tick.
+            if self.cur_tick.is_multiple_of(L0_SPAN) {
+                self.cascade(0, ((self.cur_tick >> 8) % UP_SLOTS as u64) as usize);
+                if (self.cur_tick >> 8).is_multiple_of(UP_SLOTS as u64) {
+                    self.cascade(1, ((self.cur_tick >> 14) % UP_SLOTS as u64) as usize);
+                    if (self.cur_tick >> 14).is_multiple_of(UP_SLOTS as u64) {
+                        self.cascade(2, ((self.cur_tick >> 20) % UP_SLOTS as u64) as usize);
+                        if (self.cur_tick >> 20).is_multiple_of(UP_SLOTS as u64) {
+                            let spill = std::mem::take(&mut self.overflow);
+                            for (idx, gen) in spill {
+                                self.touches += 1;
+                                self.replace_entry(idx, gen);
+                            }
+                        }
+                    }
+                }
+            }
+            let slot = std::mem::take(&mut self.l0[(self.cur_tick % L0_SPAN) as usize]);
+            for (idx, gen) in slot {
+                self.touches += 1;
+                match self.take_if_due(idx, gen, now.nanos()) {
+                    Taken::Fired(d, s, p) => fired.push((d, s, p)),
+                    // Due later within this tick (sub-tick precision).
+                    Taken::NotYet => self.imminent.push((idx, gen)),
+                    Taken::Stale => {}
+                }
+            }
+        }
+
+        // Cascades above may have landed entries exactly on the current
+        // tick, which `place` routes into `imminent` — they are due in
+        // *this* advance, not the next one.
+        self.drain_imminent(now.nanos(), &mut fired);
+
+        fired.sort_by_key(|&(deadline, seq, _)| (deadline, seq));
+        fired.into_iter().map(|(d, _, p)| (Time(d), p)).collect()
+    }
+
+    fn drain_imminent(&mut self, now_nanos: u64, fired: &mut Vec<(u64, u64, T)>) {
+        if self.imminent.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.imminent);
+        for (idx, gen) in pending {
+            self.touches += 1;
+            match self.take_if_due(idx, gen, now_nanos) {
+                Taken::Fired(d, s, p) => fired.push((d, s, p)),
+                Taken::NotYet => self.imminent.push((idx, gen)),
+                Taken::Stale => {}
+            }
+        }
+    }
+
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let entries = std::mem::take(&mut self.upper[level][slot]);
+        for (idx, gen) in entries {
+            self.touches += 1;
+            self.replace_entry(idx, gen);
+        }
+    }
+
+    fn replace_entry(&mut self, idx: u32, gen: u32) {
+        let Some(slot) = self.slab.get(idx as usize) else { return };
+        if slot.gen != gen {
+            return;
+        }
+        let Some(armed) = slot.entry.as_ref() else { return };
+        let dtick = armed.deadline >> GRANULARITY_BITS;
+        self.place(idx, gen, dtick);
+    }
+
+    fn take_if_due(&mut self, idx: u32, gen: u32, now_nanos: u64) -> Taken<T> {
+        let Some(slot) = self.slab.get_mut(idx as usize) else { return Taken::Stale };
+        if slot.gen != gen {
+            return Taken::Stale;
+        }
+        let Some(armed) = slot.entry.as_ref() else { return Taken::Stale };
+        if armed.deadline > now_nanos {
+            return Taken::NotYet;
+        }
+        let armed = slot.entry.take().unwrap();
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.armed -= 1;
+        Taken::Fired(armed.deadline, armed.seq, armed.payload)
+    }
+
+    /// The next instant `advance` should be called at: the exact deadline
+    /// when one is within the level-0 horizon, otherwise a *checkpoint* at
+    /// the next level-0 window boundary. Advancing to a checkpoint
+    /// cascades the due upper slot, after which the exact deadline becomes
+    /// visible — so timers never fire late, and finding the next deadline
+    /// never scans upper levels.
+    pub fn next_deadline(&self) -> Option<Time> {
+        if self.armed == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for &(idx, gen) in &self.imminent {
+            if let Some(d) = self.live_deadline(idx, gen) {
+                best = Some(best.map_or(d, |b| b.min(d)));
+            }
+        }
+        if let Some(d) = best {
+            return Some(Time(d));
+        }
+        for i in 1..L0_SPAN {
+            let slot = &self.l0[((self.cur_tick + i) % L0_SPAN) as usize];
+            let mut slot_best: Option<u64> = None;
+            for &(idx, gen) in slot {
+                if let Some(d) = self.live_deadline(idx, gen) {
+                    if d >> GRANULARITY_BITS == self.cur_tick + i {
+                        slot_best = Some(slot_best.map_or(d, |b| b.min(d)));
+                    }
+                }
+            }
+            if let Some(d) = slot_best {
+                return Some(Time(d));
+            }
+        }
+        // Everything live is in an upper level (or overflow): march to the
+        // next window boundary, whose cascade will surface it.
+        let checkpoint = ((self.cur_tick / L0_SPAN) + 1) * L0_SPAN;
+        Some(Time(checkpoint << GRANULARITY_BITS))
+    }
+
+    fn live_deadline(&self, idx: u32, gen: u32) -> Option<u64> {
+        let slot = self.slab.get(idx as usize)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.entry.as_ref().map(|a| a.deadline)
+    }
+}
+
+enum Taken<T> {
+    Fired(u64, u64, T),
+    NotYet,
+    Stale,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Dur;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(5_000_000), "b");
+        w.arm(Time(1_000_000), "a");
+        w.arm(Time(9_000_000), "c");
+        let fired = w.advance(Time(10_000_000));
+        let names: Vec<&str> = fired.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_deadline_fires_in_arm_order() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(1_000_000), 1);
+        w.arm(Time(1_000_000), 2);
+        w.arm(Time(1_000_000), 3);
+        let fired = w.advance(Time(2_000_000));
+        let order: Vec<i32> = fired.iter().map(|&(_, p)| p).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_never_fires() {
+        let mut w = TimerWheel::new();
+        let k = w.arm(Time(1_000_000), "x");
+        w.arm(Time(2_000_000), "y");
+        assert_eq!(w.cancel(k), Some("x"));
+        assert_eq!(w.cancel(k), None, "double cancel is a no-op");
+        let fired = w.advance(Time(5_000_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, "y");
+    }
+
+    #[test]
+    fn sub_tick_deadline_not_fired_early() {
+        let mut w = TimerWheel::new();
+        // Both in the same ~1ms tick; advance to between them.
+        w.arm(Time(1_100_000), "early");
+        w.arm(Time(1_900_000), "late");
+        let fired = w.advance(Time(1_500_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, "early");
+        assert_eq!(w.next_deadline(), Some(Time(1_900_000)));
+        let fired = w.advance(Time(1_900_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, "late");
+    }
+
+    #[test]
+    fn upper_level_entries_cascade_and_fire_on_time() {
+        // Deadlines past the L0 horizon (~268 ms) and past L1 (~17 s).
+        let mut w = TimerWheel::new();
+        let d1 = Time(Dur::from_millis(500).0);
+        let d2 = Time(Dur::from_secs(30).0);
+        w.arm(d1, "l1");
+        w.arm(d2, "l2");
+        // March via next_deadline checkpoints, never overshooting.
+        let mut now = Time::ZERO;
+        let mut fired = Vec::new();
+        while let Some(next) = w.next_deadline() {
+            assert!(next > now, "progress");
+            now = next;
+            for (at, p) in w.advance(now) {
+                fired.push((at, p));
+            }
+        }
+        assert_eq!(fired, vec![(d1, "l1"), (d2, "l2")]);
+    }
+
+    #[test]
+    fn next_deadline_is_exact_within_horizon() {
+        let mut w = TimerWheel::new();
+        w.arm(Time(42_000_000), "x");
+        assert_eq!(w.next_deadline(), Some(Time(42_000_000)));
+        assert_eq!(w.advance(Time(42_000_000)).len(), 1);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn overflow_entries_survive_arm_and_cancel() {
+        let mut w = TimerWheel::new();
+        // ~28 hours out: beyond the 3-level horizon.
+        let far = Time(100_000_000_000_000);
+        let k = w.arm(far, "far");
+        assert_eq!(w.len(), 1);
+        // Checkpoint marching still reports something armed.
+        assert!(w.next_deadline().is_some());
+        assert_eq!(w.cancel(k), Some("far"));
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn key_reuse_does_not_alias() {
+        let mut w = TimerWheel::new();
+        let k1 = w.arm(Time(1_000_000), "a");
+        w.cancel(k1);
+        let _k2 = w.arm(Time(2_000_000), "b"); // reuses slab slot 0
+        assert_eq!(w.cancel(k1), None, "old key must not cancel new timer");
+        let fired = w.advance(Time(3_000_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1, "b");
+    }
+
+    #[test]
+    fn idle_timers_cost_no_touches() {
+        let mut w = TimerWheel::new();
+        for i in 0..1000 {
+            w.arm(Time(Dur::from_secs(60).0 + i), i);
+        }
+        // Advance through 100 ms of quiet time: only cascade work (zero
+        // here — the entries sit in an upper level) may be touched.
+        w.advance(Time(Dur::from_millis(100).0));
+        assert_eq!(w.touches, 0, "idle connections consume zero cycles");
+    }
+}

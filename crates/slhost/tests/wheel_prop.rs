@@ -1,0 +1,132 @@
+//! Property coverage for the hierarchical timer wheel: every armed timer
+//! fires exactly once, in `(deadline, arm-order)` order, and never fires
+//! after cancellation — across arbitrary interleavings of arm / cancel /
+//! rearm / advance, including wheel-level rollovers (offsets up to ~35 s
+//! cross the level-0 horizon at ~268 ms and the level-1 horizon at ~17 s).
+
+use netsim::Time;
+use proptest::{collection, prop_assert, prop_assert_eq, proptest};
+use slhost::{TimerKey, TimerWheel};
+
+/// Model entry mirroring one `arm` call.
+struct Model {
+    key: TimerKey,
+    deadline: u64,
+    seq: u64,
+    live: bool,
+}
+
+/// Timers the model says must fire once `now` is reached, in wheel order.
+fn due(model: &mut [Model], now: u64) -> Vec<(u64, u64)> {
+    let mut exp: Vec<(u64, u64)> = model
+        .iter()
+        .filter(|m| m.live && m.deadline <= now)
+        .map(|m| (m.deadline, m.seq))
+        .collect();
+    exp.sort_unstable();
+    for m in model.iter_mut() {
+        if m.live && m.deadline <= now {
+            m.live = false;
+        }
+    }
+    exp
+}
+
+proptest! {
+    #[test]
+    fn fires_exactly_once_in_order_under_arbitrary_ops(
+        ops in collection::vec((0u8..4, proptest::num::u64::ANY), 0..80),
+    ) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut model: Vec<Model> = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for &(op, x) in &ops {
+            match op {
+                // Arm: deadline up to ~35 s out (crosses L0 and L1 spans).
+                0 => {
+                    let deadline = now + x % 35_000_000_000;
+                    let key = wheel.arm(Time(deadline), seq);
+                    model.push(Model { key, deadline, seq, live: true });
+                    seq += 1;
+                }
+                // Cancel an arbitrary (possibly dead) handle.
+                1 => {
+                    if !model.is_empty() {
+                        let i = (x as usize) % model.len();
+                        let m = &mut model[i];
+                        let got = wheel.cancel(m.key);
+                        prop_assert_eq!(
+                            got.is_some(),
+                            m.live,
+                            "cancel must succeed iff the timer is live"
+                        );
+                        m.live = false;
+                    }
+                }
+                // Rearm: cancel + arm at a fresh deadline.
+                2 => {
+                    if !model.is_empty() {
+                        let i = (x as usize) % model.len();
+                        let was_live = model[i].live;
+                        prop_assert_eq!(wheel.cancel(model[i].key).is_some(), was_live);
+                        model[i].live = false;
+                        let deadline = now + (x >> 8) % 35_000_000_000;
+                        let key = wheel.arm(Time(deadline), seq);
+                        model.push(Model { key, deadline, seq, live: true });
+                        seq += 1;
+                    }
+                }
+                // Advance: up to 2 s per step.
+                _ => {
+                    now += x % 2_000_000_000;
+                    let fired: Vec<(u64, u64)> = wheel
+                        .advance(Time(now))
+                        .into_iter()
+                        .map(|(at, s)| (at.nanos(), s))
+                        .collect();
+                    prop_assert_eq!(fired, due(&mut model, now));
+                }
+            }
+        }
+        // Drain: everything still live must fire, and nothing else.
+        now += 40_000_000_000;
+        let fired: Vec<(u64, u64)> = wheel
+            .advance(Time(now))
+            .into_iter()
+            .map(|(at, s)| (at.nanos(), s))
+            .collect();
+        prop_assert_eq!(fired, due(&mut model, now));
+        prop_assert!(wheel.is_empty(), "no timer may remain after the drain");
+    }
+
+    /// Following `next_deadline` exactly, every timer fires at precisely
+    /// its own deadline — the wheel is never late (a checkpoint cascade
+    /// always surfaces upper-level entries before they are due).
+    #[test]
+    fn marching_next_deadline_fires_at_exact_deadlines(
+        offsets in collection::vec(0u64..35_000_000_000, 1..40),
+    ) {
+        let mut wheel: TimerWheel<usize> = TimerWheel::new();
+        for (i, &o) in offsets.iter().enumerate() {
+            wheel.arm(Time(o), i);
+        }
+        let mut fired: Vec<(u64, usize)> = Vec::new();
+        let mut now = Time::ZERO;
+        let mut steps = 0u32;
+        while let Some(next) = wheel.next_deadline() {
+            steps += 1;
+            prop_assert!(steps < 100_000, "march must terminate");
+            prop_assert!(next >= now, "deadlines never move backwards");
+            now = next;
+            for (at, p) in wheel.advance(now) {
+                prop_assert_eq!(at, now, "a timer fires exactly at its deadline");
+                fired.push((at.nanos(), p));
+            }
+        }
+        let mut expect: Vec<(u64, usize)> =
+            offsets.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(fired, expect);
+    }
+}

@@ -131,6 +131,58 @@ impl AttackCounters {
     }
 }
 
+/// Per-host event-loop counters for the multi-connection server host
+/// (`slhost`): how much accept, timer and readiness work the host did.
+/// Shared shape across both stacks so the scale experiments compare the
+/// hosts like for like.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Connections admitted through the accept path.
+    pub accepts: u64,
+    /// Connections refused at the bounded accept backlog or table cap.
+    pub accept_refusals: u64,
+    /// Connections evicted (idle eviction or forced teardown).
+    pub evictions: u64,
+    /// Timer entries that fired (per-connection deadlines reached).
+    pub timer_fires: u64,
+    /// Timer entries touched per tick, summed — with a wheel this stays
+    /// proportional to *due* timers; a naive scan pays one touch per live
+    /// connection per tick.
+    pub timer_touches: u64,
+    /// Host ticks processed (denominator for work-per-tick).
+    pub ticks: u64,
+    /// Readiness events dispatched to the application.
+    pub events_dispatched: u64,
+    /// Inbound frames ingested (batched segment ingest).
+    pub frames_in: u64,
+    /// Frames transmitted.
+    pub frames_out: u64,
+}
+
+impl HostCounters {
+    /// Merge another host's counters into this one.
+    pub fn absorb(&mut self, other: &HostCounters) {
+        self.accepts += other.accepts;
+        self.accept_refusals += other.accept_refusals;
+        self.evictions += other.evictions;
+        self.timer_fires += other.timer_fires;
+        self.timer_touches += other.timer_touches;
+        self.ticks += other.ticks;
+        self.events_dispatched += other.events_dispatched;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+    }
+
+    /// Average timer entries touched per tick (the wheel-vs-naive metric).
+    pub fn timer_work_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.timer_touches as f64 / self.ticks as f64
+        }
+    }
+}
+
 /// The field-sharing structure derived from an [`AccessLog`].
 #[derive(Clone, Debug)]
 pub struct InteractionMatrix {

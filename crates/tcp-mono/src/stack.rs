@@ -42,6 +42,8 @@ pub struct TcpStats {
     pub old_ack_drops: u64,
     /// Out-of-order payload bytes discarded at the reassembly byte cap.
     pub ooo_overflow_drops: u64,
+    /// Inbound flows refused because the connection table was full.
+    pub conn_table_full_drops: u64,
 }
 
 /// Half-open (SYN_RCVD) connections tolerated per host; beyond this a
@@ -99,6 +101,11 @@ pub struct TcpStack {
     /// Terminal error per connection; survives the PCB so the application
     /// can ask *why* a connection died after it is gone.
     errors: HashMap<FourTuple, TransportError>,
+    /// Connection-table capacity: beyond it, passive opens are refused
+    /// with a RST and active opens fail with
+    /// [`TransportError::ConnTableFull`].
+    max_conns: usize,
+    next_ephemeral: u16,
     pub stats: TcpStats,
 }
 
@@ -112,6 +119,8 @@ impl TcpStack {
             log,
             keepalive: None,
             errors: HashMap::new(),
+            max_conns: 16384,
+            next_ephemeral: 49152,
             stats: TcpStats::default(),
         }
     }
@@ -123,6 +132,11 @@ impl TcpStack {
     /// Enable keepalive probing for all connections on this host.
     pub fn set_keepalive(&mut self, ka: Keepalive) {
         self.keepalive = Some(ka);
+    }
+
+    /// Bound the connection table (default 16384).
+    pub fn set_max_conns(&mut self, n: usize) {
+        self.max_conns = n;
     }
 
     /// The terminal error recorded for `tuple`, if the connection was
@@ -151,12 +165,32 @@ impl TcpStack {
         self.listeners.insert(port);
     }
 
-    /// Actively open a connection; returns its id.
+    /// Actively open a connection; returns its id. Panics if the table
+    /// cannot admit it — use [`TcpStack::try_connect`] when refusal must
+    /// be a value, not a crash.
     pub fn connect(&mut self, now: Time, local_port: u16, remote: Endpoint) -> FourTuple {
+        self.try_connect(now, local_port, remote).expect("tuple free")
+    }
+
+    /// Active open surfacing capacity as a typed error instead of a panic:
+    /// a full connection table or an already-bound tuple both mean the
+    /// table cannot admit this connection.
+    pub fn try_connect(
+        &mut self,
+        now: Time,
+        local_port: u16,
+        remote: Endpoint,
+    ) -> Result<FourTuple, TransportError> {
+        if self.conns.len() >= self.max_conns {
+            return Err(TransportError::ConnTableFull);
+        }
         let tuple = FourTuple {
             local: Endpoint::new(self.addr, local_port),
             remote,
         };
+        if self.conns.contains_key(&tuple) {
+            return Err(TransportError::ConnTableFull);
+        }
         self.log.borrow_mut().w(CONN, "state");
         self.log.borrow_mut().w(CONN, "iss");
         let iss = self.isn(now, &tuple);
@@ -168,7 +202,43 @@ impl TcpStack {
         self.stats.conns_opened += 1;
         self.send_syn(&mut pcb, false);
         self.conns.insert(tuple, pcb);
-        tuple
+        Ok(tuple)
+    }
+
+    /// Allocate an ephemeral local port toward `remote`, or `None` once
+    /// every port in the ephemeral range is bound to it.
+    fn ephemeral_port(&mut self, remote: Endpoint) -> Option<u16> {
+        const EPHEMERAL_RANGE: u32 = u16::MAX as u32 - 49152 + 1;
+        for _ in 0..EPHEMERAL_RANGE {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(49152);
+            let tuple = FourTuple { local: Endpoint::new(self.addr, p), remote };
+            if !self.conns.contains_key(&tuple) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Active open with an ephemeral local port.
+    pub fn connect_ephemeral(&mut self, now: Time, remote: Endpoint) -> FourTuple {
+        self.try_connect_ephemeral(now, remote).expect("ephemeral port free")
+    }
+
+    /// Active open with an ephemeral local port, surfacing port
+    /// exhaustion and table capacity as typed errors.
+    pub fn try_connect_ephemeral(
+        &mut self,
+        now: Time,
+        remote: Endpoint,
+    ) -> Result<FourTuple, TransportError> {
+        if self.conns.len() >= self.max_conns {
+            return Err(TransportError::ConnTableFull);
+        }
+        let Some(port) = self.ephemeral_port(remote) else {
+            return Err(TransportError::PortsExhausted);
+        };
+        self.try_connect(now, port, remote)
     }
 
     /// Queue application data. Returns bytes accepted — short counts mean
@@ -266,6 +336,59 @@ impl TcpStack {
 
     pub fn conn_count(&self) -> usize {
         self.conns.len()
+    }
+
+    /// In-order received bytes available to `recv` without draining them.
+    pub fn readable_len(&self, tuple: FourTuple) -> usize {
+        self.conns.get(&tuple).map_or(0, |p| p.rcv_buf.len())
+    }
+
+    /// How many bytes `send` would accept right now (0 once the stream is
+    /// closing or the connection is gone).
+    pub fn send_capacity(&self, tuple: FourTuple) -> usize {
+        match self.conns.get(&tuple) {
+            Some(p) if p.state.can_send() && !p.fin_queued => {
+                SND_BUF_CAP.saturating_sub(p.snd_buf.len())
+            }
+            _ => 0,
+        }
+    }
+
+    /// Has the peer's FIN been processed? (EOF for the application.)
+    pub fn peer_closed(&self, tuple: FourTuple) -> bool {
+        matches!(
+            self.state(tuple),
+            TcpState::CloseWait | TcpState::Closing | TcpState::LastAck | TcpState::TimeWait
+        )
+    }
+
+    /// Pop one already-encoded segment without scanning any connection —
+    /// the host layer's transmit path ([`TcpStack::pump_conn`] is what
+    /// fills the outbox).
+    pub fn take_frame(&mut self) -> Option<Vec<u8>> {
+        self.outbox.pop_front()
+    }
+
+    /// Run one connection's output path (tcp_output) — the
+    /// per-connection half of `poll_transmit`, for hosts that know which
+    /// connection changed.
+    pub fn pump_conn(&mut self, now: Time, tuple: FourTuple) {
+        self.output(now, tuple);
+    }
+
+    /// Next timer deadline for *one* connection, so a host can keep one
+    /// wheel entry per connection instead of scanning them all.
+    pub fn conn_deadline(&self, _now: Time, tuple: FourTuple) -> Option<Time> {
+        let p = self.conns.get(&tuple)?;
+        let ka_due = self.keepalive.and_then(|ka| {
+            (p.state == TcpState::Established).then(|| {
+                p.last_rx + ka.idle + ka.interval.saturating_mul(p.ka_probes as u64)
+            })
+        });
+        [p.rto_deadline, p.time_wait_deadline, p.persist_deadline, ka_due]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Direct PCB access for tests and campaign invariants (read-only).
@@ -536,6 +659,22 @@ impl TcpStack {
         }
         let tuple = FourTuple { local: seg.dst, remote: seg.src };
         let Some(mut pcb) = self.conns.remove(&tuple) else {
+            // Admission control first: a full connection table refuses
+            // every would-be-new flow — cookie completions included —
+            // with a typed drop counter and a RST, never a panic or a
+            // silent discard.
+            let would_open = self.listeners.contains(&seg.dst.port)
+                && ((seg.syn() && !seg.ack_flag())
+                    || (seg.ack_flag()
+                        && !seg.syn()
+                        && !seg.rst()
+                        && seg.ack.wrapping_sub(1)
+                            == self.syn_cookie(&tuple, seg.seq.wrapping_sub(1))));
+            if would_open && self.conns.len() >= self.max_conns {
+                self.stats.conn_table_full_drops += 1;
+                self.send_rst_for(&seg);
+                return;
+            }
             // ---- connection management: passive open ----
             if seg.syn() && !seg.ack_flag() && self.listeners.contains(&seg.dst.port) {
                 // Resource governance: the half-open queue is bounded. At
@@ -1057,13 +1196,25 @@ impl TcpStack {
     }
 
     /// Timer processing: RTO, TIME_WAIT, persist (zero-window probe).
+    /// Sorted so every same-seed run ticks connections in the same order
+    /// (HashMap iteration order is not deterministic).
     fn timers(&mut self, now: Time) {
-        let tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+        let mut tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+        tuples.sort();
         for tuple in tuples {
-            let Some(mut pcb) = self.conns.remove(&tuple) else { continue };
+            self.tick_conn(now, tuple);
+        }
+    }
+
+    /// Advance one connection's timers to `now` (the per-connection half
+    /// of `on_tick`, for hosts that track deadlines per connection);
+    /// spurious calls are harmless.
+    pub fn tick_conn(&mut self, now: Time, tuple: FourTuple) {
+        {
+            let Some(mut pcb) = self.conns.remove(&tuple) else { return };
 
             if pcb.time_wait_deadline.is_some_and(|d| now >= d) {
-                continue; // 2MSL elapsed: drop the PCB.
+                return; // 2MSL elapsed: drop the PCB.
             }
 
             if pcb.rto_deadline.is_some_and(|d| now >= d) {
@@ -1092,7 +1243,7 @@ impl TcpStack {
                     self.errors.entry(tuple).or_insert(why);
                     self.stats.conns_reset += 1;
                     self.send_rst(&pcb);
-                    continue; // PCB dropped
+                    return; // PCB dropped
                 }
                 match pcb.state {
                     TcpState::SynSent => self.send_syn(&mut pcb, false),
@@ -1160,7 +1311,7 @@ impl TcpStack {
                                 .or_insert(TransportError::PeerVanished);
                             self.stats.conns_reset += 1;
                             self.send_rst(&pcb);
-                            continue; // PCB dropped
+                            return; // PCB dropped
                         }
                         // Probe one byte *behind* snd_nxt: unacceptable to
                         // the peer, which therefore answers with a bare
@@ -1199,7 +1350,10 @@ impl Stack for TcpStack {
     fn poll_transmit(&mut self, now: Time) -> Option<Vec<u8>> {
         if self.outbox.is_empty() {
             // Give every connection a chance to transmit buffered data.
-            let tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+            // Sorted so every same-seed run pumps connections in the same
+            // order (HashMap iteration order is not deterministic).
+            let mut tuples: Vec<FourTuple> = self.conns.keys().copied().collect();
+            tuples.sort();
             for t in tuples {
                 self.output(now, t);
             }
@@ -1207,21 +1361,8 @@ impl Stack for TcpStack {
         self.outbox.pop_front()
     }
 
-    fn poll_deadline(&self, _now: Time) -> Option<Time> {
-        self.conns
-            .values()
-            .flat_map(|p| {
-                let ka_due = self.keepalive.and_then(|ka| {
-                    (p.state == TcpState::Established).then(|| {
-                        p.last_rx
-                            + ka.idle
-                            + ka.interval.saturating_mul(p.ka_probes as u64)
-                    })
-                });
-                [p.rto_deadline, p.time_wait_deadline, p.persist_deadline, ka_due]
-            })
-            .flatten()
-            .min()
+    fn poll_deadline(&self, now: Time) -> Option<Time> {
+        self.conns.keys().filter_map(|&t| self.conn_deadline(now, t)).min()
     }
 
     fn on_tick(&mut self, now: Time) {

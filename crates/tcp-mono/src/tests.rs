@@ -755,3 +755,59 @@ fn send_buffer_backpressure_caps_acceptance() {
     let again = client(&mut net, nc).send(conn, &big);
     assert_eq!(again, 0, "full buffer accepts nothing");
 }
+
+#[test]
+fn conn_table_capacity_is_typed_not_fatal() {
+    let mut s = TcpStack::new(A, slmetrics::shared());
+    s.set_max_conns(2);
+    let r = Endpoint::new(B, 80);
+    assert!(s.try_connect(Time::ZERO, 5001, r).is_ok());
+    assert!(s.try_connect(Time::ZERO, 5002, r).is_ok());
+    assert_eq!(s.try_connect(Time::ZERO, 5003, r), Err(TransportError::ConnTableFull));
+    // An already-bound tuple is the same typed refusal, not a panic.
+    let mut s = TcpStack::new(A, slmetrics::shared());
+    assert!(s.try_connect(Time::ZERO, 5001, r).is_ok());
+    assert_eq!(s.try_connect(Time::ZERO, 5001, r), Err(TransportError::ConnTableFull));
+}
+
+#[test]
+fn ephemeral_port_exhaustion_is_typed() {
+    let mut s = TcpStack::new(A, slmetrics::shared());
+    s.set_max_conns(usize::MAX);
+    let r = Endpoint::new(B, 80);
+    for _ in 0..16384 {
+        s.try_connect_ephemeral(Time::ZERO, r).unwrap();
+    }
+    assert_eq!(
+        s.try_connect_ephemeral(Time::ZERO, r),
+        Err(TransportError::PortsExhausted)
+    );
+    // A different remote endpoint still has its whole port range.
+    assert!(s.try_connect_ephemeral(Time::ZERO, Endpoint::new(B, 81)).is_ok());
+}
+
+#[test]
+fn full_table_refuses_inbound_syn_with_rst() {
+    use crate::wire::{Segment, SYN};
+    use netsim::Stack;
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    s.set_max_conns(1);
+    s.listen(80);
+    let syn = |src: Endpoint| Segment {
+        src,
+        dst: Endpoint::new(B, 80),
+        seq: 100,
+        ack: 0,
+        flags: SYN,
+        wnd: 4096,
+        mss: Some(1000),
+        payload: Vec::new(),
+    };
+    s.on_frame(Time::ZERO, &syn(Endpoint::new(A, 5000)).encode());
+    assert_eq!(s.conn_count(), 1);
+    let rsts_before = s.stats.rsts_sent;
+    s.on_frame(Time::ZERO, &syn(Endpoint::new(A, 5001)).encode());
+    assert_eq!(s.conn_count(), 1, "second flow refused");
+    assert_eq!(s.stats.conn_table_full_drops, 1);
+    assert_eq!(s.stats.rsts_sent, rsts_before + 1, "refusal is a RST, not silence");
+}
