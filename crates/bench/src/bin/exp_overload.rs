@@ -1,0 +1,94 @@
+//! E16 — overload control benchmark for the `slhost` server host.
+//!
+//! Sweeps four campaign profiles (baseline, open-loop flood, slowloris,
+//! mid-run drain) × both transport stacks, checking graceful-degradation
+//! invariants in every run: no client silently starves, memory stays
+//! under the configured budget, slow readers are evicted, the host
+//! drains clean — and the headline claim that accepted connections keep
+//! ≥ 80% of the uncontended per-connection goodput under a 4× flood.
+//!
+//! Usage: `exp_overload [--smoke] [--json]`. The full run writes its
+//! JSON summary to `BENCH_overload.json`; `--smoke` is a one-seed CI
+//! subset.
+
+use bench::markdown_table;
+use bench::overload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+
+    let outs = overload::sweep(smoke);
+    let cross = overload::cross_checks(&outs);
+    let summary = overload::summary_json(&outs, &cross);
+
+    if json {
+        println!("{summary}");
+    } else {
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.profile.to_string(),
+                    o.stack.to_string(),
+                    o.seed.to_string(),
+                    format!("{}/{}", o.completed, o.offered),
+                    o.refused.to_string(),
+                    o.evicted.to_string(),
+                    o.deferrals.to_string(),
+                    o.slow_drain_evictions.to_string(),
+                    format!("{}k/{}k", o.mem_peak / 1024, o.budget_bytes / 1024),
+                    o.goodput_kbps_p50.to_string(),
+                    o.violations.len().to_string(),
+                ]
+            })
+            .collect();
+        println!("# E16: overload control (slhost)\n");
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "profile",
+                    "stack",
+                    "seed",
+                    "done",
+                    "refused",
+                    "evicted",
+                    "defers",
+                    "slowdrain",
+                    "mem/budget",
+                    "p50 kbps",
+                    "viol"
+                ],
+                &rows
+            )
+        );
+        for o in &outs {
+            for v in &o.violations {
+                println!(
+                    "VIOLATION [{} {} seed={}]: {v}",
+                    o.profile, o.stack, o.seed
+                );
+            }
+        }
+        for c in &cross {
+            println!("VIOLATION [cross]: {c}");
+        }
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_overload.json", format!("{summary}\n"))
+            .expect("write BENCH_overload.json");
+        if !json {
+            println!("\nwrote BENCH_overload.json");
+        }
+    }
+
+    let bad =
+        outs.iter().map(|o| o.violations.len()).sum::<usize>() + cross.len();
+    if bad > 0 {
+        eprintln!("exp_overload: {bad} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod attack;
 pub mod chaos;
+pub mod overload;
 pub mod scale;
 
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};

@@ -28,6 +28,9 @@ pub enum DmVerdict {
     Known(ConnId),
     /// A new flow addressed to a listening port.
     NewFlow(FourTuple),
+    /// A new flow that would have been admitted, but the accept gate is
+    /// closed (overload / drain).
+    Gated(FourTuple),
     /// Nothing wants it.
     NoListener,
     /// Not addressed to this host.
@@ -42,6 +45,11 @@ pub struct Demux {
     tuples: HashMap<ConnId, FourTuple>,
     next_id: usize,
     next_ephemeral: u16,
+    /// Overload accept gate: when set, DM stops admitting new flows while
+    /// still demultiplexing established ones. This is DM's slice of the
+    /// backpressure contract — admission to the connection namespace is a
+    /// DM concern, so the gate lives here and nowhere else.
+    gated: bool,
     log: SharedLog,
 }
 
@@ -54,6 +62,7 @@ impl Demux {
             tuples: HashMap::new(),
             next_id: 0,
             next_ephemeral: 49152,
+            gated: false,
             log,
         }
     }
@@ -66,6 +75,17 @@ impl Demux {
     pub fn listen(&mut self, port: u16) {
         self.log.borrow_mut().w("dm", "listeners");
         self.listeners.insert(port);
+    }
+
+    /// Gate (or un-gate) admission of new flows. Established connections
+    /// are unaffected; gated new flows classify as [`DmVerdict::Gated`].
+    pub fn set_gate(&mut self, gated: bool) {
+        self.log.borrow_mut().w("dm", "gate");
+        self.gated = gated;
+    }
+
+    pub fn is_gated(&self) -> bool {
+        self.gated
     }
 
     /// Bind a connection to an exact 4-tuple.
@@ -119,6 +139,9 @@ impl Demux {
             return DmVerdict::Known(id);
         }
         if self.listeners.contains(&pkt.dm.dst_port) {
+            if self.gated {
+                return DmVerdict::Gated(tuple);
+            }
             return DmVerdict::NewFlow(tuple);
         }
         DmVerdict::NoListener
@@ -198,6 +221,23 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn gate_blocks_new_flows_but_not_established() {
+        let mut d = dm();
+        d.listen(80);
+        let id = d.bind(tuple(5000, 20, 80)).unwrap();
+        d.set_gate(true);
+        let fresh = pkt_to(10, 80, Endpoint::new(20, 5555));
+        match d.classify(&fresh) {
+            DmVerdict::Gated(t) => assert_eq!(t.local.port, 80),
+            other => panic!("expected Gated, got {other:?}"),
+        }
+        let known = pkt_to(10, 5000, Endpoint::new(20, 80));
+        assert_eq!(d.classify(&known), DmVerdict::Known(id));
+        d.set_gate(false);
+        assert!(matches!(d.classify(&fresh), DmVerdict::NewFlow(_)));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::cc::RateController;
 use crate::signals::CongSignal;
 use crate::wire::Packet;
 use netsim::{Dur, Time};
-use slmetrics::SharedLog;
+use slmetrics::{Pressure, SharedLog};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Maximum segment size OSR cuts the byte stream into.
@@ -78,6 +78,12 @@ pub struct Osr {
     /// The application freed receive-buffer space; the peer should hear
     /// about the reopened window.
     window_update_pending: bool,
+    /// Host memory pressure. OSR's slice of the backpressure contract:
+    /// under pressure the advertised receive window is clamped to a
+    /// fraction of the real free space, slowing senders *before* the
+    /// buffer fills. Never clamped to zero — accepted connections keep
+    /// making progress (no starvation), just slower.
+    pressure: Pressure,
 
     pub stats: OsrStats,
     log: SharedLog,
@@ -99,6 +105,7 @@ impl Osr {
             app_out: VecDeque::new(),
             ecn_to_echo: false,
             window_update_pending: false,
+            pressure: Pressure::Nominal,
             stats: OsrStats::default(),
             log,
         }
@@ -251,11 +258,22 @@ impl Osr {
 
     // --- header interface (its own bits, test T3) ---
 
-    /// Stamp the OSR subheader on an outgoing packet.
+    /// Update the host-pressure signal (plumbed down from the host through
+    /// the stack). Takes effect at the next [`Osr::fill_tx`].
+    pub fn set_pressure(&mut self, p: Pressure) {
+        self.log.borrow_mut().w("osr", "pressure");
+        self.pressure = p;
+    }
+
+    /// Stamp the OSR subheader on an outgoing packet. Under host memory
+    /// pressure the advertised window is the free space right-shifted by
+    /// the pressure tier, so peers slow down proportionally.
     pub fn fill_tx(&mut self, pkt: &mut Packet) {
         self.log.borrow_mut().r("osr", "rcv_buf");
+        self.log.borrow_mut().r("osr", "pressure");
         let buffered = self.app_out.len() + self.reasm.values().map(Vec::len).sum::<usize>();
-        pkt.osr.rcv_wnd = (RCV_BUF_CAP.saturating_sub(buffered)).min(u16::MAX as usize) as u16;
+        let free = RCV_BUF_CAP.saturating_sub(buffered);
+        pkt.osr.rcv_wnd = (free >> self.pressure.wnd_shift()).min(u16::MAX as usize) as u16;
         pkt.osr.ecn_echo = self.ecn_to_echo;
     }
 
@@ -391,6 +409,24 @@ mod tests {
         o.on_delivered(1000, vec![0; 5000]); // parked in reassembly
         o.fill_tx(&mut pkt);
         assert_eq!(pkt.osr.rcv_wnd, full - 5000);
+    }
+
+    #[test]
+    fn pressure_clamps_advertised_window_proportionally() {
+        let mut o = osr(1000);
+        let mut pkt = Packet::default();
+        o.fill_tx(&mut pkt);
+        let full = pkt.osr.rcv_wnd;
+        o.set_pressure(Pressure::Elevated);
+        o.fill_tx(&mut pkt);
+        assert_eq!(pkt.osr.rcv_wnd, full / 2);
+        o.set_pressure(Pressure::Critical);
+        o.fill_tx(&mut pkt);
+        assert_eq!(pkt.osr.rcv_wnd, full / 8);
+        assert!(pkt.osr.rcv_wnd > 0, "never clamped to zero");
+        o.set_pressure(Pressure::Nominal);
+        o.fill_tx(&mut pkt);
+        assert_eq!(pkt.osr.rcv_wnd, full, "nominal restores the full window");
     }
 
     #[test]

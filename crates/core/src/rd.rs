@@ -58,6 +58,8 @@ pub struct RdStats {
     /// plausible receive window in either direction (RFC 793
     /// acceptability; blind data injection lands here).
     pub invalid_seq_drops: u64,
+    /// Pure acks deferred by pressure-driven ACK pacing.
+    pub acks_paced: u64,
 }
 
 struct Flight {
@@ -83,6 +85,10 @@ const MAX_OOO_BYTES: u64 = 64 * 1024 - 1;
 /// Consecutive RTO expirations without `snd_una` progress before RD gives
 /// up and asks the stack to abort ([`RdEvent::RetriesExhausted`]).
 pub const MAX_RETRIES: u32 = 8;
+/// How long a pure ack may be delayed while ACK pacing is on (host memory
+/// pressure). Well under [`MIN_RTO`], so pacing can never trigger a peer's
+/// retransmission timer.
+pub const ACK_DELAY: Dur = Dur(50_000_000);
 
 /// The RD sublayer for one connection.
 pub struct ReliableDelivery {
@@ -118,6 +124,14 @@ pub struct ReliableDelivery {
     peer_fin_off: Option<u64>,
     peer_fin_reached: bool,
     ack_pending: bool,
+    /// This pending ack must go out now (window update / probe answer) —
+    /// pacing may not hold it.
+    ack_forced: bool,
+    /// RD's slice of the backpressure contract: when on, pure acks are
+    /// held up to [`ACK_DELAY`] and coalesced, throttling the peer's ack
+    /// clock. Data, FIN, and forced acks are never delayed.
+    pace_acks: bool,
+    delayed_ack_deadline: Option<Time>,
     /// Advertise SACK ranges (ablation knob; default on).
     use_sack: bool,
 
@@ -156,6 +170,9 @@ impl ReliableDelivery {
             peer_fin_off: None,
             peer_fin_reached: false,
             ack_pending: false,
+            ack_forced: false,
+            pace_acks: false,
+            delayed_ack_deadline: None,
             use_sack: true,
             outbox: VecDeque::new(),
             signals: VecDeque::new(),
@@ -540,12 +557,29 @@ impl ReliableDelivery {
     /// Next packet to send: data/fin segments, else a pure ack if owed.
     /// Returns the packet skeleton (RD fields filled) and whether CM must
     /// stamp the FIN flag.
-    pub fn poll_packet(&mut self, _now: Time) -> Option<(Packet, bool)> {
+    ///
+    /// Under ACK pacing, a non-forced pure ack is deferred up to
+    /// [`ACK_DELAY`]: the first poll arms the delay, later polls emit it
+    /// once `now` reaches the deadline. Acks riding on data/FIN segments
+    /// are never deferred, so pacing only thins the bare-ack stream.
+    pub fn poll_packet(&mut self, now: Time) -> Option<(Packet, bool)> {
         let (off, payload, is_fin) = match self.outbox.pop_front() {
             Some(x) => x,
             None => {
                 if !self.ack_pending {
                     return None;
+                }
+                if self.pace_acks && !self.ack_forced {
+                    match self.delayed_ack_deadline {
+                        None => {
+                            self.log.borrow_mut().w("rd", "ack_delay");
+                            self.delayed_ack_deadline = Some(now + ACK_DELAY);
+                            self.stats.acks_paced += 1;
+                            return None;
+                        }
+                        Some(d) if now < d => return None,
+                        Some(_) => {}
+                    }
                 }
                 (None, Vec::new(), false)
             }
@@ -567,6 +601,8 @@ impl ReliableDelivery {
             .collect();
         pkt.payload = payload;
         self.ack_pending = false;
+        self.ack_forced = false;
+        self.delayed_ack_deadline = None;
         if pkt.payload.is_empty() && !is_fin && off.is_none() {
             self.stats.acks_sent += 1;
         }
@@ -582,11 +618,34 @@ impl ReliableDelivery {
         pkt.rd.has_ack = true;
         pkt.rd.ack = self.wire_rcv_ack();
         self.ack_pending = false;
+        self.ack_forced = false;
+        self.delayed_ack_deadline = None;
     }
 
-    /// Request a bare ack packet (used for window updates).
+    /// Request a bare ack packet (used for window updates). Forced acks
+    /// bypass ACK pacing — a delayed window update could deadlock a
+    /// persist-probing peer.
     pub fn force_ack(&mut self) {
         self.ack_pending = true;
+        self.ack_forced = true;
+    }
+
+    /// Turn pressure-driven ACK pacing on or off (plumbed down from the
+    /// host through the stack).
+    pub fn set_ack_pacing(&mut self, on: bool) {
+        self.log.borrow_mut().w("rd", "ack_delay");
+        self.pace_acks = on;
+        if !on {
+            // Any held ack goes out at the next poll.
+            self.delayed_ack_deadline = None;
+        }
+    }
+
+    /// Monotone per-connection progress: in-order bytes delivered up to
+    /// OSR plus bytes the peer has cumulatively acknowledged. The host's
+    /// slow-drain (slowloris) detector compares snapshots of this.
+    pub fn progress_bytes(&self) -> u64 {
+        self.rcv_nxt + self.snd_una
     }
 
     /// Queue an idle keepalive probe: an empty segment one unit behind
@@ -627,7 +686,10 @@ impl ReliableDelivery {
     }
 
     pub fn poll_deadline(&self) -> Option<Time> {
-        self.rto_deadline
+        match (self.rto_deadline, self.delayed_ack_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     pub fn on_tick(&mut self, now: Time) {
@@ -958,6 +1020,64 @@ mod tests {
         // A cumulative ack covering the first segment is progress.
         r.on_packet(d + Dur::from_millis(1), &peer_data(0, &[], Some(100)), false);
         assert_eq!(r.consecutive_retries(), 0);
+    }
+
+    #[test]
+    fn ack_pacing_defers_then_flushes_pure_acks() {
+        let mut r = rd();
+        r.set_ack_pacing(true);
+        r.on_packet(t(0), &peer_data(0, &[1; 10], None), false);
+        assert!(r.poll_packet(t(0)).is_none(), "first poll arms the delay");
+        assert_eq!(r.stats.acks_paced, 1);
+        let d = r.poll_deadline().expect("delayed-ack deadline armed");
+        assert_eq!(d, t(50));
+        assert!(r.poll_packet(t(10)).is_none(), "still held before the deadline");
+        let (ack, _) = r.poll_packet(d).expect("flushed at the deadline");
+        assert_eq!(ack.rd.ack, 2011);
+        assert!(r.poll_deadline().is_none(), "nothing left armed");
+    }
+
+    #[test]
+    fn forced_acks_bypass_pacing() {
+        let mut r = rd();
+        r.set_ack_pacing(true);
+        r.force_ack();
+        assert!(r.poll_packet(t(0)).is_some(), "window updates are never held");
+    }
+
+    #[test]
+    fn data_segment_carries_a_held_ack() {
+        let mut r = rd();
+        r.set_ack_pacing(true);
+        r.on_packet(t(0), &peer_data(0, &[1; 10], None), false);
+        assert!(r.poll_packet(t(0)).is_none());
+        r.push_segment(t(1), vec![9; 10]);
+        let (p, _) = r.poll_packet(t(1)).unwrap();
+        assert_eq!(p.rd.ack, 2011, "ack rides the data segment");
+        assert!(r.poll_packet(t(1)).is_none(), "no separate bare ack owed");
+    }
+
+    #[test]
+    fn pacing_off_releases_a_held_ack() {
+        let mut r = rd();
+        r.set_ack_pacing(true);
+        r.on_packet(t(0), &peer_data(0, &[1; 10], None), false);
+        assert!(r.poll_packet(t(0)).is_none());
+        r.set_ack_pacing(false);
+        assert!(r.poll_packet(t(1)).is_some(), "released as soon as pacing ends");
+    }
+
+    #[test]
+    fn progress_counts_both_directions() {
+        let mut r = rd();
+        assert_eq!(r.progress_bytes(), 0);
+        r.on_packet(t(0), &peer_data(0, &[1; 10], None), false);
+        assert_eq!(r.progress_bytes(), 10, "in-order receive progress");
+        r.push_segment(t(1), vec![2; 20]);
+        let _ = r.poll_packet(t(1));
+        assert_eq!(r.progress_bytes(), 10, "unacked sends are not progress");
+        r.on_packet(t(2), &peer_data(10, &[], Some(20)), false);
+        assert_eq!(r.progress_bytes(), 30, "acked sends count");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::rd::{RdEvent, ReliableDelivery};
 use crate::signals::SeqValidity;
 use crate::wire::Packet;
 use netsim::{Dur, Stack, Time, TransportError};
-use slmetrics::SharedLog;
+use slmetrics::{Pressure, SharedLog};
 use std::collections::{HashMap, VecDeque};
 use tcp_mono::wire::{Endpoint, FourTuple};
 
@@ -145,6 +145,9 @@ pub struct SlStats {
     pub stateless_rsts_sent: u64,
     /// Inbound flows refused because the connection table was full.
     pub conn_table_full_drops: u64,
+    /// Inbound flows refused because DM's accept gate was closed (host
+    /// memory pressure or drain).
+    pub pressure_refusals: u64,
 }
 
 /// Bound on simultaneously half-open (`SynRcvd`) passive connections;
@@ -166,6 +169,14 @@ pub struct SlTcpStack {
     /// is always reported, never a silent hang).
     errors: HashMap<ConnId, TransportError>,
     outbox: VecDeque<Vec<u8>>,
+    /// Host memory pressure, fanned out to each sublayer's slice of the
+    /// backpressure contract (OSR window clamp, RD ack pacing, DM accept
+    /// gate) — one explicit signal down the sublayer column, no shared
+    /// state.
+    pressure: Pressure,
+    /// Host-requested accept gate (drain/quiesce), OR-ed with the
+    /// pressure-derived gate before reaching DM.
+    gate: bool,
     pub stats: SlStats,
     pub crossings: CrossingStats,
     log: SharedLog,
@@ -180,6 +191,8 @@ impl SlTcpStack {
             config,
             errors: HashMap::new(),
             outbox: VecDeque::new(),
+            pressure: Pressure::Nominal,
+            gate: false,
             stats: SlStats::default(),
             crossings: CrossingStats::default(),
             log,
@@ -227,12 +240,14 @@ impl SlTcpStack {
         };
         let local_isn = self.isn_gen.isn(now, &tuple);
         let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
-        let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+        let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+        osr.set_pressure(self.pressure);
         let mut conn = Connection::new(cm, osr, now);
         // Timer-based CM is established immediately; wire RD up now.
         if matches!(self.config.cm_scheme, CmScheme::TimerBased { .. }) {
             let mut rd = ReliableDelivery::new(local_isn, 0, self.log.clone());
             rd.set_use_sack(self.config.use_sack);
+            rd.set_ack_pacing(self.pressure.paces_acks());
             conn.rd = Some(rd);
         }
         self.conns.insert(id, conn);
@@ -334,6 +349,52 @@ impl SlTcpStack {
     /// Adjust the connection-table capacity at runtime (host layer knob).
     pub fn set_max_conns(&mut self, max: usize) {
         self.config.max_conns = max;
+    }
+
+    /// Propagate host memory pressure down the sublayer column: OSR clamps
+    /// the advertised window, RD paces pure acks, DM gates new flows at
+    /// the `Critical` tier. Each sublayer receives only its own slice of
+    /// the contract — no sublayer reads another's state.
+    pub fn set_pressure(&mut self, p: Pressure) {
+        if p == self.pressure {
+            return;
+        }
+        self.pressure = p;
+        let pace = p.paces_acks();
+        for c in self.conns.values_mut() {
+            c.osr.set_pressure(p);
+            if let Some(rd) = c.rd.as_mut() {
+                rd.set_ack_pacing(pace);
+            }
+        }
+        self.dm.set_gate(self.gate || p.refuses_new_flows());
+    }
+
+    pub fn pressure(&self) -> Pressure {
+        self.pressure
+    }
+
+    /// Explicitly gate new-flow admission (host drain/quiesce), independent
+    /// of the pressure tier.
+    pub fn gate_new_flows(&mut self, refuse: bool) {
+        self.gate = refuse;
+        self.dm.set_gate(refuse || self.pressure.refuses_new_flows());
+    }
+
+    /// One connection's share of [`SlTcpStack::buffered_bytes`].
+    pub fn conn_buffered(&self, id: ConnId) -> usize {
+        self.conns.get(&id).map_or(0, |c| {
+            c.osr.buffered_bytes() + c.rd.as_ref().map_or(0, |r| r.in_flight_bytes())
+        })
+    }
+
+    /// Monotone progress counter for slow-drain detection (bytes delivered
+    /// in order + bytes the peer acked); `0` before RD exists.
+    pub fn conn_progress(&self, id: ConnId) -> u64 {
+        self.conns
+            .get(&id)
+            .and_then(|c| c.rd.as_ref())
+            .map_or(0, |r| r.progress_bytes())
     }
 
     /// In-order received bytes available to `recv` without draining them.
@@ -534,6 +595,7 @@ impl SlTcpStack {
                             let mut rd =
                                 ReliableDelivery::new(local_isn, peer_isn, self.log.clone());
                             rd.set_use_sack(self.config.use_sack);
+                            rd.set_ack_pacing(self.pressure.paces_acks());
                             conn.rd = Some(rd);
                         }
                         Some(rd) if matches!(self.config.cm_scheme, CmScheme::TimerBased { .. }) => {
@@ -747,7 +809,8 @@ impl Stack for SlTcpStack {
                     let Ok(id) = self.dm.bind(tuple) else { return };
                     let cm =
                         ConnMgmt::open_cookie(pkt.cm.ack_isn, pkt.cm.isn, now, self.log.clone());
-                    let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                    let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                    osr.set_pressure(self.pressure);
                     self.conns.insert(id, Connection::new(cm, osr, now));
                     self.stats.syn_cookies_validated += 1;
                     self.pump(now, id); // establishment event creates RD
@@ -791,7 +854,8 @@ impl Stack for SlTcpStack {
                     return;
                 };
                 let Ok(id) = self.dm.bind(tuple) else { return };
-                let osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                osr.set_pressure(self.pressure);
                 self.conns.insert(id, Connection::new(cm, osr, now));
                 // Let establishment events run, then feed this packet's
                 // upper parts (timer-based CM carries data on first
@@ -804,6 +868,14 @@ impl Stack for SlTcpStack {
                     }
                 }
                 self.pump(now, id);
+            }
+            DmVerdict::Gated(_) => {
+                // DM's slice of the backpressure contract: under Critical
+                // pressure or drain, new flows are refused statelessly —
+                // no connection state is created, so a flood cannot grow
+                // memory while the host digs itself out.
+                self.stats.pressure_refusals += 1;
+                self.send_stateless_rst(&pkt);
             }
             DmVerdict::NoListener => {
                 self.stats.no_listener_drops += 1;

@@ -32,6 +32,7 @@ pub mod net;
 pub mod rng;
 pub mod stack;
 pub mod time;
+pub mod workload;
 
 pub use attack::{AttackCodec, AttackConfig, Attacker, AttackerStats, SeqKnowledge, SnoopInfo};
 pub use event::EventQueue;
@@ -40,6 +41,7 @@ pub use net::{AdminOp, DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, Port
 pub use rng::DetRng;
 pub use stack::{MultiStack, MultiStackNode, Stack, StackNode, TransportError};
 pub use time::{Dur, Time};
+pub use workload::{OpenLoopArrivals, ReadBudget};
 
 /// Convenience: build a two-node network from two sans-IO stacks joined by
 /// one link, returning the network and both node ids. Used throughout the

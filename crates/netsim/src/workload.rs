@@ -1,0 +1,154 @@
+//! Deterministic workload shapes for overload experiments.
+//!
+//! Open-loop load (arrivals keep coming regardless of completions) is
+//! what separates graceful degradation from a goodput cliff: a closed
+//! loop self-throttles when the server slows down, an open loop does
+//! not. [`OpenLoopArrivals`] is a fixed arrival schedule; [`ReadBudget`]
+//! is a byte-rate limiter used to model deliberately slow readers
+//! (slowloris clients that accept data at a trickle so the server's
+//! buffers stay pinned).
+
+use crate::time::{Dur, Time};
+
+/// A deterministic open-loop arrival schedule: `count` arrivals spaced
+/// `interval` apart starting at `start`. Poll it with the current time
+/// to learn how many arrivals are due; they are due whether or not
+/// earlier work finished — that is the point.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopArrivals {
+    start: Time,
+    interval: Dur,
+    count: u64,
+    issued: u64,
+}
+
+impl OpenLoopArrivals {
+    pub fn new(start: Time, interval: Dur, count: u64) -> Self {
+        OpenLoopArrivals { start, interval, count, issued: 0 }
+    }
+
+    /// Arrivals due at `now` that have not yet been handed out. The
+    /// caller performs one "arrival" (e.g. one connect) per unit.
+    pub fn poll(&mut self, now: Time) -> u64 {
+        if self.issued >= self.count || now < self.start {
+            return 0;
+        }
+        let elapsed = now.since(self.start);
+        let due = if self.interval == Dur::ZERO {
+            self.count
+        } else {
+            (elapsed.0 / self.interval.0) + 1
+        };
+        let due = due.min(self.count);
+        let fresh = due.saturating_sub(self.issued);
+        self.issued = due;
+        fresh
+    }
+
+    /// When the next arrival is due (`None` once exhausted).
+    pub fn next_deadline(&self) -> Option<Time> {
+        if self.issued >= self.count {
+            return None;
+        }
+        Some(self.start + Dur(self.interval.0.saturating_mul(self.issued)))
+    }
+
+    pub fn remaining(&self) -> u64 {
+        self.count - self.issued
+    }
+}
+
+/// A token-bucket byte budget for modelling slow readers: `rate` bytes
+/// per second, bursting to at most `burst` bytes. A slowloris client
+/// wraps its `recv` in one of these so the server's send buffer drains
+/// at a trickle.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadBudget {
+    /// Bytes per second granted.
+    rate: u64,
+    /// Token cap.
+    burst: u64,
+    tokens: u64,
+    last_refill: Time,
+}
+
+impl ReadBudget {
+    pub fn new(start: Time, rate: u64, burst: u64) -> Self {
+        ReadBudget { rate, burst, tokens: burst, last_refill: start }
+    }
+
+    /// Refill for elapsed time and return the bytes currently allowed.
+    pub fn grant(&mut self, now: Time) -> u64 {
+        if now > self.last_refill {
+            let elapsed = now.since(self.last_refill);
+            let earned = elapsed.0.saturating_mul(self.rate) / 1_000_000_000;
+            if earned > 0 {
+                self.tokens = (self.tokens + earned).min(self.burst);
+                self.last_refill = now;
+            }
+        }
+        self.tokens
+    }
+
+    /// Spend `n` bytes of the current grant.
+    pub fn consume(&mut self, n: u64) {
+        self.tokens = self.tokens.saturating_sub(n);
+    }
+
+    /// When a depleted budget will next have at least one byte.
+    pub fn next_refill(&self, now: Time) -> Option<Time> {
+        if self.tokens > 0 || self.rate == 0 {
+            return None;
+        }
+        let wait = 1_000_000_000u64.div_ceil(self.rate);
+        Some(now.max(self.last_refill) + Dur(wait))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_arrivals_are_due_on_schedule() {
+        let t0 = Time::ZERO;
+        let mut a = OpenLoopArrivals::new(t0, Dur::from_millis(10), 5);
+        assert_eq!(a.poll(t0), 1, "first arrival at start");
+        assert_eq!(a.poll(t0), 0, "no double issue");
+        assert_eq!(a.next_deadline(), Some(t0 + Dur::from_millis(10)));
+        assert_eq!(a.poll(t0 + Dur::from_millis(25)), 2, "catches up");
+        assert_eq!(a.poll(t0 + Dur::from_secs(10)), 2, "capped at count");
+        assert_eq!(a.next_deadline(), None);
+        assert_eq!(a.remaining(), 0);
+    }
+
+    #[test]
+    fn arrivals_do_not_wait_for_completions() {
+        // Open loop: polling late yields every missed arrival at once.
+        let mut a = OpenLoopArrivals::new(Time::ZERO, Dur::from_millis(1), 100);
+        assert_eq!(a.poll(Time::ZERO + Dur::from_secs(1)), 100);
+    }
+
+    #[test]
+    fn read_budget_trickles() {
+        let t0 = Time::ZERO;
+        let mut b = ReadBudget::new(t0, 1000, 100);
+        assert_eq!(b.grant(t0), 100, "starts with a full burst");
+        b.consume(100);
+        assert_eq!(b.grant(t0), 0);
+        let t1 = t0 + Dur::from_millis(50);
+        assert_eq!(b.grant(t1), 50, "1000 B/s for 50 ms");
+        b.consume(50);
+        assert_eq!(b.next_refill(t1), Some(t1 + Dur(1_000_000)));
+        let t2 = t0 + Dur::from_secs(60);
+        assert_eq!(b.grant(t2), 100, "refill is capped at the burst");
+    }
+
+    #[test]
+    fn zero_rate_budget_never_refills() {
+        let mut b = ReadBudget::new(Time::ZERO, 0, 10);
+        b.consume(10);
+        assert_eq!(b.grant(Time::ZERO + Dur::from_secs(100)), 0);
+        assert_eq!(b.next_refill(Time::ZERO), None, "no refill to wait for");
+    }
+}

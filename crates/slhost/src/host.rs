@@ -18,10 +18,11 @@
 //!   connections; beyond that new peers are refused (reset), not queued
 //!   without limit.
 
+use crate::budget::ResourceBudget;
 use crate::stack::HostStack;
 use crate::wheel::{TimerKey, TimerWheel};
 use netsim::{Dur, MultiStack, PortId, Time, TransportError};
-use slmetrics::HostCounters;
+use slmetrics::{HostCounters, Pressure};
 use std::collections::{HashMap, VecDeque};
 use tcp_mono::wire::Endpoint;
 
@@ -55,6 +56,9 @@ pub struct HostConfig {
     /// Idle connections are evicted (reset) after this long without
     /// traffic; `None` disables eviction.
     pub idle_timeout: Option<Dur>,
+    /// Memory budget driving overload control; the default is unlimited
+    /// (overload control disengaged).
+    pub budget: ResourceBudget,
 }
 
 impl Default for HostConfig {
@@ -68,6 +72,7 @@ impl Default for HostConfig {
             batch_window: Dur::ZERO,
             timer_mode: TimerMode::Wheel,
             idle_timeout: None,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -105,6 +110,16 @@ struct HostConn {
     /// Armed wheel entry and the deadline it was armed for.
     wheel_key: Option<(TimerKey, Time)>,
     last_activity: Time,
+    /// Admission order (LIFO shed evicts the most recently accepted
+    /// first); `None` for outbound connections, which are never shed.
+    accept_seq: Option<u64>,
+    /// The accept-deferral counter fires once per connection.
+    defer_counted: bool,
+    /// Progress snapshot for slow-drain detection.
+    progress_mark: u64,
+    /// Next slow-drain checkpoint; armed only while the connection holds
+    /// buffered bytes under pressure.
+    drain_check_at: Option<Time>,
 }
 
 impl HostConn {
@@ -119,6 +134,10 @@ impl HostConn {
             pending: VecDeque::new(),
             wheel_key: None,
             last_activity: now,
+            accept_seq: None,
+            defer_counted: false,
+            progress_mark: 0,
+            drain_check_at: None,
         }
     }
 }
@@ -142,6 +161,15 @@ pub struct Host<S: HostStack> {
     /// When the current ingest batch is due for servicing.
     batch_due: Option<Time>,
     wheel: TimerWheel<S::ConnId>,
+    /// Current memory-pressure tier (always `Nominal` with no budget).
+    pressure: Pressure,
+    /// Quiesce mode: refuse all new flows, let existing ones finish.
+    draining: bool,
+    /// Monotone admission counter stamped onto accepted connections.
+    next_accept_seq: u64,
+    /// Bytes across all per-connection ingest queues (kept incrementally
+    /// so pressure refresh does not scan every queue).
+    pending_bytes: usize,
     pub counters: HostCounters,
 }
 
@@ -160,6 +188,10 @@ impl<S: HostStack> Host<S> {
             out: VecDeque::new(),
             batch_due: None,
             wheel: TimerWheel::new(),
+            pressure: Pressure::Nominal,
+            draining: false,
+            next_accept_seq: 0,
+            pending_bytes: 0,
             counters: HostCounters::default(),
         }
     }
@@ -192,11 +224,105 @@ impl<S: HostStack> Host<S> {
         self.routes.insert(addr, port);
     }
 
+    /// Current memory-pressure tier.
+    pub fn pressure(&self) -> Pressure {
+        self.pressure
+    }
+
+    /// Enter quiesce mode: all new inbound flows are refused (both at the
+    /// host's admission check and statelessly in the transport), existing
+    /// connections run to completion. There is no un-drain.
+    pub fn drain(&mut self) {
+        self.draining = true;
+        self.stack.gate_new_flows(true);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Has a drain completed — no connection left in the transport or the
+    /// host's tracking table?
+    pub fn is_drained(&self) -> bool {
+        self.conns.is_empty() && self.stack.conn_count() == 0
+    }
+
+    /// Recompute memory occupancy against the budget, push the resulting
+    /// pressure tier into the transport, and run the shed-idle pass when
+    /// pressure is High or worse. Called after batched ingest and on every
+    /// tick; a no-op when no budget is configured.
+    fn refresh_pressure(&mut self, now: Time) {
+        if !self.cfg.budget.active() {
+            return;
+        }
+        let used = self.stack.buffered_bytes().saturating_add(self.pending_bytes);
+        self.counters.mem_used = used as u64;
+        self.counters.mem_peak = self.counters.mem_peak.max(used as u64);
+        let p = Pressure::from_occupancy(used as u64, self.cfg.budget.max_bytes as u64);
+        if p != self.pressure {
+            self.pressure = p;
+            self.stack.set_pressure(p);
+            self.stack.gate_new_flows(self.draining || p.refuses_new_flows());
+        }
+        if p == Pressure::Nominal && !self.draining {
+            // Pressure receded: admit deferred connections — but only a
+            // few per refresh. Releasing the whole backlog at once would
+            // start that many services in one burst and blow straight
+            // through the budget the deferral protected.
+            const RELEASE_QUANTUM: usize = 4;
+            let mut deferred: Vec<S::ConnId> = self
+                .conns
+                .iter()
+                .filter(|(_, hc)| !hc.accepted)
+                .map(|(&id, _)| id)
+                .collect();
+            deferred.sort();
+            deferred.truncate(RELEASE_QUANTUM);
+            for id in deferred {
+                self.update(now, id);
+            }
+        }
+        if p.paces_acks() {
+            self.shed_idle(now);
+        }
+    }
+
+    /// Shed-idle-LIFO: at High pressure, reset accepted inbound
+    /// connections that hold no bytes in either direction and have been
+    /// idle past the grace period — most recently accepted first, so the
+    /// oldest established work survives. Connections with buffered data
+    /// are never shed (they are either progressing or will be caught by
+    /// the slow-drain check), so a shed can never starve an active
+    /// transfer.
+    fn shed_idle(&mut self, now: Time) {
+        let grace = self.cfg.budget.shed_idle_grace;
+        let mut candidates: Vec<(u64, S::ConnId)> = self
+            .conns
+            .iter()
+            .filter(|&(&id, hc)| {
+                hc.accept_seq.is_some()
+                    && hc.pending.is_empty()
+                    && now.since(hc.last_activity) >= grace
+                    && self.stack.readable_len(id) == 0
+                    && self.stack.conn_buffered(id) == 0
+                    && !self.stack.is_closed(id)
+            })
+            .map(|(&id, hc)| (hc.accept_seq.unwrap_or(0), id))
+            .collect();
+        candidates.sort();
+        for (_, id) in candidates.into_iter().rev() {
+            self.counters.sheds = self.counters.sheds.saturating_add(1);
+            self.stack.abort(now, id);
+            self.update(now, id);
+        }
+    }
+
     /// Pop the next readiness event.
     pub fn poll_event(&mut self) -> Option<HostEvent<S::ConnId>> {
         let ev = self.events.pop_front();
         if ev.is_some() {
-            self.counters.events_dispatched += 1;
+            self.counters.events_dispatched =
+                self.counters.events_dispatched.saturating_add(1);
         }
         ev
     }
@@ -232,6 +358,8 @@ impl<S: HostStack> Host<S> {
         // The window may have reopened; let the ACK out.
         self.stack.pump_conn(now, id);
         self.update(now, id);
+        // Reads free budget; recompute so pressure can recede promptly.
+        self.refresh_pressure(now);
         data
     }
 
@@ -300,6 +428,7 @@ impl<S: HostStack> Host<S> {
                         hc.last_activity = now;
                         frame
                     };
+                    self.pending_bytes = self.pending_bytes.saturating_sub(frame.len());
                     self.stack.on_frame(now, &frame);
                     touched.push(id);
                 }
@@ -312,6 +441,7 @@ impl<S: HostStack> Host<S> {
             self.stack.pump_conn(now, id);
             self.update(now, id);
         }
+        self.refresh_pressure(now);
     }
 
     /// Reconcile one connection's host-visible state after any stack
@@ -327,17 +457,36 @@ impl<S: HostStack> Host<S> {
             }
         }
         if !hc.accepted && self.stack.is_established(id) {
-            if self.accept_q.len() < self.cfg.backlog {
+            // Pressure-tiered admission: refuse outright while draining
+            // or at Critical, hold (defer) at Elevated/High until
+            // pressure recedes, admit at Nominal.
+            if self.draining || self.pressure.refuses_new_flows() {
+                self.counters.pressure_refusals =
+                    self.counters.pressure_refusals.saturating_add(1);
+                self.stack.abort(now, id);
+            } else if self.pressure != Pressure::Nominal {
+                if !hc.defer_counted {
+                    hc.defer_counted = true;
+                    self.counters.accept_deferrals =
+                        self.counters.accept_deferrals.saturating_add(1);
+                }
+            } else if self.accept_q.len() < self.cfg.backlog {
                 hc.accepted = true;
+                hc.accept_seq = Some(self.next_accept_seq);
+                self.next_accept_seq += 1;
                 self.accept_q.push_back(id);
-                self.counters.accepts += 1;
+                self.counters.accepts = self.counters.accepts.saturating_add(1);
                 self.events.push_back(HostEvent::Accepted(id));
             } else {
-                self.counters.accept_refusals += 1;
+                self.counters.accept_refusals =
+                    self.counters.accept_refusals.saturating_add(1);
                 self.stack.abort(now, id);
             }
         }
-        let hc = self.conns.get_mut(&id).expect("still tracked");
+        let Some(hc) = self.conns.get_mut(&id) else {
+            self.counters.lookup_misses = self.counters.lookup_misses.saturating_add(1);
+            return;
+        };
         if !hc.readable_flagged && self.stack.readable_len(id) > 0 {
             hc.readable_flagged = true;
             self.events.push_back(HostEvent::Readable(id));
@@ -353,14 +502,36 @@ impl<S: HostStack> Host<S> {
             hc.peer_closed_sent = true;
             self.events.push_back(HostEvent::PeerClosed(id));
         }
+        // Slow-drain bookkeeping: with a budget configured, an *accepted*
+        // connection holding buffered bytes keeps a progress checkpoint
+        // armed; `fire` evicts it if the counter stalls across an
+        // interval. This is deliberately independent of the current
+        // pressure tier — a slowloris peer pins memory whether or not the
+        // total occupancy crosses a threshold, and tier-gating the check
+        // would let an attack that stays just under it hold its buffers
+        // forever. Unaccepted connections are excluded: their buffered
+        // bytes (a request waiting out an admission deferral) are bounded
+        // by the ingress cap, and evicting them would punish the victims
+        // of pressure rather than its cause.
+        let held = self.stack.conn_buffered(id)
+            + hc.pending.iter().map(Vec::len).sum::<usize>();
+        if !self.cfg.budget.active() || !hc.accepted || held == 0 {
+            hc.drain_check_at = None;
+        } else if hc.drain_check_at.is_none() {
+            hc.progress_mark = self.stack.conn_progress(id);
+            hc.drain_check_at = Some(now + self.cfg.budget.drain_check);
+        }
         if self.stack.is_closed(id) {
-            let hc = self.conns.remove(&id).expect("still tracked");
-            if let Some((key, _)) = hc.wheel_key {
-                self.wheel.cancel(key);
-            }
-            self.accept_q.retain(|&q| q != id);
-            if !hc.error_sent {
-                self.events.push_back(HostEvent::Closed(id));
+            if let Some(hc) = self.conns.remove(&id) {
+                let leftover: usize = hc.pending.iter().map(Vec::len).sum();
+                self.pending_bytes = self.pending_bytes.saturating_sub(leftover);
+                if let Some((key, _)) = hc.wheel_key {
+                    self.wheel.cancel(key);
+                }
+                self.accept_q.retain(|&q| q != id);
+                if !hc.error_sent {
+                    self.events.push_back(HostEvent::Closed(id));
+                }
             }
             return;
         }
@@ -373,7 +544,10 @@ impl<S: HostStack> Host<S> {
     /// timers plus the host-level idle eviction.
     fn deadline_for(&self, now: Time, id: S::ConnId, hc: &HostConn) -> Option<Time> {
         let idle = self.cfg.idle_timeout.map(|t| hc.last_activity + t);
-        [self.stack.conn_deadline(now, id), idle].into_iter().flatten().min()
+        [self.stack.conn_deadline(now, id), idle, hc.drain_check_at]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     fn rearm(&mut self, now: Time, id: S::ConnId) {
@@ -383,14 +557,22 @@ impl<S: HostStack> Host<S> {
         if want == have {
             return;
         }
-        let hc = self.conns.get_mut(&id).expect("still tracked");
+        let Some(hc) = self.conns.get_mut(&id) else {
+            self.counters.lookup_misses = self.counters.lookup_misses.saturating_add(1);
+            return;
+        };
         if let Some((key, _)) = hc.wheel_key.take() {
             self.wheel.cancel(key);
         }
         if let Some(at) = want {
             let key = self.wheel.arm(at, id);
-            let hc = self.conns.get_mut(&id).expect("still tracked");
-            hc.wheel_key = Some((key, at));
+            if let Some(hc) = self.conns.get_mut(&id) {
+                hc.wheel_key = Some((key, at));
+            } else {
+                self.wheel.cancel(key);
+                self.counters.lookup_misses =
+                    self.counters.lookup_misses.saturating_add(1);
+            }
         }
     }
 
@@ -404,8 +586,29 @@ impl<S: HostStack> Host<S> {
                 .get(&id)
                 .is_some_and(|hc| now.since(hc.last_activity) >= timeout);
             if idle && !self.stack.is_closed(id) {
-                self.counters.evictions += 1;
+                self.counters.evictions = self.counters.evictions.saturating_add(1);
                 self.stack.abort(now, id);
+            }
+        }
+        // Slow-drain (slowloris) eviction: a connection that held buffered
+        // bytes across a whole check interval without making at least
+        // `min_drain_bytes` of progress is deliberately reading slowly —
+        // reset it and reclaim its buffers.
+        let checkpoint = self
+            .conns
+            .get(&id)
+            .and_then(|hc| hc.drain_check_at.map(|at| (at, hc.progress_mark)));
+        if let Some((at, mark)) = checkpoint {
+            if now >= at && !self.stack.is_closed(id) {
+                let progressed = self.stack.conn_progress(id).saturating_sub(mark);
+                if progressed < self.cfg.budget.min_drain_bytes {
+                    self.counters.slow_drain_evictions =
+                        self.counters.slow_drain_evictions.saturating_add(1);
+                    self.stack.abort(now, id);
+                } else if let Some(hc) = self.conns.get_mut(&id) {
+                    hc.progress_mark = self.stack.conn_progress(id);
+                    hc.drain_check_at = Some(now + self.cfg.budget.drain_check);
+                }
             }
         }
         self.stack.pump_conn(now, id);
@@ -415,7 +618,7 @@ impl<S: HostStack> Host<S> {
 
 impl<S: HostStack> MultiStack for Host<S> {
     fn on_frame(&mut self, now: Time, port: PortId, frame: &[u8]) {
-        self.counters.frames_in += 1;
+        self.counters.frames_in = self.counters.frames_in.saturating_add(1);
         match S::classify_frame(frame) {
             Some(meta) => {
                 self.routes.insert(meta.src.addr, port);
@@ -423,8 +626,18 @@ impl<S: HostStack> MultiStack for Host<S> {
                 match self.stack.conn_for_tuple(&tuple) {
                     Some(id) => {
                         self.track_inbound(now, id);
-                        let hc = self.conns.get_mut(&id).expect("just tracked");
+                        let Some(hc) = self.conns.get_mut(&id) else {
+                            // track_inbound just inserted it; a miss here
+                            // means the table is in an unexpected state —
+                            // count it and drop the frame rather than
+                            // panicking the ingest path.
+                            self.counters.lookup_misses =
+                                self.counters.lookup_misses.saturating_add(1);
+                            return;
+                        };
                         if hc.pending.len() < self.cfg.ingress_cap {
+                            self.pending_bytes =
+                                self.pending_bytes.saturating_add(frame.len());
                             hc.pending.push_back(frame.to_vec());
                         }
                         // else: drop; retransmission recovers.
@@ -446,7 +659,7 @@ impl<S: HostStack> MultiStack for Host<S> {
         }
         loop {
             if let Some(out) = self.out.pop_front() {
-                self.counters.frames_out += 1;
+                self.counters.frames_out = self.counters.frames_out.saturating_add(1);
                 return Some(out);
             }
             let frame = self.stack.take_frame()?;
@@ -470,7 +683,7 @@ impl<S: HostStack> MultiStack for Host<S> {
     }
 
     fn on_tick(&mut self, now: Time) {
-        self.counters.ticks += 1;
+        self.counters.ticks = self.counters.ticks.saturating_add(1);
         if self.batch_due.is_some_and(|due| now >= due) {
             self.service_ingress(now);
         }
@@ -482,7 +695,7 @@ impl<S: HostStack> MultiStack for Host<S> {
                     if let Some(hc) = self.conns.get_mut(&id) {
                         hc.wheel_key = None;
                     }
-                    self.counters.timer_fires += 1;
+                    self.counters.timer_fires = self.counters.timer_fires.saturating_add(1);
                     self.fire(now, id);
                 }
                 self.counters.timer_touches = self.wheel.touches;
@@ -490,15 +703,18 @@ impl<S: HostStack> MultiStack for Host<S> {
             TimerMode::NaiveScan => {
                 let mut ids: Vec<S::ConnId> = self.conns.keys().copied().collect();
                 ids.sort();
-                self.counters.timer_touches += ids.len() as u64;
+                self.counters.timer_touches =
+                    self.counters.timer_touches.saturating_add(ids.len() as u64);
                 for id in ids {
                     if self.conns.contains_key(&id) {
-                        self.counters.timer_fires += 1;
+                        self.counters.timer_fires =
+                            self.counters.timer_fires.saturating_add(1);
                         self.fire(now, id);
                     }
                 }
             }
         }
+        self.refresh_pressure(now);
     }
 }
 

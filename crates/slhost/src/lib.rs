@@ -20,11 +20,13 @@
 //! concurrent clients over both stacks and both timer modes.
 
 pub mod apps;
+pub mod budget;
 pub mod host;
 pub mod stack;
 pub mod wheel;
 
 pub use apps::EchoApp;
+pub use budget::ResourceBudget;
 pub use host::{Host, HostApp, HostConfig, HostEvent, ServedHost, TimerMode};
 pub use stack::{FrameMeta, HostStack};
 pub use wheel::{TimerKey, TimerWheel};

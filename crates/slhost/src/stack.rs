@@ -8,6 +8,7 @@
 //! both implementations and asserts identical observable behaviour.
 
 use netsim::{Stack, Time, TransportError};
+use slmetrics::Pressure;
 use std::fmt::Debug;
 use std::hash::Hash;
 use sublayer_core::{CmState, ConnId, SlTcpStack};
@@ -95,6 +96,28 @@ pub trait HostStack: Stack {
     fn crossing_events(&self) -> Option<u64> {
         None
     }
+
+    // ---- overload control: the host pushes memory pressure down and
+    // reads buffer occupancy / progress back up. Both stacks implement
+    // the same contract (OSR occupancy → RD window clamp → CM pacing →
+    // DM accept gating in the sublayered stack; one stack-global field
+    // in the monolith) so the host's admission policy is stack-agnostic.
+
+    /// Push the host's memory-pressure tier into the transport.
+    fn set_pressure(&mut self, p: Pressure);
+    /// Refuse all new inbound flows (drain / quiesce), independent of
+    /// the pressure tier.
+    fn gate_new_flows(&mut self, refuse: bool);
+    /// Bytes this connection holds across transport buffers.
+    fn conn_buffered(&self, id: Self::ConnId) -> usize;
+    /// Monotone progress counter (bytes delivered + bytes acked); a flow
+    /// whose counter stalls while holding buffers is a slow drainer.
+    fn conn_progress(&self, id: Self::ConnId) -> u64;
+    /// Total bytes held across all connection buffers.
+    fn buffered_bytes(&self) -> usize;
+    /// New flows refused statelessly (RST) because the transport's accept
+    /// gate was closed by pressure or drain.
+    fn stack_pressure_refusals(&self) -> u64;
 }
 
 impl HostStack for SlTcpStack {
@@ -166,13 +189,15 @@ impl HostStack for SlTcpStack {
 
     fn classify_frame(frame: &[u8]) -> Option<FrameMeta> {
         // Figure-6 native header: MAGIC, addrs, checksum, then DM ports.
+        // Bounds-safe slicing: a truncated or foreign frame classifies as
+        // `None` rather than panicking the ingest path.
         if frame.len() < 36 || frame[0] != 0x5B {
             return None;
         }
-        let src_addr = u32::from_be_bytes(frame[1..5].try_into().unwrap());
-        let dst_addr = u32::from_be_bytes(frame[5..9].try_into().unwrap());
-        let src_port = u16::from_be_bytes([frame[11], frame[12]]);
-        let dst_port = u16::from_be_bytes([frame[13], frame[14]]);
+        let src_addr = u32::from_be_bytes(frame.get(1..5)?.try_into().ok()?);
+        let dst_addr = u32::from_be_bytes(frame.get(5..9)?.try_into().ok()?);
+        let src_port = u16::from_be_bytes([*frame.get(11)?, *frame.get(12)?]);
+        let dst_port = u16::from_be_bytes([*frame.get(13)?, *frame.get(14)?]);
         Some(FrameMeta {
             src: Endpoint::new(src_addr, src_port),
             dst: Endpoint::new(dst_addr, dst_port),
@@ -202,6 +227,25 @@ impl HostStack for SlTcpStack {
                 + c.packets_tx
                 + c.packets_rx,
         )
+    }
+
+    fn set_pressure(&mut self, p: Pressure) {
+        SlTcpStack::set_pressure(self, p);
+    }
+    fn gate_new_flows(&mut self, refuse: bool) {
+        SlTcpStack::gate_new_flows(self, refuse);
+    }
+    fn conn_buffered(&self, id: ConnId) -> usize {
+        SlTcpStack::conn_buffered(self, id)
+    }
+    fn conn_progress(&self, id: ConnId) -> u64 {
+        SlTcpStack::conn_progress(self, id)
+    }
+    fn buffered_bytes(&self) -> usize {
+        SlTcpStack::buffered_bytes(self)
+    }
+    fn stack_pressure_refusals(&self) -> u64 {
+        self.stats.pressure_refusals
     }
 }
 
@@ -273,14 +317,15 @@ impl HostStack for TcpStack {
     }
 
     fn classify_frame(frame: &[u8]) -> Option<FrameMeta> {
-        // RFC 793 over the simulator's 8-byte address header.
+        // RFC 793 over the simulator's 8-byte address header; bounds-safe
+        // like the sublayered classifier above.
         if frame.len() < 28 {
             return None;
         }
-        let src_addr = u32::from_be_bytes(frame[0..4].try_into().unwrap());
-        let dst_addr = u32::from_be_bytes(frame[4..8].try_into().unwrap());
-        let src_port = u16::from_be_bytes([frame[8], frame[9]]);
-        let dst_port = u16::from_be_bytes([frame[10], frame[11]]);
+        let src_addr = u32::from_be_bytes(frame.get(0..4)?.try_into().ok()?);
+        let dst_addr = u32::from_be_bytes(frame.get(4..8)?.try_into().ok()?);
+        let src_port = u16::from_be_bytes([*frame.get(8)?, *frame.get(9)?]);
+        let dst_port = u16::from_be_bytes([*frame.get(10)?, *frame.get(11)?]);
         Some(FrameMeta {
             src: Endpoint::new(src_addr, src_port),
             dst: Endpoint::new(dst_addr, dst_port),
@@ -300,5 +345,24 @@ impl HostStack for TcpStack {
     }
     fn tick_conn(&mut self, now: Time, id: FourTuple) {
         TcpStack::tick_conn(self, now, id);
+    }
+
+    fn set_pressure(&mut self, p: Pressure) {
+        TcpStack::set_pressure(self, p);
+    }
+    fn gate_new_flows(&mut self, refuse: bool) {
+        TcpStack::gate_new_flows(self, refuse);
+    }
+    fn conn_buffered(&self, id: FourTuple) -> usize {
+        TcpStack::conn_buffered(self, id)
+    }
+    fn conn_progress(&self, id: FourTuple) -> u64 {
+        TcpStack::conn_progress(self, id)
+    }
+    fn buffered_bytes(&self) -> usize {
+        TcpStack::buffered_bytes(self)
+    }
+    fn stack_pressure_refusals(&self) -> u64 {
+        self.stats.pressure_refusals
     }
 }

@@ -1,0 +1,102 @@
+//! Property coverage for the race between host-level eviction (idle
+//! timeout, shed-idle, slow-drain) and a pending timer-wheel deadline.
+//!
+//! The host cancels a connection's armed wheel entry when it evicts the
+//! connection; the wheel may concurrently be advancing toward that very
+//! deadline. Both halves of the race must be harmless:
+//!
+//! - **evict-then-fire**: once evicted, the connection's entry never
+//!   fires, no matter how far the wheel advances;
+//! - **fire-then-evict**: once fired, the stale key held by the host is
+//!   a no-op to cancel — it must never cancel a later timer that reused
+//!   the slab slot.
+
+use netsim::Time;
+use proptest::{collection, prop_assert, prop_assert_eq, proptest};
+use slhost::{TimerKey, TimerWheel};
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn eviction_racing_a_deadline_is_harmless_both_ways(
+        ops in collection::vec((0u8..4, proptest::num::u64::ANY), 0..120),
+    ) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        // Live connections with an armed deadline.
+        let mut armed: HashMap<u64, (TimerKey, u64)> = HashMap::new();
+        // Keys whose timer already fired (held stale by the "host").
+        let mut fired_keys: Vec<(TimerKey, u64)> = Vec::new();
+        let mut evicted: Vec<u64> = Vec::new();
+        let mut next_conn = 0u64;
+        let mut now = 0u64;
+
+        for &(op, x) in &ops {
+            match op {
+                // A new connection arms a deadline up to ~2 s out.
+                0 => {
+                    let deadline = now + x % 2_000_000_000;
+                    let key = wheel.arm(Time(deadline), next_conn);
+                    armed.insert(next_conn, (key, deadline));
+                    next_conn += 1;
+                }
+                // Evict a live connection before its deadline: the cancel
+                // must hit, and hitting it twice must be a no-op.
+                1 => {
+                    if !armed.is_empty() {
+                        let mut ids: Vec<u64> = armed.keys().copied().collect();
+                        ids.sort_unstable();
+                        let id = ids[(x as usize) % ids.len()];
+                        let (key, _) = armed.remove(&id).unwrap();
+                        prop_assert_eq!(wheel.cancel(key), Some(id));
+                        prop_assert_eq!(wheel.cancel(key), None, "double evict");
+                        evicted.push(id);
+                    }
+                }
+                // Evict a connection whose timer already fired: the host
+                // still holds the old key; cancelling must be a no-op and
+                // must not disturb any live timer (key reuse).
+                2 => {
+                    if !fired_keys.is_empty() {
+                        let i = (x as usize) % fired_keys.len();
+                        let (key, _) = fired_keys[i];
+                        prop_assert_eq!(
+                            wheel.cancel(key),
+                            None,
+                            "a fired entry's key must be stale"
+                        );
+                    }
+                }
+                // Advance: everything that fires must be live (never an
+                // evicted connection) and actually due.
+                _ => {
+                    now += x % 700_000_000;
+                    for (at, id) in wheel.advance(Time(now)) {
+                        prop_assert!(
+                            !evicted.contains(&id),
+                            "evicted connection fired"
+                        );
+                        let entry = armed.remove(&id);
+                        prop_assert!(entry.is_some(), "unknown connection fired");
+                        let (key, deadline) = entry.unwrap();
+                        prop_assert_eq!(at.nanos(), deadline);
+                        prop_assert!(deadline <= now, "fired early");
+                        fired_keys.push((key, id));
+                    }
+                }
+            }
+        }
+
+        // Drain: exactly the still-live connections fire, nothing evicted.
+        now += 3_000_000_000;
+        let mut drained: Vec<u64> = wheel
+            .advance(Time(now))
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        drained.sort_unstable();
+        let mut expect: Vec<u64> = armed.keys().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(drained, expect);
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -21,6 +21,76 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+/// Host memory-pressure tier, derived from budget occupancy. Shared by
+/// both stacks so the overload experiment (E16) compares the sublayered
+/// and monolithic backpressure plumbing like for like: the *tier* and its
+/// thresholds are policy owned by the host; how each stack reacts to it
+/// (window clamp, ACK pacing, accept gating) is the mechanism under test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// Under half the budget: no intervention.
+    #[default]
+    Nominal,
+    /// Over 1/2 of budget: defer new accepts, halve advertised windows.
+    Elevated,
+    /// Over 3/4 of budget: shed idle connections, clamp windows to a
+    /// quarter, pace pure ACKs.
+    High,
+    /// Over 9/10 of budget: refuse new flows outright.
+    Critical,
+}
+
+impl Pressure {
+    /// Tier for `used` bytes against `budget` (0 = unlimited ⇒ Nominal).
+    pub fn from_occupancy(used: u64, budget: u64) -> Pressure {
+        if budget == 0 {
+            return Pressure::Nominal;
+        }
+        // Integer thresholds: >=90%, >=75%, >=50% of budget.
+        if used.saturating_mul(10) >= budget.saturating_mul(9) {
+            Pressure::Critical
+        } else if used.saturating_mul(4) >= budget.saturating_mul(3) {
+            Pressure::High
+        } else if used.saturating_mul(2) >= budget {
+            Pressure::Elevated
+        } else {
+            Pressure::Nominal
+        }
+    }
+
+    /// Right-shift applied to the advertised receive window at this tier
+    /// (window = free-space >> shift): deeper pressure, smaller windows,
+    /// slower inbound byte growth.
+    pub fn wnd_shift(self) -> u32 {
+        match self {
+            Pressure::Nominal => 0,
+            Pressure::Elevated => 1,
+            Pressure::High => 2,
+            Pressure::Critical => 3,
+        }
+    }
+
+    /// Should pure ACKs be paced (delayed/coalesced) at this tier?
+    pub fn paces_acks(self) -> bool {
+        self >= Pressure::High
+    }
+
+    /// Should brand-new inbound flows be refused at this tier?
+    pub fn refuses_new_flows(self) -> bool {
+        self >= Pressure::Critical
+    }
+
+    /// Stable label for reports/JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pressure::Nominal => "nominal",
+            Pressure::Elevated => "elevated",
+            Pressure::High => "high",
+            Pressure::Critical => "critical",
+        }
+    }
+}
+
 /// Read or write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
@@ -54,9 +124,11 @@ impl AccessLog {
     /// Record an access to `field` from subfunction `ctx`.
     pub fn rec(&mut self, ctx: &str, field: &str, kind: AccessKind) {
         let c = self.counts.entry((ctx.to_string(), field.to_string())).or_default();
+        // Saturating so marathon campaigns can never overflow-panic in
+        // debug builds.
         match kind {
-            AccessKind::Read => c.reads += 1,
-            AccessKind::Write => c.writes += 1,
+            AccessKind::Read => c.reads = c.reads.saturating_add(1),
+            AccessKind::Write => c.writes = c.writes.saturating_add(1),
         }
     }
 
@@ -118,16 +190,21 @@ pub struct AttackCounters {
 }
 
 impl AttackCounters {
-    /// Merge another endpoint's counters into this one.
+    /// Merge another endpoint's counters into this one (saturating: long
+    /// campaigns must never overflow-panic in debug builds).
     pub fn absorb(&mut self, other: &AttackCounters) {
-        self.forged_segments += other.forged_segments;
-        self.challenge_acks += other.challenge_acks;
-        self.syn_cookies_sent += other.syn_cookies_sent;
-        self.syn_cookies_validated += other.syn_cookies_validated;
-        self.half_open_evictions += other.half_open_evictions;
-        self.bad_frames_rejected += other.bad_frames_rejected;
-        self.overflow_drops += other.overflow_drops;
-        self.invalid_seq_drops += other.invalid_seq_drops;
+        self.forged_segments = self.forged_segments.saturating_add(other.forged_segments);
+        self.challenge_acks = self.challenge_acks.saturating_add(other.challenge_acks);
+        self.syn_cookies_sent = self.syn_cookies_sent.saturating_add(other.syn_cookies_sent);
+        self.syn_cookies_validated =
+            self.syn_cookies_validated.saturating_add(other.syn_cookies_validated);
+        self.half_open_evictions =
+            self.half_open_evictions.saturating_add(other.half_open_evictions);
+        self.bad_frames_rejected =
+            self.bad_frames_rejected.saturating_add(other.bad_frames_rejected);
+        self.overflow_drops = self.overflow_drops.saturating_add(other.overflow_drops);
+        self.invalid_seq_drops =
+            self.invalid_seq_drops.saturating_add(other.invalid_seq_drops);
     }
 }
 
@@ -157,20 +234,50 @@ pub struct HostCounters {
     pub frames_in: u64,
     /// Frames transmitted.
     pub frames_out: u64,
+    /// Accepts deferred under Elevated pressure (retried once pressure
+    /// drops; not a refusal).
+    pub accept_deferrals: u64,
+    /// Accepted-but-idle connections shed (LIFO) under High pressure.
+    pub sheds: u64,
+    /// Connections evicted by the slow-drain (slowloris) detector.
+    pub slow_drain_evictions: u64,
+    /// New connections refused outright under Critical pressure or while
+    /// draining.
+    pub pressure_refusals: u64,
+    /// Host-tracked state lookups that missed (a connection vanished
+    /// between classification and use — surfaced, never a panic).
+    pub lookup_misses: u64,
+    /// Last sampled buffered-bytes occupancy (gauge).
+    pub mem_used: u64,
+    /// Peak buffered-bytes occupancy seen (gauge; the budget invariant).
+    pub mem_peak: u64,
 }
 
 impl HostCounters {
-    /// Merge another host's counters into this one.
+    /// Merge another host's counters into this one (saturating: long
+    /// campaigns must never overflow-panic in debug builds). Gauges merge
+    /// by sum (`mem_used`) and max (`mem_peak`).
     pub fn absorb(&mut self, other: &HostCounters) {
-        self.accepts += other.accepts;
-        self.accept_refusals += other.accept_refusals;
-        self.evictions += other.evictions;
-        self.timer_fires += other.timer_fires;
-        self.timer_touches += other.timer_touches;
-        self.ticks += other.ticks;
-        self.events_dispatched += other.events_dispatched;
-        self.frames_in += other.frames_in;
-        self.frames_out += other.frames_out;
+        self.accepts = self.accepts.saturating_add(other.accepts);
+        self.accept_refusals = self.accept_refusals.saturating_add(other.accept_refusals);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.timer_fires = self.timer_fires.saturating_add(other.timer_fires);
+        self.timer_touches = self.timer_touches.saturating_add(other.timer_touches);
+        self.ticks = self.ticks.saturating_add(other.ticks);
+        self.events_dispatched =
+            self.events_dispatched.saturating_add(other.events_dispatched);
+        self.frames_in = self.frames_in.saturating_add(other.frames_in);
+        self.frames_out = self.frames_out.saturating_add(other.frames_out);
+        self.accept_deferrals =
+            self.accept_deferrals.saturating_add(other.accept_deferrals);
+        self.sheds = self.sheds.saturating_add(other.sheds);
+        self.slow_drain_evictions =
+            self.slow_drain_evictions.saturating_add(other.slow_drain_evictions);
+        self.pressure_refusals =
+            self.pressure_refusals.saturating_add(other.pressure_refusals);
+        self.lookup_misses = self.lookup_misses.saturating_add(other.lookup_misses);
+        self.mem_used = self.mem_used.saturating_add(other.mem_used);
+        self.mem_peak = self.mem_peak.max(other.mem_peak);
     }
 
     /// Average timer entries touched per tick (the wheel-vs-naive metric).
@@ -340,5 +447,46 @@ mod tests {
         let m = InteractionMatrix::from_log(&AccessLog::default());
         assert_eq!(m.entanglement_score(), 0);
         assert!(m.render_markdown("empty").contains("fields: 0"));
+    }
+
+    #[test]
+    fn pressure_tiers_from_occupancy() {
+        let b = 1000;
+        assert_eq!(Pressure::from_occupancy(0, b), Pressure::Nominal);
+        assert_eq!(Pressure::from_occupancy(499, b), Pressure::Nominal);
+        assert_eq!(Pressure::from_occupancy(500, b), Pressure::Elevated);
+        assert_eq!(Pressure::from_occupancy(749, b), Pressure::Elevated);
+        assert_eq!(Pressure::from_occupancy(750, b), Pressure::High);
+        assert_eq!(Pressure::from_occupancy(899, b), Pressure::High);
+        assert_eq!(Pressure::from_occupancy(900, b), Pressure::Critical);
+        assert_eq!(Pressure::from_occupancy(5000, b), Pressure::Critical);
+        // No budget = no pressure, ever.
+        assert_eq!(Pressure::from_occupancy(u64::MAX, 0), Pressure::Nominal);
+    }
+
+    #[test]
+    fn pressure_tiers_order_and_policies() {
+        assert!(Pressure::Nominal < Pressure::Elevated);
+        assert!(Pressure::Elevated < Pressure::High);
+        assert!(Pressure::High < Pressure::Critical);
+        assert_eq!(Pressure::Nominal.wnd_shift(), 0);
+        assert_eq!(Pressure::Critical.wnd_shift(), 3);
+        assert!(!Pressure::Elevated.paces_acks());
+        assert!(Pressure::High.paces_acks());
+        assert!(!Pressure::High.refuses_new_flows());
+        assert!(Pressure::Critical.refuses_new_flows());
+    }
+
+    #[test]
+    fn counter_absorb_saturates() {
+        let mut a = HostCounters { accepts: u64::MAX - 1, mem_peak: 10, ..Default::default() };
+        let b = HostCounters { accepts: 5, mem_peak: 7, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.accepts, u64::MAX);
+        assert_eq!(a.mem_peak, 10, "peak merges by max");
+
+        let mut x = AttackCounters { forged_segments: u64::MAX, ..Default::default() };
+        x.absorb(&AttackCounters { forged_segments: 9, ..Default::default() });
+        assert_eq!(x.forged_segments, u64::MAX);
     }
 }

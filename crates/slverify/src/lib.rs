@@ -16,10 +16,14 @@
 //!   incarnation bug of a two-message handshake (why TCP needs three),
 //!   and the pre-RFC-5961 blind in-window RST attack — with the
 //!   challenge-ACK discipline proved safe against every below-threshold
-//!   sequence guess ([`models::RstAttack`], experiment E14).
+//!   sequence guess ([`models::RstAttack`], experiment E14);
+//! * the E16 overload policy ([`models::Overload`]) proves the host's
+//!   memory budget holds under every admission/shed/evict interleaving in
+//!   both shapes — and exhibits the overrun trace when the staged
+//!   pressure signal is allowed to go one admission too stale.
 
 pub mod checker;
 pub mod models;
 
 pub use checker::{check, CheckResult, Model, Trace};
-pub use models::{AltBit, Combined, Handshake, RstAttack, SlidingWindow};
+pub use models::{AltBit, Combined, Handshake, Overload, RstAttack, SlidingWindow};

@@ -962,3 +962,330 @@ mod flow_tests {
         assert!(v.reason.contains("overflow"), "{v:?}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Overload control (host admission + backpressure).
+// ---------------------------------------------------------------------
+
+/// The E16 overload-control policy as a small exhaustive model: a host
+/// with a byte budget admits, defers, sheds, and evicts connections as
+/// occupancy crosses pressure tiers.
+///
+/// Connections arrive (optionally as slow readers), are admitted only at
+/// Nominal pressure, buffer `resp` units of response when served, and
+/// drain one unit per progress step. Slow readers never drain; the
+/// slow-drain checkpoint evicts them. At High pressure the host may shed
+/// idle (fully drained) connections. A `drain` transition models host
+/// quiesce: no further admissions, pending connections refused.
+///
+/// The shape flag mirrors [`RstAttack`]: with `sublayered: true` the
+/// pressure tier the admission policy reads is a *staged* copy, updated
+/// only by an explicit `push_pressure` transition — the sublayer boundary
+/// makes the signal stale by up to `lag` admissions (the host's batched
+/// ingest window). With `sublayered: false` the check is fused: every
+/// transition re-derives the tier from live occupancy, so `lag` is
+/// irrelevant. The checker proves the budget headroom theorem — occupancy
+/// never exceeds `budget` — for the fused shape unconditionally and for
+/// the staged shape only while `lag × resp` fits in the headroom above
+/// the Elevated threshold; one admission more and it exhibits the
+/// overrun trace.
+pub struct Overload {
+    /// Byte budget (abstract units).
+    pub budget: u8,
+    /// Units buffered per admitted connection (the response).
+    pub resp: u8,
+    /// Admissions the host may perform between pressure refreshes; only
+    /// meaningful in the sublayered shape.
+    pub lag: u8,
+    /// Staged pressure propagation (true) or fused occupancy check (false).
+    pub sublayered: bool,
+}
+
+const OVERLOAD_SLOTS: usize = 3;
+
+/// One connection slot's lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConnSlot {
+    Idle,
+    /// Established, not yet admitted (may be deferred indefinitely).
+    Pending { slow: bool },
+    /// Admitted and served: `buf` response units still buffered.
+    Accepted { buf: u8, slow: bool },
+    Done,
+    Refused,
+    /// Reset by the host: `by_shed` = idle shed, else slow-drain.
+    Evicted { by_shed: bool, was_slow: bool },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OverloadState {
+    conns: [ConnSlot; OVERLOAD_SLOTS],
+    /// Occupancy: total buffered units (maintained incrementally; the
+    /// invariant re-derives it from the slots to catch leaks).
+    used: u8,
+    /// The pressure tier the admission policy reads (0=Nominal,
+    /// 1=Elevated, 2=High, 3=Critical). Live in the fused shape, staged
+    /// in the sublayered shape.
+    applied: u8,
+    /// Admissions since `applied` was last refreshed.
+    stale_admits: u8,
+    draining: bool,
+}
+
+impl Overload {
+    /// Pressure tier from live occupancy — the same thresholds as
+    /// `slmetrics::Pressure::from_occupancy` (50% / 75% / 90%).
+    fn tier(&self, used: u8) -> u8 {
+        let (u, b) = (used as u32, self.budget as u32);
+        if b == 0 {
+            0
+        } else if u * 10 >= b * 9 {
+            3
+        } else if u * 4 >= b * 3 {
+            2
+        } else if u * 2 >= b {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Fused shape: every mutation is immediately visible to the
+    /// admission check, as if policy and accounting were one layer.
+    fn settle(&self, ns: &mut OverloadState) {
+        if !self.sublayered {
+            ns.applied = self.tier(ns.used);
+            ns.stale_admits = 0;
+        }
+    }
+}
+
+impl Model for Overload {
+    type State = OverloadState;
+
+    fn init(&self) -> Vec<OverloadState> {
+        vec![OverloadState {
+            conns: [ConnSlot::Idle; OVERLOAD_SLOTS],
+            used: 0,
+            applied: 0,
+            stale_admits: 0,
+            draining: false,
+        }]
+    }
+
+    fn next(&self, s: &OverloadState) -> Vec<(&'static str, OverloadState)> {
+        let mut out = Vec::new();
+        for i in 0..OVERLOAD_SLOTS {
+            match s.conns[i] {
+                ConnSlot::Idle => {
+                    // SYNs keep coming regardless of host state.
+                    let mut ns = *s;
+                    ns.conns[i] = ConnSlot::Pending { slow: false };
+                    self.settle(&mut ns);
+                    out.push(("arrive", ns));
+                    let mut sl = *s;
+                    sl.conns[i] = ConnSlot::Pending { slow: true };
+                    self.settle(&mut sl);
+                    out.push(("arrive_slow", sl));
+                }
+                ConnSlot::Pending { slow } => {
+                    if s.draining || s.applied == 3 {
+                        let mut ns = *s;
+                        ns.conns[i] = ConnSlot::Refused;
+                        self.settle(&mut ns);
+                        out.push(("refuse", ns));
+                    } else if s.applied == 0 && s.stale_admits < self.lag {
+                        // Admission serves the response immediately; the
+                        // deferral tiers are the *absence* of this
+                        // transition at Elevated/High.
+                        let mut ns = *s;
+                        ns.conns[i] = ConnSlot::Accepted { buf: self.resp, slow };
+                        ns.used += self.resp;
+                        ns.stale_admits += 1;
+                        self.settle(&mut ns);
+                        out.push(("admit", ns));
+                    }
+                }
+                ConnSlot::Accepted { buf, slow } => {
+                    if buf > 0 && !slow {
+                        let mut ns = *s;
+                        ns.conns[i] = ConnSlot::Accepted { buf: buf - 1, slow };
+                        ns.used -= 1;
+                        self.settle(&mut ns);
+                        out.push(("progress", ns));
+                    }
+                    if buf > 0 && slow {
+                        // The drain checkpoint matures and finds no
+                        // progress: evict, reclaiming the buffer.
+                        let mut ns = *s;
+                        ns.conns[i] =
+                            ConnSlot::Evicted { by_shed: false, was_slow: true };
+                        ns.used -= buf;
+                        self.settle(&mut ns);
+                        out.push(("slow_drain_evict", ns));
+                    }
+                    if buf == 0 {
+                        let mut ns = *s;
+                        ns.conns[i] = ConnSlot::Done;
+                        self.settle(&mut ns);
+                        out.push(("complete", ns));
+                        if s.applied >= 2 {
+                            // Shed-idle: only a fully drained lingerer.
+                            let mut sh = *s;
+                            sh.conns[i] =
+                                ConnSlot::Evicted { by_shed: true, was_slow: slow };
+                            self.settle(&mut sh);
+                            out.push(("shed_idle", sh));
+                        }
+                    }
+                }
+                ConnSlot::Done | ConnSlot::Refused | ConnSlot::Evicted { .. } => {}
+            }
+        }
+        if !s.draining {
+            let mut ns = *s;
+            ns.draining = true;
+            self.settle(&mut ns);
+            out.push(("drain", ns));
+        }
+        if self.sublayered
+            && (s.applied != self.tier(s.used) || s.stale_admits > 0)
+        {
+            // The staged signal crosses the sublayer boundary.
+            let mut ns = *s;
+            ns.applied = self.tier(ns.used);
+            ns.stale_admits = 0;
+            out.push(("push_pressure", ns));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &OverloadState) -> Result<(), String> {
+        if s.used > self.budget {
+            return Err(format!(
+                "budget exceeded: {} used > {} budget",
+                s.used, self.budget
+            ));
+        }
+        let derived: u8 = s
+            .conns
+            .iter()
+            .map(|c| match c {
+                ConnSlot::Accepted { buf, .. } => *buf,
+                _ => 0,
+            })
+            .sum();
+        if derived != s.used {
+            return Err(format!(
+                "budget accounting leaked: tracked {} != held {derived}",
+                s.used
+            ));
+        }
+        for c in &s.conns {
+            if let ConnSlot::Evicted { by_shed: false, was_slow: false } = c {
+                return Err("evicted a progressing connection".into());
+            }
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &OverloadState) -> bool {
+        s.conns.iter().all(|c| {
+            matches!(
+                c,
+                ConnSlot::Done | ConnSlot::Refused | ConnSlot::Evicted { .. }
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use crate::checker::check;
+
+    fn model(sublayered: bool, lag: u8) -> Overload {
+        // budget 4, resp 2: Nominal means used <= 1, so one in-window
+        // admission (lag 1) peaks at 3 <= 4. Total demand 3 slots x 2 = 6
+        // keeps the budget genuinely contended.
+        Overload { budget: 4, resp: 2, lag, sublayered }
+    }
+
+    #[test]
+    fn budget_holds_in_both_shapes() {
+        // The E16 safety theorem: under every interleaving of arrivals,
+        // slow readers, sheds, evictions, and a mid-run drain, occupancy
+        // never exceeds the budget, accounting never leaks, and no
+        // progressing connection is reset.
+        for sublayered in [true, false] {
+            let r = check(&model(sublayered, 1), 2_000_000);
+            assert!(r.ok(), "sublayered={sublayered}: {r:?}");
+            assert!(r.states > 100, "state space suspiciously small: {r:?}");
+        }
+    }
+
+    #[test]
+    fn stale_pressure_window_can_blow_the_budget() {
+        // Why the refresh cadence matters: let two admissions ride one
+        // stale Nominal reading and the checker exhibits the overrun.
+        let r = check(&model(true, 2), 2_000_000);
+        let v = r.violation.expect("lag 2 must overrun a budget of 4");
+        assert!(v.reason.contains("budget exceeded"), "{v:?}");
+        let admits =
+            v.actions.iter().filter(|a| **a == "admit").count();
+        assert!(admits >= 2, "overrun needs back-to-back admits: {v:?}");
+    }
+
+    #[test]
+    fn fused_shape_is_immune_to_admission_lag() {
+        // The monolithic shape re-derives the tier on every transition,
+        // so no lag value can smuggle admissions past the check.
+        for lag in [2, 3] {
+            let r = check(&model(false, lag), 2_000_000);
+            assert!(r.ok(), "lag={lag}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn staged_signal_costs_state_space() {
+        // The sublayer boundary shows up as extra reachable states: the
+        // staged tier decouples from live occupancy.
+        let sub = check(&model(true, 1), 2_000_000);
+        let mono = check(&model(false, 1), 2_000_000);
+        println!("overload states: sub={} mono={}", sub.states, mono.states);
+        assert!(sub.ok() && mono.ok());
+        assert!(
+            sub.states > mono.states,
+            "sub {} <= mono {}",
+            sub.states,
+            mono.states
+        );
+    }
+
+    #[test]
+    fn slow_reader_eviction_reclaims_its_buffer() {
+        // Single-step: a pinned slow reader's eviction returns its bytes.
+        let m = model(true, 1);
+        let s0 = OverloadState {
+            conns: [
+                ConnSlot::Accepted { buf: 2, slow: true },
+                ConnSlot::Idle,
+                ConnSlot::Idle,
+            ],
+            used: 2,
+            applied: 1,
+            stale_admits: 0,
+            draining: false,
+        };
+        let succ = m.next(&s0);
+        let (_, ns) = succ
+            .iter()
+            .find(|(a, _)| *a == "slow_drain_evict")
+            .expect("checkpoint must fire");
+        assert_eq!(ns.used, 0);
+        assert_eq!(
+            ns.conns[0],
+            ConnSlot::Evicted { by_shed: false, was_slow: true }
+        );
+    }
+}

@@ -122,6 +122,12 @@ pub struct Pcb {
     pub mss: u32,
     /// Set when we owe the peer an ACK.
     pub ack_pending: bool,
+    /// Pressure-driven delayed-ACK deadline. Note the entanglement: this
+    /// one field is armed by the output path, cleared by the receive path,
+    /// inspected by the timer scan, and gated by stack-global pressure —
+    /// four subfunctions sharing a timer the sublayered stack keeps
+    /// private inside RD.
+    pub delayed_ack_deadline: Option<Time>,
 }
 
 impl Pcb {
@@ -161,6 +167,7 @@ impl Pcb {
             ka_probes: 0,
             mss: DEFAULT_MSS as u32,
             ack_pending: false,
+            delayed_ack_deadline: None,
         }
     }
 

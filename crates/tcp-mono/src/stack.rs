@@ -14,7 +14,7 @@ use crate::pcb::*;
 use crate::seq;
 use crate::wire::{Endpoint, FourTuple, Segment, ACK, FIN, PSH, RST, SYN};
 use netsim::{Dur, Stack, Time, TransportError};
-use slmetrics::SharedLog;
+use slmetrics::{Pressure, SharedLog};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Aggregate counters.
@@ -44,6 +44,11 @@ pub struct TcpStats {
     pub ooo_overflow_drops: u64,
     /// Inbound flows refused because the connection table was full.
     pub conn_table_full_drops: u64,
+    /// Inbound flows refused because the accept gate was closed (host
+    /// memory pressure or drain).
+    pub pressure_refusals: u64,
+    /// Pure acks deferred by pressure-driven ACK pacing.
+    pub acks_paced: u64,
 }
 
 /// Half-open (SYN_RCVD) connections tolerated per host; beyond this a
@@ -60,6 +65,9 @@ pub const SND_BUF_CAP: usize = 1 << 20;
 /// Largest plausible distance an honest ACK can trail `snd_una`
 /// (RFC 5961 §5: anything older is blind noise and is dropped silently).
 const MAX_ACK_AGE: u32 = 65_535;
+/// How long a pure ack may be held under pressure-driven ACK pacing —
+/// well below [`MIN_RTO`] so pacing never triggers a peer's RTO.
+pub const ACK_PACE_DELAY: Dur = Dur(50_000_000);
 
 /// Keepalive policy (off by default; see [`TcpStack::set_keepalive`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +114,14 @@ pub struct TcpStack {
     /// [`TransportError::ConnTableFull`].
     max_conns: usize,
     next_ephemeral: u16,
+    /// Host memory pressure. Contrast with the sublayered stack, where
+    /// the signal is split into per-sublayer slices: here one global is
+    /// consulted by flow control (window stamping), the output path and
+    /// timers (ack pacing), and connection management (accept gating) —
+    /// the cross-cutting state the paper warns about.
+    pressure: Pressure,
+    /// Host-requested accept gate (drain/quiesce).
+    gate: bool,
     pub stats: TcpStats,
 }
 
@@ -121,6 +137,8 @@ impl TcpStack {
             errors: HashMap::new(),
             max_conns: 16384,
             next_ephemeral: 49152,
+            pressure: Pressure::Nominal,
+            gate: false,
             stats: TcpStats::default(),
         }
     }
@@ -137,6 +155,54 @@ impl TcpStack {
     /// Bound the connection table (default 16384).
     pub fn set_max_conns(&mut self, n: usize) {
         self.max_conns = n;
+    }
+
+    /// Update the host memory-pressure signal. Everything downstream —
+    /// window stamping, ack pacing, accept gating — reads the shared
+    /// field directly; no per-connection fan-out exists to forget.
+    pub fn set_pressure(&mut self, p: Pressure) {
+        self.log.borrow_mut().w(FC, "pressure");
+        self.pressure = p;
+    }
+
+    pub fn pressure(&self) -> Pressure {
+        self.pressure
+    }
+
+    /// Explicitly gate new-flow admission (host drain/quiesce),
+    /// independent of the pressure tier.
+    pub fn gate_new_flows(&mut self, refuse: bool) {
+        self.log.borrow_mut().w(CONN, "gate");
+        self.gate = refuse;
+    }
+
+    /// One connection's share of [`TcpStack::buffered_bytes`].
+    pub fn conn_buffered(&self, tuple: FourTuple) -> usize {
+        self.conns.get(&tuple).map_or(0, |p| {
+            p.snd_buf.len()
+                + p.rcv_buf.len()
+                + p.ooo.values().map(|d| d.len()).sum::<usize>()
+        })
+    }
+
+    /// Monotone progress counter for slow-drain detection: in-order bytes
+    /// received plus bytes the peer has cumulatively acknowledged.
+    pub fn conn_progress(&self, tuple: FourTuple) -> u64 {
+        self.conns.get(&tuple).map_or(0, |p| {
+            p.rcv_nxt.wrapping_sub(p.irs) as u64 + p.snd_una.wrapping_sub(p.iss) as u64
+        })
+    }
+
+    /// Advertised window under the stack-global pressure clamp. Every
+    /// subfunction that stamps a header — handshake, output,
+    /// retransmission, probes, challenges — must remember to route its
+    /// window through this helper; miss one site and the clamp silently
+    /// leaks (the diff-locality cost the sublayered stack avoids by
+    /// clamping once, inside OSR).
+    fn adv_wnd(&self, pcb: &Pcb) -> u16 {
+        self.log.borrow_mut().r(FC, "pressure");
+        self.log.borrow_mut().r(FC, "rcv_wnd");
+        (pcb.rcv_wnd() >> self.pressure.wnd_shift()).min(u16::MAX as u32) as u16
     }
 
     /// The terminal error recorded for `tuple`, if the connection was
@@ -385,10 +451,16 @@ impl TcpStack {
                 p.last_rx + ka.idle + ka.interval.saturating_mul(p.ka_probes as u64)
             })
         });
-        [p.rto_deadline, p.time_wait_deadline, p.persist_deadline, ka_due]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            p.rto_deadline,
+            p.time_wait_deadline,
+            p.persist_deadline,
+            p.delayed_ack_deadline,
+            ka_due,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Direct PCB access for tests and campaign invariants (read-only).
@@ -423,7 +495,7 @@ impl TcpStack {
             seq: pcb.iss,
             ack: if with_ack { pcb.rcv_nxt } else { 0 },
             flags: if with_ack { SYN | ACK } else { SYN },
-            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            wnd: self.adv_wnd(pcb),
             mss: Some(pcb.mss as u16),
             payload: Vec::new(),
         };
@@ -466,7 +538,7 @@ impl TcpStack {
             seq: pcb.snd_nxt,
             ack: pcb.rcv_nxt,
             flags: ACK,
-            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            wnd: self.adv_wnd(pcb),
             mss: None,
             payload: Vec::new(),
         };
@@ -557,7 +629,7 @@ impl TcpStack {
                 seq: pcb.snd_nxt,
                 ack: pcb.rcv_nxt,
                 flags: ACK | if drains { PSH } else { 0 },
-                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                wnd: self.adv_wnd(pcb),
                 mss: None,
                 payload,
             };
@@ -574,6 +646,7 @@ impl TcpStack {
                 pcb.rto_deadline = Some(now + pcb.rto);
             }
             pcb.ack_pending = false;
+            pcb.delayed_ack_deadline = None;
             self.push(seg);
         }
 
@@ -588,7 +661,7 @@ impl TcpStack {
                 seq: pcb.snd_nxt,
                 ack: pcb.rcv_nxt,
                 flags: FIN | ACK,
-                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                wnd: self.adv_wnd(pcb),
                 mss: None,
                 payload: Vec::new(),
             };
@@ -599,10 +672,31 @@ impl TcpStack {
                 pcb.rto_deadline = Some(now + pcb.rto);
             }
             pcb.ack_pending = false;
+            pcb.delayed_ack_deadline = None;
             self.push(seg);
         }
 
         if pcb.ack_pending {
+            // ---- ACK pacing under pressure. Note the entanglement: the
+            // output path consults stack-global pressure (FC), arms a
+            // timer field on the PCB (TIMERS), and the timer scan in
+            // `conn_deadline` plus the receive path's clears all touch the
+            // same field. The sublayered stack keeps this private in RD.
+            if self.pressure.paces_acks() {
+                self.log.borrow_mut().r(FC, "pressure");
+                self.log.borrow_mut().w(TIMERS, "delayed_ack_deadline");
+                match pcb.delayed_ack_deadline {
+                    None => {
+                        pcb.delayed_ack_deadline = Some(now + ACK_PACE_DELAY);
+                        self.stats.acks_paced += 1;
+                        return;
+                    }
+                    Some(d) if now < d => return,
+                    Some(_) => pcb.delayed_ack_deadline = None,
+                }
+            } else {
+                pcb.delayed_ack_deadline = None;
+            }
             self.log.borrow_mut().r(RD, "rcv_nxt");
             self.log.borrow_mut().r(FC, "rcv_wnd");
             let seg = Segment {
@@ -611,7 +705,7 @@ impl TcpStack {
                 seq: pcb.snd_nxt,
                 ack: pcb.rcv_nxt,
                 flags: ACK,
-                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                wnd: self.adv_wnd(pcb),
                 mss: None,
                 payload: Vec::new(),
             };
@@ -640,7 +734,7 @@ impl TcpStack {
             seq: seq_from,
             ack: pcb.rcv_nxt,
             flags: ACK | if is_fin { FIN } else { 0 },
-            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+            wnd: self.adv_wnd(pcb),
             mss: None,
             payload,
         };
@@ -675,6 +769,17 @@ impl TcpStack {
                 self.send_rst_for(&seg);
                 return;
             }
+            // ---- connection management reading stack-global pressure:
+            // accept gating. Under Critical pressure or drain, would-be
+            // new flows are refused statelessly so a flood cannot grow
+            // memory while the host digs itself out.
+            if would_open && (self.gate || self.pressure.refuses_new_flows()) {
+                self.log.borrow_mut().r(CONN, "gate");
+                self.log.borrow_mut().r(CONN, "pressure");
+                self.stats.pressure_refusals += 1;
+                self.send_rst_for(&seg);
+                return;
+            }
             // ---- connection management: passive open ----
             if seg.syn() && !seg.ack_flag() && self.listeners.contains(&seg.dst.port) {
                 // Resource governance: the half-open queue is bounded. At
@@ -693,7 +798,11 @@ impl TcpStack {
                             seq: cookie,
                             ack: seg.seq.wrapping_add(1),
                             flags: SYN | ACK,
-                            wnd: (RCV_BUF_CAP as u32).min(u16::MAX as u32) as u16,
+                            // Stateless, so no PCB to clamp through — yet
+                            // the pressure shift must be applied here too.
+                            wnd: ((RCV_BUF_CAP as u32) >> self.pressure.wnd_shift())
+                                .min(u16::MAX as u32)
+                                as u16,
                             mss: Some(DEFAULT_MSS),
                             payload: Vec::new(),
                         };
@@ -848,7 +957,7 @@ impl TcpStack {
                 seq: pcb.snd_nxt,
                 ack: pcb.rcv_nxt,
                 flags: ACK,
-                wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                wnd: self.adv_wnd(&pcb),
                 mss: None,
                 payload: Vec::new(),
             };
@@ -1281,7 +1390,7 @@ impl TcpStack {
                         seq: pcb.snd_nxt,
                         ack: pcb.rcv_nxt,
                         flags: ACK,
-                        wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                        wnd: self.adv_wnd(&pcb),
                         mss: None,
                         payload: vec![byte],
                     };
@@ -1323,7 +1432,7 @@ impl TcpStack {
                             seq: pcb.snd_nxt.wrapping_sub(1),
                             ack: pcb.rcv_nxt,
                             flags: ACK,
-                            wnd: pcb.rcv_wnd().min(u16::MAX as u32) as u16,
+                            wnd: self.adv_wnd(&pcb),
                             mss: None,
                             payload: Vec::new(),
                         };

@@ -786,6 +786,166 @@ fn ephemeral_port_exhaustion_is_typed() {
     assert!(s.try_connect_ephemeral(Time::ZERO, Endpoint::new(B, 81)).is_ok());
 }
 
+/// Drive a standalone server stack through a stateful passive open from
+/// `src` and return the established tuple (for the pressure tests, which
+/// need exact control over segment timing).
+fn standalone_accept(s: &mut TcpStack, now: Time, src: Endpoint) -> FourTuple {
+    use crate::wire::{Segment, ACK, SYN};
+    use netsim::Stack;
+    let syn = Segment {
+        src,
+        dst: Endpoint::new(B, 80),
+        seq: 100,
+        ack: 0,
+        flags: SYN,
+        wnd: 8000,
+        mss: Some(1000),
+        payload: Vec::new(),
+    };
+    s.on_frame(now, &syn.encode());
+    let mut iss = None;
+    while let Some(f) = s.poll_transmit(now) {
+        let seg = Segment::decode(&f).unwrap();
+        if seg.dst == src && seg.syn() && seg.ack_flag() {
+            iss = Some(seg.seq);
+        }
+    }
+    let iss = iss.expect("SYN|ACK emitted");
+    let ack = Segment {
+        src,
+        dst: Endpoint::new(B, 80),
+        seq: 101,
+        ack: iss.wrapping_add(1),
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: Vec::new(),
+    };
+    s.on_frame(now, &ack.encode());
+    let tuple = FourTuple { local: Endpoint::new(B, 80), remote: src };
+    assert_eq!(s.state(tuple), TcpState::Established);
+    tuple
+}
+
+#[test]
+fn pressure_clamps_advertised_window() {
+    use crate::pcb::RCV_BUF_CAP;
+    use crate::wire::Segment;
+    use netsim::Stack;
+    use slmetrics::Pressure;
+    let syn_wnd = |p: Pressure| {
+        let mut s = TcpStack::new(A, slmetrics::shared());
+        s.set_pressure(p);
+        s.try_connect(Time::ZERO, 5000, Endpoint::new(B, 80)).unwrap();
+        let f = s.poll_transmit(Time::ZERO).expect("SYN emitted");
+        Segment::decode(&f).unwrap().wnd as usize
+    };
+    assert_eq!(syn_wnd(Pressure::Nominal), RCV_BUF_CAP);
+    assert_eq!(syn_wnd(Pressure::Elevated), RCV_BUF_CAP >> 1);
+    assert_eq!(syn_wnd(Pressure::High), RCV_BUF_CAP >> 2);
+    let critical = syn_wnd(Pressure::Critical);
+    assert_eq!(critical, RCV_BUF_CAP >> 3);
+    assert!(critical > 0, "the window never clamps to zero");
+}
+
+#[test]
+fn critical_pressure_refuses_new_flows_but_not_established() {
+    use crate::wire::{Segment, ACK, SYN};
+    use netsim::Stack;
+    use slmetrics::Pressure;
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    s.listen(80);
+    let tuple = standalone_accept(&mut s, Time::ZERO, Endpoint::new(A, 5000));
+    s.set_pressure(Pressure::Critical);
+    // A fresh SYN is refused statelessly with a RST.
+    let rsts = s.stats.rsts_sent;
+    let syn = Segment {
+        src: Endpoint::new(A, 5001),
+        dst: Endpoint::new(B, 80),
+        seq: 7,
+        ack: 0,
+        flags: SYN,
+        wnd: 4096,
+        mss: Some(1000),
+        payload: Vec::new(),
+    };
+    s.on_frame(Time::ZERO, &syn.encode());
+    assert_eq!(s.conn_count(), 1, "new flow refused under Critical pressure");
+    assert_eq!(s.stats.pressure_refusals, 1);
+    assert_eq!(s.stats.rsts_sent, rsts + 1);
+    // The established connection still makes progress.
+    let data = Segment {
+        src: tuple.remote,
+        dst: tuple.local,
+        seq: 101,
+        ack: s.pcb(tuple).unwrap().snd_nxt,
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: vec![9u8; 300],
+    };
+    s.on_frame(Time::ZERO + Dur::from_millis(1), &data.encode());
+    assert_eq!(s.recv(tuple), vec![9u8; 300]);
+    // 301 receive-side (SYN + 300 payload bytes) + 1 send-side (our
+    // SYN|ACK's sequence slot was acked).
+    assert_eq!(s.conn_progress(tuple), 302);
+    // Recovery reopens admission.
+    s.set_pressure(Pressure::Nominal);
+    s.on_frame(Time::ZERO + Dur::from_millis(2), &syn.encode());
+    assert_eq!(s.conn_count(), 2, "admission resumes at Nominal");
+}
+
+#[test]
+fn paced_ack_is_held_then_flushed_at_deadline() {
+    use crate::stack::ACK_PACE_DELAY;
+    use crate::wire::{Segment, ACK};
+    use netsim::Stack;
+    use slmetrics::Pressure;
+    let mut s = TcpStack::new(B, slmetrics::shared());
+    s.listen(80);
+    let tuple = standalone_accept(&mut s, Time::ZERO, Endpoint::new(A, 5000));
+    s.set_pressure(Pressure::High);
+    let t1 = Time::ZERO + Dur::from_millis(10);
+    let data = Segment {
+        src: tuple.remote,
+        dst: tuple.local,
+        seq: 101,
+        ack: s.pcb(tuple).unwrap().snd_nxt,
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: vec![7u8; 500],
+    };
+    s.on_frame(t1, &data.encode());
+    assert_eq!(s.stats.acks_paced, 1);
+    assert!(s.poll_transmit(t1).is_none(), "pure ack held while paced");
+    // The pacing deadline surfaces through conn_deadline so hosts rearm.
+    assert_eq!(s.conn_deadline(t1, tuple), Some(t1 + ACK_PACE_DELAY));
+    assert!(s.poll_transmit(t1 + Dur::from_millis(49)).is_none());
+    let f = s
+        .poll_transmit(t1 + ACK_PACE_DELAY)
+        .expect("paced ack released at deadline");
+    let seg = Segment::decode(&f).unwrap();
+    assert!(seg.payload.is_empty());
+    assert_eq!(seg.ack, 101 + 500, "the flushed ack covers the data");
+    assert_eq!(s.pcb(tuple).unwrap().delayed_ack_deadline, None);
+    // Dropping back to Nominal releases immediately on the next owed ack.
+    s.set_pressure(Pressure::Nominal);
+    let t2 = t1 + Dur::from_millis(100);
+    let more = Segment {
+        src: tuple.remote,
+        dst: tuple.local,
+        seq: 601,
+        ack: s.pcb(tuple).unwrap().snd_nxt,
+        flags: ACK,
+        wnd: 8000,
+        mss: None,
+        payload: vec![8u8; 200],
+    };
+    s.on_frame(t2, &more.encode());
+    assert_eq!(s.stats.acks_paced, 1, "no pacing at Nominal");
+}
+
 #[test]
 fn full_table_refuses_inbound_syn_with_rst() {
     use crate::wire::{Segment, SYN};
