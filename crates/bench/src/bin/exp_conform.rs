@@ -1,0 +1,92 @@
+//! E17 — differential conformance harness over both stacks.
+//!
+//! Runs the full `slconform` scenario corpus against the sublayered and
+//! monolithic stacks across multiple seeds (both stacks in every run),
+//! prints per-scenario results with allowlist hit counts, and fires the
+//! mutation canaries (a planted bug must be caught *and* shrunk to a
+//! ≤ 10-event reproducer). Exits non-zero on any unexplained divergence
+//! or a failed canary.
+//!
+//! Usage: `exp_conform [--smoke] [--json]`. The full run writes its JSON
+//! summary to `BENCH_conform.json`; `--smoke` is a one-seed CI subset.
+//! The JSON is deterministic, so CI runs the sweep twice and diffs.
+
+use bench::conform;
+use bench::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+
+    let outs = conform::sweep(smoke);
+    let canaries = conform::canaries();
+    let summary = conform::summary_json(&outs, &canaries);
+
+    if json {
+        println!("{summary}");
+    } else {
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.scenario.clone(),
+                    o.seed.to_string(),
+                    format!("{}/{}", o.frames_sub, o.frames_mono),
+                    format!("{}/{}", o.delivered_sub, o.delivered_mono),
+                    o.allowlisted
+                        .first()
+                        .map(|(id, _)| id.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                    o.unexplained.len().to_string(),
+                ]
+            })
+            .collect();
+        println!("# E17: differential conformance (sub vs mono vs oracle)\n");
+        println!(
+            "{}",
+            markdown_table(
+                &["scenario", "seed", "frames s/m", "bytes s/m", "allow", "diverge"],
+                &rows
+            )
+        );
+        println!("## allowlist hit counts\n");
+        for (id, n) in conform::allow_hits(&outs) {
+            println!("- {id}: {n}");
+        }
+        println!("\n## mutation canaries\n");
+        for c in &canaries {
+            println!(
+                "- {} [{} on {:?}]: caught={} code={} shrunk {} -> {} events{}",
+                c.name,
+                c.scenario,
+                c.kind,
+                c.caught,
+                if c.code.is_empty() { "-" } else { &c.code },
+                c.from_events,
+                c.to_events,
+                if c.ok { "" } else { "  ** FAILED **" }
+            );
+        }
+        for o in &outs {
+            for d in &o.unexplained {
+                println!("DIVERGENCE [{} seed={}]: {d}", o.scenario, o.seed);
+            }
+        }
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_conform.json", format!("{summary}\n"))
+            .expect("write BENCH_conform.json");
+        if !json {
+            println!("\nwrote BENCH_conform.json");
+        }
+    }
+
+    let bad = outs.iter().map(|o| o.unexplained.len()).sum::<usize>()
+        + canaries.iter().filter(|c| !c.ok).count();
+    if bad > 0 {
+        eprintln!("exp_conform: {bad} failure(s)");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod attack;
 pub mod chaos;
+pub mod conform;
 pub mod overload;
 pub mod scale;
 

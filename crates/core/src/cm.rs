@@ -82,6 +82,9 @@ pub struct ConnMgmt {
     close_requested: bool,
     local_fin_acked: bool,
     peer_fin_seen: bool,
+    /// Peer's FIN arrived before the local close: we are the passive
+    /// closer and finish in CLOSED, not TIME_WAIT.
+    passive_close: bool,
     /// Handshake retransmission.
     rtx_deadline: Option<Time>,
     rtx_count: u32,
@@ -107,6 +110,7 @@ impl ConnMgmt {
             close_requested: false,
             local_fin_acked: false,
             peer_fin_seen: false,
+            passive_close: false,
             rtx_deadline: None,
             rtx_count: 0,
             time_wait_deadline: None,
@@ -307,8 +311,17 @@ impl ConnMgmt {
             match rst_seq {
                 SeqValidity::Exact => {
                     self.log.borrow_mut().w("cm", "state");
+                    // RFC 793 p.70: once both directions have shut down
+                    // (TIME-WAIT, or our Closing with the peer's FIN
+                    // already seen — the CLOSING/LAST-ACK analogs) a RST
+                    // just deletes the TCB; only synchronized states
+                    // with the user still attached signal "reset".
+                    let silent = self.state == CmState::TimeWait
+                        || (self.state == CmState::Closing && self.peer_fin_seen);
                     self.state = CmState::Closed;
-                    self.reset_reason.get_or_insert(TransportError::Reset);
+                    if !silent {
+                        self.reset_reason.get_or_insert(TransportError::Reset);
+                    }
                     self.events.push_back(CmEvent::Reset);
                 }
                 SeqValidity::InWindow => self.challenge(),
@@ -357,6 +370,17 @@ impl ConnMgmt {
                     if hdr.flags.syn && !hdr.flags.cm_ack {
                         // Duplicate SYN: re-answer.
                         self.queue_syn(true);
+                        return CmPass::Consumed;
+                    }
+                    if hdr.flags.syn && hdr.flags.cm_ack && hdr.ack_isn == self.local_isn {
+                        // Crossed SYN-ACK: in a simultaneous open both
+                        // sides move SYN_SENT -> SYN_RCVD and their
+                        // SYN-ACKs cross in flight. The peer has
+                        // acknowledged our ISN, so the connection is
+                        // synchronized; confirm with a pure ACK exactly
+                        // as the SYN_SENT path does (RFC 793 figure 8).
+                        self.establish();
+                        self.outbox.push_back(Packet::default());
                         return CmPass::Consumed;
                     }
                     if handshake_ack || !hdr.flags.syn {
@@ -428,6 +452,11 @@ impl ConnMgmt {
     /// RD reports the peer's FIN was reached in sequence.
     pub fn on_peer_fin(&mut self, now: Time) {
         self.log.borrow_mut().w("cm", "fin_state");
+        if !self.close_requested {
+            // The peer closed first: we are the passive closer and skip
+            // TIME_WAIT (RFC 793: CLOSE_WAIT -> LAST_ACK -> CLOSED).
+            self.passive_close = true;
+        }
         self.peer_fin_seen = true;
         self.maybe_finish(now);
     }
@@ -438,9 +467,16 @@ impl ConnMgmt {
 
     fn maybe_finish(&mut self, now: Time) {
         if self.close_requested && self.local_fin_acked && self.peer_fin_seen {
-            // Both sides done. Active closer lingers in TIME_WAIT.
-            self.state = CmState::TimeWait;
-            self.time_wait_deadline = Some(now + TIME_WAIT);
+            if self.passive_close {
+                // Passive closer: the peer holds TIME_WAIT, we go
+                // straight to CLOSED once our FIN is acknowledged.
+                self.state = CmState::Closed;
+                self.events.push_back(CmEvent::Closed);
+            } else {
+                // Active (or simultaneous) closer lingers in TIME_WAIT.
+                self.state = CmState::TimeWait;
+                self.time_wait_deadline = Some(now + TIME_WAIT);
+            }
         }
     }
 

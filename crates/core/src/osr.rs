@@ -167,6 +167,14 @@ impl Osr {
         std::mem::take(&mut self.window_update_pending)
     }
 
+    /// Drop a pending window update. The stack calls this once the
+    /// peer's FIN is in: no more data can arrive, so advertising the
+    /// reopened window would only poke a peer whose TCB may already be
+    /// deleted.
+    pub fn suppress_window_update(&mut self) {
+        self.window_update_pending = false;
+    }
+
     /// Application will write no more.
     pub fn close(&mut self) {
         self.app_closed = true;

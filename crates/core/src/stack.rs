@@ -288,7 +288,17 @@ impl SlTcpStack {
     /// Drain received application bytes.
     pub fn recv(&mut self, id: ConnId) -> Vec<u8> {
         match self.conns.get_mut(&id) {
-            Some(conn) => conn.osr.read(),
+            Some(conn) => {
+                let out = conn.osr.read();
+                // Once the peer's FIN is in no more data can arrive, so
+                // the reopened window is not worth advertising (same
+                // rule as tcp-mono's recv): the gratuitous ack would
+                // poke a peer whose TCB may already be deleted.
+                if conn.cm.peer_fin_seen() {
+                    conn.osr.suppress_window_update();
+                }
+                out
+            }
             None => Vec::new(),
         }
     }
@@ -303,6 +313,13 @@ impl SlTcpStack {
 
     pub fn state(&self, id: ConnId) -> CmState {
         self.conns.get(&id).map_or(CmState::Closed, |c| c.cm.state())
+    }
+
+    /// Has the application asked to close this connection? CM defers the
+    /// state transition until the send stream drains, so this is the
+    /// surface-level "no longer open for the app" signal.
+    pub fn close_pending(&self, id: ConnId) -> bool {
+        self.conns.get(&id).is_some_and(|c| c.want_close)
     }
 
     /// Why a connection died abnormally, if it did. Survives the

@@ -31,6 +31,7 @@ pub mod fault;
 pub mod net;
 pub mod rng;
 pub mod stack;
+pub mod tap;
 pub mod time;
 pub mod workload;
 
@@ -40,6 +41,7 @@ pub use fault::{BurstLoss, FaultConfigError, FaultInjector, FaultProfile, FaultS
 pub use net::{AdminOp, DirStats, LinkId, LinkParams, Node, NodeCtx, NodeId, PortId, SimNet, TimerId};
 pub use rng::DetRng;
 pub use stack::{MultiStack, MultiStackNode, Stack, StackNode, TransportError};
+pub use tap::{tap_buffer, SharedTap, TapDir, TapEvent, TapStack};
 pub use time::{Dur, Time};
 pub use workload::{OpenLoopArrivals, ReadBudget};
 

@@ -1,0 +1,304 @@
+//! The endpoint-local RFC-793/5961 conformance oracle.
+//!
+//! Judges one endpoint's captured trace — every transmitted segment and
+//! every obligation incurred by a received one — against the standard's
+//! state machine and sequence arithmetic. The RFC 5961 response classes
+//! come from [`slverify::relation`], the *same* transition relation the
+//! bounded model checker explores: the oracle is the runtime consumer,
+//! the `RstAttack` model the verification-time consumer, and the
+//! cross-check test in `tests/cross_check.rs` pins them together.
+//!
+//! The oracle checks **safety** (nothing on the wire that RFC 793/5961
+//! forbids, every mandated response eventually produced); **progress
+//! equivalence** (did both stacks deliver the same bytes?) is the
+//! differential layer's job (`diff`), because progress at the observation
+//! instant legitimately depends on RTO schedules the RFCs leave open.
+
+use crate::driver::EndpointOut;
+use netsim::{TapDir, TransportError};
+use slverify::{classify_seq, rfc5961_response, RespClass, SegClass};
+
+/// Merged, sorted coverage of received sequence space.
+#[derive(Default)]
+struct Coverage {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl Coverage {
+    fn insert(&mut self, start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Contiguous frontier from 0 — the endpoint's justified `rcv_nxt`.
+    fn frontier(&self) -> u32 {
+        match self.ranges.first() {
+            Some(&(0, e)) => e,
+            _ => 0,
+        }
+    }
+}
+
+/// Slack for zero-window probes: a sender may poke one byte past the
+/// advertised limit to provoke a window update (RFC 9293 §3.8.6.1).
+const PROBE_SLACK: u64 = 1;
+
+/// Judge one endpoint's run. `active` is true for the connecting side
+/// (and for both sides of a simultaneous open). Returns violations;
+/// empty means conformant.
+pub fn check_endpoint(ep: &EndpointOut, active: bool, label: &str) -> Vec<String> {
+    let mut v: Vec<String> = Vec::new();
+    let mut sent_syn = false;
+    let mut got_syn = false;
+    // Highest sequence-space end we have transmitted (SYN = [0,1)).
+    let mut tx_high: u32 = 0;
+    let mut cov = Coverage::default();
+    let mut max_ack_rx: u32 = 0; // peer's highest ack of our data
+    let mut peer_limit: u64 = 0; // max(rel_ack + wnd) over received acks
+    let mut our_wnd: u32 = 65_535; // last window we advertised
+    let mut challenge_pending: Option<usize> = None;
+    let mut die_required = false;
+    let mut legit_kill = false;
+    let mut fin_rx_end: Option<u32> = None;
+
+    let mut flag = |msg: String| v.push(format!("{label}: {msg}"));
+
+    for (i, s) in ep.abs.iter().enumerate() {
+        let synced = sent_syn && got_syn && max_ack_rx >= 1 && cov.frontier() >= 1;
+        match s.dir {
+            TapDir::Tx => {
+                if die_required && !s.rst {
+                    flag(format!(
+                        "frame {i}: transmission after an exact-sequence RST required teardown ({})",
+                        s.flags_label()
+                    ));
+                }
+                if s.rst {
+                    let provoked = ep.aborted_by_app
+                        || ep.closed_by_app
+                        || die_required
+                        || !synced;
+                    if !provoked {
+                        flag(format!("frame {i}: RST from a healthy established endpoint"));
+                    }
+                } else if s.syn {
+                    if s.rel_known && s.rel_seq != 0 {
+                        flag(format!("frame {i}: SYN at nonzero relative seq {}", s.rel_seq));
+                    }
+                    if !active && !got_syn {
+                        flag(format!("frame {i}: passive endpoint originated a SYN"));
+                    }
+                    if got_syn && !s.ack {
+                        flag(format!("frame {i}: SYN reply without acknowledging peer's SYN"));
+                    }
+                    sent_syn = true;
+                    tx_high = tx_high.max(s.seq_len);
+                } else {
+                    if s.len > 0 {
+                        if !(got_syn && max_ack_rx >= 1) {
+                            flag(format!("frame {i}: payload before the handshake completed"));
+                        }
+                        if s.rel_known {
+                            if s.rel_seq < 1 || s.rel_seq > tx_high {
+                                flag(format!(
+                                    "frame {i}: sequence gap: data at rel {} with send high-water {}",
+                                    s.rel_seq, tx_high
+                                ));
+                            }
+                            let end = s.rel_seq as u64 + s.len as u64;
+                            if peer_limit > 0 && end > peer_limit + PROBE_SLACK {
+                                flag(format!(
+                                    "frame {i}: receive-window overrun: data to rel {} past limit {}",
+                                    end, peer_limit
+                                ));
+                            }
+                        }
+                    }
+                    if s.fin && !(ep.closed_by_app || ep.aborted_by_app) {
+                        flag(format!("frame {i}: FIN without an application close"));
+                    }
+                    if s.rel_known {
+                        tx_high = tx_high.max(s.rel_seq.wrapping_add(s.seq_len));
+                    }
+                }
+                if s.ack && s.rel_known {
+                    let frontier = cov.frontier();
+                    if s.rel_ack > frontier {
+                        flag(format!(
+                            "frame {i}: acked rel {} beyond contiguously received {}",
+                            s.rel_ack, frontier
+                        ));
+                    }
+                    if challenge_pending.is_some() && s.pure_ack() && s.rel_ack == frontier {
+                        challenge_pending = None;
+                    }
+                }
+                our_wnd = s.wnd.max(1);
+            }
+            TapDir::Rx => {
+                if s.rst {
+                    if synced && s.rel_known {
+                        let verdict = classify_seq(cov.frontier(), s.rel_seq, our_wnd);
+                        match rfc5961_response(true, SegClass::Rst, verdict) {
+                            RespClass::Reset => {
+                                die_required = true;
+                                legit_kill = true;
+                            }
+                            RespClass::ChallengeAck => {
+                                challenge_pending.get_or_insert(i);
+                            }
+                            RespClass::Drop | RespClass::Deliver => {}
+                        }
+                    } else {
+                        // Pre-synchronization RST (e.g. a stateless
+                        // refusal) legitimately kills the attempt.
+                        legit_kill = true;
+                    }
+                } else if s.syn && synced {
+                    // RFC 5961 §4: SYN on a synchronized connection —
+                    // challenge ACK, never a silent new handshake. (A
+                    // retransmitted SYN-ACK lands here too; the re-ack it
+                    // elicits has exactly the challenge shape.)
+                    challenge_pending.get_or_insert(i);
+                    got_syn = true;
+                } else {
+                    if s.syn {
+                        got_syn = true;
+                    }
+                    if s.rel_known {
+                        cov.insert(s.rel_seq, s.rel_seq.wrapping_add(s.seq_len));
+                        if s.fin {
+                            fin_rx_end = Some(s.rel_seq.wrapping_add(s.seq_len));
+                        }
+                    }
+                }
+                if s.ack && s.rel_known {
+                    max_ack_rx = max_ack_rx.max(s.rel_ack);
+                    peer_limit = peer_limit.max(s.rel_ack as u64 + s.wnd as u64);
+                }
+            }
+        }
+    }
+
+    // --- end-of-trace obligations ------------------------------------
+    if let Some(at) = challenge_pending {
+        v.push(format!(
+            "{label}: challenge-ACK obligation from frame {at} never discharged"
+        ));
+    }
+    if die_required && !ep.obs.closed {
+        v.push(format!(
+            "{label}: survived an exact-sequence RST (obs {:?})",
+            ep.obs
+        ));
+    }
+    if ep.obs.error == Some(TransportError::Reset) && !legit_kill && !ep.aborted_by_app {
+        v.push(format!(
+            "{label}: Reset error without any legitimate RST on the wire"
+        ));
+    }
+    if let Some(end) = fin_rx_end {
+        let fin_consumed = cov.frontier() >= end;
+        if fin_consumed
+            && !die_required
+            && !ep.aborted_by_app
+            && !ep.closed_by_app
+            && !ep.obs.closed
+            && ep.obs.error.is_none()
+            && ep.conn_known
+            && !ep.obs.peer_closed
+        {
+            v.push(format!("{label}: in-order FIN received but peer_closed never surfaced"));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absseg::AbsSeg;
+    use netsim::TapDir;
+
+    fn seg(dir: TapDir, flags: (bool, bool, bool, bool), rel_seq: u32, seq_len: u32, len: u32, rel_ack: u32) -> AbsSeg {
+        let (syn, fin, rst, ack) = flags;
+        AbsSeg {
+            at_ns: 0,
+            dir,
+            syn,
+            fin,
+            rst,
+            ack,
+            rel_seq,
+            seq_len,
+            len,
+            rel_ack,
+            wnd: 65_535,
+            rel_known: true,
+        }
+    }
+
+    fn handshake() -> Vec<AbsSeg> {
+        vec![
+            seg(TapDir::Tx, (true, false, false, false), 0, 1, 0, 0),
+            seg(TapDir::Rx, (true, false, false, true), 0, 1, 0, 1),
+            seg(TapDir::Tx, (false, false, false, true), 1, 0, 0, 1),
+        ]
+    }
+
+    fn ep(abs: Vec<AbsSeg>) -> EndpointOut {
+        EndpointOut { abs, conn_known: true, ..EndpointOut::default() }
+    }
+
+    #[test]
+    fn clean_handshake_passes() {
+        assert!(check_endpoint(&ep(handshake()), true, "t").is_empty());
+    }
+
+    #[test]
+    fn ack_beyond_coverage_is_flagged() {
+        let mut abs = handshake();
+        abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 0, 0, 500));
+        let viol = check_endpoint(&ep(abs), true, "t");
+        assert!(
+            viol.iter().any(|m| m.contains("beyond contiguously received")),
+            "{viol:?}"
+        );
+    }
+
+    #[test]
+    fn undischarged_challenge_is_flagged() {
+        let mut abs = handshake();
+        // In-window RST arrives; no challenge ACK ever goes out.
+        abs.push(seg(TapDir::Rx, (false, false, true, false), 100, 0, 0, 0));
+        let viol = check_endpoint(&ep(abs), true, "t");
+        assert!(viol.iter().any(|m| m.contains("challenge-ACK")), "{viol:?}");
+    }
+
+    #[test]
+    fn challenge_ack_discharges_obligation() {
+        let mut abs = handshake();
+        abs.push(seg(TapDir::Rx, (false, false, true, false), 100, 0, 0, 0));
+        abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 0, 0, 1));
+        assert!(check_endpoint(&ep(abs), true, "t").is_empty());
+    }
+
+    #[test]
+    fn sequence_gap_is_flagged() {
+        let mut abs = handshake();
+        abs.push(seg(TapDir::Tx, (false, false, false, true), 50, 10, 10, 1));
+        let viol = check_endpoint(&ep(abs), true, "t");
+        assert!(viol.iter().any(|m| m.contains("sequence gap")), "{viol:?}");
+    }
+}

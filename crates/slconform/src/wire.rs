@@ -1,0 +1,237 @@
+//! Per-format wire knowledge: decode either stack's frames into one
+//! segment shape, and forge byte-precise injections.
+//!
+//! The two stacks speak different wire formats (the sublayered native
+//! header vs RFC 793), so the harness normalizes both into [`RawSeg`] —
+//! flags, sequence span, cumulative ack, window — before any comparison
+//! or oracle judgment. Forgery mirrors `bench::attack`'s codecs: an RST
+//! or duplicate SYN is built in the victim's own format with an honest
+//! window field, so only the aimed field is adversarial.
+
+use sublayer_core::wire::{CmFlags, CmHeader, DmHeader, OsrHeader, Packet, RdHeader};
+use tcp_mono::wire::{Endpoint, Segment, RST, SYN};
+
+/// Which wire format a run speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    Mono,
+    Sub,
+}
+
+/// One decoded frame, format-neutral. Sequence numbers are still in wire
+/// space; `absseg` rebases them against the learned ISNs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawSeg {
+    pub syn: bool,
+    pub fin: bool,
+    pub rst: bool,
+    /// Carries a meaningful cumulative ack.
+    pub ack: bool,
+    /// First wire sequence number this segment occupies (the ISN itself
+    /// for a SYN).
+    pub seq: u32,
+    /// Sequence space consumed (payload + SYN + FIN — both formats give
+    /// SYN and FIN one sequence number each).
+    pub seq_len: u32,
+    /// Payload bytes.
+    pub len: u32,
+    /// Cumulative ack (next expected wire sequence), valid when `ack`.
+    pub ack_no: u32,
+    /// Advertised receive window.
+    pub wnd: u32,
+}
+
+impl Wire {
+    pub fn label(self) -> &'static str {
+        match self {
+            Wire::Mono => "mono",
+            Wire::Sub => "sub",
+        }
+    }
+
+    /// Decode one frame; `None` for frames this format cannot parse.
+    pub fn decode(self, frame: &[u8]) -> Option<RawSeg> {
+        match self {
+            Wire::Mono => {
+                let s = Segment::decode(frame).ok()?;
+                Some(RawSeg {
+                    syn: s.syn(),
+                    fin: s.fin(),
+                    rst: s.rst(),
+                    ack: s.ack_flag(),
+                    seq: s.seq,
+                    seq_len: s.seq_len(),
+                    len: s.payload.len() as u32,
+                    ack_no: s.ack,
+                    wnd: s.wnd as u32,
+                })
+            }
+            Wire::Sub => {
+                let p = Packet::decode(frame).ok()?;
+                let syn = p.cm.flags.syn;
+                // RD acks ride `rd.ack`; pure handshake acks ride the CM
+                // subheader as `ack_isn` (acknowledging the peer's ISN,
+                // i.e. next expected = isn + 1).
+                let (ack, ack_no) = if p.rd.has_ack {
+                    (true, p.rd.ack)
+                } else if p.cm.flags.cm_ack {
+                    (true, p.cm.ack_isn.wrapping_add(1))
+                } else {
+                    (false, 0)
+                };
+                // Calibrated against live traces: the CM FIN consumes one
+                // RD sequence number (the peer acks fin_seq + 1) even
+                // though the flag rides the CM subheader.
+                Some(RawSeg {
+                    syn,
+                    fin: p.cm.flags.fin,
+                    rst: p.cm.flags.rst,
+                    ack,
+                    seq: if syn { p.cm.isn } else { p.rd.seq },
+                    seq_len: p.payload.len() as u32 + syn as u32 + p.cm.flags.fin as u32,
+                    len: p.payload.len() as u32,
+                    ack_no,
+                    wnd: p.osr.rcv_wnd as u32,
+                })
+            }
+        }
+    }
+
+    /// Forge an off-path RST claiming to come from `src`, aimed at wire
+    /// sequence `seq`.
+    pub fn forge_rst(self, src: Endpoint, dst: Endpoint, seq: u32) -> Vec<u8> {
+        match self {
+            Wire::Mono => Segment {
+                src,
+                dst,
+                seq,
+                ack: 0,
+                flags: RST,
+                wnd: 0,
+                mss: None,
+                payload: Vec::new(),
+            }
+            .encode(),
+            Wire::Sub => {
+                let mut p = sub_base(src, dst);
+                p.cm.flags = CmFlags { rst: true, ..CmFlags::default() };
+                p.rd.seq = seq;
+                p.encode()
+            }
+        }
+    }
+
+    /// Forge a duplicate SYN for an already-established tuple.
+    pub fn forge_syn(self, src: Endpoint, dst: Endpoint, isn: u32) -> Vec<u8> {
+        match self {
+            Wire::Mono => Segment {
+                src,
+                dst,
+                seq: isn,
+                ack: 0,
+                flags: SYN,
+                wnd: u16::MAX,
+                mss: Some(1400),
+                payload: Vec::new(),
+            }
+            .encode(),
+            Wire::Sub => {
+                let mut p = sub_base(src, dst);
+                p.cm.flags = CmFlags { syn: true, ..CmFlags::default() };
+                p.cm.isn = isn;
+                p.encode()
+            }
+        }
+    }
+
+    /// Rewrite a frame's cumulative ack forward by `delta` — the seeded
+    /// mutation for the harness's own mutation tests. `None` if the frame
+    /// carries no ack to corrupt.
+    pub fn bump_ack(self, frame: &[u8], delta: u32) -> Option<Vec<u8>> {
+        match self {
+            Wire::Mono => {
+                let mut s = Segment::decode(frame).ok()?;
+                if !s.ack_flag() {
+                    return None;
+                }
+                s.ack = s.ack.wrapping_add(delta);
+                Some(s.encode())
+            }
+            Wire::Sub => {
+                let mut p = Packet::decode(frame).ok()?;
+                if !p.rd.has_ack {
+                    return None;
+                }
+                p.rd.ack = p.rd.ack.wrapping_add(delta);
+                Some(p.encode())
+            }
+        }
+    }
+}
+
+fn sub_base(src: Endpoint, dst: Endpoint) -> Packet {
+    Packet {
+        src_addr: src.addr,
+        dst_addr: dst.addr,
+        dm: DmHeader { src_port: src.port, dst_port: dst.port },
+        cm: CmHeader::default(),
+        rd: RdHeader::default(),
+        // An honest window so a forged header can never zero-window-
+        // poison the victim (same discipline as bench::attack).
+        osr: OsrHeader { ecn_echo: false, rcv_wnd: u16::MAX },
+        payload: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Endpoint = Endpoint { addr: 0x0A000001, port: 5000 };
+    const B: Endpoint = Endpoint { addr: 0x0A000002, port: 80 };
+
+    #[test]
+    fn forged_rsts_decode_as_rsts_in_both_formats() {
+        for w in [Wire::Mono, Wire::Sub] {
+            let bytes = w.forge_rst(B, A, 0x1234);
+            let seg = w.decode(&bytes).expect("own forgery must decode");
+            assert!(seg.rst, "{}", w.label());
+            assert_eq!(seg.seq, 0x1234);
+            assert!(!seg.syn && !seg.fin);
+            // The other format must not mis-parse it.
+            let other = if w == Wire::Mono { Wire::Sub } else { Wire::Mono };
+            assert!(other.decode(&bytes).is_none_or(|s| !s.rst || s.seq != 0x1234));
+        }
+    }
+
+    #[test]
+    fn forged_syns_decode_with_isn() {
+        for w in [Wire::Mono, Wire::Sub] {
+            let bytes = w.forge_syn(A, B, 7777);
+            let seg = w.decode(&bytes).expect("own forgery must decode");
+            assert!(seg.syn && !seg.rst);
+            assert_eq!(seg.seq, 7777);
+            assert_eq!(seg.seq_len, 1, "a SYN occupies one sequence number");
+        }
+    }
+
+    #[test]
+    fn bump_ack_moves_only_the_ack() {
+        let honest = Segment {
+            src: A,
+            dst: B,
+            seq: 100,
+            ack: 200,
+            flags: tcp_mono::wire::ACK,
+            wnd: 1000,
+            mss: None,
+            payload: vec![1, 2, 3],
+        }
+        .encode();
+        let bent = Wire::Mono.bump_ack(&honest, 500).unwrap();
+        let seg = Wire::Mono.decode(&bent).unwrap();
+        assert_eq!(seg.ack_no, 700);
+        assert_eq!(seg.seq, 100);
+        assert_eq!(seg.len, 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! Satellite: one shared transition table, two consumers.
+//!
+//! `slverify::relation` is the single authoritative copy of the RFC 5961
+//! response discipline and the overload pressure tiers. The bounded
+//! models (`RstAttack`, `Overload`) consume it at verification time; the
+//! conformance oracle consumes it at runtime. These tests pin the two
+//! consumers together:
+//!
+//! 1. every transition the models emit is exhaustively enumerated (the
+//!    same `Model::init`/`Model::next` surface the checker explores) and
+//!    checked against the relation — no model action exists outside the
+//!    relation's vocabulary, and the relation's mandated responses are
+//!    all exercised;
+//! 2. every response class the relation mandates is realized as a
+//!    concrete wire trace and accepted by the conformance oracle — and
+//!    the omitted response is *rejected*, so the oracle enforces the
+//!    table rather than merely tolerating it.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use slconform::driver::EndpointOut;
+use slconform::{check_endpoint, AbsSeg};
+use netsim::{TapDir, TransportError};
+use slverify::{
+    classify_seq, pressure_tier, rfc5961_response, transition_label, Model, Overload,
+    RespClass, RstAttack, SegClass, SeqVerdict,
+};
+
+const VERDICTS: [SeqVerdict; 3] = [SeqVerdict::Exact, SeqVerdict::InWindow, SeqVerdict::Outside];
+
+/// Exhaustively enumerate a model's reachable transitions, exactly as the
+/// checker would (breadth-first over `init`/`next`).
+fn explore<M: Model>(m: &M, cap: usize) -> Vec<(M::State, &'static str, M::State)> {
+    let mut seen: HashSet<M::State> = HashSet::new();
+    let mut queue: VecDeque<M::State> = VecDeque::new();
+    let mut edges = Vec::new();
+    for s in m.init() {
+        if seen.insert(s.clone()) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for (label, ns) in m.next(&s) {
+            edges.push((s.clone(), label, ns.clone()));
+            if seen.insert(ns.clone()) {
+                queue.push_back(ns);
+            }
+        }
+        assert!(seen.len() <= cap, "state space exceeded cap {cap}");
+    }
+    edges
+}
+
+// ---------------------------------------------------------------------
+// RstAttack ⊆ relation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rst_attack_transitions_are_exactly_the_relation_vocabulary() {
+    for defended in [true, false] {
+        for sublayered in [true, false] {
+            let m = RstAttack { s_mod: 8, w: 3, n_msgs: 3, budget: 2, defended, sublayered };
+            let labels: BTreeSet<&'static str> =
+                explore(&m, 1_000_000).into_iter().map(|(_, l, _)| l).collect();
+
+            // Legal vocabulary: model scaffolding plus whatever the
+            // shared relation produces for this discipline.
+            let mut legal: BTreeSet<&'static str> =
+                ["peer_data", "attacker_rst"].into_iter().collect();
+            if sublayered {
+                legal.insert("rd_classify");
+            }
+            for seg in [SegClass::Rst, SegClass::Data] {
+                for v in VERDICTS {
+                    legal.insert(transition_label(seg, v, rfc5961_response(defended, seg, v)));
+                }
+            }
+            for l in &labels {
+                assert!(
+                    legal.contains(l),
+                    "defended={defended} sublayered={sublayered}: model emitted \
+                     '{l}', which the shared relation never produces"
+                );
+            }
+
+            // Both directions: the relation's mandated responses to the
+            // segments the model can actually build (honest in-order
+            // data, forged wrong-sequence RSTs) are all exercised.
+            if defended {
+                for want in ["challenge_ack", "rst_dropped", "deliver"] {
+                    assert!(labels.contains(want), "defended model never exercised {want}");
+                }
+                assert!(
+                    !labels.contains("rst_in_window"),
+                    "defended model reset on an in-window RST"
+                );
+            } else {
+                assert!(
+                    labels.contains("rst_in_window"),
+                    "undefended model must exhibit the blind in-window reset"
+                );
+                assert!(
+                    !labels.contains("challenge_ack"),
+                    "pre-5961 model has no challenge ACK"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relation ⊆ oracle: every mandated response, realized on the wire,
+// is accepted; the omitted response is rejected.
+// ---------------------------------------------------------------------
+
+fn seg(
+    dir: TapDir,
+    (syn, fin, rst, ack): (bool, bool, bool, bool),
+    rel_seq: u32,
+    len: u32,
+    rel_ack: u32,
+) -> AbsSeg {
+    AbsSeg {
+        at_ns: 0,
+        dir,
+        syn,
+        fin,
+        rst,
+        ack,
+        rel_seq,
+        seq_len: if syn || fin { len + 1 } else { len },
+        len,
+        rel_ack,
+        wnd: 65_535,
+        rel_known: true,
+    }
+}
+
+fn handshake() -> Vec<AbsSeg> {
+    vec![
+        seg(TapDir::Tx, (true, false, false, false), 0, 0, 0),
+        seg(TapDir::Rx, (true, false, false, true), 0, 0, 1),
+        seg(TapDir::Tx, (false, false, false, true), 1, 0, 1),
+    ]
+}
+
+fn ep(abs: Vec<AbsSeg>) -> EndpointOut {
+    EndpointOut { abs, conn_known: true, ..EndpointOut::default() }
+}
+
+/// A relative RST sequence realizing each verdict against frontier 1 and
+/// the 65 535-byte window the handshake advertised.
+fn rst_seq_for(v: SeqVerdict) -> u32 {
+    let (frontier, wnd) = (1u32, 65_535u32);
+    let s = match v {
+        SeqVerdict::Exact => frontier,
+        SeqVerdict::InWindow => frontier + 100,
+        SeqVerdict::Outside => frontier.wrapping_sub(1),
+    };
+    assert_eq!(classify_seq(frontier, s, wnd), v, "fixture must realize the verdict");
+    s
+}
+
+#[test]
+fn oracle_accepts_every_mandated_rst_response() {
+    for v in VERDICTS {
+        let resp = rfc5961_response(true, SegClass::Rst, v);
+        let mut abs = handshake();
+        abs.push(seg(TapDir::Rx, (false, false, true, false), rst_seq_for(v), 0, 0));
+        let mut e = match resp {
+            RespClass::Reset => {
+                // Mandated: tear down. The endpoint goes quiet and
+                // surfaces the reset.
+                let mut e = ep(abs);
+                e.obs.closed = true;
+                e.obs.error = Some(TransportError::Reset);
+                e
+            }
+            RespClass::ChallengeAck => {
+                // Mandated: a pure ACK at the current frontier.
+                abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 0, 1));
+                ep(abs)
+            }
+            RespClass::Drop => {
+                // Mandated: ignore it and carry on (here: send a byte).
+                abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 1, 1));
+                ep(abs)
+            }
+            RespClass::Deliver => unreachable!("RSTs never deliver"),
+        };
+        e.obs.established = true;
+        let viol = check_endpoint(&e, true, "x");
+        assert!(
+            viol.is_empty(),
+            "oracle rejected the relation-mandated {resp:?} for {v:?}: {viol:?}"
+        );
+    }
+}
+
+#[test]
+fn oracle_rejects_the_omitted_rst_response() {
+    // ChallengeAck omitted: the obligation is flagged.
+    let mut abs = handshake();
+    abs.push(seg(
+        TapDir::Rx,
+        (false, false, true, false),
+        rst_seq_for(SeqVerdict::InWindow),
+        0,
+        0,
+    ));
+    let viol = check_endpoint(&ep(abs), true, "x");
+    assert!(viol.iter().any(|m| m.contains("challenge-ACK")), "{viol:?}");
+
+    // Reset omitted: transmitting past an exact-sequence RST is flagged,
+    // and so is an endpoint that never tears down.
+    let mut abs = handshake();
+    abs.push(seg(TapDir::Rx, (false, false, true, false), rst_seq_for(SeqVerdict::Exact), 0, 0));
+    abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 1, 1));
+    let viol = check_endpoint(&ep(abs), true, "x");
+    assert!(
+        viol.iter().any(|m| m.contains("required teardown"))
+            && viol.iter().any(|m| m.contains("survived an exact-sequence RST")),
+        "{viol:?}"
+    );
+}
+
+#[test]
+fn oracle_accepts_exact_data_delivery() {
+    let resp = rfc5961_response(true, SegClass::Data, SeqVerdict::Exact);
+    assert_eq!(resp, RespClass::Deliver);
+    let mut abs = handshake();
+    abs.push(seg(TapDir::Rx, (false, false, false, true), 1, 10, 1));
+    abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 0, 11));
+    let viol = check_endpoint(&ep(abs), true, "x");
+    assert!(viol.is_empty(), "{viol:?}");
+    // And an over-ack (acking beyond what Deliver justifies) is caught.
+    let mut abs = handshake();
+    abs.push(seg(TapDir::Rx, (false, false, false, true), 1, 10, 1));
+    abs.push(seg(TapDir::Tx, (false, false, false, true), 1, 0, 12));
+    let viol = check_endpoint(&ep(abs), true, "x");
+    assert!(viol.iter().any(|m| m.contains("beyond contiguously received")), "{viol:?}");
+}
+
+// ---------------------------------------------------------------------
+// Overload ⊆ relation: admissions follow the shared pressure tiers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn overload_admission_follows_the_shared_pressure_tiers() {
+    // lag is only meaningful staged, but the fused admit gate still
+    // consumes it (stale_admits is pinned to 0 there), so keep it 1.
+    for (sublayered, lag) in [(false, 1), (true, 1)] {
+        let m = Overload { budget: 4, resp: 2, lag, sublayered };
+        let edges = explore(&m, 1_000_000);
+        assert!(!edges.is_empty());
+        let mut admits = 0usize;
+        let mut refusals = 0usize;
+        for (from, label, to) in &edges {
+            match *label {
+                "admit" => {
+                    admits += 1;
+                    assert_eq!(
+                        from.applied_tier(),
+                        0,
+                        "admission from a non-Nominal tier (sublayered={sublayered})"
+                    );
+                    assert!(!from.is_draining(), "admission while draining");
+                }
+                "refuse" => {
+                    refusals += 1;
+                    assert!(
+                        from.is_draining() || from.applied_tier() == 3,
+                        "refusal outside drain/Critical (sublayered={sublayered})"
+                    );
+                }
+                "push_pressure" => {
+                    assert!(sublayered, "fused shape has no staged propagation");
+                    assert_eq!(
+                        to.applied_tier(),
+                        pressure_tier(to.occupancy() as u64, m.budget as u64),
+                        "pressure refresh disagrees with the shared tier function"
+                    );
+                }
+                _ => {}
+            }
+            if !sublayered {
+                // Fused shape: the tier the policy reads is *always* the
+                // shared relation applied to live occupancy.
+                for s in [from, to] {
+                    assert_eq!(
+                        s.applied_tier(),
+                        pressure_tier(s.occupancy() as u64, m.budget as u64),
+                        "fused tier drifted from relation::pressure_tier"
+                    );
+                }
+            }
+        }
+        assert!(admits > 0, "model never admitted (sublayered={sublayered})");
+        assert!(refusals > 0, "model never refused (sublayered={sublayered})");
+    }
+}

@@ -1,0 +1,25 @@
+//! Golden-trace snapshot test for the whole conformance corpus.
+//!
+//! `BLESS=1 cargo test -p slconform --test golden` regenerates the
+//! snapshots under `crates/slconform/golden/`; a plain run compares
+//! against them. CI regenerates without BLESS and fails if the checked-in
+//! files drift from the stacks' actual behavior.
+
+use slconform::corpus;
+use slconform::golden::check_golden;
+
+#[test]
+fn golden_traces_match() {
+    let mut failures = Vec::new();
+    for sc in corpus() {
+        if let Err(e) = check_golden(&sc) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario(s) diverge from their golden traces:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,68 @@
+//! Calibration probe: dump both stacks' normalized traces for a few
+//! scenarios. Not a test of behaviour — run manually with
+//! `cargo test -p slconform --test probe -- --ignored --nocapture`
+//! when adjusting the normalizer or oracle.
+
+use slconform::{corpus, run_kind, Kind, Mutation, RunOut};
+
+fn dump(run: &RunOut) {
+    for (side, ep) in [("client", &run.client), ("server", &run.server)] {
+        println!("-- [{} {}] obs={:?} est_ever={} delivered={} queued={}",
+            run.kind.label(), side, ep.obs, ep.established_ever,
+            ep.delivered.len(), ep.queued.len());
+        for s in &ep.abs {
+            println!(
+                "   {:>10.3}ms {:?} {:<12} seq={} len={} ack={} wnd={} seq_len={} rel_known={}",
+                s.at_ns as f64 / 1e6,
+                s.dir,
+                s.flags_label(),
+                s.rel_seq,
+                s.len,
+                if s.ack { s.rel_ack as i64 } else { -1 },
+                s.wnd,
+                s.seq_len,
+                s.rel_known,
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "calibration probe, run manually with --nocapture"]
+fn probe_dump() {
+    let all = corpus();
+    for name in [
+        "simultaneous_open",
+        "data_bidirectional",
+        "half_close_server_sends",
+        "zero_window_then_close",
+    ] {
+        let sc = all.iter().find(|s| s.name == name).expect("scenario");
+        println!("==== scenario {name} ====");
+        for kind in [Kind::Sub, Kind::Mono] {
+            dump(&run_kind(kind, sc, 1, Mutation::None));
+        }
+    }
+}
+
+#[test]
+#[ignore = "calibration sweep, run manually with --nocapture"]
+fn probe_corpus() {
+    let mut bad = 0;
+    for sc in corpus() {
+        for seed in [1u64, 2, 3] {
+            let rep = slconform::check_scenario(&sc, seed);
+            if !rep.ok() {
+                bad += 1;
+                println!("== {} seed {} ==", sc.name, seed);
+                for d in &rep.unexplained {
+                    println!("   UNEXPLAINED [{}] {}", d.code, d.detail);
+                }
+            }
+            for (id, detail) in &rep.allowlisted {
+                println!("   allowed [{id}] {} seed {}: {detail}", sc.name, seed);
+            }
+        }
+    }
+    println!("total failing runs: {bad}");
+}

@@ -21,12 +21,14 @@
 
 pub mod apps;
 pub mod budget;
+pub mod differ;
 pub mod host;
 pub mod stack;
 pub mod wheel;
 
 pub use apps::EchoApp;
 pub use budget::ResourceBudget;
+pub use differ::{observe, ConnObs};
 pub use host::{Host, HostApp, HostConfig, HostEvent, ServedHost, TimerMode};
 pub use stack::{FrameMeta, HostStack};
 pub use wheel::{TimerKey, TimerWheel};

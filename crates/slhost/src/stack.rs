@@ -163,13 +163,21 @@ impl HostStack for SlTcpStack {
         SlTcpStack::abort(self, now, id, TransportError::Reset);
     }
     fn is_established(&self, id: ConnId) -> bool {
-        self.state(id) == CmState::Established
+        // Parity tie-break: CM defers its Established -> Closing
+        // transition until the send stream drains, but the monolith flips
+        // to FIN_WAIT_1 the moment the app closes. Both mean "no longer
+        // open for the application", so gate on the close request.
+        self.state(id) == CmState::Established && !self.close_pending(id)
     }
     fn is_closed(&self, id: ConnId) -> bool {
         self.state(id) == CmState::Closed
     }
     fn peer_closed(&self, id: ConnId) -> bool {
-        SlTcpStack::peer_closed(self, id)
+        // Parity tie-break: the monolith derives this from the PCB state,
+        // which stops reporting it once the connection reaches CLOSED;
+        // CM's peer-FIN flag would persist. Half-close is only meaningful
+        // while the connection is alive, so gate on it.
+        SlTcpStack::peer_closed(self, id) && self.state(id) != CmState::Closed
     }
     fn conn_error(&self, id: ConnId) -> Option<TransportError> {
         SlTcpStack::conn_error(self, id)
@@ -292,7 +300,14 @@ impl HostStack for TcpStack {
         TcpStack::abort(self, id);
     }
     fn is_established(&self, id: FourTuple) -> bool {
-        self.state(id) == TcpState::Established
+        // Parity tie-break (conformance audit): the sublayered CM models
+        // remote half-close as Established + `peer_closed` — there is no
+        // CLOSE_WAIT sublayer state, because "peer finished sending" is a
+        // delivery fact, not a connection-management one. CLOSE_WAIT is
+        // the monolith's name for the same condition (synchronized, app
+        // may still send), so it reads as established through the parity
+        // surface; `peer_closed` carries the half-close either way.
+        matches!(self.state(id), TcpState::Established | TcpState::CloseWait)
     }
     fn is_closed(&self, id: FourTuple) -> bool {
         self.state(id) == TcpState::Closed

@@ -4,6 +4,8 @@
 //! rearm / advance, including wheel-level rollovers (offsets up to ~35 s
 //! cross the level-0 horizon at ~268 ms and the level-1 horizon at ~17 s).
 
+use std::collections::HashMap;
+
 use netsim::Time;
 use proptest::{collection, prop_assert, prop_assert_eq, proptest};
 use slhost::{TimerKey, TimerWheel};
@@ -128,5 +130,95 @@ proptest! {
             offsets.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         expect.sort_unstable();
         prop_assert_eq!(fired, expect);
+    }
+
+    /// Conformance-driven case: an RTO-style retransmit schedule — per-flow
+    /// deadlines armed at `now + rto`, doubled on expiry (backoff), reset on
+    /// ack — fires identically under the hierarchical wheel and a naive
+    /// scan-and-sort list. Same discipline as slconform's differential
+    /// harness: one script, two implementations, identical firing order.
+    #[test]
+    fn retransmit_schedule_matches_naive_scan(
+        script in collection::vec((0u8..3, 0usize..4, 1u64..2_000), 1..60),
+    ) {
+        const BASE_RTO: u64 = 200_000_000; // 200 ms
+        const MAX_RTO: u64 = 8_000_000_000; // backoff cap
+        const FLOWS: usize = 4;
+
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        // Naive mode: flat arm list, filtered and sorted on every advance.
+        let mut naive: Vec<(u64, u64)> = Vec::new(); // (deadline, seq)
+        let mut flow_of: HashMap<u64, usize> = HashMap::new();
+        let mut key_of: [Option<(TimerKey, u64)>; FLOWS] = [None; FLOWS];
+        let mut rto = [BASE_RTO; FLOWS];
+        let mut now = 0u64;
+        let mut seq = 0u64;
+
+        for &(op, f, x) in &script {
+            match op {
+                // Data sent on an idle flow: start its retransmit timer.
+                0 => {
+                    if key_of[f].is_none() {
+                        let dl = now + rto[f];
+                        let key = wheel.arm(Time(dl), seq);
+                        naive.push((dl, seq));
+                        flow_of.insert(seq, f);
+                        key_of[f] = Some((key, seq));
+                        seq += 1;
+                    }
+                }
+                // Ack arrived: cancel the pending retransmit, reset backoff.
+                1 => {
+                    if let Some((key, s)) = key_of[f].take() {
+                        prop_assert!(
+                            wheel.cancel(key).is_some(),
+                            "a tracked retransmit timer must be live"
+                        );
+                        naive.retain(|&(_, ns)| ns != s);
+                        rto[f] = BASE_RTO;
+                    }
+                }
+                // Time passes: both modes fire; expired flows back off
+                // and rearm, exactly like a retransmission.
+                _ => {
+                    now += x * 10_000_000; // up to ~20 s per step
+                    let fired: Vec<(u64, u64)> = wheel
+                        .advance(Time(now))
+                        .into_iter()
+                        .map(|(at, s)| (at.nanos(), s))
+                        .collect();
+                    let mut exp: Vec<(u64, u64)> =
+                        naive.iter().copied().filter(|&(dl, _)| dl <= now).collect();
+                    exp.sort_unstable();
+                    naive.retain(|&(dl, _)| dl > now);
+                    prop_assert_eq!(
+                        &fired, &exp,
+                        "wheel and naive scan disagree on retransmit deadlines"
+                    );
+                    for &(_, s) in &fired {
+                        let f = flow_of[&s];
+                        rto[f] = (rto[f] * 2).min(MAX_RTO);
+                        let dl = now + rto[f];
+                        let key = wheel.arm(Time(dl), seq);
+                        naive.push((dl, seq));
+                        flow_of.insert(seq, f);
+                        key_of[f] = Some((key, seq));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+        // Drain past the backoff cap: every outstanding retransmit is due,
+        // and both modes must agree one last time.
+        now += 2 * MAX_RTO;
+        let fired: Vec<(u64, u64)> = wheel
+            .advance(Time(now))
+            .into_iter()
+            .map(|(at, s)| (at.nanos(), s))
+            .collect();
+        let mut exp: Vec<(u64, u64)> = naive;
+        exp.sort_unstable();
+        prop_assert_eq!(fired, exp);
+        prop_assert!(wheel.is_empty(), "drain must leave the wheel empty");
     }
 }

@@ -24,6 +24,11 @@
 
 pub mod checker;
 pub mod models;
+pub mod relation;
 
 pub use checker::{check, CheckResult, Model, Trace};
 pub use models::{AltBit, Combined, Handshake, Overload, RstAttack, SlidingWindow};
+pub use relation::{
+    classify_seq, pressure_tier, rfc5961_response, transition_label, RespClass, SegClass,
+    SeqVerdict,
+};

@@ -614,12 +614,7 @@ pub enum RstSeg {
     Rst { miss: u8 },
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum SeqVerdict {
-    Exact,
-    InWindow,
-    Outside,
-}
+pub use crate::relation::SeqVerdict;
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RstAttackState {
@@ -651,32 +646,27 @@ impl RstAttack {
     }
 
     /// The CM/delivery action on a judged segment; returns the label.
+    /// The *response* is not decided here: it comes from the shared
+    /// [`relation::rfc5961_response`](crate::relation::rfc5961_response)
+    /// table, the same definition the conformance oracle consults — this
+    /// method only applies the response's state effect.
     fn apply(&self, ns: &mut RstAttackState, seg: RstSeg, v: SeqVerdict) -> &'static str {
-        match seg {
-            RstSeg::Rst { .. } => match v {
-                SeqVerdict::Exact => {
-                    ns.established = false;
-                    "rst_exact"
-                }
-                SeqVerdict::InWindow if self.defended => {
-                    ns.challenged = true;
-                    "challenge_ack"
-                }
-                SeqVerdict::InWindow => {
-                    ns.established = false;
-                    "rst_in_window"
-                }
-                SeqVerdict::Outside => "rst_dropped",
-            },
-            RstSeg::Data { .. } => match v {
-                SeqVerdict::Exact => {
-                    ns.rcv_nxt = (ns.rcv_nxt + 1) % self.s_mod;
-                    ns.delivered += 1;
-                    "deliver"
-                }
-                _ => "data_dropped",
-            },
+        use crate::relation::{rfc5961_response, transition_label, RespClass, SegClass};
+        let class = match seg {
+            RstSeg::Rst { .. } => SegClass::Rst,
+            RstSeg::Data { .. } => SegClass::Data,
+        };
+        let resp = rfc5961_response(self.defended, class, v);
+        match resp {
+            RespClass::Reset => ns.established = false,
+            RespClass::ChallengeAck => ns.challenged = true,
+            RespClass::Deliver => {
+                ns.rcv_nxt = (ns.rcv_nxt + 1) % self.s_mod;
+                ns.delivered += 1;
+            }
+            RespClass::Drop => {}
         }
+        transition_label(class, v, resp)
     }
 }
 
@@ -1032,22 +1022,32 @@ pub struct OverloadState {
     draining: bool,
 }
 
+impl OverloadState {
+    /// Live occupancy in budget units — read by the `slconform`
+    /// cross-check, which re-derives the tier via the shared relation.
+    pub fn occupancy(&self) -> u8 {
+        self.used
+    }
+
+    /// The pressure tier the admission policy currently reads (staged in
+    /// the sublayered shape, live in the fused one).
+    pub fn applied_tier(&self) -> u8 {
+        self.applied
+    }
+
+    /// Whether the host has begun quiescing.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+}
+
 impl Overload {
-    /// Pressure tier from live occupancy — the same thresholds as
-    /// `slmetrics::Pressure::from_occupancy` (50% / 75% / 90%).
+    /// Pressure tier from live occupancy — delegated to the shared
+    /// [`relation::pressure_tier`](crate::relation::pressure_tier), the
+    /// same thresholds as `slmetrics::Pressure::from_occupancy`
+    /// (50% / 75% / 90%) and the conformance harness's admission checks.
     fn tier(&self, used: u8) -> u8 {
-        let (u, b) = (used as u32, self.budget as u32);
-        if b == 0 {
-            0
-        } else if u * 10 >= b * 9 {
-            3
-        } else if u * 4 >= b * 3 {
-            2
-        } else if u * 2 >= b {
-            1
-        } else {
-            0
-        }
+        crate::relation::pressure_tier(used as u64, self.budget as u64)
     }
 
     /// Fused shape: every mutation is immediately visible to the

@@ -327,8 +327,18 @@ impl TcpStack {
         self.log.borrow_mut().r(RD, "rcv_buf");
         self.log.borrow_mut().w(FC, "rcv_wnd");
         let out: Vec<u8> = pcb.rcv_buf.drain(..).collect();
-        if !out.is_empty() {
-            // The window just opened; let the peer know.
+        // The window just opened; let the peer know — unless its FIN
+        // already arrived: no more data can come, and the gratuitous
+        // update would poke a peer whose TCB may already be deleted.
+        if !out.is_empty()
+            && !matches!(
+                pcb.state,
+                TcpState::CloseWait
+                    | TcpState::Closing
+                    | TcpState::LastAck
+                    | TcpState::TimeWait
+            )
+        {
             pcb.ack_pending = true;
         }
         out
@@ -466,6 +476,14 @@ impl TcpStack {
     /// Direct PCB access for tests and campaign invariants (read-only).
     pub fn pcb(&self, tuple: FourTuple) -> Option<&Pcb> {
         self.conns.get(&tuple)
+    }
+
+    /// The wire sequence number this connection expects next — what an
+    /// exact-sequence ("oracle") attacker would have to guess. Mirrors
+    /// `SlTcpStack::expected_wire_seq` so differential harnesses can
+    /// craft byte-precise injections against either stack.
+    pub fn expected_wire_seq(&self, tuple: FourTuple) -> Option<u32> {
+        self.conns.get(&tuple).map(|p| p.rcv_nxt)
     }
 
     /// Total bytes held across all connection buffers — the quantity the
@@ -1011,9 +1029,17 @@ impl TcpStack {
         if seg.rst() {
             self.log.borrow_mut().r(CONN, "rcv_nxt");
             if seg.seq == pcb.rcv_nxt {
-                // Exact-sequence RST: genuine abort.
+                // Exact-sequence RST: genuine abort. RFC 793 p.70: in
+                // CLOSING, LAST-ACK and TIME-WAIT the RST just deletes
+                // the TCB — both directions already shut down, so there
+                // is no "connection reset" signal to the user.
                 self.stats.conns_reset += 1;
-                self.errors.entry(tuple).or_insert(TransportError::Reset);
+                if !matches!(
+                    pcb.state,
+                    TcpState::Closing | TcpState::LastAck | TcpState::TimeWait
+                ) {
+                    self.errors.entry(tuple).or_insert(TransportError::Reset);
+                }
                 return; // pcb dropped
             }
             // In-window but not exact: a blind attacker's best guess.
