@@ -1,0 +1,91 @@
+//! E18 — Internet-in-a-box: topology campaigns across the netlayer fabric.
+//!
+//! Sweeps six topology profiles (two-hop baseline, rerouting diamond,
+//! flapping diamond, fan-in bottleneck, restarting NAT, long-haul
+//! partition) x both stacks x three seeds (36 runs). Every topology is
+//! gated by the static forwarding check before traffic; every run is
+//! judged on the universal invariants: terminal outcome, stream
+//! integrity, bounded retransmit memory, no deadlock, plus per-profile
+//! expectations (reroute observed, typed NAT abort + clean reconnect).
+//!
+//! `--smoke` runs a 3-profile x 1-seed subset (used by CI);
+//! `--json` prints only the JSON document (byte-identical per seed).
+//! Exits non-zero if any invariant is violated.
+
+use bench::markdown_table;
+use bench::topology::{run_sweep, summary_json, TopoProfile};
+use slconform::Kind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_only = args.iter().any(|a| a == "--json");
+
+    let (profiles, seeds): (Vec<TopoProfile>, Vec<u64>) = if smoke {
+        (
+            vec![
+                TopoProfile::DiamondReroute,
+                TopoProfile::NatRestart,
+                TopoProfile::LongHaulPartition,
+            ],
+            vec![1],
+        )
+    } else {
+        (TopoProfile::all().to_vec(), vec![1, 2, 3])
+    };
+    let outs = run_sweep(&profiles, &[Kind::Sub, Kind::Mono], &seeds);
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+
+    if json_only {
+        println!("{}", summary_json(&outs));
+    } else {
+        println!("# E18 — Internet-in-a-box: {} topology campaigns\n", outs.len());
+        println!(
+            "Profiles: {}. Seeds: {:?}. Both stacks, client keepalive 10s/2s/x5.\n",
+            profiles.iter().map(|p| p.name()).collect::<Vec<_>>().join(", "),
+            seeds
+        );
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                let errs: Vec<String> = o
+                    .client_errors
+                    .iter()
+                    .map(|e| e.map_or("-".into(), |e| format!("{e:?}")))
+                    .collect();
+                vec![
+                    o.profile.to_string(),
+                    o.stack.to_string(),
+                    o.seed.to_string(),
+                    format!(
+                        "{}/{}",
+                        o.delivered.iter().sum::<usize>(),
+                        o.payload * o.delivered.len().max(1)
+                    ),
+                    errs.join(","),
+                    o.reconnect_ok.map_or("-".into(), |b| b.to_string()),
+                    o.reroutes.to_string(),
+                    o.max_rtx.to_string(),
+                    format!("{:.1}", o.sim_ms as f64 / 1000.0),
+                    if o.ok() { "ok".into() } else { o.violations.join("; ") },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "profile", "stack", "seed", "delivered", "client errs", "reconnect",
+                    "reroutes", "max rtx", "sim s", "verdict"
+                ],
+                &rows
+            )
+        );
+        println!("\n## JSON summary\n\n```json\n{}\n```", summary_json(&outs));
+        println!("\n{} campaigns, {} invariant violations.", outs.len(), violations);
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

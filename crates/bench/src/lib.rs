@@ -8,6 +8,7 @@ pub mod chaos;
 pub mod conform;
 pub mod overload;
 pub mod scale;
+pub mod topology;
 
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
 use sublayer_core::shim::ShimStack;

@@ -65,6 +65,10 @@ pub struct RdStats {
 struct Flight {
     data: Vec<u8>,
     sent_at: Time,
+    /// When the segment was *first* transmitted (never touched by
+    /// retransmission, unlike `sent_at`) — the basis of oldest-segment
+    /// accounting during partitions.
+    first_sent: Time,
     retransmitted: bool,
     sacked: bool,
 }
@@ -74,6 +78,13 @@ const MIN_RTO: Dur = Dur(200_000_000);
 const MAX_RTO: Dur = Dur(60_000_000_000);
 /// Safety cap on outstanding segments (the *policy* window is OSR's).
 const MAX_IN_FLIGHT: usize = 1024;
+/// Hard cap on bytes parked in the retransmission buffer. During a long
+/// partition nothing is acked, so without this the application could keep
+/// pushing until `MAX_IN_FLIGHT` large segments sat in memory; with it,
+/// [`ReliableDelivery::can_accept`] goes false and backpressure propagates
+/// up through OSR to the writer. The cap may be overshot by at most one
+/// segment (the one accepted while just under it).
+pub const RTX_BYTES_CAP: usize = 256 * 1024;
 /// Window RD uses to classify inbound control sequences (RFC 5961): a
 /// wire sequence within this many bytes past `rcv_nxt` is "in window".
 const VALIDITY_WND: u32 = 64 * 1024;
@@ -99,6 +110,9 @@ pub struct ReliableDelivery {
     snd_una: u64,
     snd_nxt: u64,
     in_flight: BTreeMap<u64, Flight>,
+    /// Total payload bytes across `in_flight` (kept incrementally so the
+    /// memory-bound check is O(1)).
+    flight_bytes: usize,
     fin_off: Option<u64>,
     fin_sent_at: Option<Time>,
     fin_retransmitted: bool,
@@ -153,6 +167,7 @@ impl ReliableDelivery {
             snd_una: 0,
             snd_nxt: 0,
             in_flight: BTreeMap::new(),
+            flight_bytes: 0,
             fin_off: None,
             fin_sent_at: None,
             fin_retransmitted: false,
@@ -229,9 +244,14 @@ impl ReliableDelivery {
     // --- sender side ---
 
     /// May OSR push another segment? (Safety bound only — rate policy
-    /// lives in OSR.)
+    /// lives in OSR.) Bounded both by segment count and by
+    /// [`RTX_BYTES_CAP`] bytes, so an unreachable peer stalls the writer
+    /// instead of growing the retransmission buffer for as long as the
+    /// partition lasts.
     pub fn can_accept(&self) -> bool {
-        self.in_flight.len() < MAX_IN_FLIGHT && self.fin_off.is_none()
+        self.in_flight.len() < MAX_IN_FLIGHT
+            && self.flight_bytes < RTX_BYTES_CAP
+            && self.fin_off.is_none()
     }
 
     /// Bytes handed to us and not yet acknowledged.
@@ -241,7 +261,16 @@ impl ReliableDelivery {
 
     /// Bytes held in the retransmission buffer (memory-bound invariant).
     pub fn in_flight_bytes(&self) -> usize {
-        self.in_flight.values().map(|f| f.data.len()).sum()
+        self.flight_bytes
+    }
+
+    /// Age of the oldest byte still waiting for an ack, measured from its
+    /// *first* transmission. During a partition this grows linearly while
+    /// [`in_flight_bytes`](Self::in_flight_bytes) stays capped — the pair
+    /// is what the host's `ResourceBudget` accounting sees.
+    pub fn oldest_unacked_age(&self, now: Time) -> Option<Dur> {
+        let seg = self.in_flight.first_key_value().map(|(_, f)| f.first_sent);
+        seg.or(if self.fin_acked { None } else { self.fin_sent_at }).map(|t0| now.since(t0))
     }
 
     /// Accept a segment from OSR at the next offset; RD assigns sequence
@@ -253,9 +282,12 @@ impl ReliableDelivery {
         assert!(!data.is_empty());
         let off = self.snd_nxt;
         self.snd_nxt += data.len() as u64;
+        self.flight_bytes += data.len();
         self.outbox.push_back((Some(off), data.clone(), false));
-        self.in_flight
-            .insert(off, Flight { data, sent_at: now, retransmitted: false, sacked: false });
+        self.in_flight.insert(
+            off,
+            Flight { data, sent_at: now, first_sent: now, retransmitted: false, sacked: false },
+        );
         self.stats.segments_sent += 1;
         if self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rto);
@@ -354,6 +386,7 @@ impl ReliableDelivery {
                     .collect();
                 for off in acked {
                     let f = self.in_flight.remove(&off).unwrap();
+                    self.flight_bytes -= f.data.len();
                     if !f.retransmitted {
                         sample = Some(now.since(f.sent_at));
                     }

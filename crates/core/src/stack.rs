@@ -405,6 +405,25 @@ impl SlTcpStack {
         })
     }
 
+    /// Bytes currently pinned in the retransmit queue (bounded by
+    /// [`crate::rd::RTX_BYTES_CAP`] no matter how long the path stays
+    /// partitioned).
+    pub fn conn_rtx_bytes(&self, id: ConnId) -> usize {
+        self.conns
+            .get(&id)
+            .and_then(|c| c.rd.as_ref())
+            .map_or(0, |r| r.in_flight_bytes())
+    }
+
+    /// How long the oldest unacked segment has waited without cumulative
+    /// ack progress — the partition-age signal a host budget can act on.
+    pub fn conn_oldest_unacked(&self, id: ConnId, now: Time) -> Option<Dur> {
+        self.conns
+            .get(&id)
+            .and_then(|c| c.rd.as_ref())
+            .and_then(|r| r.oldest_unacked_age(now))
+    }
+
     /// Monotone progress counter for slow-drain detection (bytes delivered
     /// in order + bytes the peer acked); `0` before RD exists.
     pub fn conn_progress(&self, id: ConnId) -> u64 {
@@ -932,9 +951,10 @@ impl SlTcpStack {
     /// When the next keepalive action (probe or give-up) is due for `c`.
     fn keepalive_deadline(&self, c: &Connection) -> Option<Time> {
         let ka = self.config.keepalive?;
-        if c.cm.state() != CmState::Established || c.rd.is_none() {
+        if c.cm.state() != CmState::Established {
             return None;
         }
+        c.rd.as_ref()?;
         Some(c.last_rx + ka.idle + ka.interval.saturating_mul(c.ka_probes as u64))
     }
 
@@ -947,8 +967,15 @@ impl SlTcpStack {
         if now < due {
             return;
         }
-        if conn.ka_probes >= ka.max_probes {
-            // Unanswered probe budget spent: the peer is gone.
+        // Probes keep firing even with data in flight — they are cheap
+        // liveness chatter that refreshes the peer's own idle timer — but
+        // only an *idle* connection may abort on probe exhaustion. With
+        // data in flight RD's retry budget owns liveness; aborting on the
+        // (much smaller) probe budget would kill a merely-slow path (a
+        // reroute onto a longer RTT, or a partition shorter than the RTO
+        // budget) with a spurious PeerVanished.
+        if conn.ka_probes >= ka.max_probes && rd.bytes_unacked() == 0 {
+            // Unanswered probe budget spent on an idle connection: gone.
             conn.cm.abort(TransportError::PeerVanished);
         } else {
             // A connection that never sent data cannot be probed (there is

@@ -15,7 +15,13 @@
 //!
 //! [`topo`] builds whole router networks on `netsim` and carries the
 //! DV-vs-LS equivalence and failure-reconvergence experiments (E2).
+//!
+//! [`boxnet`] is the multi-hop "Internet in a box" for transport
+//! campaigns: statically-routed topologies (verified loop-free by
+//! `slverify` before traffic runs), scripted partition-triggered reroute,
+//! and a NAT middlebox with scriptable failure personalities.
 
+pub mod boxnet;
 pub mod dv;
 pub mod fib;
 pub mod ls;
@@ -25,6 +31,12 @@ pub mod routecomp;
 pub mod router;
 pub mod topo;
 
+pub use boxnet::{
+    box_host_addr, schedule_nat_wipe, shipped_topologies, topo_diamond, topo_fanin,
+    topo_line3, topo_long_haul, topo_nat_gateway, topo_random_connected, AddrPeek, BoxEdge,
+    BoxNet, BoxRouterStats, BoxTopo, HostSite, NatBox, NatCodec, NatStats, StaticRouter,
+    BOX_TTL, NAT_FIRST_PORT, NAT_INSIDE, NAT_OUTSIDE,
+};
 pub use dv::{DistanceVector, DvConfig};
 pub use fib::{Fib, Prefix};
 pub use ls::{LinkState, LsConfig, Lsp};

@@ -152,7 +152,16 @@ enum Event {
     Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
     Timer { node: NodeId, token: u64, id: TimerId, epoch: u64 },
     Admin(AdminOp),
+    /// Index into [`SimNet::hooks`]: a scheduled callback with full
+    /// simulator access ([`AdminOp`] is `Clone + Debug` data, so closures
+    /// cannot ride it).
+    Hook(usize),
 }
+
+/// A scheduled control-plane intervention needing full simulator access —
+/// e.g. installing reroute tables into router nodes once a partition is
+/// "detected", or wiping a middlebox's translation table.
+type Hook = Box<dyn FnOnce(&mut SimNet)>;
 
 struct Direction {
     injector: FaultInjector,
@@ -206,6 +215,9 @@ pub struct SimNet {
     factories: Vec<Option<NodeFactory>>,
     /// Restarts performed, per node.
     restarts: Vec<u64>,
+    /// Scheduled callbacks; each slot is taken (run at most once) when its
+    /// [`Event::Hook`] pops.
+    hooks: Vec<Option<Hook>>,
 }
 
 impl SimNet {
@@ -224,6 +236,7 @@ impl SimNet {
             node_epochs: Vec::new(),
             factories: Vec::new(),
             restarts: Vec::new(),
+            hooks: Vec::new(),
         }
     }
 
@@ -332,6 +345,19 @@ impl SimNet {
     /// Schedule an [`AdminOp`] to execute at simulated time `at`.
     pub fn schedule_admin(&mut self, at: Time, op: AdminOp) {
         self.queue.push(at.max(self.now), Event::Admin(op));
+    }
+
+    /// Schedule a callback with full simulator access to run at `at`,
+    /// ordered against deliveries/timers/admin ops like any other event.
+    /// This is the control-plane escape hatch the multi-hop topology layer
+    /// uses for partition-triggered reroute (install backup tables after a
+    /// detection delay) and middlebox state loss (wipe a NAT table) —
+    /// interventions that must mutate node state, which plain-data
+    /// [`AdminOp`]s cannot express.
+    pub fn schedule_call(&mut self, at: Time, f: impl FnOnce(&mut SimNet) + 'static) {
+        let idx = self.hooks.len();
+        self.hooks.push(Some(Box::new(f)));
+        self.queue.push(at.max(self.now), Event::Hook(idx));
     }
 
     /// Schedule a partition at `down_at` healed at `up_at`.
@@ -518,6 +544,13 @@ impl SimNet {
                     self.now = at;
                     self.events_processed += 1;
                     self.apply_admin(op);
+                }
+                Event::Hook(idx) => {
+                    self.now = at;
+                    self.events_processed += 1;
+                    if let Some(f) = self.hooks[idx].take() {
+                        f(self);
+                    }
                 }
                 Event::Deliver { node, port, frame } => {
                     self.now = at;
@@ -857,6 +890,26 @@ mod tests {
         // chain died with the restart; only the new chain ticks).
         let frames = net.node::<Count>(c).frames;
         assert_eq!(frames, 21, "beacons 0..10ms, restart tick, then 11..20ms");
+    }
+
+    #[test]
+    fn scheduled_call_runs_once_at_its_time_with_net_access() {
+        let mut net = SimNet::new(4);
+        let b = net.add_node(Box::new(Beacon { next: 0 }));
+        let c = net.add_node(Box::new(Count { frames: 0 }));
+        let link = net.connect(b, 0, c, 0, LinkParams::delay_only(Dur::ZERO));
+        // The hook partitions the link itself (full simulator access) and
+        // rewrites node state.
+        net.schedule_call(Time::ZERO + Dur::from_millis(10), move |net| {
+            net.set_link_up(link, false);
+            net.node_mut::<Count>(1).frames += 1000;
+        });
+        net.poll_all();
+        net.run_until(Time::ZERO + Dur::from_millis(20));
+        // 10 beacons arrived before the hook; everything after is dropped,
+        // and the hook's own mutation is visible.
+        assert_eq!(net.node::<Count>(c).frames, 10 + 1000);
+        assert!(!net.link_is_up(link));
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub mod artifact;
 pub mod diff;
 pub mod driver;
 pub mod golden;
+pub mod multihop;
+pub mod natcodec;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
@@ -38,5 +40,7 @@ pub use driver::{
     pattern, run_kind, run_scenario, run_scenario_mutated, AppOp, BugStack, ConformStack,
     EndpointOut, Kind, Mutation, RunOut,
 };
+pub use multihop::{diff_multihop, run_multihop, MhOut, MhScenario};
+pub use natcodec::{nat_codec, peek_for, peek_mono, peek_sub, MonoNatCodec, SubNatCodec};
 pub use scenario::{corpus, Ev, FaultKind, LinkSpec, RstOff, Scenario, Side};
 pub use wire::{RawSeg, Wire};

@@ -118,6 +118,16 @@ pub trait HostStack: Stack {
     /// New flows refused statelessly (RST) because the transport's accept
     /// gate was closed by pressure or drain.
     fn stack_pressure_refusals(&self) -> u64;
+    /// Bytes pinned in this connection's retransmit queue. Both stacks
+    /// bound this (`RTX_BYTES_CAP` / `SND_BUF_CAP`), so a partition holds
+    /// memory flat instead of growing it with the blocked sender.
+    fn conn_rtx_bytes(&self, id: Self::ConnId) -> usize;
+    /// Age of the oldest unacked segment — how long this connection has
+    /// gone without cumulative ack progress. The partition-age signal the
+    /// host's [`ResourceBudget`](crate::ResourceBudget) reads to pick
+    /// eviction victims: under memory pressure the flow stuck longest
+    /// behind a dead path is the one to shed.
+    fn conn_oldest_unacked(&self, id: Self::ConnId, now: Time) -> Option<netsim::Dur>;
 }
 
 impl HostStack for SlTcpStack {
@@ -255,6 +265,12 @@ impl HostStack for SlTcpStack {
     fn stack_pressure_refusals(&self) -> u64 {
         self.stats.pressure_refusals
     }
+    fn conn_rtx_bytes(&self, id: ConnId) -> usize {
+        SlTcpStack::conn_rtx_bytes(self, id)
+    }
+    fn conn_oldest_unacked(&self, id: ConnId, now: Time) -> Option<netsim::Dur> {
+        SlTcpStack::conn_oldest_unacked(self, id, now)
+    }
 }
 
 impl HostStack for TcpStack {
@@ -379,5 +395,11 @@ impl HostStack for TcpStack {
     }
     fn stack_pressure_refusals(&self) -> u64 {
         self.stats.pressure_refusals
+    }
+    fn conn_rtx_bytes(&self, id: FourTuple) -> usize {
+        TcpStack::conn_rtx_bytes(self, id)
+    }
+    fn conn_oldest_unacked(&self, id: FourTuple, now: Time) -> Option<netsim::Dur> {
+        TcpStack::conn_oldest_unacked(self, id, now)
     }
 }

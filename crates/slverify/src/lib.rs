@@ -23,10 +23,14 @@
 //!   pressure signal is allowed to go one admission too stale.
 
 pub mod checker;
+pub mod forwarding;
 pub mod models;
 pub mod relation;
 
 pub use checker::{check, CheckResult, Model, Trace};
+pub use forwarding::{
+    check_forwarding, check_forwarding_to, ForwardDefect, ForwardReport, ForwardSpec,
+};
 pub use models::{AltBit, Combined, Handshake, Overload, RstAttack, SlidingWindow};
 pub use relation::{
     classify_seq, pressure_tier, rfc5961_response, transition_label, RespClass, SegClass,

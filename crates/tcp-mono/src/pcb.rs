@@ -119,6 +119,14 @@ pub struct Pcb {
     /// Unanswered keepalive probes since `last_rx`.
     pub ka_probes: u32,
 
+    /// When the oldest currently-unacked data last made cumulative-ack
+    /// progress (armed when data goes outstanding, re-anchored on every
+    /// ack advance, cleared when all acked). During a partition this ages
+    /// linearly while `snd_buf` stays capped at [`SND_BUF_CAP`]
+    /// (`crate::stack::SND_BUF_CAP`) — the oldest-segment accounting the
+    /// host's resource budget reads.
+    pub una_since: Option<Time>,
+
     pub mss: u32,
     /// Set when we owe the peer an ACK.
     pub ack_pending: bool,
@@ -165,6 +173,7 @@ impl Pcb {
             retries: 0,
             last_rx: Time::ZERO,
             ka_probes: 0,
+            una_since: None,
             mss: DEFAULT_MSS as u32,
             ack_pending: false,
             delayed_ack_deadline: None,
@@ -184,6 +193,12 @@ impl Pcb {
     /// Has every byte (and FIN, if queued) been acknowledged?
     pub fn all_acked(&self) -> bool {
         self.snd_buf.is_empty() && self.snd_una == self.snd_nxt
+    }
+
+    /// How long the oldest unacked data has gone without ack progress.
+    /// `None` when nothing is outstanding.
+    pub fn oldest_unacked_age(&self, now: Time) -> Option<Dur> {
+        self.una_since.map(|t| now.since(t))
     }
 }
 

@@ -185,6 +185,21 @@ impl TcpStack {
         })
     }
 
+    /// Bytes currently pinned awaiting retransmission (the unacked prefix
+    /// of `snd_buf`, bounded by [`SND_BUF_CAP`] no matter how long the
+    /// path stays partitioned).
+    pub fn conn_rtx_bytes(&self, tuple: FourTuple) -> usize {
+        self.conns
+            .get(&tuple)
+            .map_or(0, |p| (p.flight_size() as usize).min(p.snd_buf.len()))
+    }
+
+    /// How long the oldest unacked data has waited without cumulative ack
+    /// progress — the partition-age signal a host budget can act on.
+    pub fn conn_oldest_unacked(&self, tuple: FourTuple, now: Time) -> Option<Dur> {
+        self.conns.get(&tuple).and_then(|p| p.oldest_unacked_age(now))
+    }
+
     /// Monotone progress counter for slow-drain detection: in-order bytes
     /// received plus bytes the peer has cumulatively acknowledged.
     pub fn conn_progress(&self, tuple: FourTuple) -> u64 {
@@ -663,6 +678,9 @@ impl TcpStack {
                 self.log.borrow_mut().w(TIMERS, "rto_deadline");
                 pcb.rto_deadline = Some(now + pcb.rto);
             }
+            if pcb.una_since.is_none() {
+                pcb.una_since = Some(now);
+            }
             pcb.ack_pending = false;
             pcb.delayed_ack_deadline = None;
             self.push(seg);
@@ -688,6 +706,9 @@ impl TcpStack {
             pcb.snd_max = seq::max(pcb.snd_max, pcb.snd_nxt);
             if pcb.rto_deadline.is_none() {
                 pcb.rto_deadline = Some(now + pcb.rto);
+            }
+            if pcb.una_since.is_none() {
+                pcb.una_since = Some(now);
             }
             pcb.ack_pending = false;
             pcb.delayed_ack_deadline = None;
@@ -1136,6 +1157,11 @@ impl TcpStack {
                 pcb.snd_nxt = pcb.snd_una;
             }
             pcb.retries = 0;
+            pcb.una_since = if pcb.flight_size() == 0 && pcb.snd_buf.is_empty() {
+                None
+            } else {
+                Some(now)
+            };
 
             // Congestion control: NewReno.
             if pcb.in_fast_recovery {
@@ -1432,14 +1458,21 @@ impl TcpStack {
                 }
             }
 
-            // ---- keepalive: probe an idle peer, abort a vanished one ----
+            // ---- keepalive: probe a silent peer, abort a vanished one ----
+            // Probes keep firing even with data in flight (they refresh the
+            // peer's idle timer), but only an *idle* connection may abort on
+            // probe exhaustion: while data is in flight the RTO retry budget
+            // owns liveness, and counting a partition's silence against the
+            // (much smaller) probe budget would abort PeerVanished long
+            // before retransmission gives up — spuriously on a reroute to a
+            // longer RTT, or a partition shorter than the RTO budget.
             if let Some(ka) = self.keepalive {
                 if pcb.state == TcpState::Established {
                     let due = pcb.last_rx
                         + ka.idle
                         + ka.interval.saturating_mul(pcb.ka_probes as u64);
                     if now >= due {
-                        if pcb.ka_probes >= ka.max_probes {
+                        if pcb.ka_probes >= ka.max_probes && pcb.flight_size() == 0 {
                             self.log.borrow_mut().w(TIMERS, "state");
                             self.errors
                                 .entry(tuple)
