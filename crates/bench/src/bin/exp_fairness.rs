@@ -1,0 +1,90 @@
+//! E19 — Congestion survival: fairness, collapse and bufferbloat under
+//! fan-in overload.
+//!
+//! Sweeps the shared window-dynamics controllers (NewReno, CUBIC) x both
+//! stacks x three seeds over `topo_fanin`: three greedy flows offering
+//! 4x the 2 Mbps bottleneck's capacity for a fixed 20 s horizon. Gated
+//! invariants: no congestion collapse (aggregate goodput >= 70% of
+//! capacity), stream integrity, no spurious abort, no starved flow.
+//! Reported: Jain fairness index (permille), peak bottleneck queue delay
+//! (bufferbloat), absorbed CC loss/recovery counters.
+//!
+//! `--smoke` runs NewReno x both stacks x 1 seed (used by CI);
+//! `--json` prints only the JSON document (byte-identical per seed).
+//! Exits non-zero if any invariant is violated.
+
+use bench::fairness::{run_sweep, summary_json, CONTROLLERS};
+use bench::markdown_table;
+use slconform::Kind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_only = args.iter().any(|a| a == "--json");
+
+    let (controllers, seeds): (Vec<&'static str>, Vec<u64>) = if smoke {
+        (vec!["newreno"], vec![1])
+    } else {
+        (CONTROLLERS.to_vec(), vec![1, 2, 3])
+    };
+    let outs = run_sweep(&controllers, &[Kind::Sub, Kind::Mono], &seeds);
+    let violations: usize = outs.iter().map(|o| o.violations.len()).sum();
+
+    if json_only {
+        println!("{}", summary_json(&outs));
+    } else {
+        println!("# E19 — Congestion survival: {} fairness campaigns\n", outs.len());
+        println!(
+            "Controllers: {}. Seeds: {:?}. {} greedy flows at {}x offered load \
+             over the {} Mbps fan-in bottleneck, {} s horizon.\n",
+            controllers.join(", "),
+            seeds,
+            bench::fairness::FLOWS,
+            bench::fairness::OVERLOAD,
+            bench::fairness::BOTTLENECK_BPS / 1_000_000,
+            bench::fairness::HORIZON_SECS,
+        );
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.cc.to_string(),
+                    o.stack.to_string(),
+                    o.seed.to_string(),
+                    format!("{:?}", o.delivered),
+                    format!("{}%", o.utilization_pct),
+                    format!("{:.3}", o.jain_permille as f64 / 1000.0),
+                    o.peak_queue_ms.to_string(),
+                    o.dupack_losses.to_string(),
+                    o.fast_recoveries.to_string(),
+                    o.rto_resets.to_string(),
+                    if o.ok() { "ok".into() } else { o.violations.join("; ") },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "cc", "stack", "seed", "delivered", "util", "jain", "peak q ms",
+                    "dupack loss", "fast rec", "rto", "verdict"
+                ],
+                &rows
+            )
+        );
+        println!("\n## JSON summary\n\n```json\n{}\n```", summary_json(&outs));
+        println!("\n{} campaigns, {} invariant violations.", outs.len(), violations);
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_fairness.json", format!("{}\n", summary_json(&outs)))
+            .expect("write BENCH_fairness.json");
+        if !json_only {
+            println!("\nwrote BENCH_fairness.json");
+        }
+    }
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //! checker).
 
 use bench::markdown_table;
-use slverify::{check, AltBit, Combined, Handshake, RstAttack, SlidingWindow};
+use slverify::{check, AltBit, Combined, CongCtrl, Handshake, RstAttack, SlidingWindow};
 use slverify::models::FlowControl;
 
 fn rst_model(defended: bool, sublayered: bool) -> RstAttack {
@@ -97,6 +97,31 @@ fn main() {
          reset counterexample in {} steps**: {:?} — while the challenge-ACK \
          discipline above is proved safe against every below-threshold \
          guess (E14's model-checked core).\n",
+        v.actions.len(),
+        v.actions
+    );
+
+    println!("## Congestion-control contract (E19): real implementations, checked\n");
+    let cc_rows: Vec<Vec<String>> = slcc::SHIPPED
+        .iter()
+        .map(|name| {
+            let r = check(&CongCtrl::shipped(name), 2_000_000);
+            row(&format!("CongCtrl[{name}] (assume/guarantee, 8 ticks)"), &r)
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["model", "states", "transitions", "depth", "verdict"], &cc_rows)
+    );
+    let buggy = check(&CongCtrl::buggy(), 2_000_000);
+    let v = buggy.violation.expect("BuggyDeflate must starve");
+    println!(
+        "\nUnlike the protocol models above, `CongCtrl` drives the **shipped** \
+         `slcc::RateController` implementations — the exact objects both \
+         stacks run — through every admissible congestion-signal schedule. \
+         The seeded `BuggyDeflate` controller (partial-ack deflation with no \
+         floor) is starved to a zero window in a **{}-step counterexample**: \
+         {:?}.\n",
         v.actions.len(),
         v.actions
     );

@@ -298,8 +298,14 @@ fn drive<H: TopoStack>(
 }
 
 /// Check every delivered stream is an intact prefix of exactly one client
-/// pattern; return delivered counts in stream order.
-fn attribute(got: &[Vec<u8>], payloads: &[Vec<u8>], violations: &mut Vec<String>) -> Vec<usize> {
+/// pattern; return delivered counts in stream order. Shared with the
+/// fairness campaign ([`crate::fairness`]), whose fan-in runs need the
+/// same misdelivery detection.
+pub(crate) fn attribute(
+    got: &[Vec<u8>],
+    payloads: &[Vec<u8>],
+    violations: &mut Vec<String>,
+) -> Vec<usize> {
     let mut delivered = vec![0usize; payloads.len()];
     let mut claimed = vec![false; payloads.len()];
     for (slot, bytes) in got.iter().enumerate() {
@@ -525,7 +531,7 @@ fn check_universal<H: TopoStack>(profile: TopoProfile, out: &mut TopoOutcome, id
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

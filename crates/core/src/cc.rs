@@ -2,357 +2,19 @@
 //!
 //! "If each sublayer adheres to its API, one could in principle seamlessly
 //! replace congestion control (by say a rate-based protocol)" (§3, test
-//! T3). [`RateController`] is that API: it consumes the summarized
-//! congestion signals from RD and answers one question — how many bytes
-//! may be outstanding right now. Four interchangeable controllers are
-//! provided; experiment E8 swaps them without touching any other sublayer.
+//! T3). The controllers themselves now live in the leaf crate [`slcc`]
+//! so that `tcp-mono` selects from the **same** shipped set (the swap
+//! claim, cashed in for the monolith too); this module re-exports the
+//! whole surface for API compatibility. Experiment E8 swaps controllers
+//! without touching any other sublayer, and `slverify::CongCtrl` checks
+//! every shipped controller against the contract stated in `slcc`.
 
-use crate::signals::CongSignal;
-use netsim::Time;
+pub use slcc::{
+    make, BuggyDeflate, CcError, Cubic, FixedWindow, NewReno, RateBased, RateController,
+    ALLOWANCE_FLOOR, MSS, SHIPPED,
+};
 
-/// The congestion-control interface inside OSR.
-pub trait RateController {
-    fn name(&self) -> &'static str;
-
-    /// Feed one summarized signal from RD.
-    fn on_signal(&mut self, now: Time, sig: CongSignal);
-
-    /// Current allowance: how many bytes may be in flight.
-    /// Window-based controllers return their cwnd; rate-based controllers
-    /// convert their rate into an allowance via pacing tokens.
-    fn allowance(&self, now: Time) -> u64;
-
-    /// For paced controllers: when the allowance next grows. `None` for
-    /// pure window controllers.
-    fn poll_deadline(&self, _now: Time) -> Option<Time> {
-        None
-    }
-}
-
-const MSS: u64 = 1000;
-
-/// Classic Reno: slow start, congestion avoidance, halve on loss.
-pub struct Reno {
-    cwnd: u64,
-    ssthresh: u64,
-}
-
-impl Default for Reno {
-    fn default() -> Self {
-        Reno { cwnd: 2 * MSS, ssthresh: 64 * 1024 }
-    }
-}
-
-impl Reno {
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl RateController for Reno {
-    fn name(&self) -> &'static str {
-        "reno"
-    }
-
-    fn on_signal(&mut self, _now: Time, sig: CongSignal) {
-        match sig {
-            CongSignal::Acked { bytes, .. } => {
-                if self.cwnd < self.ssthresh {
-                    self.cwnd += (bytes as u64).min(MSS);
-                } else {
-                    self.cwnd += (MSS * MSS / self.cwnd).max(1);
-                }
-            }
-            CongSignal::DupAckLoss | CongSignal::EcnEcho => {
-                self.ssthresh = (self.cwnd / 2).max(2 * MSS);
-                self.cwnd = self.ssthresh;
-            }
-            CongSignal::TimeoutLoss => {
-                self.ssthresh = (self.cwnd / 2).max(2 * MSS);
-                self.cwnd = MSS;
-            }
-        }
-    }
-
-    fn allowance(&self, _now: Time) -> u64 {
-        self.cwnd
-    }
-}
-
-/// CUBIC (simplified, no fast-convergence heuristics): the window grows as
-/// a cubic function of time since the last loss, anchored at the window
-/// just before the loss.
-pub struct Cubic {
-    cwnd: f64,
-    w_max: f64,
-    epoch_start: Option<Time>,
-    ssthresh: f64,
-    k: f64,
-}
-
-impl Default for Cubic {
-    fn default() -> Self {
-        Cubic {
-            cwnd: 2.0 * MSS as f64,
-            w_max: 0.0,
-            epoch_start: None,
-            ssthresh: 64.0 * 1024.0,
-            k: 0.0,
-        }
-    }
-}
-
-impl Cubic {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    const C: f64 = 0.4; // in MSS units per s^3
-    const BETA: f64 = 0.7;
-}
-
-impl RateController for Cubic {
-    fn name(&self) -> &'static str {
-        "cubic"
-    }
-
-    fn on_signal(&mut self, now: Time, sig: CongSignal) {
-        match sig {
-            CongSignal::Acked { bytes, .. } => {
-                if self.cwnd < self.ssthresh {
-                    self.cwnd += (bytes as f64).min(MSS as f64);
-                    return;
-                }
-                let epoch = *self.epoch_start.get_or_insert(now);
-                let t = now.since(epoch).secs_f64();
-                // W(t) = C (t - K)^3 + w_max, in MSS units.
-                let target =
-                    (Self::C * (t - self.k).powi(3) + self.w_max / MSS as f64) * MSS as f64;
-                if target > self.cwnd {
-                    self.cwnd = target.min(self.cwnd * 1.5);
-                } else {
-                    // TCP-friendly floor: at least Reno-style linear growth.
-                    self.cwnd += MSS as f64 * MSS as f64 / self.cwnd;
-                }
-            }
-            CongSignal::DupAckLoss | CongSignal::EcnEcho => {
-                self.w_max = self.cwnd;
-                self.cwnd = (self.cwnd * Self::BETA).max(2.0 * MSS as f64);
-                self.ssthresh = self.cwnd;
-                self.epoch_start = None;
-                self.k = ((self.w_max * (1.0 - Self::BETA)) / (Self::C * MSS as f64)).cbrt();
-            }
-            CongSignal::TimeoutLoss => {
-                self.w_max = self.cwnd;
-                self.ssthresh = (self.cwnd / 2.0).max(2.0 * MSS as f64);
-                self.cwnd = MSS as f64;
-                self.epoch_start = None;
-                self.k = ((self.w_max * (1.0 - Self::BETA)) / (Self::C * MSS as f64)).cbrt();
-            }
-        }
-    }
-
-    fn allowance(&self, _now: Time) -> u64 {
-        self.cwnd as u64
-    }
-}
-
-/// A rate-based controller: maintains an explicit sending *rate* with
-/// AIMD, and converts it to an in-flight allowance as `rate × RTT`
-/// (estimated from the Acked signals) plus a small burst allowance — the
-/// standard construction for rate-based transports. Demonstrates the
-/// paper's "replace congestion control by say a rate-based protocol".
-pub struct RateBased {
-    rate_bps: f64,
-    srtt_s: f64,
-    min_rate: f64,
-    max_rate: f64,
-}
-
-impl RateBased {
-    pub fn new(initial_bps: f64) -> RateBased {
-        RateBased {
-            rate_bps: initial_bps,
-            srtt_s: 0.1, // prior until the first sample
-            min_rate: 64_000.0,
-            max_rate: 1e10,
-        }
-    }
-
-    /// The current rate in bits/second (visible for experiments).
-    pub fn rate_bps(&self) -> f64 {
-        self.rate_bps
-    }
-}
-
-impl RateController for RateBased {
-    fn name(&self) -> &'static str {
-        "rate-based"
-    }
-
-    fn on_signal(&mut self, _now: Time, sig: CongSignal) {
-        match sig {
-            CongSignal::Acked { bytes, rtt } => {
-                if let Some(r) = rtt {
-                    let s = r.secs_f64().max(1e-6);
-                    self.srtt_s = 0.875 * self.srtt_s + 0.125 * s;
-                }
-                // Additive increase proportional to progress.
-                self.rate_bps = (self.rate_bps + bytes as f64 * 8.0 * 0.05).min(self.max_rate);
-            }
-            CongSignal::DupAckLoss | CongSignal::EcnEcho => {
-                self.rate_bps = (self.rate_bps * 0.7).max(self.min_rate);
-            }
-            CongSignal::TimeoutLoss => {
-                self.rate_bps = (self.rate_bps * 0.5).max(self.min_rate);
-            }
-        }
-    }
-
-    fn allowance(&self, _now: Time) -> u64 {
-        // rate x RTT worth of bytes, plus one MSS of burst.
-        (self.rate_bps / 8.0 * self.srtt_s) as u64 + MSS
-    }
-}
-
-/// A fixed window: the null controller (useful as an ablation baseline).
-pub struct FixedWindow(pub u64);
-
-impl RateController for FixedWindow {
-    fn name(&self) -> &'static str {
-        "fixed-window"
-    }
-    fn on_signal(&mut self, _: Time, _: CongSignal) {}
-    fn allowance(&self, _: Time) -> u64 {
-        self.0
-    }
-}
-
-/// Factory used by stack configuration and the experiments.
-pub fn make(name: &str) -> Box<dyn RateController> {
-    match name {
-        "reno" => Box::new(Reno::new()),
-        "cubic" => Box::new(Cubic::new()),
-        "rate-based" => Box::new(RateBased::new(1_000_000.0)),
-        "fixed-window" => Box::new(FixedWindow(16 * 1000)),
-        other => panic!("unknown rate controller {other:?}"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use netsim::Dur;
-
-    fn t(ms: u64) -> Time {
-        Time::ZERO + Dur::from_millis(ms)
-    }
-
-    #[test]
-    fn reno_slow_start_doubles_per_window() {
-        let mut r = Reno::new();
-        let w0 = r.allowance(t(0));
-        r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
-        r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
-        assert_eq!(r.allowance(t(1)), w0 + 2000);
-    }
-
-    #[test]
-    fn reno_halves_on_dupack_collapses_on_timeout() {
-        let mut r = Reno::new();
-        for _ in 0..30 {
-            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        let big = r.allowance(t(1));
-        r.on_signal(t(2), CongSignal::DupAckLoss);
-        let halved = r.allowance(t(2));
-        assert!(halved <= big / 2 + 1000 && halved < big);
-        r.on_signal(t(3), CongSignal::TimeoutLoss);
-        assert_eq!(r.allowance(t(3)), 1000);
-    }
-
-    #[test]
-    fn reno_congestion_avoidance_is_linearish() {
-        let mut r = Reno::new();
-        r.on_signal(t(1), CongSignal::DupAckLoss); // enter CA at ssthresh
-        let w0 = r.allowance(t(1));
-        for _ in 0..10 {
-            r.on_signal(t(2), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        let w1 = r.allowance(t(2));
-        assert!(w1 > w0 && w1 < w0 + 10 * 1000, "CA grows sub-linearly: {w0} -> {w1}");
-    }
-
-    #[test]
-    fn cubic_recovers_toward_wmax() {
-        let mut c = Cubic::new();
-        for _ in 0..60 {
-            c.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        let before = c.allowance(t(1));
-        c.on_signal(t(2), CongSignal::DupAckLoss);
-        let after_loss = c.allowance(t(2));
-        assert!(after_loss < before);
-        // Feed acks over simulated seconds; cubic should climb back.
-        for ms in 0..2000 {
-            c.on_signal(t(3 + ms), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        assert!(c.allowance(t(2100)) > after_loss);
-    }
-
-    #[test]
-    fn rate_based_window_is_rate_times_rtt() {
-        let mut r = RateBased::new(8_000_000.0); // 1 MB/s
-        // Feed an RTT sample of 100ms repeatedly: window ~ 100KB.
-        for _ in 0..200 {
-            r.on_signal(t(1), CongSignal::Acked { bytes: 0, rtt: Some(Dur::from_millis(100)) });
-        }
-        let w = r.allowance(t(1));
-        assert!((90_000..=140_000).contains(&w), "window {w}");
-    }
-
-    #[test]
-    fn rate_based_aimd_on_rate() {
-        let mut r = RateBased::new(8_000_000.0);
-        r.on_signal(t(1), CongSignal::TimeoutLoss);
-        let slowed = r.rate_bps();
-        assert!((slowed - 4_000_000.0).abs() < 1.0);
-        for _ in 0..100 {
-            r.on_signal(t(2), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        assert!(r.rate_bps() > slowed);
-    }
-
-    #[test]
-    fn rate_based_shrinks_allowance_on_loss() {
-        let mut r = RateBased::new(8_000_000.0);
-        let before = r.allowance(t(0));
-        r.on_signal(t(1), CongSignal::DupAckLoss);
-        assert!(r.allowance(t(1)) < before);
-    }
-
-    #[test]
-    fn fixed_window_never_moves() {
-        let mut f = FixedWindow(5000);
-        f.on_signal(t(1), CongSignal::TimeoutLoss);
-        assert_eq!(f.allowance(t(9)), 5000);
-    }
-
-    #[test]
-    fn factory_knows_all_names() {
-        for n in ["reno", "cubic", "rate-based", "fixed-window"] {
-            assert_eq!(make(n).name(), n);
-        }
-    }
-
-    #[test]
-    fn ecn_treated_as_mild_loss() {
-        let mut r = Reno::new();
-        for _ in 0..30 {
-            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
-        }
-        let before = r.allowance(t(1));
-        r.on_signal(t(2), CongSignal::EcnEcho);
-        assert!(r.allowance(t(2)) < before);
-    }
-}
+/// The prior name for the shipped loss-halving controller. The shipped
+/// behavior is NewReno fast recovery (RFC 6582); `make("reno")` still
+/// works as an alias.
+pub type Reno = NewReno;

@@ -86,6 +86,9 @@ pub struct Osr {
     pressure: Pressure,
 
     pub stats: OsrStats,
+    /// CC observability: window samples and loss/recovery event counts,
+    /// in the shared `slmetrics` shape both stacks fill (E19).
+    pub cc: slmetrics::CcCounters,
     log: SharedLog,
 }
 
@@ -107,6 +110,7 @@ impl Osr {
             window_update_pending: false,
             pressure: Pressure::Nominal,
             stats: OsrStats::default(),
+            cc: slmetrics::CcCounters::default(),
             log,
         }
     }
@@ -230,10 +234,37 @@ impl Osr {
     pub fn on_signals(&mut self, now: Time, signals: &[CongSignal]) {
         self.log.borrow_mut().w("osr", "cwnd");
         for &sig in signals {
-            if let CongSignal::Acked { bytes, .. } = sig {
-                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(bytes as u64);
+            // Every ack-bearing variant releases flight, whatever its
+            // recovery classification.
+            match sig {
+                CongSignal::Acked { bytes, .. }
+                | CongSignal::PartialAck { bytes }
+                | CongSignal::FullAck { bytes, .. } => {
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(bytes as u64);
+                }
+                _ => {}
             }
+            match sig {
+                CongSignal::DupAckLoss => {
+                    self.cc.dupack_losses = self.cc.dupack_losses.saturating_add(1)
+                }
+                CongSignal::PartialAck { .. } => {
+                    self.cc.partial_acks = self.cc.partial_acks.saturating_add(1)
+                }
+                CongSignal::TimeoutLoss => {
+                    self.cc.rto_resets = self.cc.rto_resets.saturating_add(1)
+                }
+                CongSignal::EcnEcho => {
+                    self.cc.ecn_signals = self.cc.ecn_signals.saturating_add(1)
+                }
+                _ => {}
+            }
+            let was_in_recovery = self.rate.in_recovery();
             self.rate.on_signal(now, sig);
+            if !was_in_recovery && self.rate.in_recovery() {
+                self.cc.fast_recoveries = self.cc.fast_recoveries.saturating_add(1);
+            }
+            self.cc.sample(self.rate.allowance(now), self.rate.ssthresh());
         }
     }
 

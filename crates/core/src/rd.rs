@@ -397,6 +397,7 @@ impl ReliableDelivery {
                 if let Some(s) = sample {
                     self.rtt_sample(s);
                 }
+                let was_in_recovery = self.in_recovery;
                 if self.in_recovery {
                     if ack >= self.recover {
                         self.in_recovery = false;
@@ -420,9 +421,15 @@ impl ReliableDelivery {
                 let data_bytes = bytes.saturating_sub(
                     self.fin_off.map_or(0, |f| u32::from(ack > f)),
                 );
-                self.signals.push_back(CongSignal::Acked {
-                    bytes: data_bytes,
-                    rtt: sample,
+                // RD owns the recovery point; the controller only sees
+                // the classification: plain progress, one more hole
+                // (partial ack), or episode-closing full ack.
+                self.signals.push_back(if !was_in_recovery {
+                    CongSignal::Acked { bytes: data_bytes, rtt: sample }
+                } else if self.in_recovery {
+                    CongSignal::PartialAck { bytes: data_bytes }
+                } else {
+                    CongSignal::FullAck { bytes: data_bytes, rtt: sample }
                 });
                 self.rto_deadline =
                     if self.all_acked() { None } else { Some(now + self.rto) };
@@ -440,6 +447,10 @@ impl ReliableDelivery {
                     self.recover = self.snd_nxt;
                     self.retransmit_first_unacked(now);
                     self.signals.push_back(CongSignal::DupAckLoss);
+                } else if self.dupacks > 3 && self.in_recovery {
+                    // Further dup acks mean segments left the pipe —
+                    // NewReno window inflation.
+                    self.signals.push_back(CongSignal::DupAck);
                 }
             }
             // SACK: mark covered segments so retransmission skips them.
@@ -923,8 +934,10 @@ mod tests {
         let d = r.poll_deadline().unwrap();
         r.on_tick(d); // retransmitted
         r.on_packet(t(5000), &peer_data(0, &[], Some(100)), false);
+        // The ack closes the RTO-recovery episode (FullAck); Karn's rule
+        // still forbids an RTT sample from the retransmitted segment.
         match r.take_signals().last() {
-            Some(CongSignal::Acked { rtt, .. }) => assert_eq!(*rtt, None),
+            Some(CongSignal::FullAck { rtt, .. }) => assert_eq!(*rtt, None),
             other => panic!("{other:?}"),
         }
     }

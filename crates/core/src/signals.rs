@@ -6,8 +6,6 @@
 //! that cross the boundary — OSR never sees sequence numbers, and RD never
 //! sees the congestion window.
 
-use netsim::Dur;
-
 /// RD's classification of an inbound control packet's sequence number,
 /// derived by the *stack* (like the `handshake_ack` boolean) so CM never
 /// reads RD's bits. This is the cross-sublayer signal RFC 5961's RST
@@ -24,17 +22,8 @@ pub enum SeqValidity {
     Outside,
 }
 
-/// A congestion/progress signal summarized by RD for OSR.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CongSignal {
-    /// New data acknowledged; `rtt` present when Karn's rule allows a
-    /// sample.
-    Acked { bytes: u32, rtt: Option<Dur> },
-    /// Loss inferred from duplicate acks (mild: fast retransmit handled
-    /// it).
-    DupAckLoss,
-    /// Loss inferred from retransmission timeout (severe).
-    TimeoutLoss,
-    /// The peer echoed an ECN mark.
-    EcnEcho,
-}
+/// A congestion/progress signal summarized by RD for OSR. The enum itself
+/// lives in the shared `slcc` crate (both stacks feed the same signals to
+/// the same controllers); re-exported here because this boundary — RD
+/// summarizes, OSR consumes — is where the paper places it.
+pub use slcc::CongSignal;

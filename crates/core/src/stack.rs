@@ -68,7 +68,7 @@ impl Default for SlConfig {
     fn default() -> Self {
         SlConfig {
             cm_scheme: CmScheme::ThreeWay,
-            cc: "reno",
+            cc: "newreno",
             isn: "clock",
             use_sack: true,
             keepalive: None,
@@ -164,6 +164,10 @@ pub struct SlTcpStack {
     conns: HashMap<ConnId, Connection>,
     isn_gen: Box<dyn IsnGenerator>,
     config: SlConfig,
+    /// The configured rate controller, validated once at construction and
+    /// cloned into each new connection's OSR — so a bad controller name is
+    /// a typed error before any packet moves, never a panic mid-connect.
+    cc_template: Box<dyn cc::RateController>,
     /// Terminal failures, surviving connection removal so the application
     /// can learn *why* a connection died (graceful degradation: an abort
     /// is always reported, never a silent hang).
@@ -183,12 +187,24 @@ pub struct SlTcpStack {
 }
 
 impl SlTcpStack {
+    /// Construct with a known-good static config; panics if the config
+    /// names an unknown controller. Input-driven configs should use
+    /// [`SlTcpStack::try_new`].
     pub fn new(addr: u32, config: SlConfig, log: SharedLog) -> SlTcpStack {
-        SlTcpStack {
+        Self::try_new(addr, config, log).expect("invalid stack config")
+    }
+
+    /// Construct, validating the configuration: an unknown congestion
+    /// controller name surfaces here as a typed error, at stack
+    /// construction, rather than as a panic on the first connect.
+    pub fn try_new(addr: u32, config: SlConfig, log: SharedLog) -> Result<SlTcpStack, cc::CcError> {
+        let cc_template = cc::make(config.cc)?;
+        Ok(SlTcpStack {
             dm: Demux::new(addr, log.clone()),
             conns: HashMap::new(),
             isn_gen: isn::make(config.isn),
             config,
+            cc_template,
             errors: HashMap::new(),
             outbox: VecDeque::new(),
             pressure: Pressure::Nominal,
@@ -196,7 +212,7 @@ impl SlTcpStack {
             stats: SlStats::default(),
             crossings: CrossingStats::default(),
             log,
-        }
+        })
     }
 
     pub fn addr(&self) -> u32 {
@@ -240,7 +256,7 @@ impl SlTcpStack {
         };
         let local_isn = self.isn_gen.isn(now, &tuple);
         let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
-        let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+        let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
         osr.set_pressure(self.pressure);
         let mut conn = Connection::new(cm, osr, now);
         // Timer-based CM is established immediately; wire RD up now.
@@ -504,6 +520,13 @@ impl SlTcpStack {
 
     pub fn osr_stats(&self, id: ConnId) -> Option<crate::osr::OsrStats> {
         self.conns.get(&id).map(|c| c.osr.stats.clone())
+    }
+
+    /// Per-connection congestion-control observability: window samples
+    /// and loss/recovery event counts ([`slmetrics::CcCounters`], the
+    /// same shape `tcp-mono` fills — E19 reads both like for like).
+    pub fn conn_cc(&self, id: ConnId) -> Option<slmetrics::CcCounters> {
+        self.conns.get(&id).map(|c| c.osr.cc)
     }
 
     /// Simulate an ECN mark on this connection's next outgoing header.
@@ -845,7 +868,7 @@ impl Stack for SlTcpStack {
                     let Ok(id) = self.dm.bind(tuple) else { return };
                     let cm =
                         ConnMgmt::open_cookie(pkt.cm.ack_isn, pkt.cm.isn, now, self.log.clone());
-                    let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                    let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
                     osr.set_pressure(self.pressure);
                     self.conns.insert(id, Connection::new(cm, osr, now));
                     self.stats.syn_cookies_validated += 1;
@@ -890,7 +913,7 @@ impl Stack for SlTcpStack {
                     return;
                 };
                 let Ok(id) = self.dm.bind(tuple) else { return };
-                let mut osr = Osr::new(cc::make(self.config.cc), self.log.clone());
+                let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
                 osr.set_pressure(self.pressure);
                 self.conns.insert(id, Connection::new(cm, osr, now));
                 // Let establishment events run, then feed this packet's

@@ -209,6 +209,36 @@ fn every_rate_controller_transfers_correctly() {
 }
 
 #[test]
+fn bad_cc_name_is_a_typed_error_not_a_panic() {
+    let config = SlConfig { cc: "vegas", ..Default::default() };
+    let err = SlTcpStack::try_new(A, config, slmetrics::shared())
+        .err()
+        .expect("unknown controller must surface at construction");
+    assert!(err.to_string().contains("vegas"), "{err}");
+}
+
+#[test]
+fn cc_counters_observe_loss_recovery() {
+    // A lossy transfer must leave visible traces in the per-connection
+    // CC counters: window samples, loss events, recovery episodes.
+    let params =
+        LinkParams::delay_only(Dur::from_millis(10)).with_fault(FaultProfile::lossy(0.05));
+    let (mut net, nc, ns, conn) = pair(21, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+    let got = transfer(&mut net, nc, ns, conn, &data, 120);
+    assert_eq!(got.len(), data.len());
+    let cc = stack(&mut net, nc).conn_cc(conn).expect("live connection");
+    assert!(cc.samples > 0, "{cc:?}");
+    assert!(cc.cwnd_peak >= cc.cwnd_last, "{cc:?}");
+    assert!(cc.ssthresh_last > 0, "newreno keeps a threshold: {cc:?}");
+    assert!(cc.dupack_losses + cc.rto_resets > 0, "5% loss must show up: {cc:?}");
+    if cc.dupack_losses > 0 {
+        assert!(cc.fast_recoveries > 0, "dupack loss opens an episode: {cc:?}");
+    }
+}
+
+#[test]
 fn both_isn_generators_work() {
     for (i, isn) in ["clock", "secure"].iter().enumerate() {
         let config = SlConfig { isn, ..Default::default() };

@@ -417,6 +417,15 @@ impl SimNet {
         &self.links[link].dirs[dir].stats
     }
 
+    /// Instantaneous queueing delay for one direction: how long a frame
+    /// handed to the link *now* would wait behind frames still
+    /// serializing under the link rate. The rate-limited link models an
+    /// unbounded serialization queue, so this is the bufferbloat gauge —
+    /// sample it while driving and keep the peak.
+    pub fn link_queue_delay(&self, link: LinkId, dir: usize) -> Dur {
+        self.links[link].dirs[dir].busy_until.since(self.now)
+    }
+
     /// Borrow a node, downcast to its concrete type.
     pub fn node<T: 'static>(&self, id: NodeId) -> &T {
         (self.nodes[id].as_ref() as &dyn Any)

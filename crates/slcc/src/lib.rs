@@ -1,0 +1,862 @@
+//! The congestion-control sublayer, shared by **both** TCP stacks.
+//!
+//! "If each sublayer adheres to its API, one could in principle seamlessly
+//! replace congestion control (by say a rate-based protocol)" (§3, test
+//! T3). [`RateController`] is that API: it consumes the summarized
+//! [`CongSignal`]s emitted by the loss-recovery machinery (RD in the
+//! sublayered stack, the pcb path in `tcp-mono`) and answers one question —
+//! how many bytes may be outstanding right now. The controller never sees
+//! sequence numbers; the feeder never sees the congestion window.
+//!
+//! This crate is deliberately leaf-level (it depends only on `netsim` for
+//! time) so that `sublayer-core` *and* `tcp-mono` can both select their
+//! controller from the same shipped set — the paper's swap claim, cashed
+//! in for the monolith too. `sublayer-core::cc` re-exports everything here
+//! for API compatibility.
+//!
+//! Every shipped controller honors the contract model-checked by
+//! `slverify::CongCtrl` and property-tested in `tests/cc_contract.rs`:
+//!
+//! 1. allowance never drops below [`ALLOWANCE_FLOOR`] (1 MSS);
+//! 2. ssthresh never *increases* while a fast-recovery episode is open;
+//! 3. slow-start exit is permanent until the next loss signal;
+//! 4. the recovery-exit signals ([`CongSignal::FullAck`],
+//!    [`CongSignal::TimeoutLoss`]) always actually close the episode.
+//!
+//! [`BuggyDeflate`] deliberately breaks rule 1 — it exists so the contract
+//! model has a counterexample to find, and is excluded from [`make`].
+
+use netsim::{Dur, Time};
+
+/// One maximum segment size in bytes — the unit every shipped controller
+/// quantizes in. Shared with the `slverify::CongCtrl` contract model and
+/// the workspace proptest so the bound is stated once.
+pub const MSS: u64 = 1000;
+
+/// The contract floor: `allowance()` must never return less than this, or
+/// the connection deadlocks (nothing in flight means no acks, no acks
+/// means no growth).
+pub const ALLOWANCE_FLOOR: u64 = MSS;
+
+/// Names accepted by [`make`] and swept by the fairness campaign and the
+/// contract checks. ("reno" is also accepted as an alias for "newreno".)
+pub const SHIPPED: &[&str] = &["newreno", "cubic", "rate-based", "fixed-window"];
+
+/// A congestion/progress signal summarized for the controller.
+///
+/// The ack-advance classification ([`CongSignal::Acked`] outside recovery,
+/// [`CongSignal::PartialAck`]/[`CongSignal::FullAck`] inside) is done by
+/// the *feeder*, which owns the sequence arithmetic (`recover` point); the
+/// controller only ever sees these summaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongSignal {
+    /// New data acknowledged outside recovery; `rtt` present when Karn's
+    /// rule allows a sample.
+    Acked { bytes: u32, rtt: Option<Dur> },
+    /// A further duplicate ack *after* fast retransmit triggered — the
+    /// NewReno window-inflation signal.
+    DupAck,
+    /// Loss inferred from duplicate acks (fast retransmit fired; a
+    /// recovery episode opens).
+    DupAckLoss,
+    /// The ack advanced but stayed below the recovery point — one more
+    /// hole in the window (NewReno partial ack; recovery stays open).
+    PartialAck { bytes: u32 },
+    /// The ack reached the recovery point — the episode closes and the
+    /// window deflates (no re-inflation may survive).
+    FullAck { bytes: u32, rtt: Option<Dur> },
+    /// Loss inferred from retransmission timeout (severe).
+    TimeoutLoss,
+    /// The peer echoed an ECN mark.
+    EcnEcho,
+}
+
+/// The congestion-control interface.
+pub trait RateController {
+    fn name(&self) -> &'static str;
+
+    /// Feed one summarized signal.
+    fn on_signal(&mut self, now: Time, sig: CongSignal);
+
+    /// Current allowance: how many bytes may be in flight.
+    /// Window-based controllers return their cwnd; rate-based controllers
+    /// convert their rate into an allowance via pacing tokens.
+    fn allowance(&self, now: Time) -> u64;
+
+    /// For paced controllers: when the allowance next grows. `None` for
+    /// pure window controllers.
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    /// The slow-start threshold, for controllers that keep one (window
+    /// controllers). `None` means the episode-monotonicity contract is
+    /// vacuous for this controller.
+    fn ssthresh(&self) -> Option<u64> {
+        None
+    }
+
+    /// Is a fast-recovery episode currently open?
+    fn in_recovery(&self) -> bool {
+        false
+    }
+
+    /// Clone into a fresh box — lets stacks copy a configured controller
+    /// template and `slverify` keep controllers inside model states.
+    fn box_clone(&self) -> Box<dyn RateController>;
+
+    /// A quantized fingerprint of the controller's internal state, used by
+    /// the model checker to deduplicate states. Equal fingerprints must
+    /// imply behaviorally identical controllers.
+    fn state_key(&self) -> Vec<u64>;
+}
+
+impl Clone for Box<dyn RateController> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Typed error from [`make`]: an unknown controller name is a
+/// configuration mistake surfaced at stack construction, never a panic on
+/// input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcError {
+    UnknownController { name: String },
+}
+
+impl std::fmt::Display for CcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcError::UnknownController { name } => {
+                write!(f, "unknown congestion controller {name:?} (shipped: {})", SHIPPED.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Factory used by stack configuration and the experiments. Validated at
+/// stack construction time in both stacks, so a bad name surfaces as a
+/// typed error before any packet moves.
+pub fn make(name: &str) -> Result<Box<dyn RateController>, CcError> {
+    match name {
+        // "reno" remains accepted for existing configs; the shipped
+        // loss-recovery behavior is NewReno (RFC 6582 fast recovery).
+        "newreno" | "reno" => Ok(Box::new(NewReno::new())),
+        "cubic" => Ok(Box::new(Cubic::new())),
+        "rate-based" => Ok(Box::new(RateBased::new(1_000_000.0))),
+        "fixed-window" => Ok(Box::new(FixedWindow(16 * 1000))),
+        other => Err(CcError::UnknownController { name: other.to_string() }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NewReno
+// ---------------------------------------------------------------------------
+
+/// NewReno (RFC 6582, simplified): slow start, congestion avoidance, fast
+/// recovery with partial-ack handling and deflation on exit.
+///
+/// The deliberate simplification vs. the RFC: the loss cut is taken from
+/// `cwnd/2` rather than `FlightSize/2` — the controller never sees flight
+/// size (that is the feeder's state), and `cwnd/2` is the same convention
+/// the original core Reno used. Pinned by tests in both stacks.
+#[derive(Clone)]
+pub struct NewReno {
+    cwnd: u64,
+    ssthresh: u64,
+    in_recovery: bool,
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        NewReno { cwnd: 2 * MSS, ssthresh: 64 * 1024, in_recovery: false }
+    }
+}
+
+impl NewReno {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grow(&mut self, bytes: u32) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += (bytes as u64).min(MSS);
+        } else {
+            self.cwnd += (MSS * MSS / self.cwnd).max(1);
+        }
+    }
+}
+
+impl RateController for NewReno {
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn on_signal(&mut self, _now: Time, sig: CongSignal) {
+        match sig {
+            CongSignal::Acked { bytes, .. } => {
+                // Inside recovery the feeder speaks Partial/FullAck; a
+                // stray Acked must not inflate the window.
+                if !self.in_recovery {
+                    self.grow(bytes);
+                }
+            }
+            CongSignal::DupAck => {
+                if self.in_recovery {
+                    // Window inflation: each dup ack means one segment
+                    // left the pipe.
+                    self.cwnd += MSS;
+                }
+            }
+            CongSignal::DupAckLoss => {
+                if self.in_recovery {
+                    // Already recovering; never re-cut mid-episode.
+                    self.cwnd += MSS;
+                } else {
+                    self.ssthresh = (self.cwnd / 2).max(2 * MSS);
+                    self.cwnd = self.ssthresh + 3 * MSS;
+                    self.in_recovery = true;
+                }
+            }
+            CongSignal::PartialAck { bytes } => {
+                if self.in_recovery {
+                    // Deflate by the bytes acked, re-inflate by one MSS
+                    // for the segment the partial ack pushed out.
+                    self.cwnd =
+                        self.cwnd.saturating_sub(bytes as u64).max(MSS).saturating_add(MSS);
+                } else {
+                    self.grow(bytes);
+                }
+            }
+            CongSignal::FullAck { bytes, .. } => {
+                if self.in_recovery {
+                    // Deflation: any dup-ack inflation is discarded; the
+                    // window restarts exactly at the loss cut.
+                    self.cwnd = self.ssthresh.max(MSS);
+                    self.in_recovery = false;
+                } else {
+                    self.grow(bytes);
+                }
+            }
+            CongSignal::TimeoutLoss => {
+                let cut = (self.cwnd / 2).max(2 * MSS);
+                // Never revise ssthresh upward while an episode is open
+                // (the inflated cwnd is not evidence of capacity).
+                self.ssthresh = if self.in_recovery { cut.min(self.ssthresh) } else { cut };
+                self.cwnd = MSS;
+                self.in_recovery = false;
+            }
+            CongSignal::EcnEcho => {
+                if !self.in_recovery {
+                    self.ssthresh = (self.cwnd / 2).max(2 * MSS);
+                    self.cwnd = self.ssthresh;
+                }
+            }
+        }
+    }
+
+    fn allowance(&self, _now: Time) -> u64 {
+        self.cwnd.max(ALLOWANCE_FLOOR)
+    }
+
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    fn box_clone(&self) -> Box<dyn RateController> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self) -> Vec<u64> {
+        vec![self.cwnd, self.ssthresh, self.in_recovery as u64]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CUBIC
+// ---------------------------------------------------------------------------
+
+/// CUBIC (simplified, no fast-convergence heuristics): the window grows as
+/// a cubic function of time since the last loss, anchored at the window
+/// just before the loss. Loss *recovery* is NewReno-shaped (inflation on
+/// dup acks, deflation to the cut on full-ack exit); only the growth
+/// function differs.
+#[derive(Clone)]
+pub struct Cubic {
+    cwnd: f64,
+    w_max: f64,
+    epoch_start: Option<Time>,
+    ssthresh: f64,
+    k: f64,
+    in_recovery: bool,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Cubic {
+            cwnd: 2.0 * MSS as f64,
+            w_max: 0.0,
+            epoch_start: None,
+            ssthresh: 64.0 * 1024.0,
+            k: 0.0,
+            in_recovery: false,
+        }
+    }
+}
+
+impl Cubic {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    const C: f64 = 0.4; // in MSS units per s^3
+    const BETA: f64 = 0.7;
+
+    fn grow(&mut self, now: Time, bytes: u32) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += (bytes as f64).min(MSS as f64);
+            return;
+        }
+        let epoch = *self.epoch_start.get_or_insert(now);
+        let t = now.since(epoch).secs_f64();
+        // W(t) = C (t - K)^3 + w_max, in MSS units.
+        let target = (Self::C * (t - self.k).powi(3) + self.w_max / MSS as f64) * MSS as f64;
+        if target > self.cwnd {
+            self.cwnd = target.min(self.cwnd * 1.5);
+        } else {
+            // TCP-friendly floor: at least Reno-style linear growth.
+            self.cwnd += MSS as f64 * MSS as f64 / self.cwnd;
+        }
+    }
+
+    fn cut(&mut self) {
+        self.w_max = self.cwnd;
+        self.cwnd = (self.cwnd * Self::BETA).max(2.0 * MSS as f64);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+        self.k = ((self.w_max * (1.0 - Self::BETA)) / (Self::C * MSS as f64)).cbrt();
+    }
+}
+
+impl RateController for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn on_signal(&mut self, now: Time, sig: CongSignal) {
+        match sig {
+            CongSignal::Acked { bytes, .. } => {
+                if !self.in_recovery {
+                    self.grow(now, bytes);
+                }
+            }
+            CongSignal::DupAck => {
+                if self.in_recovery {
+                    self.cwnd += MSS as f64;
+                }
+            }
+            CongSignal::DupAckLoss => {
+                if self.in_recovery {
+                    self.cwnd += MSS as f64;
+                } else {
+                    self.cut();
+                    self.cwnd += 3.0 * MSS as f64; // fast-retransmit inflation
+                    self.in_recovery = true;
+                }
+            }
+            CongSignal::PartialAck { bytes } => {
+                if self.in_recovery {
+                    self.cwnd = (self.cwnd - bytes as f64).max(MSS as f64) + MSS as f64;
+                } else {
+                    self.grow(now, bytes);
+                }
+            }
+            CongSignal::FullAck { bytes, .. } => {
+                if self.in_recovery {
+                    self.cwnd = self.ssthresh.max(MSS as f64);
+                    self.epoch_start = None;
+                    self.in_recovery = false;
+                } else {
+                    self.grow(now, bytes);
+                }
+            }
+            CongSignal::TimeoutLoss => {
+                self.w_max = self.cwnd;
+                let cut = (self.cwnd / 2.0).max(2.0 * MSS as f64);
+                self.ssthresh = if self.in_recovery { cut.min(self.ssthresh) } else { cut };
+                self.cwnd = MSS as f64;
+                self.epoch_start = None;
+                self.k = ((self.w_max * (1.0 - Self::BETA)) / (Self::C * MSS as f64)).cbrt();
+                self.in_recovery = false;
+            }
+            CongSignal::EcnEcho => {
+                if !self.in_recovery {
+                    self.cut();
+                }
+            }
+        }
+    }
+
+    fn allowance(&self, _now: Time) -> u64 {
+        (self.cwnd as u64).max(ALLOWANCE_FLOOR)
+    }
+
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh as u64)
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    fn box_clone(&self) -> Box<dyn RateController> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self) -> Vec<u64> {
+        vec![
+            self.cwnd.to_bits(),
+            self.w_max.to_bits(),
+            self.ssthresh.to_bits(),
+            self.k.to_bits(),
+            self.epoch_start.map_or(u64::MAX, |t| t.nanos()),
+            self.in_recovery as u64,
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rate-based
+// ---------------------------------------------------------------------------
+
+/// A rate-based controller: maintains an explicit sending *rate* with
+/// AIMD, and converts it to an in-flight allowance as `rate × RTT`
+/// (estimated from the Acked signals) plus a small burst allowance — the
+/// standard construction for rate-based transports. Demonstrates the
+/// paper's "replace congestion control by say a rate-based protocol".
+/// It has no window and hence no fast-recovery episodes: partial and full
+/// acks are simply progress.
+#[derive(Clone)]
+pub struct RateBased {
+    rate_bps: f64,
+    srtt_s: f64,
+    min_rate: f64,
+    max_rate: f64,
+}
+
+impl RateBased {
+    pub fn new(initial_bps: f64) -> RateBased {
+        RateBased {
+            rate_bps: initial_bps,
+            srtt_s: 0.1, // prior until the first sample
+            min_rate: 64_000.0,
+            max_rate: 1e10,
+        }
+    }
+
+    /// The current rate in bits/second (visible for experiments).
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    fn progress(&mut self, bytes: u32, rtt: Option<Dur>) {
+        if let Some(r) = rtt {
+            let s = r.secs_f64().max(1e-6);
+            self.srtt_s = 0.875 * self.srtt_s + 0.125 * s;
+        }
+        // Additive increase proportional to progress.
+        self.rate_bps = (self.rate_bps + bytes as f64 * 8.0 * 0.05).min(self.max_rate);
+    }
+}
+
+impl RateController for RateBased {
+    fn name(&self) -> &'static str {
+        "rate-based"
+    }
+
+    fn on_signal(&mut self, _now: Time, sig: CongSignal) {
+        match sig {
+            CongSignal::Acked { bytes, rtt } | CongSignal::FullAck { bytes, rtt } => {
+                self.progress(bytes, rtt);
+            }
+            CongSignal::PartialAck { bytes } => self.progress(bytes, None),
+            CongSignal::DupAck => {}
+            CongSignal::DupAckLoss | CongSignal::EcnEcho => {
+                self.rate_bps = (self.rate_bps * 0.7).max(self.min_rate);
+            }
+            CongSignal::TimeoutLoss => {
+                self.rate_bps = (self.rate_bps * 0.5).max(self.min_rate);
+            }
+        }
+    }
+
+    fn allowance(&self, _now: Time) -> u64 {
+        // rate x RTT worth of bytes, plus one MSS of burst.
+        (self.rate_bps / 8.0 * self.srtt_s) as u64 + MSS
+    }
+
+    fn box_clone(&self) -> Box<dyn RateController> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self) -> Vec<u64> {
+        vec![self.rate_bps.to_bits(), self.srtt_s.to_bits()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed window
+// ---------------------------------------------------------------------------
+
+/// A fixed window: the null controller (useful as an ablation baseline).
+#[derive(Clone)]
+pub struct FixedWindow(pub u64);
+
+impl RateController for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed-window"
+    }
+    fn on_signal(&mut self, _: Time, _: CongSignal) {}
+    fn allowance(&self, _: Time) -> u64 {
+        self.0.max(ALLOWANCE_FLOOR)
+    }
+    fn box_clone(&self) -> Box<dyn RateController> {
+        Box::new(self.clone())
+    }
+    fn state_key(&self) -> Vec<u64> {
+        vec![self.0]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The seeded-buggy controller
+// ---------------------------------------------------------------------------
+
+/// A deliberately broken NewReno: its partial-ack deflation subtracts the
+/// acked bytes **without the 1-MSS floor and without re-inflating** — a
+/// plausible off-by-one-refactor bug. Enough partial acks drive the
+/// allowance to zero and the connection deadlocks. Exists so the
+/// `slverify::CongCtrl` contract has a real counterexample to surface;
+/// excluded from [`make`] and [`SHIPPED`].
+#[derive(Clone)]
+pub struct BuggyDeflate {
+    cwnd: u64,
+    ssthresh: u64,
+    in_recovery: bool,
+}
+
+impl Default for BuggyDeflate {
+    fn default() -> Self {
+        BuggyDeflate { cwnd: 2 * MSS, ssthresh: 64 * 1024, in_recovery: false }
+    }
+}
+
+impl BuggyDeflate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RateController for BuggyDeflate {
+    fn name(&self) -> &'static str {
+        "buggy-deflate"
+    }
+
+    fn on_signal(&mut self, _now: Time, sig: CongSignal) {
+        match sig {
+            CongSignal::Acked { bytes, .. } | CongSignal::FullAck { bytes, .. }
+                if !self.in_recovery =>
+            {
+                if self.cwnd < self.ssthresh {
+                    self.cwnd += (bytes as u64).min(MSS);
+                } else {
+                    self.cwnd += (MSS * MSS / self.cwnd).max(1);
+                }
+            }
+            CongSignal::DupAck | CongSignal::DupAckLoss if self.in_recovery => {
+                self.cwnd += MSS;
+            }
+            CongSignal::DupAckLoss => {
+                self.ssthresh = (self.cwnd / 2).max(2 * MSS);
+                self.cwnd = self.ssthresh + 3 * MSS;
+                self.in_recovery = true;
+            }
+            CongSignal::PartialAck { bytes } if self.in_recovery => {
+                // BUG: deflates without the floor and without the +MSS
+                // re-inflation; repeated partial acks starve the window.
+                self.cwnd = self.cwnd.saturating_sub(bytes as u64);
+            }
+            CongSignal::FullAck { .. } => {
+                self.cwnd = self.ssthresh;
+                self.in_recovery = false;
+            }
+            CongSignal::TimeoutLoss => {
+                // Honest elsewhere: the one seeded bug is the partial-ack
+                // deflation above, so the episode-monotonicity clamp from
+                // NewReno is kept and the contract checker's shortest
+                // counterexample is the starvation trace.
+                let cut = (self.cwnd / 2).max(2 * MSS);
+                self.ssthresh = if self.in_recovery { cut.min(self.ssthresh) } else { cut };
+                self.cwnd = MSS;
+                self.in_recovery = false;
+            }
+            _ => {}
+        }
+    }
+
+    fn allowance(&self, _now: Time) -> u64 {
+        self.cwnd // BUG: no floor
+    }
+
+    fn ssthresh(&self) -> Option<u64> {
+        Some(self.ssthresh)
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    fn box_clone(&self) -> Box<dyn RateController> {
+        Box::new(self.clone())
+    }
+
+    fn state_key(&self) -> Vec<u64> {
+        vec![self.cwnd, self.ssthresh, self.in_recovery as u64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Dur;
+
+    fn t(ms: u64) -> Time {
+        Time::ZERO + Dur::from_millis(ms)
+    }
+
+    #[test]
+    fn newreno_slow_start_doubles_per_window() {
+        let mut r = NewReno::new();
+        let w0 = r.allowance(t(0));
+        r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        assert_eq!(r.allowance(t(1)), w0 + 2000);
+    }
+
+    #[test]
+    fn newreno_halves_on_dupack_collapses_on_timeout() {
+        let mut r = NewReno::new();
+        for _ in 0..30 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        let big = r.allowance(t(1));
+        r.on_signal(t(2), CongSignal::DupAckLoss);
+        assert_eq!(r.ssthresh(), Some((big / 2).max(2 * MSS)));
+        r.on_signal(t(3), CongSignal::TimeoutLoss);
+        assert_eq!(r.allowance(t(3)), 1000);
+    }
+
+    #[test]
+    fn newreno_congestion_avoidance_is_linearish() {
+        let mut r = NewReno::new();
+        r.on_signal(t(1), CongSignal::DupAckLoss); // enter recovery at ssthresh
+        r.on_signal(t(1), CongSignal::FullAck { bytes: 1000, rtt: None }); // exit to CA
+        let w0 = r.allowance(t(1));
+        for _ in 0..10 {
+            r.on_signal(t(2), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        let w1 = r.allowance(t(2));
+        assert!(w1 > w0 && w1 < w0 + 10 * 1000, "CA grows sub-linearly: {w0} -> {w1}");
+    }
+
+    #[test]
+    fn newreno_full_ack_deflates_discarding_inflation() {
+        // The NewReno pin: dup-ack inflation during recovery must NOT
+        // survive the episode — on full-ack exit the window is exactly
+        // ssthresh, no matter how many dup acks inflated it.
+        let mut r = NewReno::new();
+        for _ in 0..30 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        r.on_signal(t(2), CongSignal::DupAckLoss);
+        let ss = r.ssthresh().unwrap();
+        for _ in 0..20 {
+            r.on_signal(t(3), CongSignal::DupAck); // inflate hard
+        }
+        assert!(r.allowance(t(3)) > ss + 10 * MSS, "inflation happened");
+        r.on_signal(t(4), CongSignal::FullAck { bytes: 4000, rtt: None });
+        assert!(!r.in_recovery());
+        assert_eq!(r.allowance(t(4)), ss, "exit deflates to ssthresh exactly");
+    }
+
+    #[test]
+    fn newreno_partial_ack_stays_in_recovery_full_ack_exits() {
+        let mut r = NewReno::new();
+        for _ in 0..30 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        r.on_signal(t(2), CongSignal::DupAckLoss);
+        assert!(r.in_recovery());
+        let before = r.allowance(t(2));
+        r.on_signal(t(3), CongSignal::PartialAck { bytes: 2000 });
+        assert!(r.in_recovery(), "partial ack must not exit recovery");
+        assert_eq!(r.allowance(t(3)), before - 2000 + MSS, "deflate by acked, re-inflate one MSS");
+        r.on_signal(t(4), CongSignal::FullAck { bytes: 1000, rtt: None });
+        assert!(!r.in_recovery(), "full ack exits recovery");
+    }
+
+    #[test]
+    fn newreno_stray_acked_during_recovery_does_not_grow() {
+        let mut r = NewReno::new();
+        r.on_signal(t(1), CongSignal::DupAckLoss);
+        let w = r.allowance(t(1));
+        r.on_signal(t(2), CongSignal::Acked { bytes: 5000, rtt: None });
+        assert_eq!(r.allowance(t(2)), w);
+    }
+
+    #[test]
+    fn newreno_timeout_during_recovery_never_raises_ssthresh() {
+        let mut r = NewReno::new();
+        for _ in 0..30 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        r.on_signal(t(2), CongSignal::DupAckLoss);
+        let ss = r.ssthresh().unwrap();
+        for _ in 0..40 {
+            r.on_signal(t(3), CongSignal::DupAck); // inflate well past 2*ssthresh
+        }
+        r.on_signal(t(4), CongSignal::TimeoutLoss);
+        assert!(r.ssthresh().unwrap() <= ss, "episode may not revise ssthresh upward");
+        assert!(!r.in_recovery());
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax() {
+        let mut c = Cubic::new();
+        for _ in 0..60 {
+            c.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        let before = c.allowance(t(1));
+        c.on_signal(t(2), CongSignal::EcnEcho);
+        let after_loss = c.allowance(t(2));
+        assert!(after_loss < before);
+        // Feed acks over simulated seconds; cubic should climb back.
+        for ms in 0..2000 {
+            c.on_signal(t(3 + ms), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        assert!(c.allowance(t(2100)) > after_loss);
+    }
+
+    #[test]
+    fn cubic_full_ack_deflates_like_newreno() {
+        let mut c = Cubic::new();
+        for _ in 0..60 {
+            c.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        c.on_signal(t(2), CongSignal::DupAckLoss);
+        assert!(c.in_recovery());
+        let ss = c.ssthresh().unwrap();
+        for _ in 0..10 {
+            c.on_signal(t(3), CongSignal::DupAck);
+        }
+        c.on_signal(t(4), CongSignal::FullAck { bytes: 3000, rtt: None });
+        assert!(!c.in_recovery());
+        assert_eq!(c.allowance(t(4)), ss);
+    }
+
+    #[test]
+    fn rate_based_window_is_rate_times_rtt() {
+        let mut r = RateBased::new(8_000_000.0); // 1 MB/s
+        // Feed an RTT sample of 100ms repeatedly: window ~ 100KB.
+        for _ in 0..200 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 0, rtt: Some(Dur::from_millis(100)) });
+        }
+        let w = r.allowance(t(1));
+        assert!((90_000..=140_000).contains(&w), "window {w}");
+    }
+
+    #[test]
+    fn rate_based_aimd_on_rate() {
+        let mut r = RateBased::new(8_000_000.0);
+        r.on_signal(t(1), CongSignal::TimeoutLoss);
+        let slowed = r.rate_bps();
+        assert!((slowed - 4_000_000.0).abs() < 1.0);
+        for _ in 0..100 {
+            r.on_signal(t(2), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        assert!(r.rate_bps() > slowed);
+    }
+
+    #[test]
+    fn rate_based_shrinks_allowance_on_loss() {
+        let mut r = RateBased::new(8_000_000.0);
+        let before = r.allowance(t(0));
+        r.on_signal(t(1), CongSignal::DupAckLoss);
+        assert!(r.allowance(t(1)) < before);
+    }
+
+    #[test]
+    fn fixed_window_never_moves() {
+        let mut f = FixedWindow(5000);
+        f.on_signal(t(1), CongSignal::TimeoutLoss);
+        assert_eq!(f.allowance(t(9)), 5000);
+    }
+
+    #[test]
+    fn factory_knows_all_shipped_names() {
+        for n in SHIPPED {
+            assert_eq!(make(n).unwrap().name(), *n);
+        }
+    }
+
+    #[test]
+    fn factory_accepts_reno_as_newreno_alias() {
+        assert_eq!(make("reno").unwrap().name(), "newreno");
+    }
+
+    #[test]
+    fn factory_returns_typed_error_on_unknown_name() {
+        let err = make("vegas").err().expect("unknown name must be rejected");
+        assert_eq!(err, CcError::UnknownController { name: "vegas".into() });
+        assert!(err.to_string().contains("vegas"));
+        assert!(err.to_string().contains("newreno"), "error lists the shipped set");
+    }
+
+    #[test]
+    fn ecn_treated_as_mild_loss() {
+        let mut r = NewReno::new();
+        for _ in 0..30 {
+            r.on_signal(t(1), CongSignal::Acked { bytes: 1000, rtt: None });
+        }
+        let before = r.allowance(t(1));
+        r.on_signal(t(2), CongSignal::EcnEcho);
+        assert!(r.allowance(t(2)) < before);
+    }
+
+    #[test]
+    fn buggy_deflate_starves_the_window() {
+        let mut b = BuggyDeflate::new();
+        b.on_signal(t(1), CongSignal::DupAckLoss);
+        for _ in 0..10 {
+            b.on_signal(t(2), CongSignal::PartialAck { bytes: 4000 });
+        }
+        assert!(b.allowance(t(3)) < ALLOWANCE_FLOOR, "the seeded bug violates the floor");
+    }
+
+    #[test]
+    fn box_clone_preserves_state() {
+        let mut r = NewReno::new();
+        r.on_signal(t(1), CongSignal::DupAckLoss);
+        let c = r.box_clone();
+        assert_eq!(c.state_key(), r.state_key());
+        assert_eq!(c.allowance(t(2)), r.allowance(t(2)));
+        assert!(c.in_recovery());
+    }
+}

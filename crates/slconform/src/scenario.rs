@@ -404,6 +404,47 @@ pub fn corpus() -> Vec<Scenario> {
         quiet_ms: 20_000,
     });
 
+    v.push(Scenario {
+        // Enough uniform loss across a multi-window transfer that triple
+        // duplicate acks fire: both stacks must fast-retransmit, handle
+        // partial acks, and exit recovery by deflation (E19 loss-recovery
+        // conformance; the CC module is the shared slcc NewReno).
+        name: "fast_retransmit_recovery",
+        listen: true,
+        server_connects: false,
+        link: LinkSpec { delay_ms: 10, fault: FaultKind::LossPm(30) },
+        events: vec![
+            (0, Connect),
+            (200, Send { side: Client, len: 60_000 }),
+            (4_000, Recv { side: Server }),
+            (8_000, Recv { side: Server }),
+            (12_000, Recv { side: Server }),
+            (12_500, Close { side: Client }),
+        ],
+        quiet_ms: 20_000,
+    });
+    v.push(Scenario {
+        // An outage long enough for RTO backoff, then the transfer
+        // *continues*: the controller must come back from its timeout
+        // collapse (slow-start restart) and carry a second burst, not
+        // stall at the floor (E19).
+        name: "rto_then_recover",
+        listen: true,
+        server_connects: false,
+        link: LinkSpec::clean(5),
+        events: vec![
+            (0, Connect),
+            (200, Send { side: Client, len: 20_000 }),
+            (300, LinkDown),
+            (4_300, LinkUp),
+            (10_000, Recv { side: Server }),
+            (10_500, Send { side: Client, len: 20_000 }),
+            (16_000, Recv { side: Server }),
+            (16_500, Close { side: Client }),
+        ],
+        quiet_ms: 20_000,
+    });
+
     // --- flow control -------------------------------------------------
     v.push(Scenario::new(
         // Receiver never drains: the sender must stall at the window,

@@ -290,6 +290,77 @@ impl HostCounters {
     }
 }
 
+/// Congestion-control observability for one connection — window samples
+/// plus loss/recovery event counts. Both stacks fill the same shape from
+/// the shared `slcc` signal feed (OSR in the sublayered stack, the pcb
+/// ack path in `tcp-mono`), so CC behavior is compared like for like
+/// across stacks and controllers (experiment E19).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CcCounters {
+    /// Window samples taken (one per signal delivery; the denominator
+    /// for [`CcCounters::cwnd_mean`]).
+    pub samples: u64,
+    /// Last sampled allowance in bytes (gauge).
+    pub cwnd_last: u64,
+    /// Peak sampled allowance (gauge; absorbed by max).
+    pub cwnd_peak: u64,
+    /// Sum of sampled allowances.
+    pub cwnd_sum: u64,
+    /// Last sampled slow-start threshold (0 for controllers that keep
+    /// none, e.g. rate-based).
+    pub ssthresh_last: u64,
+    /// Losses inferred from the dup-ack threshold (fast retransmit
+    /// fired).
+    pub dupack_losses: u64,
+    /// Fast-recovery episodes the controller actually entered.
+    pub fast_recoveries: u64,
+    /// Partial acks processed while a recovery episode was open.
+    pub partial_acks: u64,
+    /// Losses inferred from retransmission timeout (window reset).
+    pub rto_resets: u64,
+    /// ECN congestion echoes fed to the controller.
+    pub ecn_signals: u64,
+}
+
+impl CcCounters {
+    /// Record one window sample after a signal delivery.
+    pub fn sample(&mut self, allowance: u64, ssthresh: Option<u64>) {
+        self.samples = self.samples.saturating_add(1);
+        self.cwnd_last = allowance;
+        self.cwnd_peak = self.cwnd_peak.max(allowance);
+        self.cwnd_sum = self.cwnd_sum.saturating_add(allowance);
+        self.ssthresh_last = ssthresh.unwrap_or(0);
+    }
+
+    /// Mean sampled allowance in bytes.
+    pub fn cwnd_mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.cwnd_sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Merge another connection's counters into this one (saturating:
+    /// long campaigns must never overflow-panic in debug builds). Gauges
+    /// absorb by max (`cwnd_peak`) or by whichever side sampled last
+    /// (`cwnd_last`, `ssthresh_last` — `other` wins when it has samples).
+    pub fn absorb(&mut self, other: &CcCounters) {
+        self.samples = self.samples.saturating_add(other.samples);
+        if other.samples > 0 {
+            self.cwnd_last = other.cwnd_last;
+            self.ssthresh_last = other.ssthresh_last;
+        }
+        self.cwnd_peak = self.cwnd_peak.max(other.cwnd_peak);
+        self.cwnd_sum = self.cwnd_sum.saturating_add(other.cwnd_sum);
+        self.dupack_losses = self.dupack_losses.saturating_add(other.dupack_losses);
+        self.fast_recoveries = self.fast_recoveries.saturating_add(other.fast_recoveries);
+        self.partial_acks = self.partial_acks.saturating_add(other.partial_acks);
+        self.rto_resets = self.rto_resets.saturating_add(other.rto_resets);
+        self.ecn_signals = self.ecn_signals.saturating_add(other.ecn_signals);
+    }
+}
+
 /// The field-sharing structure derived from an [`AccessLog`].
 #[derive(Clone, Debug)]
 pub struct InteractionMatrix {
@@ -488,5 +559,39 @@ mod tests {
         let mut x = AttackCounters { forged_segments: u64::MAX, ..Default::default() };
         x.absorb(&AttackCounters { forged_segments: 9, ..Default::default() });
         assert_eq!(x.forged_segments, u64::MAX);
+    }
+
+    #[test]
+    fn cc_counters_sample_and_mean() {
+        let mut c = CcCounters::default();
+        c.sample(2000, Some(64 * 1024));
+        c.sample(4000, Some(64 * 1024));
+        assert_eq!(c.samples, 2);
+        assert_eq!(c.cwnd_last, 4000);
+        assert_eq!(c.cwnd_peak, 4000);
+        assert_eq!(c.cwnd_mean(), 3000.0);
+        assert_eq!(c.ssthresh_last, 64 * 1024);
+        // A rate-based controller reports no threshold.
+        c.sample(5000, None);
+        assert_eq!(c.ssthresh_last, 0);
+    }
+
+    #[test]
+    fn cc_counters_absorb_merges_gauges_sensibly() {
+        let mut a = CcCounters::default();
+        a.sample(8000, Some(4000));
+        a.dupack_losses = 2;
+        let mut b = CcCounters::default();
+        b.sample(3000, Some(2000));
+        b.rto_resets = 1;
+        a.absorb(&b);
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.cwnd_last, 3000, "other side sampled last");
+        assert_eq!(a.cwnd_peak, 8000, "peak keeps the max");
+        assert_eq!(a.dupack_losses, 2);
+        assert_eq!(a.rto_resets, 1);
+        // Absorbing an empty side leaves the gauges alone.
+        a.absorb(&CcCounters::default());
+        assert_eq!(a.cwnd_last, 3000);
     }
 }

@@ -20,7 +20,14 @@
 //! * the E16 overload policy ([`models::Overload`]) proves the host's
 //!   memory budget holds under every admission/shed/evict interleaving in
 //!   both shapes — and exhibits the overrun trace when the staged
-//!   pressure signal is allowed to go one admission too stale.
+//!   pressure signal is allowed to go one admission too stale;
+//! * the congestion-control contract ([`models::CongCtrl`]) is an
+//!   assume/guarantee check run against the **real** shipped
+//!   `slcc::RateController` implementations — allowance never below one
+//!   MSS, ssthresh non-increasing within a loss episode, slow-start exit
+//!   permanent until the next loss, recovery always terminated by its
+//!   closing signals — and starves the deliberately broken
+//!   `slcc::BuggyDeflate` to a zero window as the counterexample (E19).
 
 pub mod checker;
 pub mod forwarding;
@@ -31,7 +38,7 @@ pub use checker::{check, CheckResult, Model, Trace};
 pub use forwarding::{
     check_forwarding, check_forwarding_to, ForwardDefect, ForwardReport, ForwardSpec,
 };
-pub use models::{AltBit, Combined, Handshake, Overload, RstAttack, SlidingWindow};
+pub use models::{AltBit, Combined, CongCtrl, Handshake, Overload, RstAttack, SlidingWindow};
 pub use relation::{
     classify_seq, pressure_tier, rfc5961_response, transition_label, RespClass, SegClass,
     SeqVerdict,

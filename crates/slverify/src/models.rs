@@ -18,7 +18,11 @@
 //!   the RFC 5961 challenge-ACK discipline proved safe against every
 //!   below-threshold sequence guess (E14's model-checked core), in both a
 //!   sublayered (RD stamps the verdict, CM acts on it) and a monolithic
-//!   shape.
+//!   shape;
+//! * [`CongCtrl`] — the congestion-control assume/guarantee contract,
+//!   checked against the *real* `slcc` controllers rather than a
+//!   re-model: the one model in this file that links the implementation
+//!   it verifies (E19).
 
 use crate::checker::Model;
 
@@ -1287,5 +1291,291 @@ mod overload_tests {
             ns.conns[0],
             ConnSlot::Evicted { by_shed: false, was_slow: true }
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Congestion-control contract (assume/guarantee over real controllers).
+// ---------------------------------------------------------------------
+
+use netsim::Time;
+use slcc::{CongSignal, RateController, ALLOWANCE_FLOOR, MSS};
+
+/// The congestion-control contract model: an assume/guarantee check run
+/// against the **real** shipped [`RateController`] implementations, not a
+/// re-model of them.
+///
+/// *Assumptions* (what the feeder — RD in the sublayered stack, the pcb
+/// ack path in `tcp-mono` — promises about the signal stream): outside a
+/// loss episode it speaks `Acked`/`EcnEcho`/`DupAckLoss`/`TimeoutLoss`;
+/// once `DupAckLoss` opens an episode it speaks only
+/// `DupAck`/`PartialAck`/`FullAck`/`TimeoutLoss` until `FullAck` or
+/// `TimeoutLoss` closes it. The model's `episode` flag *is* the feeder's
+/// recovery bookkeeping (`in_recovery` in RD, `in_fast_recovery` in the
+/// PCB) — deliberately separate from the controller's own
+/// [`RateController::in_recovery`], so a controller that loses track of
+/// the episode is caught rather than trusted.
+///
+/// *Guarantees* (checked in every reachable state; the obligations are
+/// computed from the pre-state/action in [`Model::next`] and carried in
+/// the successor so the per-transition contract becomes a plain state
+/// invariant):
+///
+/// 1. `allowance()` never drops below [`ALLOWANCE_FLOOR`] — below one MSS
+///    nothing can be in flight, so no acks ever arrive and the connection
+///    deadlocks silently;
+/// 2. `ssthresh` never increases on a transition taken *from* an open
+///    episode (the inflated in-recovery window is not evidence of
+///    capacity), which by induction makes it non-increasing across the
+///    whole episode including the closing transition;
+/// 3. slow-start exit is permanent until the next loss: an `Acked` taken
+///    from congestion avoidance (`allowance ≥ ssthresh`) may not drop the
+///    controller back below its threshold;
+/// 4. recovery terminates: the closing signals (`FullAck`,
+///    `TimeoutLoss`) leave [`RateController::in_recovery`] false.
+///
+/// Every name in [`slcc::SHIPPED`] passes; [`slcc::BuggyDeflate`] — whose
+/// partial-ack deflation lost the 1-MSS floor in a plausible refactor
+/// slip — is starved to a zero allowance by the checker in a handful of
+/// partial acks (guarantee 1), the promised counterexample.
+pub struct CongCtrl {
+    template: Box<dyn RateController>,
+    /// Depth bound: signals delivered before the run is considered done.
+    pub max_ticks: u8,
+}
+
+/// Nominal inter-signal spacing — the clock handed to time-aware
+/// controllers (CUBIC's growth epoch) advances this much per tick.
+const CC_TICK_NS: u64 = 100_000_000;
+
+impl CongCtrl {
+    pub fn new(template: Box<dyn RateController>, max_ticks: u8) -> CongCtrl {
+        CongCtrl { template, max_ticks }
+    }
+
+    /// Model over a shipped controller by [`slcc::make`] name.
+    pub fn shipped(name: &str) -> CongCtrl {
+        CongCtrl::new(slcc::make(name).expect("shipped controller name"), 8)
+    }
+
+    /// Model over the deliberately broken controller (the counterexample
+    /// generator).
+    pub fn buggy() -> CongCtrl {
+        CongCtrl::new(Box::new(slcc::BuggyDeflate::new()), 8)
+    }
+
+    fn step(
+        &self,
+        s: &CongCtrlState,
+        now: Time,
+        sig: CongSignal,
+        episode_after: bool,
+    ) -> CongCtrlState {
+        let mut ctrl = s.ctrl.clone();
+        ctrl.on_signal(now, sig);
+        let key = ctrl.state_key();
+        CongCtrlState {
+            // Guarantee 2: transitions from an open episode may not raise
+            // ssthresh above the pre-state's value.
+            ssthresh_cap: if s.episode { s.ctrl.ssthresh() } else { None },
+            // Guarantee 3: growth from congestion avoidance stays there.
+            must_stay_ca: matches!(sig, CongSignal::Acked { .. })
+                && s.ctrl.ssthresh().is_some_and(|t| s.ctrl.allowance(now) >= t),
+            // Guarantee 4: the closing signals actually close.
+            must_close: matches!(
+                sig,
+                CongSignal::FullAck { .. } | CongSignal::TimeoutLoss
+            ),
+            ctrl,
+            key,
+            tick: s.tick + 1,
+            episode: episode_after,
+        }
+    }
+}
+
+/// A model state: the live controller plus the feeder's episode view and
+/// the guarantee obligations its incoming transition imposed.
+#[derive(Clone)]
+pub struct CongCtrlState {
+    ctrl: Box<dyn RateController>,
+    /// Cached [`RateController::state_key`] — the identity the checker
+    /// deduplicates on (equal keys promise behaviorally equal controllers).
+    key: Vec<u64>,
+    tick: u8,
+    /// Feeder bookkeeping: a loss episode is open.
+    episode: bool,
+    ssthresh_cap: Option<u64>,
+    must_stay_ca: bool,
+    must_close: bool,
+}
+
+impl PartialEq for CongCtrlState {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+            && self.tick == other.tick
+            && self.episode == other.episode
+            && self.ssthresh_cap == other.ssthresh_cap
+            && self.must_stay_ca == other.must_stay_ca
+            && self.must_close == other.must_close
+    }
+}
+
+impl Eq for CongCtrlState {}
+
+impl std::hash::Hash for CongCtrlState {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.key.hash(h);
+        self.tick.hash(h);
+        self.episode.hash(h);
+        self.ssthresh_cap.hash(h);
+        self.must_stay_ca.hash(h);
+        self.must_close.hash(h);
+    }
+}
+
+impl std::fmt::Debug for CongCtrlState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CongCtrlState")
+            .field("ctrl", &self.ctrl.name())
+            .field("key", &self.key)
+            .field("tick", &self.tick)
+            .field("episode", &self.episode)
+            .finish()
+    }
+}
+
+impl Model for CongCtrl {
+    type State = CongCtrlState;
+
+    fn init(&self) -> Vec<CongCtrlState> {
+        let ctrl = self.template.clone();
+        vec![CongCtrlState {
+            key: ctrl.state_key(),
+            ctrl,
+            tick: 0,
+            episode: false,
+            ssthresh_cap: None,
+            must_stay_ca: false,
+            must_close: false,
+        }]
+    }
+
+    fn next(&self, s: &CongCtrlState) -> Vec<(&'static str, CongCtrlState)> {
+        if s.tick >= self.max_ticks {
+            return vec![];
+        }
+        let now = Time(s.tick as u64 * CC_TICK_NS);
+        let b = MSS as u32;
+        if s.episode {
+            // In-episode alphabet: the feeder classifies every ack
+            // against the recovery point.
+            vec![
+                ("dupack", self.step(s, now, CongSignal::DupAck, true)),
+                ("partial_ack", self.step(s, now, CongSignal::PartialAck { bytes: b }, true)),
+                (
+                    "full_ack",
+                    self.step(s, now, CongSignal::FullAck { bytes: b, rtt: None }, false),
+                ),
+                ("timeout", self.step(s, now, CongSignal::TimeoutLoss, false)),
+            ]
+        } else {
+            vec![
+                ("acked", self.step(s, now, CongSignal::Acked { bytes: b, rtt: None }, false)),
+                ("ecn_echo", self.step(s, now, CongSignal::EcnEcho, false)),
+                ("dupack_loss", self.step(s, now, CongSignal::DupAckLoss, true)),
+                ("timeout", self.step(s, now, CongSignal::TimeoutLoss, false)),
+            ]
+        }
+    }
+
+    fn invariant(&self, s: &CongCtrlState) -> Result<(), String> {
+        let now = Time(s.tick as u64 * CC_TICK_NS);
+        let allowance = s.ctrl.allowance(now);
+        if allowance < ALLOWANCE_FLOOR {
+            return Err(format!(
+                "allowance {allowance} fell below the {ALLOWANCE_FLOOR}-byte floor: \
+                 nothing can be in flight, the connection deadlocks"
+            ));
+        }
+        if let (Some(cap), Some(cur)) = (s.ssthresh_cap, s.ctrl.ssthresh()) {
+            if cur > cap {
+                return Err(format!(
+                    "ssthresh raised {cap} -> {cur} while a loss episode was open"
+                ));
+            }
+        }
+        if s.must_stay_ca {
+            if let Some(t) = s.ctrl.ssthresh() {
+                if allowance < t {
+                    return Err(format!(
+                        "slow-start exit not permanent: growth ack dropped \
+                         allowance {allowance} below ssthresh {t} with no loss"
+                    ));
+                }
+            }
+        }
+        if s.must_close && s.ctrl.in_recovery() {
+            return Err(
+                "recovery did not terminate: controller still in recovery \
+                 after a FullAck/TimeoutLoss"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &CongCtrlState) -> bool {
+        s.tick >= self.max_ticks
+    }
+}
+
+#[cfg(test)]
+mod congctrl_tests {
+    use super::*;
+    use crate::checker::check;
+
+    const CC_STATES: usize = 2_000_000;
+
+    #[test]
+    fn every_shipped_controller_honors_the_contract() {
+        for name in slcc::SHIPPED {
+            let r = check(&CongCtrl::shipped(name), CC_STATES);
+            assert!(r.ok(), "{name}: {r:?}");
+            // fixed-window's controller state never moves, so its space is
+            // just the tick x episode x obligation product — still > 20.
+            assert!(r.states > 20, "{name}: space suspiciously small: {r:?}");
+        }
+    }
+
+    #[test]
+    fn reno_alias_is_checked_too() {
+        let r = check(&CongCtrl::shipped("reno"), CC_STATES);
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn buggy_deflate_is_starved_by_partial_acks() {
+        // The promised counterexample: the broken deflation loses the
+        // 1-MSS floor, so a loss followed by enough partial acks walks
+        // the allowance to zero — guarantee 1, found as a concrete trace.
+        let r = check(&CongCtrl::buggy(), CC_STATES);
+        let v = r.violation.expect("BuggyDeflate must violate the floor");
+        assert!(v.reason.contains("below the"), "{v:?}");
+        assert_eq!(v.actions.first(), Some(&"dupack_loss"), "{v:?}");
+        assert!(
+            v.actions[1..].iter().all(|a| *a == "partial_ack"),
+            "shortest starvation is pure partial acks: {v:?}"
+        );
+    }
+
+    #[test]
+    fn deeper_bound_still_passes_for_newreno() {
+        // The default depth is conservative; make sure nothing lurks just
+        // past it for the default controller.
+        let mut m = CongCtrl::shipped("newreno");
+        m.max_ticks = 10;
+        let r = check(&m, CC_STATES);
+        assert!(r.ok(), "{r:?}");
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::wire::FourTuple;
 use netsim::{Dur, Time};
+use slcc::{CongSignal, NewReno, RateController};
 use std::collections::{BTreeMap, VecDeque};
 
 /// RFC 793 connection states.
@@ -76,12 +77,27 @@ pub struct Pcb {
     pub rcv_nxt: u32,
 
     // --- congestion control (entangled with everything) ---
-    pub cwnd: u32,
-    pub ssthresh: u32,
+    /// The pluggable controller — the same shared [`RateController`] set
+    /// the sublayered stack selects from (the paper's swap claim, cashed
+    /// in for the monolith). The *feeder* state below (dupacks, recover,
+    /// in_fast_recovery) stays in the PCB: classifying acks against the
+    /// recovery point is sequence arithmetic, which the controller never
+    /// sees.
+    pub cc: Box<dyn RateController>,
+    /// CC observability: window samples and loss/recovery event counts,
+    /// in the shared `slmetrics` shape both stacks fill (E19).
+    pub cc_stats: slmetrics::CcCounters,
     pub dupacks: u32,
     /// Right edge of fast recovery (NewReno `recover`).
     pub recover: u32,
     pub in_fast_recovery: bool,
+    /// F-RTO (RFC 5682, simplified): the pre-timeout `snd_max`, armed by
+    /// the first RTO of a loss episode. While set, ack progress decides
+    /// between "spurious — cancel the go-back-N replay" and "genuine —
+    /// keep the conventional rewind" (see `stack.rs` ACK processing).
+    pub frto_mark: Option<u32>,
+    /// The first post-RTO ack advance was seen (F-RTO step 2 taken).
+    pub frto_probed: bool,
 
     // --- RTT estimation ---
     pub srtt: Option<Dur>,
@@ -140,6 +156,16 @@ pub struct Pcb {
 
 impl Pcb {
     pub fn new(tuple: FourTuple, state: TcpState, iss: u32) -> Pcb {
+        Self::with_cc(tuple, state, iss, Box::new(NewReno::new()))
+    }
+
+    /// Construct with an explicit (already-validated) rate controller.
+    pub fn with_cc(
+        tuple: FourTuple,
+        state: TcpState,
+        iss: u32,
+        cc: Box<dyn RateController>,
+    ) -> Pcb {
         Pcb {
             tuple,
             state,
@@ -152,11 +178,13 @@ impl Pcb {
             snd_wl2: 0,
             irs: 0,
             rcv_nxt: 0,
-            cwnd: DEFAULT_MSS as u32 * 2,
-            ssthresh: 64 * 1024,
+            cc,
+            cc_stats: slmetrics::CcCounters::default(),
             dupacks: 0,
             recover: iss,
             in_fast_recovery: false,
+            frto_mark: None,
+            frto_probed: false,
             srtt: None,
             rttvar: Dur::ZERO,
             rto: INITIAL_RTO,
@@ -188,6 +216,38 @@ impl Pcb {
     /// Bytes in flight.
     pub fn flight_size(&self) -> u32 {
         self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Current congestion allowance in bytes, clamped to window width.
+    pub fn cwnd(&self, now: Time) -> u32 {
+        self.cc.allowance(now).min(u32::MAX as u64) as u32
+    }
+
+    /// Feed one congestion signal to the controller, keeping the
+    /// observability counters in step (the same [`slmetrics::CcCounters`]
+    /// shape the sublayered OSR fills).
+    pub fn feed_cc(&mut self, now: Time, sig: CongSignal) {
+        match sig {
+            CongSignal::DupAckLoss => {
+                self.cc_stats.dupack_losses = self.cc_stats.dupack_losses.saturating_add(1)
+            }
+            CongSignal::PartialAck { .. } => {
+                self.cc_stats.partial_acks = self.cc_stats.partial_acks.saturating_add(1)
+            }
+            CongSignal::TimeoutLoss => {
+                self.cc_stats.rto_resets = self.cc_stats.rto_resets.saturating_add(1)
+            }
+            CongSignal::EcnEcho => {
+                self.cc_stats.ecn_signals = self.cc_stats.ecn_signals.saturating_add(1)
+            }
+            _ => {}
+        }
+        let was_in_recovery = self.cc.in_recovery();
+        self.cc.on_signal(now, sig);
+        if !was_in_recovery && self.cc.in_recovery() {
+            self.cc_stats.fast_recoveries = self.cc_stats.fast_recoveries.saturating_add(1);
+        }
+        self.cc_stats.sample(self.cc.allowance(now), self.cc.ssthresh());
     }
 
     /// Has every byte (and FIN, if queued) been acknowledged?

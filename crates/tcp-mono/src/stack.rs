@@ -14,6 +14,7 @@ use crate::pcb::*;
 use crate::seq;
 use crate::wire::{Endpoint, FourTuple, Segment, ACK, FIN, PSH, RST, SYN};
 use netsim::{Dur, Stack, Time, TransportError};
+use slcc::{CcError, CongSignal, NewReno, RateController};
 use slmetrics::{Pressure, SharedLog};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -40,6 +41,9 @@ pub struct TcpStats {
     pub half_open_evictions: u64,
     /// ACKs dropped for being far outside the plausible window (RFC 5961 §5).
     pub old_ack_drops: u64,
+    /// Retransmission timeouts F-RTO classified as spurious (the original
+    /// flight was still arriving; the go-back-N replay was cancelled).
+    pub spurious_rtos: u64,
     /// Out-of-order payload bytes discarded at the reassembly byte cap.
     pub ooo_overflow_drops: u64,
     /// Inbound flows refused because the connection table was full.
@@ -122,11 +126,26 @@ pub struct TcpStack {
     pressure: Pressure,
     /// Host-requested accept gate (drain/quiesce).
     gate: bool,
+    /// The configured rate controller, validated at construction and
+    /// cloned into each new PCB — the same shared [`RateController`] set
+    /// the sublayered stack selects from.
+    cc_template: Box<dyn RateController>,
     pub stats: TcpStats,
 }
 
 impl TcpStack {
     pub fn new(addr: u32, log: SharedLog) -> TcpStack {
+        Self::build(addr, Box::new(NewReno::new()), log)
+    }
+
+    /// Construct with a named congestion controller from the shared
+    /// [`slcc`] set; an unknown name is a typed error at construction,
+    /// never a panic on input.
+    pub fn with_cc(addr: u32, cc: &str, log: SharedLog) -> Result<TcpStack, CcError> {
+        Ok(Self::build(addr, slcc::make(cc)?, log))
+    }
+
+    fn build(addr: u32, cc_template: Box<dyn RateController>, log: SharedLog) -> TcpStack {
         TcpStack {
             addr,
             listeners: HashSet::new(),
@@ -139,8 +158,14 @@ impl TcpStack {
             next_ephemeral: 49152,
             pressure: Pressure::Nominal,
             gate: false,
+            cc_template,
             stats: TcpStats::default(),
         }
+    }
+
+    /// The name of the configured congestion controller.
+    pub fn cc_name(&self) -> &'static str {
+        self.cc_template.name()
     }
 
     pub fn addr(&self) -> u32 {
@@ -222,6 +247,14 @@ impl TcpStack {
 
     /// The terminal error recorded for `tuple`, if the connection was
     /// aborted (locally or by the peer) rather than closed cleanly.
+    /// Per-connection congestion-control observability: window samples
+    /// and loss/recovery event counts ([`slmetrics::CcCounters`], the
+    /// same shape the sublayered stack fills — E19 reads both like for
+    /// like).
+    pub fn conn_cc(&self, tuple: FourTuple) -> Option<slmetrics::CcCounters> {
+        self.conns.get(&tuple).map(|p| p.cc_stats)
+    }
+
     pub fn conn_error(&self, tuple: FourTuple) -> Option<TransportError> {
         self.errors.get(&tuple).copied()
     }
@@ -275,7 +308,7 @@ impl TcpStack {
         self.log.borrow_mut().w(CONN, "state");
         self.log.borrow_mut().w(CONN, "iss");
         let iss = self.isn(now, &tuple);
-        let mut pcb = Pcb::new(tuple, TcpState::SynSent, iss);
+        let mut pcb = Pcb::with_cc(tuple, TcpState::SynSent, iss, self.cc_template.clone());
         pcb.snd_nxt = iss.wrapping_add(1);
         pcb.snd_max = pcb.snd_nxt;
         pcb.rto_deadline = Some(now + pcb.rto);
@@ -635,7 +668,7 @@ impl TcpStack {
             self.log.borrow_mut().r(RD, "snd_una");
             self.log.borrow_mut().r(RD, "mss");
             self.log.borrow_mut().r(RD, "rcv_wnd");
-            let window = pcb.snd_wnd.min(pcb.cwnd);
+            let window = pcb.snd_wnd.min(pcb.cwnd(now));
             let usable = window.saturating_sub(pcb.flight_size());
             let offset = pcb.snd_nxt.wrapping_sub(pcb.snd_buf_seq) as usize;
             let avail = pcb.snd_buf.len().saturating_sub(offset);
@@ -857,7 +890,7 @@ impl TcpStack {
                 self.log.borrow_mut().w(CONN, "snd_wnd");
                 self.log.borrow_mut().w(CONN, "mss");
                 let iss = self.isn(now, &tuple);
-                let mut pcb = Pcb::new(tuple, TcpState::SynRcvd, iss);
+                let mut pcb = Pcb::with_cc(tuple, TcpState::SynRcvd, iss, self.cc_template.clone());
                 pcb.snd_nxt = iss.wrapping_add(1);
                 pcb.snd_max = pcb.snd_nxt;
                 pcb.irs = seg.seq;
@@ -884,7 +917,7 @@ impl TcpStack {
                 // the connection runs at the default.)
                 self.log.borrow_mut().w(CONN, "state");
                 let cookie = seg.ack.wrapping_sub(1);
-                let mut pcb = Pcb::new(tuple, TcpState::Established, cookie);
+                let mut pcb = Pcb::with_cc(tuple, TcpState::Established, cookie, self.cc_template.clone());
                 pcb.snd_una = seg.ack;
                 pcb.snd_nxt = seg.ack;
                 pcb.snd_max = seg.ack;
@@ -1120,9 +1153,11 @@ impl TcpStack {
 
             // RTT sample (Karn's rule: only when nothing was retransmitted,
             // i.e. the timing marker survived).
+            let mut rtt_sample = None;
             if let Some((tseq, t0)) = pcb.rtt_timing {
                 if seq::geq(seg.ack, tseq) {
                     let sample = now.since(t0);
+                    rtt_sample = Some(sample);
                     self.log.borrow_mut().w(RD, "srtt");
                     match pcb.srtt {
                         None => {
@@ -1156,6 +1191,23 @@ impl TcpStack {
             if seq::lt(pcb.snd_nxt, pcb.snd_una) {
                 pcb.snd_nxt = pcb.snd_una;
             }
+            // F-RTO resolution: the first ack advance after a timeout
+            // redirects transmission back to new data (snd_nxt jumps to
+            // snd_max instead of replaying the rewound flight); a second
+            // advance proves the original flight is still arriving, so
+            // the timeout was spurious and the replay stays cancelled. A
+            // duplicate ack instead reverts to the conventional rewind
+            // (see the dup-ack arm below).
+            if let Some(mark) = pcb.frto_mark {
+                pcb.snd_nxt = pcb.snd_max;
+                if pcb.frto_probed || seq::geq(seg.ack, mark) {
+                    pcb.frto_mark = None;
+                    pcb.frto_probed = false;
+                    self.stats.spurious_rtos += 1;
+                } else {
+                    pcb.frto_probed = true;
+                }
+            }
             pcb.retries = 0;
             pcb.una_since = if pcb.flight_size() == 0 && pcb.snd_buf.is_empty() {
                 None
@@ -1163,11 +1215,19 @@ impl TcpStack {
                 Some(now)
             };
 
-            // Congestion control: NewReno.
+            // Congestion control: classify the ack for the pluggable
+            // controller. The classification — partial vs. full against
+            // the recovery point — is sequence arithmetic and stays in
+            // the PCB path; the window arithmetic lives behind the shared
+            // RateController trait (same controller set as the sublayered
+            // stack).
             if pcb.in_fast_recovery {
                 if seq::geq(seg.ack, pcb.recover) {
-                    // Full ack: leave fast recovery (deflate).
-                    pcb.cwnd = pcb.ssthresh;
+                    // Full ack: leave fast recovery (controller deflates).
+                    pcb.feed_cc(
+                        now,
+                        CongSignal::FullAck { bytes: bytes_acked, rtt: rtt_sample },
+                    );
                     pcb.in_fast_recovery = false;
                     pcb.dupacks = 0;
                 } else {
@@ -1176,23 +1236,11 @@ impl TcpStack {
                     self.stats.fast_retransmits += 1;
                     let una = pcb.snd_una;
                     self.retransmit_one(&mut pcb, una);
-                    pcb.cwnd = pcb
-                        .cwnd
-                        .saturating_sub(bytes_acked)
-                        .max(pcb.mss)
-                        .saturating_add(pcb.mss);
+                    pcb.feed_cc(now, CongSignal::PartialAck { bytes: bytes_acked });
                 }
             } else {
                 pcb.dupacks = 0;
-                if pcb.cwnd < pcb.ssthresh {
-                    // Slow start.
-                    pcb.cwnd = pcb.cwnd.saturating_add(bytes_acked.min(pcb.mss));
-                } else {
-                    // Congestion avoidance: ~one MSS per RTT.
-                    pcb.cwnd = pcb
-                        .cwnd
-                        .saturating_add(((pcb.mss * pcb.mss) / pcb.cwnd).max(1));
-                }
+                pcb.feed_cc(now, CongSignal::Acked { bytes: bytes_acked, rtt: rtt_sample });
             }
 
             // Restart or clear the retransmission timer.
@@ -1229,6 +1277,13 @@ impl TcpStack {
             self.log.borrow_mut().r(CC, "snd_una");
             self.log.borrow_mut().r(CC, "snd_nxt");
             self.log.borrow_mut().r(CC, "snd_wnd");
+            if pcb.frto_mark.take().is_some() {
+                // F-RTO: a duplicate ack right after the timeout means
+                // the loss was real — fall back to the conventional
+                // rewound slow-start retransmission.
+                pcb.frto_probed = false;
+                pcb.snd_nxt = pcb.snd_una;
+            }
             pcb.dupacks += 1;
             self.stats.dupacks += 1;
             if pcb.dupacks == 3 && !pcb.in_fast_recovery {
@@ -1237,15 +1292,17 @@ impl TcpStack {
                 self.log.borrow_mut().r(CC, "snd_buf");
                 self.log.borrow_mut().w(CC, "recover");
                 self.stats.fast_retransmits += 1;
-                pcb.ssthresh = (pcb.flight_size() / 2).max(2 * pcb.mss);
+                // The loss cut is taken by the controller (from its own
+                // cwnd, not flight size — the controller never sees
+                // sequence state); the recovery point stays here.
                 let una = pcb.snd_una;
                 self.retransmit_one(&mut pcb, una);
-                pcb.cwnd = pcb.ssthresh + 3 * pcb.mss;
+                pcb.feed_cc(now, CongSignal::DupAckLoss);
                 pcb.in_fast_recovery = true;
                 pcb.recover = pcb.snd_max;
             } else if pcb.in_fast_recovery {
                 // Window inflation.
-                pcb.cwnd = pcb.cwnd.saturating_add(pcb.mss);
+                pcb.feed_cc(now, CongSignal::DupAck);
             }
         }
 
@@ -1410,16 +1467,28 @@ impl TcpStack {
                     TcpState::SynSent => self.send_syn(&mut pcb, false),
                     TcpState::SynRcvd => self.send_syn(&mut pcb, true),
                     _ => {
-                        // Classic RTO response: collapse to slow start and
-                        // go back to snd_una.
-                        pcb.ssthresh = (pcb.flight_size() / 2).max(2 * pcb.mss);
-                        pcb.cwnd = pcb.mss;
+                        // Classic RTO response: the controller collapses
+                        // to slow start; go back to snd_una.
+                        pcb.feed_cc(now, CongSignal::TimeoutLoss);
                         pcb.in_fast_recovery = false;
                         pcb.dupacks = 0;
                         pcb.rtt_timing = None; // Karn
                         if pcb.fin_seq.is_some_and(|fs| seq::geq(fs, pcb.snd_una)) {
                             pcb.fin_seq = None; // resend FIN via output
                         }
+                        // F-RTO (RFC 5682, simplified): arm spurious-
+                        // timeout detection on the episode's first timeout
+                        // when more than one segment is outstanding;
+                        // backed-off repeats run the conventional
+                        // go-back-N below.
+                        pcb.frto_probed = false;
+                        pcb.frto_mark = if pcb.retries == 1
+                            && pcb.flight_size() > pcb.mss
+                        {
+                            Some(pcb.snd_max)
+                        } else {
+                            None
+                        };
                         pcb.snd_nxt = pcb.snd_una;
                         self.output_pcb(now, &mut pcb);
                     }
@@ -1549,7 +1618,7 @@ impl TcpStack {
                 p.snd_una.wrapping_sub(p.iss),
                 p.snd_nxt.wrapping_sub(p.iss),
                 p.snd_wnd,
-                p.cwnd,
+                p.cc.allowance(Time::ZERO),
                 p.snd_buf.len(),
                 p.snd_buf_seq.wrapping_sub(p.iss),
                 p.rcv_nxt.wrapping_sub(p.irs),

@@ -224,6 +224,118 @@ fn fast_retransmit_fires_under_single_loss() {
 }
 
 #[test]
+fn cc_is_swappable_and_validated_at_construction() {
+    let s = TcpStack::with_cc(A, "cubic", slmetrics::shared()).expect("cubic ships");
+    assert_eq!(s.cc_name(), "cubic");
+    let err = TcpStack::with_cc(A, "vegas", slmetrics::shared())
+        .err()
+        .expect("unknown controller must be a typed error, not a panic");
+    assert!(err.to_string().contains("vegas"), "{err}");
+}
+
+#[test]
+fn cc_counters_observe_loss_recovery() {
+    // Same lossy setup as `fast_retransmit_fires_under_single_loss`; the
+    // per-connection CC counters must show the episodes the stats counted.
+    let params = LinkParams::delay_only(Dur::from_millis(10))
+        .with_fault(FaultProfile::lossy(0.03));
+    let (mut net, nc, ns, conn) = pair(11, params);
+    run_for(&mut net, Dur::from_secs(3));
+    let data = vec![7u8; 120_000];
+    client(&mut net, nc).send(conn, &data);
+    net.poll_all();
+    let mut got = Vec::new();
+    for _ in 0..120 {
+        run_for(&mut net, Dur::from_secs(1));
+        if let Some(&sconn) = client(&mut net, ns).established().first() {
+            got.extend(client(&mut net, ns).recv(sconn));
+        }
+        if got.len() >= data.len() {
+            break;
+        }
+    }
+    assert_eq!(got.len(), data.len());
+    let cc = client(&mut net, nc).conn_cc(conn).expect("live connection");
+    assert!(cc.samples > 0, "{cc:?}");
+    assert!(cc.cwnd_peak >= cc.cwnd_last, "{cc:?}");
+    assert!(cc.dupack_losses + cc.rto_resets > 0, "3% loss must show up: {cc:?}");
+    if cc.dupack_losses > 0 {
+        assert!(cc.fast_recoveries > 0, "dupack loss opens an episode: {cc:?}");
+    }
+}
+
+#[test]
+fn frto_classifies_bufferbloat_timeout_as_spurious() {
+    // Three flows slow-starting into one lossless 2 Mbps bottleneck: the
+    // shared serialization queue inflates the RTT past the estimator's
+    // RTO, so timeouts fire with nothing lost. F-RTO must recognize the
+    // spurious timeout from ack progress and cancel the go-back-N
+    // replay — the failure mode is a self-sustaining duplicate storm in
+    // which every replayed segment draws dup acks that open fresh
+    // "loss" episodes and collapse goodput.
+    fn peek(frame: &[u8]) -> Option<(u32, u32)> {
+        if frame.len() < 28 {
+            return None;
+        }
+        let src = u32::from_be_bytes(frame.get(0..4)?.try_into().ok()?);
+        let dst = u32::from_be_bytes(frame.get(4..8)?.try_into().ok()?);
+        Some((src, dst))
+    }
+    use netlayer::{box_host_addr, topo_fanin};
+    let mut net = SimNet::new(1);
+    let bn = topo_fanin().build(&mut net, peek);
+    let saddr = box_host_addr(3);
+    let mut server = TcpStack::new(saddr, slmetrics::shared());
+    server.listen(80);
+    let mut clients = Vec::new();
+    for i in 0..3usize {
+        let mut c = TcpStack::new(box_host_addr(i), slmetrics::shared());
+        let conn = c.connect(Time::ZERO, 5000 + i as u16, Endpoint::new(saddr, 80));
+        let id = net.add_node(Box::new(StackNode::new(c)));
+        let (router, port) = bn.host_ports[i];
+        net.connect(id, 0, router, port, LinkParams::delay_only(Dur::from_millis(1)));
+        clients.push((id, conn));
+    }
+    let ns = {
+        let id = net.add_node(Box::new(StackNode::new(server)));
+        let (router, port) = bn.host_ports[3];
+        net.connect(id, 0, router, port, LinkParams::delay_only(Dur::from_millis(1)));
+        id
+    };
+    net.poll_all();
+    let data = vec![9u8; 400_000];
+    let mut sent = [0usize; 3];
+    let mut got = 0usize;
+    let end = Time::ZERO + Dur::from_secs(5);
+    while net.now() < end {
+        run_for(&mut net, Dur::from_millis(50));
+        for (i, &(id, conn)) in clients.iter().enumerate() {
+            if sent[i] < data.len() {
+                sent[i] += client(&mut net, id).send(conn, &data[sent[i]..]);
+            }
+        }
+        let sv = client(&mut net, ns);
+        for sconn in sv.established() {
+            got += sv.recv(sconn).len();
+        }
+        net.poll_all();
+    }
+    let mut spurious = 0;
+    let mut dupack_losses = 0;
+    for &(id, conn) in &clients {
+        let c = client(&mut net, id);
+        assert!(c.conn_error(conn).is_none(), "no abort on a lossless net");
+        spurious += c.stats.spurious_rtos;
+        dupack_losses += c.conn_cc(conn).expect("live").dupack_losses;
+    }
+    assert!(spurious > 0, "competing slow-starts must outrun the RTO estimator");
+    assert_eq!(dupack_losses, 0, "no real loss, so no dup-ack episode may open");
+    // 5 s at 2 Mbps carries 1.25 MB; the duplicate-storm collapse this
+    // pins delivered well under half of that.
+    assert!(got > 875_000, "goodput collapsed: {got} bytes in 5s");
+}
+
+#[test]
 fn syn_retransmission_survives_lost_handshake() {
     // Drop the first several frames deterministically via heavy loss, then
     // heal the link: the handshake must still complete thanks to SYN

@@ -1,0 +1,120 @@
+//! Property test: every shipped congestion controller honors the contract
+//! model-checked by `slverify::CongCtrl`, under *arbitrary* feeder-legal
+//! signal sequences (far longer and more varied than the checker's
+//! bounded exhaustive exploration).
+//!
+//! The invariants and their constants ([`slcc::ALLOWANCE_FLOOR`],
+//! [`slcc::MSS`]) are shared with the model — stated once in `slcc`, not
+//! duplicated here:
+//!
+//! 1. allowance never below the floor;
+//! 2. ssthresh non-increasing on any step taken from an open episode;
+//! 3. slow-start exit permanent until the next loss;
+//! 4. `FullAck`/`TimeoutLoss` always close the recovery episode.
+//!
+//! The generator enforces the same assume-discipline as the model: the
+//! feeder (which owns the sequence arithmetic) only speaks
+//! `Partial`/`Full`/`DupAck` while an episode is open, and only
+//! `Acked`/`EcnEcho`/`DupAckLoss` outside one.
+
+use netsim::{Dur, Time};
+use slcc::{CongSignal, ALLOWANCE_FLOOR, MSS, SHIPPED};
+
+/// Drive one controller through the op stream, asserting the contract
+/// after every signal. Returns an error description on violation.
+fn drive(name: &str, ops: &[(u8, u16)]) -> Result<(), String> {
+    let mut ctrl = slcc::make(name).map_err(|e| e.to_string())?;
+    let mut episode = false;
+    for (i, &(kind, raw_bytes)) in ops.iter().enumerate() {
+        let now = Time::ZERO + Dur::from_millis(50 * (i as u64 + 1));
+        let bytes = (raw_bytes as u32 % (2 * MSS as u32)) + 1;
+        let (label, sig, episode_after) = if episode {
+            match kind % 4 {
+                0 => ("dupack", CongSignal::DupAck, true),
+                1 => ("partial_ack", CongSignal::PartialAck { bytes }, true),
+                2 => ("full_ack", CongSignal::FullAck { bytes, rtt: None }, false),
+                _ => ("timeout", CongSignal::TimeoutLoss, false),
+            }
+        } else {
+            match kind % 4 {
+                0 => ("acked", CongSignal::Acked { bytes, rtt: None }, false),
+                1 => ("ecn_echo", CongSignal::EcnEcho, false),
+                2 => ("dupack_loss", CongSignal::DupAckLoss, true),
+                _ => ("timeout", CongSignal::TimeoutLoss, false),
+            }
+        };
+        let pre_ssthresh = ctrl.ssthresh();
+        let pre_allowance = ctrl.allowance(now);
+        let was_ca = pre_ssthresh.is_some_and(|t| pre_allowance >= t);
+        let pre_episode = episode;
+
+        ctrl.on_signal(now, sig);
+        episode = episode_after;
+
+        let allowance = ctrl.allowance(now);
+        if allowance < ALLOWANCE_FLOOR {
+            return Err(format!(
+                "{name}: op {i} ({label}): allowance {allowance} below floor {ALLOWANCE_FLOOR}"
+            ));
+        }
+        if pre_episode {
+            if let (Some(pre), Some(post)) = (pre_ssthresh, ctrl.ssthresh()) {
+                if post > pre {
+                    return Err(format!(
+                        "{name}: op {i} ({label}): ssthresh raised {pre} -> {post} mid-episode"
+                    ));
+                }
+            }
+        }
+        if !pre_episode && label == "acked" && was_ca {
+            if let Some(t) = ctrl.ssthresh() {
+                if allowance < t {
+                    return Err(format!(
+                        "{name}: op {i} (acked): dropped back into slow start \
+                         ({allowance} < ssthresh {t}) with no loss"
+                    ));
+                }
+            }
+        }
+        if matches!(sig, CongSignal::FullAck { .. } | CongSignal::TimeoutLoss)
+            && ctrl.in_recovery()
+        {
+            return Err(format!("{name}: op {i} ({label}): episode did not close"));
+        }
+    }
+    Ok(())
+}
+
+proptest::proptest! {
+    #[test]
+    fn prop_shipped_controllers_honor_the_contract(
+        ops in proptest::collection::vec(
+            (proptest::num::u8::ANY, proptest::num::u16::ANY),
+            0..80,
+        ),
+    ) {
+        for name in SHIPPED {
+            if let Err(why) = drive(name, &ops) {
+                proptest::prop_assert!(false, "{}", why);
+            }
+        }
+    }
+}
+
+#[test]
+fn the_seeded_bug_is_caught_by_the_same_driver() {
+    // The deliberately broken controller fails the identical discipline:
+    // a loss followed by a partial-ack storm starves its window. This
+    // pins that the property above has teeth.
+    let mut ctrl: Box<dyn slcc::RateController> = Box::new(slcc::BuggyDeflate::new());
+    ctrl.on_signal(Time::ZERO, CongSignal::DupAckLoss);
+    for i in 0..8 {
+        let now = Time::ZERO + Dur::from_millis(50 * (i + 1));
+        ctrl.on_signal(now, CongSignal::PartialAck { bytes: MSS as u32 });
+    }
+    let final_allowance = ctrl.allowance(Time::ZERO + Dur::from_secs(1));
+    assert!(
+        final_allowance < ALLOWANCE_FLOOR,
+        "BuggyDeflate was supposed to starve, got allowance {final_allowance}"
+    );
+}
