@@ -36,6 +36,8 @@ fn main() {
                     o.conns_per_sec.to_string(),
                     o.p50_us.to_string(),
                     o.p99_us.to_string(),
+                    o.accept_p99_us.to_string(),
+                    o.shard_occupancy.to_string(),
                     format!(
                         "{}.{:02}",
                         o.work_per_tick_x100 / 100,
@@ -60,6 +62,8 @@ fn main() {
                     "conns/s",
                     "p50 us",
                     "p99 us",
+                    "acc p99 us",
+                    "occ %",
                     "work/tick",
                     "ticks",
                     "xings/conn",

@@ -1,0 +1,101 @@
+//! E20 — sharded multi-core host sweep (`slshard`).
+//!
+//! Sweeps connection counts × both transport stacks over an N-way
+//! [`slshard::ShardedHost`] with heavy-tailed request sizes and RTT
+//! diversity, checking workload and budget invariants in every run (all
+//! echoes intact, per-shard and global budgets never exceeded, no
+//! starved shard, balanced shard work, tables drained) and — in smoke
+//! mode — that every threaded run is byte-identical to its
+//! single-thread inline reference.
+//!
+//! Usage: `exp_shard [--smoke] [--json] [--stretch]`. The full run
+//! writes its JSON summary to `BENCH_shard.json`; `--smoke` is the fast
+//! CI-sized subset (which also runs the inline determinism cross-check);
+//! `--stretch` adds the 500k-connection cell.
+
+use bench::markdown_table;
+use bench::shard;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let stretch = args.iter().any(|a| a == "--stretch");
+
+    let outs = shard::sweep(smoke, stretch);
+    let cross = shard::mode_cross_checks(&outs);
+    let summary = shard::summary_json(&outs, &cross);
+
+    if json {
+        println!("{summary}");
+    } else {
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.stack.to_string(),
+                    o.mode.to_string(),
+                    o.shards.to_string(),
+                    o.n.to_string(),
+                    format!("{}/{}", o.completed, o.n),
+                    o.conns_per_sec.to_string(),
+                    o.accept_p99_us.to_string(),
+                    o.p99_us.to_string(),
+                    o.peak_bytes_per_conn.to_string(),
+                    o.shard_occupancy.to_string(),
+                    format!("{}.{:02}", o.balance_x100 / 100, o.balance_x100 % 100),
+                    o.final_floor.to_string(),
+                    o.violations.len().to_string(),
+                ]
+            })
+            .collect();
+        println!("# E20: sharded multi-core host (slshard)\n");
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "stack",
+                    "mode",
+                    "shards",
+                    "n",
+                    "done",
+                    "conns/s",
+                    "acc p99 us",
+                    "p99 us",
+                    "peak B/conn",
+                    "occ %",
+                    "balance",
+                    "floor",
+                    "viol"
+                ],
+                &rows
+            )
+        );
+        for o in &outs {
+            for v in &o.violations {
+                println!(
+                    "VIOLATION [{} {} shards={} n={}]: {v}",
+                    o.stack, o.mode, o.shards, o.n
+                );
+            }
+        }
+        for c in &cross {
+            println!("VIOLATION [mode-determinism]: {c}");
+        }
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_shard.json", format!("{summary}\n"))
+            .expect("write BENCH_shard.json");
+        if !json {
+            println!("\nwrote BENCH_shard.json");
+        }
+    }
+
+    let bad =
+        outs.iter().map(|o| o.violations.len()).sum::<usize>() + cross.len();
+    if bad > 0 {
+        eprintln!("exp_shard: {bad} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@ pub mod conform;
 pub mod fairness;
 pub mod overload;
 pub mod scale;
+pub mod shard;
 pub mod topology;
 
 use netsim::{two_party, Dur, FaultProfile, LinkParams, SimNet, StackNode, Time};
@@ -220,6 +221,17 @@ pub fn standard_link(loss: f64) -> LinkParams {
         .with_fault(FaultProfile::lossy(loss))
 }
 
+/// Nearest-rank percentile over an ascending-sorted slice (`q` in
+/// `0..=100`); 0 for empty input. Shared by the scale and shard sweeps
+/// so their latency columns are computed identically.
+pub fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as u64 * q / 100) as usize]
+    }
+}
+
 /// Render rows as a markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -291,6 +303,17 @@ mod tests {
         let lossy = run_transfer(StackKind::Sub("reno"), 100_000, standard_link(0.1), 1, 180);
         assert!(clean.complete && lossy.complete);
         assert!(clean.sim_seconds < lossy.sim_seconds);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 0), 7);
+        assert_eq!(percentile(&[7], 100), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
     }
 
     #[test]

@@ -97,6 +97,16 @@ pub struct ScaleOutcome {
     /// Connect-to-echo-complete latency percentiles, microseconds.
     pub p50_us: u64,
     pub p99_us: u64,
+    /// Connect-to-established (accept) latency percentiles, microseconds
+    /// — p99, not a mean, so accept-queue stalls at scale are visible.
+    pub accept_p50_us: u64,
+    pub accept_p99_us: u64,
+    /// `HostCounters::bytes_per_conn` sampled mid-linger (all N
+    /// connections open): buffered bytes per open connection.
+    pub bytes_per_conn: u64,
+    /// `HostCounters::shard_occupancy` at the same sample: open
+    /// connections as % of table capacity.
+    pub shard_occupancy: u64,
     pub ticks: u64,
     pub timer_fires: u64,
     pub timer_touches: u64,
@@ -147,6 +157,8 @@ pub struct ScaleClient<S: HostStack> {
     connect_at: Time,
     linger_until: Time,
     pub connected_at: Option<Time>,
+    /// When the handshake completed (accept latency's far edge).
+    pub established_at: Option<Time>,
     pub done_at: Option<Time>,
     pub error: Option<TransportError>,
     pub corrupt: bool,
@@ -164,6 +176,7 @@ impl<S: HostStack> ScaleClient<S> {
             connect_at,
             linger_until: Time::MAX,
             connected_at: None,
+            established_at: None,
             done_at: None,
             error: None,
             corrupt: false,
@@ -200,6 +213,7 @@ impl<S: HostStack> ScaleClient<S> {
                     if !self.stack.is_established(id) {
                         return;
                     }
+                    self.established_at = Some(now);
                     self.stack.send(id, &self.req);
                     self.phase = Phase::Await;
                 }
@@ -330,6 +344,14 @@ fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutc
     let horizon = Time(
         1_000_000 + STAGGER_NS * p.n as u64 + 2_000_000_000 + LINGER_NS + 12_000_000_000,
     );
+    // Mid-linger: every client has echoed but none has closed — sample
+    // the occupancy gauges with all N connections open.
+    let mid = Time(1_000_000 + STAGGER_NS * p.n as u64 + 2_000_000_000 + LINGER_NS / 2);
+    net.run_until(mid);
+    net.node_mut::<MultiStackNode<ServedHost<S, EchoApp>>>(sid)
+        .stack
+        .host
+        .sample_gauges();
     net.run_until(horizon);
 
     let mut completed = 0usize;
@@ -338,6 +360,7 @@ fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutc
     let mut first_error: Option<TransportError> = None;
     let mut starved: Vec<usize> = Vec::new();
     let mut lat_us: Vec<u64> = Vec::new();
+    let mut accept_us: Vec<u64> = Vec::new();
     let mut first_connect = u64::MAX;
     let mut last_done = 0u64;
     for (i, &cid) in cids.iter().enumerate() {
@@ -348,6 +371,9 @@ fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutc
         if let Some(e) = c.error {
             client_errors += 1;
             first_error.get_or_insert(e);
+        }
+        if let (Some(t0), Some(te)) = (c.connected_at, c.established_at) {
+            accept_us.push(te.nanos().saturating_sub(t0.nanos()) / 1_000);
         }
         match (c.connected_at, c.done_at) {
             (Some(t0), Some(t1)) if !c.corrupt => {
@@ -360,13 +386,8 @@ fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutc
         }
     }
     lat_us.sort_unstable();
-    let pct = |q: u64| -> u64 {
-        if lat_us.is_empty() {
-            0
-        } else {
-            lat_us[((lat_us.len() - 1) as u64 * q / 100) as usize]
-        }
-    };
+    accept_us.sort_unstable();
+    let pct = |q: u64| crate::percentile(&lat_us, q);
     let window = last_done.saturating_sub(first_connect);
     let conns_per_sec =
         (completed as u64 * 1_000_000_000).checked_div(window).unwrap_or(0);
@@ -387,6 +408,10 @@ fn run_generic<S: HostStack>(p: ScaleParams, mk: impl Fn(u32) -> S) -> ScaleOutc
         conns_per_sec,
         p50_us: pct(50),
         p99_us: pct(99),
+        accept_p50_us: crate::percentile(&accept_us, 50),
+        accept_p99_us: crate::percentile(&accept_us, 99),
+        bytes_per_conn: k.bytes_per_conn,
+        shard_occupancy: k.shard_occupancy,
         ticks: k.ticks,
         timer_fires: k.timer_fires,
         timer_touches: k.timer_touches,
@@ -541,6 +566,8 @@ pub fn outcome_json(o: &ScaleOutcome) -> String {
         "{{\"stack\":{},\"timer\":{},\"n\":{},\"seed\":{},\"completed\":{},\
          \"corrupt\":{},\"client_errors\":{},\"first_error\":{},\"accepts\":{},\
          \"accept_refusals\":{},\"conns_per_sec\":{},\"p50_us\":{},\"p99_us\":{},\
+         \"accept_p50_us\":{},\"accept_p99_us\":{},\"bytes_per_conn\":{},\
+         \"shard_occupancy\":{},\
          \"ticks\":{},\"timer_fires\":{},\"timer_touches\":{},\
          \"work_per_tick_x100\":{},\"frames_in\":{},\"frames_out\":{},\
          \"events\":{},\"echoed_bytes\":{},\"crossings\":{},\"server_residual\":{},\
@@ -558,6 +585,10 @@ pub fn outcome_json(o: &ScaleOutcome) -> String {
         o.conns_per_sec,
         o.p50_us,
         o.p99_us,
+        o.accept_p50_us,
+        o.accept_p99_us,
+        o.bytes_per_conn,
+        o.shard_occupancy,
         o.ticks,
         o.timer_fires,
         o.timer_touches,

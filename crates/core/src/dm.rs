@@ -8,6 +8,7 @@
 use crate::wire::Packet;
 use slmetrics::SharedLog;
 use std::collections::{HashMap, HashSet};
+use tcp_mono::hash::FxBuildHasher;
 use tcp_mono::wire::{Endpoint, FourTuple};
 
 /// Opaque connection handle handed upward by DM.
@@ -41,7 +42,10 @@ pub enum DmVerdict {
 pub struct Demux {
     local_addr: u32,
     listeners: HashSet<u16>,
-    table: HashMap<FourTuple, ConnId>,
+    /// 4-tuple → connection map, keyed by the shared seeded fx mix (the
+    /// same function the shard router uses — "Demux has no state", so the
+    /// bucket placement is a pure function of the tuple).
+    table: HashMap<FourTuple, ConnId, FxBuildHasher>,
     tuples: HashMap<ConnId, FourTuple>,
     next_id: usize,
     next_ephemeral: u16,
@@ -58,7 +62,7 @@ impl Demux {
         Demux {
             local_addr,
             listeners: HashSet::new(),
-            table: HashMap::new(),
+            table: HashMap::with_hasher(FxBuildHasher::with_seed(local_addr as u64)),
             tuples: HashMap::new(),
             next_id: 0,
             next_ephemeral: 49152,

@@ -43,7 +43,7 @@ pub use rng::DetRng;
 pub use stack::{MultiStack, MultiStackNode, Stack, StackNode, TransportError};
 pub use tap::{tap_buffer, SharedTap, TapDir, TapEvent, TapStack};
 pub use time::{Dur, Time};
-pub use workload::{OpenLoopArrivals, ReadBudget};
+pub use workload::{HeavyTailed, OpenLoopArrivals, ReadBudget};
 
 /// Convenience: build a two-node network from two sans-IO stacks joined by
 /// one link, returning the network and both node ids. Used throughout the

@@ -58,6 +58,49 @@ impl OpenLoopArrivals {
     }
 }
 
+/// Deterministic heavy-tailed flow sizes: a bounded "octave Pareto".
+///
+/// `size(i)` is a pure function of `(seed, i)`: a splitmix64-style hash
+/// picks an octave `k` with `P(k) = 2^-(k+1)` and the size is
+/// `min << k`, clamped to `max` — so `P(size ≥ min·2^k) = 2^-k`, a
+/// discrete Pareto tail. Most flows are mice, a thin tail are elephants:
+/// the canonical internet flow-size mix, without any shared sampler
+/// state (shards and clients can sample in any order and still agree).
+#[derive(Clone, Copy, Debug)]
+pub struct HeavyTailed {
+    seed: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HeavyTailed {
+    /// Sizes in `[min, max]`; `min ≥ 1`, `max ≥ min`.
+    pub fn new(seed: u64, min: u64, max: u64) -> Self {
+        assert!(min >= 1 && max >= min, "need 1 <= min <= max");
+        HeavyTailed { seed, min, max }
+    }
+
+    fn hash(&self, i: u64) -> u64 {
+        let mut z = self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Flow size for index `i`.
+    pub fn size(&self, i: u64) -> u64 {
+        let k = self.hash(i).trailing_zeros();
+        self.min.checked_shl(k).map_or(self.max, |v| v.min(self.max))
+    }
+
+    /// An independent uniform pick in `[0, n)` for index `i` — a second
+    /// per-flow stream from the same seed (e.g. an RTT-class choice).
+    pub fn pick(&self, i: u64, n: u64) -> u64 {
+        assert!(n > 0);
+        self.hash(i ^ 0xD1B5_4A32_D192_ED03) % n
+    }
+}
+
 /// A token-bucket byte budget for modelling slow readers: `rate` bytes
 /// per second, bursting to at most `burst` bytes. A slowloris client
 /// wraps its `recv` in one of these so the server's send buffer drains
@@ -142,6 +185,37 @@ mod tests {
         assert_eq!(b.next_refill(t1), Some(t1 + Dur(1_000_000)));
         let t2 = t0 + Dur::from_secs(60);
         assert_eq!(b.grant(t2), 100, "refill is capped at the burst");
+    }
+
+    #[test]
+    fn heavy_tail_is_bounded_and_heavy() {
+        let ht = HeavyTailed::new(42, 256, 1 << 20);
+        let n = 20_000u64;
+        let sizes: Vec<u64> = (0..n).map(|i| ht.size(i)).collect();
+        assert!(sizes.iter().all(|&s| (256..=1 << 20).contains(&s)));
+        // P(size = min) = 1/2, P(size >= min * 16) = 1/16.
+        let mice = sizes.iter().filter(|&&s| s == 256).count() as u64;
+        assert!((n * 4 / 10..=n * 6 / 10).contains(&mice), "mice: {mice}/{n}");
+        let elephants = sizes.iter().filter(|&&s| s >= 256 * 16).count() as u64;
+        assert!(
+            (n / 32..=n / 8).contains(&elephants),
+            "elephants: {elephants}/{n}"
+        );
+        // Stateless: re-sampling any index agrees.
+        assert_eq!(ht.size(17), ht.size(17));
+        assert_eq!(HeavyTailed::new(42, 256, 1 << 20).size(17), ht.size(17));
+    }
+
+    #[test]
+    fn heavy_tail_pick_is_uniform_ish() {
+        let ht = HeavyTailed::new(7, 1, 2);
+        let mut buckets = [0u64; 8];
+        for i in 0..8_000 {
+            buckets[ht.pick(i, 8) as usize] += 1;
+        }
+        for (k, &b) in buckets.iter().enumerate() {
+            assert!((700..=1300).contains(&b), "bucket {k}: {b}");
+        }
     }
 
     #[test]

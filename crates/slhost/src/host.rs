@@ -59,6 +59,14 @@ pub struct HostConfig {
     /// Memory budget driving overload control; the default is unlimited
     /// (overload control disengaged).
     pub budget: ResourceBudget,
+    /// Minimum interval between occupancy recomputations. `buffered_bytes`
+    /// scans every connection, so at 100k connections refreshing on every
+    /// ingest batch is quadratic in spirit; a non-zero interval caps the
+    /// scan rate. Between refreshes the host acts on a slightly stale
+    /// tier — exactly the `lag` the `slverify::Overload` model bounds.
+    /// `Dur::ZERO` (the default) refreshes every call, the pre-shard
+    /// behavior.
+    pub refresh_every: Dur,
 }
 
 impl Default for HostConfig {
@@ -73,6 +81,7 @@ impl Default for HostConfig {
             timer_mode: TimerMode::Wheel,
             idle_timeout: None,
             budget: ResourceBudget::default(),
+            refresh_every: Dur::ZERO,
         }
     }
 }
@@ -161,8 +170,20 @@ pub struct Host<S: HostStack> {
     /// When the current ingest batch is due for servicing.
     batch_due: Option<Time>,
     wheel: TimerWheel<S::ConnId>,
-    /// Current memory-pressure tier (always `Nominal` with no budget).
+    /// Effective memory-pressure tier: max of the local occupancy tier
+    /// and the external floor.
     pressure: Pressure,
+    /// Tier derived from this host's own budget occupancy (`Nominal`
+    /// with no budget).
+    own_pressure: Pressure,
+    /// Externally imposed minimum tier — the second level of the
+    /// degradation ladder. A sharded front pushes its *global* budget
+    /// tier here so every shard degrades together even when no single
+    /// shard's local budget is hot.
+    pressure_floor: Pressure,
+    /// When occupancy was last recomputed (throttled by
+    /// [`HostConfig::refresh_every`]).
+    last_refresh: Option<Time>,
     /// Quiesce mode: refuse all new flows, let existing ones finish.
     draining: bool,
     /// Monotone admission counter stamped onto accepted connections.
@@ -189,6 +210,9 @@ impl<S: HostStack> Host<S> {
             batch_due: None,
             wheel: TimerWheel::new(),
             pressure: Pressure::Nominal,
+            own_pressure: Pressure::Nominal,
+            pressure_floor: Pressure::Nominal,
+            last_refresh: None,
             draining: false,
             next_accept_seq: 0,
             pending_bytes: 0,
@@ -224,9 +248,45 @@ impl<S: HostStack> Host<S> {
         self.routes.insert(addr, port);
     }
 
-    /// Current memory-pressure tier.
+    /// Current effective memory-pressure tier.
     pub fn pressure(&self) -> Pressure {
         self.pressure
+    }
+
+    /// The externally imposed tier floor.
+    pub fn pressure_floor(&self) -> Pressure {
+        self.pressure_floor
+    }
+
+    /// Impose (or lift) an external pressure-tier floor — level two of the
+    /// degradation ladder. The effective tier becomes
+    /// `max(own occupancy tier, floor)`, so a sharded front's global
+    /// budget can force this host to Elevated/High/Critical behavior even
+    /// when its local budget (if any) is cold. Works with no local budget
+    /// configured.
+    pub fn set_pressure_floor(&mut self, now: Time, floor: Pressure) {
+        if floor != self.pressure_floor {
+            self.pressure_floor = floor;
+            self.refresh_pressure(now);
+        }
+    }
+
+    /// Resample the occupancy-derived gauges (`conns_open`, `conns_peak`,
+    /// `bytes_per_conn`, `shard_occupancy`, `mem_used`). Unthrottled and
+    /// O(connections) — call at snapshot/report points, not per frame.
+    pub fn sample_gauges(&mut self) {
+        let open = self.conns.len() as u64;
+        let used = self.stack.buffered_bytes().saturating_add(self.pending_bytes) as u64;
+        self.counters.mem_used = used;
+        self.counters.mem_peak = self.counters.mem_peak.max(used);
+        self.counters.conns_open = open;
+        self.counters.conns_peak = self.counters.conns_peak.max(open);
+        self.counters.bytes_per_conn = used.checked_div(open).unwrap_or(0);
+        self.counters.shard_occupancy = if self.cfg.max_conns == 0 {
+            0
+        } else {
+            open.saturating_mul(100) / self.cfg.max_conns as u64
+        };
     }
 
     /// Enter quiesce mode: all new inbound flows are refused (both at the
@@ -252,13 +312,33 @@ impl<S: HostStack> Host<S> {
     /// pressure is High or worse. Called after batched ingest and on every
     /// tick; a no-op when no budget is configured.
     fn refresh_pressure(&mut self, now: Time) {
-        if !self.cfg.budget.active() {
+        if !self.cfg.budget.active()
+            && self.pressure_floor == Pressure::Nominal
+            && self.pressure == Pressure::Nominal
+        {
             return;
         }
-        let used = self.stack.buffered_bytes().saturating_add(self.pending_bytes);
-        self.counters.mem_used = used as u64;
-        self.counters.mem_peak = self.counters.mem_peak.max(used as u64);
-        let p = Pressure::from_occupancy(used as u64, self.cfg.budget.max_bytes as u64);
+        if self.cfg.budget.active() {
+            // Throttled occupancy scan: between refreshes the host acts on
+            // the cached tier (bounded staleness, the Overload model's
+            // `lag`).
+            let fresh_needed = match self.last_refresh {
+                Some(last) if self.cfg.refresh_every > Dur::ZERO => {
+                    now.since(last) >= self.cfg.refresh_every
+                }
+                Some(_) => true,
+                None => true,
+            };
+            if fresh_needed {
+                self.last_refresh = Some(now);
+                let used = self.stack.buffered_bytes().saturating_add(self.pending_bytes);
+                self.counters.mem_used = used as u64;
+                self.counters.mem_peak = self.counters.mem_peak.max(used as u64);
+                self.own_pressure =
+                    Pressure::from_occupancy(used as u64, self.cfg.budget.max_bytes as u64);
+            }
+        }
+        let p = self.own_pressure.max(self.pressure_floor);
         if p != self.pressure {
             self.pressure = p;
             self.stack.set_pressure(p);
@@ -341,6 +421,7 @@ impl<S: HostStack> Host<S> {
     ) -> Result<S::ConnId, TransportError> {
         let id = self.stack.try_connect_ephemeral(now, remote)?;
         self.conns.insert(id, HostConn::new(now, true));
+        self.note_conn_opened();
         self.stack.pump_conn(now, id);
         self.update(now, id);
         Ok(id)
@@ -394,7 +475,16 @@ impl<S: HostStack> Host<S> {
     }
 
     fn track_inbound(&mut self, now: Time, id: S::ConnId) {
-        self.conns.entry(id).or_insert_with(|| HostConn::new(now, false));
+        if let std::collections::hash_map::Entry::Vacant(v) = self.conns.entry(id) {
+            v.insert(HostConn::new(now, false));
+            self.note_conn_opened();
+        }
+    }
+
+    /// Keep the live/peak connection gauges current without scanning.
+    fn note_conn_opened(&mut self) {
+        self.counters.conns_open = self.conns.len() as u64;
+        self.counters.conns_peak = self.counters.conns_peak.max(self.counters.conns_open);
     }
 
     /// Ingest queued frames: listener-queue first (handshakes create
@@ -523,6 +613,7 @@ impl<S: HostStack> Host<S> {
         }
         if self.stack.is_closed(id) {
             if let Some(hc) = self.conns.remove(&id) {
+                self.counters.conns_open = self.conns.len() as u64;
                 let leftover: usize = hc.pending.iter().map(Vec::len).sum();
                 self.pending_bytes = self.pending_bytes.saturating_sub(leftover);
                 if let Some((key, _)) = hc.wheel_key {

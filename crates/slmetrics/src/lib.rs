@@ -109,6 +109,12 @@ pub struct Counts {
 #[derive(Clone, Debug, Default)]
 pub struct AccessLog {
     counts: BTreeMap<(String, String), Counts>,
+    /// When set, [`AccessLog::rec`] is a no-op. Entanglement measurement
+    /// costs two string allocations plus a map probe per state access —
+    /// fine for protocol experiments, ruinous at 100k connections. The
+    /// scale/shard campaigns run muted; correctness paths never consult
+    /// the log, so behavior is identical either way.
+    muted: bool,
 }
 
 /// Shared handle: the stack owns one log; every subfunction/sublayer holds
@@ -120,9 +126,18 @@ pub fn shared() -> SharedLog {
     Rc::new(RefCell::new(AccessLog::default()))
 }
 
+/// A shared log that discards all accesses (scale benches: no per-access
+/// allocation on the hot path).
+pub fn muted() -> SharedLog {
+    Rc::new(RefCell::new(AccessLog { muted: true, ..AccessLog::default() }))
+}
+
 impl AccessLog {
     /// Record an access to `field` from subfunction `ctx`.
     pub fn rec(&mut self, ctx: &str, field: &str, kind: AccessKind) {
+        if self.muted {
+            return;
+        }
         let c = self.counts.entry((ctx.to_string(), field.to_string())).or_default();
         // Saturating so marathon campaigns can never overflow-panic in
         // debug builds.
@@ -251,6 +266,19 @@ pub struct HostCounters {
     pub mem_used: u64,
     /// Peak buffered-bytes occupancy seen (gauge; the budget invariant).
     pub mem_peak: u64,
+    /// Live connections in the table (gauge, maintained incrementally).
+    pub conns_open: u64,
+    /// Peak live connections seen (gauge).
+    pub conns_peak: u64,
+    /// Buffered bytes per live connection at the last sample (gauge) —
+    /// the memory/conn number the scale reports quote, measured rather
+    /// than guessed.
+    pub bytes_per_conn: u64,
+    /// Connection-table occupancy in percent of `max_conns` at the last
+    /// sample (gauge). On a sharded host this is per shard; the aggregate
+    /// keeps the *worst* shard, which is the number capacity planning
+    /// needs.
+    pub shard_occupancy: u64,
 }
 
 impl HostCounters {
@@ -278,6 +306,13 @@ impl HostCounters {
         self.lookup_misses = self.lookup_misses.saturating_add(other.lookup_misses);
         self.mem_used = self.mem_used.saturating_add(other.mem_used);
         self.mem_peak = self.mem_peak.max(other.mem_peak);
+        self.conns_open = self.conns_open.saturating_add(other.conns_open);
+        self.conns_peak = self.conns_peak.saturating_add(other.conns_peak);
+        // Derived gauge: recompute from the merged sums so the aggregate
+        // is bytes-per-conn across every absorbed shard, not an average
+        // of averages.
+        self.bytes_per_conn = self.mem_used.checked_div(self.conns_open).unwrap_or(0);
+        self.shard_occupancy = self.shard_occupancy.max(other.shard_occupancy);
     }
 
     /// Average timer entries touched per tick (the wheel-vs-naive metric).
@@ -559,6 +594,44 @@ mod tests {
         let mut x = AttackCounters { forged_segments: u64::MAX, ..Default::default() };
         x.absorb(&AttackCounters { forged_segments: 9, ..Default::default() });
         assert_eq!(x.forged_segments, u64::MAX);
+    }
+
+    #[test]
+    fn host_gauges_absorb_across_shards() {
+        let mut a = HostCounters {
+            mem_used: 3000,
+            conns_open: 10,
+            conns_peak: 12,
+            shard_occupancy: 40,
+            ..Default::default()
+        };
+        let b = HostCounters {
+            mem_used: 1000,
+            conns_open: 10,
+            conns_peak: 11,
+            shard_occupancy: 55,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.conns_open, 20, "live conns sum across shards");
+        assert_eq!(a.conns_peak, 23, "peaks sum (upper bound on global peak)");
+        assert_eq!(a.bytes_per_conn, 200, "recomputed from merged sums, not averaged");
+        assert_eq!(a.shard_occupancy, 55, "keeps the worst shard");
+        let mut empty = HostCounters::default();
+        empty.absorb(&HostCounters::default());
+        assert_eq!(empty.bytes_per_conn, 0, "no division by zero conns");
+    }
+
+    #[test]
+    fn muted_log_records_nothing() {
+        let log = muted();
+        log.borrow_mut().r("dm", "conn_table");
+        log.borrow_mut().w("rd", "snd_una");
+        assert!(log.borrow().is_empty());
+        // An unmuted log still records.
+        let live = shared();
+        live.borrow_mut().r("dm", "conn_table");
+        assert!(!live.borrow().is_empty());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! # slshard — an N-way sharded multi-core host with deterministic replay
+//!
+//! The paper's sublayered decomposition makes demultiplexing an explicitly
+//! *stateless* sublayer: which connection (and therefore which shard) a
+//! frame belongs to is a pure function of its 4-tuple. `slshard` exploits
+//! exactly that property to scale [`slhost`] across cores:
+//!
+//! - **Routing** is the shared seeded fx 4-tuple hash
+//!   ([`tcp_mono::hash::shard_of`]) — the same mix the demux tables use —
+//!   so a tuple always lands on the same shard with no shared state.
+//! - **Shards** are whole [`slhost::Host`]s (own connection table, timer
+//!   wheel, [`slhost::ResourceBudget`], counters) running on real
+//!   `std::thread` workers behind bounded SPSC [`ring`]s. The stacks are
+//!   not `Send`, so each worker *constructs* its host from a `Send`
+//!   factory; only frames and counters cross threads.
+//! - **Determinism**: shards stamp emitted frames with a per-shard
+//!   logical clock and the coordinator merges them with a stable
+//!   shard-index tie-break ([`merge`]). Commands reach each shard in FIFO
+//!   ring order and replies are collected shard-by-shard, so the merged
+//!   stream is a function of the command history, never of OS
+//!   scheduling — threaded runs replay byte-identically, and identically
+//!   to the single-threaded [`Mode::Inline`] reference.
+//! - **Two-level degradation ladder**: each shard keeps its own byte
+//!   budget (defer/shed/refuse, PR 4), and the coordinator sums shard
+//!   occupancy against a *global* budget, pushing the resulting tier into
+//!   every shard as a pressure **floor**
+//!   ([`slhost::Host::set_pressure_floor`]) — one hot host degrades
+//!   itself; a hot *fleet* degrades together.
+//!
+//! `slverify::ShardedOverload` proves budget-never-exceeded for this
+//! shape per shard *and* globally; `bench::shard` / `exp_shard` sweep it
+//! to 100k+ connections.
+
+pub mod merge;
+pub mod ring;
+pub mod shard;
+
+pub use merge::{merge, reference_merge, Stamped};
+pub use shard::{AppReport, Cmd, FlushRep, Rep, ShardCore, ShardSnapshot, Worker};
+
+use netsim::{Dur, MultiStack, PortId, Time};
+use slhost::{HostApp, HostStack, ServedHost};
+use slmetrics::{HostCounters, Pressure};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use tcp_mono::hash::shard_of;
+
+/// Whether shards run on real threads or inline on the caller's thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Real `std::thread` workers behind SPSC rings.
+    Threaded,
+    /// Single-threaded reference: same cores, same command streams, same
+    /// merge — the oracle the determinism tests compare against.
+    Inline,
+}
+
+/// Coordinator tuning.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Seed for the routing hash (also a determinism input).
+    pub seed: u64,
+    /// Frames arriving within this window are flushed to shards as one
+    /// round (the coordinator-level analogue of
+    /// [`slhost::HostConfig::batch_window`]).
+    pub batch_window: Dur,
+    /// SPSC ring capacity per direction per shard.
+    pub ring_cap: usize,
+    /// Global byte budget across all shards; `0` disables the global
+    /// ladder level. Occupancy is the sum of per-shard (throttled)
+    /// samples; the derived tier is pushed to every shard as a pressure
+    /// floor.
+    pub global_budget: usize,
+    pub mode: Mode,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            seed: 0x51AD,
+            batch_window: Dur::ZERO,
+            ring_cap: 1024,
+            global_budget: 0,
+            mode: Mode::Threaded,
+        }
+    }
+}
+
+/// The sharded host front. Implements [`MultiStack`], so it drops into a
+/// simulator topology exactly where a single [`slhost::Host`] would.
+pub struct ShardedHost<S: HostStack, A: HostApp<S> + AppReport> {
+    cfg: ShardedConfig,
+    workers: Vec<Worker<S, A>>,
+    /// Learned peer-address → simulator-port routes (the coordinator owns
+    /// routing; shards never see simulator ports).
+    routes: HashMap<u32, PortId>,
+    out: VecDeque<(PortId, Vec<u8>)>,
+    batch_due: Option<Time>,
+    /// Shards holding unflushed frames.
+    dirty: Vec<bool>,
+    /// Cached per-shard timer deadlines (refreshed with every reply, so
+    /// `poll_deadline` is thread-free).
+    deadlines: Vec<Option<Time>>,
+    /// Last reported per-shard occupancy/conn gauges.
+    used: Vec<u64>,
+    conns: Vec<u64>,
+    floor: Pressure,
+    /// Frames routed per shard (router-side work-balance view).
+    pub routed: Vec<u64>,
+    /// Frames that failed classification (routed to shard 0).
+    pub unclassified: u64,
+}
+
+impl<S: HostStack, A: HostApp<S> + AppReport> ShardedHost<S, A> {
+    /// Build the fleet. `factory(i)` constructs shard `i`'s served host;
+    /// in threaded mode it runs inside the worker thread (the host is not
+    /// `Send`, the factory must be).
+    pub fn new<F>(cfg: ShardedConfig, factory: F) -> Self
+    where
+        F: Fn(u32) -> ServedHost<S, A> + Send + Sync + 'static,
+    {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let factory = Arc::new(factory);
+        let workers = (0..cfg.shards as u32)
+            .map(|i| match cfg.mode {
+                Mode::Threaded => {
+                    let f = factory.clone();
+                    Worker::spawn(i, cfg.ring_cap, move || f(i))
+                }
+                Mode::Inline => Worker::inline(i, factory(i)),
+            })
+            .collect();
+        let n = cfg.shards;
+        ShardedHost {
+            cfg,
+            workers,
+            routes: HashMap::new(),
+            out: VecDeque::new(),
+            batch_due: None,
+            dirty: vec![false; n],
+            deadlines: vec![None; n],
+            used: vec![0; n],
+            conns: vec![0; n],
+            floor: Pressure::Nominal,
+            routed: vec![0; n],
+            unclassified: 0,
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// The current global-ladder floor.
+    pub fn global_floor(&self) -> Pressure {
+        self.floor
+    }
+
+    /// Sum of the last per-shard occupancy samples (what the global
+    /// budget tier is derived from).
+    pub fn global_used(&self) -> u64 {
+        self.used.iter().sum()
+    }
+
+    /// Which shard a raw frame routes to.
+    pub fn route_of(&self, frame: &[u8]) -> usize {
+        S::classify_frame(frame)
+            .map(|m| shard_of(self.cfg.seed, &m.tuple_at_dst(), self.cfg.shards))
+            .unwrap_or(0)
+    }
+
+    /// Pin a peer address to a simulator port (needed only for peers that
+    /// have never sent us traffic).
+    pub fn set_route(&mut self, addr: u32, port: PortId) {
+        self.routes.insert(addr, port);
+    }
+
+    /// Snapshot every shard (barrier; shard-index order).
+    pub fn snapshots(&mut self) -> Vec<ShardSnapshot> {
+        for w in &mut self.workers {
+            w.send(Cmd::Snapshot);
+        }
+        self.workers
+            .iter_mut()
+            .map(|w| match w.recv() {
+                Rep::Snap(s) => *s,
+                Rep::Flushed(_) => unreachable!("snapshot reply"),
+            })
+            .collect()
+    }
+
+    /// Fleet-wide counters plus app totals: absorbs every shard's
+    /// [`HostCounters`] and sums the app report pairs.
+    pub fn aggregate(&mut self) -> (HostCounters, u64, u64) {
+        let mut total = HostCounters::default();
+        let (mut a, mut b) = (0u64, 0u64);
+        for snap in self.snapshots() {
+            total.absorb(&snap.counters);
+            a = a.saturating_add(snap.app_a);
+            b = b.saturating_add(snap.app_b);
+        }
+        (total, a, b)
+    }
+
+    /// One coordination round: flush dirty shards (and, on a tick, shards
+    /// with due timers), barrier-collect replies in shard-index order,
+    /// merge the stamped output deterministically, route it, and run the
+    /// global ladder.
+    fn flush_round(&mut self, now: Time, tick: bool) {
+        let mut participating = Vec::new();
+        for i in 0..self.cfg.shards {
+            let timer_due = tick && self.deadlines[i].is_some_and(|d| now >= d);
+            if self.dirty[i] || timer_due {
+                let cmd = if timer_due { Cmd::Tick(now) } else { Cmd::Flush(now) };
+                self.workers[i].send(cmd);
+                participating.push(i);
+            }
+        }
+        // Barrier: replies collected in shard-index order. Workers run
+        // concurrently between the send loop above and this collect loop;
+        // the order we *read* them in is fixed.
+        let mut batches = Vec::with_capacity(participating.len());
+        for &i in &participating {
+            match self.workers[i].recv() {
+                Rep::Flushed(fr) => {
+                    self.deadlines[i] = fr.deadline;
+                    self.used[i] = fr.used;
+                    self.conns[i] = fr.conns;
+                    batches.push(fr.frames);
+                }
+                Rep::Snap(_) => unreachable!("flush reply"),
+            }
+            self.dirty[i] = false;
+        }
+        for s in merge::merge(batches) {
+            let port = S::classify_frame(&s.frame)
+                .and_then(|m| self.routes.get(&m.dst.addr).copied())
+                .unwrap_or(0);
+            self.out.push_back((port, s.frame));
+        }
+        self.batch_due = None;
+        if self.cfg.global_budget > 0 {
+            let floor =
+                Pressure::from_occupancy(self.global_used(), self.cfg.global_budget as u64);
+            if floor != self.floor {
+                self.floor = floor;
+                for w in &mut self.workers {
+                    w.send(Cmd::SetFloor(now, floor));
+                }
+            }
+        }
+    }
+}
+
+impl<S: HostStack, A: HostApp<S> + AppReport> MultiStack for ShardedHost<S, A> {
+    fn on_frame(&mut self, now: Time, port: PortId, frame: &[u8]) {
+        let shard = match S::classify_frame(frame) {
+            Some(meta) => {
+                self.routes.insert(meta.src.addr, port);
+                shard_of(self.cfg.seed, &meta.tuple_at_dst(), self.cfg.shards)
+            }
+            None => {
+                self.unclassified = self.unclassified.saturating_add(1);
+                0
+            }
+        };
+        self.routed[shard] = self.routed[shard].saturating_add(1);
+        self.workers[shard].send(Cmd::Frame(now, frame.to_vec()));
+        self.dirty[shard] = true;
+        if self.batch_due.is_none() {
+            self.batch_due = Some(now + self.cfg.batch_window);
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Time) -> Option<(PortId, Vec<u8>)> {
+        if self.out.is_empty() && self.batch_due.is_some_and(|due| now >= due) {
+            self.flush_round(now, false);
+        }
+        self.out.pop_front()
+    }
+
+    fn poll_deadline(&self, _now: Time) -> Option<Time> {
+        [self.batch_due]
+            .into_iter()
+            .chain(self.deadlines.iter().copied())
+            .flatten()
+            .min()
+    }
+
+    fn on_tick(&mut self, now: Time) {
+        self.flush_round(now, true);
+    }
+}

@@ -1,0 +1,272 @@
+//! One shard: a whole [`slhost::Host`] (connection table, timer wheel,
+//! budget, event loop) driven by a command stream.
+//!
+//! The stacks are deliberately **not** `Send` (they share an
+//! `Rc<RefCell<AccessLog>>` with their sublayers), so a shard's
+//! `ServedHost` is constructed *inside* its worker thread by a `Send`
+//! factory closure; only plain data — frames, commands, counters —
+//! crosses the rings. A shard's entire behavior is a function of its
+//! command sequence, which arrives over a FIFO ring: no shared mutable
+//! state, no locks around protocol state, no scheduling-dependent
+//! results.
+
+use crate::merge::Stamped;
+use crate::ring;
+use netsim::{Dur, MultiStack, Time};
+use slhost::{HostApp, HostStack, ServedHost};
+use slmetrics::{HostCounters, Pressure};
+use std::thread::JoinHandle;
+
+/// Coordinator → shard commands. Every `Flush`/`Tick`/`Snapshot` gets
+/// exactly one [`Rep`] back; the rest are fire-and-forget.
+#[derive(Clone, Debug)]
+pub enum Cmd {
+    /// Deliver one raw frame to the shard's host (queued there until the
+    /// next flush services the ingest batch).
+    Frame(Time, Vec<u8>),
+    /// Service the ingest batch and drain outgoing frames.
+    Flush(Time),
+    /// Advance timers to `now`, then drain outgoing frames.
+    Tick(Time),
+    /// Impose the global pressure-tier floor (ladder level two).
+    SetFloor(Time, Pressure),
+    /// Report counters and app totals.
+    Snapshot,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Shard → coordinator replies.
+#[derive(Clone, Debug)]
+pub enum Rep {
+    /// Reply to `Flush`/`Tick`.
+    Flushed(FlushRep),
+    /// Reply to `Snapshot`.
+    Snap(Box<ShardSnapshot>),
+}
+
+/// What a flush/tick round produced and where the shard stands.
+#[derive(Clone, Debug, Default)]
+pub struct FlushRep {
+    /// Outgoing frames, stamped for the deterministic merge.
+    pub frames: Vec<Stamped>,
+    /// The shard host's next timer deadline (cached by the coordinator so
+    /// `poll_deadline` needs no cross-thread call).
+    pub deadline: Option<Time>,
+    /// Sampled buffered-byte occupancy (throttled; feeds the global
+    /// budget tier).
+    pub used: u64,
+    /// Live connections on this shard.
+    pub conns: u64,
+}
+
+/// Point-in-time shard state for reports and invariant checks.
+#[derive(Clone, Debug, Default)]
+pub struct ShardSnapshot {
+    pub shard: u32,
+    pub counters: HostCounters,
+    /// Effective pressure tier at snapshot time (0..=3).
+    pub pressure: u8,
+    /// Imposed floor at snapshot time (0..=3).
+    pub floor: u8,
+    /// App-level totals (for [`slhost::EchoApp`]: bytes echoed,
+    /// connections served).
+    pub app_a: u64,
+    pub app_b: u64,
+    /// Inter-sublayer boundary crossings (`None`⇒0 for the monolith).
+    pub crossings: u64,
+}
+
+/// App-side totals a shard reports in its snapshot, so campaign
+/// invariants (all echoes intact) can be checked without reaching into a
+/// worker thread.
+pub trait AppReport {
+    /// Two totals, app-defined. For [`slhost::EchoApp`]: (bytes echoed,
+    /// connections served).
+    fn report(&self) -> (u64, u64);
+}
+
+impl AppReport for slhost::EchoApp {
+    fn report(&self) -> (u64, u64) {
+        (self.echoed, self.served)
+    }
+}
+
+fn tier(p: Pressure) -> u8 {
+    match p {
+        Pressure::Nominal => 0,
+        Pressure::Elevated => 1,
+        Pressure::High => 2,
+        Pressure::Critical => 3,
+    }
+}
+
+/// The state machine a worker (or the inline reference mode) runs: one
+/// served host plus the logical clock that stamps its output.
+pub struct ShardCore<S: HostStack, A: HostApp<S> + AppReport> {
+    served: ServedHost<S, A>,
+    shard: u32,
+    /// Logical clock: one round per flush/tick processed.
+    round: u64,
+    /// Occupancy sampling throttle (mirrors `HostConfig::refresh_every`;
+    /// `Dur::ZERO` samples every round).
+    sample_every: Dur,
+    last_sample: Option<Time>,
+    used_cache: u64,
+}
+
+impl<S: HostStack, A: HostApp<S> + AppReport> ShardCore<S, A> {
+    pub fn new(served: ServedHost<S, A>, shard: u32) -> Self {
+        let sample_every = served.host.config().refresh_every;
+        ShardCore { served, shard, round: 0, sample_every, last_sample: None, used_cache: 0 }
+    }
+
+    /// Process one command; `Some(rep)` iff the command demands a reply.
+    pub fn step(&mut self, cmd: Cmd) -> Option<Rep> {
+        match cmd {
+            Cmd::Frame(now, frame) => {
+                self.served.on_frame(now, 0, &frame);
+                None
+            }
+            Cmd::Flush(now) => Some(Rep::Flushed(self.round_trip(now, false))),
+            Cmd::Tick(now) => Some(Rep::Flushed(self.round_trip(now, true))),
+            Cmd::SetFloor(now, floor) => {
+                self.served.host.set_pressure_floor(now, floor);
+                None
+            }
+            Cmd::Snapshot => {
+                self.served.host.sample_gauges();
+                let (app_a, app_b) = self.served.app.report();
+                Some(Rep::Snap(Box::new(ShardSnapshot {
+                    shard: self.shard,
+                    counters: self.served.host.counters,
+                    pressure: tier(self.served.host.pressure()),
+                    floor: tier(self.served.host.pressure_floor()),
+                    app_a,
+                    app_b,
+                    crossings: self.served.host.stack().crossing_events().unwrap_or(0),
+                })))
+            }
+            Cmd::Shutdown => None,
+        }
+    }
+
+    /// One round: optionally tick timers, service the ingest batch, drain
+    /// and stamp every outgoing frame.
+    fn round_trip(&mut self, now: Time, tick: bool) -> FlushRep {
+        if tick {
+            self.served.on_tick(now);
+        }
+        let mut frames = Vec::new();
+        let mut seq = 0u32;
+        while let Some((_port, frame)) = self.served.poll_transmit(now) {
+            frames.push(Stamped { round: self.round, shard: self.shard, seq, frame });
+            seq += 1;
+        }
+        self.round += 1;
+        // Throttled occupancy sample: cheap rounds reuse the cached value,
+        // so the global ladder sees bounded-staleness data without an
+        // O(conns) scan per batch.
+        let stale = match self.last_sample {
+            Some(last) if self.sample_every > Dur::ZERO => {
+                now.since(last) < self.sample_every
+            }
+            Some(_) => false,
+            None => false,
+        };
+        if !stale {
+            self.last_sample = Some(now);
+            self.served.host.sample_gauges();
+            self.used_cache = self.served.host.counters.mem_used;
+        }
+        FlushRep {
+            frames,
+            deadline: self.served.poll_deadline(now),
+            used: self.used_cache,
+            conns: self.served.host.counters.conns_open,
+        }
+    }
+}
+
+/// Where a shard runs.
+pub enum Worker<S: HostStack, A: HostApp<S> + AppReport> {
+    /// Same thread as the coordinator — the single-threaded reference
+    /// mode the determinism tests cross-check against.
+    Inline(Box<ShardCore<S, A>>, std::collections::VecDeque<Rep>),
+    /// A real `std::thread` behind a pair of bounded SPSC rings.
+    Thread {
+        tx: ring::Sender<Cmd>,
+        rx: ring::Receiver<Rep>,
+        handle: Option<JoinHandle<()>>,
+    },
+}
+
+impl<S: HostStack, A: HostApp<S> + AppReport> Worker<S, A> {
+    /// Spawn a threaded worker. The factory runs *inside* the new thread
+    /// (the host machinery is not `Send`).
+    pub fn spawn<F>(shard: u32, ring_cap: usize, factory: F) -> Self
+    where
+        F: FnOnce() -> ServedHost<S, A> + Send + 'static,
+    {
+        let (cmd_tx, cmd_rx) = ring::ring::<Cmd>(ring_cap);
+        let (rep_tx, rep_rx) = ring::ring::<Rep>(ring_cap);
+        let handle = std::thread::Builder::new()
+            .name(format!("slshard-{shard}"))
+            .spawn(move || {
+                let mut core = ShardCore::new(factory(), shard);
+                while let Some(cmd) = cmd_rx.recv() {
+                    let shutdown = matches!(cmd, Cmd::Shutdown);
+                    if let Some(rep) = core.step(cmd) {
+                        if !rep_tx.send(rep) {
+                            break;
+                        }
+                    }
+                    if shutdown {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn shard worker");
+        Worker::Thread { tx: cmd_tx, rx: rep_rx, handle: Some(handle) }
+    }
+
+    /// Build an inline worker (runs on the caller's thread).
+    pub fn inline(shard: u32, served: ServedHost<S, A>) -> Self {
+        Worker::Inline(Box::new(ShardCore::new(served, shard)), Default::default())
+    }
+
+    /// Issue a command. Inline workers execute it immediately and queue
+    /// any reply; threaded workers enqueue it on the ring.
+    pub fn send(&mut self, cmd: Cmd) {
+        match self {
+            Worker::Inline(core, reps) => {
+                if let Some(rep) = core.step(cmd) {
+                    reps.push_back(rep);
+                }
+            }
+            Worker::Thread { tx, .. } => {
+                tx.send(cmd);
+            }
+        }
+    }
+
+    /// Block for the next reply (exactly one per `Flush`/`Tick`/
+    /// `Snapshot` issued).
+    pub fn recv(&mut self) -> Rep {
+        match self {
+            Worker::Inline(_, reps) => reps.pop_front().expect("inline reply queued"),
+            Worker::Thread { rx, .. } => rx.recv().expect("shard worker alive"),
+        }
+    }
+}
+
+impl<S: HostStack, A: HostApp<S> + AppReport> Drop for Worker<S, A> {
+    fn drop(&mut self) {
+        if let Worker::Thread { tx, handle, .. } = self {
+            tx.send(Cmd::Shutdown);
+            if let Some(h) = handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

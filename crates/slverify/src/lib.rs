@@ -21,6 +21,11 @@
 //!   memory budget holds under every admission/shed/evict interleaving in
 //!   both shapes — and exhibits the overrun trace when the staged
 //!   pressure signal is allowed to go one admission too stale;
+//! * the `slshard` two-level ladder ([`models::ShardedOverload`]) extends
+//!   that to a sharded host: per-shard budgets plus a coordinator-pushed
+//!   global pressure floor, with budget-never-exceeded proved per shard
+//!   *and* globally — and the global overrun exhibited when the staged
+//!   floor goes one fleet-wide admission too stale;
 //! * the congestion-control contract ([`models::CongCtrl`]) is an
 //!   assume/guarantee check run against the **real** shipped
 //!   `slcc::RateController` implementations — allowance never below one
@@ -38,7 +43,10 @@ pub use checker::{check, CheckResult, Model, Trace};
 pub use forwarding::{
     check_forwarding, check_forwarding_to, ForwardDefect, ForwardReport, ForwardSpec,
 };
-pub use models::{AltBit, Combined, CongCtrl, Handshake, Overload, RstAttack, SlidingWindow};
+pub use models::{
+    AltBit, Combined, CongCtrl, Handshake, Overload, RstAttack, ShardedOverload,
+    SlidingWindow,
+};
 pub use relation::{
     classify_seq, pressure_tier, rfc5961_response, transition_label, RespClass, SegClass,
     SeqVerdict,

@@ -1295,6 +1295,306 @@ mod overload_tests {
 }
 
 // ---------------------------------------------------------------------
+// Sharded overload control (two-level degradation ladder).
+// ---------------------------------------------------------------------
+
+/// The `slshard` two-level degradation ladder as a small exhaustive
+/// model: `K = 2` shard hosts, each with its own byte budget and live
+/// admission check (level one, the per-host [`Overload`] policy), under a
+/// coordinator that sums shard occupancy against a *global* budget and
+/// pushes the resulting pressure tier into every shard as a **floor**
+/// (level two). A shard admits only when its *effective* tier —
+/// `max(own, floor)` — is Nominal.
+///
+/// The shape flag mirrors [`Overload`]: with `sublayered: true` the
+/// floor is a *staged* copy, updated only by an explicit `push_floor`
+/// transition (the coordinator's flush round) — the cross-shard boundary
+/// makes the global signal stale by up to `lag` fleet-wide admissions.
+/// With `sublayered: false` the global check is fused: every transition
+/// re-derives the floor from live total occupancy. Each shard's *own*
+/// tier is live in both shapes (a host always sees its own table); what
+/// the model isolates is the staleness of the **cross-shard** signal.
+///
+/// The checker proves budget-never-exceeded at *both* levels — every
+/// shard's occupancy within its own budget, and the fleet total within
+/// the global budget — for the fused shape unconditionally and for the
+/// staged shape while `lag × resp` fits in the global headroom above the
+/// Nominal threshold; one admission more and it exhibits the global
+/// overrun trace (with per-shard budgets still intact, isolating the
+/// failure to ladder level two).
+pub struct ShardedOverload {
+    /// Per-shard byte budget (abstract units).
+    pub sbudget: u8,
+    /// Global byte budget across both shards.
+    pub gbudget: u8,
+    /// Units buffered per admitted connection.
+    pub resp: u8,
+    /// Fleet-wide admissions the shards may perform between floor
+    /// pushes; only meaningful in the sublayered shape.
+    pub lag: u8,
+    /// Staged floor propagation (true) or fused global check (false).
+    pub sublayered: bool,
+}
+
+const SHARD_COUNT: usize = 2;
+const SHARD_SLOTS: usize = 2;
+
+/// One connection slot's lifecycle on a shard (no slow readers here —
+/// [`Overload`] covers shed/evict; this model isolates the two budget
+/// levels).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ShardSlot {
+    Idle,
+    Pending,
+    /// Admitted and served: `buf` response units still buffered.
+    Accepted { buf: u8 },
+    Done,
+    Refused,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShardedOverloadState {
+    conns: [[ShardSlot; SHARD_SLOTS]; SHARD_COUNT],
+    /// Per-shard occupancy (maintained incrementally; the invariant
+    /// re-derives it from the slots to catch leaks).
+    used: [u8; SHARD_COUNT],
+    /// The global-floor tier the shards read (0..=3). Live in the fused
+    /// shape, staged in the sublayered shape.
+    floor: u8,
+    /// Fleet-wide admissions since `floor` was last pushed.
+    stale_admits: u8,
+    draining: bool,
+}
+
+impl ShardedOverloadState {
+    /// Live fleet-wide occupancy.
+    pub fn global_used(&self) -> u8 {
+        self.used.iter().sum()
+    }
+
+    /// The floor tier the shards currently read.
+    pub fn floor_tier(&self) -> u8 {
+        self.floor
+    }
+}
+
+impl ShardedOverload {
+    /// Per-shard own tier from live shard occupancy — the same shared
+    /// thresholds as `slmetrics::Pressure::from_occupancy`.
+    fn own_tier(&self, used: u8) -> u8 {
+        crate::relation::pressure_tier(used as u64, self.sbudget as u64)
+    }
+
+    fn global_tier(&self, s: &ShardedOverloadState) -> u8 {
+        crate::relation::pressure_tier(s.global_used() as u64, self.gbudget as u64)
+    }
+
+    /// The tier shard `i`'s admission policy acts on.
+    fn effective(&self, s: &ShardedOverloadState, i: usize) -> u8 {
+        self.own_tier(s.used[i]).max(s.floor)
+    }
+
+    /// Fused shape: the coordinator's view is always current.
+    fn settle(&self, ns: &mut ShardedOverloadState) {
+        if !self.sublayered {
+            ns.floor = self.global_tier(ns);
+            ns.stale_admits = 0;
+        }
+    }
+}
+
+impl Model for ShardedOverload {
+    type State = ShardedOverloadState;
+
+    fn init(&self) -> Vec<ShardedOverloadState> {
+        vec![ShardedOverloadState {
+            conns: [[ShardSlot::Idle; SHARD_SLOTS]; SHARD_COUNT],
+            used: [0; SHARD_COUNT],
+            floor: 0,
+            stale_admits: 0,
+            draining: false,
+        }]
+    }
+
+    fn next(&self, s: &ShardedOverloadState) -> Vec<(&'static str, ShardedOverloadState)> {
+        let mut out = Vec::new();
+        for sh in 0..SHARD_COUNT {
+            for i in 0..SHARD_SLOTS {
+                match s.conns[sh][i] {
+                    ShardSlot::Idle => {
+                        // The router keeps delivering SYNs regardless.
+                        let mut ns = *s;
+                        ns.conns[sh][i] = ShardSlot::Pending;
+                        self.settle(&mut ns);
+                        out.push(("arrive", ns));
+                    }
+                    ShardSlot::Pending => {
+                        if s.draining || self.effective(s, sh) == 3 {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = ShardSlot::Refused;
+                            self.settle(&mut ns);
+                            out.push(("refuse", ns));
+                        } else if self.effective(s, sh) == 0
+                            && s.stale_admits < self.lag
+                        {
+                            // Deferral at Elevated/High is the *absence*
+                            // of this transition.
+                            let mut ns = *s;
+                            ns.conns[sh][i] = ShardSlot::Accepted { buf: self.resp };
+                            ns.used[sh] += self.resp;
+                            ns.stale_admits += 1;
+                            self.settle(&mut ns);
+                            out.push(("admit", ns));
+                        }
+                    }
+                    ShardSlot::Accepted { buf } => {
+                        if buf > 0 {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = ShardSlot::Accepted { buf: buf - 1 };
+                            ns.used[sh] -= 1;
+                            self.settle(&mut ns);
+                            out.push(("progress", ns));
+                        } else {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = ShardSlot::Done;
+                            self.settle(&mut ns);
+                            out.push(("complete", ns));
+                        }
+                    }
+                    ShardSlot::Done | ShardSlot::Refused => {}
+                }
+            }
+        }
+        if !s.draining {
+            let mut ns = *s;
+            ns.draining = true;
+            self.settle(&mut ns);
+            out.push(("drain", ns));
+        }
+        if self.sublayered
+            && (s.floor != self.global_tier(s) || s.stale_admits > 0)
+        {
+            // The coordinator's flush round: sum the (now-current) shard
+            // samples and push the derived tier into every shard.
+            let mut ns = *s;
+            ns.floor = self.global_tier(&ns);
+            ns.stale_admits = 0;
+            out.push(("push_floor", ns));
+        }
+        out
+    }
+
+    fn invariant(&self, s: &ShardedOverloadState) -> Result<(), String> {
+        for sh in 0..SHARD_COUNT {
+            if s.used[sh] > self.sbudget {
+                return Err(format!(
+                    "shard budget exceeded: shard {sh} used {} > {} budget",
+                    s.used[sh], self.sbudget
+                ));
+            }
+            let derived: u8 = s.conns[sh]
+                .iter()
+                .map(|c| match c {
+                    ShardSlot::Accepted { buf } => *buf,
+                    _ => 0,
+                })
+                .sum();
+            if derived != s.used[sh] {
+                return Err(format!(
+                    "shard {sh} accounting leaked: tracked {} != held {derived}",
+                    s.used[sh]
+                ));
+            }
+        }
+        if s.global_used() > self.gbudget {
+            return Err(format!(
+                "global budget exceeded: {} used > {} budget",
+                s.global_used(),
+                self.gbudget
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &ShardedOverloadState) -> bool {
+        s.conns
+            .iter()
+            .flatten()
+            .all(|c| matches!(c, ShardSlot::Done | ShardSlot::Refused))
+    }
+}
+
+#[cfg(test)]
+mod sharded_overload_tests {
+    use super::*;
+    use crate::checker::check;
+
+    fn model(sublayered: bool, sbudget: u8, gbudget: u8, lag: u8) -> ShardedOverload {
+        ShardedOverload { sbudget, gbudget, resp: 2, lag, sublayered }
+    }
+
+    // sbudget 4, resp 2: shard-Nominal means used <= 1, so a shard peaks
+    // at 3 <= 4. gbudget 5: global-Nominal means sum <= 2, so one
+    // in-window admission (lag 1) peaks the fleet at 4 <= 5. Total demand
+    // 2 shards x 2 slots x 2 units = 8 keeps both budgets contended.
+
+    #[test]
+    fn both_ladder_levels_hold_in_both_shapes() {
+        for sublayered in [true, false] {
+            let r = check(&model(sublayered, 4, 5, 1), 2_000_000);
+            assert!(r.ok(), "sublayered={sublayered}: {r:?}");
+            assert!(r.states > 100, "state space suspiciously small: {r:?}");
+        }
+    }
+
+    #[test]
+    fn stale_floor_window_can_blow_the_global_budget() {
+        // Let two fleet-wide admissions ride one stale Nominal floor and
+        // the checker exhibits the *global* overrun — with every
+        // per-shard budget still intact (sbudget 8 keeps level one out of
+        // the way), isolating the failure to ladder level two.
+        let r = check(&model(true, 8, 5, 2), 2_000_000);
+        let v = r.violation.expect("lag 2 must overrun a global budget of 5");
+        assert!(v.reason.contains("global budget exceeded"), "{v:?}");
+        let admits = v.actions.iter().filter(|a| **a == "admit").count();
+        assert!(admits >= 2, "overrun needs back-to-back admits: {v:?}");
+    }
+
+    #[test]
+    fn fused_global_check_is_immune_to_floor_lag() {
+        // Fused coordination re-derives the floor on every transition, so
+        // no lag value can smuggle admissions past the global check.
+        for lag in [2, 3] {
+            let r = check(&model(false, 8, 5, lag), 2_000_000);
+            assert!(r.ok(), "lag={lag}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn per_shard_level_holds_even_with_a_lazy_floor() {
+        // An effectively inert global budget (never leaves Nominal) with
+        // a generous lag: level one alone still keeps every shard within
+        // its own budget — shard admission checks are live in both
+        // shapes.
+        for sublayered in [true, false] {
+            let r = check(&model(sublayered, 4, 64, 3), 4_000_000);
+            assert!(r.ok(), "sublayered={sublayered}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn staged_floor_costs_state_space() {
+        // The cross-shard boundary shows up as extra reachable states:
+        // the staged floor decouples from live fleet occupancy.
+        let sub = check(&model(true, 4, 5, 1), 2_000_000);
+        let mono = check(&model(false, 4, 5, 1), 2_000_000);
+        println!("sharded overload states: sub={} mono={}", sub.states, mono.states);
+        assert!(sub.ok() && mono.ok());
+        assert!(sub.states > mono.states, "sub {} <= mono {}", sub.states, mono.states);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Congestion-control contract (assume/guarantee over real controllers).
 // ---------------------------------------------------------------------
 

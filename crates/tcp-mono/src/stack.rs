@@ -10,6 +10,7 @@
 //! which *subfunction* touches which *field*; experiment E6 turns that
 //! into the entanglement matrix contrasted with the sublayered stack.
 
+use crate::hash::FxBuildHasher;
 use crate::pcb::*;
 use crate::seq;
 use crate::wire::{Endpoint, FourTuple, Segment, ACK, FIN, PSH, RST, SYN};
@@ -106,7 +107,9 @@ const TIMERS: &str = "timers";
 pub struct TcpStack {
     addr: u32,
     listeners: HashSet<u16>,
-    conns: HashMap<FourTuple, Pcb>,
+    /// Demux table keyed by the shared seeded fx mix (`crate::hash`) —
+    /// same bucket function the sublayered demux and shard router use.
+    conns: HashMap<FourTuple, Pcb, FxBuildHasher>,
     outbox: VecDeque<Vec<u8>>,
     log: SharedLog,
     keepalive: Option<Keepalive>,
@@ -149,7 +152,7 @@ impl TcpStack {
         TcpStack {
             addr,
             listeners: HashSet::new(),
-            conns: HashMap::new(),
+            conns: HashMap::with_hasher(FxBuildHasher::with_seed(addr as u64)),
             outbox: VecDeque::new(),
             log,
             keepalive: None,
