@@ -1,0 +1,101 @@
+//! E21 — shard fault domains under load (`slshard` failover).
+//!
+//! Crashes one shard of an N-way [`slshard::ShardedHost`] mid-campaign
+//! (deterministic injected panic) under both transport stacks and both
+//! restart policies, comparing each faulted run against a no-fault
+//! baseline of the same seed: healthy-shard clients must be untouched
+//! byte for byte, victims must recover (restart policy) or end in typed
+//! errors (never policy), recovery must fit a bounded number of
+//! coordinator rounds, and the per-shard/global memory budgets must hold
+//! mid-failover.
+//!
+//! Usage: `exp_failover [--smoke] [--json]`. The full run writes its
+//! JSON summary to `BENCH_failover.json`; `--smoke` is the fast CI-sized
+//! subset, which also runs every cell in inline mode and enforces the
+//! threaded-vs-inline byte-determinism cross-check through the crash.
+
+use bench::failover;
+use bench::markdown_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+
+    let outs = failover::sweep(smoke);
+    let cross = failover::mode_cross_checks(&outs);
+    let summary = failover::summary_json(&outs, &cross);
+
+    if json {
+        println!("{summary}");
+    } else {
+        let rows: Vec<Vec<String>> = outs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.stack.to_string(),
+                    o.mode.to_string(),
+                    o.policy.to_string(),
+                    o.shards.to_string(),
+                    o.n.to_string(),
+                    o.victim_shard.to_string(),
+                    format!("{}/{}", o.victims_completed, o.victims),
+                    o.victims_errored.to_string(),
+                    o.healthy_disrupted.to_string(),
+                    o.recovery_rounds.to_string(),
+                    o.shard_restarts.to_string(),
+                    o.failover_aborts.to_string(),
+                    o.violations.len().to_string(),
+                ]
+            })
+            .collect();
+        println!("# E21: shard fault domains (slshard failover)\n");
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "stack",
+                    "mode",
+                    "policy",
+                    "shards",
+                    "n",
+                    "victim",
+                    "victims ok",
+                    "victims err",
+                    "healthy hit",
+                    "rec rounds",
+                    "restarts",
+                    "aborts",
+                    "viol"
+                ],
+                &rows
+            )
+        );
+        for o in &outs {
+            for v in &o.violations {
+                println!(
+                    "VIOLATION [{} {} {} shards={} n={}]: {v}",
+                    o.stack, o.mode, o.policy, o.shards, o.n
+                );
+            }
+        }
+        for c in &cross {
+            println!("VIOLATION [mode-determinism]: {c}");
+        }
+    }
+
+    if !smoke {
+        std::fs::write("BENCH_failover.json", format!("{summary}\n"))
+            .expect("write BENCH_failover.json");
+        if !json {
+            println!("\nwrote BENCH_failover.json");
+        }
+    }
+
+    let bad =
+        outs.iter().map(|o| o.violations.len()).sum::<usize>() + cross.len();
+    if bad > 0 {
+        eprintln!("exp_failover: {bad} violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,8 @@
 
 use bench::markdown_table;
 use slverify::{
-    check, AltBit, Combined, CongCtrl, Handshake, RstAttack, ShardedOverload, SlidingWindow,
+    check, AltBit, Combined, CongCtrl, Handshake, RstAttack, ShardFail, ShardedOverload,
+    SlidingWindow,
 };
 use slverify::models::FlowControl;
 
@@ -135,6 +136,43 @@ fn main() {
          admissions ride one stale Nominal floor and the checker exhibits the \
          **global** overrun (per-shard budgets still intact) in {} steps: \
          {:?}\n",
+        v.actions.len(),
+        v.actions
+    );
+
+    println!("## Shard fault domains (E21): crash isolation + supervised restart\n");
+    let fail = |isolate, backoff| ShardFail {
+        sbudget: 4,
+        gbudget: 5,
+        resp: 2,
+        lag: 1,
+        backoff,
+        isolate,
+    };
+    let ff_b1 = check(&fail(true, 1), 5_000_000);
+    let ff_b2 = check(&fail(true, 2), 5_000_000);
+    println!(
+        "{}",
+        markdown_table(
+            &["model", "states", "transitions", "depth", "verdict"],
+            &[
+                row("ShardFail (contained crash, backoff 1)", &ff_b1),
+                row("ShardFail (contained crash, backoff 2)", &ff_b2),
+            ],
+        )
+    );
+    let ff_seed = check(&fail(false, 2), 5_000_000);
+    let v = ff_seed.violation.expect("uncontained crash must abort foreign connections");
+    println!(
+        "\nWith the `catch_unwind` + typed-`ShardError` boundary a shard crash \
+         under the degradation ladder is proved **contained** for every \
+         interleaving: only the dead shard's connections abort, per-shard and \
+         global budgets hold mid-failover (the dead shard's occupancy folds \
+         to zero), downtime never exceeds the restart backoff, and zero \
+         deadlocks means no crash schedule strands the fleet — the restarted \
+         shard always serves again. Remove the boundary (the seed's poisoned \
+         ring lock) and the checker exhibits the **foreign-shard abort** in \
+         {} steps: {:?}\n",
         v.actions.len(),
         v.actions
     );

@@ -119,6 +119,14 @@ pub struct ShardOutcome {
     /// Global-ladder floor tier at the end of the run (0 = Nominal).
     pub final_floor: u8,
     pub crossings: u64,
+    /// Fleet health gauges (E21 fault-domain plumbing): worst heartbeat
+    /// age in rounds, supervisor restarts, failover-aborted connections,
+    /// and coordinator waits on a slow shard's ring. All 0 in a healthy
+    /// run — asserting them here keeps the gauges honest under load.
+    pub heartbeat_age: u64,
+    pub shard_restarts: u64,
+    pub failover_aborts: u64,
+    pub ring_stalls: u64,
     /// Fleet-wide connections still tracked at the horizon (leak check).
     pub server_residual: u64,
     pub sim_ms: u64,
@@ -314,6 +322,7 @@ where
         ring_cap: 4096,
         global_budget: SHARD_BUDGET * p.shards,
         mode: p.mode,
+        ..ShardedConfig::default()
     };
     let server: ShardedHost<S, EchoApp> = ShardedHost::new(shard_cfg, move |_shard| {
         ServedHost::new(Host::new(mk(SERVER_ADDR), host_cfg.clone()), EchoApp::default())
@@ -459,6 +468,10 @@ where
             slmetrics::Pressure::Critical => 3,
         },
         crossings,
+        heartbeat_age: total.heartbeat_age,
+        shard_restarts: total.shard_restarts,
+        failover_aborts: total.failover_aborts,
+        ring_stalls: total.ring_stalls,
         server_residual: snaps.iter().map(|s| s.counters.conns_open).sum(),
         sim_ms: net.now().nanos() / 1_000_000,
         violations: Vec::new(),
@@ -532,6 +545,15 @@ where
         out.violations.push(format!(
             "shards leaked {} connections past close",
             out.server_residual
+        ));
+    }
+    // No faults are injected here, so the E21 fault-domain gauges must
+    // stay silent: any restart or failover abort in a healthy run is a
+    // supervisor false positive.
+    if out.shard_restarts != 0 || out.failover_aborts != 0 {
+        out.violations.push(format!(
+            "fault-domain activity in a healthy run: restarts={} aborts={}",
+            out.shard_restarts, out.failover_aborts
         ));
     }
     out
@@ -645,7 +667,9 @@ pub fn outcome_json(o: &ShardOutcome) -> String {
          \"peak_bytes_per_conn\":{},\"conns_peak_total\":{},\"shard_frames\":{},\
          \"balance_x100\":{},\"shard_mem_peaks\":{},\"shard_budget\":{},\
          \"global_budget\":{},\"final_floor\":{},\"crossings\":{},\
-         \"server_residual\":{},\"sim_ms\":{},\"violations\":[{}]}}",
+         \"heartbeat_age\":{},\"shard_restarts\":{},\"failover_aborts\":{},\
+         \"ring_stalls\":{},\"server_residual\":{},\"sim_ms\":{},\
+         \"violations\":[{}]}}",
         json_str(o.stack),
         json_str(o.mode),
         o.shards,
@@ -677,6 +701,10 @@ pub fn outcome_json(o: &ShardOutcome) -> String {
         o.global_budget,
         o.final_floor,
         o.crossings,
+        o.heartbeat_age,
+        o.shard_restarts,
+        o.failover_aborts,
+        o.ring_stalls,
         o.server_residual,
         o.sim_ms,
         viol.join(",")

@@ -705,6 +705,24 @@ impl SlTcpStack {
             }
         }
 
+        // An RD event above may have just aborted CM (RetriesExhausted
+        // routes through `cm.abort`), queueing a Reset *after* the CM
+        // drain. Drain again now: the abort cleared every timer, so a
+        // deferred Reset might otherwise never be processed and the typed
+        // error would stay invisible to the application.
+        for ev in conn.cm.take_events() {
+            match ev {
+                CmEvent::Reset => {
+                    if let Some(reason) = conn.cm.reset_reason() {
+                        self.errors.entry(id).or_insert(reason);
+                    }
+                    conn.dead = true;
+                }
+                CmEvent::Closed => conn.dead = true,
+                CmEvent::Established { .. } => {}
+            }
+        }
+
         // Close coordination: once the app stream is fully handed to RD,
         // CM may route its FIN through RD.
         if conn.want_close && !conn.fin_routed && conn.osr.drained() {

@@ -279,6 +279,19 @@ pub struct HostCounters {
     /// keeps the *worst* shard, which is the number capacity planning
     /// needs.
     pub shard_occupancy: u64,
+    /// Oldest shard heartbeat in the fleet, in consecutive missed logical
+    /// rounds (gauge; 0 = every shard serving). Set by the shard
+    /// coordinator's supervisor, not by individual hosts.
+    pub heartbeat_age: u64,
+    /// Supervised shard restarts performed.
+    pub shard_restarts: u64,
+    /// Connections aborted because their shard died (failover blast
+    /// radius, in connections).
+    pub failover_aborts: u64,
+    /// Frame sends abandoned because a shard's command ring stayed full
+    /// past the bounded wait (slow-shard backpressure instead of a
+    /// blocked fleet).
+    pub ring_stalls: u64,
 }
 
 impl HostCounters {
@@ -313,6 +326,12 @@ impl HostCounters {
         // of averages.
         self.bytes_per_conn = self.mem_used.checked_div(self.conns_open).unwrap_or(0);
         self.shard_occupancy = self.shard_occupancy.max(other.shard_occupancy);
+        // Fleet-health gauges: the oldest heartbeat is the binding one;
+        // restart/abort/stall totals sum.
+        self.heartbeat_age = self.heartbeat_age.max(other.heartbeat_age);
+        self.shard_restarts = self.shard_restarts.saturating_add(other.shard_restarts);
+        self.failover_aborts = self.failover_aborts.saturating_add(other.failover_aborts);
+        self.ring_stalls = self.ring_stalls.saturating_add(other.ring_stalls);
     }
 
     /// Average timer entries touched per tick (the wheel-vs-naive metric).
@@ -620,6 +639,28 @@ mod tests {
         let mut empty = HostCounters::default();
         empty.absorb(&HostCounters::default());
         assert_eq!(empty.bytes_per_conn, 0, "no division by zero conns");
+    }
+
+    #[test]
+    fn fleet_health_gauges_absorb() {
+        let mut a = HostCounters {
+            heartbeat_age: 2,
+            shard_restarts: 1,
+            failover_aborts: 3,
+            ring_stalls: 4,
+            ..Default::default()
+        };
+        a.absorb(&HostCounters {
+            heartbeat_age: 5,
+            shard_restarts: 2,
+            failover_aborts: 1,
+            ring_stalls: 1,
+            ..Default::default()
+        });
+        assert_eq!(a.heartbeat_age, 5, "oldest heartbeat is the binding gauge");
+        assert_eq!(a.shard_restarts, 3);
+        assert_eq!(a.failover_aborts, 4);
+        assert_eq!(a.ring_stalls, 5);
     }
 
     #[test]

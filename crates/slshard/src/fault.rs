@@ -1,0 +1,136 @@
+//! Deterministic shard fault injection.
+//!
+//! Faults are keyed to a shard's **logical round** (its count of
+//! `Flush`/`Tick` commands processed), never to wall clock, so an
+//! injected crash lands on exactly the same command in every rerun and
+//! in both [`crate::Mode`]s. A [`FaultSpec`] travels to the shard via
+//! [`crate::Cmd::Inject`] and arms inside [`crate::ShardCore`]; the
+//! seeded [`ShardFaultPlan`] generates whole schedules for property
+//! tests and campaigns.
+
+/// What goes wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker panics mid-round: threaded mode unwinds through
+    /// `catch_unwind` and the worker dies (rings close); inline mode
+    /// reports the same death as a typed error. Either way the
+    /// coordinator observes `ShardError::Disconnected` at the same
+    /// logical point.
+    Panic,
+    /// The shard stops servicing rounds for `K` rounds: flushes come back
+    /// empty and marked stalled, frames are deferred, then service
+    /// resumes. Models a shard stuck on a slow syscall / GC-style pause.
+    Stall(u64),
+    /// A permanent stall: the shard acknowledges commands but never
+    /// services them again. Only a supervised kill + restart recovers it.
+    Wedge,
+}
+
+/// One fault, armed to fire when the shard's logical round counter
+/// reaches `at_round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub at_round: u64,
+    pub kind: FaultKind,
+}
+
+/// A seeded, reproducible schedule of faults across a fleet.
+#[derive(Clone, Debug, Default)]
+pub struct ShardFaultPlan {
+    /// `(shard, fault)` pairs, in injection order.
+    pub faults: Vec<(u32, FaultSpec)>,
+}
+
+impl ShardFaultPlan {
+    /// Derive a random-but-reproducible plan: up to `max_faults` faults
+    /// spread over `shards` shards, each firing before `horizon_rounds`.
+    /// Same seed ⇒ same plan, byte for byte.
+    pub fn random(seed: u64, shards: usize, horizon_rounds: u64, max_faults: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n = if max_faults == 0 { 0 } else { (rng.next() as usize % max_faults) + 1 };
+        let mut faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            let shard = (rng.next() % shards.max(1) as u64) as u32;
+            let at_round = 1 + rng.next() % horizon_rounds.max(1);
+            let kind = match rng.next() % 4 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Wedge,
+                _ => FaultKind::Stall(1 + rng.next() % 6),
+            };
+            faults.push((shard, FaultSpec { at_round, kind }));
+        }
+        ShardFaultPlan { faults }
+    }
+}
+
+/// Keep crash campaigns quiet: install a panic hook (once per process)
+/// that swallows panics originating in shard workers — threads named
+/// `slshard-*` — and injected-fault panics (payloads prefixed
+/// `slshard-fault:`, which is what inline mode raises on the caller's
+/// thread). Everything else still reaches the previous hook, so real
+/// test failures print normally.
+pub fn mute_injected_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("slshard-"));
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|s| s.starts_with("slshard-fault:"));
+            if !(in_worker || injected) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Small deterministic generator (splitmix64) so fault plans need no
+/// external RNG crate and reproduce exactly from the seed.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_reproduce_from_the_seed() {
+        for seed in [1u64, 0xDEAD, 0x51AD_F001] {
+            let a = ShardFaultPlan::random(seed, 4, 40, 3);
+            let b = ShardFaultPlan::random(seed, 4, 40, 3);
+            assert_eq!(a.faults, b.faults);
+            assert!(!a.faults.is_empty() && a.faults.len() <= 3);
+            for (shard, f) in &a.faults {
+                assert!(*shard < 4);
+                assert!(f.at_round >= 1 && f.at_round <= 40);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = ShardFaultPlan::random(1, 8, 100, 4);
+        let b = ShardFaultPlan::random(2, 8, 100, 4);
+        assert_ne!(a.faults, b.faults);
+    }
+}

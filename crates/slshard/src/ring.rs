@@ -7,6 +7,15 @@
 //! whole ingest batches, not per-segment traffic, so the lock is cold and
 //! the simplicity buys an obviously-correct close protocol.
 //!
+//! Fault-domain note: the ring is part of the shard *fault boundary*. A
+//! worker that panics unwinds past its ring halves; their `Drop` closes
+//! the ring, and every subsequent coordinator call observes a clean
+//! `Disconnected` — never a poisoned-lock panic. All lock acquisitions
+//! here recover from poison (the protected state is a plain queue whose
+//! invariants hold at every await point, so the poison flag carries no
+//! information we need), and `send_timeout` bounds how long the
+//! coordinator can be held up by a wedged worker.
+//!
 //! Determinism note: a ring delivers items in exactly send order (it is a
 //! queue under one lock). The coordinator talks to each worker over a
 //! dedicated pair of rings and blocks for replies shard-by-shard, so the
@@ -14,7 +23,8 @@
 //! sequence of calls, never by OS scheduling.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 struct Inner<T> {
     q: Mutex<State<T>>,
@@ -22,10 +32,31 @@ struct Inner<T> {
     not_full: Condvar,
 }
 
+impl<T> Inner<T> {
+    /// Lock, shrugging off poison: a worker that panicked while holding
+    /// the lock left a fully consistent queue (push/pop are single
+    /// statements), and the disconnect is reported through `closed`, not
+    /// through the poison flag.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 struct State<T> {
     items: VecDeque<T>,
     cap: usize,
     closed: bool,
+}
+
+/// Outcome of a non-blocking or bounded-wait send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendStatus<T> {
+    /// Item enqueued.
+    Sent,
+    /// Ring still full after the bound; the item is handed back.
+    Full(T),
+    /// Receiver gone; the item is handed back.
+    Disconnected(T),
 }
 
 /// Sending half; dropping it closes the ring.
@@ -53,9 +84,13 @@ impl<T> Sender<T> {
     /// receiver is gone (the item is dropped — the worker has already
     /// shut down, so there is nobody to process it).
     pub fn send(&self, item: T) -> bool {
-        let mut st = self.inner.q.lock().expect("ring lock poisoned");
+        let mut st = self.inner.lock();
         while st.items.len() >= st.cap && !st.closed {
-            st = self.inner.not_full.wait(st).expect("ring lock poisoned");
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if st.closed {
             return false;
@@ -64,13 +99,52 @@ impl<T> Sender<T> {
         self.inner.not_empty.notify_one();
         true
     }
+
+    /// Enqueue without blocking.
+    pub fn try_send(&self, item: T) -> SendStatus<T> {
+        let mut st = self.inner.lock();
+        if st.closed {
+            return SendStatus::Disconnected(item);
+        }
+        if st.items.len() >= st.cap {
+            return SendStatus::Full(item);
+        }
+        st.items.push_back(item);
+        self.inner.not_empty.notify_one();
+        SendStatus::Sent
+    }
+
+    /// Enqueue, waiting at most `bound` for room. The bounded wait is the
+    /// coordinator's defense against a wedged worker that stops draining
+    /// its command ring: instead of blocking forever it gets the item
+    /// back and can count the stall.
+    pub fn send_timeout(&self, item: T, bound: Duration) -> SendStatus<T> {
+        let mut st = self.inner.lock();
+        while st.items.len() >= st.cap && !st.closed {
+            let (guard, timeout) = self
+                .inner
+                .not_full
+                .wait_timeout(st, bound)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() && st.items.len() >= st.cap && !st.closed {
+                return SendStatus::Full(item);
+            }
+        }
+        if st.closed {
+            return SendStatus::Disconnected(item);
+        }
+        st.items.push_back(item);
+        self.inner.not_empty.notify_one();
+        SendStatus::Sent
+    }
 }
 
 impl<T> Receiver<T> {
     /// Block until an item arrives; `None` once the ring is closed *and*
     /// drained.
     pub fn recv(&self) -> Option<T> {
-        let mut st = self.inner.q.lock().expect("ring lock poisoned");
+        let mut st = self.inner.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
                 self.inner.not_full.notify_one();
@@ -79,14 +153,18 @@ impl<T> Receiver<T> {
             if st.closed {
                 return None;
             }
-            st = self.inner.not_empty.wait(st).expect("ring lock poisoned");
+            st = self
+                .inner
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.inner.q.lock().expect("ring lock poisoned");
+        let mut st = self.inner.lock();
         st.closed = true;
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
@@ -95,7 +173,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.inner.q.lock().expect("ring lock poisoned");
+        let mut st = self.inner.lock();
         st.closed = true;
         self.inner.not_empty.notify_all();
         self.inner.not_full.notify_all();
@@ -149,5 +227,41 @@ mod tests {
         let (tx, rx) = ring::<u32>(2);
         drop(rx);
         assert!(!tx.send(1), "send to a dead receiver reports failure");
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = ring::<u32>(1);
+        assert_eq!(tx.try_send(1), SendStatus::Sent);
+        assert_eq!(tx.try_send(2), SendStatus::Full(2));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(tx.try_send(3), SendStatus::Sent);
+        drop(rx);
+        assert_eq!(tx.try_send(4), SendStatus::Disconnected(4));
+    }
+
+    #[test]
+    fn send_timeout_bounds_the_wait_on_a_wedged_receiver() {
+        let (tx, _rx) = ring::<u32>(1);
+        assert_eq!(tx.send_timeout(1, Duration::from_millis(1)), SendStatus::Sent);
+        // Nobody drains: the bounded send must come back with the item.
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(5)),
+            SendStatus::Full(2)
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let (tx, rx) = ring::<u32>(4);
+        let inner = tx.inner.clone();
+        // Poison the mutex by panicking while holding it.
+        let _ = thread::spawn(move || {
+            let _guard = inner.q.lock().unwrap();
+            panic!("poison on purpose");
+        })
+        .join();
+        assert!(tx.send(9), "send survives a poisoned lock");
+        assert_eq!(rx.recv(), Some(9), "recv survives a poisoned lock");
     }
 }

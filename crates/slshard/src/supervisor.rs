@@ -1,0 +1,328 @@
+//! Coordinator-side supervision: per-shard health, restart policy, and
+//! the deterministic fault log.
+//!
+//! Heartbeats are **logical rounds acknowledged**, not wall clock: a
+//! shard is healthy when its flush replies service rounds, stalled when
+//! they come back `stalled`, and dead when its rings disconnect (panic)
+//! or it misses enough consecutive heartbeats. Every classification is a
+//! pure function of the reply stream, so a crashed run supervises — and
+//! therefore replays — byte-identically, threaded or inline.
+
+/// Supervisor's view of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Acknowledging and servicing rounds.
+    Healthy,
+    /// Acknowledging rounds without servicing them (missed heartbeats
+    /// below the death threshold).
+    Stalled,
+    /// Disconnected or declared dead; a restart may be scheduled.
+    Dead,
+    /// Dead with the restart budget exhausted (or restart impossible);
+    /// the supervisor has given up on this shard.
+    Failed,
+}
+
+impl ShardHealth {
+    /// Stable numeric encoding for snapshots and JSON (0..=3).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Stalled => 1,
+            ShardHealth::Dead => 2,
+            ShardHealth::Failed => 3,
+        }
+    }
+}
+
+/// When and how often to rebuild dead shards. All delays are in
+/// coordinator rounds — the same logical clock the heartbeats use.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartPolicy {
+    /// Rebuilds allowed per shard before the supervisor gives up.
+    pub max_restarts: u32,
+    /// Base restart delay; attempt `k` (1-based) waits `backoff_rounds *
+    /// k` coordinator rounds after death.
+    pub backoff_rounds: u64,
+    /// Consecutive stalled heartbeats before a shard is classified
+    /// [`ShardHealth::Stalled`].
+    pub stalled_after: u64,
+    /// Consecutive stalled heartbeats before a live-but-useless shard
+    /// (e.g. a ring-full wedge) is killed and treated as dead.
+    pub dead_after: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy { max_restarts: 3, backoff_rounds: 2, stalled_after: 1, dead_after: 8 }
+    }
+}
+
+impl RestartPolicy {
+    /// A policy that never restarts: one crash permanently fails the
+    /// shard (the blast radius stays one shard either way).
+    pub fn never() -> Self {
+        RestartPolicy { max_restarts: 0, ..Default::default() }
+    }
+}
+
+/// What happened to a shard, stamped with the coordinator round so crash
+/// and restart events fold deterministically into the replay order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Coordinator round the event was observed at.
+    pub round: u64,
+    pub shard: u32,
+    pub kind: FaultEventKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The worker disconnected (panic or thread death).
+    Crashed,
+    /// Declared dead after `dead_after` consecutive missed heartbeats.
+    DeclaredDead,
+    /// Rebuilt from the factory and back in rotation.
+    Restarted,
+    /// Restart budget exhausted (or rebuild failed); shard is Failed.
+    GaveUp,
+}
+
+impl FaultEventKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEventKind::Crashed => "crashed",
+            FaultEventKind::DeclaredDead => "declared-dead",
+            FaultEventKind::Restarted => "restarted",
+            FaultEventKind::GaveUp => "gave-up",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ShardStatus {
+    health: ShardHealth,
+    /// Consecutive rounds without a serviced heartbeat.
+    missed: u64,
+    restarts: u32,
+    /// Coordinator round to attempt the next rebuild at.
+    restart_at: Option<u64>,
+}
+
+/// Watchdog bookkeeping for the whole fleet. Owns no workers — the
+/// coordinator consults it and acts.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    pub policy: RestartPolicy,
+    shards: Vec<ShardStatus>,
+    events: Vec<FaultEvent>,
+    /// Connections aborted because their shard died.
+    pub failover_aborts: u64,
+    /// Frame sends abandoned because a command ring stayed full past the
+    /// bounded wait.
+    pub ring_stalls: u64,
+    /// Frames dropped because their shard was dead at routing time.
+    pub dead_drops: u64,
+}
+
+impl Supervisor {
+    pub fn new(shards: usize, policy: RestartPolicy) -> Self {
+        Supervisor {
+            policy,
+            shards: vec![
+                ShardStatus {
+                    health: ShardHealth::Healthy,
+                    missed: 0,
+                    restarts: 0,
+                    restart_at: None,
+                };
+                shards
+            ],
+            events: Vec::new(),
+            failover_aborts: 0,
+            ring_stalls: 0,
+            dead_drops: 0,
+        }
+    }
+
+    pub fn health(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].health
+    }
+
+    pub fn restarts(&self, shard: usize) -> u32 {
+        self.shards[shard].restarts
+    }
+
+    /// Consecutive missed heartbeats (0 for a shard serving rounds).
+    pub fn heartbeat_age(&self, shard: usize) -> u64 {
+        self.shards[shard].missed
+    }
+
+    pub fn max_heartbeat_age(&self) -> u64 {
+        self.shards.iter().map(|s| s.missed).max().unwrap_or(0)
+    }
+
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| u64::from(s.restarts)).sum()
+    }
+
+    /// Every fault event observed so far, in coordinator-round order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn any_down(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| matches!(s.health, ShardHealth::Dead))
+    }
+
+    /// A serviced heartbeat arrived.
+    pub fn beat_ok(&mut self, shard: usize) {
+        let st = &mut self.shards[shard];
+        if matches!(st.health, ShardHealth::Healthy | ShardHealth::Stalled) {
+            st.missed = 0;
+            st.health = ShardHealth::Healthy;
+        }
+    }
+
+    /// A stalled (acknowledged, unserviced) heartbeat arrived. Returns
+    /// `true` when the shard has now missed enough beats to be killed.
+    pub fn beat_stalled(&mut self, shard: usize) -> bool {
+        let st = &mut self.shards[shard];
+        if !matches!(st.health, ShardHealth::Healthy | ShardHealth::Stalled) {
+            return false;
+        }
+        st.missed += 1;
+        if st.missed >= self.policy.dead_after {
+            return true;
+        }
+        if st.missed >= self.policy.stalled_after {
+            st.health = ShardHealth::Stalled;
+        }
+        false
+    }
+
+    /// The shard is dead (worker disconnected, or the coordinator killed
+    /// a wedge). Schedules a restart or gives up, per policy.
+    pub fn died(&mut self, shard: usize, round: u64, kind: FaultEventKind, conns_lost: u64) {
+        let st = &mut self.shards[shard];
+        if matches!(st.health, ShardHealth::Dead | ShardHealth::Failed) {
+            return;
+        }
+        self.failover_aborts = self.failover_aborts.saturating_add(conns_lost);
+        self.events.push(FaultEvent { round, shard: shard as u32, kind });
+        let st = &mut self.shards[shard];
+        st.missed = 0;
+        if st.restarts >= self.policy.max_restarts {
+            st.health = ShardHealth::Failed;
+            self.events.push(FaultEvent {
+                round,
+                shard: shard as u32,
+                kind: FaultEventKind::GaveUp,
+            });
+        } else {
+            st.health = ShardHealth::Dead;
+            let attempt = u64::from(st.restarts) + 1;
+            st.restart_at = Some(round + self.policy.backoff_rounds.saturating_mul(attempt));
+        }
+    }
+
+    /// Is this dead shard due for a rebuild at `round`?
+    pub fn restart_due(&self, shard: usize, round: u64) -> bool {
+        let st = &self.shards[shard];
+        matches!(st.health, ShardHealth::Dead) && st.restart_at.is_some_and(|at| round >= at)
+    }
+
+    /// The rebuild succeeded; the shard is back in rotation.
+    pub fn restarted(&mut self, shard: usize, round: u64) {
+        let st = &mut self.shards[shard];
+        st.restarts += 1;
+        st.health = ShardHealth::Healthy;
+        st.missed = 0;
+        st.restart_at = None;
+        self.events.push(FaultEvent {
+            round,
+            shard: shard as u32,
+            kind: FaultEventKind::Restarted,
+        });
+    }
+
+    /// The rebuild itself failed (e.g. thread spawn error): give up.
+    pub fn gave_up(&mut self, shard: usize, round: u64) {
+        let st = &mut self.shards[shard];
+        st.health = ShardHealth::Failed;
+        st.restart_at = None;
+        self.events.push(FaultEvent {
+            round,
+            shard: shard as u32,
+            kind: FaultEventKind::GaveUp,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_schedules_backoff_then_restart() {
+        let mut sup = Supervisor::new(2, RestartPolicy { backoff_rounds: 3, ..Default::default() });
+        sup.died(1, 10, FaultEventKind::Crashed, 5);
+        assert_eq!(sup.health(1), ShardHealth::Dead);
+        assert_eq!(sup.failover_aborts, 5);
+        assert!(!sup.restart_due(1, 12));
+        assert!(sup.restart_due(1, 13), "backoff is 3 rounds for attempt 1");
+        sup.restarted(1, 13);
+        assert_eq!(sup.health(1), ShardHealth::Healthy);
+        assert_eq!(sup.restarts(1), 1);
+        // Second death backs off twice as long.
+        sup.died(1, 20, FaultEventKind::Crashed, 0);
+        assert!(!sup.restart_due(1, 25));
+        assert!(sup.restart_due(1, 26));
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_fails_the_shard() {
+        let mut sup = Supervisor::new(1, RestartPolicy { max_restarts: 1, ..Default::default() });
+        sup.died(0, 1, FaultEventKind::Crashed, 0);
+        sup.restarted(0, 3);
+        sup.died(0, 5, FaultEventKind::Crashed, 2);
+        assert_eq!(sup.health(0), ShardHealth::Failed);
+        assert!(!sup.restart_due(0, 1000));
+        let kinds: Vec<_> = sup.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultEventKind::Crashed,
+                FaultEventKind::Restarted,
+                FaultEventKind::Crashed,
+                FaultEventKind::GaveUp
+            ]
+        );
+    }
+
+    #[test]
+    fn never_policy_fails_on_first_death() {
+        let mut sup = Supervisor::new(1, RestartPolicy::never());
+        sup.died(0, 4, FaultEventKind::Crashed, 7);
+        assert_eq!(sup.health(0), ShardHealth::Failed);
+        assert_eq!(sup.failover_aborts, 7);
+    }
+
+    #[test]
+    fn stalled_beats_escalate_to_dead() {
+        let mut sup = Supervisor::new(1, RestartPolicy { stalled_after: 1, dead_after: 3, ..Default::default() });
+        assert!(!sup.beat_stalled(0));
+        assert_eq!(sup.health(0), ShardHealth::Stalled);
+        assert_eq!(sup.heartbeat_age(0), 1);
+        assert!(!sup.beat_stalled(0));
+        assert!(sup.beat_stalled(0), "third consecutive stall crosses dead_after");
+        // A good beat in between resets the count.
+        let mut sup = Supervisor::new(1, RestartPolicy { stalled_after: 1, dead_after: 3, ..Default::default() });
+        sup.beat_stalled(0);
+        sup.beat_ok(0);
+        assert_eq!(sup.health(0), ShardHealth::Healthy);
+        assert_eq!(sup.heartbeat_age(0), 0);
+    }
+}

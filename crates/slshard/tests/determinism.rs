@@ -164,6 +164,7 @@ where
         ring_cap: 64,
         global_budget: 0,
         mode,
+        ..ShardedConfig::default()
     };
     let server = ShardedHost::new(cfg, move |_shard| {
         ServedHost::new(

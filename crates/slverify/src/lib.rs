@@ -26,6 +26,12 @@
 //!   global pressure floor, with budget-never-exceeded proved per shard
 //!   *and* globally — and the global overrun exhibited when the staged
 //!   floor goes one fleet-wide admission too stale;
+//! * the E21 fault-domain contract ([`models::ShardFail`]) proves a shard
+//!   crash under the same ladder is *contained*: only the dead shard's
+//!   connections abort, budgets hold mid-failover with the dead shard's
+//!   occupancy zeroed, downtime is bounded by the restart backoff, and no
+//!   schedule strands the fleet — while the seed's uncontained panic
+//!   (`isolate: false`) yields the foreign-shard-abort counterexample;
 //! * the congestion-control contract ([`models::CongCtrl`]) is an
 //!   assume/guarantee check run against the **real** shipped
 //!   `slcc::RateController` implementations — allowance never below one
@@ -44,8 +50,8 @@ pub use forwarding::{
     check_forwarding, check_forwarding_to, ForwardDefect, ForwardReport, ForwardSpec,
 };
 pub use models::{
-    AltBit, Combined, CongCtrl, Handshake, Overload, RstAttack, ShardedOverload,
-    SlidingWindow,
+    AltBit, Combined, CongCtrl, Handshake, Overload, RstAttack, ShardFail,
+    ShardedOverload, SlidingWindow,
 };
 pub use relation::{
     classify_seq, pressure_tier, rfc5961_response, transition_label, RespClass, SegClass,

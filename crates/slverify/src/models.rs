@@ -1595,6 +1595,378 @@ mod sharded_overload_tests {
 }
 
 // ---------------------------------------------------------------------
+// Shard fault domains (E21): crash isolation + supervised restart.
+// ---------------------------------------------------------------------
+
+/// The `slshard` fault-domain contract as a small exhaustive model:
+/// `K = 2` shard hosts under the coordinator's staged pressure floor
+/// (the [`ShardedOverload`] ladder), where one shard may **crash** at any
+/// point. The crash aborts that shard's in-flight connections, zeroes its
+/// occupancy, and starts the supervisor's clock: after `backoff`
+/// coordinator rounds the shard is rebuilt and serves again.
+///
+/// The `isolate` flag is the design question this model answers. With
+/// `isolate: true` (the shipped `catch_unwind` + typed-`ShardError`
+/// boundary) a crash is contained to its own fault domain. With
+/// `isolate: false` — the seed behavior, where a worker panic poisons the
+/// shared ring lock and the coordinator's next `expect` takes the whole
+/// process — the same crash aborts in-flight connections on the *healthy*
+/// shard too, and the checker exhibits the foreign-shard-abort trace.
+///
+/// Proved for every interleaving of arrivals, admissions, progress,
+/// crash, floor pushes, and restart:
+///
+/// * **isolation** — a connection is only ever aborted by its *own*
+///   shard's crash (or by being routed to the dead shard while down);
+/// * **budget soundness mid-failover** — per-shard budgets and the global
+///   budget hold throughout, with the dead shard's occupancy zeroed the
+///   moment it dies (the coordinator folds the loss into the floor at the
+///   next push);
+/// * **bounded downtime** — the dead shard is down for at most `backoff`
+///   coordinator rounds (the supervisor's restart has priority over
+///   further rounds once the backoff elapses);
+/// * **restart liveness** — `is_done` additionally requires a crashed
+///   shard to have been restarted, so `deadlocks == 0` proves every
+///   schedule can bring the fleet back to full strength with the
+///   restarted shard serving (pending connections admitted post-restart).
+///
+/// Rounds keep ticking while a shard is down (`push_floor` stays enabled
+/// — the coordinator's `batch_due` poll); gate it on floor staleness
+/// alone and the model deadlocks, which is exactly the hang the real
+/// coordinator avoids.
+pub struct ShardFail {
+    /// Per-shard byte budget (abstract units).
+    pub sbudget: u8,
+    /// Global byte budget across both shards.
+    pub gbudget: u8,
+    /// Units buffered per admitted connection.
+    pub resp: u8,
+    /// Fleet-wide admissions the shards may perform between floor pushes.
+    pub lag: u8,
+    /// Coordinator rounds a dead shard waits before its supervised
+    /// restart (the `RestartPolicy` backoff, in rounds).
+    pub backoff: u8,
+    /// Crash containment: `true` is the shipped fault boundary, `false`
+    /// the seed's process-wide blast radius.
+    pub isolate: bool,
+}
+
+const FAIL_SHARDS: usize = 2;
+const FAIL_SLOTS: usize = 2;
+
+/// One connection slot's lifecycle on a shard, extended with the typed
+/// failure outcome a client observes when its shard dies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FailSlot {
+    Idle,
+    Pending,
+    Accepted { buf: u8 },
+    Done,
+    Refused,
+    /// Aborted by a shard death: connection state lost, client saw a
+    /// typed error (`Reset` / `RetriesExhausted` / `PeerVanished`).
+    Aborted,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShardFailState {
+    conns: [[FailSlot; FAIL_SLOTS]; FAIL_SHARDS],
+    used: [u8; FAIL_SHARDS],
+    /// Staged global-floor tier (0..=3) the shards read.
+    floor: u8,
+    stale_admits: u8,
+    up: [bool; FAIL_SHARDS],
+    /// Which shard crashed, if any (one crash per run bounds the space).
+    crashed: Option<u8>,
+    /// Coordinator rounds elapsed with the crashed shard down.
+    down_rounds: u8,
+    restarted: bool,
+}
+
+impl ShardFailState {
+    pub fn global_used(&self) -> u8 {
+        self.used.iter().sum()
+    }
+}
+
+impl ShardFail {
+    fn own_tier(&self, used: u8) -> u8 {
+        crate::relation::pressure_tier(used as u64, self.sbudget as u64)
+    }
+
+    fn global_tier(&self, s: &ShardFailState) -> u8 {
+        crate::relation::pressure_tier(s.global_used() as u64, self.gbudget as u64)
+    }
+
+    fn effective(&self, s: &ShardFailState, i: usize) -> u8 {
+        self.own_tier(s.used[i]).max(s.floor)
+    }
+
+    fn any_down(s: &ShardFailState) -> bool {
+        s.up.iter().any(|u| !u)
+    }
+}
+
+impl Model for ShardFail {
+    type State = ShardFailState;
+
+    fn init(&self) -> Vec<ShardFailState> {
+        vec![ShardFailState {
+            conns: [[FailSlot::Idle; FAIL_SLOTS]; FAIL_SHARDS],
+            used: [0; FAIL_SHARDS],
+            floor: 0,
+            stale_admits: 0,
+            up: [true; FAIL_SHARDS],
+            crashed: None,
+            down_rounds: 0,
+            restarted: false,
+        }]
+    }
+
+    fn next(&self, s: &ShardFailState) -> Vec<(&'static str, ShardFailState)> {
+        let mut out = Vec::new();
+        for sh in 0..FAIL_SHARDS {
+            for i in 0..FAIL_SLOTS {
+                match s.conns[sh][i] {
+                    FailSlot::Idle => {
+                        // The router keeps delivering SYNs; whether the
+                        // shard is up decides their fate below.
+                        let mut ns = *s;
+                        ns.conns[sh][i] = FailSlot::Pending;
+                        out.push(("arrive", ns));
+                    }
+                    FailSlot::Pending if !s.up[sh] => {
+                        // Routed to the dead shard: the coordinator drops
+                        // the frame (`dead_drops`) and the client's retry
+                        // budget eventually yields a typed error. The
+                        // *absence* of a forced drop also lets a patient
+                        // client be served after the restart.
+                        let mut ns = *s;
+                        ns.conns[sh][i] = FailSlot::Aborted;
+                        out.push(("drop_dead_shard", ns));
+                    }
+                    FailSlot::Pending => {
+                        if self.effective(s, sh) == 3 {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = FailSlot::Refused;
+                            out.push(("refuse", ns));
+                        } else if self.effective(s, sh) == 0 && s.stale_admits < self.lag {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = FailSlot::Accepted { buf: self.resp };
+                            ns.used[sh] += self.resp;
+                            ns.stale_admits += 1;
+                            out.push(("admit", ns));
+                        }
+                    }
+                    FailSlot::Accepted { buf } if s.up[sh] => {
+                        if buf > 0 {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = FailSlot::Accepted { buf: buf - 1 };
+                            ns.used[sh] -= 1;
+                            out.push(("progress", ns));
+                        } else {
+                            let mut ns = *s;
+                            ns.conns[sh][i] = FailSlot::Done;
+                            out.push(("complete", ns));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // One crash per run, on any still-healthy shard.
+        if s.crashed.is_none() {
+            for sh in 0..FAIL_SHARDS {
+                let mut ns = *s;
+                ns.up[sh] = false;
+                ns.crashed = Some(sh as u8);
+                ns.down_rounds = 0;
+                // The dying shard's in-flight connections abort and its
+                // occupancy is gone with the worker.
+                for slot in ns.conns[sh].iter_mut() {
+                    if matches!(slot, FailSlot::Accepted { .. }) {
+                        *slot = FailSlot::Aborted;
+                    }
+                }
+                ns.used[sh] = 0;
+                if !self.isolate {
+                    // Seed behavior: the panic poisons the shared ring
+                    // lock; the coordinator's next `expect` takes every
+                    // in-flight connection with it.
+                    for other in 0..FAIL_SHARDS {
+                        for slot in ns.conns[other].iter_mut() {
+                            if matches!(slot, FailSlot::Accepted { .. }) {
+                                *slot = FailSlot::Aborted;
+                            }
+                        }
+                        ns.used[other] = 0;
+                    }
+                }
+                out.push(("crash", ns));
+            }
+        }
+        // The coordinator's flush round: re-derive the floor from live
+        // shard samples (a dead shard contributes zero). Stays enabled
+        // while a shard is down so the supervisor's clock advances — but
+        // yields to the restart once the backoff has elapsed.
+        let floor_stale = s.floor != self.global_tier(s) || s.stale_admits > 0;
+        if (floor_stale || Self::any_down(s)) && s.down_rounds < self.backoff {
+            let mut ns = *s;
+            ns.floor = self.global_tier(&ns);
+            ns.stale_admits = 0;
+            if Self::any_down(&ns) {
+                ns.down_rounds += 1;
+            }
+            out.push(("push_floor", ns));
+        }
+        // Supervised restart: a fresh worker from the factory, empty
+        // tables, back in the routing rotation.
+        if let Some(sh) = s.crashed {
+            if !s.up[sh as usize] && s.down_rounds >= self.backoff {
+                let mut ns = *s;
+                ns.up[sh as usize] = true;
+                ns.restarted = true;
+                ns.down_rounds = 0;
+                out.push(("restart", ns));
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &ShardFailState) -> Result<(), String> {
+        for sh in 0..FAIL_SHARDS {
+            if s.used[sh] > self.sbudget {
+                return Err(format!(
+                    "shard budget exceeded mid-failover: shard {sh} used {} > {}",
+                    s.used[sh], self.sbudget
+                ));
+            }
+            let derived: u8 = s.conns[sh]
+                .iter()
+                .map(|c| match c {
+                    FailSlot::Accepted { buf } => *buf,
+                    _ => 0,
+                })
+                .sum();
+            if derived != s.used[sh] {
+                return Err(format!(
+                    "shard {sh} accounting leaked: tracked {} != held {derived}",
+                    s.used[sh]
+                ));
+            }
+            if !s.up[sh] && s.used[sh] != 0 {
+                return Err(format!(
+                    "dead shard {sh} still holds {} units — loss not folded",
+                    s.used[sh]
+                ));
+            }
+            // Isolation: an aborted connection implies *this* shard is
+            // the one that crashed.
+            if s.conns[sh].iter().any(|c| matches!(c, FailSlot::Aborted))
+                && s.crashed != Some(sh as u8)
+            {
+                return Err(format!(
+                    "foreign shard abort: shard {sh} lost connections to shard \
+                     {:?}'s crash",
+                    s.crashed
+                ));
+            }
+        }
+        if s.global_used() > self.gbudget {
+            return Err(format!(
+                "global budget exceeded mid-failover: {} used > {}",
+                s.global_used(),
+                self.gbudget
+            ));
+        }
+        if s.down_rounds > self.backoff {
+            return Err(format!(
+                "downtime exceeded the restart backoff: {} rounds > {}",
+                s.down_rounds, self.backoff
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_done(&self, s: &ShardFailState) -> bool {
+        s.conns
+            .iter()
+            .flatten()
+            .all(|c| matches!(c, FailSlot::Done | FailSlot::Refused | FailSlot::Aborted))
+            && s.up.iter().all(|u| *u)
+            && (s.crashed.is_none() || s.restarted)
+    }
+}
+
+#[cfg(test)]
+mod shard_fail_tests {
+    use super::*;
+    use crate::checker::check;
+
+    fn model(isolate: bool, backoff: u8) -> ShardFail {
+        // Same contention profile as the ShardedOverload tests: shard
+        // Nominal means used <= 1 (peak 3 <= 4), one in-window admission
+        // keeps the fleet at 4 <= 5.
+        ShardFail { sbudget: 4, gbudget: 5, resp: 2, lag: 1, backoff, isolate }
+    }
+
+    #[test]
+    fn isolation_and_budgets_hold_through_crash_and_restart() {
+        for backoff in [1, 2] {
+            let r = check(&model(true, backoff), 5_000_000);
+            assert!(r.ok(), "backoff={backoff}: {r:?}");
+            assert!(r.states > 1_000, "state space suspiciously small: {r:?}");
+        }
+    }
+
+    #[test]
+    fn seed_blast_radius_exhibits_foreign_shard_abort() {
+        let r = check(&model(false, 2), 5_000_000);
+        let v = r.violation.expect("uncontained crash must abort foreign connections");
+        assert!(v.reason.contains("foreign shard abort"), "{v:?}");
+        assert!(
+            v.actions.contains(&"crash"),
+            "counterexample must include the crash: {v:?}"
+        );
+    }
+
+    #[test]
+    fn restart_liveness_no_schedule_strands_the_fleet() {
+        // `is_done` demands the crashed shard be restarted and every
+        // connection resolved; zero deadlocks means no interleaving —
+        // crash before, during, or after traffic — can strand the fleet.
+        let r = check(&model(true, 2), 5_000_000);
+        assert_eq!(r.deadlocks, 0, "{r:?}");
+        assert!(r.violation.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn rounds_must_keep_ticking_while_a_shard_is_down() {
+        // A crash with no traffic at all: the only path to the restart is
+        // push_floor advancing the supervisor's clock. This is the
+        // coordinator's `batch_due` poll as a liveness requirement.
+        let m = model(true, 3);
+        let mut s = m.init().remove(0);
+        s.up[0] = false;
+        s.crashed = Some(0);
+        for round in 0..3 {
+            assert_eq!(s.down_rounds, round);
+            let next = m.next(&s);
+            let (_, ns) = next
+                .iter()
+                .find(|(a, _)| *a == "push_floor")
+                .expect("push_floor must stay enabled while a shard is down");
+            s = *ns;
+        }
+        let next = m.next(&s);
+        assert!(
+            next.iter().any(|(a, _)| *a == "restart"),
+            "backoff elapsed: restart must be enabled"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Congestion-control contract (assume/guarantee over real controllers).
 // ---------------------------------------------------------------------
 
