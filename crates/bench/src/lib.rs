@@ -6,6 +6,7 @@
 pub mod attack;
 pub mod chaos;
 pub mod conform;
+pub mod contracts;
 pub mod failover;
 pub mod fairness;
 pub mod overload;

@@ -18,6 +18,8 @@
 //!   no handshake at all; ISNs ride in the CM header of every packet and
 //!   connections die by quiet-time, not FIN.
 
+use crate::dm::{Admitted, ConnId};
+use crate::fingerprint as fp;
 use crate::signals::SeqValidity;
 use crate::wire::{CmHeader, Packet};
 use netsim::{Dur, Time, TransportError};
@@ -73,7 +75,15 @@ const MAX_SYN_RETRIES: u32 = 6;
 const TIME_WAIT: Dur = Dur(10_000_000_000);
 
 /// Per-connection CM machine.
+///
+/// Construction demands an [`Admitted`] token, which only
+/// [`crate::dm::Demux::bind`] can mint — the DM⇒CM half of the sublayer
+/// contract chain, enforced by the type system: CM cannot sequence a flow
+/// DM never admitted.
+#[derive(Clone)]
 pub struct ConnMgmt {
+    /// The DM admission this machine manages (from the consumed token).
+    conn: ConnId,
     scheme: CmScheme,
     state: CmState,
     local_isn: u32,
@@ -101,8 +111,9 @@ pub struct ConnMgmt {
 }
 
 impl ConnMgmt {
-    fn new(scheme: CmScheme, local_isn: u32, log: SharedLog) -> ConnMgmt {
+    fn new(token: Admitted, scheme: CmScheme, local_isn: u32, log: SharedLog) -> ConnMgmt {
         ConnMgmt {
+            conn: token.id(),
             scheme,
             state: CmState::Idle,
             local_isn,
@@ -123,9 +134,16 @@ impl ConnMgmt {
         }
     }
 
-    /// Active open (connect side).
-    pub fn open_active(scheme: CmScheme, local_isn: u32, now: Time, log: SharedLog) -> ConnMgmt {
-        let mut cm = ConnMgmt::new(scheme, local_isn, log);
+    /// Active open (connect side). Consumes the [`Admitted`] token DM
+    /// minted for this flow's 4-tuple (one admission, one connection).
+    pub fn open_active(
+        token: Admitted,
+        scheme: CmScheme,
+        local_isn: u32,
+        now: Time,
+        log: SharedLog,
+    ) -> ConnMgmt {
+        let mut cm = ConnMgmt::new(token, scheme, local_isn, log);
         cm.log.borrow_mut().w("cm", "state");
         cm.log.borrow_mut().w("cm", "local_isn");
         match scheme {
@@ -145,14 +163,18 @@ impl ConnMgmt {
     }
 
     /// Passive open (listener side), given the arriving packet's CM header.
+    /// Consumes the [`Admitted`] token; on `None` the caller still holds
+    /// the admission in DM's table and must release it with
+    /// [`crate::dm::Demux::unbind`].
     pub fn open_passive(
+        token: Admitted,
         scheme: CmScheme,
         local_isn: u32,
         peer: &CmHeader,
         now: Time,
         log: SharedLog,
     ) -> Option<ConnMgmt> {
-        let mut cm = ConnMgmt::new(scheme, local_isn, log);
+        let mut cm = ConnMgmt::new(token, scheme, local_isn, log);
         cm.log.borrow_mut().w("cm", "state");
         cm.log.borrow_mut().w("cm", "peer_isn");
         match scheme {
@@ -187,8 +209,14 @@ impl ConnMgmt {
     /// pair is already established — go straight to `Established`
     /// (ThreeWay only; the timer-based scheme keeps no half-open state to
     /// flood in the first place).
-    pub fn open_cookie(local_isn: u32, peer_isn: u32, now: Time, log: SharedLog) -> ConnMgmt {
-        let mut cm = ConnMgmt::new(CmScheme::ThreeWay, local_isn, log);
+    pub fn open_cookie(
+        token: Admitted,
+        local_isn: u32,
+        peer_isn: u32,
+        now: Time,
+        log: SharedLog,
+    ) -> ConnMgmt {
+        let mut cm = ConnMgmt::new(token, CmScheme::ThreeWay, local_isn, log);
         cm.log.borrow_mut().w("cm", "state");
         cm.log.borrow_mut().w("cm", "peer_isn");
         cm.peer_isn = Some(peer_isn);
@@ -199,6 +227,11 @@ impl ConnMgmt {
 
     pub fn state(&self) -> CmState {
         self.state
+    }
+
+    /// The DM admission this machine was built from.
+    pub fn conn_id(&self) -> ConnId {
+        self.conn
     }
 
     pub fn local_isn(&self) -> u32 {
@@ -550,12 +583,207 @@ impl ConnMgmt {
             }
         }
     }
+
+    /// Deterministic behavioral fingerprint for the CM contract checker
+    /// (see [`crate::fingerprint`]): equal keys must imply behaviorally
+    /// identical machines under the contract's drive alphabet.
+    pub fn contract_key(&self) -> Vec<u64> {
+        let scheme = match self.scheme {
+            CmScheme::ThreeWay => 0,
+            CmScheme::TimerBased { quiet } => fp::mix(1, quiet.0),
+        };
+        let state = match self.state {
+            CmState::Idle => 0u64,
+            CmState::SynSent => 1,
+            CmState::SynRcvd => 2,
+            CmState::Established => 3,
+            CmState::Closing => 4,
+            CmState::TimeWait => 5,
+            CmState::Closed => 6,
+        };
+        let flags = (self.close_requested as u64)
+            | (self.local_fin_acked as u64) << 1
+            | (self.peer_fin_seen as u64) << 2
+            | (self.passive_close as u64) << 3;
+        let queues = fp::fold_bytes(
+            fp::fold_bytes(fp::SEED, format!("{:?}", self.events).as_bytes()),
+            format!("{:?}", self.outbox).as_bytes(),
+        );
+        vec![
+            self.conn.0 as u64,
+            scheme,
+            state,
+            self.local_isn as u64,
+            self.peer_isn.map_or(u64::MAX, |p| p as u64),
+            flags,
+            self.rtx_deadline.map_or(u64::MAX, |t| t.0),
+            self.rtx_count as u64,
+            self.time_wait_deadline.map_or(u64::MAX, |t| t.0),
+            self.last_activity.0,
+            fp::fold_bytes(fp::SEED, format!("{:?}", self.reset_reason).as_bytes()),
+            self.challenge_acks,
+            queues,
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contract driver (slverify::contracts::CmContract drives the *real*
+// sublayer through this, exactly as CongCtrl drives RateController).
+// ---------------------------------------------------------------------
+
+/// The operations the CM assume/guarantee contract exercises. Implemented
+/// by the shipped [`ConnMgmt`] and by the [`BuggyCm`] mutation canary.
+pub trait CmDriver {
+    fn on_packet(
+        &mut self,
+        hdr: &CmHeader,
+        handshake_ack: bool,
+        rst_seq: SeqValidity,
+        now: Time,
+    ) -> CmPass;
+    fn on_tick(&mut self, now: Time);
+    fn poll_deadline(&self) -> Option<Time>;
+    fn state(&self) -> CmState;
+    fn local_isn(&self) -> u32;
+    fn peer_isn(&self) -> Option<u32>;
+    fn challenge_acks(&self) -> u64;
+    fn take_events(&mut self) -> Vec<CmEvent>;
+    /// See [`ConnMgmt::contract_key`].
+    fn contract_key(&self) -> Vec<u64>;
+    fn box_clone(&self) -> Box<dyn CmDriver>;
+}
+
+impl Clone for Box<dyn CmDriver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl CmDriver for ConnMgmt {
+    fn on_packet(
+        &mut self,
+        hdr: &CmHeader,
+        handshake_ack: bool,
+        rst_seq: SeqValidity,
+        now: Time,
+    ) -> CmPass {
+        ConnMgmt::on_packet(self, hdr, handshake_ack, rst_seq, now)
+    }
+    fn on_tick(&mut self, now: Time) {
+        ConnMgmt::on_tick(self, now)
+    }
+    fn poll_deadline(&self) -> Option<Time> {
+        ConnMgmt::poll_deadline(self)
+    }
+    fn state(&self) -> CmState {
+        ConnMgmt::state(self)
+    }
+    fn local_isn(&self) -> u32 {
+        ConnMgmt::local_isn(self)
+    }
+    fn peer_isn(&self) -> Option<u32> {
+        ConnMgmt::peer_isn(self)
+    }
+    fn challenge_acks(&self) -> u64 {
+        ConnMgmt::challenge_acks(self)
+    }
+    fn take_events(&mut self) -> Vec<CmEvent> {
+        ConnMgmt::take_events(self)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        ConnMgmt::contract_key(self)
+    }
+    fn box_clone(&self) -> Box<dyn CmDriver> {
+        Box::new(self.clone())
+    }
+}
+
+/// Mutation canary for the CM contract, mirroring [`slcc::BuggyDeflate`]:
+/// a plausible refactor decides the SYN|ACK's `ack_isn` echo is "redundant
+/// once the flag pair is present" and accepts whatever incarnation
+/// answered first — sequencing the connection from *outside* the admitted
+/// window (a stale incarnation's handshake). Never wired into product
+/// code; it exists so `CmContract` has a concrete counterexample.
+#[derive(Clone)]
+pub struct BuggyCm {
+    inner: ConnMgmt,
+}
+
+impl BuggyCm {
+    /// Same signature as [`ConnMgmt::open_active`].
+    pub fn open_active(
+        token: Admitted,
+        scheme: CmScheme,
+        local_isn: u32,
+        now: Time,
+        log: SharedLog,
+    ) -> BuggyCm {
+        BuggyCm { inner: ConnMgmt::open_active(token, scheme, local_isn, now, log) }
+    }
+}
+
+impl CmDriver for BuggyCm {
+    fn on_packet(
+        &mut self,
+        hdr: &CmHeader,
+        handshake_ack: bool,
+        rst_seq: SeqValidity,
+        now: Time,
+    ) -> CmPass {
+        let mut hdr = *hdr;
+        if matches!(self.inner.state, CmState::SynSent | CmState::SynRcvd)
+            && hdr.flags.syn
+            && hdr.flags.cm_ack
+        {
+            // THE BUG: rewrite the echoed ISN to our own before the real
+            // machine judges it, so a stale SYN|ACK establishes.
+            hdr.ack_isn = self.inner.local_isn;
+        }
+        self.inner.on_packet(&hdr, handshake_ack, rst_seq, now)
+    }
+    fn on_tick(&mut self, now: Time) {
+        self.inner.on_tick(now)
+    }
+    fn poll_deadline(&self) -> Option<Time> {
+        self.inner.poll_deadline()
+    }
+    fn state(&self) -> CmState {
+        self.inner.state()
+    }
+    fn local_isn(&self) -> u32 {
+        self.inner.local_isn()
+    }
+    fn peer_isn(&self) -> Option<u32> {
+        self.inner.peer_isn()
+    }
+    fn challenge_acks(&self) -> u64 {
+        self.inner.challenge_acks()
+    }
+    fn take_events(&mut self) -> Vec<CmEvent> {
+        self.inner.take_events()
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        self.inner.contract_key()
+    }
+    fn box_clone(&self) -> Box<dyn CmDriver> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::wire::CmFlags;
+    use tcp_mono::wire::{Endpoint, FourTuple};
+
+    /// Mint a real [`Admitted`] token: the only way to build a CM machine
+    /// is through a DM admission, in tests too.
+    fn tok() -> Admitted {
+        let mut d = crate::dm::Demux::new(1, slmetrics::shared());
+        d.bind(FourTuple { local: Endpoint::new(1, 1), remote: Endpoint::new(2, 2) })
+            .unwrap()
+    }
 
     fn hdr(syn: bool, cm_ack: bool, isn: u32, ack_isn: u32) -> CmHeader {
         CmHeader { flags: CmFlags { syn, fin: false, rst: false, cm_ack }, isn, ack_isn }
@@ -563,7 +791,7 @@ mod tests {
 
     #[test]
     fn three_way_handshake_active_side() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 100, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 100, Time::ZERO, slmetrics::shared());
         assert_eq!(cm.state(), CmState::SynSent);
         let syn = cm.poll_packet().expect("SYN queued");
         assert!(syn.cm.flags.syn && !syn.cm.flags.cm_ack);
@@ -585,7 +813,7 @@ mod tests {
     fn three_way_handshake_passive_side() {
         let peer_syn = hdr(true, false, 500, 0);
         let mut cm =
-            ConnMgmt::open_passive(CmScheme::ThreeWay, 900, &peer_syn, Time::ZERO, slmetrics::shared())
+            ConnMgmt::open_passive(tok(), CmScheme::ThreeWay, 900, &peer_syn, Time::ZERO, slmetrics::shared())
                 .expect("SYN opens");
         assert_eq!(cm.state(), CmState::SynRcvd);
         let synack = cm.poll_packet().unwrap();
@@ -599,7 +827,7 @@ mod tests {
 
     #[test]
     fn passive_open_rejects_non_syn() {
-        assert!(ConnMgmt::open_passive(
+        assert!(ConnMgmt::open_passive(tok(), 
             CmScheme::ThreeWay,
             1,
             &hdr(false, false, 5, 0),
@@ -611,7 +839,7 @@ mod tests {
 
     #[test]
     fn data_in_syn_rcvd_implicitly_establishes() {
-        let mut cm = ConnMgmt::open_passive(
+        let mut cm = ConnMgmt::open_passive(tok(), 
             CmScheme::ThreeWay,
             900,
             &hdr(true, false, 500, 0),
@@ -627,7 +855,7 @@ mod tests {
 
     #[test]
     fn syn_retransmission_with_backoff() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
         cm.poll_packet();
         assert!(cm.poll_packet().is_none());
         let d1 = cm.poll_deadline().unwrap();
@@ -639,7 +867,7 @@ mod tests {
 
     #[test]
     fn syn_gives_up_eventually() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
         for _ in 0..10 {
             if let Some(d) = cm.poll_deadline() {
                 cm.on_tick(d);
@@ -651,7 +879,7 @@ mod tests {
 
     #[test]
     fn rst_kills_connection() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
         // Pre-synchronization, a RST is believed only if it acknowledges
         // our SYN — i.e. echoes our ISN (RFC 793).
         let mut rst = hdr(false, false, 0, 1);
@@ -663,7 +891,7 @@ mod tests {
 
     #[test]
     fn blind_rst_in_syn_sent_is_ignored() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
         // A forged RST that does not echo our ISN never aborts the
         // handshake, whatever sequence validity the (absent) RD reports.
         let mut rst = hdr(false, false, 0, 99);
@@ -675,7 +903,7 @@ mod tests {
 
     #[test]
     fn close_lifecycle_reaches_time_wait_then_closed() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 1, Time::ZERO, slmetrics::shared());
         cm.on_packet(&hdr(true, true, 2, 1), false, SeqValidity::Exact, Time::ZERO);
         assert!(cm.close_requested(), "FIN should be routed to RD");
         assert_eq!(cm.state(), CmState::Closing);
@@ -690,7 +918,7 @@ mod tests {
 
     #[test]
     fn timer_based_needs_no_handshake() {
-        let mut a = ConnMgmt::open_active(
+        let mut a = ConnMgmt::open_active(tok(), 
             CmScheme::TimerBased { quiet: Dur::from_secs(5) },
             100,
             Time::ZERO,
@@ -711,7 +939,7 @@ mod tests {
     #[test]
     fn timer_based_closes_by_quiet_time() {
         let quiet = Dur::from_secs(5);
-        let mut a = ConnMgmt::open_active(
+        let mut a = ConnMgmt::open_active(tok(), 
             CmScheme::TimerBased { quiet },
             100,
             Time::ZERO,
@@ -728,7 +956,7 @@ mod tests {
 
     #[test]
     fn abort_queues_rst_and_records_reason() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
         cm.on_packet(&hdr(true, true, 77, 42), false, SeqValidity::Exact, Time::ZERO);
         while cm.poll_packet().is_some() {} // drain SYN + handshake ack
         assert_eq!(cm.state(), CmState::Established);
@@ -746,7 +974,7 @@ mod tests {
 
     #[test]
     fn inbound_rst_reports_peer_reset() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
         let mut h = hdr(false, false, 77, 42);
         h.flags.rst = true;
         assert_eq!(cm.on_packet(&h, false, SeqValidity::Exact, Time::ZERO), CmPass::Drop);
@@ -756,7 +984,7 @@ mod tests {
 
     #[test]
     fn syn_retry_exhaustion_reports_handshake_failure() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
         while cm.state() == CmState::SynSent {
             let now = cm.poll_deadline().expect("SYN timer armed");
             cm.on_tick(now);
@@ -767,7 +995,7 @@ mod tests {
 
     #[test]
     fn fill_tx_stamps_isns_only() {
-        let mut cm = ConnMgmt::open_active(CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
+        let mut cm = ConnMgmt::open_active(tok(), CmScheme::ThreeWay, 42, Time::ZERO, slmetrics::shared());
         cm.on_packet(&hdr(true, true, 77, 42), false, SeqValidity::Exact, Time::ZERO);
         let mut pkt = Packet::default();
         pkt.rd.seq = 5;

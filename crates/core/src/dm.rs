@@ -5,6 +5,7 @@
 //! reuse) and the 4-tuple → connection map, and per test **T3** it reads
 //! and writes only the DM subheader (ports) plus the network addresses.
 
+use crate::fingerprint as fp;
 use crate::wire::Packet;
 use slmetrics::SharedLog;
 use std::collections::{HashMap, HashSet};
@@ -20,6 +21,26 @@ pub struct ConnId(pub usize);
 pub enum DmError {
     /// The exact 4-tuple is already bound.
     TupleInUse,
+}
+
+/// Proof of admission, minted exclusively by [`Demux::bind`].
+///
+/// This is the typestate half of the DM⇒CM contract: CM's constructors
+/// consume an `Admitted` by value, so product code *cannot* create a
+/// connection that DM never admitted — the contract violation is a compile
+/// error, not a runtime check. The token is deliberately neither `Clone`
+/// nor `Copy` (one admission, one connection) and has no public
+/// constructor outside this module.
+#[derive(Debug)]
+pub struct Admitted {
+    id: ConnId,
+}
+
+impl Admitted {
+    /// The connection id DM assigned at admission.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
 }
 
 /// The outcome of classifying an incoming packet.
@@ -39,6 +60,7 @@ pub enum DmVerdict {
 }
 
 /// The DM sublayer state for one host.
+#[derive(Clone)]
 pub struct Demux {
     local_addr: u32,
     listeners: HashSet<u16>,
@@ -92,8 +114,10 @@ impl Demux {
         self.gated
     }
 
-    /// Bind a connection to an exact 4-tuple.
-    pub fn bind(&mut self, tuple: FourTuple) -> Result<ConnId, DmError> {
+    /// Bind a connection to an exact 4-tuple, minting the [`Admitted`]
+    /// token CM demands. Exactly-once admission is the contract: a tuple
+    /// already in the table is rejected, never double-admitted.
+    pub fn bind(&mut self, tuple: FourTuple) -> Result<Admitted, DmError> {
         self.log.borrow_mut().w("dm", "conn_table");
         if self.table.contains_key(&tuple) {
             return Err(DmError::TupleInUse);
@@ -102,7 +126,7 @@ impl Demux {
         self.next_id += 1;
         self.table.insert(tuple, id);
         self.tuples.insert(id, tuple);
-        Ok(id)
+        Ok(Admitted { id })
     }
 
     /// Allocate an ephemeral local port (encapsulating port reuse — the
@@ -175,6 +199,161 @@ impl Demux {
         v.sort();
         v
     }
+
+    /// Deterministic behavioral fingerprint for the DM contract checker.
+    /// Equal keys must imply behaviorally identical demuxers under the
+    /// contract's drive alphabet (see [`crate::fingerprint`]).
+    pub fn contract_key(&self) -> Vec<u64> {
+        let mut listeners: Vec<u64> = self.listeners.iter().map(|&p| p as u64).collect();
+        listeners.sort_unstable();
+        let mut conns: Vec<u64> = self
+            .tuples
+            .iter()
+            .map(|(id, t)| fp::mix(id.0 as u64, tuple_fp(t)))
+            .collect();
+        conns.sort_unstable();
+        vec![
+            self.gated as u64,
+            self.next_id as u64,
+            self.next_ephemeral as u64,
+            fp::fold(fp::SEED, listeners),
+            fp::fold(fp::SEED, conns),
+        ]
+    }
+}
+
+fn tuple_fp(t: &FourTuple) -> u64 {
+    fp::fold(
+        fp::SEED,
+        [
+            t.local.addr as u64,
+            t.local.port as u64,
+            t.remote.addr as u64,
+            t.remote.port as u64,
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Contract driver (slverify::contracts::DmContract drives the *real*
+// sublayer through this, exactly as CongCtrl drives RateController).
+// ---------------------------------------------------------------------
+
+/// The operations the DM assume/guarantee contract exercises. Implemented
+/// by the shipped [`Demux`] and by the [`BuggyDm`] mutation canary; the
+/// checker model is written once against this trait and run against both.
+pub trait DmDriver {
+    fn listen(&mut self, port: u16);
+    fn set_gate(&mut self, gated: bool);
+    /// Admission as the checker sees it: the [`Admitted`] token collapsed
+    /// to its id. Product code gets the typestate; the checker tracks the
+    /// ghost obligations itself.
+    fn admit(&mut self, tuple: FourTuple) -> Result<ConnId, DmError>;
+    fn release(&mut self, id: ConnId);
+    fn classify(&self, pkt: &Packet) -> DmVerdict;
+    fn lookup(&self, tuple: &FourTuple) -> Option<ConnId>;
+    fn tuple_of(&self, id: ConnId) -> Option<FourTuple>;
+    /// See [`Demux::contract_key`] — equal keys promise behaviorally
+    /// identical drivers.
+    fn contract_key(&self) -> Vec<u64>;
+    fn box_clone(&self) -> Box<dyn DmDriver>;
+}
+
+impl Clone for Box<dyn DmDriver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl DmDriver for Demux {
+    fn listen(&mut self, port: u16) {
+        Demux::listen(self, port)
+    }
+    fn set_gate(&mut self, gated: bool) {
+        Demux::set_gate(self, gated)
+    }
+    fn admit(&mut self, tuple: FourTuple) -> Result<ConnId, DmError> {
+        self.bind(tuple).map(|a| a.id())
+    }
+    fn release(&mut self, id: ConnId) {
+        self.unbind(id)
+    }
+    fn classify(&self, pkt: &Packet) -> DmVerdict {
+        Demux::classify(self, pkt)
+    }
+    fn lookup(&self, tuple: &FourTuple) -> Option<ConnId> {
+        Demux::lookup(self, tuple)
+    }
+    fn tuple_of(&self, id: ConnId) -> Option<FourTuple> {
+        self.tuple(id)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        Demux::contract_key(self)
+    }
+    fn box_clone(&self) -> Box<dyn DmDriver> {
+        Box::new(self.clone())
+    }
+}
+
+/// Mutation canary for the DM contract, mirroring [`slcc::BuggyDeflate`]:
+/// a plausible refactor slip decides duplicate binds are "idempotent" and
+/// hands out a *fresh* handle for a tuple that is already live — double
+/// admission. Never wired into product code; it exists so `DmContract`
+/// has a concrete counterexample proving the exactly-once obligation is
+/// load-bearing.
+#[derive(Clone)]
+pub struct BuggyDm {
+    inner: Demux,
+    bonus: usize,
+}
+
+impl BuggyDm {
+    pub fn new(local_addr: u32, log: SharedLog) -> BuggyDm {
+        BuggyDm { inner: Demux::new(local_addr, log), bonus: 0 }
+    }
+}
+
+impl DmDriver for BuggyDm {
+    fn listen(&mut self, port: u16) {
+        self.inner.listen(port)
+    }
+    fn set_gate(&mut self, gated: bool) {
+        self.inner.set_gate(gated)
+    }
+    fn admit(&mut self, tuple: FourTuple) -> Result<ConnId, DmError> {
+        match self.inner.bind(tuple) {
+            Ok(a) => Ok(a.id()),
+            Err(DmError::TupleInUse) => {
+                // THE BUG: treat the duplicate as a re-admission and mint a
+                // second ConnId for the same 4-tuple. The demux table still
+                // points at the first id, so the two connections now shear.
+                let id = ConnId(usize::MAX - self.bonus);
+                self.bonus += 1;
+                self.inner.tuples.insert(id, tuple);
+                Ok(id)
+            }
+        }
+    }
+    fn release(&mut self, id: ConnId) {
+        self.inner.unbind(id)
+    }
+    fn classify(&self, pkt: &Packet) -> DmVerdict {
+        Demux::classify(&self.inner, pkt)
+    }
+    fn lookup(&self, tuple: &FourTuple) -> Option<ConnId> {
+        Demux::lookup(&self.inner, tuple)
+    }
+    fn tuple_of(&self, id: ConnId) -> Option<FourTuple> {
+        self.inner.tuple(id)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        let mut k = self.inner.contract_key();
+        k.push(self.bonus as u64);
+        k
+    }
+    fn box_clone(&self) -> Box<dyn DmDriver> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +379,7 @@ mod tests {
     fn bind_and_classify_known() {
         let mut d = dm();
         let t = tuple(5000, 20, 80);
-        let id = d.bind(t).unwrap();
+        let id = d.bind(t).unwrap().id();
         let p = pkt_to(10, 5000, Endpoint::new(20, 80));
         assert_eq!(d.classify(&p), DmVerdict::Known(id));
     }
@@ -210,7 +389,7 @@ mod tests {
         let mut d = dm();
         let t = tuple(5000, 20, 80);
         d.bind(t).unwrap();
-        assert_eq!(d.bind(t), Err(DmError::TupleInUse));
+        assert!(matches!(d.bind(t), Err(DmError::TupleInUse)));
     }
 
     #[test]
@@ -231,7 +410,7 @@ mod tests {
     fn gate_blocks_new_flows_but_not_established() {
         let mut d = dm();
         d.listen(80);
-        let id = d.bind(tuple(5000, 20, 80)).unwrap();
+        let id = d.bind(tuple(5000, 20, 80)).unwrap().id();
         d.set_gate(true);
         let fresh = pkt_to(10, 80, Endpoint::new(20, 5555));
         match d.classify(&fresh) {
@@ -262,7 +441,7 @@ mod tests {
     fn unbind_frees_tuple() {
         let mut d = dm();
         let t = tuple(5000, 20, 80);
-        let id = d.bind(t).unwrap();
+        let id = d.bind(t).unwrap().id();
         d.unbind(id);
         assert!(d.bind(t).is_ok(), "tuple reusable after unbind");
     }
@@ -278,9 +457,29 @@ mod tests {
     }
 
     #[test]
+    fn buggy_dm_double_admits_where_real_dm_refuses() {
+        let t = tuple(5000, 20, 80);
+        let mut real = dm();
+        real.bind(t).unwrap();
+        assert!(DmDriver::admit(&mut real, t).is_err());
+        let mut bug = BuggyDm::new(10, slmetrics::shared());
+        let a = bug.admit(t).unwrap();
+        let b = bug.admit(t).unwrap();
+        assert_ne!(a, b, "the canary mints two ids for one tuple");
+    }
+
+    #[test]
+    fn contract_key_is_stable_across_clone() {
+        let mut d = dm();
+        d.listen(80);
+        d.bind(tuple(5000, 20, 80)).unwrap();
+        assert_eq!(d.contract_key(), d.clone().contract_key());
+    }
+
+    #[test]
     fn fill_tx_stamps_only_dm_fields() {
         let mut d = dm();
-        let id = d.bind(tuple(5000, 20, 80)).unwrap();
+        let id = d.bind(tuple(5000, 20, 80)).unwrap().id();
         let mut p = Packet::default();
         p.cm.isn = 7; // foreign field must be untouched
         d.fill_tx(id, &mut p);

@@ -30,6 +30,7 @@
 pub mod cc;
 pub mod cm;
 pub mod dm;
+pub mod fingerprint;
 pub mod isn;
 pub mod offload;
 pub mod osr;
@@ -41,11 +42,11 @@ pub mod stack;
 pub mod wire;
 
 pub use cc::RateController;
-pub use cm::{CmEvent, CmScheme, CmState, ConnMgmt};
-pub use dm::{ConnId, Demux, DmVerdict};
+pub use cm::{BuggyCm, CmDriver, CmEvent, CmPass, CmScheme, CmState, ConnMgmt};
+pub use dm::{Admitted, BuggyDm, ConnId, Demux, DmDriver, DmError, DmVerdict};
 pub use isn::IsnGenerator;
-pub use osr::Osr;
-pub use rd::{RdEvent, ReliableDelivery};
+pub use osr::{BuggyOsr, Osr, OsrDriver};
+pub use rd::{BuggyRd, RdDriver, RdEvent, ReliableDelivery};
 pub use record::RecordStack;
 pub use signals::CongSignal;
 pub use stack::{CrossingStats, KeepaliveConfig, SlConfig, SlStats, SlTcpStack};

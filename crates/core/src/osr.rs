@@ -15,6 +15,7 @@
 //! bits — never from sequence numbers.
 
 use crate::cc::RateController;
+use crate::fingerprint as fp;
 use crate::signals::CongSignal;
 use crate::wire::Packet;
 use netsim::{Dur, Time};
@@ -51,6 +52,7 @@ pub struct OsrStats {
 }
 
 /// The OSR sublayer for one connection.
+#[derive(Clone)]
 pub struct Osr {
     // --- sender ---
     app_buf: VecDeque<u8>,
@@ -374,6 +376,121 @@ impl Osr {
         self.bytes_in_flight += 1;
         self.stats.zero_window_probes += 1;
         Some(vec![b])
+    }
+
+    /// Deterministic behavioral fingerprint for the OSR contract checker
+    /// (see [`crate::fingerprint`]): equal keys must imply behaviorally
+    /// identical sublayers under the contract's drive alphabet. Byte
+    /// *content* is folded in, not just lengths — a reordered release is a
+    /// different state, which is exactly what the ordering contract needs
+    /// to distinguish.
+    pub fn contract_key(&self) -> Vec<u64> {
+        let mut acc = fp::fold(
+            fp::SEED,
+            [
+                self.bytes_in_flight,
+                self.peer_wnd as u64,
+                (self.app_closed as u64)
+                    | (self.probe_due as u64) << 1
+                    | (self.ecn_to_echo as u64) << 2
+                    | (self.window_update_pending as u64) << 3,
+                self.persist_deadline.map_or(u64::MAX, |t| t.0),
+                self.persist_backoff.0,
+                self.rcv_next,
+                self.pressure.wnd_shift() as u64,
+            ],
+        );
+        acc = fp::fold(acc, self.rate.state_key());
+        let (a, b) = self.app_buf.as_slices();
+        acc = fp::fold_bytes(fp::fold_bytes(acc, a), b);
+        for (&off, data) in &self.reasm {
+            acc = fp::fold_bytes(fp::mix(acc, off), data);
+        }
+        let (a, b) = self.app_out.as_slices();
+        acc = fp::fold_bytes(fp::fold_bytes(acc, a), b);
+        vec![acc]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contract driver (slverify::contracts::OsrContract drives the *real*
+// sublayer through this, exactly as CongCtrl drives RateController).
+// ---------------------------------------------------------------------
+
+/// The operations the OSR assume/guarantee contract exercises — the
+/// upward half of OSR's service: reassembling RD's possibly-out-of-order
+/// exactly-once deliveries into the in-order gap-free byte stream.
+/// Implemented by the shipped [`Osr`] and by the [`BuggyOsr`] mutation
+/// canary.
+pub trait OsrDriver {
+    fn on_delivered(&mut self, offset: u64, data: Vec<u8>);
+    fn read(&mut self) -> Vec<u8>;
+    fn readable_len(&self) -> usize;
+    /// See [`Osr::contract_key`].
+    fn contract_key(&self) -> Vec<u64>;
+    fn box_clone(&self) -> Box<dyn OsrDriver>;
+}
+
+impl Clone for Box<dyn OsrDriver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl OsrDriver for Osr {
+    fn on_delivered(&mut self, offset: u64, data: Vec<u8>) {
+        Osr::on_delivered(self, offset, data)
+    }
+    fn read(&mut self) -> Vec<u8> {
+        Osr::read(self)
+    }
+    fn readable_len(&self) -> usize {
+        Osr::readable_len(self)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        Osr::contract_key(self)
+    }
+    fn box_clone(&self) -> Box<dyn OsrDriver> {
+        Box::new(self.clone())
+    }
+}
+
+/// Mutation canary for the OSR contract, mirroring [`slcc::BuggyDeflate`]:
+/// a plausible "latency optimization" decides parked out-of-order data
+/// might as well reach the application immediately and rebases any gapped
+/// delivery onto the read cursor — releasing bytes *through* the gap, out
+/// of order. Never wired into product code; it exists so `OsrContract`
+/// has a concrete counterexample for its in-order obligation.
+#[derive(Clone)]
+pub struct BuggyOsr {
+    inner: Osr,
+}
+
+impl BuggyOsr {
+    pub fn new(rate: Box<dyn RateController>, log: SharedLog) -> BuggyOsr {
+        BuggyOsr { inner: Osr::new(rate, log) }
+    }
+}
+
+impl OsrDriver for BuggyOsr {
+    fn on_delivered(&mut self, offset: u64, data: Vec<u8>) {
+        // THE BUG: a delivery past the cursor is rebased onto it, so the
+        // application sees the bytes now — in the wrong order, and the
+        // real range is double-counted when it finally arrives.
+        let offset = offset.min(self.inner.rcv_next);
+        self.inner.on_delivered(offset, data)
+    }
+    fn read(&mut self) -> Vec<u8> {
+        self.inner.read()
+    }
+    fn readable_len(&self) -> usize {
+        self.inner.readable_len()
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        self.inner.contract_key()
+    }
+    fn box_clone(&self) -> Box<dyn OsrDriver> {
+        Box::new(self.clone())
     }
 }
 

@@ -19,6 +19,7 @@
 //! payload byte = wire sequence `isn + 1`); conversion to/from the 32-bit
 //! wire space happens only at the header boundary.
 
+use crate::fingerprint as fp;
 use crate::signals::{CongSignal, SeqValidity};
 use crate::wire::{Packet, SackRange};
 use netsim::{Dur, Time};
@@ -62,6 +63,7 @@ pub struct RdStats {
     pub acks_paced: u64,
 }
 
+#[derive(Clone)]
 struct Flight {
     data: Vec<u8>,
     sent_at: Time,
@@ -87,7 +89,9 @@ const MAX_IN_FLIGHT: usize = 1024;
 pub const RTX_BYTES_CAP: usize = 256 * 1024;
 /// Window RD uses to classify inbound control sequences (RFC 5961): a
 /// wire sequence within this many bytes past `rcv_nxt` is "in window".
-const VALIDITY_WND: u32 = 64 * 1024;
+/// Public so `slverify` can cross-check [`ReliableDelivery::seq_validity`]
+/// against its own `classify_seq` relation over the same window.
+pub const VALIDITY_WND: u32 = 64 * 1024;
 /// Safety cap on disjoint out-of-order ranges tracked by the receiver.
 const MAX_OOO_RANGES: usize = 256;
 /// Safety cap on total out-of-order bytes accepted ahead of `rcv_nxt`
@@ -102,6 +106,7 @@ pub const MAX_RETRIES: u32 = 8;
 pub const ACK_DELAY: Dur = Dur(50_000_000);
 
 /// The RD sublayer for one connection.
+#[derive(Clone)]
 pub struct ReliableDelivery {
     snd_isn: u32,
     rcv_isn: u32,
@@ -771,6 +776,204 @@ impl ReliableDelivery {
 
     pub fn peer_fin_reached(&self) -> bool {
         self.peer_fin_reached
+    }
+
+    /// Deterministic behavioral fingerprint for the RD contract checker
+    /// (see [`crate::fingerprint`]): equal keys must imply behaviorally
+    /// identical endpoints under the contract's drive alphabet. Counters
+    /// in [`RdStats`] are deliberately excluded — they never influence
+    /// future behavior.
+    pub fn contract_key(&self) -> Vec<u64> {
+        let mut acc = fp::fold(
+            fp::SEED,
+            [
+                self.snd_isn as u64,
+                self.rcv_isn as u64,
+                self.snd_una,
+                self.snd_nxt,
+                self.flight_bytes as u64,
+                self.fin_off.map_or(u64::MAX, |o| o),
+                self.fin_sent_at.map_or(u64::MAX, |t| t.0),
+                (self.fin_retransmitted as u64) | (self.fin_acked as u64) << 1,
+                self.dupacks as u64,
+                (self.in_recovery as u64) | (self.recover << 1),
+                self.srtt.map_or(u64::MAX, |d| d.0),
+                self.rttvar.0,
+                self.rto.0,
+                self.rto_deadline.map_or(u64::MAX, |t| t.0),
+                self.consecutive_rtx as u64,
+                self.rcv_nxt,
+                self.peer_fin_off.map_or(u64::MAX, |o| o),
+                (self.peer_fin_reached as u64)
+                    | (self.ack_pending as u64) << 1
+                    | (self.ack_forced as u64) << 2
+                    | (self.pace_acks as u64) << 3
+                    | (self.use_sack as u64) << 4,
+                self.delayed_ack_deadline.map_or(u64::MAX, |t| t.0),
+            ],
+        );
+        for (&off, f) in &self.in_flight {
+            acc = fp::fold(
+                acc,
+                [
+                    off,
+                    f.data.len() as u64,
+                    f.sent_at.0,
+                    f.first_sent.0,
+                    (f.retransmitted as u64) | (f.sacked as u64) << 1,
+                ],
+            );
+        }
+        for (&s, &e) in &self.ooo {
+            acc = fp::fold(acc, [s, e]);
+        }
+        for (off, payload, is_fin) in &self.outbox {
+            acc = fp::mix(acc, off.map_or(u64::MAX, |o| o));
+            acc = fp::fold_bytes(acc, payload);
+            acc = fp::mix(acc, *is_fin as u64);
+        }
+        acc = fp::fold_bytes(acc, format!("{:?}", self.signals).as_bytes());
+        acc = fp::fold_bytes(acc, format!("{:?}", self.events).as_bytes());
+        vec![acc]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contract driver (slverify::contracts::RdContract drives a *real*
+// sender/receiver endpoint pair through this, exactly as CongCtrl drives
+// RateController).
+// ---------------------------------------------------------------------
+
+/// The per-endpoint operations the RD assume/guarantee contract
+/// exercises. Implemented by the shipped [`ReliableDelivery`] and by the
+/// [`BuggyRd`] mutation canary (used as the sender arm).
+pub trait RdDriver {
+    fn push_segment(&mut self, now: Time, data: Vec<u8>);
+    fn can_accept(&self) -> bool;
+    fn on_packet(&mut self, now: Time, pkt: &Packet, fin: bool);
+    fn poll_packet(&mut self, now: Time) -> Option<(Packet, bool)>;
+    fn on_tick(&mut self, now: Time);
+    fn poll_deadline(&self) -> Option<Time>;
+    fn take_events(&mut self) -> Vec<RdEvent>;
+    fn all_acked(&self) -> bool;
+    fn rcv_next_offset(&self) -> u64;
+    fn seq_validity(&self, wire_seq: u32) -> SeqValidity;
+    /// See [`ReliableDelivery::contract_key`].
+    fn contract_key(&self) -> Vec<u64>;
+    fn box_clone(&self) -> Box<dyn RdDriver>;
+}
+
+impl Clone for Box<dyn RdDriver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+impl RdDriver for ReliableDelivery {
+    fn push_segment(&mut self, now: Time, data: Vec<u8>) {
+        ReliableDelivery::push_segment(self, now, data)
+    }
+    fn can_accept(&self) -> bool {
+        ReliableDelivery::can_accept(self)
+    }
+    fn on_packet(&mut self, now: Time, pkt: &Packet, fin: bool) {
+        ReliableDelivery::on_packet(self, now, pkt, fin)
+    }
+    fn poll_packet(&mut self, now: Time) -> Option<(Packet, bool)> {
+        ReliableDelivery::poll_packet(self, now)
+    }
+    fn on_tick(&mut self, now: Time) {
+        ReliableDelivery::on_tick(self, now)
+    }
+    fn poll_deadline(&self) -> Option<Time> {
+        ReliableDelivery::poll_deadline(self)
+    }
+    fn take_events(&mut self) -> Vec<RdEvent> {
+        ReliableDelivery::take_events(self)
+    }
+    fn all_acked(&self) -> bool {
+        ReliableDelivery::all_acked(self)
+    }
+    fn rcv_next_offset(&self) -> u64 {
+        ReliableDelivery::rcv_next_offset(self)
+    }
+    fn seq_validity(&self, wire_seq: u32) -> SeqValidity {
+        ReliableDelivery::seq_validity(self, wire_seq)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        ReliableDelivery::contract_key(self)
+    }
+    fn box_clone(&self) -> Box<dyn RdDriver> {
+        Box::new(self.clone())
+    }
+}
+
+/// Mutation canary for the RD contract, mirroring [`slcc::BuggyDeflate`]:
+/// a plausible refactor slip concludes that one retransmission per segment
+/// is enough ("the first retry already covers the loss") and silently
+/// drops every RTO retransmission after the first — so a lost retry is
+/// never recovered and the byte is never delivered. Never wired into
+/// product code; it exists so `RdContract` has a concrete counterexample
+/// for its bounded-delivery obligation.
+#[derive(Clone)]
+pub struct BuggyRd {
+    inner: ReliableDelivery,
+    rtos: u32,
+}
+
+impl BuggyRd {
+    pub fn new(snd_isn: u32, rcv_isn: u32, log: SharedLog) -> BuggyRd {
+        BuggyRd { inner: ReliableDelivery::new(snd_isn, rcv_isn, log), rtos: 0 }
+    }
+}
+
+impl RdDriver for BuggyRd {
+    fn push_segment(&mut self, now: Time, data: Vec<u8>) {
+        self.inner.push_segment(now, data)
+    }
+    fn can_accept(&self) -> bool {
+        self.inner.can_accept()
+    }
+    fn on_packet(&mut self, now: Time, pkt: &Packet, fin: bool) {
+        self.inner.on_packet(now, pkt, fin)
+    }
+    fn poll_packet(&mut self, now: Time) -> Option<(Packet, bool)> {
+        self.inner.poll_packet(now)
+    }
+    fn on_tick(&mut self, now: Time) {
+        let queued = self.inner.outbox.len();
+        let timeouts = self.inner.stats.timeouts;
+        self.inner.on_tick(now);
+        if self.inner.stats.timeouts > timeouts {
+            self.rtos += 1;
+            if self.rtos >= 2 {
+                // THE BUG: swallow the retransmission this RTO queued.
+                self.inner.outbox.truncate(queued);
+            }
+        }
+    }
+    fn poll_deadline(&self) -> Option<Time> {
+        self.inner.poll_deadline()
+    }
+    fn take_events(&mut self) -> Vec<RdEvent> {
+        self.inner.take_events()
+    }
+    fn all_acked(&self) -> bool {
+        self.inner.all_acked()
+    }
+    fn rcv_next_offset(&self) -> u64 {
+        self.inner.rcv_next_offset()
+    }
+    fn seq_validity(&self, wire_seq: u32) -> SeqValidity {
+        self.inner.seq_validity(wire_seq)
+    }
+    fn contract_key(&self) -> Vec<u64> {
+        let mut k = self.inner.contract_key();
+        k.push(self.rtos as u64);
+        k
+    }
+    fn box_clone(&self) -> Box<dyn RdDriver> {
+        Box::new(self.clone())
     }
 }
 

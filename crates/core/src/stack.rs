@@ -251,11 +251,13 @@ impl SlTcpStack {
             local: Endpoint::new(self.dm.local_addr(), local_port),
             remote,
         };
-        let Ok(id) = self.dm.bind(tuple) else {
+        let Ok(token) = self.dm.bind(tuple) else {
             return Err(TransportError::ConnTableFull);
         };
+        let id = token.id();
         let local_isn = self.isn_gen.isn(now, &tuple);
-        let cm = ConnMgmt::open_active(self.config.cm_scheme, local_isn, now, self.log.clone());
+        let cm =
+            ConnMgmt::open_active(token, self.config.cm_scheme, local_isn, now, self.log.clone());
         let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
         osr.set_pressure(self.pressure);
         let mut conn = Connection::new(cm, osr, now);
@@ -883,9 +885,15 @@ impl Stack for SlTcpStack {
                     && pkt.rd.has_ack
                     && pkt.cm.ack_isn == self.syn_cookie(&tuple, pkt.cm.isn)
                 {
-                    let Ok(id) = self.dm.bind(tuple) else { return };
-                    let cm =
-                        ConnMgmt::open_cookie(pkt.cm.ack_isn, pkt.cm.isn, now, self.log.clone());
+                    let Ok(token) = self.dm.bind(tuple) else { return };
+                    let id = token.id();
+                    let cm = ConnMgmt::open_cookie(
+                        token,
+                        pkt.cm.ack_isn,
+                        pkt.cm.isn,
+                        now,
+                        self.log.clone(),
+                    );
                     let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
                     osr.set_pressure(self.pressure);
                     self.conns.insert(id, Connection::new(cm, osr, now));
@@ -919,18 +927,24 @@ impl Stack for SlTcpStack {
                     }
                 }
                 let local_isn = self.isn_gen.isn(now, &tuple);
+                // Admission first: the token CM's constructor demands is
+                // minted by DM's bind. A header that cannot open releases
+                // the admission again.
+                let Ok(token) = self.dm.bind(tuple) else { return };
+                let id = token.id();
                 let Some(cm) = ConnMgmt::open_passive(
+                    token,
                     self.config.cm_scheme,
                     local_isn,
                     &pkt.cm,
                     now,
                     self.log.clone(),
                 ) else {
+                    self.dm.unbind(id);
                     self.stats.no_listener_drops += 1;
                     self.send_stateless_rst(&pkt);
                     return;
                 };
-                let Ok(id) = self.dm.bind(tuple) else { return };
                 let mut osr = Osr::new(self.cc_template.clone(), self.log.clone());
                 osr.set_pressure(self.pressure);
                 self.conns.insert(id, Connection::new(cm, osr, now));

@@ -18,8 +18,7 @@
 //! translation in both directions, which is what makes interoperation with
 //! the monolithic stack possible (experiment E7).
 
-use tcp_mono::wire::Endpoint;
-pub use tcp_mono::wire::{WireError, MAX_FRAME_BYTES};
+pub use tcp_mono::wire::{Endpoint, FourTuple, WireError, MAX_FRAME_BYTES};
 
 /// Demultiplexing subheader — the only bits DM may touch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]

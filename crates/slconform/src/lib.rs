@@ -15,6 +15,12 @@
 //!    allowlist, never a loosened oracle;
 //! 3. **against golden traces** (`golden/`, regenerate with `BLESS=1`).
 //!
+//! The wire formats themselves carry their own proof: [`codec_equiv`]
+//! walks a product automaton over both codecs' abstract segment alphabet
+//! and certifies they are field-for-field equivalent (the paper's §3.1
+//! isomorphism claim) through the same [`wire`] taps the harness uses on
+//! live traffic.
+//!
 //! On any divergence the harness shrinks the scenario's event script to a
 //! minimal reproducer (`shrink`) and emits a byte-replayable artifact
 //! (`artifact`) that re-executes the endpoint sans-IO and compares its
@@ -22,6 +28,7 @@
 
 pub mod absseg;
 pub mod artifact;
+pub mod codec_equiv;
 pub mod diff;
 pub mod driver;
 pub mod golden;
@@ -33,6 +40,7 @@ pub mod shrink;
 pub mod wire;
 
 pub use absseg::{normalize, AbsSeg};
+pub use codec_equiv::{certify, AbsWord, CodecCert, CodecEquiv, ALPHABET};
 pub use diff::{allowlist, check_scenario, check_scenario_mutated, Allow, Divergence, Report};
 pub use oracle::check_endpoint;
 pub use shrink::{shrink, Shrunk};

@@ -134,6 +134,60 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> CheckResult {
     result
 }
 
+/// The asynchronous product of two models: states are pairs, transitions
+/// interleave (one side moves, the other holds still), the invariant is the
+/// conjunction, and a state is done only when both sides are.
+///
+/// This is what a *monolithic* verification of two composed sublayers has
+/// to explore — the state space multiplies. The compositional alternative
+/// in [`crate::contracts`] checks each side against its own
+/// assume/guarantee contract (additive cost) and derives the end-to-end
+/// property by [`crate::contracts::compose`] without ever building this
+/// product; `Product` exists so the benchmark can measure the gap.
+pub struct Product<A: Model, B: Model> {
+    pub a: A,
+    pub b: B,
+}
+
+impl<A: Model, B: Model> Product<A, B> {
+    pub fn new(a: A, b: B) -> Product<A, B> {
+        Product { a, b }
+    }
+}
+
+impl<A: Model, B: Model> Model for Product<A, B> {
+    type State = (A::State, B::State);
+
+    fn init(&self) -> Vec<Self::State> {
+        let bs = self.b.init();
+        self.a
+            .init()
+            .into_iter()
+            .flat_map(|sa| bs.iter().map(move |sb| (sa.clone(), sb.clone())))
+            .collect()
+    }
+
+    fn next(&self, s: &Self::State) -> Vec<(&'static str, Self::State)> {
+        let mut out: Vec<(&'static str, Self::State)> = self
+            .a
+            .next(&s.0)
+            .into_iter()
+            .map(|(l, sa)| (l, (sa, s.1.clone())))
+            .collect();
+        out.extend(self.b.next(&s.1).into_iter().map(|(l, sb)| (l, (s.0.clone(), sb))));
+        out
+    }
+
+    fn invariant(&self, s: &Self::State) -> Result<(), String> {
+        self.a.invariant(&s.0)?;
+        self.b.invariant(&s.1)
+    }
+
+    fn is_done(&self, s: &Self::State) -> bool {
+        self.a.is_done(&s.0) && self.b.is_done(&s.1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +263,31 @@ mod tests {
         let r = check(&Counter { limit: 1000, bad: None }, 10);
         assert!(r.truncated);
         assert!(!r.ok());
+    }
+
+    #[test]
+    fn product_space_is_multiplicative() {
+        // Two independent counters: the product explores (limit+1)^2
+        // states while each side alone is limit+1 — the monolithic blowup
+        // the compositional contracts avoid.
+        let lone = check(&Counter { limit: 6, bad: None }, 1000);
+        let prod = check(
+            &Product::new(Counter { limit: 6, bad: None }, Counter { limit: 6, bad: None }),
+            1000,
+        );
+        assert!(prod.ok(), "{prod:?}");
+        assert_eq!(lone.states, 7);
+        assert_eq!(prod.states, 49);
+    }
+
+    #[test]
+    fn product_violation_carries_either_sides_reason() {
+        let prod = check(
+            &Product::new(Counter { limit: 6, bad: None }, Counter { limit: 6, bad: Some(2) }),
+            1000,
+        );
+        let v = prod.violation.expect("right side must trip");
+        assert!(v.reason.contains("reached 2"), "{v:?}");
     }
 
     #[test]

@@ -38,14 +38,29 @@
 //!   MSS, ssthresh non-increasing within a loss episode, slow-start exit
 //!   permanent until the next loss, recovery always terminated by its
 //!   closing signals — and starves the deliberately broken
-//!   `slcc::BuggyDeflate` to a zero window as the counterexample (E19).
+//!   `slcc::BuggyDeflate` to a zero window as the counterexample (E19);
+//! * the compositional sublayer chain ([`contracts`]) gives each core
+//!   sublayer — DM, CM, RD, OSR — an explicit assume/guarantee contract
+//!   checked against the **real** `sublayer-core` implementation, then
+//!   derives end-to-end reliable delivery by [`contracts::compose`] from
+//!   the four results alone, never exploring the fused product (E22). The
+//!   [`checker::Product`] combinator measures what that avoided product
+//!   would cost, and four seeded mutation canaries (`BuggyDm`, `BuggyCm`,
+//!   `BuggyRd`, `BuggyOsr`) are each caught by exactly the contract that
+//!   owns the broken obligation, with pinned shortest counterexamples.
 
 pub mod checker;
+pub mod contracts;
 pub mod forwarding;
 pub mod models;
 pub mod relation;
 
-pub use checker::{check, CheckResult, Model, Trace};
+pub use checker::{check, CheckResult, Model, Product, Trace};
+pub use contracts::{
+    chain, cm_rst_response, compose, prove_end_to_end, validity_of, verdict_of, ChainProof,
+    CmContract, ContractSpec, DmContract, OsrContract, RdContract, A_ENV, CM_CONTRACT,
+    DM_CONTRACT, E2E, G_CM, G_DM, G_OSR, G_RD, OSR_CONTRACT, RD_CONTRACT,
+};
 pub use forwarding::{
     check_forwarding, check_forwarding_to, ForwardDefect, ForwardReport, ForwardSpec,
 };

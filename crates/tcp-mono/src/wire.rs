@@ -56,6 +56,12 @@ pub const ACK: u8 = 0x10;
 /// be made to allocate.
 pub const MAX_FRAME_BYTES: usize = 8 + 60 + 65535;
 
+/// Smallest well-formed frame: 8-byte network header plus the 20-byte
+/// option-less TCP header. Exposed so cross-format tooling (the
+/// `slconform` codec-equivalence certificate) can reason about the
+/// format's floor without re-deriving it.
+pub const MIN_SEGMENT_BYTES: usize = 28;
+
 /// Typed decode failure: every way a frame can be malformed, so hostile
 /// input is *classified*, never panicked on and never silently mis-parsed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,8 +167,8 @@ impl Segment {
     /// Parse and verify the checksum; a typed [`WireError`] for malformed
     /// or corrupt segments — hostile bytes must classify, never panic.
     pub fn decode(bytes: &[u8]) -> Result<Segment, WireError> {
-        if bytes.len() < 28 {
-            return Err(WireError::Truncated { need: 28, got: bytes.len() });
+        if bytes.len() < MIN_SEGMENT_BYTES {
+            return Err(WireError::Truncated { need: MIN_SEGMENT_BYTES, got: bytes.len() });
         }
         if bytes.len() > MAX_FRAME_BYTES {
             return Err(WireError::Oversized { limit: MAX_FRAME_BYTES, got: bytes.len() });
